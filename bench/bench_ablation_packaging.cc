@@ -1,0 +1,63 @@
+// Ablation for §3.1's packaging discussion: Algorithm 1's one-transaction-
+// per-benefiting-template heuristic vs the two extremes — one giant
+// transaction holding every lock until commit, and one transaction per
+// operation maximising per-transaction overhead. Run with the Feedback
+// scheduler under Zipf/HighLoad where the trade-off bites hardest.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using soap::core::PackagingMode;
+  std::printf("==== Ablation: repartition transaction packaging (Sec 3.1) ====\n\n");
+
+  struct Mode {
+    const char* name;
+    PackagingMode mode;
+  };
+  const Mode modes[] = {
+      {"per-template (Algorithm 1)", PackagingMode::kPerBenefitingTemplate},
+      {"single giant transaction", PackagingMode::kSingleGiantTxn},
+      {"one transaction per op", PackagingMode::kPerOperation},
+      {"per key range (Sec 2.2)", PackagingMode::kPerKeyRange},
+      {"per hash bucket (Sec 2.2)", PackagingMode::kPerHashBucket},
+  };
+
+  std::printf("%-28s %-10s %-12s %-14s %-12s %-10s %-12s\n", "packaging",
+              "rep_done@", "tail_fail", "tail_tput/min", "tail_lat_ms",
+              "deadlocks", "rep_txns");
+  for (const Mode& m : modes) {
+    soap::engine::ExperimentConfig config = soap::bench::MakeCellConfig(
+        soap::SchedulingStrategy::kFeedback,
+        soap::workload::PopularityDist::kZipf, /*high_load=*/true,
+        /*alpha=*/1.0);
+    if (!soap::bench::FastMode()) {
+      // The giant-transaction mode is pathological by design; a reduced
+      // horizon keeps the ablation affordable while the contrast is
+      // already unmistakable.
+      config.workload.num_templates /= 5;
+      config.workload.num_keys /= 5;
+      config.measured_intervals = 60;
+    }
+    config.packaging = m.mode;
+    soap::engine::ExperimentResult r = soap::engine::Experiment(config).Run();
+    std::printf("%-28s %-10d %-12.3f %-14.0f %-12.0f %-10llu %-12llu\n",
+                m.name, r.RepartitionCompletedAt(),
+                r.failure_rate.TailMean(10), r.throughput.TailMean(10),
+                r.latency_ms.TailMean(10),
+                static_cast<unsigned long long>(r.counters.aborts_deadlock),
+                static_cast<unsigned long long>(
+                    r.counters.submitted_repartition));
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\n# Expectation: per-template completes the plan with low failure\n"
+      "# rates. The giant transaction's cost exceeds any per-interval\n"
+      "# budget, so the controller can never schedule it under load (and\n"
+      "# were it forced through, it would hold every plan key's lock for\n"
+      "# its whole lifetime). Per-operation doubles the transaction count\n"
+      "# and pays begin/2PC per moved tuple. The Sec 2.2 range/hash\n"
+      "# granularities fall in between.\n");
+  return 0;
+}

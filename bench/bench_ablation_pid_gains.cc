@@ -1,0 +1,58 @@
+// Ablation for §3.3's controller tuning: the paper runs Kp=1, Ki=0, Kd=0
+// tuned via Ziegler-Nichols. Sweeps alternative gain sets on the Feedback
+// scheduler (Zipf/HighLoad, alpha=100%) and reports deployment speed vs
+// interference.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using soap::core::PidGains;
+  using soap::core::ZieglerNichols;
+  std::printf("==== Ablation: PID gains for the feedback scheduler (Sec 3.3) ====\n\n");
+
+  struct Case {
+    const char* name;
+    PidGains gains;
+  };
+  const Case cases[] = {
+      {"paper (Kp=1)", {1.0, 0.0, 0.0}},
+      {"soft P (Kp=0.5)", {0.5, 0.0, 0.0}},
+      {"aggressive P (Kp=4)", {4.0, 0.0, 0.0}},
+      {"PI", {1.0, 0.05, 0.0}},
+      {"PD", {1.0, 0.0, 0.5}},
+      {"ZN classic (Ku=2,Tu=3)", ZieglerNichols::Classic(2.0, 3.0)},
+      {"ZN PI (Ku=2,Tu=3)", ZieglerNichols::PI(2.0, 3.0)},
+  };
+
+  std::printf("%-24s %-10s %-12s %-14s %-12s %-14s\n", "gains", "rep_done@",
+              "tail_fail", "tail_tput/min", "tail_lat_ms", "mean_PV_ratio");
+  for (const Case& c : cases) {
+    soap::engine::ExperimentConfig config = soap::bench::MakeCellConfig(
+        soap::SchedulingStrategy::kFeedback,
+        soap::workload::PopularityDist::kZipf, /*high_load=*/true,
+        /*alpha=*/1.0);
+    if (!soap::bench::FastMode()) {
+      config.workload.num_templates /= 5;
+      config.workload.num_keys /= 5;
+      config.measured_intervals = 60;
+    }
+    config.feedback.gains = c.gains;
+    soap::engine::ExperimentResult r = soap::engine::Experiment(config).Run();
+    double pv = 0.0;
+    int n = 0;
+    for (size_t i = config.warmup_intervals; i < r.rep_work_ratio.size();
+         ++i) {
+      if (r.rep_rate.at(i) >= 0.999) break;
+      pv += r.rep_work_ratio.at(i);
+      ++n;
+    }
+    std::printf("%-24s %-10d %-12.3f %-14.0f %-12.0f %-14.3f\n", c.name,
+                r.RepartitionCompletedAt(), r.failure_rate.TailMean(10),
+                r.throughput.TailMean(10), r.latency_ms.TailMean(10),
+                n > 0 ? pv / n : 0.0);
+    std::fflush(stdout);
+  }
+  return 0;
+}

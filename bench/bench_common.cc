@@ -1,0 +1,197 @@
+#include "bench/bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+
+namespace soap::bench {
+
+double Table1Sp(SchedulingStrategy strategy,
+                workload::PopularityDist distribution, bool high_load,
+                double alpha) {
+  using workload::PopularityDist;
+  const bool zipf = distribution == PopularityDist::kZipf;
+  // Index the alpha column: 1.0 -> 0, 0.6 -> 1, 0.2 -> 2.
+  const int col = alpha > 0.8 ? 0 : (alpha > 0.4 ? 1 : 2);
+  if (strategy == SchedulingStrategy::kFeedback) {
+    if (high_load) {
+      if (zipf) return (col == 2) ? 1.1 : 1.05;
+      return 1.25;
+    }
+    if (zipf) {
+      const double values[3] = {1.05, 1.03, 1.015};
+      return values[col];
+    }
+    const double values[3] = {1.02, 1.03, 1.02};
+    return values[col];
+  }
+  if (strategy == SchedulingStrategy::kHybrid) {
+    if (high_load) {
+      if (zipf) return 1.05;
+      const double values[3] = {1.05, 1.05, 1.05};
+      return values[col];
+    }
+    if (zipf) {
+      const double values[3] = {1.05, 1.03, 1.05};
+      return values[col];
+    }
+    const double values[3] = {1.03, 1.05, 1.05};
+    return values[col];
+  }
+  return 1.05;  // unused by the other strategies
+}
+
+bool FastMode() {
+  const char* env = std::getenv("SOAP_BENCH_FAST");
+  return env != nullptr && env[0] == '1';
+}
+
+engine::ExperimentConfig MakeCellConfig(SchedulingStrategy strategy,
+                                        workload::PopularityDist distribution,
+                                        bool high_load, double alpha,
+                                        uint64_t seed) {
+  engine::ExperimentConfig config;
+  config.workload = distribution == workload::PopularityDist::kZipf
+                        ? workload::WorkloadSpec::Zipf(alpha)
+                        : workload::WorkloadSpec::Uniform(alpha);
+  config.utilization = high_load ? workload::kHighLoadUtilization
+                                 : workload::kLowLoadUtilization;
+  config.strategy = strategy;
+  config.feedback.sp = Table1Sp(strategy, distribution, high_load, alpha);
+  config.seed = seed;
+  if (FastMode()) {
+    config.workload.num_templates /= 10;
+    config.workload.num_keys /= 10;
+    config.warmup_intervals = 5;
+    config.measured_intervals = 30;
+  }
+  return config;
+}
+
+const std::vector<SchedulingStrategy>& AllStrategies() {
+  static const std::vector<SchedulingStrategy> strategies = {
+      SchedulingStrategy::kApplyAll, SchedulingStrategy::kAfterAll,
+      SchedulingStrategy::kFeedback, SchedulingStrategy::kPiggyback,
+      SchedulingStrategy::kHybrid};
+  return strategies;
+}
+
+std::vector<PanelResult> RunPanel(workload::PopularityDist distribution,
+                                  bool high_load,
+                                  const std::vector<double>& alphas) {
+  std::vector<PanelResult> panel;
+  for (double alpha : alphas) {
+    PanelResult row;
+    row.alpha = alpha;
+    for (SchedulingStrategy strategy : AllStrategies()) {
+      engine::ExperimentConfig config =
+          MakeCellConfig(strategy, distribution, high_load, alpha);
+      const std::clock_t t0 = std::clock();
+      engine::Experiment experiment(config);
+      row.per_strategy.push_back(experiment.Run());
+      const double secs =
+          static_cast<double>(std::clock() - t0) / CLOCKS_PER_SEC;
+      const engine::ExperimentResult& r = row.per_strategy.back();
+      std::printf("# ran %-9s alpha=%.0f%%: %.1fs wall, %llu events, %s\n",
+                  StrategyName(strategy), alpha * 100.0, secs,
+                  static_cast<unsigned long long>(r.events_executed),
+                  r.audit.ok() ? "audit ok" : r.audit.ToString().c_str());
+      std::fflush(stdout);
+    }
+    panel.push_back(std::move(row));
+  }
+  return panel;
+}
+
+namespace {
+
+const Series& MetricOf(const engine::ExperimentResult& r,
+                       const std::string& metric) {
+  if (metric == "rep_rate") return r.rep_rate;
+  if (metric == "throughput") return r.throughput;
+  if (metric == "latency_ms") return r.latency_ms;
+  if (metric == "failure_rate") return r.failure_rate;
+  if (metric == "queue_length") return r.queue_length;
+  std::fprintf(stderr, "unknown metric %s\n", metric.c_str());
+  std::abort();
+}
+
+}  // namespace
+
+void PrintMetric(const std::vector<PanelResult>& panel,
+                 const std::string& metric, const std::string& title,
+                 const std::string& csv_prefix, size_t stride) {
+  for (const PanelResult& row : panel) {
+    char subtitle[256];
+    std::snprintf(subtitle, sizeof(subtitle), "%s, alpha=%.0f%%",
+                  title.c_str(), row.alpha * 100.0);
+    SeriesBundle bundle(subtitle);
+    for (size_t i = 0; i < row.per_strategy.size(); ++i) {
+      bundle.Insert(std::string(StrategyName(AllStrategies()[i])),
+                    MetricOf(row.per_strategy[i], metric));
+    }
+    std::printf("%s\n", bundle.ToTable(stride).c_str());
+    const bool log_scale = metric == "latency_ms";
+    std::printf("%s\n", bundle.ToAsciiChart(12, log_scale).c_str());
+    char csv_path[256];
+    std::snprintf(csv_path, sizeof(csv_path), "%s_a%.0f.csv",
+                  csv_prefix.c_str(), row.alpha * 100.0);
+    Status s = bundle.WriteCsv(csv_path);
+    if (!s.ok()) {
+      std::fprintf(stderr, "csv write failed: %s\n", s.ToString().c_str());
+    }
+  }
+}
+
+void PrintPanelSummary(const std::vector<PanelResult>& panel) {
+  std::printf(
+      "# %-9s %-6s %-12s %-14s %-12s %-12s %-10s\n", "strategy", "alpha",
+      "rep_done@", "tail_tput/min", "tail_lat_ms", "tail_fail", "pgy_ops");
+  for (const PanelResult& row : panel) {
+    for (size_t i = 0; i < row.per_strategy.size(); ++i) {
+      const engine::ExperimentResult& r = row.per_strategy[i];
+      std::printf("# %-9s %-6.0f %-12d %-14.0f %-12.0f %-12.3f %-10llu\n",
+                  StrategyName(AllStrategies()[i]), row.alpha * 100.0,
+                  r.RepartitionCompletedAt(), r.throughput.TailMean(10),
+                  r.latency_ms.TailMean(10), r.failure_rate.TailMean(10),
+                  static_cast<unsigned long long>(r.piggybacked_ops));
+    }
+  }
+  std::printf("\n");
+}
+
+int RunFigureMain(workload::PopularityDist distribution, bool high_load,
+                  const char* figure_name, const char* description) {
+  std::printf("==== %s: %s ====\n", figure_name, description);
+  std::printf("# scale: %s\n\n",
+              FastMode() ? "FAST (SOAP_BENCH_FAST=1, ~10x reduced)"
+                         : "full (paper dimensions, Section 4.1)");
+  std::vector<PanelResult> panel =
+      RunPanel(distribution, high_load, {1.0, 0.6, 0.2});
+  std::printf("\n");
+  const std::string prefix = figure_name;
+  PrintMetric(panel, "rep_rate", std::string(figure_name) + " RepRate",
+              prefix + "_reprate");
+  PrintMetric(panel, "throughput",
+              std::string(figure_name) + " Throughput (txn/min)",
+              prefix + "_throughput");
+  PrintMetric(panel, "latency_ms",
+              std::string(figure_name) + " Latency (ms)",
+              prefix + "_latency");
+  PrintMetric(panel, "failure_rate",
+              std::string(figure_name) + " Failure rate",
+              prefix + "_failure");
+  PrintPanelSummary(panel);
+  for (const PanelResult& row : panel) {
+    for (const engine::ExperimentResult& r : row.per_strategy) {
+      if (!r.audit.ok()) {
+        std::fprintf(stderr, "consistency audit FAILED: %s\n",
+                     r.audit.ToString().c_str());
+        return 1;
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace soap::bench

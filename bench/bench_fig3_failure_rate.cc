@@ -1,0 +1,44 @@
+// Reproduces Figure 3: transaction failure rate over time for all five
+// strategies at alpha = 100% — the four panels (a) Zipf/High,
+// (b) Uniform/High, (c) Zipf/Low, (d) Uniform/Low.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using soap::workload::PopularityDist;
+  struct Panel {
+    const char* name;
+    PopularityDist dist;
+    bool high;
+  };
+  const Panel panels[] = {
+      {"fig3a Zipf/High", PopularityDist::kZipf, true},
+      {"fig3b Uniform/High", PopularityDist::kUniform, true},
+      {"fig3c Zipf/Low", PopularityDist::kZipf, false},
+      {"fig3d Uniform/Low", PopularityDist::kUniform, false},
+  };
+  std::printf("==== fig3: Transaction Failure Rate (alpha=100%%) ====\n");
+  std::printf("# scale: %s\n\n",
+              soap::bench::FastMode()
+                  ? "FAST (SOAP_BENCH_FAST=1, ~10x reduced)"
+                  : "full (paper dimensions, Section 4.1)");
+  int exit_code = 0;
+  for (const Panel& panel : panels) {
+    std::printf("---- %s ----\n", panel.name);
+    auto results = soap::bench::RunPanel(panel.dist, panel.high, {1.0});
+    std::string csv = std::string("fig3_") +
+                      (panel.dist == PopularityDist::kZipf ? "zipf" : "uni") +
+                      (panel.high ? "_high" : "_low");
+    soap::bench::PrintMetric(results, "failure_rate",
+                             std::string(panel.name) + " failure rate", csv);
+    soap::bench::PrintPanelSummary(results);
+    for (const auto& row : results) {
+      for (const auto& r : row.per_strategy) {
+        if (!r.audit.ok()) exit_code = 1;
+      }
+    }
+  }
+  return exit_code;
+}

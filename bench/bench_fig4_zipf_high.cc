@@ -1,0 +1,11 @@
+// Reproduces Figure 4: Zipf workload under HighLoad (130% of capacity).
+// Rows: RepRate (4a-c), throughput txn/min (4d-f), latency ms (4g-i),
+// for alpha in {100%, 60%, 20%} across all five scheduling strategies.
+
+#include "bench/bench_common.h"
+
+int main() {
+  return soap::bench::RunFigureMain(
+      soap::workload::PopularityDist::kZipf, /*high_load=*/true, "fig4",
+      "Zipf High Workload (RepRate / Throughput / Latency, alpha sweep)");
+}

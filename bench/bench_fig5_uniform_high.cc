@@ -1,0 +1,9 @@
+// Reproduces Figure 5: uniform workload under HighLoad (130% of capacity).
+
+#include "bench/bench_common.h"
+
+int main() {
+  return soap::bench::RunFigureMain(
+      soap::workload::PopularityDist::kUniform, /*high_load=*/true, "fig5",
+      "Uniform High Workload (RepRate / Throughput / Latency, alpha sweep)");
+}

@@ -1,0 +1,9 @@
+// Reproduces Figure 6: Zipf workload under LowLoad (65% utilisation).
+
+#include "bench/bench_common.h"
+
+int main() {
+  return soap::bench::RunFigureMain(
+      soap::workload::PopularityDist::kZipf, /*high_load=*/false, "fig6",
+      "Zipf Low Workload (RepRate / Throughput / Latency, alpha sweep)");
+}

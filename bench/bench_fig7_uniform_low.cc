@@ -1,0 +1,9 @@
+// Reproduces Figure 7: uniform workload under LowLoad (65% utilisation).
+
+#include "bench/bench_common.h"
+
+int main() {
+  return soap::bench::RunFigureMain(
+      soap::workload::PopularityDist::kUniform, /*high_load=*/false, "fig7",
+      "Uniform Low Workload (RepRate / Throughput / Latency, alpha sweep)");
+}

@@ -1,0 +1,149 @@
+// Component microbenchmarks (google-benchmark): lock manager, routing
+// table/query router, samplers, simulator event loop, and the processing
+// queue. These bound the per-event costs the discrete-event runs pay.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/cluster/processing_queue.h"
+#include "src/common/random.h"
+#include "src/router/query_parser.h"
+#include "src/router/query_router.h"
+#include "src/sim/simulator.h"
+#include "src/txn/lock_manager.h"
+
+namespace {
+
+using soap::Rng;
+using soap::ZipfSampler;
+
+void BM_LockAcquireReleaseUncontended(benchmark::State& state) {
+  soap::txn::LockManager lm;
+  soap::txn::TxnId id = 1;
+  uint64_t key = 0;
+  for (auto _ : state) {
+    lm.Acquire(id, key, soap::txn::LockMode::kExclusive, [] {});
+    lm.ReleaseAll(id);
+    ++id;
+    key = (key + 1) % 1024;
+  }
+}
+BENCHMARK(BM_LockAcquireReleaseUncontended);
+
+void BM_LockContendedQueueGrant(benchmark::State& state) {
+  // One holder, one waiter, release grants: the hot-key path.
+  soap::txn::LockManager lm;
+  soap::txn::TxnId id = 1;
+  for (auto _ : state) {
+    const soap::txn::TxnId a = id++;
+    const soap::txn::TxnId b = id++;
+    lm.Acquire(a, 7, soap::txn::LockMode::kExclusive, [] {});
+    lm.Acquire(b, 7, soap::txn::LockMode::kExclusive, [] {});
+    lm.ReleaseAll(a);  // grants b
+    lm.ReleaseAll(b);
+  }
+}
+BENCHMARK(BM_LockContendedQueueGrant);
+
+void BM_DeadlockCheckDepth(benchmark::State& state) {
+  // A chain of N waiters; every new Acquire runs the cycle check over it.
+  const int depth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    soap::txn::LockManager lm;
+    for (int i = 0; i < depth; ++i) {
+      lm.Acquire(i + 1, i, soap::txn::LockMode::kExclusive, [] {});
+    }
+    for (int i = 1; i < depth; ++i) {
+      lm.Acquire(i, i - 1 + 1000000, soap::txn::LockMode::kExclusive, [] {});
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(
+        lm.Acquire(depth, depth - 1, soap::txn::LockMode::kExclusive, [] {}));
+  }
+}
+BENCHMARK(BM_DeadlockCheckDepth)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_RoutingLookup(benchmark::State& state) {
+  soap::router::RoutingTable rt(500'000);
+  for (uint64_t k = 0; k < 500'000; ++k) {
+    (void)rt.SetPrimary(k, static_cast<uint32_t>(k % 5));
+  }
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rt.GetPrimary(rng.NextUint64(500'000)));
+  }
+}
+BENCHMARK(BM_RoutingLookup);
+
+void BM_RoutingMigrate(benchmark::State& state) {
+  soap::router::RoutingTable rt(500'000);
+  for (uint64_t k = 0; k < 500'000; ++k) {
+    (void)rt.SetPrimary(k, 0);
+  }
+  uint64_t key = 0;
+  uint32_t from = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rt.Migrate(key, from, from + 1));
+    key = (key + 1) % 500'000;
+    if (key == 0) ++from;
+  }
+}
+BENCHMARK(BM_RoutingMigrate);
+
+void BM_QueryParse(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(soap::router::QueryParser::Parse(
+        "UPDATE t SET content = 42 WHERE key = 123456"));
+  }
+}
+BENCHMARK(BM_QueryParse);
+
+void BM_ZipfSample(benchmark::State& state) {
+  Rng rng(1);
+  ZipfSampler zipf(23'457, 1.16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample);
+
+void BM_PoissonSample(benchmark::State& state) {
+  Rng rng(1);
+  const double mean = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.NextPoisson(mean));
+  }
+}
+BENCHMARK(BM_PoissonSample)->Arg(20)->Arg(8000);
+
+void BM_SimulatorEventLoop(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    soap::sim::Simulator sim;
+    for (int i = 0; i < 10'000; ++i) {
+      sim.At(i, [] {});
+    }
+    state.ResumeTiming();
+    sim.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_SimulatorEventLoop);
+
+void BM_ProcessingQueuePushPop(benchmark::State& state) {
+  soap::cluster::ProcessingQueue q;
+  for (auto _ : state) {
+    auto t = std::make_unique<soap::txn::Transaction>();
+    t->id = 1;
+    t->priority = soap::txn::TxnPriority::kNormal;
+    q.Push(std::move(t));
+    benchmark::DoNotOptimize(q.Pop());
+  }
+}
+BENCHMARK(BM_ProcessingQueuePushPop);
+
+}  // namespace
+
+BENCHMARK_MAIN();

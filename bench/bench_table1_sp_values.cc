@@ -1,0 +1,92 @@
+// Reproduces Table 1: the SP values used by the Feedback and Hybrid
+// experiments per (workload, load, alpha) cell, and verifies each cell by
+// running it (at reduced scale by default — SOAP_TABLE1_FULL=1 for the
+// full 45-minute horizon) and reporting the repartition/normal work ratio
+// the controller actually achieved against its setpoint.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using soap::SchedulingStrategy;
+using soap::workload::PopularityDist;
+
+void PrintConfiguredTable() {
+  std::printf("==== Table 1: SP values for the experiments ====\n\n");
+  std::printf("%-10s %-9s | %-8s %-8s %-8s | %-8s %-8s %-8s\n", "Algorithm",
+              "Workload", "H a=100", "H a=60", "H a=20", "L a=100", "L a=60",
+              "L a=20");
+  for (SchedulingStrategy strategy :
+       {SchedulingStrategy::kFeedback, SchedulingStrategy::kHybrid}) {
+    for (PopularityDist dist :
+         {PopularityDist::kZipf, PopularityDist::kUniform}) {
+      std::printf("%-10s %-9s |", soap::StrategyName(strategy),
+                  dist == PopularityDist::kZipf ? "Zipf" : "Uniform");
+      for (bool high : {true, false}) {
+        for (double alpha : {1.0, 0.6, 0.2}) {
+          std::printf(" %-8.3f",
+                      soap::bench::Table1Sp(strategy, dist, high, alpha));
+        }
+        std::printf(high ? " |" : "\n");
+      }
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  PrintConfiguredTable();
+
+  const bool full = std::getenv("SOAP_TABLE1_FULL") != nullptr;
+  std::printf(
+      "==== Verification: achieved repartition/normal work ratio ====\n");
+  std::printf("# (controller PV vs SP-1 while the plan is in flight; %s)\n\n",
+              full ? "full scale" : "reduced scale");
+  std::printf("%-10s %-9s %-6s %-6s | %-10s %-12s %-10s\n", "algorithm",
+              "workload", "load", "alpha", "SP-1", "achieved", "rep_done@");
+
+  for (SchedulingStrategy strategy :
+       {SchedulingStrategy::kFeedback, SchedulingStrategy::kHybrid}) {
+    for (PopularityDist dist :
+         {PopularityDist::kZipf, PopularityDist::kUniform}) {
+      for (bool high : {true, false}) {
+        for (double alpha : {1.0, 0.6, 0.2}) {
+          soap::engine::ExperimentConfig config =
+              soap::bench::MakeCellConfig(strategy, dist, high, alpha);
+          if (!full) {
+            config.workload.num_templates /= 10;
+            config.workload.num_keys /= 10;
+            config.warmup_intervals = 5;
+            config.measured_intervals = 40;
+          }
+          soap::engine::ExperimentResult r =
+              soap::engine::Experiment(config).Run();
+          // Achieved PV: mean repartition/normal work ratio over the
+          // intervals where the plan was actively deploying.
+          double achieved = 0.0;
+          int active = 0;
+          for (size_t i = config.warmup_intervals;
+               i < r.rep_work_ratio.size(); ++i) {
+            if (r.rep_rate.at(i) >= 0.999) break;
+            achieved += r.rep_work_ratio.at(i);
+            ++active;
+          }
+          if (active > 0) achieved /= active;
+          std::printf("%-10s %-9s %-6s %-6.0f | %-10.3f %-12.3f %-10d\n",
+                      soap::StrategyName(strategy),
+                      dist == PopularityDist::kZipf ? "Zipf" : "Uniform",
+                      high ? "high" : "low", alpha * 100.0,
+                      config.feedback.sp - 1.0, achieved,
+                      r.RepartitionCompletedAt());
+          std::fflush(stdout);
+        }
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Head-to-head comparison of all five scheduling strategies on one
+// scenario (Zipf, high load, alpha = 60%), printing a compact scoreboard —
+// the quick way to see the paper's headline result: Hybrid combines
+// ApplyAll-class deployment speed with AfterAll-class non-interference.
+//
+//   ./build/examples/scheduler_comparison
+
+#include <cstdio>
+
+#include "src/engine/experiment.h"
+
+using namespace soap;
+
+int main() {
+  std::printf("strategy    done@  tail_tput/min  peak_lat_ms  tail_lat_ms  "
+              "max_fail  tail_fail\n");
+  for (auto strategy :
+       {SchedulingStrategy::kApplyAll, SchedulingStrategy::kAfterAll,
+        SchedulingStrategy::kFeedback, SchedulingStrategy::kPiggyback,
+        SchedulingStrategy::kHybrid}) {
+    engine::ExperimentConfig config;
+    config.workload = workload::WorkloadSpec::Zipf(/*alpha=*/0.6);
+    config.workload.num_templates = 3'000;
+    config.workload.num_keys = 60'000;
+    config.utilization = workload::kHighLoadUtilization;
+    config.warmup_intervals = 5;
+    config.measured_intervals = 45;
+    config.strategy = strategy;
+    config.feedback.sp = 1.05;
+    config.seed = 2026;
+    engine::ExperimentResult r = engine::Experiment(config).Run();
+    std::printf("%-10s %5d  %13.0f  %11.0f  %11.0f  %8.3f  %9.3f\n",
+                StrategyName(strategy), r.RepartitionCompletedAt(),
+                r.throughput.TailMean(10), r.latency_ms.Max(),
+                r.latency_ms.TailMean(10), r.failure_rate.Max(),
+                r.failure_rate.TailMean(10));
+  }
+  std::printf(
+      "\nReading guide: ApplyAll deploys instantly but spikes latency;\n"
+      "AfterAll never interferes but never finishes under load; Hybrid\n"
+      "finishes nearly as fast as ApplyAll at a fraction of the impact.\n");
+  return 0;
+}

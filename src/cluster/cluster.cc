@@ -1,0 +1,79 @@
+#include "src/cluster/cluster.h"
+
+#include <string>
+
+namespace soap::cluster {
+
+Cluster::Cluster(sim::Simulator* sim, const ClusterConfig& config)
+    : sim_(sim),
+      config_(config),
+      network_(sim, config.network, config.seed ^ 0xA5A5A5A5ULL),
+      tpc_(sim, &network_),
+      routing_table_(config.num_keys),
+      router_(&routing_table_) {
+  nodes_.reserve(config_.num_nodes);
+  storage_.reserve(config_.num_nodes);
+  for (uint32_t i = 0; i < config_.num_nodes; ++i) {
+    nodes_.push_back(
+        std::make_unique<Node>(sim_, i, config_.workers_per_node));
+    storage_.push_back(std::make_unique<storage::StorageEngine>(i));
+  }
+}
+
+Status Cluster::LoadTuple(const storage::Tuple& tuple, uint32_t partition) {
+  if (partition >= config_.num_nodes) {
+    return Status::InvalidArgument("partition " + std::to_string(partition) +
+                                   " out of range");
+  }
+  storage_[partition]->BulkLoad(tuple);
+  return routing_table_.SetPrimary(tuple.key, partition);
+}
+
+void Cluster::CheckpointAll() {
+  for (auto& engine : storage_) engine->Checkpoint();
+}
+
+Duration Cluster::TotalBusyTime(WorkCategory category) const {
+  Duration total = 0;
+  for (const auto& node : nodes_) total += node->busy_time(category);
+  return total;
+}
+
+Status Cluster::CheckConsistency() const {
+  // Every routed key must be present on its primary partition.
+  for (uint64_t key = 0; key < config_.num_keys; ++key) {
+    Result<router::PartitionId> primary = routing_table_.GetPrimary(key);
+    if (!primary.ok()) continue;  // key not loaded
+    if (!storage_[*primary]->Contains(key)) {
+      return Status::Corruption(
+          "key " + std::to_string(key) + " routed to partition " +
+          std::to_string(*primary) + " but not stored there");
+    }
+    Result<router::Placement> placement = routing_table_.GetPlacement(key);
+    for (router::PartitionId rep : placement->replicas) {
+      if (!storage_[rep]->Contains(key)) {
+        return Status::Corruption("replica of key " + std::to_string(key) +
+                                  " missing on partition " +
+                                  std::to_string(rep));
+      }
+    }
+  }
+  // No partition may store a tuple the routing table doesn't place there.
+  for (uint32_t p = 0; p < config_.num_nodes; ++p) {
+    Status status = Status::OK();
+    storage_[p]->table().ForEach([&](const storage::Tuple& tuple) {
+      if (!status.ok()) return;
+      Result<router::Placement> placement =
+          routing_table_.GetPlacement(tuple.key);
+      if (!placement.ok() || !placement->HasReplicaOn(p)) {
+        status = Status::Corruption(
+            "partition " + std::to_string(p) + " stores unrouted key " +
+            std::to_string(tuple.key));
+      }
+    });
+    SOAP_RETURN_NOT_OK(status);
+  }
+  return Status::OK();
+}
+
+}  // namespace soap::cluster

@@ -1,0 +1,42 @@
+#include "src/cluster/node.h"
+
+#include <cassert>
+#include <utility>
+
+namespace soap::cluster {
+
+void Node::RunJob(Duration service, WorkCategory category,
+                  JobClass job_class, std::function<void()> done) {
+  assert(service >= 0);
+  Job job{service, category, std::move(done)};
+  if (free_workers_ > 0) {
+    StartJob(std::move(job));
+  } else if (job_class == JobClass::kUrgent) {
+    urgent_queue_.push_back(std::move(job));
+  } else {
+    bulk_queue_.push_back(std::move(job));
+  }
+}
+
+void Node::StartJob(Job job) {
+  assert(free_workers_ > 0);
+  --free_workers_;
+  busy_time_[static_cast<int>(job.category)] += job.service;
+  ++jobs_run_;
+  auto done = std::move(job.done);
+  sim_->After(job.service, [this, done = std::move(done)]() {
+    ++free_workers_;
+    if (!urgent_queue_.empty()) {
+      Job next = std::move(urgent_queue_.front());
+      urgent_queue_.pop_front();
+      StartJob(std::move(next));
+    } else if (!bulk_queue_.empty()) {
+      Job next = std::move(bulk_queue_.front());
+      bulk_queue_.pop_front();
+      StartJob(std::move(next));
+    }
+    done();
+  });
+}
+
+}  // namespace soap::cluster

@@ -1,0 +1,47 @@
+#include "src/cluster/processing_queue.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace soap::cluster {
+
+void ProcessingQueue::Push(std::unique_ptr<txn::Transaction> t) {
+  assert(t != nullptr);
+  t->state = txn::TxnState::kQueued;
+  fifos_[static_cast<int>(t->priority)].push_back(std::move(t));
+  max_size_seen_ = std::max<uint64_t>(max_size_seen_, Size());
+}
+
+std::unique_ptr<txn::Transaction> ProcessingQueue::Pop() {
+  for (int p = 2; p >= 0; --p) {
+    if (!fifos_[p].empty()) {
+      std::unique_ptr<txn::Transaction> t = std::move(fifos_[p].front());
+      fifos_[p].pop_front();
+      return t;
+    }
+  }
+  return nullptr;
+}
+
+std::unique_ptr<txn::Transaction> ProcessingQueue::Extract(txn::TxnId id) {
+  for (auto& fifo : fifos_) {
+    for (auto it = fifo.begin(); it != fifo.end(); ++it) {
+      if ((*it)->id == id) {
+        std::unique_ptr<txn::Transaction> t = std::move(*it);
+        fifo.erase(it);
+        return t;
+      }
+    }
+  }
+  return nullptr;
+}
+
+txn::TxnPriority ProcessingQueue::PeekPriority() const {
+  for (int p = 2; p >= 0; --p) {
+    if (!fifos_[p].empty()) return static_cast<txn::TxnPriority>(p);
+  }
+  assert(false && "PeekPriority on empty queue");
+  return txn::TxnPriority::kLow;
+}
+
+}  // namespace soap::cluster

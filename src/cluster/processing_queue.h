@@ -1,0 +1,58 @@
+// The processing queue of §2.1: "higher-priority transactions will be
+// executed first, while the FIFO policy will be applied to break the tie."
+// With exactly three priority levels, one FIFO per level implements that
+// policy in O(1).
+
+#ifndef SOAP_CLUSTER_PROCESSING_QUEUE_H_
+#define SOAP_CLUSTER_PROCESSING_QUEUE_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "src/txn/transaction.h"
+
+namespace soap::cluster {
+
+/// Priority queue of pending transactions. Owns the transactions while
+/// they wait. Not thread-safe (simulator-driven).
+class ProcessingQueue {
+ public:
+  void Push(std::unique_ptr<txn::Transaction> t);
+
+  /// Highest-priority, oldest transaction; nullptr if empty.
+  std::unique_ptr<txn::Transaction> Pop();
+
+  /// Priority of the transaction Pop would return next. Queue must be
+  /// non-empty.
+  txn::TxnPriority PeekPriority() const;
+
+  bool Empty() const { return Size() == 0; }
+  size_t Size() const {
+    return fifos_[0].size() + fifos_[1].size() + fifos_[2].size();
+  }
+  size_t CountByPriority(txn::TxnPriority p) const {
+    return fifos_[static_cast<int>(p)].size();
+  }
+  /// Pending transactions with priority >= kNormal (the "is any normal
+  /// work waiting" test the idle rule for low-priority dispatch needs).
+  size_t NormalOrHigherCount() const {
+    return fifos_[1].size() + fifos_[2].size();
+  }
+
+  /// Removes a queued transaction by id (the repartitioner "manipulates
+  /// the processing queue", §2.2 — e.g. to promote a low-priority
+  /// repartition transaction). Returns nullptr if not queued.
+  std::unique_ptr<txn::Transaction> Extract(txn::TxnId id);
+
+  uint64_t max_size_seen() const { return max_size_seen_; }
+
+ private:
+  // Index = static_cast<int>(TxnPriority): 0 low, 1 normal, 2 high.
+  std::deque<std::unique_ptr<txn::Transaction>> fifos_[3];
+  uint64_t max_size_seen_ = 0;
+};
+
+}  // namespace soap::cluster
+
+#endif  // SOAP_CLUSTER_PROCESSING_QUEUE_H_

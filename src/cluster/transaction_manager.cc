@@ -1,0 +1,686 @@
+#include "src/cluster/transaction_manager.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+#include "src/common/logging.h"
+
+namespace soap::cluster {
+
+using txn::AbortReason;
+using txn::OpKind;
+using txn::Operation;
+using txn::Transaction;
+using txn::TxnPriority;
+using txn::TxnState;
+
+/// Per-transaction execution context. Kept alive by the callbacks that
+/// reference it; destroyed after completion.
+struct TransactionManager::Exec {
+  std::unique_ptr<Transaction> txn;
+  size_t op_index = 0;
+  uint32_t coordinator = 0;
+  /// Distinct partitions touched so far (2PC participant set).
+  std::vector<uint32_t> participants;
+  /// Tuples captured at migrate/replicate execution time, inserted at the
+  /// destination during phase 2.
+  std::unordered_map<storage::TupleKey, storage::Tuple> staged;
+  /// Repartition operation ids found stale at execution (already applied
+  /// by someone else); all their ops are skipped.
+  std::unordered_set<uint64_t> skipped_rep_ops;
+  /// Sorted unique keys this transaction locks exclusively: its buffered
+  /// writes plus (for piggyback carriers) the piggybacked repartition
+  /// keys. Acquired as one sorted chain — at the piggyback boundary for
+  /// carriers, at commit for plain transactions — so every transaction in
+  /// the system follows one global lock order and deadlocks cannot form.
+  std::vector<storage::TupleKey> commit_lock_keys;
+  size_t commit_lock_index = 0;
+  bool lock_set_built = false;
+  sim::EventId timeout_event = sim::kInvalidEventId;
+  bool done = false;
+
+  void AddParticipant(uint32_t p) {
+    if (std::find(participants.begin(), participants.end(), p) ==
+        participants.end()) {
+      participants.push_back(p);
+    }
+  }
+};
+
+TransactionManager::TransactionManager(Cluster* cluster)
+    : cluster_(cluster), sim_(cluster->simulator()) {}
+
+txn::TxnId TransactionManager::Submit(std::unique_ptr<Transaction> t) {
+  assert(t != nullptr);
+  if (t->id == 0) t->id = ids_.Next();
+  if (t->submit_time == 0) t->submit_time = sim_->Now();
+  t->attempt++;
+  if (t->is_repartition) {
+    counters_.submitted_repartition++;
+  } else {
+    counters_.submitted_normal++;
+  }
+  const txn::TxnId id = t->id;
+  queue_.Push(std::move(t));
+  MaybeDispatch();
+  return id;
+}
+
+bool TransactionManager::PromoteQueued(txn::TxnId id,
+                                       TxnPriority priority) {
+  std::unique_ptr<Transaction> t = queue_.Extract(id);
+  if (t == nullptr) return false;
+  t->priority = priority;
+  queue_.Push(std::move(t));
+  MaybeDispatch();
+  return true;
+}
+
+bool TransactionManager::IdleForLowPriority() const {
+  return queue_.NormalOrHigherCount() == 0 &&
+         inflight_normal_or_high_ == 0 &&
+         inflight_low_ < cluster_->config().low_priority_max_inflight;
+}
+
+void TransactionManager::MaybeDispatch() {
+  while (inflight_.size() < cluster_->config().max_inflight &&
+         !queue_.Empty()) {
+    if (queue_.PeekPriority() == TxnPriority::kLow && !IdleForLowPriority()) {
+      break;
+    }
+    std::unique_ptr<Transaction> t = queue_.Pop();
+    // Deadline check (the JTA transaction timeout): normal transactions
+    // that rotted in the queue past their deadline are failed, not run.
+    if (!t->is_repartition &&
+        sim_->Now() - t->submit_time > cluster_->config().costs.txn_timeout) {
+      t->state = TxnState::kAborted;
+      t->abort_reason = AbortReason::kQueueTimeout;
+      t->finish_time = sim_->Now();
+      counters_.aborted_normal++;
+      counters_.aborts_queue_timeout++;
+      if (t->has_piggyback()) counters_.piggyback_carrier_aborts++;
+      if (completion_cb_) completion_cb_(*t);
+      continue;
+    }
+    StartTransaction(std::move(t));
+  }
+}
+
+void TransactionManager::StartTransaction(std::unique_ptr<Transaction> t) {
+  if (pre_execution_hook_ && !t->is_repartition) {
+    pre_execution_hook_(t.get());
+  }
+  auto e = std::make_shared<Exec>();
+  e->txn = std::move(t);
+  Transaction& txn = *e->txn;
+  txn.state = TxnState::kRunning;
+  txn.start_time = sim_->Now();
+  if (txn.priority == TxnPriority::kLow) {
+    inflight_low_++;
+  } else {
+    inflight_normal_or_high_++;
+  }
+  inflight_[txn.id] = e;
+
+  // Coordinator: the node of the first operation (router's choice for
+  // normal queries, the plan's source partition for repartition ops).
+  if (!txn.ops.empty() || !txn.piggyback_ops.empty()) {
+    const Operation& first =
+        txn.ops.empty() ? txn.piggyback_ops.front() : txn.ops.front();
+    if (first.kind == OpKind::kRead || first.kind == OpKind::kWrite) {
+      Result<router::PartitionId> primary =
+          cluster_->routing_table().GetPrimary(first.key);
+      e->coordinator = primary.ok() ? *primary : 0;
+    } else {
+      e->coordinator = first.source_partition;
+    }
+  }
+
+  cluster_->node(e->coordinator)
+      .RunJob(cluster_->config().costs.begin, OverheadCategory(e),
+              JobClass::kBulk, [this, e]() { ExecuteNextOp(e); });
+}
+
+size_t TransactionManager::TotalOps(const ExecPtr& e) const {
+  return e->txn->ops.size() + e->txn->piggyback_ops.size();
+}
+
+Operation& TransactionManager::OpAt(const ExecPtr& e, size_t index) {
+  Transaction& txn = *e->txn;
+  if (index < txn.ops.size()) return txn.ops[index];
+  return txn.piggyback_ops[index - txn.ops.size()];
+}
+
+WorkCategory TransactionManager::CategoryFor(const ExecPtr& e,
+                                             const Operation& op) const {
+  if (e->txn->is_repartition || txn::IsRepartitionOp(op.kind)) {
+    return WorkCategory::kRepartition;
+  }
+  return WorkCategory::kNormal;
+}
+
+WorkCategory TransactionManager::OverheadCategory(const ExecPtr& e) const {
+  return e->txn->is_repartition ? WorkCategory::kRepartition
+                                : WorkCategory::kNormal;
+}
+
+void TransactionManager::ExecuteNextOp(const ExecPtr& e) {
+  if (e->done) return;
+  if (e->op_index >= TotalOps(e)) {
+    AcquireCommitLocks(e);
+    return;
+  }
+  // Piggyback boundary: before the injected repartition operations run,
+  // take the whole exclusive lock set (piggyback keys + the carrier's own
+  // write set) in sorted order. Migrated keys are usually also written
+  // keys; locking them in op order here and commit order in siblings
+  // would deadlock.
+  if (!e->lock_set_built && e->op_index >= e->txn->ops.size()) {
+    BuildLockSet(e);
+    AcquireLockChain(e, [this, e]() { ExecuteNextOp(e); });
+    return;
+  }
+  Operation& op = OpAt(e, e->op_index);
+  const size_t index = e->op_index;
+  if (op.kind == OpKind::kRead) {
+    // Read committed: MVCC, lock-free. Serializable: shared lock at
+    // execution, held to commit (strict 2PL).
+    if (cluster_->config().isolation == IsolationLevel::kSerializable) {
+      AcquireLock(e, op.key, txn::LockMode::kShared,
+                  [this, e, index]() { RunOp(e, index); });
+    } else {
+      RunOp(e, index);
+    }
+  } else if (op.kind == OpKind::kWrite) {
+    // Writes are buffered and take their exclusive locks at commit time.
+    RunOp(e, index);
+  } else {
+    // Repartition primitives lock at execution: the tuple must not change
+    // while it is being copied between partitions. For carriers the
+    // boundary chain above already holds these; for pure repartition
+    // transactions ops are emitted in sorted key order.
+    AcquireLock(e, op.key, txn::LockMode::kExclusive,
+                [this, e, index]() { RunOp(e, index); });
+  }
+}
+
+void TransactionManager::BuildLockSet(const ExecPtr& e) {
+  assert(!e->lock_set_built);
+  e->lock_set_built = true;
+  for (const Operation& op : e->txn->ops) {
+    if (op.kind == OpKind::kWrite) e->commit_lock_keys.push_back(op.key);
+  }
+  for (const Operation& op : e->txn->piggyback_ops) {
+    e->commit_lock_keys.push_back(op.key);
+  }
+  std::sort(e->commit_lock_keys.begin(), e->commit_lock_keys.end());
+  e->commit_lock_keys.erase(
+      std::unique(e->commit_lock_keys.begin(), e->commit_lock_keys.end()),
+      e->commit_lock_keys.end());
+}
+
+void TransactionManager::AcquireLockChain(const ExecPtr& e,
+                                          std::function<void()> next) {
+  if (e->done) return;
+  if (e->commit_lock_index >= e->commit_lock_keys.size()) {
+    next();
+    return;
+  }
+  const storage::TupleKey key = e->commit_lock_keys[e->commit_lock_index];
+  e->commit_lock_index++;
+  auto shared_next = std::make_shared<std::function<void()>>(std::move(next));
+  AcquireLock(e, key, txn::LockMode::kExclusive, [this, e, shared_next]() {
+    AcquireLockChain(e, *shared_next);
+  });
+}
+
+void TransactionManager::AcquireLock(const ExecPtr& e,
+                                     storage::TupleKey key,
+                                     txn::LockMode mode,
+                                     std::function<void()> next) {
+  const txn::TxnId id = e->txn->id;
+  auto shared_next = std::make_shared<std::function<void()>>(std::move(next));
+  auto outcome = cluster_->lock_manager().Acquire(
+      id, key, mode, [this, e, shared_next]() {
+        // Granted later: cancel the timeout and proceed.
+        if (e->done) return;
+        if (e->timeout_event != sim::kInvalidEventId) {
+          sim_->Cancel(e->timeout_event);
+          e->timeout_event = sim::kInvalidEventId;
+        }
+        (*shared_next)();
+      });
+  switch (outcome) {
+    case txn::AcquireOutcome::kGranted:
+      (*shared_next)();
+      break;
+    case txn::AcquireOutcome::kQueued:
+      e->timeout_event = sim_->After(
+          cluster_->config().costs.lock_timeout, [this, e]() {
+            e->timeout_event = sim::kInvalidEventId;
+            if (e->done) return;
+            // The grant may have raced this event at the same timestamp.
+            if (!cluster_->lock_manager().CancelWait(e->txn->id)) return;
+            AbortTransaction(e, AbortReason::kLockTimeout);
+          });
+      break;
+    case txn::AcquireOutcome::kDeadlock:
+      AbortTransaction(e, AbortReason::kDeadlock);
+      break;
+  }
+}
+
+void TransactionManager::AcquireCommitLocks(const ExecPtr& e) {
+  if (e->done) return;
+  if (!e->lock_set_built) BuildLockSet(e);
+  AcquireLockChain(e, [this, e]() { BeginCommit(e); });
+}
+
+void TransactionManager::RunOp(const ExecPtr& e, size_t op_index) {
+  if (e->done) return;
+  Operation& op = OpAt(e, op_index);
+  const ExecutionCosts& costs = cluster_->config().costs;
+  router::RoutingTable& routing = cluster_->routing_table();
+  auto advance = [this, e]() {
+    e->op_index++;
+    ExecuteNextOp(e);
+  };
+
+  switch (op.kind) {
+    case OpKind::kRead: {
+      Result<router::PartitionId> primary = cluster_->router().RouteRead(op.key);
+      const uint32_t p = primary.ok() ? *primary : e->coordinator;
+      op.source_partition = p;
+      e->AddParticipant(p);
+      cluster_->node(p).RunJob(costs.read_query, CategoryFor(e, op),
+                               JobClass::kBulk, advance);
+      return;
+    }
+    case OpKind::kWrite: {
+      Result<router::PartitionId> primary =
+          cluster_->router().RouteWrite(op.key);
+      const uint32_t p = primary.ok() ? *primary : e->coordinator;
+      op.source_partition = p;
+      e->AddParticipant(p);
+      cluster_->node(p).RunJob(costs.write_query, CategoryFor(e, op),
+                               JobClass::kBulk, advance);
+      return;
+    }
+    case OpKind::kMigrateInsert: {
+      // Stale-plan guard: if the tuple already moved (another transaction
+      // applied this plan unit), skip the whole repartition operation.
+      // A degenerate self-migration (source == target, which no sane plan
+      // emits) is likewise a no-op — applying it would erase the tuple's
+      // only copy at commit.
+      Result<router::PartitionId> primary = routing.GetPrimary(op.key);
+      if (!primary.ok() || *primary != op.source_partition ||
+          op.source_partition == op.target_partition) {
+        e->skipped_rep_ops.insert(op.repartition_op_id);
+        advance();
+        return;
+      }
+      Result<storage::Tuple> tuple =
+          cluster_->storage(op.source_partition).Read(op.key);
+      if (!tuple.ok()) {
+        e->skipped_rep_ops.insert(op.repartition_op_id);
+        advance();
+        return;
+      }
+      e->staged[op.key] = *tuple;
+      e->AddParticipant(op.source_partition);
+      e->AddParticipant(op.target_partition);
+      const uint32_t src = op.source_partition;
+      const uint32_t dst = op.target_partition;
+      const WorkCategory cat = CategoryFor(e, op);
+      const Duration service = costs.migrate_insert;
+      cluster_->network().Send(
+          src, dst, storage::Tuple::kWireSize, [this, e, dst, cat, service,
+                                                advance]() {
+            if (e->done) return;
+            cluster_->node(dst).RunJob(service, cat, JobClass::kBulk, advance);
+          });
+      return;
+    }
+    case OpKind::kMigrateDelete: {
+      if (e->skipped_rep_ops.count(op.repartition_op_id) > 0) {
+        advance();
+        return;
+      }
+      e->AddParticipant(op.source_partition);
+      cluster_->node(op.source_partition)
+          .RunJob(costs.migrate_delete, CategoryFor(e, op),
+                  JobClass::kBulk, advance);
+      return;
+    }
+    case OpKind::kReplicaCreate: {
+      Result<router::Placement> placement = routing.GetPlacement(op.key);
+      if (!placement.ok() || placement->HasReplicaOn(op.target_partition)) {
+        e->skipped_rep_ops.insert(op.repartition_op_id);
+        advance();
+        return;
+      }
+      Result<storage::Tuple> tuple =
+          cluster_->storage(placement->primary).Read(op.key);
+      if (!tuple.ok()) {
+        e->skipped_rep_ops.insert(op.repartition_op_id);
+        advance();
+        return;
+      }
+      op.source_partition = placement->primary;
+      e->staged[op.key] = *tuple;
+      e->AddParticipant(op.source_partition);
+      e->AddParticipant(op.target_partition);
+      const uint32_t dst = op.target_partition;
+      const WorkCategory cat = CategoryFor(e, op);
+      cluster_->network().Send(
+          op.source_partition, dst, storage::Tuple::kWireSize,
+          [this, e, dst, cat, advance]() {
+            if (e->done) return;
+            cluster_->node(dst).RunJob(
+                cluster_->config().costs.replica_create, cat,
+                JobClass::kBulk, advance);
+          });
+      return;
+    }
+    case OpKind::kReplicaDelete: {
+      Result<router::Placement> placement = routing.GetPlacement(op.key);
+      if (!placement.ok() ||
+          placement->primary == op.source_partition ||
+          !placement->HasReplicaOn(op.source_partition)) {
+        e->skipped_rep_ops.insert(op.repartition_op_id);
+        advance();
+        return;
+      }
+      e->AddParticipant(op.source_partition);
+      cluster_->node(op.source_partition)
+          .RunJob(costs.replica_delete, CategoryFor(e, op),
+                  JobClass::kBulk, advance);
+      return;
+    }
+  }
+}
+
+void TransactionManager::BeginCommit(const ExecPtr& e) {
+  Transaction& txn = *e->txn;
+  const ExecutionCosts& costs = cluster_->config().costs;
+
+  // The write set is exclusively locked from here until release, so no
+  // migration can move these tuples anymore — but one may have moved them
+  // between query execution and now. Re-resolve each write's partition so
+  // the commit applies at the tuple's current home (and joins it to the
+  // participant set).
+  for (Operation& op : txn.ops) {
+    if (op.kind != OpKind::kWrite) continue;
+    Result<router::PartitionId> primary =
+        cluster_->routing_table().GetPrimary(op.key);
+    if (primary.ok() && *primary != op.source_partition) {
+      op.source_partition = *primary;
+      e->AddParticipant(*primary);
+    }
+  }
+
+  if (e->participants.size() <= 1) {
+    // Collocated: one-phase local commit on the coordinator.
+    txn.state = TxnState::kCommitting;
+    const uint32_t p =
+        e->participants.empty() ? e->coordinator : e->participants[0];
+    cluster_->node(p).RunJob(costs.local_commit, OverheadCategory(e),
+                             JobClass::kUrgent, [this, e, p]() {
+                               Status s = ApplyAtPartition(e, p);
+                               if (!s.ok()) {
+                                 SOAP_LOG(kWarn)
+                                     << "apply anomaly: " << s.ToString();
+                               }
+                               FinishCommit(e);
+                             });
+    return;
+  }
+
+  // Distributed: full 2PC across every touched partition.
+  txn.state = TxnState::kPreparing;
+  std::vector<txn::TpcParticipant> participants;
+  participants.reserve(e->participants.size());
+  for (uint32_t p : e->participants) {
+    txn::TpcParticipant tp;
+    tp.node = p;
+    tp.prepare = [this, e, p](std::function<void(bool)> vote) {
+      const bool veto =
+          vote_abort_injector_ && vote_abort_injector_(*e->txn, p);
+      cluster_->node(p).RunJob(cluster_->config().costs.prepare,
+                               OverheadCategory(e), JobClass::kUrgent,
+                               [vote = std::move(vote), veto]() {
+                                 vote(!veto);
+                               });
+    };
+    tp.commit = [this, e, p](std::function<void()> ack) {
+      cluster_->node(p).RunJob(cluster_->config().costs.commit_apply,
+                               OverheadCategory(e), JobClass::kUrgent,
+                               [this, e, p, ack = std::move(ack)]() {
+                                 Status s = ApplyAtPartition(e, p);
+                                 if (!s.ok()) {
+                                   SOAP_LOG(kWarn) << "apply anomaly: "
+                                                   << s.ToString();
+                                 }
+                                 ack();
+                               });
+    };
+    tp.abort = [this, e, p](std::function<void()> ack) {
+      cluster_->node(p).RunJob(cluster_->config().costs.abort_cleanup,
+                               OverheadCategory(e), JobClass::kUrgent,
+                               std::move(ack));
+    };
+    participants.push_back(std::move(tp));
+  }
+  cluster_->tpc().Run(txn.id, e->coordinator, std::move(participants),
+                      [this, e](bool committed) {
+                        if (committed) {
+                          e->txn->state = TxnState::kCommitting;
+                          FinishCommit(e);
+                        } else {
+                          AbortTransaction(e, AbortReason::kVoteAbort);
+                        }
+                      });
+}
+
+Status TransactionManager::ApplyAtPartition(const ExecPtr& e,
+                                            uint32_t partition) {
+  Transaction& txn = *e->txn;
+  Status first_error = Status::OK();
+  auto note = [&first_error](Status s) {
+    if (!s.ok() && first_error.ok()) first_error = std::move(s);
+  };
+  const size_t total = TotalOps(e);
+  for (size_t i = 0; i < total; ++i) {
+    Operation& op = OpAt(e, i);
+    if (op.repartition_op_id != 0 &&
+        e->skipped_rep_ops.count(op.repartition_op_id) > 0) {
+      continue;
+    }
+    switch (op.kind) {
+      case OpKind::kRead:
+        break;
+      case OpKind::kWrite:
+        if (op.source_partition == partition) {
+          Status s = cluster_->storage(partition)
+                         .ApplyUpdate(txn.id, op.key, op.write_value);
+          // Updating a vanished row affects 0 rows; not an anomaly.
+          if (!s.ok() && !s.IsNotFound()) note(std::move(s));
+        }
+        break;
+      case OpKind::kMigrateInsert:
+      case OpKind::kReplicaCreate:
+        if (op.target_partition == partition) {
+          auto staged = e->staged.find(op.key);
+          if (staged == e->staged.end()) {
+            note(Status::Internal("no staged tuple for key " +
+                                  std::to_string(op.key)));
+            break;
+          }
+          note(cluster_->storage(partition)
+                   .ApplyInsert(txn.id, staged->second));
+        }
+        break;
+      case OpKind::kMigrateDelete:
+      case OpKind::kReplicaDelete:
+        // Deferred to ApplyRoutingUpdates so the tuple stays reachable
+        // until the routing flip (Zephyr-style late source cleanup).
+        break;
+    }
+  }
+  return first_error;
+}
+
+void TransactionManager::ApplyRoutingUpdates(const ExecPtr& e) {
+  Transaction& txn = *e->txn;
+  router::RoutingTable& routing = cluster_->routing_table();
+  const size_t total = TotalOps(e);
+  for (size_t i = 0; i < total; ++i) {
+    Operation& op = OpAt(e, i);
+    if (op.repartition_op_id != 0 &&
+        e->skipped_rep_ops.count(op.repartition_op_id) > 0) {
+      continue;
+    }
+    switch (op.kind) {
+      case OpKind::kRead:
+        break;
+      case OpKind::kWrite: {
+        // Write-through to any HA replicas so copies stay identical.
+        Result<router::Placement> placement = routing.GetPlacement(op.key);
+        if (placement.ok() && !placement->replicas.empty()) {
+          for (router::PartitionId rep : placement->replicas) {
+            Status s = cluster_->storage(rep).ApplyUpdate(txn.id, op.key,
+                                                          op.write_value);
+            (void)s;  // replica divergence is surfaced by CheckConsistency
+          }
+        }
+        break;
+      }
+      case OpKind::kMigrateInsert: {
+        Status s =
+            routing.Migrate(op.key, op.source_partition,
+                            op.target_partition);
+        if (!s.ok()) {
+          SOAP_LOG(kWarn) << "routing flip failed: " << s.ToString();
+        }
+        break;
+      }
+      case OpKind::kMigrateDelete: {
+        Status s = cluster_->storage(op.source_partition)
+                       .ApplyErase(txn.id, op.key);
+        if (!s.ok()) {
+          SOAP_LOG(kWarn) << "migration source cleanup failed: "
+                          << s.ToString();
+        }
+        break;
+      }
+      case OpKind::kReplicaCreate: {
+        Status s = routing.AddReplica(op.key, op.target_partition);
+        if (!s.ok()) {
+          SOAP_LOG(kWarn) << "replica registration failed: " << s.ToString();
+        }
+        break;
+      }
+      case OpKind::kReplicaDelete: {
+        Status s = routing.RemoveReplica(op.key, op.source_partition);
+        if (s.ok()) {
+          s = cluster_->storage(op.source_partition)
+                  .ApplyErase(txn.id, op.key);
+        }
+        if (!s.ok()) {
+          SOAP_LOG(kWarn) << "replica removal failed: " << s.ToString();
+        }
+        break;
+      }
+    }
+  }
+}
+
+void TransactionManager::FinishCommit(const ExecPtr& e) {
+  Transaction& txn = *e->txn;
+  ApplyRoutingUpdates(e);
+
+  // Count applied repartition operations (distinct plan units).
+  std::unordered_set<uint64_t> applied_main;
+  for (const Operation& op : txn.ops) {
+    if (op.repartition_op_id != 0 &&
+        e->skipped_rep_ops.count(op.repartition_op_id) == 0) {
+      applied_main.insert(op.repartition_op_id);
+    }
+  }
+  std::unordered_set<uint64_t> applied_piggyback;
+  for (const Operation& op : txn.piggyback_ops) {
+    if (op.repartition_op_id != 0 &&
+        e->skipped_rep_ops.count(op.repartition_op_id) == 0) {
+      applied_piggyback.insert(op.repartition_op_id);
+    }
+  }
+  counters_.repartition_ops_applied +=
+      applied_main.size() + applied_piggyback.size();
+  counters_.piggybacked_ops_applied += applied_piggyback.size();
+
+  cluster_->lock_manager().ReleaseAll(txn.id);
+  txn.state = TxnState::kCommitted;
+  txn.finish_time = sim_->Now();
+  if (txn.is_repartition) {
+    counters_.committed_repartition++;
+  } else {
+    counters_.committed_normal++;
+  }
+  CompleteTransaction(e);
+}
+
+void TransactionManager::AbortTransaction(const ExecPtr& e,
+                                          AbortReason reason) {
+  Transaction& txn = *e->txn;
+  if (e->timeout_event != sim::kInvalidEventId) {
+    sim_->Cancel(e->timeout_event);
+    e->timeout_event = sim::kInvalidEventId;
+  }
+  cluster_->lock_manager().ReleaseAll(txn.id);
+  txn.state = TxnState::kAborted;
+  txn.abort_reason = reason;
+  txn.finish_time = sim_->Now();
+  if (txn.is_repartition) {
+    counters_.aborted_repartition++;
+  } else {
+    counters_.aborted_normal++;
+    if (txn.has_piggyback()) counters_.piggyback_carrier_aborts++;
+  }
+  switch (reason) {
+    case AbortReason::kDeadlock:
+      counters_.aborts_deadlock++;
+      break;
+    case AbortReason::kLockTimeout:
+      counters_.aborts_lock_timeout++;
+      break;
+    case AbortReason::kQueueTimeout:
+      counters_.aborts_queue_timeout++;
+      break;
+    case AbortReason::kVoteAbort:
+    case AbortReason::kInjected:
+      counters_.aborts_vote++;
+      break;
+    case AbortReason::kNone:
+      break;
+  }
+  CompleteTransaction(e);
+}
+
+void TransactionManager::CompleteTransaction(const ExecPtr& e) {
+  assert(!e->done);
+  e->done = true;
+  Transaction& txn = *e->txn;
+  if (txn.priority == TxnPriority::kLow) {
+    assert(inflight_low_ > 0);
+    inflight_low_--;
+  } else {
+    assert(inflight_normal_or_high_ > 0);
+    inflight_normal_or_high_--;
+  }
+  inflight_.erase(txn.id);
+  if (completion_cb_) completion_cb_(txn);
+  MaybeDispatch();
+}
+
+}  // namespace soap::cluster

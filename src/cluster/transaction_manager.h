@@ -1,0 +1,152 @@
+// Transaction manager (§2.1): admits transactions from the processing
+// queue, drives their execution as a per-transaction state machine over the
+// simulator (routing -> locking -> per-query node work -> 2PC), and reports
+// completions. Repartition side effects (storage moves + routing updates)
+// are applied atomically with the owning transaction's commit.
+
+#ifndef SOAP_CLUSTER_TRANSACTION_MANAGER_H_
+#define SOAP_CLUSTER_TRANSACTION_MANAGER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/cluster/processing_queue.h"
+#include "src/storage/tuple.h"
+#include "src/txn/transaction.h"
+
+namespace soap::cluster {
+
+/// Cumulative counters the experiment engine diffs per interval.
+struct TmCounters {
+  uint64_t submitted_normal = 0;
+  uint64_t committed_normal = 0;
+  uint64_t aborted_normal = 0;
+  uint64_t submitted_repartition = 0;
+  uint64_t committed_repartition = 0;
+  uint64_t aborted_repartition = 0;
+  /// Repartition operations (plan units) applied, standalone or
+  /// piggybacked.
+  uint64_t repartition_ops_applied = 0;
+  /// The subset of the above that rode on normal transactions (§3.4).
+  uint64_t piggybacked_ops_applied = 0;
+  /// Aborts of normal transactions that carried piggybacked ops.
+  uint64_t piggyback_carrier_aborts = 0;
+  /// Aborts by reason, all transaction kinds.
+  uint64_t aborts_deadlock = 0;
+  uint64_t aborts_lock_timeout = 0;
+  uint64_t aborts_queue_timeout = 0;
+  uint64_t aborts_vote = 0;
+
+  uint64_t total_submitted() const {
+    return submitted_normal + submitted_repartition;
+  }
+  uint64_t total_aborted() const {
+    return aborted_normal + aborted_repartition;
+  }
+};
+
+class TransactionManager {
+ public:
+  /// Called once per transaction when it reaches kCommitted or kAborted.
+  /// The transaction is destroyed after the callback returns; callbacks
+  /// may re-submit fresh transactions (Algorithm 2's resubmission path).
+  using CompletionCallback = std::function<void(const txn::Transaction&)>;
+
+  explicit TransactionManager(Cluster* cluster);
+
+  /// Enqueues a transaction. Assigns its global id (if unset) and
+  /// submit_time (on first attempt). Returns the id.
+  txn::TxnId Submit(std::unique_ptr<txn::Transaction> t);
+
+  void set_completion_callback(CompletionCallback cb) {
+    completion_cb_ = std::move(cb);
+  }
+
+  /// Changes the priority of a still-queued transaction and requeues it
+  /// (FIFO position resets within the new priority class). Returns false
+  /// if the transaction already left the queue.
+  bool PromoteQueued(txn::TxnId id, txn::TxnPriority priority);
+
+  /// Invoked right before a dequeued transaction starts executing (§2.2:
+  /// "the repartitioner may need to modify the normal transactions by
+  /// inserting additional repartition operations"). The hook may append
+  /// piggyback_ops; it must not change `ops`.
+  using PreExecutionHook = std::function<void(txn::Transaction*)>;
+  void set_pre_execution_hook(PreExecutionHook hook) {
+    pre_execution_hook_ = std::move(hook);
+  }
+
+  /// Test hook: a participant votes abort in 2PC when this returns true.
+  void set_vote_abort_injector(
+      std::function<bool(const txn::Transaction&, uint32_t partition)> fn) {
+    vote_abort_injector_ = std::move(fn);
+  }
+
+  const TmCounters& counters() const { return counters_; }
+  const ProcessingQueue& queue() const { return queue_; }
+  size_t inflight() const { return inflight_.size(); }
+  size_t inflight_normal_or_high() const { return inflight_normal_or_high_; }
+  size_t inflight_low() const { return inflight_low_; }
+
+  /// True when a low-priority transaction would be admitted right now
+  /// (the "system is idle" condition of the AfterAll strategy, §3.2).
+  bool IdleForLowPriority() const;
+
+ private:
+  struct Exec;
+  using ExecPtr = std::shared_ptr<Exec>;
+
+  void MaybeDispatch();
+  void StartTransaction(std::unique_ptr<txn::Transaction> t);
+  void ExecuteNextOp(const ExecPtr& e);
+  void RunOp(const ExecPtr& e, size_t op_index);
+  /// Acquires a lock in the given mode, then runs `next`; handles
+  /// queuing with timeout and deadlock aborts.
+  void AcquireLock(const ExecPtr& e, storage::TupleKey key,
+                   txn::LockMode mode, std::function<void()> next);
+  /// Collects the transaction's exclusive lock set (write keys + any
+  /// piggybacked repartition keys), sorted and deduplicated.
+  void BuildLockSet(const ExecPtr& e);
+  /// Acquires the remaining keys of the lock set in order, then `next`.
+  void AcquireLockChain(const ExecPtr& e, std::function<void()> next);
+  /// Commit-time locking: takes the transaction's lock set in sorted key
+  /// order (one global order across all transactions: deadlock-free),
+  /// then starts the commit protocol. Buffered writes + commit-window
+  /// locks keep read-committed semantics while bounding hold times.
+  void AcquireCommitLocks(const ExecPtr& e);
+  void BeginCommit(const ExecPtr& e);
+  void FinishCommit(const ExecPtr& e);
+  void AbortTransaction(const ExecPtr& e, txn::AbortReason reason);
+  void CompleteTransaction(const ExecPtr& e);
+
+  txn::Operation& OpAt(const ExecPtr& e, size_t index);
+  size_t TotalOps(const ExecPtr& e) const;
+  /// Applies one participant's buffered effects to storage (2PC phase 2).
+  Status ApplyAtPartition(const ExecPtr& e, uint32_t partition);
+  /// Post-commit routing flips + deferred source deletes for migrations.
+  void ApplyRoutingUpdates(const ExecPtr& e);
+  WorkCategory CategoryFor(const ExecPtr& e, const txn::Operation& op) const;
+  WorkCategory OverheadCategory(const ExecPtr& e) const;
+
+  Cluster* cluster_;
+  sim::Simulator* sim_;
+  ProcessingQueue queue_;
+  txn::TxnIdGenerator ids_;
+  TmCounters counters_;
+  CompletionCallback completion_cb_;
+  PreExecutionHook pre_execution_hook_;
+  std::function<bool(const txn::Transaction&, uint32_t)>
+      vote_abort_injector_;
+  std::unordered_map<txn::TxnId, ExecPtr> inflight_;
+  size_t inflight_normal_or_high_ = 0;
+  size_t inflight_low_ = 0;
+  bool dispatch_scheduled_ = false;
+};
+
+}  // namespace soap::cluster
+
+#endif  // SOAP_CLUSTER_TRANSACTION_MANAGER_H_

@@ -1,0 +1,45 @@
+// Minimal command-line flag parsing for the tools: --key=value and
+// --key value forms, typed getters with defaults, unknown-flag detection.
+
+#ifndef SOAP_COMMON_FLAGS_H_
+#define SOAP_COMMON_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+
+namespace soap {
+
+class Flags {
+ public:
+  /// Parses argv. Flags look like --name=value or --name value; a flag
+  /// without a value is boolean true. Non-flag arguments become
+  /// positional. Fails on malformed input (e.g. "--" alone or "--=x").
+  static Result<Flags> Parse(int argc, const char* const* argv);
+
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+
+  std::string GetString(const std::string& name,
+                        const std::string& fallback = "") const;
+  int64_t GetInt(const std::string& name, int64_t fallback = 0) const;
+  double GetDouble(const std::string& name, double fallback = 0.0) const;
+  bool GetBool(const std::string& name, bool fallback = false) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Names of flags that were parsed but never read through a getter —
+  /// for catching typos after configuration is consumed.
+  std::vector<std::string> UnconsumedFlags() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> consumed_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace soap
+
+#endif  // SOAP_COMMON_FLAGS_H_

@@ -1,0 +1,90 @@
+#include "src/common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <sstream>
+
+namespace soap {
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
+
+size_t Histogram::BucketFor(uint64_t value) {
+  if (value <= 1) return 0;
+  return static_cast<size_t>(64 - std::countl_zero(value - 1));
+}
+
+uint64_t Histogram::BucketLowerBound(size_t bucket) {
+  if (bucket == 0) return 0;
+  return (1ULL << (bucket - 1)) + 1;
+}
+
+uint64_t Histogram::BucketUpperBound(size_t bucket) {
+  if (bucket == 0) return 1;
+  if (bucket >= 64) return UINT64_MAX;
+  return 1ULL << bucket;
+}
+
+void Histogram::Record(uint64_t value) {
+  const size_t b = BucketFor(value);
+  assert(b < buckets_.size());
+  buckets_[b]++;
+  if (count_ == 0 || value < min_) min_ = value;
+  if (value > max_) max_ = value;
+  count_++;
+  sum_ += static_cast<double>(value);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  if (other.count_ > 0) {
+    if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void Histogram::Clear() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  min_ = 0;
+  max_ = 0;
+  sum_ = 0.0;
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double target = p / 100.0 * static_cast<double>(count_);
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    if (buckets_[b] == 0) continue;
+    const uint64_t next = cumulative + buckets_[b];
+    if (static_cast<double>(next) >= target) {
+      const double lo = static_cast<double>(
+          std::max(BucketLowerBound(b), min_));
+      const double hi = static_cast<double>(std::min(BucketUpperBound(b),
+                                                     max_));
+      const double frac =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(buckets_[b]);
+      return lo + frac * (hi - lo);
+    }
+    cumulative = next;
+  }
+  return static_cast<double>(max_);
+}
+
+std::string Histogram::ToString() const {
+  std::ostringstream os;
+  os << "count=" << count_ << " mean=" << Mean() << " p50=" << Percentile(50)
+     << " p99=" << Percentile(99) << " max=" << max_;
+  return os.str();
+}
+
+}  // namespace soap

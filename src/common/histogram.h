@@ -1,0 +1,59 @@
+// Latency histogram with exponential buckets, in the spirit of RocksDB's
+// HistogramImpl: O(1) record, approximate quantiles, mergeable.
+
+#ifndef SOAP_COMMON_HISTOGRAM_H_
+#define SOAP_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace soap {
+
+/// Records non-negative integer samples (e.g. latencies in microseconds)
+/// into exponentially sized buckets and answers count / mean / min / max /
+/// percentile queries. Not thread-safe; each worker keeps its own and
+/// merges.
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(uint64_t value);
+  void Merge(const Histogram& other);
+  void Clear();
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double sum() const { return sum_; }
+  double Mean() const;
+
+  /// Approximate p-quantile (p in [0, 100]); linear interpolation within
+  /// the containing bucket.
+  double Percentile(double p) const;
+
+  double Median() const { return Percentile(50.0); }
+
+  /// One-line summary: "count=... mean=... p50=... p99=... max=...".
+  std::string ToString() const;
+
+  /// Number of buckets (for tests).
+  static constexpr size_t kNumBuckets = 64 + 1;
+
+ private:
+  /// Bucket index for a value: bucket b covers [2^(b-1), 2^b) with bucket 0
+  /// holding value 0 and 1.
+  static size_t BucketFor(uint64_t value);
+  static uint64_t BucketLowerBound(size_t bucket);
+  static uint64_t BucketUpperBound(size_t bucket);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t min_ = 0;
+  uint64_t max_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace soap
+
+#endif  // SOAP_COMMON_HISTOGRAM_H_

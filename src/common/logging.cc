@@ -1,0 +1,56 @@
+#include "src/common/logging.h"
+
+#include <cstdio>
+#include <mutex>
+
+namespace soap {
+
+namespace {
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+std::mutex& SinkMutex() {
+  static std::mutex mu;
+  return mu;
+}
+}  // namespace
+
+Logger& Logger::Instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::Write(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> guard(SinkMutex());
+  std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << base << ":" << line << " ";
+}
+
+LogMessage::~LogMessage() {
+  Logger::Instance().Write(level_, stream_.str());
+}
+
+}  // namespace internal
+
+}  // namespace soap

@@ -1,0 +1,61 @@
+// Minimal leveled logger. Logging is off by default in benches/tests (level
+// kWarn) and can be raised for debugging a simulation run.
+
+#ifndef SOAP_COMMON_LOGGING_H_
+#define SOAP_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace soap {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide log sink writing to stderr. Thread-safe.
+class Logger {
+ public:
+  static Logger& Instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  bool Enabled(LogLevel level) const {
+    return static_cast<int>(level) >= static_cast<int>(level_);
+  }
+
+  void Write(LogLevel level, const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+};
+
+namespace internal {
+
+/// Collects one log line and flushes it to the Logger on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define SOAP_LOG(level)                                              \
+  if (!::soap::Logger::Instance().Enabled(::soap::LogLevel::level)) \
+    ;                                                                \
+  else                                                               \
+    ::soap::internal::LogMessage(::soap::LogLevel::level, __FILE__, __LINE__)
+
+}  // namespace soap
+
+#endif  // SOAP_COMMON_LOGGING_H_

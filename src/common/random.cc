@@ -1,0 +1,185 @@
+#include "src/common/random.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace soap {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextUint64(uint64_t n) {
+  assert(n > 0);
+  // Lemire's nearly-divisionless bounded sampling.
+  uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < n) {
+    uint64_t t = -n % n;
+    while (l < t) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  NextUint64(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBernoulli(double p) { return NextDouble() < p; }
+
+int64_t Rng::NextPoisson(double mean) {
+  assert(mean >= 0.0);
+  if (mean == 0.0) return 0;
+  if (mean < 500.0) {
+    // Knuth: multiply uniforms until the product drops below e^-mean.
+    const double limit = std::exp(-mean);
+    double prod = 1.0;
+    int64_t k = 0;
+    do {
+      ++k;
+      prod *= NextDouble();
+    } while (prod > limit);
+    return k - 1;
+  }
+  // Normal approximation with continuity correction.
+  double draw = mean + std::sqrt(mean) * NextGaussian() + 0.5;
+  return draw < 0.0 ? 0 : static_cast<int64_t>(draw);
+}
+
+double Rng::NextExponential(double mean) {
+  double u;
+  do {
+    u = NextDouble();
+  } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+double Rng::NextGaussian() {
+  double u1;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 0.0);
+  const double u2 = NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+std::vector<uint32_t> Rng::Permutation(uint32_t n) {
+  std::vector<uint32_t> perm(n);
+  for (uint32_t i = 0; i < n; ++i) perm[i] = i;
+  for (uint32_t i = n; i > 1; --i) {
+    uint32_t j = static_cast<uint32_t>(NextUint64(i));
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+// ---------------------------------------------------------------------------
+// ZipfSampler (Hörmann & Derflinger rejection-inversion, 1996), following
+// the formulation used by Apache Commons RNG's
+// RejectionInversionZipfSampler. Ranks are sampled over [1, n] and shifted
+// to [0, n) on return.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Antiderivative H(x) = (x^{1-s} - 1) / (1-s), via expm1 for stability;
+// log(x) when s == 1.
+double HIntegral(double x, double s) {
+  const double log_x = std::log(x);
+  if (std::abs(1.0 - s) < 1e-12) return log_x;
+  return std::expm1((1.0 - s) * log_x) / (1.0 - s);
+}
+
+// Inverse of HIntegral: (1 + x*(1-s))^{1/(1-s)}, via log1p; exp(x) at s==1.
+double HIntegralInverse(double x, double s) {
+  if (std::abs(1.0 - s) < 1e-12) return std::exp(x);
+  double t = x * (1.0 - s);
+  if (t < -1.0) t = -1.0;  // guard against rounding below the pole
+  return std::exp(std::log1p(t) / (1.0 - s));
+}
+
+// The density h(x) = x^{-s}.
+double HDensity(double x, double s) {
+  return std::exp(-s * std::log(x));
+}
+
+}  // namespace
+
+ZipfSampler::ZipfSampler(uint64_t n, double s) : n_(n), s_(s) {
+  assert(n > 0);
+  assert(s > 0.0);
+  h_x1_ = HIntegral(1.5, s_) - 1.0;
+  h_n_ = HIntegral(static_cast<double>(n_) + 0.5, s_);
+  threshold_ =
+      2.0 - HIntegralInverse(HIntegral(2.5, s_) - HDensity(2.0, s_), s_);
+}
+
+double ZipfSampler::H(double x) const { return HIntegral(x, s_); }
+
+double ZipfSampler::HInverse(double x) const {
+  return HIntegralInverse(x, s_);
+}
+
+uint64_t ZipfSampler::Sample(Rng& rng) const {
+  while (true) {
+    const double u = h_n_ + rng.NextDouble() * (h_x1_ - h_n_);
+    const double x = HInverse(u);
+    double k = std::floor(x + 0.5);
+    if (k < 1.0) k = 1.0;
+    if (k > static_cast<double>(n_)) k = static_cast<double>(n_);
+    if (k - x <= threshold_ || u >= H(k + 0.5) - HDensity(k, s_)) {
+      return static_cast<uint64_t>(k) - 1;
+    }
+  }
+}
+
+double ZipfSampler::Pmf(uint64_t k) const {
+  assert(k < n_);
+  if (normalizer_ == 0.0) {
+    double sum = 0.0;
+    for (uint64_t i = 1; i <= n_; ++i) sum += std::pow(i, -s_);
+    normalizer_ = sum;
+  }
+  return std::pow(static_cast<double>(k + 1), -s_) / normalizer_;
+}
+
+}  // namespace soap

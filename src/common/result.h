@@ -1,0 +1,80 @@
+// Result<T>: a value or a Status, in the style of arrow::Result /
+// absl::StatusOr. Used by APIs that produce a value but can fail.
+
+#ifndef SOAP_COMMON_RESULT_H_
+#define SOAP_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "src/common/status.h"
+
+namespace soap {
+
+/// Holds either a successfully produced T or the Status explaining why no
+/// value could be produced. Accessing the value of an errored Result is a
+/// programming error (asserts in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok() &&
+           "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error status; Status::OK() if this result holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when errored.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its
+/// error status to the caller.
+#define SOAP_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value();
+
+#define SOAP_ASSIGN_OR_RETURN(lhs, expr)                                     \
+  SOAP_ASSIGN_OR_RETURN_IMPL(SOAP_CONCAT_(_soap_result_, __LINE__), lhs, expr)
+
+#define SOAP_CONCAT_INNER_(a, b) a##b
+#define SOAP_CONCAT_(a, b) SOAP_CONCAT_INNER_(a, b)
+
+}  // namespace soap
+
+#endif  // SOAP_COMMON_RESULT_H_

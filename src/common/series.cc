@@ -1,0 +1,172 @@
+#include "src/common/series.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iomanip>
+#include <numeric>
+#include <sstream>
+
+namespace soap {
+
+double Series::Max() const {
+  return values_.empty() ? 0.0
+                         : *std::max_element(values_.begin(), values_.end());
+}
+
+double Series::Min() const {
+  return values_.empty() ? 0.0
+                         : *std::min_element(values_.begin(), values_.end());
+}
+
+double Series::Mean() const {
+  if (values_.empty()) return 0.0;
+  return std::accumulate(values_.begin(), values_.end(), 0.0) /
+         static_cast<double>(values_.size());
+}
+
+double Series::TailMean(size_t n) const {
+  if (values_.empty()) return 0.0;
+  const size_t start = values_.size() > n ? values_.size() - n : 0;
+  double sum = 0.0;
+  for (size_t i = start; i < values_.size(); ++i) sum += values_[i];
+  return sum / static_cast<double>(values_.size() - start);
+}
+
+int Series::FirstIndexAtLeast(double threshold) const {
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (values_[i] >= threshold) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Series& SeriesBundle::Add(const std::string& name) {
+  auto it = index_.find(name);
+  if (it != index_.end()) return series_[it->second];
+  index_[name] = series_.size();
+  series_.emplace_back(name);
+  return series_.back();
+}
+
+Series& SeriesBundle::Insert(const std::string& name, const Series& values) {
+  Series& slot = Add(name);
+  slot = Series(name);
+  for (double v : values.values()) slot.Append(v);
+  return slot;
+}
+
+const Series* SeriesBundle::Find(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? nullptr : &series_[it->second];
+}
+
+std::string SeriesBundle::ToTable(size_t stride) const {
+  if (stride == 0) stride = 1;
+  std::ostringstream os;
+  os << "# " << title_ << "\n";
+  os << std::left << std::setw(10) << "interval";
+  for (const auto& s : series_) os << std::right << std::setw(16) << s.name();
+  os << "\n";
+  size_t rows = 0;
+  for (const auto& s : series_) rows = std::max(rows, s.size());
+  for (size_t i = 0; i < rows; i += stride) {
+    os << std::left << std::setw(10) << i;
+    for (const auto& s : series_) {
+      if (i < s.size()) {
+        os << std::right << std::setw(16) << std::fixed
+           << std::setprecision(3) << s.at(i);
+      } else {
+        os << std::right << std::setw(16) << "-";
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string SeriesBundle::ToAsciiChart(size_t height, bool log_scale) const {
+  if (height < 2) height = 2;
+  size_t cols = 0;
+  double lo = 0.0, hi = 0.0;
+  bool first = true;
+  for (const auto& s : series_) {
+    cols = std::max(cols, s.size());
+    for (double v : s.values()) {
+      if (first) {
+        lo = hi = v;
+        first = false;
+      } else {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+    }
+  }
+  if (cols == 0) return "# " + title_ + " (empty)\n";
+  auto transform = [&](double v) {
+    return log_scale ? std::log10(std::max(v, 1.0)) : v;
+  };
+  const double t_lo = transform(lo);
+  const double t_hi = transform(hi);
+  const double span = t_hi - t_lo;
+
+  std::vector<std::string> grid(height, std::string(cols, ' '));
+  for (size_t i = 0; i < series_.size(); ++i) {
+    const char mark = static_cast<char>('A' + (i % 26));
+    const auto& values = series_[i].values();
+    for (size_t x = 0; x < values.size(); ++x) {
+      double frac =
+          span > 0 ? (transform(values[x]) - t_lo) / span : 0.0;
+      auto row = static_cast<size_t>(frac * static_cast<double>(height - 1) +
+                                     0.5);
+      grid[height - 1 - row][x] = mark;
+    }
+  }
+
+  std::ostringstream os;
+  os << "# " << title_ << (log_scale ? " (log scale)" : "") << "\n";
+  char label[64];
+  for (size_t r = 0; r < height; ++r) {
+    const double frac =
+        static_cast<double>(height - 1 - r) / static_cast<double>(height - 1);
+    double value = log_scale ? std::pow(10.0, t_lo + frac * span)
+                             : lo + frac * span;
+    std::snprintf(label, sizeof(label), "%12.4g |", value);
+    os << label << grid[r] << "\n";
+  }
+  os << std::string(14, ' ') << std::string(cols, '-') << "\n";
+  os << std::string(14, ' ') << "0";
+  if (cols > 8) {
+    os << std::string(cols - 1 - std::to_string(cols - 1).size(), ' ')
+       << (cols - 1);
+  }
+  os << "  (interval)\n# legend:";
+  for (size_t i = 0; i < series_.size(); ++i) {
+    os << " " << static_cast<char>('A' + (i % 26)) << "="
+       << series_[i].name();
+  }
+  os << "\n";
+  return os.str();
+}
+
+Status SeriesBundle::WriteCsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open " + path + " for writing");
+  out << "interval";
+  for (const auto& s : series_) out << "," << s.name();
+  out << "\n";
+  size_t rows = 0;
+  for (const auto& s : series_) rows = std::max(rows, s.size());
+  for (size_t i = 0; i < rows; ++i) {
+    out << i;
+    for (const auto& s : series_) {
+      out << ",";
+      if (i < s.size()) out << s.at(i);
+    }
+    out << "\n";
+  }
+  return out.good() ? Status::OK()
+                    : Status::Internal("short write to " + path);
+}
+
+}  // namespace soap

@@ -1,0 +1,77 @@
+// Named time series used by the experiment engine and the figure benches:
+// one value per 20-second interval, printable as the rows the paper plots
+// and dumpable to CSV for external plotting.
+
+#ifndef SOAP_COMMON_SERIES_H_
+#define SOAP_COMMON_SERIES_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace soap {
+
+/// One per-interval series (e.g. "Hybrid throughput, alpha=100%").
+class Series {
+ public:
+  Series() = default;
+  explicit Series(std::string name) : name_(std::move(name)) {}
+
+  void Append(double value) { values_.push_back(value); }
+
+  const std::string& name() const { return name_; }
+  const std::vector<double>& values() const { return values_; }
+  size_t size() const { return values_.size(); }
+  double at(size_t i) const { return values_.at(i); }
+
+  double Max() const;
+  double Min() const;
+  double Mean() const;
+  /// Mean of the last `n` points (or all, if fewer).
+  double TailMean(size_t n) const;
+  /// First index where the series reaches `threshold` (>=), or -1.
+  int FirstIndexAtLeast(double threshold) const;
+
+ private:
+  std::string name_;
+  std::vector<double> values_;
+};
+
+/// A bundle of series sharing an x axis (interval number), e.g. one figure
+/// panel: five algorithms' throughput curves.
+class SeriesBundle {
+ public:
+  explicit SeriesBundle(std::string title) : title_(std::move(title)) {}
+
+  Series& Add(const std::string& name);
+  /// Copies an existing series in under a (possibly different) name.
+  Series& Insert(const std::string& name, const Series& values);
+  const Series* Find(const std::string& name) const;
+
+  const std::string& title() const { return title_; }
+  const std::vector<Series>& series() const { return series_; }
+
+  /// Renders the bundle as an aligned text table: one row per interval,
+  /// one column per series. `stride` selects every n-th interval to keep
+  /// output readable.
+  std::string ToTable(size_t stride = 1) const;
+
+  /// Writes "interval,<name1>,<name2>,..." CSV to the given path.
+  Status WriteCsv(const std::string& path) const;
+
+  /// Renders the bundle as an ASCII line chart (one letter per series,
+  /// rows = value buckets, columns = intervals) — a terminal rendition of
+  /// the paper's figures. `height` rows; `log_scale` for latency panels.
+  std::string ToAsciiChart(size_t height = 12, bool log_scale = false) const;
+
+ private:
+  std::string title_;
+  std::vector<Series> series_;
+  std::map<std::string, size_t> index_;
+};
+
+}  // namespace soap
+
+#endif  // SOAP_COMMON_SERIES_H_

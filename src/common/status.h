@@ -1,0 +1,115 @@
+// Status: lightweight error signalling without exceptions, in the style of
+// RocksDB/Arrow. Every fallible public API in SOAP returns a Status (or a
+// Result<T>, see result.h) instead of throwing.
+
+#ifndef SOAP_COMMON_STATUS_H_
+#define SOAP_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace soap {
+
+/// Error category carried by a non-OK Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kAborted,          ///< transaction aborted (deadlock, timeout, vote-abort)
+  kTimedOut,         ///< lock or message wait exceeded its deadline
+  kResourceExhausted,///< connection / worker / queue capacity exceeded
+  kFailedPrecondition,
+  kCorruption,       ///< WAL or storage integrity violation
+  kUnavailable,      ///< node or partition not reachable
+  kInternal,
+};
+
+/// Human-readable name of a StatusCode ("Ok", "NotFound", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// Result of an operation: either OK or a code plus message.
+///
+/// The class is cheap to copy for the OK case (no allocation) and cheap to
+/// move always. Use the factory functions (Status::NotFound(...) etc.) to
+/// construct errors.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status TimedOut(std::string msg) {
+    return Status(StatusCode::kTimedOut, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsTimedOut() const { return code_ == StatusCode::kTimedOut; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+
+  /// "Ok" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Propagates a non-OK status to the caller. Mirrors the RocksDB / Arrow
+/// RETURN_NOT_OK idiom.
+#define SOAP_RETURN_NOT_OK(expr)                 \
+  do {                                           \
+    ::soap::Status _soap_status = (expr);        \
+    if (!_soap_status.ok()) return _soap_status; \
+  } while (false)
+
+}  // namespace soap
+
+#endif  // SOAP_COMMON_STATUS_H_

@@ -1,0 +1,37 @@
+// Virtual time types used throughout the simulator. All experiment time is
+// virtual: the discrete-event engine advances a 64-bit microsecond clock, so
+// the paper's 45-minute EC2 runs replay deterministically in seconds.
+
+#ifndef SOAP_COMMON_TIME_H_
+#define SOAP_COMMON_TIME_H_
+
+#include <cstdint>
+
+namespace soap {
+
+/// A point in virtual time, in microseconds since simulation start.
+using SimTime = int64_t;
+
+/// A span of virtual time, in microseconds.
+using Duration = int64_t;
+
+constexpr Duration kMicrosecond = 1;
+constexpr Duration kMillisecond = 1000 * kMicrosecond;
+constexpr Duration kSecond = 1000 * kMillisecond;
+constexpr Duration kMinute = 60 * kSecond;
+
+constexpr Duration Micros(int64_t n) { return n * kMicrosecond; }
+constexpr Duration Millis(int64_t n) { return n * kMillisecond; }
+constexpr Duration Seconds(int64_t n) { return n * kSecond; }
+constexpr Duration Minutes(int64_t n) { return n * kMinute; }
+
+constexpr double ToMillis(Duration d) {
+  return static_cast<double>(d) / kMillisecond;
+}
+constexpr double ToSeconds(Duration d) {
+  return static_cast<double>(d) / kSecond;
+}
+
+}  // namespace soap
+
+#endif  // SOAP_COMMON_TIME_H_

@@ -1,0 +1,44 @@
+#include "src/core/basic_schedulers.h"
+
+namespace soap::core {
+
+namespace {
+
+/// Submits every pending repartition transaction at the given priority,
+/// in benefit-density order.
+void SubmitAllPending(Scheduler* scheduler, RepartitionRegistry* registry,
+                      cluster::TransactionManager* tm,
+                      txn::TxnPriority priority) {
+  (void)scheduler;
+  while (RepartitionTxn* rt = registry->NextPending()) {
+    auto t = RepartitionRegistry::MakeTransaction(*rt, priority);
+    const txn::TxnId id = tm->Submit(std::move(t));
+    registry->MarkSubmitted(rt->rid, id);
+  }
+}
+
+}  // namespace
+
+void ApplyAllScheduler::OnPlanReady() {
+  SubmitAllPending(this, env_.registry, env_.tm, txn::TxnPriority::kHigh);
+}
+
+void ApplyAllScheduler::OnTxnComplete(const txn::Transaction& t) {
+  // Aborted repartition transactions were reverted to pending by the
+  // repartitioner; push them right back at high priority.
+  if (t.is_repartition && t.aborted()) {
+    SubmitAllPending(this, env_.registry, env_.tm, txn::TxnPriority::kHigh);
+  }
+}
+
+void AfterAllScheduler::OnPlanReady() {
+  SubmitAllPending(this, env_.registry, env_.tm, txn::TxnPriority::kLow);
+}
+
+void AfterAllScheduler::OnTxnComplete(const txn::Transaction& t) {
+  if (t.is_repartition && t.aborted()) {
+    SubmitAllPending(this, env_.registry, env_.tm, txn::TxnPriority::kLow);
+  }
+}
+
+}  // namespace soap::core

@@ -1,0 +1,34 @@
+// The two baseline strategies of §3.2.
+//
+// ApplyAll: submit every repartition transaction immediately with a
+// priority higher than the normal transactions — fastest deployment,
+// pauses normal processing.
+//
+// AfterAll: submit everything with a priority lower than the normal
+// transactions — repartitioning only uses idle capacity (the Sword-style
+// lazy strategy), so it can starve under high load.
+
+#ifndef SOAP_CORE_BASIC_SCHEDULERS_H_
+#define SOAP_CORE_BASIC_SCHEDULERS_H_
+
+#include "src/core/scheduler.h"
+
+namespace soap::core {
+
+class ApplyAllScheduler : public Scheduler {
+ public:
+  std::string_view name() const override { return "ApplyAll"; }
+  void OnPlanReady() override;
+  void OnTxnComplete(const txn::Transaction& t) override;
+};
+
+class AfterAllScheduler : public Scheduler {
+ public:
+  std::string_view name() const override { return "AfterAll"; }
+  void OnPlanReady() override;
+  void OnTxnComplete(const txn::Transaction& t) override;
+};
+
+}  // namespace soap::core
+
+#endif  // SOAP_CORE_BASIC_SCHEDULERS_H_

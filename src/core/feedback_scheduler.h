@@ -1,0 +1,76 @@
+// Feedback-based scheduling (§3.3): AfterAll's low-priority stream plus a
+// PID-controlled number of "high-priority" repartition transactions (same
+// priority as normal transactions) per interval. The controller stabilises
+// the ratio of repartition work to normal work at the setpoint; a hard
+// per-interval cap bounds the damage while the controller settles.
+
+#ifndef SOAP_CORE_FEEDBACK_SCHEDULER_H_
+#define SOAP_CORE_FEEDBACK_SCHEDULER_H_
+
+#include <deque>
+#include <utility>
+
+#include "src/core/pid_controller.h"
+#include "src/core/scheduler.h"
+
+namespace soap::core {
+
+struct FeedbackConfig {
+  /// Table 1's SP: target ratio of total (normal + repartition) cost to
+  /// normal cost. The controller's internal setpoint is sp - 1 (the
+  /// repartition/normal work ratio).
+  double sp = 1.05;
+  PidGains gains{1.0, 0.0, 0.0};  ///< the paper's Kp=1, Ki=0, Kd=0
+  /// Hard cap on repartition transactions enforced per interval (§3.3,
+  /// last paragraph).
+  uint32_t max_txns_per_interval = 200;
+  /// How many low-priority (AfterAll-style) repartition transactions are
+  /// kept in the processing queue at any time.
+  uint32_t low_priority_window = 32;
+};
+
+class FeedbackScheduler : public Scheduler {
+ public:
+  explicit FeedbackScheduler(FeedbackConfig config = {});
+
+  std::string_view name() const override { return "Feedback"; }
+  void OnPlanReady() override;
+  void OnIntervalTick(const IntervalStats& stats) override;
+  void OnTxnComplete(const txn::Transaction& t) override;
+
+  const FeedbackConfig& config() const { return config_; }
+  /// Last controller output (repartition/normal work ratio commanded).
+  double last_output() const { return last_output_; }
+  uint64_t promoted_total() const { return promoted_total_; }
+  uint64_t submitted_normal_priority_total() const {
+    return submitted_normal_priority_total_;
+  }
+
+ private:
+  /// Keeps the low-priority window full (oldest entries are the densest).
+  void RefillLowWindow();
+  /// Schedules up to `n` repartition transactions at normal priority:
+  /// first by promoting queued low-priority ones, then by submitting
+  /// fresh pending ones. Returns how many were scheduled.
+  uint32_t ScheduleAtNormalPriority(uint32_t n);
+
+  FeedbackConfig config_;
+  PidController pid_;
+  double avg_rep_cost_ = 1.0;      // microseconds, from the ranked registry
+  double avg_piggyback_op_cost_ = 1.0;  // microseconds per plan unit
+  /// Cost of the standalone transactions scheduled since the last tick.
+  /// The PV is built from *scheduled* work (plus piggybacked applied
+  /// work): with a deep backlog, scheduled transactions execute much
+  /// later, and controlling on executed work would put that queueing
+  /// delay inside the control loop as dead time, destabilising it.
+  double scheduled_work_since_tick_ = 0.0;
+  double last_output_ = 0.0;
+  uint64_t promoted_total_ = 0;
+  uint64_t submitted_normal_priority_total_ = 0;
+  /// (rid, carrier TM id) of transactions sitting at low priority.
+  std::deque<std::pair<uint64_t, txn::TxnId>> low_queue_;
+};
+
+}  // namespace soap::core
+
+#endif  // SOAP_CORE_FEEDBACK_SCHEDULER_H_

@@ -1,0 +1,54 @@
+// Hybrid scheduling (§3.5): the piggyback module plus the feedback module
+// over one shared registry. The feedback controller's PV counts both the
+// standalone repartition transactions and the piggybacked operations (the
+// node-work attribution does this automatically), so when piggybacking
+// covers more of the plan the controller submits fewer transactions, and
+// vice versa.
+
+#ifndef SOAP_CORE_HYBRID_SCHEDULER_H_
+#define SOAP_CORE_HYBRID_SCHEDULER_H_
+
+#include "src/core/feedback_scheduler.h"
+#include "src/core/piggyback_scheduler.h"
+#include "src/core/scheduler.h"
+
+namespace soap::core {
+
+struct HybridConfig {
+  FeedbackConfig feedback;
+  PiggybackConfig piggyback;
+};
+
+class HybridScheduler : public Scheduler {
+ public:
+  explicit HybridScheduler(HybridConfig config = {})
+      : feedback_(config.feedback), piggyback_(config.piggyback) {}
+
+  std::string_view name() const override { return "Hybrid"; }
+
+  void OnPlanReady() override {
+    feedback_.Bind(env_);
+    piggyback_.Bind(env_);
+    feedback_.OnPlanReady();
+  }
+  void OnIntervalTick(const IntervalStats& stats) override {
+    feedback_.OnIntervalTick(stats);
+  }
+  void OnNormalTxnSubmission(txn::Transaction* t) override {
+    piggyback_.OnNormalTxnSubmission(t);
+  }
+  void OnTxnComplete(const txn::Transaction& t) override {
+    feedback_.OnTxnComplete(t);
+  }
+
+  const FeedbackScheduler& feedback() const { return feedback_; }
+  const PiggybackScheduler& piggyback() const { return piggyback_; }
+
+ private:
+  FeedbackScheduler feedback_;
+  PiggybackScheduler piggyback_;
+};
+
+}  // namespace soap::core
+
+#endif  // SOAP_CORE_HYBRID_SCHEDULER_H_

@@ -1,0 +1,46 @@
+#include "src/core/pid_controller.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace soap::core {
+
+void PidController::SetOutputLimits(double lo, double hi) {
+  assert(lo <= hi);
+  out_lo_ = lo;
+  out_hi_ = hi;
+}
+
+double PidController::Update(double error, double dt) {
+  assert(dt > 0.0);
+  const double proposed_integral = integral_ + error * dt;
+  double derivative = 0.0;
+  if (last_error_.has_value()) {
+    derivative = (error - *last_error_) / dt;
+  }
+  last_error_ = error;
+
+  double u = gains_.kp * error + gains_.ki * proposed_integral +
+             gains_.kd * derivative;
+
+  if (out_lo_.has_value() || out_hi_.has_value()) {
+    const double lo = out_lo_.value_or(u);
+    const double hi = out_hi_.value_or(u);
+    const double clamped = std::clamp(u, lo, hi);
+    // Anti-windup: only absorb the integral step while unsaturated, or
+    // when it drives the output back toward the allowed range.
+    if (clamped == u || (u > hi && error < 0.0) || (u < lo && error > 0.0)) {
+      integral_ = proposed_integral;
+    }
+    return clamped;
+  }
+  integral_ = proposed_integral;
+  return u;
+}
+
+void PidController::Reset() {
+  integral_ = 0.0;
+  last_error_.reset();
+}
+
+}  // namespace soap::core

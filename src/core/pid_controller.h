@@ -1,0 +1,63 @@
+// Discrete PID controller (§3.3, eq. 1):
+//   u(t) = Kp e(t) + Ki ∫ e dτ + Kd de/dt
+// with the Ziegler–Nichols [19] tuning rules the paper references. The
+// feedback scheduler samples once per 20-second interval.
+
+#ifndef SOAP_CORE_PID_CONTROLLER_H_
+#define SOAP_CORE_PID_CONTROLLER_H_
+
+#include <optional>
+
+namespace soap::core {
+
+struct PidGains {
+  double kp = 1.0;
+  double ki = 0.0;
+  double kd = 0.0;
+};
+
+/// Ziegler–Nichols closed-loop tuning: given the ultimate gain Ku (the
+/// proportional gain at which the loop oscillates steadily) and the
+/// oscillation period Tu, produce gains for the chosen controller type.
+struct ZieglerNichols {
+  static PidGains P(double ku) { return {0.5 * ku, 0.0, 0.0}; }
+  static PidGains PI(double ku, double tu) {
+    return {0.45 * ku, 0.54 * ku / tu, 0.0};
+  }
+  static PidGains Classic(double ku, double tu) {
+    return {0.6 * ku, 1.2 * ku / tu, 0.075 * ku * tu};
+  }
+};
+
+/// Textbook discrete PID with optional output clamping and anti-windup
+/// (integration pauses while the output saturates).
+class PidController {
+ public:
+  explicit PidController(PidGains gains) : gains_(gains) {}
+
+  void set_gains(PidGains gains) { gains_ = gains; }
+  const PidGains& gains() const { return gains_; }
+
+  /// Clamps the output to [lo, hi] and enables anti-windup.
+  void SetOutputLimits(double lo, double hi);
+
+  /// One control step: `error` = SP - PV, `dt` = seconds since the last
+  /// step. Returns the controller output u.
+  double Update(double error, double dt);
+
+  void Reset();
+
+  double integral() const { return integral_; }
+  double last_error() const { return last_error_.value_or(0.0); }
+
+ private:
+  PidGains gains_;
+  double integral_ = 0.0;
+  std::optional<double> last_error_;
+  std::optional<double> out_lo_;
+  std::optional<double> out_hi_;
+};
+
+}  // namespace soap::core
+
+#endif  // SOAP_CORE_PID_CONTROLLER_H_

@@ -1,0 +1,16 @@
+#include "src/core/piggyback_scheduler.h"
+
+namespace soap::core {
+
+void PiggybackScheduler::OnNormalTxnSubmission(txn::Transaction* t) {
+  if (t->is_repartition || t->has_piggyback()) return;
+  RepartitionTxn* rt =
+      env_.registry->FindPendingByTemplate(t->template_id);
+  if (rt == nullptr) return;
+  if (rt->ops.size() > config_.max_ops_per_carrier) return;
+  RepartitionRegistry::InjectInto(*rt, t);
+  env_.registry->MarkPiggybacked(rt->rid, /*carrier=*/0);
+  ++injections_;
+}
+
+}  // namespace soap::core

@@ -1,0 +1,39 @@
+// Piggyback-based scheduling (§3.4, Algorithm 2): repartition operations
+// ride on incoming normal transactions that access the same objects,
+// sharing their locks and commit — repartition-on-demand. Carriers that
+// abort are resubmitted without the piggybacked operations (lines 13-15)
+// and the repartition transaction returns to the pending pool.
+
+#ifndef SOAP_CORE_PIGGYBACK_SCHEDULER_H_
+#define SOAP_CORE_PIGGYBACK_SCHEDULER_H_
+
+#include "src/core/scheduler.h"
+
+namespace soap::core {
+
+struct PiggybackConfig {
+  /// Maximum repartition operations (plan units) injected into one normal
+  /// transaction (§3.4: limiting unnecessary aborts from overlong
+  /// carriers).
+  uint32_t max_ops_per_carrier = 4;
+};
+
+class PiggybackScheduler : public Scheduler {
+ public:
+  explicit PiggybackScheduler(PiggybackConfig config = {})
+      : config_(config) {}
+
+  std::string_view name() const override { return "Piggyback"; }
+  void OnNormalTxnSubmission(txn::Transaction* t) override;
+
+  const PiggybackConfig& config() const { return config_; }
+  uint64_t injections() const { return injections_; }
+
+ private:
+  PiggybackConfig config_;
+  uint64_t injections_ = 0;
+};
+
+}  // namespace soap::core
+
+#endif  // SOAP_CORE_PIGGYBACK_SCHEDULER_H_

@@ -1,0 +1,174 @@
+#include "src/core/repartition_txn.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace soap::core {
+
+void RepartitionRegistry::Init(std::vector<RepartitionTxn> ranked) {
+  txns_ = std::move(ranked);
+  pending_.clear();
+  by_template_.clear();
+  total_ops_ = 0;
+  done_count_ = 0;
+  for (size_t i = 0; i < txns_.size(); ++i) {
+    RepartitionTxn& rt = txns_[i];
+    rt.rid = i + 1;
+    rt.state = RepartitionTxn::State::kPending;
+    total_ops_ += rt.ops.size();
+    pending_.insert({rt.density, rt.rid});
+    by_template_[rt.beneficiary_template] = rt.rid;
+  }
+}
+
+RepartitionTxn* RepartitionRegistry::Get(uint64_t rid) {
+  if (rid == 0 || rid > txns_.size()) return nullptr;
+  return &txns_[rid - 1];
+}
+
+const RepartitionTxn* RepartitionRegistry::Get(uint64_t rid) const {
+  if (rid == 0 || rid > txns_.size()) return nullptr;
+  return &txns_[rid - 1];
+}
+
+RepartitionTxn* RepartitionRegistry::NextPending() {
+  if (pending_.empty()) return nullptr;
+  return Get(pending_.begin()->rid);
+}
+
+RepartitionTxn* RepartitionRegistry::LastPending() {
+  if (pending_.empty()) return nullptr;
+  return Get(pending_.rbegin()->rid);
+}
+
+RepartitionTxn* RepartitionRegistry::FindPendingByTemplate(
+    uint32_t template_id) {
+  auto it = by_template_.find(template_id);
+  if (it == by_template_.end()) return nullptr;
+  RepartitionTxn* rt = Get(it->second);
+  if (rt == nullptr || rt->state != RepartitionTxn::State::kPending) {
+    return nullptr;
+  }
+  return rt;
+}
+
+void RepartitionRegistry::MarkSubmitted(uint64_t rid, txn::TxnId carrier) {
+  RepartitionTxn* rt = Get(rid);
+  assert(rt != nullptr && rt->state == RepartitionTxn::State::kPending);
+  pending_.erase({rt->density, rt->rid});
+  rt->state = RepartitionTxn::State::kSubmitted;
+  rt->carrier = carrier;
+  rt->attempts++;
+}
+
+void RepartitionRegistry::MarkPiggybacked(uint64_t rid, txn::TxnId carrier) {
+  RepartitionTxn* rt = Get(rid);
+  assert(rt != nullptr && rt->state == RepartitionTxn::State::kPending);
+  pending_.erase({rt->density, rt->rid});
+  rt->state = RepartitionTxn::State::kPiggybacked;
+  rt->carrier = carrier;
+  rt->attempts++;
+}
+
+void RepartitionRegistry::MarkDone(uint64_t rid) {
+  RepartitionTxn* rt = Get(rid);
+  assert(rt != nullptr);
+  if (rt->state == RepartitionTxn::State::kDone) return;
+  if (rt->state == RepartitionTxn::State::kPending) {
+    pending_.erase({rt->density, rt->rid});
+  }
+  rt->state = RepartitionTxn::State::kDone;
+  rt->carrier = 0;
+  done_count_++;
+}
+
+void RepartitionRegistry::MarkPending(uint64_t rid) {
+  RepartitionTxn* rt = Get(rid);
+  assert(rt != nullptr && rt->state != RepartitionTxn::State::kDone);
+  if (rt->state != RepartitionTxn::State::kPending) {
+    pending_.insert({rt->density, rt->rid});
+  }
+  rt->state = RepartitionTxn::State::kPending;
+  rt->carrier = 0;
+}
+
+namespace {
+
+void AppendOps(const RepartitionTxn& rt, std::vector<txn::Operation>* out) {
+  // Lock acquisition follows operation order; emitting plan units sorted
+  // by key puts every transaction in the system — normal transactions
+  // take their commit locks in sorted key order too — under one global
+  // lock order, which prevents deadlocks between carriers, repartition
+  // transactions and normal commits.
+  std::vector<const repartition::RepartitionOp*> ordered;
+  ordered.reserve(rt.ops.size());
+  for (const repartition::RepartitionOp& op : rt.ops) ordered.push_back(&op);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const repartition::RepartitionOp* a,
+               const repartition::RepartitionOp* b) {
+              return a->key < b->key;
+            });
+  for (const repartition::RepartitionOp* op_ptr : ordered) {
+    const repartition::RepartitionOp& op = *op_ptr;
+    switch (op.type) {
+      case repartition::RepartitionOpType::kObjectsMigration: {
+        txn::Operation insert;
+        insert.kind = txn::OpKind::kMigrateInsert;
+        insert.key = op.key;
+        insert.source_partition = op.source_partition;
+        insert.target_partition = op.target_partition;
+        insert.repartition_op_id = op.id;
+        out->push_back(insert);
+        txn::Operation erase;
+        erase.kind = txn::OpKind::kMigrateDelete;
+        erase.key = op.key;
+        erase.source_partition = op.source_partition;
+        erase.target_partition = op.target_partition;
+        erase.repartition_op_id = op.id;
+        out->push_back(erase);
+        break;
+      }
+      case repartition::RepartitionOpType::kNewReplicaCreation: {
+        txn::Operation create;
+        create.kind = txn::OpKind::kReplicaCreate;
+        create.key = op.key;
+        create.source_partition = op.source_partition;
+        create.target_partition = op.target_partition;
+        create.repartition_op_id = op.id;
+        out->push_back(create);
+        break;
+      }
+      case repartition::RepartitionOpType::kReplicaDeletion: {
+        txn::Operation del;
+        del.kind = txn::OpKind::kReplicaDelete;
+        del.key = op.key;
+        del.source_partition = op.source_partition;
+        del.repartition_op_id = op.id;
+        out->push_back(del);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<txn::Transaction> RepartitionRegistry::MakeTransaction(
+    const RepartitionTxn& rt, txn::TxnPriority priority) {
+  auto t = std::make_unique<txn::Transaction>();
+  t->is_repartition = true;
+  t->priority = priority;
+  t->template_id = rt.beneficiary_template;
+  t->piggyback_source = rt.rid;  // registry back-pointer
+  AppendOps(rt, &t->ops);
+  return t;
+}
+
+void RepartitionRegistry::InjectInto(const RepartitionTxn& rt,
+                                     txn::Transaction* t) {
+  assert(!t->is_repartition);
+  t->piggyback_source = rt.rid;
+  AppendOps(rt, &t->piggyback_ops);
+}
+
+}  // namespace soap::core

@@ -1,0 +1,113 @@
+#include "src/core/repartitioner.h"
+
+#include <cassert>
+
+namespace soap::core {
+
+Repartitioner::Repartitioner(cluster::Cluster* cluster,
+                             cluster::TransactionManager* tm,
+                             const workload::TemplateCatalog* catalog,
+                             workload::WorkloadHistory* history,
+                             std::unique_ptr<Scheduler> scheduler,
+                             repartition::OptimizerConfig optimizer_config,
+                             PackagingMode packaging)
+    : cluster_(cluster),
+      tm_(tm),
+      catalog_(catalog),
+      history_(history),
+      cost_model_(cluster->config().costs, catalog->spec().queries_per_txn),
+      optimizer_(catalog, &cost_model_, cluster->TotalWorkers(),
+                 optimizer_config),
+      packager_(&cost_model_),
+      scheduler_(std::move(scheduler)),
+      packaging_(packaging) {
+  assert(scheduler_ != nullptr);
+  SchedulerEnv env;
+  env.tm = tm_;
+  env.registry = &registry_;
+  env.cost_model = &cost_model_;
+  scheduler_->Bind(env);
+}
+
+void Repartitioner::InterceptNormalSubmission(txn::Transaction* t) {
+  assert(!t->is_repartition);
+  history_->Record(t->template_id);
+}
+
+void Repartitioner::OnBeforeExecute(txn::Transaction* t) {
+  assert(!t->is_repartition);
+  if (active_ && !registry_.AllDone()) {
+    scheduler_->OnNormalTxnSubmission(t);
+  }
+}
+
+void Repartitioner::OnTxnComplete(const txn::Transaction& t) {
+  if (!active_) return;
+  const uint64_t rid = t.piggyback_source;
+  if (rid != 0) {
+    RepartitionTxn* rt = registry_.Get(rid);
+    if (rt != nullptr && rt->state != RepartitionTxn::State::kDone) {
+      if (t.committed()) {
+        registry_.MarkDone(rid);
+      } else {
+        registry_.MarkPending(rid);
+        if (!t.is_repartition) ResubmitStripped(t);  // Algorithm 2, l.14-15
+      }
+    }
+  }
+  scheduler_->OnTxnComplete(t);
+}
+
+void Repartitioner::ResubmitStripped(const txn::Transaction& t) {
+  auto fresh = std::make_unique<txn::Transaction>();
+  fresh->priority = t.priority;
+  fresh->template_id = t.template_id;
+  fresh->ops = t.ops;  // without the piggybacked repartition operations
+  fresh->submit_time = t.submit_time;
+  fresh->attempt = t.attempt;
+  ++stripped_resubmissions_;
+  tm_->Submit(std::move(fresh));
+}
+
+void Repartitioner::OnIntervalTick(const IntervalStats& stats) {
+  if (history_ != nullptr) history_->CloseInterval(stats.length);
+  if (active_ && !registry_.AllDone()) {
+    scheduler_->OnIntervalTick(stats);
+  }
+}
+
+bool Repartitioner::StartRepartitioning() {
+  if (active_) return false;
+  repartition::RepartitionPlan plan =
+      optimizer_.DerivePlan(cluster_->routing_table());
+  if (plan.empty()) return false;
+  return StartRepartitioningWithPlan(plan);
+}
+
+bool Repartitioner::StartRepartitioningWithPlan(
+    const repartition::RepartitionPlan& plan) {
+  if (active_ || plan.empty()) return false;
+  std::vector<RepartitionTxn> ranked = packager_.PackageAndRank(
+      plan, *history_, optimizer_, cluster_->routing_table(), packaging_);
+  registry_.Init(std::move(ranked));
+  active_ = true;
+  scheduler_->OnPlanReady();
+  return true;
+}
+
+bool Repartitioner::FinishRound() {
+  if (!active_ || !registry_.AllDone()) return false;
+  active_ = false;
+  registry_.Init({});
+  return true;
+}
+
+bool Repartitioner::MaybeStartRepartitioning() {
+  if (active_) return false;
+  if (!optimizer_.ShouldRepartition(*history_, cluster_->routing_table())) {
+    return false;
+  }
+  return StartRepartitioning();
+}
+
+}  // namespace soap::core

@@ -1,0 +1,109 @@
+// The repartitioner (§2.2): SOAP's new system component. Watches the
+// workload history, asks the optimizer for a plan when performance drops
+// (or on demand), packages and ranks the plan with Algorithm 1, and drives
+// the configured scheduling strategy. It also owns Algorithm 2's carrier
+// bookkeeping: committed carriers retire their repartition transaction,
+// aborted carriers are resubmitted stripped of the piggybacked operations.
+
+#ifndef SOAP_CORE_REPARTITIONER_H_
+#define SOAP_CORE_REPARTITIONER_H_
+
+#include <memory>
+
+#include "src/cluster/cluster.h"
+#include "src/cluster/transaction_manager.h"
+#include "src/core/repartition_txn.h"
+#include "src/core/scheduler.h"
+#include "src/core/txn_packager.h"
+#include "src/repartition/cost_model.h"
+#include "src/repartition/optimizer.h"
+#include "src/workload/history.h"
+#include "src/workload/template_catalog.h"
+
+namespace soap::core {
+
+class Repartitioner {
+ public:
+  Repartitioner(cluster::Cluster* cluster, cluster::TransactionManager* tm,
+                const workload::TemplateCatalog* catalog,
+                workload::WorkloadHistory* history,
+                std::unique_ptr<Scheduler> scheduler,
+                repartition::OptimizerConfig optimizer_config = {},
+                PackagingMode packaging = PackagingMode::kPerBenefitingTemplate);
+
+  /// Hook for every normal transaction right before TM submission:
+  /// records it in the workload history.
+  void InterceptNormalSubmission(txn::Transaction* t);
+
+  /// Hook for every normal transaction right before it starts executing
+  /// (wire through TransactionManager::set_pre_execution_hook): offers it
+  /// to the scheduler as a piggyback carrier. Injection happens at
+  /// dispatch, not submission, so transactions that expire in the queue
+  /// never strand repartition operations.
+  void OnBeforeExecute(txn::Transaction* t);
+
+  /// Must be invoked from the TM's completion callback (the experiment
+  /// engine chains it).
+  void OnTxnComplete(const txn::Transaction& t);
+
+  /// One interval closed; stats computed by the engine.
+  void OnIntervalTick(const IntervalStats& stats);
+
+  /// Derives, packages and ranks a plan from the current placement and
+  /// starts the scheduler. Returns false if no repartitioning is needed
+  /// (plan empty) or one is already active.
+  bool StartRepartitioning();
+
+  /// Packages and starts an externally supplied plan (e.g. from
+  /// repartition::ReplicaPlanner) instead of deriving one.
+  bool StartRepartitioningWithPlan(const repartition::RepartitionPlan& plan);
+
+  /// Retires a completed round so the next optimizer trigger can start a
+  /// fresh one (§2.2's *periodic* repartitioning). Returns false while a
+  /// round is still in flight.
+  bool FinishRound();
+
+  /// Starts only if the optimizer's performance estimate warrants it.
+  bool MaybeStartRepartitioning();
+
+  bool active() const { return active_; }
+  bool Finished() const {
+    return active_ && registry_.AllDone();
+  }
+
+  /// Fraction of plan units applied so far (the RepRate series of
+  /// Figures 4-7); `ops_applied` comes from the TM counters.
+  double RepRate(uint64_t ops_applied) const {
+    if (!active_ || registry_.total_ops() == 0) return 0.0;
+    const double rate = static_cast<double>(ops_applied) /
+                        static_cast<double>(registry_.total_ops());
+    return rate > 1.0 ? 1.0 : rate;
+  }
+
+  const RepartitionRegistry& registry() const { return registry_; }
+  RepartitionRegistry& mutable_registry() { return registry_; }
+  Scheduler& scheduler() { return *scheduler_; }
+  const repartition::CostModel& cost_model() const { return cost_model_; }
+  const repartition::Optimizer& optimizer() const { return optimizer_; }
+  uint64_t stripped_resubmissions() const { return stripped_resubmissions_; }
+
+ private:
+  void ResubmitStripped(const txn::Transaction& t);
+
+  cluster::Cluster* cluster_;
+  cluster::TransactionManager* tm_;
+  const workload::TemplateCatalog* catalog_;
+  workload::WorkloadHistory* history_;
+  repartition::CostModel cost_model_;
+  repartition::Optimizer optimizer_;
+  TxnPackager packager_;
+  RepartitionRegistry registry_;
+  std::unique_ptr<Scheduler> scheduler_;
+  PackagingMode packaging_;
+  bool active_ = false;
+  uint64_t stripped_resubmissions_ = 0;
+};
+
+}  // namespace soap::core
+
+#endif  // SOAP_CORE_REPARTITIONER_H_

@@ -1,0 +1,94 @@
+// Scheduler interface for online repartition scheduling (§3). Concrete
+// strategies: ApplyAll and AfterAll (§3.2, the two baselines), Feedback
+// (§3.3, PID-controlled), Piggyback (§3.4, Algorithm 2) and Hybrid (§3.5).
+
+#ifndef SOAP_CORE_SCHEDULER_H_
+#define SOAP_CORE_SCHEDULER_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/cluster/transaction_manager.h"
+#include "src/core/repartition_txn.h"
+#include "src/repartition/cost_model.h"
+
+namespace soap::core {
+
+/// Everything a scheduler knows about one closed 20-second interval;
+/// produced by the experiment engine from TM counters and node busy-time
+/// diffs.
+struct IntervalStats {
+  uint32_t index = 0;
+  Duration length = 0;
+  /// Node work spent on normal queries + their overheads this interval.
+  Duration normal_work = 0;
+  /// Node work spent on repartition ops (standalone or piggybacked) +
+  /// repartition transaction overheads this interval.
+  Duration repartition_work = 0;
+  uint64_t normal_submitted = 0;
+  uint64_t normal_committed = 0;
+  uint64_t normal_aborted = 0;
+  uint64_t repartition_committed = 0;
+  uint64_t repartition_aborted = 0;
+  /// Piggybacked plan units applied this interval (for the hybrid PV).
+  uint64_t piggybacked_ops_applied = 0;
+
+  /// The PV the feedback controller stabilises: repartition work relative
+  /// to normal work (paper Table 1 expresses its SP as the ratio of
+  /// *total* to normal cost, i.e. 1 + this value).
+  double RepartitionWorkRatio() const {
+    if (normal_work <= 0) return repartition_work > 0 ? 1.0 : 0.0;
+    return static_cast<double>(repartition_work) /
+           static_cast<double>(normal_work);
+  }
+};
+
+/// Wiring handed to a scheduler by the repartitioner.
+struct SchedulerEnv {
+  cluster::TransactionManager* tm = nullptr;
+  RepartitionRegistry* registry = nullptr;
+  const repartition::CostModel* cost_model = nullptr;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual std::string_view name() const = 0;
+
+  void Bind(const SchedulerEnv& env) { env_ = env; }
+
+  /// The registry has been initialised with the ranked plan; scheduling
+  /// may begin.
+  virtual void OnPlanReady() {}
+
+  /// One interval closed. Called every interval once the plan is active.
+  virtual void OnIntervalTick(const IntervalStats& stats) { (void)stats; }
+
+  /// A normal transaction is about to be submitted; piggyback-capable
+  /// schedulers may inject repartition operations into it (§3.4).
+  virtual void OnNormalTxnSubmission(txn::Transaction* t) { (void)t; }
+
+  /// A transaction completed. The registry has already been updated by
+  /// the repartitioner (done / reverted-to-pending); schedulers apply
+  /// their resubmission policy here.
+  virtual void OnTxnComplete(const txn::Transaction& t) { (void)t; }
+
+  bool Finished() const {
+    return env_.registry != nullptr && env_.registry->AllDone();
+  }
+
+ protected:
+  /// Builds, submits and registers one pending repartition transaction.
+  void SubmitPending(RepartitionTxn* rt, txn::TxnPriority priority) {
+    auto t = RepartitionRegistry::MakeTransaction(*rt, priority);
+    const txn::TxnId id = env_.tm->Submit(std::move(t));
+    env_.registry->MarkSubmitted(rt->rid, id);
+  }
+
+  SchedulerEnv env_;
+};
+
+}  // namespace soap::core
+
+#endif  // SOAP_CORE_SCHEDULER_H_

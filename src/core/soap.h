@@ -1,0 +1,54 @@
+// Umbrella header: the SOAP public API. Including this gives you the whole
+// stack — simulator, cluster, workload generation, repartition planning,
+// and the five scheduling strategies. See examples/quickstart.cpp.
+
+#ifndef SOAP_CORE_SOAP_H_
+#define SOAP_CORE_SOAP_H_
+
+#include "src/cluster/cluster.h"                  // IWYU pragma: export
+#include "src/cluster/transaction_manager.h"      // IWYU pragma: export
+#include "src/core/basic_schedulers.h"            // IWYU pragma: export
+#include "src/core/feedback_scheduler.h"          // IWYU pragma: export
+#include "src/core/hybrid_scheduler.h"            // IWYU pragma: export
+#include "src/core/piggyback_scheduler.h"         // IWYU pragma: export
+#include "src/core/pid_controller.h"              // IWYU pragma: export
+#include "src/core/repartitioner.h"               // IWYU pragma: export
+#include "src/core/scheduler.h"                   // IWYU pragma: export
+#include "src/core/txn_packager.h"                // IWYU pragma: export
+#include "src/repartition/cost_model.h"           // IWYU pragma: export
+#include "src/repartition/optimizer.h"            // IWYU pragma: export
+#include "src/sim/simulator.h"                    // IWYU pragma: export
+#include "src/workload/generator.h"               // IWYU pragma: export
+#include "src/workload/history.h"                 // IWYU pragma: export
+#include "src/workload/template_catalog.h"        // IWYU pragma: export
+
+namespace soap {
+
+/// The five strategies of §3, for configuration surfaces.
+enum class SchedulingStrategy {
+  kApplyAll,
+  kAfterAll,
+  kFeedback,
+  kPiggyback,
+  kHybrid,
+};
+
+inline const char* StrategyName(SchedulingStrategy s) {
+  switch (s) {
+    case SchedulingStrategy::kApplyAll:
+      return "ApplyAll";
+    case SchedulingStrategy::kAfterAll:
+      return "AfterAll";
+    case SchedulingStrategy::kFeedback:
+      return "Feedback";
+    case SchedulingStrategy::kPiggyback:
+      return "Piggyback";
+    case SchedulingStrategy::kHybrid:
+      return "Hybrid";
+  }
+  return "?";
+}
+
+}  // namespace soap
+
+#endif  // SOAP_CORE_SOAP_H_

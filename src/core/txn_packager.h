@@ -1,0 +1,74 @@
+// Algorithm 1 (§3.1): "Generating and Ranking Repartition Transactions".
+// Groups the plan's repartition operations by the normal transaction
+// template they benefit (so each repartition transaction pays for itself),
+// computes per-group benefits from workload-history frequencies and the
+// cost model, and returns the groups as repartition transactions sorted by
+// benefit density Bj/Cj, descending.
+
+#ifndef SOAP_CORE_TXN_PACKAGER_H_
+#define SOAP_CORE_TXN_PACKAGER_H_
+
+#include <vector>
+
+#include "src/core/repartition_txn.h"
+#include "src/repartition/cost_model.h"
+#include "src/repartition/operation.h"
+#include "src/repartition/optimizer.h"
+#include "src/router/routing_table.h"
+#include "src/workload/history.h"
+
+namespace soap::core {
+
+/// How repartition operations are grouped into transactions. §3.1 frames
+/// kPerBenefitingTemplate (Algorithm 1's heuristic) against two extremes,
+/// kept here for the packaging ablation study: one giant transaction
+/// (maximal lock footprint) and one transaction per operation (maximal
+/// per-transaction overhead). §2.2 additionally names coarser plan
+/// granularities — "moving individual tuple or tuples within some ranges
+/// or with some hash keys on their attributes" — realised as grouping by
+/// contiguous key range and by hash bucket.
+enum class PackagingMode {
+  kPerBenefitingTemplate,
+  kSingleGiantTxn,
+  kPerOperation,
+  /// One transaction per maximal run of key-contiguous operations sharing
+  /// a (source, target) pair.
+  kPerKeyRange,
+  /// One transaction per hash bucket of the key (64 buckets).
+  kPerHashBucket,
+};
+
+class TxnPackager {
+ public:
+  explicit TxnPackager(const repartition::CostModel* cost_model)
+      : cost_model_(cost_model) {}
+
+  /// Runs Algorithm 1 (or one of the ablation extremes). `optimizer`
+  /// supplies Ci(O) - Ci(P) per template against the current placement in
+  /// `routing`; `history` supplies the frequencies f_i. The result is
+  /// ready for RepartitionRegistry::Init.
+  std::vector<RepartitionTxn> PackageAndRank(
+      const repartition::RepartitionPlan& plan,
+      const workload::WorkloadHistory& history,
+      const repartition::Optimizer& optimizer,
+      const router::RoutingTable& routing,
+      PackagingMode mode = PackagingMode::kPerBenefitingTemplate) const;
+
+ private:
+  std::vector<RepartitionTxn> PackageGrouped(
+      const repartition::RepartitionPlan& plan,
+      const workload::WorkloadHistory& history,
+      const repartition::Optimizer& optimizer,
+      const router::RoutingTable& routing, PackagingMode mode) const;
+  std::vector<RepartitionTxn> PackageExtreme(
+      const repartition::RepartitionPlan& plan,
+      const workload::WorkloadHistory& history,
+      const repartition::Optimizer& optimizer,
+      const router::RoutingTable& routing, PackagingMode mode) const;
+
+  const repartition::CostModel* cost_model_;
+};
+
+}  // namespace soap::core
+
+#endif  // SOAP_CORE_TXN_PACKAGER_H_

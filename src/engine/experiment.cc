@@ -1,0 +1,300 @@
+#include "src/engine/experiment.h"
+
+#include <cassert>
+#include <sstream>
+
+#include "src/common/histogram.h"
+#include "src/common/logging.h"
+#include "src/workload/trace.h"
+
+namespace soap::engine {
+
+std::unique_ptr<core::Scheduler> MakeScheduler(
+    SchedulingStrategy strategy, const core::FeedbackConfig& feedback,
+    const core::PiggybackConfig& piggyback) {
+  switch (strategy) {
+    case SchedulingStrategy::kApplyAll:
+      return std::make_unique<core::ApplyAllScheduler>();
+    case SchedulingStrategy::kAfterAll:
+      return std::make_unique<core::AfterAllScheduler>();
+    case SchedulingStrategy::kFeedback:
+      return std::make_unique<core::FeedbackScheduler>(feedback);
+    case SchedulingStrategy::kPiggyback:
+      return std::make_unique<core::PiggybackScheduler>(piggyback);
+    case SchedulingStrategy::kHybrid: {
+      core::HybridConfig config;
+      config.feedback = feedback;
+      config.piggyback = piggyback;
+      return std::make_unique<core::HybridScheduler>(config);
+    }
+  }
+  return nullptr;
+}
+
+Experiment::Experiment(ExperimentConfig config)
+    : config_(std::move(config)) {}
+
+ExperimentResult Experiment::Run() {
+  assert(!ran_ && "an Experiment may only run once");
+  ran_ = true;
+
+  ExperimentResult result;
+  result.strategy_name = StrategyName(config_.strategy);
+
+  // --- Build the stack.
+  sim::Simulator sim;
+  cluster::ClusterConfig cluster_config = config_.cluster;
+  cluster_config.num_keys = config_.workload.num_keys;
+  cluster_config.seed = config_.seed;
+  cluster::Cluster cluster(&sim, cluster_config);
+  cluster::TransactionManager tm(&cluster);
+
+  workload::TemplateCatalog catalog(config_.workload, cluster.num_nodes());
+  for (uint64_t key = 0; key < config_.workload.num_keys; ++key) {
+    storage::Tuple tuple;
+    tuple.key = key;
+    tuple.content = static_cast<int64_t>(key);
+    Status s = cluster.LoadTuple(tuple, catalog.InitialPartitionOf(key));
+    assert(s.ok());
+    (void)s;
+  }
+  cluster.CheckpointAll();  // seal the load base: WALs stay replayable
+
+  workload::WorkloadHistory history(
+      static_cast<uint32_t>(catalog.size()), config_.history_window);
+  core::Repartitioner repartitioner(
+      &cluster, &tm, &catalog, &history,
+      MakeScheduler(config_.strategy, config_.feedback, config_.piggyback),
+      repartition::OptimizerConfig{}, config_.packaging);
+
+  workload::WorkloadGenerator generator(&catalog, config_.seed * 7919 + 13);
+  workload::WorkloadTrace record_trace;
+  workload::WorkloadTrace replay_trace;
+  const bool replaying = !config_.replay_trace_path.empty();
+  if (replaying) {
+    Result<workload::WorkloadTrace> loaded =
+        workload::WorkloadTrace::LoadFromFile(config_.replay_trace_path);
+    if (!loaded.ok()) {
+      SOAP_LOG(kError) << "trace replay failed: "
+                       << loaded.status().ToString();
+      result.audit = loaded.status();
+      return result;
+    }
+    replay_trace = std::move(loaded).value();
+  }
+  repartition::CostModel cost_model(cluster_config.costs,
+                                    config_.workload.queries_per_txn);
+  workload::CapacityModel capacity;
+  capacity.collocated_cost = cost_model.CollocatedTxnCost();
+  capacity.distributed_cost = cost_model.DistributedTxnCost(2);
+  capacity.total_workers = cluster.TotalWorkers();
+  const double arrival_rate = workload::WorkloadGenerator::CalibrateArrivalRate(
+      catalog, capacity, config_.utilization);
+  result.arrival_rate_txn_s = arrival_rate;
+  result.capacity_txn_s =
+      static_cast<double>(capacity.total_workers) * 1e6 /
+      static_cast<double>(capacity.collocated_cost);
+  const double per_interval_mean =
+      arrival_rate * ToSeconds(config_.interval_length);
+
+  // --- Per-interval bookkeeping.
+  struct IntervalAccum {
+    double latency_sum_ms = 0.0;
+    uint64_t latency_count = 0;
+    Histogram latency_histogram;  // microseconds
+  } accum;
+  cluster::TmCounters prev_counters;
+  Duration prev_normal_work = 0;
+  Duration prev_rep_work = 0;
+  SimTime prev_boundary = 0;
+
+  tm.set_pre_execution_hook(
+      [&](txn::Transaction* t) { repartitioner.OnBeforeExecute(t); });
+  tm.set_completion_callback([&](const txn::Transaction& t) {
+    if (!t.is_repartition && t.committed()) {
+      accum.latency_sum_ms += ToMillis(t.Latency());
+      accum.latency_count++;
+      accum.latency_histogram.Record(
+          static_cast<uint64_t>(t.Latency()));
+    }
+    repartitioner.OnTxnComplete(t);
+  });
+
+  const uint32_t total_intervals =
+      config_.warmup_intervals + config_.measured_intervals;
+
+  auto close_interval = [&](uint32_t index) {
+    const cluster::TmCounters& now = tm.counters();
+    const Duration normal_work =
+        cluster.TotalBusyTime(cluster::WorkCategory::kNormal);
+    const Duration rep_work =
+        cluster.TotalBusyTime(cluster::WorkCategory::kRepartition);
+
+    core::IntervalStats stats;
+    stats.index = index;
+    stats.length = sim.Now() - prev_boundary;
+    stats.normal_work = normal_work - prev_normal_work;
+    stats.repartition_work = rep_work - prev_rep_work;
+    stats.normal_submitted = now.submitted_normal -
+                             prev_counters.submitted_normal;
+    stats.normal_committed = now.committed_normal -
+                             prev_counters.committed_normal;
+    stats.normal_aborted = now.aborted_normal - prev_counters.aborted_normal;
+    stats.repartition_committed = now.committed_repartition -
+                                  prev_counters.committed_repartition;
+    stats.repartition_aborted = now.aborted_repartition -
+                                prev_counters.aborted_repartition;
+    stats.piggybacked_ops_applied = now.piggybacked_ops_applied -
+                                    prev_counters.piggybacked_ops_applied;
+
+    // The paper's four series.
+    result.rep_rate.Append(
+        repartitioner.RepRate(now.repartition_ops_applied));
+    const double minutes = ToSeconds(stats.length) / 60.0;
+    result.throughput.Append(
+        minutes > 0 ? static_cast<double>(stats.normal_committed) / minutes
+                    : 0.0);
+    result.latency_ms.Append(accum.latency_count > 0
+                                 ? accum.latency_sum_ms /
+                                       static_cast<double>(accum.latency_count)
+                                 : 0.0);
+    result.latency_p99_ms.Append(
+        accum.latency_histogram.Percentile(99.0) / 1000.0);
+    const uint64_t submitted =
+        (now.total_submitted() - prev_counters.total_submitted());
+    const uint64_t aborted = (now.total_aborted() - prev_counters.total_aborted());
+    result.failure_rate.Append(
+        submitted > 0
+            ? static_cast<double>(aborted) / static_cast<double>(submitted)
+            : 0.0);
+    result.queue_length.Append(static_cast<double>(tm.queue().Size()));
+    result.rep_work_ratio.Append(stats.RepartitionWorkRatio());
+    const double worker_time =
+        ToSeconds(stats.length) * capacity.total_workers;
+    result.utilization.Append(
+        worker_time > 0
+            ? ToSeconds(stats.normal_work + stats.repartition_work) /
+                  worker_time
+            : 0.0);
+
+    accum = IntervalAccum{};
+    prev_counters = now;
+    prev_normal_work = normal_work;
+    prev_rep_work = rep_work;
+    prev_boundary = sim.Now();
+
+    repartitioner.OnIntervalTick(stats);
+  };
+
+  // --- Capacity disturbance (external tenant stealing worker time).
+  // Emitted as a dense train of short external jobs so the theft is
+  // spread across the disturbance window instead of arriving in bursts.
+  if (config_.disturbance.enabled) {
+    const Disturbance& d = config_.disturbance;
+    const Duration slice = Millis(100);
+    const SimTime from =
+        static_cast<SimTime>(d.start_interval) * config_.interval_length;
+    const SimTime to =
+        static_cast<SimTime>(d.end_interval) * config_.interval_length;
+    const uint32_t workers = cluster_config.workers_per_node;
+    for (SimTime at = from; at < to; at += slice) {
+      sim.At(at, [&cluster, &d, slice, workers]() {
+        // One slice-train per worker so `fraction` scales the node's
+        // whole capacity.
+        for (uint32_t w = 0; w < workers; ++w) {
+          cluster.node(d.node).RunJob(
+              static_cast<Duration>(d.fraction * static_cast<double>(slice)),
+              cluster::WorkCategory::kExternal, cluster::JobClass::kUrgent,
+              []() {});
+        }
+      });
+    }
+  }
+
+  // --- Drive the intervals.
+  for (uint32_t k = 0; k < total_intervals; ++k) {
+    const SimTime start = static_cast<SimTime>(k) * config_.interval_length;
+    sim.At(start, [&, k]() {
+      if (k == config_.warmup_intervals) {
+        const bool started = repartitioner.StartRepartitioning();
+        if (!started) {
+          SOAP_LOG(kWarn) << "no repartitioning needed (empty plan)";
+        }
+      }
+      std::vector<std::unique_ptr<txn::Transaction>> batch =
+          replaying ? replay_trace.ReplayInterval(k, catalog)
+                    : generator.GenerateInterval(per_interval_mean);
+      for (auto& t : batch) {
+        if (!config_.record_trace_path.empty()) {
+          int64_t value = 0;
+          for (const txn::Operation& op : t->ops) {
+            if (op.kind == txn::OpKind::kWrite) {
+              value = op.write_value;
+              break;
+            }
+          }
+          record_trace.Record(k, t->template_id, value);
+        }
+        repartitioner.InterceptNormalSubmission(t.get());
+        tm.Submit(std::move(t));
+      }
+    });
+    const SimTime end =
+        static_cast<SimTime>(k + 1) * config_.interval_length;
+    sim.At(end, [&, k]() { close_interval(k); });
+  }
+
+  const SimTime run_end =
+      static_cast<SimTime>(total_intervals) * config_.interval_length;
+  sim.RunUntil(run_end);
+
+  // --- Drain and audit.
+  if (config_.drain_and_audit) {
+    const SimTime drain_deadline = run_end + config_.drain_cap;
+    while (sim.Now() < drain_deadline &&
+           (tm.inflight() > 0 || !tm.queue().Empty())) {
+      if (!sim.Step()) break;
+    }
+    result.drained = tm.inflight() == 0 && tm.queue().Empty();
+    result.audit = cluster.CheckConsistency();
+  }
+
+  if (!config_.record_trace_path.empty()) {
+    Status s = record_trace.SaveToFile(config_.record_trace_path,
+                                       static_cast<uint32_t>(catalog.size()));
+    if (!s.ok()) {
+      SOAP_LOG(kError) << "trace save failed: " << s.ToString();
+    }
+  }
+
+  result.plan_ops_total = repartitioner.registry().total_ops();
+  result.plan_ops_applied = tm.counters().repartition_ops_applied;
+  result.piggybacked_ops = tm.counters().piggybacked_ops_applied;
+  result.counters = tm.counters();
+  result.lock_stats = cluster.lock_manager().stats();
+  result.plan_completed = repartitioner.Finished();
+  result.end_time = sim.Now();
+  result.events_executed = sim.events_executed();
+  return result;
+}
+
+std::string ExperimentResult::Summary() const {
+  std::ostringstream os;
+  os << strategy_name << ": arrival=" << arrival_rate_txn_s
+     << " txn/s, capacity(collocated)=" << capacity_txn_s
+     << " txn/s, plan=" << plan_ops_total << " ops, applied="
+     << plan_ops_applied << " (piggybacked=" << piggybacked_ops
+     << "), committed=" << counters.committed_normal
+     << ", aborted=" << counters.aborted_normal
+     << " normal txns, rep txns committed="
+     << counters.committed_repartition
+     << ", repartition complete @ interval " << RepartitionCompletedAt()
+     << ", aborts[deadlock=" << counters.aborts_deadlock
+     << " lock_timeout=" << counters.aborts_lock_timeout
+     << " queue_timeout=" << counters.aborts_queue_timeout
+     << " vote=" << counters.aborts_vote << "]"
+     << ", audit=" << audit.ToString();
+  return os.str();
+}
+
+}  // namespace soap::engine

@@ -1,0 +1,122 @@
+// Experiment engine: reproduces the paper's evaluation procedure (§4.1).
+// Time is divided into 20-second intervals; a Poisson number of normal
+// transactions is submitted at the beginning of each interval; the system
+// warms up for 10 intervals, then the repartitioning starts; the run lasts
+// 45 minutes of virtual time. Per interval it records the four series the
+// paper plots: RepRate, throughput (txn/min), processing latency (ms) and
+// transaction failure rate.
+
+#ifndef SOAP_ENGINE_EXPERIMENT_H_
+#define SOAP_ENGINE_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+
+#include "src/common/series.h"
+#include "src/common/status.h"
+#include "src/core/soap.h"
+
+namespace soap::engine {
+
+/// Mid-run capacity disturbance: an external tenant steals `fraction` of
+/// one node's workers between two interval boundaries. Exercises the
+/// §3.3 adaptivity story — the feedback controller must absorb capacity
+/// variations it cannot predict.
+struct Disturbance {
+  bool enabled = false;
+  uint32_t node = 0;
+  uint32_t start_interval = 0;
+  uint32_t end_interval = 0;
+  /// Fraction of the node's total worker capacity consumed (0, 1].
+  double fraction = 0.5;
+};
+
+struct ExperimentConfig {
+  workload::WorkloadSpec workload = workload::WorkloadSpec::Zipf(1.0);
+  cluster::ClusterConfig cluster;
+  /// Offered load relative to pre-repartitioning capacity: 1.30 HighLoad,
+  /// 0.65 LowLoad (§4.1).
+  double utilization = workload::kHighLoadUtilization;
+  uint32_t warmup_intervals = 10;
+  uint32_t measured_intervals = 125;  ///< 10 + 125 intervals = 45 min
+  Duration interval_length = Seconds(20);
+  SchedulingStrategy strategy = SchedulingStrategy::kHybrid;
+  core::FeedbackConfig feedback;      ///< SP per Table 1
+  core::PiggybackConfig piggyback;
+  /// Algorithm 1's grouping by default; the extremes for the ablation.
+  core::PackagingMode packaging = core::PackagingMode::kPerBenefitingTemplate;
+  /// Sliding window (intervals) for the optimizer's frequency estimates.
+  uint32_t history_window = 10;
+  Disturbance disturbance;
+  /// Record the generated arrival stream to this trace file (empty: off).
+  std::string record_trace_path;
+  /// Replay arrivals from this trace file instead of generating them
+  /// (empty: generate). The trace must fit the catalog's template count.
+  std::string replay_trace_path;
+  /// After the last interval: stop submitting and run the system dry, then
+  /// audit storage/routing consistency.
+  bool drain_and_audit = true;
+  Duration drain_cap = Minutes(30);
+  uint64_t seed = 1;
+};
+
+struct ExperimentResult {
+  std::string strategy_name;
+  /// Per-interval series over all intervals (warmup included; the
+  /// repartitioning starts at interval `warmup_intervals`).
+  Series rep_rate{"rep_rate"};
+  Series throughput{"throughput_txn_min"};    ///< committed normal txn/min
+  Series latency_ms{"latency_ms"};            ///< mean, committed normal
+  Series latency_p99_ms{"latency_p99_ms"};    ///< p99, committed normal
+  Series failure_rate{"failure_rate"};        ///< aborted / submitted
+  Series queue_length{"queue_length"};        ///< TM queue at interval end
+  Series utilization{"utilization"};          ///< worker busy fraction
+  /// Repartition work / normal work per interval — the PV the feedback
+  /// controller stabilises (§3.3); compare against Table 1's SP - 1.
+  Series rep_work_ratio{"rep_work_ratio"};
+
+  double arrival_rate_txn_s = 0.0;   ///< calibrated Poisson rate
+  double capacity_txn_s = 0.0;       ///< collocated-only capacity
+  uint64_t plan_ops_total = 0;
+  uint64_t plan_ops_applied = 0;
+  uint64_t piggybacked_ops = 0;
+  cluster::TmCounters counters;      ///< final cumulative counters
+  txn::LockStats lock_stats;
+  Status audit = Status::OK();       ///< end-of-run consistency audit
+  bool drained = false;
+  bool plan_completed = false;
+  SimTime end_time = 0;
+  uint64_t events_executed = 0;
+
+  /// Interval index at which RepRate first reached ~1 (-1 if never).
+  int RepartitionCompletedAt() const {
+    return rep_rate.FirstIndexAtLeast(0.999);
+  }
+  /// Human-readable one-paragraph summary.
+  std::string Summary() const;
+};
+
+/// Builds the full stack for one configuration and runs it to completion.
+/// Deterministic given the config (including seed).
+class Experiment {
+ public:
+  explicit Experiment(ExperimentConfig config);
+
+  /// Runs the experiment; may be called once.
+  ExperimentResult Run();
+
+  const ExperimentConfig& config() const { return config_; }
+
+ private:
+  ExperimentConfig config_;
+  bool ran_ = false;
+};
+
+/// Convenience: builds the scheduler for a strategy.
+std::unique_ptr<core::Scheduler> MakeScheduler(
+    SchedulingStrategy strategy, const core::FeedbackConfig& feedback,
+    const core::PiggybackConfig& piggyback);
+
+}  // namespace soap::engine
+
+#endif  // SOAP_ENGINE_EXPERIMENT_H_

@@ -1,0 +1,66 @@
+#include "src/repartition/cost_model.h"
+
+namespace soap::repartition {
+
+Duration CostModel::CollocatedTxnCost() const {
+  // begin + q queries + one-phase local commit. Reads and writes cost the
+  // same in the default model; use the mean if they ever differ.
+  const Duration query =
+      (costs_.read_query + costs_.write_query) / 2;
+  return costs_.begin + queries_per_txn_ * query + costs_.local_commit;
+}
+
+Duration CostModel::DistributedTxnCost(uint32_t partitions) const {
+  if (partitions <= 1) return CollocatedTxnCost();
+  const Duration query =
+      (costs_.read_query + costs_.write_query) / 2;
+  return costs_.begin + queries_per_txn_ * query +
+         static_cast<Duration>(partitions) *
+             (costs_.prepare + costs_.commit_apply);
+}
+
+Duration CostModel::RepartitionTxnCost(
+    const std::vector<RepartitionOp>& ops) const {
+  Duration work = costs_.begin;
+  uint32_t partitions = 0;
+  bool crosses = false;
+  for (const RepartitionOp& op : ops) {
+    switch (op.type) {
+      case RepartitionOpType::kObjectsMigration:
+        work += costs_.migrate_insert + costs_.migrate_delete;
+        crosses = true;
+        break;
+      case RepartitionOpType::kNewReplicaCreation:
+        work += costs_.replica_create;
+        crosses = true;
+        break;
+      case RepartitionOpType::kReplicaDeletion:
+        work += costs_.replica_delete;
+        break;
+    }
+  }
+  // Migrations always involve a source and a destination, so the commit
+  // is a two-participant 2PC.
+  partitions = crosses ? 2 : 1;
+  if (partitions > 1) {
+    work += static_cast<Duration>(partitions) *
+            (costs_.prepare + costs_.commit_apply);
+  } else {
+    work += costs_.local_commit;
+  }
+  return work;
+}
+
+Duration CostModel::PiggybackedOpCost(const RepartitionOp& op) const {
+  switch (op.type) {
+    case RepartitionOpType::kObjectsMigration:
+      return costs_.migrate_insert + costs_.migrate_delete;
+    case RepartitionOpType::kNewReplicaCreation:
+      return costs_.replica_create;
+    case RepartitionOpType::kReplicaDeletion:
+      return costs_.replica_delete;
+  }
+  return 0;
+}
+
+}  // namespace soap::repartition

@@ -1,0 +1,56 @@
+// Transaction cost model (§3.1, after Schism [4]): a transaction whose
+// tuples are collocated on one partition costs Ci; one that spans more
+// than one partition costs 2·Ci. This class grounds those abstract costs
+// in the cluster's service-time model so that calibration, Algorithm 1's
+// benefit densities, and the feedback controller's work ratios all share
+// one currency: node-work microseconds.
+
+#ifndef SOAP_REPARTITION_COST_MODEL_H_
+#define SOAP_REPARTITION_COST_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/common/time.h"
+#include "src/repartition/operation.h"
+
+namespace soap::repartition {
+
+class CostModel {
+ public:
+  CostModel(const cluster::ExecutionCosts& costs, uint32_t queries_per_txn)
+      : costs_(costs), queries_per_txn_(queries_per_txn) {}
+
+  /// Node work of one collocated normal transaction (the paper's Ci).
+  Duration CollocatedTxnCost() const;
+
+  /// Node work of a normal transaction spanning `partitions` partitions
+  /// (the paper's 2·Ci for partitions > 1; the service-time model makes
+  /// the ratio emerge from real 2PC work, see DESIGN.md §4.2).
+  Duration DistributedTxnCost(uint32_t partitions = 2) const;
+
+  /// Node work of a standalone repartition transaction executing `ops`
+  /// (Algorithm 1 line 23's Cost(ri, O)).
+  Duration RepartitionTxnCost(const std::vector<RepartitionOp>& ops) const;
+
+  /// Node work of one plan unit when piggybacked (no extra begin/commit).
+  Duration PiggybackedOpCost(const RepartitionOp& op) const;
+
+  /// The paper's abstract per-transaction cost: 1.0 collocated, 2.0
+  /// distributed (for tests mirroring the published model directly).
+  static double AbstractCost(bool distributed) {
+    return distributed ? 2.0 : 1.0;
+  }
+
+  const cluster::ExecutionCosts& costs() const { return costs_; }
+  uint32_t queries_per_txn() const { return queries_per_txn_; }
+
+ private:
+  cluster::ExecutionCosts costs_;
+  uint32_t queries_per_txn_;
+};
+
+}  // namespace soap::repartition
+
+#endif  // SOAP_REPARTITION_COST_MODEL_H_

@@ -1,0 +1,49 @@
+// Repartition operations (§2.2): the optimizer emits three kinds — new
+// replica creation, replica deletion, and objects migration (realised as
+// insert-at-destination + delete-at-source inside one transaction).
+
+#ifndef SOAP_REPARTITION_OPERATION_H_
+#define SOAP_REPARTITION_OPERATION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/storage/tuple.h"
+
+namespace soap::repartition {
+
+enum class RepartitionOpType : uint8_t {
+  kObjectsMigration,
+  kNewReplicaCreation,
+  kReplicaDeletion,
+};
+
+/// One plan unit: moves/copies/deletes one tuple. `id` is the unit the
+/// RepRate metric counts (1-based; 0 means "not a repartition op" in
+/// transaction operations).
+struct RepartitionOp {
+  uint64_t id = 0;
+  RepartitionOpType type = RepartitionOpType::kObjectsMigration;
+  storage::TupleKey key = 0;
+  uint32_t source_partition = 0;
+  uint32_t target_partition = 0;
+  /// Templates of normal transactions whose objects this op repartitions
+  /// (Algorithm 1's "normal transaction ti accessing the objects modified
+  /// by opk"). With disjoint template key sets this has one element.
+  std::vector<uint32_t> affected_templates;
+  /// Accumulated benefit, filled by Algorithm 1 (lines 6-9).
+  double benefit = 0.0;
+};
+
+/// The optimizer's output: the full set of plan units.
+struct RepartitionPlan {
+  std::vector<RepartitionOp> ops;
+
+  bool empty() const { return ops.empty(); }
+  size_t size() const { return ops.size(); }
+};
+
+}  // namespace soap::repartition
+
+#endif  // SOAP_REPARTITION_OPERATION_H_

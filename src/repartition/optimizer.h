@@ -1,0 +1,70 @@
+// The repartitioner's optimizer (§2.2): watches the workload history,
+// estimates near-future performance, and derives a cost-based repartition
+// plan when the estimate falls below threshold. The plan collocates every
+// template whose tuples currently span multiple partitions by migrating
+// the minority keys to the majority partition (the Schism/Sword objective:
+// minimise distributed transactions).
+
+#ifndef SOAP_REPARTITION_OPTIMIZER_H_
+#define SOAP_REPARTITION_OPTIMIZER_H_
+
+#include <cstdint>
+
+#include "src/repartition/cost_model.h"
+#include "src/repartition/operation.h"
+#include "src/router/routing_table.h"
+#include "src/workload/history.h"
+#include "src/workload/template_catalog.h"
+
+namespace soap::repartition {
+
+struct OptimizerConfig {
+  /// Trigger a repartitioning when estimated utilisation (offered work /
+  /// capacity) exceeds this.
+  double utilization_threshold = 0.9;
+};
+
+class Optimizer {
+ public:
+  Optimizer(const workload::TemplateCatalog* catalog,
+            const CostModel* cost_model, uint32_t total_workers,
+            OptimizerConfig config = {})
+      : catalog_(catalog),
+        cost_model_(cost_model),
+        total_workers_(total_workers),
+        config_(config) {}
+
+  /// Estimated utilisation of the cluster for the near future: the
+  /// history's per-template rates priced by the cost model against the
+  /// current placement.
+  double EstimateUtilization(const workload::WorkloadHistory& history,
+                             const router::RoutingTable& routing) const;
+
+  /// True if the estimate warrants repartitioning.
+  bool ShouldRepartition(const workload::WorkloadHistory& history,
+                         const router::RoutingTable& routing) const;
+
+  /// Derives the plan from the *actual* current placement: one migration
+  /// unit per key that must move for its template to become collocated.
+  /// Op ids are assigned 1..N.
+  RepartitionPlan DerivePlan(const router::RoutingTable& routing) const;
+
+  /// Per-template gain the plan realises: Ci(O) - Ci(P) in node-work
+  /// microseconds (0 when the template is already collocated).
+  Duration TemplateGain(uint32_t template_id,
+                        const router::RoutingTable& routing) const;
+
+ private:
+  /// Distinct partitions currently holding the template's keys.
+  uint32_t SpanOf(const workload::TxnTemplate& tmpl,
+                  const router::RoutingTable& routing) const;
+
+  const workload::TemplateCatalog* catalog_;
+  const CostModel* cost_model_;
+  uint32_t total_workers_;
+  OptimizerConfig config_;
+};
+
+}  // namespace soap::repartition
+
+#endif  // SOAP_REPARTITION_OPTIMIZER_H_

@@ -1,0 +1,46 @@
+// Replica planning. The paper assumes "tuple replicas are only made for
+// the purpose of high availability", distributed over distinct partitions
+// (§2.2), and gives the optimizer two dedicated operation types for them:
+// new replica creation and replica deletion. This planner produces those
+// plans: bring a key set up to a replication factor (placing copies on the
+// least-loaded partitions) or trim it back down.
+
+#ifndef SOAP_REPARTITION_REPLICATION_H_
+#define SOAP_REPARTITION_REPLICATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/repartition/operation.h"
+#include "src/router/routing_table.h"
+
+namespace soap::repartition {
+
+class ReplicaPlanner {
+ public:
+  explicit ReplicaPlanner(uint32_t num_partitions)
+      : num_partitions_(num_partitions) {}
+
+  /// Plan to raise every key in `keys` to `factor` copies. New replicas
+  /// go to the partitions with the fewest copies overall (balance),
+  /// never to a partition that already holds one (the paper's distinct-
+  /// partition rule). Keys already at or above the factor are skipped.
+  /// Fails if factor exceeds the partition count.
+  Result<RepartitionPlan> PlanReplication(
+      const router::RoutingTable& routing,
+      const std::vector<storage::TupleKey>& keys, uint32_t factor) const;
+
+  /// Plan to trim every key in `keys` down to `factor` copies, dropping
+  /// replicas from the partitions with the most copies first. The primary
+  /// is never dropped.
+  Result<RepartitionPlan> PlanDereplication(
+      const router::RoutingTable& routing,
+      const std::vector<storage::TupleKey>& keys, uint32_t factor) const;
+
+ private:
+  uint32_t num_partitions_;
+};
+
+}  // namespace soap::repartition
+
+#endif  // SOAP_REPARTITION_REPLICATION_H_

@@ -1,0 +1,159 @@
+#include "src/router/query_parser.h"
+
+#include <cctype>
+#include <charconv>
+
+namespace soap::router {
+
+namespace {
+
+/// Cursor over the SQL text with case-insensitive keyword matching.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  /// Consumes `keyword` case-insensitively; false (no movement) otherwise.
+  bool Keyword(std::string_view keyword) {
+    SkipSpace();
+    if (pos_ + keyword.size() > text_.size()) return false;
+    for (size_t i = 0; i < keyword.size(); ++i) {
+      if (std::tolower(static_cast<unsigned char>(text_[pos_ + i])) !=
+          std::tolower(static_cast<unsigned char>(keyword[i]))) {
+        return false;
+      }
+    }
+    // Keywords must end at a word boundary.
+    const size_t end = pos_ + keyword.size();
+    if (end < text_.size() &&
+        (std::isalnum(static_cast<unsigned char>(text_[end])) ||
+         text_[end] == '_')) {
+      return false;
+    }
+    pos_ = end;
+    return true;
+  }
+
+  bool Symbol(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  /// Consumes an identifier ([A-Za-z_][A-Za-z0-9_]*).
+  bool Identifier(std::string* out) {
+    SkipSpace();
+    size_t start = pos_;
+    if (pos_ < text_.size() &&
+        (std::isalpha(static_cast<unsigned char>(text_[pos_])) ||
+         text_[pos_] == '_')) {
+      ++pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_')) {
+        ++pos_;
+      }
+      *out = std::string(text_.substr(start, pos_ - start));
+      return true;
+    }
+    return false;
+  }
+
+  /// Consumes a (possibly signed) integer literal.
+  bool Integer(int64_t* out) {
+    SkipSpace();
+    size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    size_t digits_start = pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == digits_start) {
+      pos_ = start;
+      return false;
+    }
+    auto [ptr, ec] = std::from_chars(text_.data() + start,
+                                     text_.data() + pos_, *out);
+    (void)ptr;
+    return ec == std::errc();
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    // A trailing semicolon is allowed.
+    if (pos_ < text_.size() && text_[pos_] == ';') ++pos_;
+    SkipSpace();
+    return pos_ == text_.size();
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+Status ParseError(std::string_view sql, const char* what) {
+  return Status::InvalidArgument(std::string("cannot parse query (") + what +
+                                 "): " + std::string(sql));
+}
+
+}  // namespace
+
+Result<ParsedQuery> QueryParser::Parse(std::string_view sql) {
+  Cursor cur(sql);
+  ParsedQuery q;
+
+  if (cur.Keyword("select")) {
+    q.kind = ParsedQuery::Kind::kSelect;
+    std::string column;
+    if (!cur.Identifier(&column)) return ParseError(sql, "select column");
+    if (!cur.Keyword("from")) return ParseError(sql, "FROM");
+    if (!cur.Identifier(&q.table)) return ParseError(sql, "table name");
+  } else if (cur.Keyword("update")) {
+    q.kind = ParsedQuery::Kind::kUpdate;
+    if (!cur.Identifier(&q.table)) return ParseError(sql, "table name");
+    if (!cur.Keyword("set")) return ParseError(sql, "SET");
+    std::string column;
+    if (!cur.Identifier(&column)) return ParseError(sql, "set column");
+    if (!cur.Symbol('=')) return ParseError(sql, "= after set column");
+    if (!cur.Integer(&q.value)) return ParseError(sql, "set value");
+  } else {
+    return ParseError(sql, "expected SELECT or UPDATE");
+  }
+
+  if (!cur.Keyword("where")) return ParseError(sql, "WHERE");
+  std::string key_column;
+  if (!cur.Identifier(&key_column)) return ParseError(sql, "key column");
+  if (key_column != "key") {
+    return ParseError(sql, "predicate must be on the partition attribute");
+  }
+  if (!cur.Symbol('=')) return ParseError(sql, "= in predicate");
+  int64_t key = 0;
+  if (!cur.Integer(&key) || key < 0) return ParseError(sql, "key literal");
+  q.key = static_cast<storage::TupleKey>(key);
+  if (!cur.AtEnd()) return ParseError(sql, "trailing input");
+  return q;
+}
+
+std::string QueryParser::ToSql(const ParsedQuery& query) {
+  if (query.kind == ParsedQuery::Kind::kSelect) {
+    return "SELECT content FROM " + query.table +
+           " WHERE key = " + std::to_string(query.key);
+  }
+  return "UPDATE " + query.table +
+         " SET content = " + std::to_string(query.value) +
+         " WHERE key = " + std::to_string(query.key);
+}
+
+}  // namespace soap::router

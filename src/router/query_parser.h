@@ -1,0 +1,42 @@
+// The paper's prototype includes "a query parser that reads a query and
+// extracts the partition attributes of the target objects" (§4.1). This is
+// that component: a parser for the single-tuple SQL subset the workload
+// uses, producing the key the router needs.
+
+#ifndef SOAP_ROUTER_QUERY_PARSER_H_
+#define SOAP_ROUTER_QUERY_PARSER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/common/result.h"
+#include "src/storage/tuple.h"
+
+namespace soap::router {
+
+/// A parsed single-tuple query.
+struct ParsedQuery {
+  enum class Kind { kSelect, kUpdate };
+  Kind kind = Kind::kSelect;
+  storage::TupleKey key = 0;   ///< the partition attribute
+  int64_t value = 0;           ///< SET content = <value>, updates only
+  std::string table;           ///< table name (informational)
+};
+
+/// Parses queries of the forms
+///   SELECT content FROM <table> WHERE key = <k>
+///   UPDATE <table> SET content = <v> WHERE key = <k>
+/// Case-insensitive keywords, arbitrary whitespace. Anything else is an
+/// InvalidArgument error.
+class QueryParser {
+ public:
+  static Result<ParsedQuery> Parse(std::string_view sql);
+
+  /// Renders a query back to SQL (round-trip helper for tests/examples).
+  static std::string ToSql(const ParsedQuery& query);
+};
+
+}  // namespace soap::router
+
+#endif  // SOAP_ROUTER_QUERY_PARSER_H_

@@ -1,0 +1,60 @@
+#include "src/router/query_router.h"
+
+#include <algorithm>
+
+namespace soap::router {
+
+Result<PartitionId> QueryRouter::RouteRead(storage::TupleKey key) {
+  ++routed_queries_;
+  if (policy_ == ReplicaPolicy::kPrimaryOnly) {
+    return table_->GetPrimary(key);
+  }
+  SOAP_ASSIGN_OR_RETURN(Placement placement, table_->GetPlacement(key));
+  const size_t copies = placement.copy_count();
+  const size_t pick = round_robin_++ % copies;
+  if (pick == 0) return placement.primary;
+  return placement.replicas[pick - 1];
+}
+
+Result<PartitionId> QueryRouter::RouteWrite(storage::TupleKey key) {
+  ++routed_queries_;
+  return table_->GetPrimary(key);
+}
+
+Result<std::vector<PartitionId>> QueryRouter::RouteTransaction(
+    txn::Transaction* txn) {
+  std::vector<PartitionId> partitions;
+  for (txn::Operation& op : txn->ops) {
+    PartitionId partition = 0;
+    switch (op.kind) {
+      case txn::OpKind::kRead: {
+        SOAP_ASSIGN_OR_RETURN(partition, RouteRead(op.key));
+        break;
+      }
+      case txn::OpKind::kWrite: {
+        SOAP_ASSIGN_OR_RETURN(partition, RouteWrite(op.key));
+        break;
+      }
+      default:
+        // Repartition ops carry their own source/target from the plan.
+        partition = op.source_partition;
+        break;
+    }
+    op.source_partition = partition;
+    if (std::find(partitions.begin(), partitions.end(), partition) ==
+        partitions.end()) {
+      partitions.push_back(partition);
+    }
+  }
+  return partitions;
+}
+
+Result<PartitionId> QueryRouter::RouteSql(std::string_view sql) {
+  SOAP_ASSIGN_OR_RETURN(ParsedQuery query, QueryParser::Parse(sql));
+  if (query.kind == ParsedQuery::Kind::kSelect) {
+    return RouteRead(query.key);
+  }
+  return RouteWrite(query.key);
+}
+
+}  // namespace soap::router

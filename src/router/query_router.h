@@ -1,0 +1,65 @@
+// Query router (§2.1): resolves each query's target partition from the
+// routing table, chooses among replicas, and annotates transaction
+// operations with their source partitions. The repartitioner calls back
+// into the router to update mappings when repartition transactions commit.
+
+#ifndef SOAP_ROUTER_QUERY_ROUTER_H_
+#define SOAP_ROUTER_QUERY_ROUTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/router/query_parser.h"
+#include "src/router/routing_table.h"
+#include "src/txn/transaction.h"
+
+namespace soap::router {
+
+/// Replica-selection policy for reads.
+enum class ReplicaPolicy {
+  kPrimaryOnly,  ///< always read the primary copy
+  kRoundRobin,   ///< rotate over primary + replicas
+};
+
+class QueryRouter {
+ public:
+  explicit QueryRouter(RoutingTable* table,
+                       ReplicaPolicy policy = ReplicaPolicy::kPrimaryOnly)
+      : table_(table), policy_(policy) {}
+
+  const RoutingTable& routing_table() const { return *table_; }
+  RoutingTable* mutable_routing_table() { return table_; }
+
+  /// Partition a read of `key` should visit (replica choice applied).
+  Result<PartitionId> RouteRead(storage::TupleKey key);
+
+  /// Partition a write of `key` must visit (always the primary).
+  Result<PartitionId> RouteWrite(storage::TupleKey key);
+
+  /// Fills every operation's source_partition. Distinct partitions touched
+  /// are returned (the transaction's participant set before piggybacking).
+  Result<std::vector<PartitionId>> RouteTransaction(txn::Transaction* txn);
+
+  /// Parses SQL and routes it in one step (the paper's parser+router path;
+  /// exercised by examples and tests, the hot path pre-parses).
+  Result<PartitionId> RouteSql(std::string_view sql);
+
+  /// True if all ops of the transaction land on a single partition — the
+  /// distinction the whole cost model rests on (Ci vs 2·Ci).
+  static bool IsCollocated(const std::vector<PartitionId>& partitions) {
+    return partitions.size() == 1;
+  }
+
+  uint64_t routed_queries() const { return routed_queries_; }
+
+ private:
+  RoutingTable* table_;
+  ReplicaPolicy policy_;
+  uint64_t routed_queries_ = 0;
+  uint64_t round_robin_ = 0;
+};
+
+}  // namespace soap::router
+
+#endif  // SOAP_ROUTER_QUERY_ROUTER_H_

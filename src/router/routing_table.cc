@@ -1,0 +1,125 @@
+#include "src/router/routing_table.h"
+
+#include <algorithm>
+#include <string>
+
+namespace soap::router {
+
+bool Placement::HasReplicaOn(PartitionId p) const {
+  if (primary == p) return true;
+  return std::find(replicas.begin(), replicas.end(), p) != replicas.end();
+}
+
+RoutingTable::RoutingTable(uint64_t num_keys)
+    : num_keys_(num_keys), primary_(num_keys, kUnassigned) {}
+
+Result<PartitionId> RoutingTable::GetPrimary(storage::TupleKey key) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (key >= num_keys_ || primary_[key] == kUnassigned) {
+    return Status::NotFound("key " + std::to_string(key) + " not routed");
+  }
+  return primary_[key];
+}
+
+Result<Placement> RoutingTable::GetPlacement(storage::TupleKey key) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (key >= num_keys_ || primary_[key] == kUnassigned) {
+    return Status::NotFound("key " + std::to_string(key) + " not routed");
+  }
+  Placement p;
+  p.primary = primary_[key];
+  auto it = replicas_.find(key);
+  if (it != replicas_.end()) p.replicas = it->second;
+  return p;
+}
+
+Status RoutingTable::SetPrimary(storage::TupleKey key,
+                                PartitionId partition) {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (key >= num_keys_) {
+    return Status::InvalidArgument("key " + std::to_string(key) +
+                                   " out of range");
+  }
+  primary_[key] = partition;
+  ++version_;
+  return Status::OK();
+}
+
+Status RoutingTable::AddReplica(storage::TupleKey key,
+                                PartitionId partition) {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (key >= num_keys_ || primary_[key] == kUnassigned) {
+    return Status::NotFound("key " + std::to_string(key) + " not routed");
+  }
+  if (primary_[key] == partition) {
+    return Status::AlreadyExists("primary already on partition " +
+                                 std::to_string(partition));
+  }
+  auto& reps = replicas_[key];
+  if (std::find(reps.begin(), reps.end(), partition) != reps.end()) {
+    return Status::AlreadyExists("replica already on partition " +
+                                 std::to_string(partition));
+  }
+  reps.push_back(partition);
+  ++version_;
+  return Status::OK();
+}
+
+Status RoutingTable::RemoveReplica(storage::TupleKey key,
+                                   PartitionId partition) {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (key >= num_keys_ || primary_[key] == kUnassigned) {
+    return Status::NotFound("key " + std::to_string(key) + " not routed");
+  }
+  if (primary_[key] == partition) {
+    return Status::FailedPrecondition(
+        "cannot remove the primary copy via RemoveReplica");
+  }
+  auto it = replicas_.find(key);
+  if (it == replicas_.end()) {
+    return Status::NotFound("no replica on partition " +
+                            std::to_string(partition));
+  }
+  auto& reps = it->second;
+  auto rep_it = std::find(reps.begin(), reps.end(), partition);
+  if (rep_it == reps.end()) {
+    return Status::NotFound("no replica on partition " +
+                            std::to_string(partition));
+  }
+  reps.erase(rep_it);
+  if (reps.empty()) replicas_.erase(it);
+  ++version_;
+  return Status::OK();
+}
+
+Status RoutingTable::Migrate(storage::TupleKey key, PartitionId from,
+                             PartitionId to) {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (key >= num_keys_ || primary_[key] == kUnassigned) {
+    return Status::NotFound("key " + std::to_string(key) + " not routed");
+  }
+  if (primary_[key] != from) {
+    return Status::FailedPrecondition(
+        "primary of key " + std::to_string(key) + " is partition " +
+        std::to_string(primary_[key]) + ", not " + std::to_string(from));
+  }
+  primary_[key] = to;
+  ++version_;
+  return Status::OK();
+}
+
+uint64_t RoutingTable::CountPrimaries(PartitionId partition) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  uint64_t count = 0;
+  for (PartitionId p : primary_) {
+    if (p == partition) ++count;
+  }
+  return count;
+}
+
+uint64_t RoutingTable::version() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return version_;
+}
+
+}  // namespace soap::router

@@ -1,0 +1,84 @@
+// The query router's lookup table (§4.1): maps every tuple key to the
+// partition(s) holding a replica of it. The repartitioner updates these
+// mappings at repartition-transaction commit time, so routing switches
+// atomically with the data movement.
+
+#ifndef SOAP_ROUTER_ROUTING_TABLE_H_
+#define SOAP_ROUTER_ROUTING_TABLE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/storage/tuple.h"
+
+namespace soap::router {
+
+using PartitionId = uint32_t;
+
+/// Placement of one tuple: the primary copy plus high-availability
+/// replicas. The paper assumes replicas live on distinct partitions.
+struct Placement {
+  PartitionId primary = 0;
+  std::vector<PartitionId> replicas;  // excludes primary
+
+  bool HasReplicaOn(PartitionId p) const;
+  size_t copy_count() const { return 1 + replicas.size(); }
+};
+
+/// Key -> placement lookup table. Dense keys [0, n) use a flat vector for
+/// the primary (the common case: exactly one copy); the sparse replica map
+/// only holds keys that actually have extra replicas. Thread-safe.
+class RoutingTable {
+ public:
+  /// Creates a table for keys [0, num_keys) all initially unassigned;
+  /// callers must SetPrimary during bulk load.
+  explicit RoutingTable(uint64_t num_keys);
+
+  uint64_t num_keys() const { return num_keys_; }
+
+  /// Primary partition of a key.
+  Result<PartitionId> GetPrimary(storage::TupleKey key) const;
+
+  /// Full placement (primary + replicas).
+  Result<Placement> GetPlacement(storage::TupleKey key) const;
+
+  /// Assigns/overwrites the primary partition (bulk load & migration).
+  Status SetPrimary(storage::TupleKey key, PartitionId partition);
+
+  /// Adds a replica on `partition`. Fails with AlreadyExists if one (or
+  /// the primary) is already there — the paper requires replicas on
+  /// distinct partitions.
+  Status AddReplica(storage::TupleKey key, PartitionId partition);
+
+  /// Drops the replica on `partition`. The primary cannot be dropped this
+  /// way; migrate it first.
+  Status RemoveReplica(storage::TupleKey key, PartitionId partition);
+
+  /// Atomically retargets the primary from `from` to `to` (the routing
+  /// flip at the commit of an objects-migration transaction).
+  Status Migrate(storage::TupleKey key, PartitionId from, PartitionId to);
+
+  /// Number of keys whose primary is `partition` (O(n); for tests/reports).
+  uint64_t CountPrimaries(PartitionId partition) const;
+
+  /// Routing-table version, bumped on every mutation (lets caches detect
+  /// staleness).
+  uint64_t version() const;
+
+ private:
+  static constexpr PartitionId kUnassigned = UINT32_MAX;
+
+  mutable std::mutex mu_;
+  uint64_t num_keys_;
+  std::vector<PartitionId> primary_;
+  std::unordered_map<storage::TupleKey, std::vector<PartitionId>> replicas_;
+  uint64_t version_ = 0;
+};
+
+}  // namespace soap::router
+
+#endif  // SOAP_ROUTER_ROUTING_TABLE_H_

@@ -1,0 +1,24 @@
+#include "src/sim/network.h"
+
+namespace soap::sim {
+
+Duration Network::NominalLatency(NodeId from, NodeId to,
+                                 uint64_t bytes) const {
+  if (from == to) return 0;
+  return config_.base_latency +
+         static_cast<Duration>(bytes) * config_.per_kb / 1024;
+}
+
+EventId Network::Send(NodeId from, NodeId to, uint64_t bytes,
+                      std::function<void()> on_delivery) {
+  ++messages_sent_;
+  bytes_sent_ += bytes;
+  Duration delay = NominalLatency(from, to, bytes);
+  if (from != to && config_.jitter > 0) {
+    delay += static_cast<Duration>(
+        rng_.NextUint64(static_cast<uint64_t>(config_.jitter) + 1));
+  }
+  return sim_->After(delay, std::move(on_delivery));
+}
+
+}  // namespace soap::sim

@@ -1,0 +1,57 @@
+#include "src/sim/simulator.h"
+
+#include <cassert>
+
+namespace soap::sim {
+
+EventId Simulator::At(SimTime when, std::function<void()> fn) {
+  assert(when >= now_);
+  const EventId id = next_seq_;
+  queue_.push(Event{when, next_seq_, id, std::move(fn)});
+  ++next_seq_;
+  return id;
+}
+
+EventId Simulator::After(Duration delay, std::function<void()> fn) {
+  assert(delay >= 0);
+  return At(now_ + delay, std::move(fn));
+}
+
+bool Simulator::Cancel(EventId id) {
+  if (id == kInvalidEventId || id >= next_seq_) return false;
+  return cancelled_.insert(id).second;
+}
+
+bool Simulator::Step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    auto it = cancelled_.find(ev.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    assert(ev.when >= now_);
+    now_ = ev.when;
+    ++events_executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::Run() {
+  while (Step()) {
+  }
+}
+
+void Simulator::RunUntil(SimTime deadline) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (top.when > deadline) break;
+    if (!Step()) break;
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+}  // namespace soap::sim

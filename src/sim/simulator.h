@@ -1,0 +1,84 @@
+// Deterministic discrete-event simulator. A single virtual clock drives the
+// whole cluster: node workers, lock waits, network messages and interval
+// ticks are all events. Ties at the same timestamp are broken by schedule
+// order, so a run is a pure function of (config, seed).
+
+#ifndef SOAP_SIM_SIMULATOR_H_
+#define SOAP_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/time.h"
+
+namespace soap::sim {
+
+/// Opaque handle for a scheduled event; used to cancel timers (e.g. a lock
+/// wait timeout that is beaten by a grant).
+using EventId = uint64_t;
+constexpr EventId kInvalidEventId = 0;
+
+/// The event loop. Not thread-safe: the simulation is single-threaded by
+/// design so results are reproducible.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  SimTime Now() const { return now_; }
+
+  /// Schedules `fn` at absolute virtual time `when` (must be >= Now()).
+  EventId At(SimTime when, std::function<void()> fn);
+
+  /// Schedules `fn` after `delay` relative to Now().
+  EventId After(Duration delay, std::function<void()> fn);
+
+  /// Cancels a pending event. Returns false if the event already fired or
+  /// was cancelled (lazy deletion: the slot is skipped when popped).
+  bool Cancel(EventId id);
+
+  /// Runs events until the queue is empty.
+  void Run();
+
+  /// Runs events with time <= `deadline`; afterwards Now() == deadline
+  /// (even if the queue drained earlier).
+  void RunUntil(SimTime deadline);
+
+  /// Executes the single next event. Returns false when the queue is empty.
+  bool Step();
+
+  /// Number of events executed so far (for tests and sanity checks).
+  uint64_t events_executed() const { return events_executed_; }
+  /// Number of events currently pending (including cancelled slots).
+  size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    uint64_t seq;  // insertion order: stable tie-break
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 1;
+  uint64_t events_executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  // Cancelled event ids awaiting lazy removal when their slot is popped.
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace soap::sim
+
+#endif  // SOAP_SIM_SIMULATOR_H_

@@ -1,0 +1,46 @@
+#include "src/storage/storage_engine.h"
+
+namespace soap::storage {
+
+Status StorageEngine::ApplyInsert(uint64_t txn_id, const Tuple& tuple) {
+  SOAP_RETURN_NOT_OK(table_.Insert(tuple));
+  wal_.AppendInsert(txn_id, tuple);
+  return Status::OK();
+}
+
+Status StorageEngine::ApplyUpdate(uint64_t txn_id, TupleKey key,
+                                  int64_t content) {
+  SOAP_RETURN_NOT_OK(table_.Update(key, content));
+  Result<Tuple> updated = table_.Get(key);
+  wal_.AppendUpdate(txn_id, *updated);
+  return Status::OK();
+}
+
+Status StorageEngine::ApplyErase(uint64_t txn_id, TupleKey key) {
+  SOAP_RETURN_NOT_OK(table_.Erase(key));
+  wal_.AppendErase(txn_id, key);
+  return Status::OK();
+}
+
+Status StorageEngine::RecoverFromWal() {
+  Table fresh;
+  SOAP_RETURN_NOT_OK(wal_.Replay(&fresh));
+  table_ = std::move(fresh);
+  return Status::OK();
+}
+
+void StorageEngine::Checkpoint() {
+  checkpoint_ = table_;
+  wal_.Truncate(0);
+}
+
+Status StorageEngine::CrashAndRecover() {
+  // Crash: the in-memory table is gone. Restart: reload the checkpoint
+  // image and roll the WAL suffix forward over it.
+  Table recovered = checkpoint_;
+  SOAP_RETURN_NOT_OK(wal_.Replay(&recovered));
+  table_ = std::move(recovered);
+  return Status::OK();
+}
+
+}  // namespace soap::storage

@@ -1,0 +1,42 @@
+#include "src/storage/table.h"
+
+#include <string>
+
+namespace soap::storage {
+
+Status Table::Insert(const Tuple& tuple) {
+  auto [it, inserted] = rows_.emplace(tuple.key, tuple);
+  if (!inserted) {
+    return Status::AlreadyExists("tuple " + std::to_string(tuple.key));
+  }
+  return Status::OK();
+}
+
+void Table::Upsert(const Tuple& tuple) { rows_[tuple.key] = tuple; }
+
+Result<Tuple> Table::Get(TupleKey key) const {
+  auto it = rows_.find(key);
+  if (it == rows_.end()) {
+    return Status::NotFound("tuple " + std::to_string(key));
+  }
+  return it->second;
+}
+
+Status Table::Update(TupleKey key, int64_t content) {
+  auto it = rows_.find(key);
+  if (it == rows_.end()) {
+    return Status::NotFound("tuple " + std::to_string(key));
+  }
+  it->second.content = content;
+  it->second.version++;
+  return Status::OK();
+}
+
+Status Table::Erase(TupleKey key) {
+  if (rows_.erase(key) == 0) {
+    return Status::NotFound("tuple " + std::to_string(key));
+  }
+  return Status::OK();
+}
+
+}  // namespace soap::storage

@@ -1,0 +1,51 @@
+// Hash-indexed in-memory table: the per-partition tuple store.
+
+#ifndef SOAP_STORAGE_TABLE_H_
+#define SOAP_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/storage/tuple.h"
+
+namespace soap::storage {
+
+/// An unordered collection of tuples keyed by TupleKey. This is the storage
+/// behind one partition; the engine layers locking and logging on top, so
+/// the table itself is a plain single-writer structure.
+class Table {
+ public:
+  /// Inserts a new tuple. Fails with AlreadyExists if the key is present.
+  Status Insert(const Tuple& tuple);
+
+  /// Inserts or overwrites.
+  void Upsert(const Tuple& tuple);
+
+  /// Reads a tuple by key.
+  Result<Tuple> Get(TupleKey key) const;
+
+  /// Updates the content of an existing tuple, bumping its version.
+  /// Fails with NotFound if absent.
+  Status Update(TupleKey key, int64_t content);
+
+  /// Removes a tuple. Fails with NotFound if absent.
+  Status Erase(TupleKey key);
+
+  bool Contains(TupleKey key) const { return rows_.count(key) > 0; }
+  size_t size() const { return rows_.size(); }
+
+  /// Calls `fn(tuple)` for every row (iteration order unspecified).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& [key, tuple] : rows_) fn(tuple);
+  }
+
+ private:
+  std::unordered_map<TupleKey, Tuple> rows_;
+};
+
+}  // namespace soap::storage
+
+#endif  // SOAP_STORAGE_TABLE_H_

@@ -1,0 +1,27 @@
+// Tuple representation matching the paper's dataset: a global unique key
+// plus an integer content field (8 bytes of user data per tuple, §4.1).
+
+#ifndef SOAP_STORAGE_TUPLE_H_
+#define SOAP_STORAGE_TUPLE_H_
+
+#include <cstdint>
+
+namespace soap::storage {
+
+/// Global unique tuple key.
+using TupleKey = uint64_t;
+
+/// A stored row. `version` counts committed writes, which lets tests verify
+/// read-committed semantics and lost-update prevention under 2PL.
+struct Tuple {
+  TupleKey key = 0;
+  int64_t content = 0;
+  uint64_t version = 0;
+
+  /// On-wire size used by the network model (key + content).
+  static constexpr uint64_t kWireSize = 16;
+};
+
+}  // namespace soap::storage
+
+#endif  // SOAP_STORAGE_TUPLE_H_

@@ -1,0 +1,55 @@
+// Append-only write-ahead log per storage engine. Records committed
+// mutations so a partition's table can be rebuilt by replay; the recovery
+// test and the repartitioner's audit trail use it. Kept in memory (the
+// simulator has no durable media) with an optional file dump.
+
+#ifndef SOAP_STORAGE_WAL_H_
+#define SOAP_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/storage/tuple.h"
+
+namespace soap::storage {
+
+class Table;
+
+/// A single committed mutation.
+struct WalRecord {
+  enum class Kind : uint8_t { kInsert, kUpdate, kErase };
+  Kind kind;
+  uint64_t txn_id;
+  Tuple tuple;  // for kErase only the key is meaningful
+};
+
+/// In-memory redo log. Not thread-safe (owned by one engine).
+class Wal {
+ public:
+  void AppendInsert(uint64_t txn_id, const Tuple& tuple);
+  void AppendUpdate(uint64_t txn_id, const Tuple& tuple);
+  void AppendErase(uint64_t txn_id, TupleKey key);
+
+  /// Applies all records in order to an empty table, reconstructing the
+  /// engine's committed state.
+  Status Replay(Table* table) const;
+
+  /// Drops records older than `keep_last` entries (log truncation after a
+  /// checkpoint). Keeps replay correct only if the caller checkpointed.
+  void Truncate(size_t keep_last);
+
+  size_t size() const { return records_.size(); }
+  const std::vector<WalRecord>& records() const { return records_; }
+
+  /// Writes a human-readable dump (one record per line) to `path`.
+  Status DumpToFile(const std::string& path) const;
+
+ private:
+  std::vector<WalRecord> records_;
+};
+
+}  // namespace soap::storage
+
+#endif  // SOAP_STORAGE_WAL_H_

@@ -1,0 +1,145 @@
+// Transaction descriptor shared by the whole system: normal OLTP
+// transactions (5 single-tuple queries each, §4.1), pure repartition
+// transactions (§3.1), and normal transactions carrying piggybacked
+// repartition operations (§3.4) are all instances of this one type.
+
+#ifndef SOAP_TXN_TRANSACTION_H_
+#define SOAP_TXN_TRANSACTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/storage/tuple.h"
+
+namespace soap::txn {
+
+/// Global unique transaction id, assigned by the transaction manager.
+using TxnId = uint64_t;
+
+/// Scheduling priority in the processing queue (§2.1). Higher runs first;
+/// FIFO breaks ties. ApplyAll submits repartition txns at kHigh, AfterAll
+/// at kLow, Feedback/Hybrid at kNormal.
+enum class TxnPriority : uint8_t { kLow = 0, kNormal = 1, kHigh = 2 };
+
+/// Life-cycle states.
+enum class TxnState : uint8_t {
+  kCreated,
+  kQueued,
+  kRunning,
+  kPreparing,   // 2PC phase 1 in flight
+  kCommitting,  // 2PC phase 2 / local commit in flight
+  kCommitted,
+  kAborted,
+};
+
+/// What a single operation does. The first two are normal queries; the
+/// remaining four are the repartition primitives of §2.2 (objects migration
+/// is a MigrateInsert at the destination plus a MigrateDelete at the
+/// source, executed in that order inside one transaction).
+enum class OpKind : uint8_t {
+  kRead,           // read-committed read; lock-free (MVCC semantics)
+  kWrite,          // X-lock, buffered write applied at commit
+  kMigrateInsert,  // copy tuple into destination partition (X-lock)
+  kMigrateDelete,  // drop tuple from source partition (X-lock)
+  kReplicaCreate,  // add a replica at destination (X-lock)
+  kReplicaDelete,  // remove one replica (X-lock)
+};
+
+/// Returns true for operation kinds that move/copy/delete data between
+/// partitions (i.e. repartition primitives).
+constexpr bool IsRepartitionOp(OpKind kind) {
+  return kind != OpKind::kRead && kind != OpKind::kWrite;
+}
+
+/// One operation of a transaction.
+struct Operation {
+  OpKind kind = OpKind::kRead;
+  storage::TupleKey key = 0;
+  /// Partition the data currently lives in (filled by the router for
+  /// normal ops; set by the optimizer for repartition ops).
+  uint32_t source_partition = 0;
+  /// Destination partition for migration/replica ops; unused otherwise.
+  uint32_t target_partition = 0;
+  /// Value written by kWrite.
+  int64_t write_value = 0;
+  /// Id of the repartition operation this op realises (for RepRate
+  /// accounting and piggyback bookkeeping); 0 for normal queries.
+  uint64_t repartition_op_id = 0;
+};
+
+/// Why a transaction aborted (for failure-rate decomposition in reports).
+enum class AbortReason : uint8_t {
+  kNone = 0,
+  kDeadlock,
+  kLockTimeout,
+  kQueueTimeout,  // exceeded the transaction deadline while queued
+  kVoteAbort,     // a 2PC participant voted no
+  kInjected,      // failure injection in tests
+};
+
+/// A transaction as seen by the scheduler and execution engine.
+struct Transaction {
+  TxnId id = 0;
+  TxnPriority priority = TxnPriority::kNormal;
+  TxnState state = TxnState::kCreated;
+
+  /// True for a pure repartition transaction produced by Algorithm 1.
+  bool is_repartition = false;
+
+  /// Which distinct normal transaction template generated this instance
+  /// (the paper's t_i); repartition txns record the template they benefit.
+  uint32_t template_id = 0;
+
+  /// The transaction body.
+  std::vector<Operation> ops;
+
+  /// Repartition operations injected by the piggyback scheduler (§3.4).
+  /// Executed after `ops`, inside the same commit scope.
+  std::vector<Operation> piggyback_ops;
+
+  /// Id of the repartition transaction whose ops were piggybacked here
+  /// (0 = none). Used by Algorithm 2's success/failure bookkeeping.
+  uint64_t piggyback_source = 0;
+
+  SimTime submit_time = 0;
+  SimTime start_time = 0;
+  SimTime finish_time = 0;
+  AbortReason abort_reason = AbortReason::kNone;
+  /// Number of times this transaction body was (re)submitted.
+  uint32_t attempt = 0;
+
+  bool committed() const { return state == TxnState::kCommitted; }
+  bool aborted() const { return state == TxnState::kAborted; }
+  bool has_piggyback() const { return !piggyback_ops.empty(); }
+
+  /// Latency from first submission to final state change.
+  Duration Latency() const { return finish_time - submit_time; }
+};
+
+/// Monotonic id generator (the TM's "global unique ID" from §2.1).
+class TxnIdGenerator {
+ public:
+  TxnId Next() { return next_++; }
+
+ private:
+  TxnId next_ = 1;
+};
+
+/// Printable name of a priority (for reports/tests).
+inline const char* PriorityName(TxnPriority p) {
+  switch (p) {
+    case TxnPriority::kLow:
+      return "low";
+    case TxnPriority::kNormal:
+      return "normal";
+    case TxnPriority::kHigh:
+      return "high";
+  }
+  return "?";
+}
+
+}  // namespace soap::txn
+
+#endif  // SOAP_TXN_TRANSACTION_H_

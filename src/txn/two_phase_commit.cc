@@ -1,0 +1,102 @@
+#include "src/txn/two_phase_commit.h"
+
+#include <cassert>
+
+namespace soap::txn {
+
+struct TwoPhaseCommitDriver::Instance {
+  TxnId txn_id;
+  sim::NodeId coordinator;
+  std::vector<TpcParticipant> participants;
+  std::function<void(bool)> done;
+  size_t votes_pending = 0;
+  size_t acks_pending = 0;
+  bool vote_abort = false;
+  bool phase2_started = false;
+};
+
+void TwoPhaseCommitDriver::Run(TxnId txn_id, sim::NodeId coordinator,
+                               std::vector<TpcParticipant> participants,
+                               std::function<void(bool)> done) {
+  assert(!participants.empty());
+  stats_.protocols_run++;
+
+  // Single local participant: one-phase commit, no messages.
+  if (participants.size() == 1 && participants[0].node == coordinator) {
+    auto inst = std::make_shared<Instance>();
+    inst->done = std::move(done);
+    auto& p = participants[0];
+    auto commit = p.commit;
+    commit([this, inst]() {
+      stats_.committed++;
+      inst->done(true);
+    });
+    return;
+  }
+
+  auto inst = std::make_shared<Instance>();
+  inst->txn_id = txn_id;
+  inst->coordinator = coordinator;
+  inst->participants = std::move(participants);
+  inst->done = std::move(done);
+  inst->votes_pending = inst->participants.size();
+
+  for (size_t i = 0; i < inst->participants.size(); ++i) {
+    const sim::NodeId node = inst->participants[i].node;
+    stats_.messages++;
+    network_->Send(coordinator, node, kControlBytes, [this, inst, i]() {
+      // PREPARE delivered: run phase-1 work, then send the vote back.
+      TpcParticipant& p = inst->participants[i];
+      p.prepare([this, inst, i](bool vote) {
+        const sim::NodeId node = inst->participants[i].node;
+        stats_.messages++;
+        network_->Send(node, inst->coordinator, kControlBytes,
+                       [this, inst, vote]() {
+                         if (!vote) inst->vote_abort = true;
+                         assert(inst->votes_pending > 0);
+                         if (--inst->votes_pending == 0) {
+                           StartPhase2(inst, !inst->vote_abort);
+                         }
+                       });
+      });
+    });
+  }
+}
+
+void TwoPhaseCommitDriver::StartPhase2(std::shared_ptr<Instance> inst,
+                                       bool commit) {
+  assert(!inst->phase2_started);
+  inst->phase2_started = true;
+  inst->acks_pending = inst->participants.size();
+  for (size_t i = 0; i < inst->participants.size(); ++i) {
+    const sim::NodeId node = inst->participants[i].node;
+    stats_.messages++;
+    network_->Send(inst->coordinator, node, kControlBytes,
+                   [this, inst, i, node, commit]() {
+                     TpcParticipant& p = inst->participants[i];
+                     auto on_done = [this, inst, node, commit]() {
+                       stats_.messages++;
+                       network_->Send(
+                           node, inst->coordinator, kControlBytes,
+                           [this, inst, commit]() {
+                             assert(inst->acks_pending > 0);
+                             if (--inst->acks_pending == 0) {
+                               if (commit) {
+                                 stats_.committed++;
+                               } else {
+                                 stats_.aborted++;
+                               }
+                               inst->done(commit);
+                             }
+                           });
+                     };
+                     if (commit) {
+                       p.commit(on_done);
+                     } else {
+                       p.abort(on_done);
+                     }
+                   });
+  }
+}
+
+}  // namespace soap::txn

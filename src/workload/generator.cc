@@ -1,0 +1,66 @@
+#include "src/workload/generator.h"
+
+#include <cassert>
+
+namespace soap::workload {
+
+WorkloadGenerator::WorkloadGenerator(const TemplateCatalog* catalog,
+                                     uint64_t seed)
+    : catalog_(catalog),
+      rng_(seed),
+      zipf_(catalog->size(), catalog->spec().zipf_s) {}
+
+uint32_t WorkloadGenerator::SampleTemplate() {
+  if (catalog_->spec().distribution == PopularityDist::kZipf) {
+    return static_cast<uint32_t>(zipf_.Sample(rng_));
+  }
+  return static_cast<uint32_t>(rng_.NextUint64(catalog_->size()));
+}
+
+std::unique_ptr<txn::Transaction> WorkloadGenerator::GenerateOne() {
+  const uint32_t tmpl = SampleTemplate();
+  ++generated_;
+  return catalog_->Instantiate(tmpl,
+                               static_cast<int64_t>(rng_.Next() >> 32));
+}
+
+std::vector<std::unique_ptr<txn::Transaction>>
+WorkloadGenerator::GenerateInterval(double mean_arrivals) {
+  const int64_t count = rng_.NextPoisson(mean_arrivals);
+  std::vector<std::unique_ptr<txn::Transaction>> batch;
+  batch.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) batch.push_back(GenerateOne());
+  return batch;
+}
+
+double WorkloadGenerator::ExpectedInitialCost(
+    const TemplateCatalog& catalog, const CapacityModel& capacity) {
+  const auto cc = static_cast<double>(capacity.collocated_cost);
+  const auto dc = static_cast<double>(capacity.distributed_cost);
+  if (catalog.spec().distribution == PopularityDist::kUniform) {
+    const double frac = static_cast<double>(catalog.distributed_count()) /
+                        static_cast<double>(catalog.size());
+    return frac * dc + (1.0 - frac) * cc;
+  }
+  // Zipf: weight each template by its exact popularity.
+  ZipfSampler sampler(catalog.size(), catalog.spec().zipf_s);
+  double cost = 0.0;
+  for (uint32_t t = 0; t < catalog.size(); ++t) {
+    const double p = sampler.Pmf(t);
+    cost += p * (catalog.at(t).initially_distributed ? dc : cc);
+  }
+  return cost;
+}
+
+double WorkloadGenerator::CalibrateArrivalRate(
+    const TemplateCatalog& catalog, const CapacityModel& capacity,
+    double utilization) {
+  assert(utilization > 0.0);
+  const double mean_cost_us = ExpectedInitialCost(catalog, capacity);
+  // One second of virtual time provides total_workers worker-seconds.
+  const double capacity_txn_per_s =
+      static_cast<double>(capacity.total_workers) * 1e6 / mean_cost_us;
+  return utilization * capacity_txn_per_s;
+}
+
+}  // namespace soap::workload

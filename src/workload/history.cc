@@ -1,0 +1,57 @@
+#include "src/workload/history.h"
+
+#include <cassert>
+
+namespace soap::workload {
+
+WorkloadHistory::WorkloadHistory(uint32_t num_templates,
+                                 uint32_t window_intervals)
+    : num_templates_(num_templates),
+      window_intervals_(window_intervals),
+      aggregate_(num_templates, 0) {
+  assert(window_intervals_ > 0);
+  open_.counts.assign(num_templates_, 0);
+}
+
+void WorkloadHistory::Record(uint32_t template_id) {
+  assert(template_id < num_templates_);
+  open_.counts[template_id]++;
+  total_recorded_++;
+}
+
+void WorkloadHistory::CloseInterval(Duration interval_length) {
+  open_.length = interval_length;
+  for (uint32_t t = 0; t < num_templates_; ++t) {
+    aggregate_[t] += open_.counts[t];
+    aggregate_total_ += open_.counts[t];
+  }
+  aggregate_length_ += interval_length;
+  window_.push_back(std::move(open_));
+  open_ = IntervalCounts{};
+  open_.counts.assign(num_templates_, 0);
+
+  if (window_.size() > window_intervals_) {
+    const IntervalCounts& oldest = window_.front();
+    for (uint32_t t = 0; t < num_templates_; ++t) {
+      aggregate_[t] -= oldest.counts[t];
+      aggregate_total_ -= oldest.counts[t];
+    }
+    aggregate_length_ -= oldest.length;
+    window_.pop_front();
+  }
+}
+
+double WorkloadHistory::FrequencyOf(uint32_t template_id) const {
+  assert(template_id < num_templates_);
+  if (aggregate_length_ <= 0) return 0.0;
+  return static_cast<double>(aggregate_[template_id]) /
+         ToSeconds(aggregate_length_);
+}
+
+double WorkloadHistory::TotalRate() const {
+  if (aggregate_length_ <= 0) return 0.0;
+  return static_cast<double>(aggregate_total_) /
+         ToSeconds(aggregate_length_);
+}
+
+}  // namespace soap::workload

@@ -1,0 +1,61 @@
+// Workload history (§2.2): the repartitioner's optimizer "periodically
+// extracts the frequency of transactions and their visiting data
+// partitions from the workload history". This is that log: per-template
+// observation counts over a sliding window of intervals.
+
+#ifndef SOAP_WORKLOAD_HISTORY_H_
+#define SOAP_WORKLOAD_HISTORY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/common/time.h"
+
+namespace soap::workload {
+
+class WorkloadHistory {
+ public:
+  /// `num_templates`: catalogue size; `window_intervals`: how many closed
+  /// intervals the frequency estimates aggregate over.
+  WorkloadHistory(uint32_t num_templates, uint32_t window_intervals);
+
+  /// Records one observed instance of a template in the open interval.
+  void Record(uint32_t template_id);
+
+  /// Closes the current interval (called at each interval boundary with
+  /// the interval's virtual duration).
+  void CloseInterval(Duration interval_length);
+
+  /// Estimated arrival frequency of a template, in transactions per
+  /// second, over the window of closed intervals.
+  double FrequencyOf(uint32_t template_id) const;
+
+  /// Total observed transactions per second over the window.
+  double TotalRate() const;
+
+  /// Number of intervals currently aggregated.
+  size_t window_size() const { return window_.size(); }
+  uint64_t total_recorded() const { return total_recorded_; }
+
+ private:
+  struct IntervalCounts {
+    std::vector<uint32_t> counts;
+    Duration length = 0;
+  };
+
+  uint32_t num_templates_;
+  uint32_t window_intervals_;
+  IntervalCounts open_;
+  std::deque<IntervalCounts> window_;
+  /// Aggregated counts over `window_` (kept incrementally).
+  std::vector<uint64_t> aggregate_;
+  Duration aggregate_length_ = 0;
+  uint64_t total_recorded_ = 0;
+  uint64_t aggregate_total_ = 0;
+};
+
+}  // namespace soap::workload
+
+#endif  // SOAP_WORKLOAD_HISTORY_H_

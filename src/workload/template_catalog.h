@@ -1,0 +1,75 @@
+// The catalogue of distinct transaction templates (the paper's t_i): each
+// template owns a fixed set of tuple keys and fixed read/write kinds, and
+// is either collocated (all keys on one partition) or distributed (keys on
+// two partitions) under the initial placement. Repartitioning collocates
+// the distributed ones.
+
+#ifndef SOAP_WORKLOAD_TEMPLATE_CATALOG_H_
+#define SOAP_WORKLOAD_TEMPLATE_CATALOG_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/storage/tuple.h"
+#include "src/txn/transaction.h"
+#include "src/workload/workload_spec.h"
+
+namespace soap::workload {
+
+struct TxnTemplate {
+  uint32_t id = 0;
+  /// The tuple keys this template's queries touch (disjoint across
+  /// templates, so the α semantics are exact).
+  std::vector<storage::TupleKey> keys;
+  /// Per-query kind: true = write (UPDATE), false = read (SELECT).
+  std::vector<bool> is_write;
+  /// The partition the template's keys live on after repartitioning (and
+  /// before it, for collocated templates).
+  uint32_t home_partition = 0;
+  /// True if the initial placement spreads this template over two
+  /// partitions (it will be repartitioned to become collocated).
+  bool initially_distributed = false;
+  /// The keys that start on the remote partition and must be migrated
+  /// home; empty for collocated templates.
+  std::vector<storage::TupleKey> remote_keys;
+  /// The partition the remote keys start on.
+  uint32_t remote_partition = 0;
+};
+
+/// Builds and stores all templates plus the initial key->partition
+/// placement the cluster is bulk-loaded with.
+class TemplateCatalog {
+ public:
+  TemplateCatalog(const WorkloadSpec& spec, uint32_t num_partitions);
+
+  const WorkloadSpec& spec() const { return spec_; }
+  uint32_t num_partitions() const { return num_partitions_; }
+  size_t size() const { return templates_.size(); }
+  const TxnTemplate& at(uint32_t id) const { return templates_[id]; }
+  const std::vector<TxnTemplate>& templates() const { return templates_; }
+
+  /// Initial partition of any key (templates' keys per the scheme above;
+  /// unused keys round-robin).
+  uint32_t InitialPartitionOf(storage::TupleKey key) const;
+
+  /// Number of templates that start distributed.
+  uint32_t distributed_count() const { return distributed_count_; }
+
+  /// Instantiates a normal transaction from a template.
+  std::unique_ptr<txn::Transaction> Instantiate(uint32_t template_id,
+                                                int64_t write_value) const;
+
+ private:
+  WorkloadSpec spec_;
+  uint32_t num_partitions_;
+  std::vector<TxnTemplate> templates_;
+  /// key -> initial partition for keys owned by templates.
+  std::vector<uint32_t> initial_partition_;
+  uint32_t distributed_count_ = 0;
+};
+
+}  // namespace soap::workload
+
+#endif  // SOAP_WORKLOAD_TEMPLATE_CATALOG_H_

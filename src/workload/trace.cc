@@ -1,0 +1,74 @@
+#include "src/workload/trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace soap::workload {
+
+std::vector<TraceEvent> WorkloadTrace::EventsForInterval(
+    uint32_t interval) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& ev : events_) {
+    if (ev.interval == interval) out.push_back(ev);
+  }
+  return out;
+}
+
+std::vector<std::unique_ptr<txn::Transaction>> WorkloadTrace::ReplayInterval(
+    uint32_t interval, const TemplateCatalog& catalog) const {
+  std::vector<std::unique_ptr<txn::Transaction>> batch;
+  for (const TraceEvent& ev : events_) {
+    if (ev.interval != interval) continue;
+    if (ev.template_id >= catalog.size()) continue;  // foreign trace
+    batch.push_back(catalog.Instantiate(ev.template_id, ev.write_value));
+  }
+  return batch;
+}
+
+uint32_t WorkloadTrace::IntervalCount() const {
+  uint32_t max_interval = 0;
+  bool any = false;
+  for (const TraceEvent& ev : events_) {
+    max_interval = std::max(max_interval, ev.interval);
+    any = true;
+  }
+  return any ? max_interval + 1 : 0;
+}
+
+Status WorkloadTrace::SaveToFile(const std::string& path,
+                                 uint32_t num_templates) const {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open " + path + " for writing");
+  out << "soap-trace v1 " << num_templates << "\n";
+  for (const TraceEvent& ev : events_) {
+    out << ev.interval << " " << ev.template_id << " " << ev.write_value
+        << "\n";
+  }
+  return out.good() ? Status::OK() : Status::Internal("short write");
+}
+
+Result<WorkloadTrace> WorkloadTrace::LoadFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::string magic, version;
+  uint32_t num_templates = 0;
+  if (!(in >> magic >> version >> num_templates) || magic != "soap-trace" ||
+      version != "v1") {
+    return Status::Corruption("not a soap-trace v1 file: " + path);
+  }
+  WorkloadTrace trace;
+  TraceEvent ev;
+  while (in >> ev.interval >> ev.template_id >> ev.write_value) {
+    if (ev.template_id >= num_templates) {
+      return Status::Corruption("template id " +
+                                std::to_string(ev.template_id) +
+                                " out of range in " + path);
+    }
+    trace.events_.push_back(ev);
+  }
+  if (!in.eof()) return Status::Corruption("trailing garbage in " + path);
+  return trace;
+}
+
+}  // namespace soap::workload

@@ -1,0 +1,63 @@
+// Workload trace record & replay: captures the generated arrival stream
+// (interval, template, write value) to a file so a run can be replayed
+// bit-for-bit on a different build, scheduler, or configuration — the
+// deterministic-comparison tool the EC2 prototype never had.
+
+#ifndef SOAP_WORKLOAD_TRACE_H_
+#define SOAP_WORKLOAD_TRACE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/txn/transaction.h"
+#include "src/workload/template_catalog.h"
+
+namespace soap::workload {
+
+/// One recorded arrival.
+struct TraceEvent {
+  uint32_t interval = 0;
+  uint32_t template_id = 0;
+  int64_t write_value = 0;
+};
+
+/// An in-memory workload trace with text-file persistence. The file format
+/// is one line per arrival: "<interval> <template_id> <write_value>",
+/// preceded by a header line "soap-trace v1 <num_templates>".
+class WorkloadTrace {
+ public:
+  WorkloadTrace() = default;
+
+  void Record(uint32_t interval, uint32_t template_id, int64_t write_value) {
+    events_.push_back({interval, template_id, write_value});
+  }
+
+  size_t size() const { return events_.size(); }
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  /// Arrivals recorded for one interval, in recording order.
+  std::vector<TraceEvent> EventsForInterval(uint32_t interval) const;
+
+  /// Instantiates the interval's arrivals against a catalog (the replay
+  /// side of the record/replay pair).
+  std::vector<std::unique_ptr<txn::Transaction>> ReplayInterval(
+      uint32_t interval, const TemplateCatalog& catalog) const;
+
+  /// Highest interval index present (+1), i.e. the replay horizon.
+  uint32_t IntervalCount() const;
+
+  Status SaveToFile(const std::string& path,
+                    uint32_t num_templates) const;
+  static Result<WorkloadTrace> LoadFromFile(const std::string& path);
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace soap::workload
+
+#endif  // SOAP_WORKLOAD_TRACE_H_

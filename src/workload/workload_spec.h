@@ -1,0 +1,59 @@
+// Workload specification mirroring §4.1 of the paper: 500,000 tuples,
+// distinct transaction templates of 5 single-tuple queries (50/50
+// read/write), Zipf (s = 1.16, 23,457 templates — the 80-20 rule) or
+// uniform (30,000 templates) popularity, Poisson arrivals per 20-second
+// interval, and the fraction α of transactions that are distributed before
+// repartitioning and collocated after.
+
+#ifndef SOAP_WORKLOAD_WORKLOAD_SPEC_H_
+#define SOAP_WORKLOAD_WORKLOAD_SPEC_H_
+
+#include <cstdint>
+
+namespace soap::workload {
+
+enum class PopularityDist : uint8_t { kUniform, kZipf };
+
+/// Load level relative to the cluster's pre-repartitioning capacity:
+/// HighLoad = 130% (overload), LowLoad = 65% utilisation (§4.1).
+enum class LoadLevel : uint8_t { kLow, kHigh };
+
+constexpr double kHighLoadUtilization = 1.30;
+constexpr double kLowLoadUtilization = 0.65;
+
+struct WorkloadSpec {
+  PopularityDist distribution = PopularityDist::kZipf;
+  /// Distinct transaction templates: the paper uses 23,457 for Zipf and
+  /// 30,000 for uniform.
+  uint32_t num_templates = 23'457;
+  double zipf_s = 1.16;
+  uint64_t num_keys = 500'000;
+  uint32_t queries_per_txn = 5;
+  double write_fraction = 0.5;
+  /// Fraction of templates that are distributed before the repartitioning
+  /// (and collocated after) — the paper's α, swept over {1.0, 0.6, 0.2}.
+  double alpha = 1.0;
+  uint64_t seed = 7;
+
+  /// The paper's two configurations.
+  static WorkloadSpec Zipf(double alpha, uint64_t seed = 7) {
+    WorkloadSpec s;
+    s.distribution = PopularityDist::kZipf;
+    s.num_templates = 23'457;
+    s.alpha = alpha;
+    s.seed = seed;
+    return s;
+  }
+  static WorkloadSpec Uniform(double alpha, uint64_t seed = 7) {
+    WorkloadSpec s;
+    s.distribution = PopularityDist::kUniform;
+    s.num_templates = 30'000;
+    s.alpha = alpha;
+    s.seed = seed;
+    return s;
+  }
+};
+
+}  // namespace soap::workload
+
+#endif  // SOAP_WORKLOAD_WORKLOAD_SPEC_H_

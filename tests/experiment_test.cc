@@ -1,0 +1,179 @@
+#include "src/engine/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace soap::engine {
+namespace {
+
+ExperimentConfig TinyConfig() {
+  ExperimentConfig config;
+  config.workload = workload::WorkloadSpec::Zipf(1.0);
+  config.workload.num_templates = 200;
+  config.workload.num_keys = 4'000;
+  config.utilization = 0.65;
+  config.warmup_intervals = 2;
+  config.measured_intervals = 12;
+  config.strategy = SchedulingStrategy::kHybrid;
+  config.seed = 5;
+  return config;
+}
+
+TEST(ExperimentTest, SeriesHaveOnePointPerInterval) {
+  ExperimentConfig config = TinyConfig();
+  ExperimentResult r = Experiment(config).Run();
+  const size_t n = config.warmup_intervals + config.measured_intervals;
+  EXPECT_EQ(r.rep_rate.size(), n);
+  EXPECT_EQ(r.throughput.size(), n);
+  EXPECT_EQ(r.latency_ms.size(), n);
+  EXPECT_EQ(r.failure_rate.size(), n);
+  EXPECT_EQ(r.queue_length.size(), n);
+  EXPECT_EQ(r.utilization.size(), n);
+}
+
+TEST(ExperimentTest, RepRateZeroDuringWarmup) {
+  ExperimentResult r = Experiment(TinyConfig()).Run();
+  for (uint32_t i = 0; i < 2; ++i) {
+    EXPECT_DOUBLE_EQ(r.rep_rate.at(i), 0.0);
+  }
+}
+
+TEST(ExperimentTest, RepRateMonotonicallyNonDecreasing) {
+  ExperimentResult r = Experiment(TinyConfig()).Run();
+  for (size_t i = 1; i < r.rep_rate.size(); ++i) {
+    EXPECT_GE(r.rep_rate.at(i), r.rep_rate.at(i - 1));
+  }
+  EXPECT_LE(r.rep_rate.Max(), 1.0);
+}
+
+TEST(ExperimentTest, CalibrationMatchesUtilizationTarget) {
+  // Measured utilisation during warmup (pre-repartitioning) must track
+  // the configured target.
+  ExperimentConfig config = TinyConfig();
+  config.warmup_intervals = 8;
+  config.measured_intervals = 2;
+  ExperimentResult r = Experiment(config).Run();
+  double warmup_util = 0.0;
+  for (uint32_t i = 1; i < 8; ++i) warmup_util += r.utilization.at(i);
+  warmup_util /= 7.0;
+  EXPECT_NEAR(warmup_util, 0.65, 0.08);
+}
+
+TEST(ExperimentTest, ThroughputMatchesArrivalsWhenUnderloaded) {
+  ExperimentResult r = Experiment(TinyConfig()).Run();
+  // At 65% load with the plan applied, committed/min ~= arrivals/min.
+  EXPECT_NEAR(r.throughput.TailMean(4), r.arrival_rate_txn_s * 60.0,
+              r.arrival_rate_txn_s * 60.0 * 0.1);
+}
+
+TEST(ExperimentTest, FailureRateBoundedZeroOne) {
+  ExperimentResult r = Experiment(TinyConfig()).Run();
+  for (double f : r.failure_rate.values()) {
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+  }
+}
+
+TEST(ExperimentTest, AuditCleanAndDrained) {
+  ExperimentResult r = Experiment(TinyConfig()).Run();
+  EXPECT_TRUE(r.audit.ok()) << r.audit.ToString();
+  EXPECT_TRUE(r.drained);
+  EXPECT_TRUE(r.plan_completed);
+  EXPECT_EQ(r.plan_ops_applied, r.plan_ops_total);
+}
+
+TEST(ExperimentTest, CountersAddUp) {
+  ExperimentResult r = Experiment(TinyConfig()).Run();
+  const auto& c = r.counters;
+  // Every submitted normal transaction eventually commits or aborts (the
+  // run drains fully).
+  EXPECT_EQ(c.submitted_normal, c.committed_normal + c.aborted_normal);
+  EXPECT_EQ(c.submitted_repartition,
+            c.committed_repartition + c.aborted_repartition);
+  EXPECT_EQ(c.aborted_normal + c.aborted_repartition,
+            c.aborts_deadlock + c.aborts_lock_timeout +
+                c.aborts_queue_timeout + c.aborts_vote);
+}
+
+TEST(ExperimentTest, AlphaScalesPlanSize) {
+  ExperimentConfig a = TinyConfig();
+  a.workload.alpha = 1.0;
+  ExperimentConfig b = TinyConfig();
+  b.workload.alpha = 0.2;
+  ExperimentResult ra = Experiment(a).Run();
+  ExperimentResult rb = Experiment(b).Run();
+  EXPECT_NEAR(static_cast<double>(rb.plan_ops_total),
+              static_cast<double>(ra.plan_ops_total) * 0.2,
+              static_cast<double>(ra.plan_ops_total) * 0.02);
+  // Lower alpha -> cheaper initial mix -> more transactions submitted for
+  // the same utilisation (the paper's observation in §4.2).
+  EXPECT_GT(rb.arrival_rate_txn_s, ra.arrival_rate_txn_s);
+}
+
+TEST(ExperimentTest, SummaryMentionsStrategy) {
+  ExperimentResult r = Experiment(TinyConfig()).Run();
+  EXPECT_NE(r.Summary().find("Hybrid"), std::string::npos);
+}
+
+TEST(ExperimentTest, MakeSchedulerCoversAllStrategies) {
+  for (auto s : {SchedulingStrategy::kApplyAll, SchedulingStrategy::kAfterAll,
+                 SchedulingStrategy::kFeedback,
+                 SchedulingStrategy::kPiggyback,
+                 SchedulingStrategy::kHybrid}) {
+    auto scheduler = MakeScheduler(s, {}, {});
+    ASSERT_NE(scheduler, nullptr);
+    EXPECT_EQ(scheduler->name(), StrategyName(s));
+  }
+}
+
+TEST(ExperimentTest, TraceReplayReproducesRunExactly) {
+  const std::string path = ::testing::TempDir() + "/soap_exp_trace.txt";
+  ExperimentConfig config = TinyConfig();
+  config.record_trace_path = path;
+  ExperimentResult original = Experiment(config).Run();
+
+  ExperimentConfig replay = TinyConfig();
+  replay.replay_trace_path = path;
+  replay.seed = 999;  // generator seed is irrelevant under replay
+  ExperimentResult replayed = Experiment(replay).Run();
+
+  ASSERT_EQ(original.throughput.size(), replayed.throughput.size());
+  for (size_t i = 0; i < original.throughput.size(); ++i) {
+    EXPECT_DOUBLE_EQ(original.throughput.at(i), replayed.throughput.at(i));
+    EXPECT_DOUBLE_EQ(original.rep_rate.at(i), replayed.rep_rate.at(i));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ExperimentTest, ReplayMissingTraceFailsCleanly) {
+  ExperimentConfig config = TinyConfig();
+  config.replay_trace_path = "/no/such/file.trace";
+  ExperimentResult r = Experiment(config).Run();
+  EXPECT_FALSE(r.audit.ok());
+}
+
+TEST(ExperimentTest, P99AtLeastMeanLatency) {
+  ExperimentResult r = Experiment(TinyConfig()).Run();
+  for (size_t i = 0; i < r.latency_ms.size(); ++i) {
+    if (r.latency_ms.at(i) > 0) {
+      EXPECT_GE(r.latency_p99_ms.at(i), r.latency_ms.at(i) * 0.5) << i;
+    }
+  }
+}
+
+TEST(ExperimentTest, DifferentSeedsDifferentTraces) {
+  ExperimentConfig a = TinyConfig();
+  ExperimentConfig b = TinyConfig();
+  b.seed = 6;
+  ExperimentResult ra = Experiment(a).Run();
+  ExperimentResult rb = Experiment(b).Run();
+  bool any_difference = false;
+  for (size_t i = 0; i < ra.throughput.size(); ++i) {
+    if (ra.throughput.at(i) != rb.throughput.at(i)) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+}  // namespace
+}  // namespace soap::engine

@@ -1,0 +1,110 @@
+#include "src/common/flags.h"
+
+#include "src/common/series.h"
+
+#include <gtest/gtest.h>
+
+namespace soap {
+namespace {
+
+Flags MustParse(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  Result<Flags> r =
+      Flags::Parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+TEST(FlagsTest, EqualsForm) {
+  Flags f = MustParse({"--name=value", "--n=7"});
+  EXPECT_EQ(f.GetString("name"), "value");
+  EXPECT_EQ(f.GetInt("n"), 7);
+}
+
+TEST(FlagsTest, SpaceForm) {
+  Flags f = MustParse({"--alpha", "0.6", "--strategy", "hybrid"});
+  EXPECT_DOUBLE_EQ(f.GetDouble("alpha"), 0.6);
+  EXPECT_EQ(f.GetString("strategy"), "hybrid");
+}
+
+TEST(FlagsTest, BooleanForms) {
+  Flags f = MustParse({"--chart", "--verbose=true", "--quiet=0"});
+  EXPECT_TRUE(f.GetBool("chart"));
+  EXPECT_TRUE(f.GetBool("verbose"));
+  EXPECT_FALSE(f.GetBool("quiet"));
+  EXPECT_FALSE(f.GetBool("absent"));
+  EXPECT_TRUE(f.GetBool("absent", true));
+}
+
+TEST(FlagsTest, TrailingBooleanBeforeFlag) {
+  Flags f = MustParse({"--chart", "--csv", "out.csv"});
+  EXPECT_TRUE(f.GetBool("chart"));
+  EXPECT_EQ(f.GetString("csv"), "out.csv");
+}
+
+TEST(FlagsTest, Positional) {
+  Flags f = MustParse({"input.txt", "--k=1", "more"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "input.txt");
+  EXPECT_EQ(f.positional()[1], "more");
+}
+
+TEST(FlagsTest, Defaults) {
+  Flags f = MustParse({});
+  EXPECT_EQ(f.GetString("missing", "dflt"), "dflt");
+  EXPECT_EQ(f.GetInt("missing", 42), 42);
+  EXPECT_DOUBLE_EQ(f.GetDouble("missing", 2.5), 2.5);
+}
+
+TEST(FlagsTest, MalformedRejected) {
+  const char* argv1[] = {"prog", "--"};
+  EXPECT_FALSE(Flags::Parse(2, argv1).ok());
+  const char* argv2[] = {"prog", "--=oops"};
+  EXPECT_FALSE(Flags::Parse(2, argv2).ok());
+}
+
+TEST(FlagsTest, UnconsumedDetection) {
+  Flags f = MustParse({"--known=1", "--typo=2"});
+  (void)f.GetInt("known");
+  auto unused = f.UnconsumedFlags();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(SeriesChartTest, ChartContainsLegendAndMarks) {
+  SeriesBundle b("demo");
+  Series& a = b.Add("alpha");
+  for (double v : {1.0, 5.0, 9.0}) a.Append(v);
+  Series& c = b.Add("beta");
+  for (double v : {9.0, 5.0, 1.0}) c.Append(v);
+  const std::string chart = b.ToAsciiChart(6);
+  EXPECT_NE(chart.find("legend: A=alpha B=beta"), std::string::npos);
+  EXPECT_NE(chart.find('A'), std::string::npos);
+  EXPECT_NE(chart.find('B'), std::string::npos);
+  EXPECT_NE(chart.find("demo"), std::string::npos);
+}
+
+TEST(SeriesChartTest, EmptyBundleSafe) {
+  SeriesBundle b("empty");
+  EXPECT_NE(b.ToAsciiChart().find("empty"), std::string::npos);
+}
+
+TEST(SeriesChartTest, FlatSeriesSafe) {
+  SeriesBundle b("flat");
+  Series& s = b.Add("x");
+  for (int i = 0; i < 5; ++i) s.Append(3.0);
+  const std::string chart = b.ToAsciiChart(4);
+  EXPECT_NE(chart.find('A'), std::string::npos);
+}
+
+TEST(SeriesChartTest, LogScaleLabelsPositive) {
+  SeriesBundle b("lat");
+  Series& s = b.Add("ms");
+  for (double v : {10.0, 100.0, 100000.0}) s.Append(v);
+  const std::string chart = b.ToAsciiChart(8, /*log_scale=*/true);
+  EXPECT_NE(chart.find("log scale"), std::string::npos);
+  EXPECT_EQ(chart.find("-nan"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace soap

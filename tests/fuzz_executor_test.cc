@@ -1,0 +1,178 @@
+// Randomized executor property test: a seeded storm of writers, readers,
+// migrations and replica operations over a small cluster. Whatever the
+// interleaving, at quiesce (a) every transaction reached a terminal state,
+// (b) storage and routing agree exactly (CheckConsistency), (c) no lock is
+// left behind, and (d) each key's final value is the write_value of some
+// committed writer (no lost or phantom updates).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/cluster/transaction_manager.h"
+#include "src/common/random.h"
+
+namespace soap {
+namespace {
+
+using cluster::Cluster;
+using cluster::ClusterConfig;
+using cluster::TransactionManager;
+using txn::OpKind;
+using txn::Operation;
+using txn::Transaction;
+
+class ExecutorFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExecutorFuzz, InvariantsUnderRandomStorm) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed);
+
+  constexpr uint32_t kNodes = 3;
+  constexpr uint64_t kKeys = 40;
+  sim::Simulator sim;
+  ClusterConfig config;
+  config.num_nodes = kNodes;
+  config.workers_per_node = 2;
+  config.num_keys = kKeys;
+  config.network.jitter = Micros(300);
+  // Exercise both isolation levels across seeds.
+  config.isolation = seed % 2 == 0 ? cluster::IsolationLevel::kReadCommitted
+                                   : cluster::IsolationLevel::kSerializable;
+  Cluster cluster(&sim, config);
+  TransactionManager tm(&cluster);
+  for (storage::TupleKey k = 0; k < kKeys; ++k) {
+    storage::Tuple t;
+    t.key = k;
+    t.content = -1;
+    ASSERT_TRUE(cluster.LoadTuple(t, k % kNodes).ok());
+  }
+
+  // Committed writers per key, collected at completion.
+  std::map<storage::TupleKey, std::set<int64_t>> committed_writes;
+  std::map<txn::TxnId, std::vector<std::pair<storage::TupleKey, int64_t>>>
+      write_sets;
+  uint64_t completed = 0;
+  tm.set_completion_callback([&](const Transaction& t) {
+    ++completed;
+    if (!t.committed()) return;
+    for (const auto& [key, value] : write_sets[t.id]) {
+      committed_writes[key].insert(value);
+    }
+  });
+
+  uint64_t submitted = 0;
+  int64_t next_value = 1;
+  uint64_t next_rep_id = 1;
+  for (int step = 0; step < 400; ++step) {
+    const SimTime at = static_cast<SimTime>(rng.NextUint64(5'000)) * 1000;
+    const uint32_t kind = static_cast<uint32_t>(rng.NextUint64(10));
+    auto t = std::make_unique<Transaction>();
+    if (kind < 5) {
+      // Mixed read/write transaction over 1-4 distinct keys.
+      const auto num_ops = 1 + rng.NextUint64(4);
+      std::set<storage::TupleKey> keys;
+      while (keys.size() < num_ops) keys.insert(rng.NextUint64(kKeys));
+      for (storage::TupleKey key : keys) {
+        Operation op;
+        if (rng.NextBernoulli(0.5)) {
+          op.kind = OpKind::kWrite;
+          op.key = key;
+          op.write_value = next_value++;
+        } else {
+          op.kind = OpKind::kRead;
+          op.key = key;
+        }
+        t->ops.push_back(op);
+      }
+    } else if (kind < 8) {
+      // Migration of a random key to a random other partition; source is
+      // resolved optimistically (a stale source makes the op skip).
+      const storage::TupleKey key = rng.NextUint64(kKeys);
+      const uint32_t to = static_cast<uint32_t>(rng.NextUint64(kNodes));
+      t->is_repartition = true;
+      Operation ins;
+      ins.kind = OpKind::kMigrateInsert;
+      ins.key = key;
+      ins.source_partition = static_cast<uint32_t>(key % kNodes);
+      ins.target_partition = to;
+      ins.repartition_op_id = next_rep_id;
+      Operation del = ins;
+      del.kind = OpKind::kMigrateDelete;
+      t->ops = {ins, del};
+      ++next_rep_id;
+    } else if (kind < 9) {
+      const storage::TupleKey key = rng.NextUint64(kKeys);
+      t->is_repartition = true;
+      Operation create;
+      create.kind = OpKind::kReplicaCreate;
+      create.key = key;
+      create.target_partition = static_cast<uint32_t>(rng.NextUint64(kNodes));
+      create.repartition_op_id = next_rep_id++;
+      t->ops = {create};
+    } else {
+      const storage::TupleKey key = rng.NextUint64(kKeys);
+      t->is_repartition = true;
+      Operation del;
+      del.kind = OpKind::kReplicaDelete;
+      del.key = key;
+      del.source_partition = static_cast<uint32_t>(rng.NextUint64(kNodes));
+      del.repartition_op_id = next_rep_id++;
+      t->ops = {del};
+    }
+    ++submitted;
+    Transaction* raw = t.get();
+    sim.At(at, [&tm, &write_sets, raw, t = std::shared_ptr<Transaction>(
+                                            std::move(t))]() mutable {
+      // Capture the write set under the id the TM will assign.
+      auto owned = std::make_unique<Transaction>(*t);
+      const txn::TxnId id = tm.Submit(std::move(owned));
+      std::vector<std::pair<storage::TupleKey, int64_t>> writes;
+      for (const Operation& op : raw->ops) {
+        if (op.kind == OpKind::kWrite) {
+          writes.emplace_back(op.key, op.write_value);
+        }
+      }
+      write_sets[id] = std::move(writes);
+    });
+  }
+  sim.Run();
+
+  // (a) Every submission reached a terminal state.
+  EXPECT_EQ(completed, submitted);
+  EXPECT_EQ(tm.inflight(), 0u);
+  EXPECT_TRUE(tm.queue().Empty());
+  // (b) Storage and routing agree.
+  EXPECT_TRUE(cluster.CheckConsistency().ok()) << "seed " << seed;
+  // (c) No lock residue.
+  EXPECT_EQ(cluster.lock_manager().LockedKeyCount(), 0u);
+  // (d) Every key's final value is -1 (never written) or some committed
+  // writer's value; replicas match the primary.
+  for (storage::TupleKey key = 0; key < kKeys; ++key) {
+    Result<router::Placement> placement =
+        cluster.routing_table().GetPlacement(key);
+    ASSERT_TRUE(placement.ok()) << key;
+    Result<storage::Tuple> tuple =
+        cluster.storage(placement->primary).Read(key);
+    ASSERT_TRUE(tuple.ok()) << key;
+    if (tuple->content != -1) {
+      EXPECT_TRUE(committed_writes[key].count(tuple->content))
+          << "key " << key << " holds value " << tuple->content
+          << " from no committed writer (seed " << seed << ")";
+    }
+    for (uint32_t rep : placement->replicas) {
+      Result<storage::Tuple> copy = cluster.storage(rep).Read(key);
+      ASSERT_TRUE(copy.ok());
+      EXPECT_EQ(copy->content, tuple->content) << "replica divergence";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExecutorFuzz,
+                         ::testing::Range<uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace soap

@@ -1,0 +1,122 @@
+#include "src/common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+
+namespace soap {
+namespace {
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 0.0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(42);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 42u);
+  EXPECT_EQ(h.max(), 42u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 42.0);
+  EXPECT_NEAR(h.Percentile(50), 42.0, 1e-9);
+}
+
+TEST(HistogramTest, MeanIsExact) {
+  Histogram h;
+  for (uint64_t v : {10u, 20u, 30u, 40u}) h.Record(v);
+  EXPECT_DOUBLE_EQ(h.Mean(), 25.0);
+}
+
+TEST(HistogramTest, MinMaxTracked) {
+  Histogram h;
+  h.Record(5);
+  h.Record(500000);
+  h.Record(17);
+  EXPECT_EQ(h.min(), 5u);
+  EXPECT_EQ(h.max(), 500000u);
+}
+
+TEST(HistogramTest, PercentilesOrdered) {
+  Histogram h;
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) h.Record(rng.NextUint64(100000));
+  double prev = 0.0;
+  for (double p : {10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0}) {
+    double q = h.Percentile(p);
+    EXPECT_GE(q, prev);
+    prev = q;
+  }
+}
+
+TEST(HistogramTest, UniformMedianApproximatelyCenter) {
+  Histogram h;
+  Rng rng(2);
+  for (int i = 0; i < 100000; ++i) h.Record(rng.NextUint64(1 << 16));
+  // Exponential buckets give coarse quantiles: within a factor ~2.
+  const double med = h.Percentile(50);
+  EXPECT_GT(med, (1 << 16) * 0.25);
+  EXPECT_LT(med, (1 << 16) * 0.95);
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a, b;
+  a.Record(1);
+  a.Record(2);
+  b.Record(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.min(), 1u);
+  EXPECT_EQ(a.max(), 1000u);
+  EXPECT_DOUBLE_EQ(a.Mean(), (1 + 2 + 1000) / 3.0);
+}
+
+TEST(HistogramTest, MergeWithEmpty) {
+  Histogram a, b;
+  a.Record(9);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.min(), 9u);
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_EQ(b.min(), 9u);
+}
+
+TEST(HistogramTest, ClearResets) {
+  Histogram h;
+  h.Record(7);
+  h.Clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+}
+
+TEST(HistogramTest, ZeroAndOneShareFirstBucket) {
+  Histogram h;
+  h.Record(0);
+  h.Record(1);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 1u);
+}
+
+TEST(HistogramTest, LargeValues) {
+  Histogram h;
+  h.Record(UINT64_MAX);
+  h.Record(UINT64_MAX / 2);
+  EXPECT_EQ(h.max(), UINT64_MAX);
+  EXPECT_EQ(h.count(), 2u);
+}
+
+TEST(HistogramTest, ToStringContainsCount) {
+  Histogram h;
+  h.Record(3);
+  EXPECT_NE(h.ToString().find("count=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace soap

@@ -1,0 +1,318 @@
+// Cross-module integration and property tests: migrations racing normal
+// writes, WAL recovery of a post-repartitioning node, the repartitioner's
+// end-to-end path, and an experiment matrix sweep asserting the invariants
+// every (strategy, load, distribution) combination must uphold.
+
+#include <gtest/gtest.h>
+
+#include "src/engine/experiment.h"
+
+namespace soap {
+namespace {
+
+using cluster::Cluster;
+using cluster::ClusterConfig;
+using cluster::TransactionManager;
+using txn::OpKind;
+using txn::Operation;
+using txn::Transaction;
+
+// ---------------------------------------------------------------------
+// Migration / write interleavings on a raw cluster.
+// ---------------------------------------------------------------------
+
+class RaceTest : public ::testing::Test {
+ protected:
+  RaceTest() : cluster_(&sim_, Config()), tm_(&cluster_) {
+    for (storage::TupleKey k = 0; k < 20; ++k) {
+      storage::Tuple t;
+      t.key = k;
+      t.content = 1000 + static_cast<int64_t>(k);
+      EXPECT_TRUE(cluster_.LoadTuple(t, k % 2).ok());
+    }
+    tm_.set_completion_callback([this](const Transaction& t) {
+      if (t.committed()) ++commits_;
+      else ++aborts_;
+    });
+  }
+
+  static ClusterConfig Config() {
+    ClusterConfig c;
+    c.num_nodes = 2;
+    c.workers_per_node = 2;
+    c.num_keys = 20;
+    c.network.jitter = 0;
+    return c;
+  }
+
+  std::unique_ptr<Transaction> Migration(storage::TupleKey key,
+                                         uint32_t from, uint32_t to,
+                                         uint64_t id) {
+    auto t = std::make_unique<Transaction>();
+    t->is_repartition = true;
+    Operation ins;
+    ins.kind = OpKind::kMigrateInsert;
+    ins.key = key;
+    ins.source_partition = from;
+    ins.target_partition = to;
+    ins.repartition_op_id = id;
+    Operation del = ins;
+    del.kind = OpKind::kMigrateDelete;
+    t->ops = {ins, del};
+    return t;
+  }
+
+  std::unique_ptr<Transaction> Writer(storage::TupleKey key, int64_t value) {
+    auto t = std::make_unique<Transaction>();
+    Operation w;
+    w.kind = OpKind::kWrite;
+    w.key = key;
+    w.write_value = value;
+    t->ops = {w};
+    return t;
+  }
+
+  sim::Simulator sim_;
+  Cluster cluster_;
+  TransactionManager tm_;
+  int commits_ = 0;
+  int aborts_ = 0;
+};
+
+TEST_F(RaceTest, WriteBeforeMigrationIsCarriedAlong) {
+  tm_.Submit(Writer(0, 7));
+  sim_.After(Millis(50), [&] { tm_.Submit(Migration(0, 0, 1, 1)); });
+  sim_.Run();
+  EXPECT_EQ(commits_, 2);
+  EXPECT_EQ(cluster_.storage(1).Read(0)->content, 7);
+  EXPECT_TRUE(cluster_.CheckConsistency().ok());
+}
+
+TEST_F(RaceTest, WriteRacingMigrationLandsAtNewHome) {
+  // Submitted in the same instant: whatever the interleaving, the write
+  // must not be lost and consistency must hold.
+  tm_.Submit(Migration(0, 0, 1, 1));
+  tm_.Submit(Writer(0, 7));
+  sim_.Run();
+  EXPECT_EQ(commits_, 2);
+  EXPECT_EQ(*cluster_.routing_table().GetPrimary(0), 1u);
+  EXPECT_EQ(cluster_.storage(1).Read(0)->content, 7);
+  EXPECT_TRUE(cluster_.CheckConsistency().ok());
+}
+
+TEST_F(RaceTest, ReadsNeverBlockDuringMigration) {
+  tm_.Submit(Migration(0, 0, 1, 1));
+  auto reader = std::make_unique<Transaction>();
+  Operation r;
+  r.kind = OpKind::kRead;
+  r.key = 0;
+  reader->ops = {r};
+  SimTime reader_done = 0;
+  tm_.set_completion_callback([&](const Transaction& t) {
+    if (!t.is_repartition) reader_done = t.finish_time;
+    if (t.committed()) ++commits_;
+  });
+  tm_.Submit(std::move(reader));
+  sim_.Run();
+  EXPECT_EQ(commits_, 2);
+  // The lock-free read finishes long before the migration's commit.
+  EXPECT_LT(reader_done, Millis(40));
+}
+
+TEST_F(RaceTest, TwoMigrationsOfSameKeySecondSkips) {
+  tm_.Submit(Migration(0, 0, 1, 1));
+  tm_.Submit(Migration(0, 0, 1, 2));  // stale duplicate plan unit
+  sim_.Run();
+  EXPECT_EQ(commits_, 2);  // both commit; second is a no-op
+  EXPECT_EQ(tm_.counters().repartition_ops_applied, 1u);
+  EXPECT_TRUE(cluster_.storage(1).Contains(0));
+  EXPECT_FALSE(cluster_.storage(0).Contains(0));
+  EXPECT_TRUE(cluster_.CheckConsistency().ok());
+}
+
+TEST_F(RaceTest, OppositeMigrationsSerializeCleanly) {
+  tm_.Submit(Migration(0, 0, 1, 1));  // key 0: partition 0 -> 1
+  tm_.Submit(Migration(1, 1, 0, 2));  // key 1: partition 1 -> 0
+  sim_.Run();
+  EXPECT_EQ(commits_, 2);
+  EXPECT_EQ(*cluster_.routing_table().GetPrimary(0), 1u);
+  EXPECT_EQ(*cluster_.routing_table().GetPrimary(1), 0u);
+  EXPECT_TRUE(cluster_.CheckConsistency().ok());
+}
+
+TEST_F(RaceTest, WalRecoveryAfterMigrations) {
+  tm_.Submit(Migration(0, 0, 1, 1));
+  tm_.Submit(Writer(0, 99));
+  sim_.Run();
+  ASSERT_EQ(commits_, 2);
+  // Rebuild partition 1 purely from its WAL; committed state must match.
+  // (BulkLoad is not logged, so replay only the delta onto the loaded
+  // base — here we check the migrated tuple is in the log.)
+  bool found = false;
+  for (const auto& rec : cluster_.storage(1).wal().records()) {
+    if (rec.tuple.key == 0 &&
+        rec.kind == storage::WalRecord::Kind::kInsert) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(RaceTest, ReplicaCreateThenWriteKeepsCopiesIdentical) {
+  auto t = std::make_unique<Transaction>();
+  t->is_repartition = true;
+  Operation create;
+  create.kind = OpKind::kReplicaCreate;
+  create.key = 0;
+  create.target_partition = 1;
+  create.repartition_op_id = 1;
+  t->ops = {create};
+  tm_.Submit(std::move(t));
+  tm_.Submit(Writer(0, 31));
+  sim_.Run();
+  EXPECT_EQ(commits_, 2);
+  ASSERT_TRUE(cluster_.storage(0).Contains(0));
+  ASSERT_TRUE(cluster_.storage(1).Contains(0));
+  EXPECT_EQ(cluster_.storage(0).Read(0)->content, 31);
+  EXPECT_EQ(cluster_.storage(1).Read(0)->content, 31);
+  EXPECT_TRUE(cluster_.CheckConsistency().ok());
+}
+
+TEST_F(RaceTest, ReplicaDeleteRemovesCopy) {
+  // Create then delete a replica; the primary must survive.
+  auto create = std::make_unique<Transaction>();
+  create->is_repartition = true;
+  Operation c;
+  c.kind = OpKind::kReplicaCreate;
+  c.key = 0;
+  c.target_partition = 1;
+  c.repartition_op_id = 1;
+  create->ops = {c};
+  tm_.Submit(std::move(create));
+  sim_.Run();
+
+  auto del = std::make_unique<Transaction>();
+  del->is_repartition = true;
+  Operation d;
+  d.kind = OpKind::kReplicaDelete;
+  d.key = 0;
+  d.source_partition = 1;
+  d.repartition_op_id = 2;
+  del->ops = {d};
+  tm_.Submit(std::move(del));
+  sim_.Run();
+
+  EXPECT_TRUE(cluster_.storage(0).Contains(0));
+  EXPECT_FALSE(cluster_.storage(1).Contains(0));
+  EXPECT_EQ(cluster_.routing_table().GetPlacement(0)->copy_count(), 1u);
+  EXPECT_TRUE(cluster_.CheckConsistency().ok());
+}
+
+TEST_F(RaceTest, ClusterSurvivesCrashRecoveryOfEveryNode) {
+  // Checkpoint the load base, run a mix of migrations and writes, then
+  // crash-and-recover every node: the recovered cluster must be exactly
+  // consistent with the routing table.
+  cluster_.CheckpointAll();
+  tm_.Submit(Migration(0, 0, 1, 1));
+  tm_.Submit(Migration(3, 1, 0, 2));
+  tm_.Submit(Writer(0, 41));
+  tm_.Submit(Writer(3, 43));
+  tm_.Submit(Writer(5, 45));
+  sim_.Run();
+  ASSERT_EQ(commits_, 5);
+  for (uint32_t n = 0; n < 2; ++n) {
+    ASSERT_TRUE(cluster_.storage(n).CrashAndRecover().ok()) << n;
+  }
+  EXPECT_TRUE(cluster_.CheckConsistency().ok());
+  EXPECT_EQ(cluster_.storage(1).Read(0)->content, 41);
+  EXPECT_EQ(cluster_.storage(0).Read(3)->content, 43);
+  EXPECT_EQ(cluster_.storage(1).Read(5)->content, 45);
+}
+
+// ---------------------------------------------------------------------
+// Experiment matrix sweep: invariants for every combination.
+// ---------------------------------------------------------------------
+
+struct MatrixCase {
+  SchedulingStrategy strategy;
+  double utilization;
+  workload::PopularityDist dist;
+  double alpha;
+};
+
+class ExperimentMatrix : public ::testing::TestWithParam<MatrixCase> {};
+
+TEST_P(ExperimentMatrix, InvariantsHold) {
+  const MatrixCase& param = GetParam();
+  engine::ExperimentConfig config;
+  config.workload = param.dist == workload::PopularityDist::kZipf
+                        ? workload::WorkloadSpec::Zipf(param.alpha)
+                        : workload::WorkloadSpec::Uniform(param.alpha);
+  config.workload.num_templates = 300;
+  config.workload.num_keys = 6'000;
+  config.utilization = param.utilization;
+  config.warmup_intervals = 2;
+  config.measured_intervals = 15;
+  config.strategy = param.strategy;
+  config.seed = 99;
+  engine::ExperimentResult r = engine::Experiment(config).Run();
+
+  // 1. Storage/routing consistency after quiesce.
+  EXPECT_TRUE(r.audit.ok()) << r.audit.ToString();
+  // 2. RepRate is a monotone fraction.
+  EXPECT_LE(r.rep_rate.Max(), 1.0);
+  for (size_t i = 1; i < r.rep_rate.size(); ++i) {
+    EXPECT_GE(r.rep_rate.at(i), r.rep_rate.at(i - 1));
+  }
+  // 3. Plan units never over-applied.
+  EXPECT_LE(r.plan_ops_applied, r.plan_ops_total);
+  // 4. Failure rate bounded.
+  for (double f : r.failure_rate.values()) {
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+  }
+  // 5. Accounting closes once drained.
+  if (r.drained) {
+    EXPECT_EQ(r.counters.submitted_normal,
+              r.counters.committed_normal + r.counters.aborted_normal);
+  }
+}
+
+std::string MatrixName(
+    const ::testing::TestParamInfo<MatrixCase>& info) {
+  const MatrixCase& c = info.param;
+  std::string name = StrategyName(c.strategy);
+  name += c.utilization > 1.0 ? "_High" : "_Low";
+  name += c.dist == workload::PopularityDist::kZipf ? "_Zipf" : "_Uniform";
+  name += "_a";
+  name += std::to_string(static_cast<int>(c.alpha * 100));
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ExperimentMatrix,
+    ::testing::Values(
+        MatrixCase{SchedulingStrategy::kApplyAll, 1.30,
+                   workload::PopularityDist::kZipf, 1.0},
+        MatrixCase{SchedulingStrategy::kAfterAll, 1.30,
+                   workload::PopularityDist::kZipf, 1.0},
+        MatrixCase{SchedulingStrategy::kFeedback, 1.30,
+                   workload::PopularityDist::kUniform, 1.0},
+        MatrixCase{SchedulingStrategy::kPiggyback, 1.30,
+                   workload::PopularityDist::kUniform, 0.6},
+        MatrixCase{SchedulingStrategy::kHybrid, 1.30,
+                   workload::PopularityDist::kZipf, 0.6},
+        MatrixCase{SchedulingStrategy::kApplyAll, 0.65,
+                   workload::PopularityDist::kUniform, 0.2},
+        MatrixCase{SchedulingStrategy::kAfterAll, 0.65,
+                   workload::PopularityDist::kUniform, 1.0},
+        MatrixCase{SchedulingStrategy::kFeedback, 0.65,
+                   workload::PopularityDist::kZipf, 0.2},
+        MatrixCase{SchedulingStrategy::kPiggyback, 0.65,
+                   workload::PopularityDist::kZipf, 1.0},
+        MatrixCase{SchedulingStrategy::kHybrid, 0.65,
+                   workload::PopularityDist::kUniform, 1.0}),
+    MatrixName);
+
+}  // namespace
+}  // namespace soap

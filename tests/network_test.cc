@@ -1,0 +1,87 @@
+#include "src/sim/network.h"
+
+#include <gtest/gtest.h>
+
+namespace soap::sim {
+namespace {
+
+NetworkConfig NoJitter() {
+  NetworkConfig c;
+  c.base_latency = Millis(1);
+  c.per_kb = Micros(1024);  // 1us per byte for easy math
+  c.jitter = 0;
+  return c;
+}
+
+TEST(NetworkTest, IntraNodeIsInstant) {
+  Simulator sim;
+  Network net(&sim, NoJitter());
+  SimTime delivered = -1;
+  net.Send(2, 2, 4096, [&] { delivered = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(delivered, 0);
+}
+
+TEST(NetworkTest, CrossNodeLatency) {
+  Simulator sim;
+  Network net(&sim, NoJitter());
+  SimTime delivered = -1;
+  net.Send(0, 1, 1024, [&] { delivered = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(delivered, Millis(1) + Micros(1024));
+}
+
+TEST(NetworkTest, NominalLatencyScalesWithBytes) {
+  Simulator sim;
+  Network net(&sim, NoJitter());
+  EXPECT_EQ(net.NominalLatency(0, 1, 0), Millis(1));
+  EXPECT_LT(net.NominalLatency(0, 1, 1024), net.NominalLatency(0, 1, 4096));
+  EXPECT_EQ(net.NominalLatency(3, 3, 1 << 20), 0);
+}
+
+TEST(NetworkTest, CountsTraffic) {
+  Simulator sim;
+  Network net(&sim, NoJitter());
+  net.Send(0, 1, 100, [] {});
+  net.Send(1, 0, 200, [] {});
+  sim.Run();
+  EXPECT_EQ(net.messages_sent(), 2u);
+  EXPECT_EQ(net.bytes_sent(), 300u);
+}
+
+TEST(NetworkTest, JitterBoundedAndDeterministic) {
+  NetworkConfig c = NoJitter();
+  c.jitter = Micros(500);
+  SimTime t1, t2;
+  {
+    Simulator sim;
+    Network net(&sim, c, /*seed=*/99);
+    SimTime d = 0;
+    net.Send(0, 1, 0, [&] { d = sim.Now(); });
+    sim.Run();
+    EXPECT_GE(d, Millis(1));
+    EXPECT_LE(d, Millis(1) + Micros(500));
+    t1 = d;
+  }
+  {
+    Simulator sim;
+    Network net(&sim, c, /*seed=*/99);
+    SimTime d = 0;
+    net.Send(0, 1, 0, [&] { d = sim.Now(); });
+    sim.Run();
+    t2 = d;
+  }
+  EXPECT_EQ(t1, t2);  // same seed, same jitter
+}
+
+TEST(NetworkTest, ConcurrentMessagesIndependent) {
+  Simulator sim;
+  Network net(&sim, NoJitter());
+  int delivered = 0;
+  for (int i = 0; i < 10; ++i) net.Send(0, 1, 0, [&] { ++delivered; });
+  sim.Run();
+  EXPECT_EQ(delivered, 10);
+}
+
+}  // namespace
+}  // namespace soap::sim

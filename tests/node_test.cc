@@ -1,0 +1,109 @@
+#include "src/cluster/node.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace soap::cluster {
+namespace {
+
+TEST(NodeTest, SingleJobTakesServiceTime) {
+  sim::Simulator sim;
+  Node node(&sim, 0, 1);
+  SimTime done_at = -1;
+  node.RunJob(Millis(5), WorkCategory::kNormal, JobClass::kBulk,
+              [&] { done_at = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(done_at, Millis(5));
+  EXPECT_EQ(node.busy_time(WorkCategory::kNormal), Millis(5));
+  EXPECT_EQ(node.jobs_run(), 1u);
+}
+
+TEST(NodeTest, JobsQueueWhenWorkersBusy) {
+  sim::Simulator sim;
+  Node node(&sim, 0, 1);
+  std::vector<SimTime> done;
+  for (int i = 0; i < 3; ++i) {
+    node.RunJob(Millis(10), WorkCategory::kNormal, JobClass::kBulk,
+                [&] { done.push_back(sim.Now()); });
+  }
+  EXPECT_EQ(node.queued_jobs(), 2u);
+  sim.Run();
+  EXPECT_EQ(done, (std::vector<SimTime>{Millis(10), Millis(20), Millis(30)}));
+}
+
+TEST(NodeTest, ParallelWorkers) {
+  sim::Simulator sim;
+  Node node(&sim, 0, 2);
+  std::vector<SimTime> done;
+  for (int i = 0; i < 4; ++i) {
+    node.RunJob(Millis(10), WorkCategory::kNormal, JobClass::kBulk,
+                [&] { done.push_back(sim.Now()); });
+  }
+  sim.Run();
+  EXPECT_EQ(done, (std::vector<SimTime>{Millis(10), Millis(10), Millis(20),
+                                        Millis(20)}));
+}
+
+TEST(NodeTest, UrgentJobsCutAheadOfBulk) {
+  sim::Simulator sim;
+  Node node(&sim, 0, 1);
+  std::vector<int> order;
+  node.RunJob(Millis(5), WorkCategory::kNormal, JobClass::kBulk,
+              [&] { order.push_back(0); });  // running
+  node.RunJob(Millis(5), WorkCategory::kNormal, JobClass::kBulk,
+              [&] { order.push_back(1); });  // queued bulk
+  node.RunJob(Millis(1), WorkCategory::kNormal, JobClass::kUrgent,
+              [&] { order.push_back(2); });  // queued urgent
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 1}));
+}
+
+TEST(NodeTest, UrgentDoesNotPreemptRunningJob) {
+  sim::Simulator sim;
+  Node node(&sim, 0, 1);
+  SimTime urgent_done = -1;
+  node.RunJob(Millis(10), WorkCategory::kNormal, JobClass::kBulk, [] {});
+  node.RunJob(Millis(1), WorkCategory::kNormal, JobClass::kUrgent,
+              [&] { urgent_done = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(urgent_done, Millis(11));
+}
+
+TEST(NodeTest, BusyTimePerCategory) {
+  sim::Simulator sim;
+  Node node(&sim, 0, 2);
+  node.RunJob(Millis(3), WorkCategory::kNormal, JobClass::kBulk, [] {});
+  node.RunJob(Millis(7), WorkCategory::kRepartition, JobClass::kBulk, [] {});
+  sim.Run();
+  EXPECT_EQ(node.busy_time(WorkCategory::kNormal), Millis(3));
+  EXPECT_EQ(node.busy_time(WorkCategory::kRepartition), Millis(7));
+  EXPECT_EQ(node.total_busy_time(), Millis(10));
+}
+
+TEST(NodeTest, ZeroDurationJobCompletes) {
+  sim::Simulator sim;
+  Node node(&sim, 0, 1);
+  bool done = false;
+  node.RunJob(0, WorkCategory::kNormal, JobClass::kBulk, [&] { done = true; });
+  sim.Run();
+  EXPECT_TRUE(done);
+}
+
+TEST(NodeTest, CompletionCanEnqueueMoreWork) {
+  sim::Simulator sim;
+  Node node(&sim, 0, 1);
+  int chain = 0;
+  std::function<void()> more = [&] {
+    if (++chain < 5) {
+      node.RunJob(Millis(1), WorkCategory::kNormal, JobClass::kBulk, more);
+    }
+  };
+  node.RunJob(Millis(1), WorkCategory::kNormal, JobClass::kBulk, more);
+  sim.Run();
+  EXPECT_EQ(chain, 5);
+  EXPECT_EQ(sim.Now(), Millis(5));
+}
+
+}  // namespace
+}  // namespace soap::cluster

@@ -1,0 +1,156 @@
+#include "src/repartition/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/workload/generator.h"
+
+namespace soap::repartition {
+namespace {
+
+struct Fixture {
+  workload::WorkloadSpec spec;
+  workload::TemplateCatalog catalog;
+  CostModel cost_model;
+  router::RoutingTable routing;
+  Optimizer optimizer;
+
+  explicit Fixture(double alpha,
+                   workload::PopularityDist dist =
+                       workload::PopularityDist::kZipf)
+      : spec(MakeSpec(alpha, dist)),
+        catalog(spec, 5),
+        cost_model(cluster::ExecutionCosts{}, spec.queries_per_txn),
+        routing(spec.num_keys),
+        optimizer(&catalog, &cost_model, /*total_workers=*/10) {
+    for (storage::TupleKey k = 0; k < spec.num_keys; ++k) {
+      EXPECT_TRUE(routing.SetPrimary(k, catalog.InitialPartitionOf(k)).ok());
+    }
+  }
+
+  static workload::WorkloadSpec MakeSpec(double alpha,
+                                         workload::PopularityDist dist) {
+    workload::WorkloadSpec s;
+    s.distribution = dist;
+    s.num_templates = 100;
+    s.num_keys = 1000;
+    s.alpha = alpha;
+    s.seed = 9;
+    return s;
+  }
+};
+
+TEST(OptimizerTest, PlanCoversExactlyDistributedTemplates) {
+  Fixture f(0.6);
+  RepartitionPlan plan = f.optimizer.DerivePlan(f.routing);
+  // Each distributed template contributes its remote keys (2 each).
+  EXPECT_EQ(plan.size(), f.catalog.distributed_count() * 2);
+  std::set<uint32_t> planned_templates;
+  for (const RepartitionOp& op : plan.ops) {
+    ASSERT_EQ(op.affected_templates.size(), 1u);
+    planned_templates.insert(op.affected_templates[0]);
+    EXPECT_EQ(op.type, RepartitionOpType::kObjectsMigration);
+  }
+  EXPECT_EQ(planned_templates.size(), f.catalog.distributed_count());
+  for (uint32_t t : planned_templates) {
+    EXPECT_TRUE(f.catalog.at(t).initially_distributed);
+  }
+}
+
+TEST(OptimizerTest, PlanMovesMinorityToMajority) {
+  Fixture f(1.0);
+  RepartitionPlan plan = f.optimizer.DerivePlan(f.routing);
+  for (const RepartitionOp& op : plan.ops) {
+    const workload::TxnTemplate& tmpl =
+        f.catalog.at(op.affected_templates[0]);
+    EXPECT_EQ(op.target_partition, tmpl.home_partition);
+    EXPECT_EQ(op.source_partition, tmpl.remote_partition);
+  }
+}
+
+TEST(OptimizerTest, OpIdsAreUniqueAndDense) {
+  Fixture f(1.0);
+  RepartitionPlan plan = f.optimizer.DerivePlan(f.routing);
+  std::set<uint64_t> ids;
+  for (const RepartitionOp& op : plan.ops) {
+    EXPECT_GE(op.id, 1u);
+    EXPECT_LE(op.id, plan.size());
+    EXPECT_TRUE(ids.insert(op.id).second);
+  }
+}
+
+TEST(OptimizerTest, EmptyPlanWhenEverythingCollocated) {
+  Fixture f(1.0);
+  // Apply the plan by hand, then re-derive: nothing left to do.
+  RepartitionPlan plan = f.optimizer.DerivePlan(f.routing);
+  for (const RepartitionOp& op : plan.ops) {
+    ASSERT_TRUE(
+        f.routing.Migrate(op.key, op.source_partition, op.target_partition)
+            .ok());
+  }
+  EXPECT_TRUE(f.optimizer.DerivePlan(f.routing).empty());
+}
+
+TEST(OptimizerTest, TemplateGainPositiveOnlyWhenDistributed) {
+  Fixture f(0.5);
+  for (uint32_t t = 0; t < f.catalog.size(); ++t) {
+    const Duration gain = f.optimizer.TemplateGain(t, f.routing);
+    if (f.catalog.at(t).initially_distributed) {
+      EXPECT_GT(gain, 0) << t;
+    } else {
+      EXPECT_EQ(gain, 0) << t;
+    }
+  }
+}
+
+TEST(OptimizerTest, UtilizationEstimateTracksLoad) {
+  Fixture f(1.0, workload::PopularityDist::kUniform);
+  workload::WorkloadHistory history(100, 10);
+  // 100 txn/s uniform over all templates, all distributed: work rate =
+  // 100 * distributed_cost.
+  for (int i = 0; i < 2000; ++i) {
+    history.Record(static_cast<uint32_t>(i % 100));
+  }
+  history.CloseInterval(Seconds(20));
+  const double estimated = f.optimizer.EstimateUtilization(history,
+                                                           f.routing);
+  const double expected =
+      100.0 * static_cast<double>(f.cost_model.DistributedTxnCost(2)) /
+      (10.0 * 1e6);
+  EXPECT_NEAR(estimated, expected, expected * 0.01);
+}
+
+TEST(OptimizerTest, ShouldRepartitionRespectsThreshold) {
+  OptimizerConfig config;
+  config.utilization_threshold = 0.5;
+  Fixture f(1.0, workload::PopularityDist::kUniform);
+  Optimizer strict(&f.catalog, &f.cost_model, 10, config);
+  workload::WorkloadHistory quiet(100, 10);
+  quiet.CloseInterval(Seconds(20));
+  EXPECT_FALSE(strict.ShouldRepartition(quiet, f.routing));
+
+  workload::WorkloadHistory busy(100, 10);
+  for (int i = 0; i < 100000; ++i) {
+    busy.Record(static_cast<uint32_t>(i % 100));
+  }
+  busy.CloseInterval(Seconds(20));
+  EXPECT_TRUE(strict.ShouldRepartition(busy, f.routing));
+}
+
+TEST(OptimizerTest, PlanIgnoresUnroutedKeys) {
+  // Keys outside any template are routed; the optimizer only considers
+  // template keys, so the plan must never touch a non-template key.
+  Fixture f(1.0);
+  RepartitionPlan plan = f.optimizer.DerivePlan(f.routing);
+  std::set<storage::TupleKey> template_keys;
+  for (const auto& tmpl : f.catalog.templates()) {
+    template_keys.insert(tmpl.keys.begin(), tmpl.keys.end());
+  }
+  for (const RepartitionOp& op : plan.ops) {
+    EXPECT_TRUE(template_keys.count(op.key)) << op.key;
+  }
+}
+
+}  // namespace
+}  // namespace soap::repartition

@@ -1,0 +1,111 @@
+#include "src/cluster/processing_queue.h"
+
+#include <gtest/gtest.h>
+
+namespace soap::cluster {
+namespace {
+
+std::unique_ptr<txn::Transaction> Make(txn::TxnId id,
+                                       txn::TxnPriority priority) {
+  auto t = std::make_unique<txn::Transaction>();
+  t->id = id;
+  t->priority = priority;
+  return t;
+}
+
+TEST(ProcessingQueueTest, EmptyPopsNull) {
+  ProcessingQueue q;
+  EXPECT_TRUE(q.Empty());
+  EXPECT_EQ(q.Pop(), nullptr);
+}
+
+TEST(ProcessingQueueTest, HigherPriorityFirst) {
+  ProcessingQueue q;
+  q.Push(Make(1, txn::TxnPriority::kLow));
+  q.Push(Make(2, txn::TxnPriority::kNormal));
+  q.Push(Make(3, txn::TxnPriority::kHigh));
+  EXPECT_EQ(q.Pop()->id, 3u);
+  EXPECT_EQ(q.Pop()->id, 2u);
+  EXPECT_EQ(q.Pop()->id, 1u);
+}
+
+TEST(ProcessingQueueTest, FifoWithinPriority) {
+  ProcessingQueue q;
+  for (txn::TxnId id = 1; id <= 5; ++id) {
+    q.Push(Make(id, txn::TxnPriority::kNormal));
+  }
+  for (txn::TxnId id = 1; id <= 5; ++id) EXPECT_EQ(q.Pop()->id, id);
+}
+
+TEST(ProcessingQueueTest, PushMarksQueuedState) {
+  ProcessingQueue q;
+  q.Push(Make(1, txn::TxnPriority::kNormal));
+  auto t = q.Pop();
+  EXPECT_EQ(t->state, txn::TxnState::kQueued);
+}
+
+TEST(ProcessingQueueTest, PeekPriorityMatchesPop) {
+  ProcessingQueue q;
+  q.Push(Make(1, txn::TxnPriority::kLow));
+  EXPECT_EQ(q.PeekPriority(), txn::TxnPriority::kLow);
+  q.Push(Make(2, txn::TxnPriority::kHigh));
+  EXPECT_EQ(q.PeekPriority(), txn::TxnPriority::kHigh);
+}
+
+TEST(ProcessingQueueTest, Counts) {
+  ProcessingQueue q;
+  q.Push(Make(1, txn::TxnPriority::kLow));
+  q.Push(Make(2, txn::TxnPriority::kLow));
+  q.Push(Make(3, txn::TxnPriority::kNormal));
+  q.Push(Make(4, txn::TxnPriority::kHigh));
+  EXPECT_EQ(q.Size(), 4u);
+  EXPECT_EQ(q.CountByPriority(txn::TxnPriority::kLow), 2u);
+  EXPECT_EQ(q.NormalOrHigherCount(), 2u);
+}
+
+TEST(ProcessingQueueTest, ExtractRemovesById) {
+  ProcessingQueue q;
+  q.Push(Make(1, txn::TxnPriority::kNormal));
+  q.Push(Make(2, txn::TxnPriority::kNormal));
+  q.Push(Make(3, txn::TxnPriority::kNormal));
+  auto t = q.Extract(2);
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->id, 2u);
+  EXPECT_EQ(q.Size(), 2u);
+  EXPECT_EQ(q.Pop()->id, 1u);
+  EXPECT_EQ(q.Pop()->id, 3u);
+}
+
+TEST(ProcessingQueueTest, ExtractMissingReturnsNull) {
+  ProcessingQueue q;
+  q.Push(Make(1, txn::TxnPriority::kNormal));
+  EXPECT_EQ(q.Extract(9), nullptr);
+  EXPECT_EQ(q.Size(), 1u);
+}
+
+TEST(ProcessingQueueTest, ExtractThenRepushChangesClass) {
+  // The promotion path: extract a low transaction, bump its priority,
+  // push it back; it should now beat older normal transactions? No —
+  // FIFO within the new class, so it goes to the back of kNormal.
+  ProcessingQueue q;
+  q.Push(Make(1, txn::TxnPriority::kNormal));
+  q.Push(Make(2, txn::TxnPriority::kLow));
+  auto t = q.Extract(2);
+  t->priority = txn::TxnPriority::kNormal;
+  q.Push(std::move(t));
+  EXPECT_EQ(q.Pop()->id, 1u);
+  EXPECT_EQ(q.Pop()->id, 2u);
+}
+
+TEST(ProcessingQueueTest, MaxSizeSeen) {
+  ProcessingQueue q;
+  q.Push(Make(1, txn::TxnPriority::kNormal));
+  q.Push(Make(2, txn::TxnPriority::kNormal));
+  q.Pop();
+  q.Pop();
+  q.Push(Make(3, txn::TxnPriority::kNormal));
+  EXPECT_EQ(q.max_size_seen(), 2u);
+}
+
+}  // namespace
+}  // namespace soap::cluster

@@ -1,0 +1,208 @@
+// Cross-cutting property sweeps: liveness of sorted multi-key locking,
+// simulator determinism and ordering under random schedules, histogram
+// quantile correctness against exact order statistics, and routing-table
+// conservation under random migration storms.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/random.h"
+#include "src/router/routing_table.h"
+#include "src/sim/simulator.h"
+#include "src/txn/lock_manager.h"
+
+namespace soap {
+namespace {
+
+// ---------------------------------------------------------------------
+// Lock manager: transactions that acquire multi-key sets in sorted order
+// never deadlock, and every queued request is eventually granted
+// (liveness under the discipline the executor uses).
+// ---------------------------------------------------------------------
+
+class SortedLockingLiveness : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SortedLockingLiveness, EveryTxnEventuallyFinishes) {
+  Rng rng(GetParam());
+  txn::LockManager lm;
+
+  struct Txn {
+    txn::TxnId id;
+    std::vector<storage::TupleKey> keys;  // sorted
+    size_t next = 0;
+    bool finished = false;
+  };
+  std::vector<Txn> txns;
+  for (txn::TxnId id = 1; id <= 60; ++id) {
+    std::vector<storage::TupleKey> keys;
+    const auto count = 1 + rng.NextUint64(4);
+    while (keys.size() < count) {
+      const storage::TupleKey k = rng.NextUint64(12);
+      if (std::find(keys.begin(), keys.end(), k) == keys.end()) {
+        keys.push_back(k);
+      }
+    }
+    std::sort(keys.begin(), keys.end());
+    txns.push_back({id, std::move(keys), 0, false});
+  }
+
+  // Work queue of transactions ready to try their next acquisition.
+  std::vector<size_t> ready;
+  for (size_t i = 0; i < txns.size(); ++i) ready.push_back(i);
+
+  std::function<void(size_t)> pump = [&](size_t i) {
+    Txn& t = txns[i];
+    while (t.next < t.keys.size()) {
+      auto outcome = lm.Acquire(t.id, t.keys[t.next],
+                                txn::LockMode::kExclusive,
+                                [&, i]() { pump(i); });
+      if (outcome == txn::AcquireOutcome::kQueued) return;
+      ASSERT_NE(outcome, txn::AcquireOutcome::kDeadlock)
+          << "sorted acquisition must never deadlock";
+      ++t.next;
+    }
+    if (!t.finished) {
+      t.finished = true;
+      lm.ReleaseAll(t.id);
+    }
+  };
+  for (size_t i : ready) pump(i);
+
+  for (const Txn& t : txns) {
+    EXPECT_TRUE(t.finished) << "txn " << t.id << " starved";
+  }
+  EXPECT_EQ(lm.LockedKeyCount(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SortedLockingLiveness,
+                         ::testing::Range<uint64_t>(100, 115));
+
+// ---------------------------------------------------------------------
+// Simulator: random schedules execute in exact (time, insertion) order
+// and identically across two identical runs.
+// ---------------------------------------------------------------------
+
+class SimulatorOrdering : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimulatorOrdering, RandomSchedulesExecuteInOrder) {
+  auto run = [&](std::vector<std::pair<SimTime, int>>* log) {
+    Rng rng(GetParam());
+    sim::Simulator sim;
+    for (int i = 0; i < 300; ++i) {
+      const SimTime at = static_cast<SimTime>(rng.NextUint64(1000));
+      sim.At(at, [log, at, i]() { log->emplace_back(at, i); });
+    }
+    sim.Run();
+  };
+  std::vector<std::pair<SimTime, int>> a, b;
+  run(&a);
+  run(&b);
+  ASSERT_EQ(a.size(), 300u);
+  EXPECT_EQ(a, b);  // determinism
+  for (size_t i = 1; i < a.size(); ++i) {
+    EXPECT_LE(a[i - 1].first, a[i].first);  // time order
+    if (a[i - 1].first == a[i].first) {
+      EXPECT_LT(a[i - 1].second, a[i].second);  // insertion tie-break
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimulatorOrdering,
+                         ::testing::Range<uint64_t>(200, 210));
+
+// ---------------------------------------------------------------------
+// Histogram: quantiles within one exponential bucket of the exact order
+// statistic, across distribution shapes.
+// ---------------------------------------------------------------------
+
+class HistogramQuantiles : public ::testing::TestWithParam<int> {};
+
+TEST_P(HistogramQuantiles, WithinBucketOfExact) {
+  Rng rng(7);
+  std::vector<uint64_t> samples;
+  Histogram h;
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t v = 0;
+    switch (GetParam()) {
+      case 0:  // uniform
+        v = rng.NextUint64(1 << 20);
+        break;
+      case 1:  // exponential-ish
+        v = static_cast<uint64_t>(rng.NextExponential(5000.0));
+        break;
+      case 2:  // heavy-tailed
+        v = static_cast<uint64_t>(
+            std::pow(10.0, 2.0 + 4.0 * rng.NextDouble()));
+        break;
+      default:  // bimodal
+        v = rng.NextBernoulli(0.5) ? rng.NextUint64(100)
+                                   : 1000000 + rng.NextUint64(100);
+        break;
+    }
+    samples.push_back(v);
+    h.Record(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  for (double p : {50.0, 90.0, 99.0}) {
+    const double approx = h.Percentile(p);
+    const uint64_t exact =
+        samples[static_cast<size_t>(p / 100.0 * (samples.size() - 1))];
+    // Exponential buckets: the estimate is within a factor of 2 of the
+    // exact order statistic (plus slack at the very bottom).
+    EXPECT_LE(approx, static_cast<double>(exact) * 2.0 + 4.0)
+        << "p" << p;
+    EXPECT_GE(approx, static_cast<double>(exact) / 2.0 - 4.0)
+        << "p" << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, HistogramQuantiles,
+                         ::testing::Values(0, 1, 2, 3));
+
+// ---------------------------------------------------------------------
+// Routing table: a random storm of migrations conserves exactly one
+// primary per key and never loses a key.
+// ---------------------------------------------------------------------
+
+class RoutingConservation : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RoutingConservation, MigrationStormConservesKeys) {
+  Rng rng(GetParam());
+  constexpr uint64_t kKeys = 200;
+  constexpr uint32_t kParts = 5;
+  router::RoutingTable rt(kKeys);
+  for (storage::TupleKey k = 0; k < kKeys; ++k) {
+    ASSERT_TRUE(rt.SetPrimary(k, static_cast<uint32_t>(k % kParts)).ok());
+  }
+  for (int i = 0; i < 5000; ++i) {
+    const storage::TupleKey key = rng.NextUint64(kKeys);
+    const auto from = *rt.GetPrimary(key);
+    const auto to = static_cast<uint32_t>(rng.NextUint64(kParts));
+    if (rng.NextBernoulli(0.1)) {
+      // Occasionally try an invalid migration; it must be rejected
+      // without corrupting anything.
+      const uint32_t wrong = (from + 1) % kParts;
+      EXPECT_FALSE(rt.Migrate(key, wrong, to).ok());
+    } else {
+      EXPECT_TRUE(rt.Migrate(key, from, to).ok());
+    }
+  }
+  uint64_t total = 0;
+  for (uint32_t p = 0; p < kParts; ++p) total += rt.CountPrimaries(p);
+  EXPECT_EQ(total, kKeys);
+  for (storage::TupleKey k = 0; k < kKeys; ++k) {
+    EXPECT_TRUE(rt.GetPrimary(k).ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoutingConservation,
+                         ::testing::Range<uint64_t>(300, 308));
+
+}  // namespace
+}  // namespace soap

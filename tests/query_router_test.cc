@@ -1,0 +1,112 @@
+#include "src/router/query_router.h"
+
+#include <gtest/gtest.h>
+
+namespace soap::router {
+namespace {
+
+TEST(QueryRouterTest, ReadsAndWritesRouteToPrimary) {
+  RoutingTable rt(10);
+  ASSERT_TRUE(rt.SetPrimary(3, 2).ok());
+  QueryRouter router(&rt);
+  EXPECT_EQ(*router.RouteRead(3), 2u);
+  EXPECT_EQ(*router.RouteWrite(3), 2u);
+  EXPECT_EQ(router.routed_queries(), 2u);
+}
+
+TEST(QueryRouterTest, UnroutedKeyPropagatesNotFound) {
+  RoutingTable rt(10);
+  QueryRouter router(&rt);
+  EXPECT_TRUE(router.RouteRead(9).status().IsNotFound());
+}
+
+TEST(QueryRouterTest, RoundRobinSpreadsReads) {
+  RoutingTable rt(10);
+  ASSERT_TRUE(rt.SetPrimary(3, 0).ok());
+  ASSERT_TRUE(rt.AddReplica(3, 1).ok());
+  QueryRouter router(&rt, ReplicaPolicy::kRoundRobin);
+  int on_primary = 0, on_replica = 0;
+  for (int i = 0; i < 10; ++i) {
+    PartitionId p = *router.RouteRead(3);
+    (p == 0 ? on_primary : on_replica)++;
+  }
+  EXPECT_EQ(on_primary, 5);
+  EXPECT_EQ(on_replica, 5);
+  // Writes always hit the primary, regardless of policy.
+  EXPECT_EQ(*router.RouteWrite(3), 0u);
+}
+
+TEST(QueryRouterTest, RouteTransactionFillsPartitionsAndReturnsSet) {
+  RoutingTable rt(10);
+  ASSERT_TRUE(rt.SetPrimary(1, 0).ok());
+  ASSERT_TRUE(rt.SetPrimary(2, 1).ok());
+  ASSERT_TRUE(rt.SetPrimary(3, 0).ok());
+  QueryRouter router(&rt);
+
+  txn::Transaction t;
+  for (storage::TupleKey k : {1ULL, 2ULL, 3ULL}) {
+    txn::Operation op;
+    op.kind = k == 2 ? txn::OpKind::kWrite : txn::OpKind::kRead;
+    op.key = k;
+    t.ops.push_back(op);
+  }
+  auto partitions = router.RouteTransaction(&t);
+  ASSERT_TRUE(partitions.ok());
+  EXPECT_EQ(partitions->size(), 2u);
+  EXPECT_FALSE(QueryRouter::IsCollocated(*partitions));
+  EXPECT_EQ(t.ops[0].source_partition, 0u);
+  EXPECT_EQ(t.ops[1].source_partition, 1u);
+}
+
+TEST(QueryRouterTest, CollocatedTransactionDetected) {
+  RoutingTable rt(10);
+  ASSERT_TRUE(rt.SetPrimary(1, 3).ok());
+  ASSERT_TRUE(rt.SetPrimary(2, 3).ok());
+  QueryRouter router(&rt);
+  txn::Transaction t;
+  for (storage::TupleKey k : {1ULL, 2ULL}) {
+    txn::Operation op;
+    op.kind = txn::OpKind::kRead;
+    op.key = k;
+    t.ops.push_back(op);
+  }
+  auto partitions = router.RouteTransaction(&t);
+  ASSERT_TRUE(partitions.ok());
+  EXPECT_TRUE(QueryRouter::IsCollocated(*partitions));
+}
+
+TEST(QueryRouterTest, RouteSqlSelect) {
+  RoutingTable rt(10);
+  ASSERT_TRUE(rt.SetPrimary(7, 4).ok());
+  QueryRouter router(&rt);
+  auto p = router.RouteSql("SELECT content FROM t WHERE key = 7");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(*p, 4u);
+}
+
+TEST(QueryRouterTest, RouteSqlUpdate) {
+  RoutingTable rt(10);
+  ASSERT_TRUE(rt.SetPrimary(7, 4).ok());
+  QueryRouter router(&rt);
+  auto p = router.RouteSql("UPDATE t SET content = 1 WHERE key = 7");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(*p, 4u);
+}
+
+TEST(QueryRouterTest, RouteSqlBadQueryFails) {
+  RoutingTable rt(10);
+  QueryRouter router(&rt);
+  EXPECT_FALSE(router.RouteSql("nonsense").ok());
+}
+
+TEST(QueryRouterTest, RoutingFollowsMigration) {
+  RoutingTable rt(10);
+  ASSERT_TRUE(rt.SetPrimary(5, 0).ok());
+  QueryRouter router(&rt);
+  EXPECT_EQ(*router.RouteRead(5), 0u);
+  ASSERT_TRUE(rt.Migrate(5, 0, 3).ok());
+  EXPECT_EQ(*router.RouteRead(5), 3u);
+}
+
+}  // namespace
+}  // namespace soap::router

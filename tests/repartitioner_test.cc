@@ -1,0 +1,220 @@
+// Orchestration tests for the Repartitioner: plan derivation and registry
+// wiring, optimizer triggering, Algorithm 2's carrier bookkeeping
+// (stripped resubmission), RepRate accounting, and resilience to vote
+// aborts of repartition transactions.
+
+#include "src/core/repartitioner.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/basic_schedulers.h"
+#include "src/core/hybrid_scheduler.h"
+#include "src/core/piggyback_scheduler.h"
+#include "src/workload/generator.h"
+
+namespace soap::core {
+namespace {
+
+class RepartitionerTest : public ::testing::Test {
+ protected:
+  static constexpr uint32_t kTemplates = 60;
+  static constexpr uint64_t kKeys = 600;
+
+  RepartitionerTest()
+      : cluster_(&sim_, MakeClusterConfig()),
+        tm_(&cluster_),
+        catalog_(MakeSpec(), cluster_.num_nodes()),
+        history_(kTemplates, 10) {
+    for (uint64_t key = 0; key < kKeys; ++key) {
+      storage::Tuple tuple;
+      tuple.key = key;
+      tuple.content = static_cast<int64_t>(key);
+      EXPECT_TRUE(
+          cluster_.LoadTuple(tuple, catalog_.InitialPartitionOf(key)).ok());
+    }
+  }
+
+  static cluster::ClusterConfig MakeClusterConfig() {
+    cluster::ClusterConfig c;
+    c.num_keys = kKeys;
+    c.network.jitter = 0;
+    return c;
+  }
+
+  static workload::WorkloadSpec MakeSpec() {
+    workload::WorkloadSpec s;
+    s.distribution = workload::PopularityDist::kZipf;
+    s.num_templates = kTemplates;
+    s.num_keys = kKeys;
+    s.alpha = 1.0;
+    s.seed = 31;
+    return s;
+  }
+
+  std::unique_ptr<Repartitioner> MakeRepartitioner(
+      std::unique_ptr<Scheduler> scheduler,
+      repartition::OptimizerConfig opt = {}) {
+    auto rp = std::make_unique<Repartitioner>(
+        &cluster_, &tm_, &catalog_, &history_, std::move(scheduler), opt);
+    tm_.set_pre_execution_hook(
+        [r = rp.get()](txn::Transaction* t) { r->OnBeforeExecute(t); });
+    tm_.set_completion_callback(
+        [r = rp.get()](const txn::Transaction& t) { r->OnTxnComplete(t); });
+    return rp;
+  }
+
+  void WarmHistory() {
+    workload::WorkloadGenerator gen(&catalog_, 5);
+    for (int i = 0; i < 2000; ++i) history_.Record(gen.SampleTemplate());
+    history_.CloseInterval(Seconds(20));
+  }
+
+  sim::Simulator sim_;
+  cluster::Cluster cluster_;
+  cluster::TransactionManager tm_;
+  workload::TemplateCatalog catalog_;
+  workload::WorkloadHistory history_;
+};
+
+TEST_F(RepartitionerTest, StartBuildsRankedRegistry) {
+  auto rp = MakeRepartitioner(std::make_unique<AfterAllScheduler>());
+  WarmHistory();
+  EXPECT_FALSE(rp->active());
+  EXPECT_TRUE(rp->StartRepartitioning());
+  EXPECT_TRUE(rp->active());
+  EXPECT_EQ(rp->registry().size(), kTemplates);  // one txn per template
+  EXPECT_EQ(rp->registry().total_ops(), kTemplates * 2);  // 2 moves each
+  EXPECT_FALSE(rp->StartRepartitioning());  // already active
+}
+
+TEST_F(RepartitionerTest, ApplyAllRunsPlanToCompletion) {
+  auto rp = MakeRepartitioner(std::make_unique<ApplyAllScheduler>());
+  WarmHistory();
+  ASSERT_TRUE(rp->StartRepartitioning());
+  sim_.Run();
+  EXPECT_TRUE(rp->Finished());
+  EXPECT_DOUBLE_EQ(
+      rp->RepRate(tm_.counters().repartition_ops_applied), 1.0);
+  EXPECT_TRUE(cluster_.CheckConsistency().ok());
+  // Every template is now collocated: a re-derived plan is empty.
+  EXPECT_TRUE(rp->optimizer().DerivePlan(cluster_.routing_table()).empty());
+}
+
+TEST_F(RepartitionerTest, MaybeStartRespectsOptimizerEstimate) {
+  repartition::OptimizerConfig opt;
+  opt.utilization_threshold = 0.5;
+  auto rp = MakeRepartitioner(std::make_unique<AfterAllScheduler>(), opt);
+  // Quiet history: estimate 0, no trigger.
+  history_.CloseInterval(Seconds(20));
+  EXPECT_FALSE(rp->MaybeStartRepartitioning());
+  // Heavy history: trigger.
+  for (int i = 0; i < 60000; ++i) {
+    history_.Record(static_cast<uint32_t>(i % kTemplates));
+  }
+  history_.CloseInterval(Seconds(20));
+  EXPECT_TRUE(rp->MaybeStartRepartitioning());
+  EXPECT_TRUE(rp->active());
+}
+
+TEST_F(RepartitionerTest, PiggybackCarrierCommitRetiresRepTxn) {
+  auto rp = MakeRepartitioner(std::make_unique<PiggybackScheduler>());
+  WarmHistory();
+  ASSERT_TRUE(rp->StartRepartitioning());
+  // Submit one instance of template 0: the pre-execution hook injects
+  // template 0's migration.
+  tm_.Submit(catalog_.Instantiate(0, 42));
+  sim_.Run();
+  const RepartitionTxn* rt = nullptr;
+  for (uint64_t rid = 1; rid <= rp->registry().size(); ++rid) {
+    if (rp->registry().Get(rid)->beneficiary_template == 0) {
+      rt = rp->registry().Get(rid);
+    }
+  }
+  ASSERT_NE(rt, nullptr);
+  EXPECT_EQ(rt->state, RepartitionTxn::State::kDone);
+  EXPECT_EQ(tm_.counters().piggybacked_ops_applied, 2u);
+  // The template's keys are now collocated at its home partition.
+  for (storage::TupleKey key : catalog_.at(0).keys) {
+    EXPECT_EQ(*cluster_.routing_table().GetPrimary(key),
+              catalog_.at(0).home_partition);
+  }
+}
+
+TEST_F(RepartitionerTest, AbortedCarrierIsStrippedAndResubmitted) {
+  auto rp = MakeRepartitioner(std::make_unique<PiggybackScheduler>());
+  WarmHistory();
+  ASSERT_TRUE(rp->StartRepartitioning());
+  // Make the first attempt fail: any participant of a transaction that
+  // carries piggyback ops votes abort.
+  int vetoes = 0;
+  tm_.set_vote_abort_injector(
+      [&](const txn::Transaction& t, uint32_t) {
+        if (t.has_piggyback() && vetoes < 2) {
+          ++vetoes;
+          return true;
+        }
+        return false;
+      });
+  tm_.Submit(catalog_.Instantiate(0, 42));
+  sim_.Run();
+  // The carrier aborted once, was resubmitted without the piggyback, and
+  // committed; the repartition txn reverted to pending.
+  EXPECT_GE(vetoes, 1);
+  EXPECT_EQ(rp->stripped_resubmissions(), 1u);
+  EXPECT_EQ(tm_.counters().committed_normal, 1u);
+  EXPECT_EQ(tm_.counters().aborted_normal, 1u);
+  EXPECT_EQ(tm_.counters().piggyback_carrier_aborts, 1u);
+  // A later instance retries the migration and succeeds.
+  tm_.Submit(catalog_.Instantiate(0, 43));
+  sim_.Run();
+  EXPECT_EQ(tm_.counters().piggybacked_ops_applied, 2u);
+  EXPECT_TRUE(cluster_.CheckConsistency().ok());
+}
+
+TEST_F(RepartitionerTest, VoteAbortedRepTxnIsRetriedByApplyAll) {
+  auto rp = MakeRepartitioner(std::make_unique<ApplyAllScheduler>());
+  WarmHistory();
+  int vetoes = 0;
+  tm_.set_vote_abort_injector([&](const txn::Transaction& t, uint32_t) {
+    if (t.is_repartition && vetoes < 5) {
+      ++vetoes;
+      return true;
+    }
+    return false;
+  });
+  ASSERT_TRUE(rp->StartRepartitioning());
+  sim_.Run();
+  EXPECT_EQ(vetoes, 5);  // vetoes are per participant, not per txn
+  EXPECT_TRUE(rp->Finished());  // retries drove the plan home
+  EXPECT_GE(tm_.counters().aborted_repartition, 1u);
+  EXPECT_TRUE(cluster_.CheckConsistency().ok());
+}
+
+TEST_F(RepartitionerTest, RepRateClampedAndMonotonic) {
+  auto rp = MakeRepartitioner(std::make_unique<ApplyAllScheduler>());
+  WarmHistory();
+  EXPECT_DOUBLE_EQ(rp->RepRate(0), 0.0);  // inactive
+  ASSERT_TRUE(rp->StartRepartitioning());
+  EXPECT_DOUBLE_EQ(rp->RepRate(0), 0.0);
+  EXPECT_DOUBLE_EQ(rp->RepRate(rp->registry().total_ops()), 1.0);
+  EXPECT_DOUBLE_EQ(rp->RepRate(rp->registry().total_ops() + 100), 1.0);
+}
+
+TEST_F(RepartitionerTest, HistoryRecordedViaInterception) {
+  auto rp = MakeRepartitioner(std::make_unique<AfterAllScheduler>());
+  auto t = catalog_.Instantiate(7, 1);
+  rp->InterceptNormalSubmission(t.get());
+  rp->InterceptNormalSubmission(t.get());
+  history_.CloseInterval(Seconds(1));
+  EXPECT_DOUBLE_EQ(history_.FrequencyOf(7), 2.0);
+}
+
+TEST_F(RepartitionerTest, NoPiggybackBeforePlanActive) {
+  auto rp = MakeRepartitioner(std::make_unique<PiggybackScheduler>());
+  auto t = catalog_.Instantiate(0, 1);
+  rp->OnBeforeExecute(t.get());
+  EXPECT_FALSE(t->has_piggyback());
+}
+
+}  // namespace
+}  // namespace soap::core

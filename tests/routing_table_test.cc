@@ -1,0 +1,115 @@
+#include "src/router/routing_table.h"
+
+#include <gtest/gtest.h>
+
+namespace soap::router {
+namespace {
+
+TEST(RoutingTableTest, UnroutedKeyIsNotFound) {
+  RoutingTable rt(10);
+  EXPECT_TRUE(rt.GetPrimary(3).status().IsNotFound());
+  EXPECT_TRUE(rt.GetPlacement(3).status().IsNotFound());
+}
+
+TEST(RoutingTableTest, OutOfRangeKey) {
+  RoutingTable rt(10);
+  EXPECT_TRUE(rt.GetPrimary(10).status().IsNotFound());
+  EXPECT_FALSE(rt.SetPrimary(10, 0).ok());
+}
+
+TEST(RoutingTableTest, SetAndGetPrimary) {
+  RoutingTable rt(10);
+  ASSERT_TRUE(rt.SetPrimary(3, 2).ok());
+  EXPECT_EQ(*rt.GetPrimary(3), 2u);
+  Result<Placement> p = rt.GetPlacement(3);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->primary, 2u);
+  EXPECT_TRUE(p->replicas.empty());
+  EXPECT_EQ(p->copy_count(), 1u);
+}
+
+TEST(RoutingTableTest, AddReplica) {
+  RoutingTable rt(10);
+  ASSERT_TRUE(rt.SetPrimary(3, 0).ok());
+  ASSERT_TRUE(rt.AddReplica(3, 1).ok());
+  Result<Placement> p = rt.GetPlacement(3);
+  EXPECT_EQ(p->copy_count(), 2u);
+  EXPECT_TRUE(p->HasReplicaOn(0));
+  EXPECT_TRUE(p->HasReplicaOn(1));
+  EXPECT_FALSE(p->HasReplicaOn(2));
+}
+
+TEST(RoutingTableTest, ReplicaOnPrimaryPartitionRejected) {
+  RoutingTable rt(10);
+  ASSERT_TRUE(rt.SetPrimary(3, 0).ok());
+  EXPECT_EQ(rt.AddReplica(3, 0).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(RoutingTableTest, DuplicateReplicaRejected) {
+  RoutingTable rt(10);
+  ASSERT_TRUE(rt.SetPrimary(3, 0).ok());
+  ASSERT_TRUE(rt.AddReplica(3, 1).ok());
+  EXPECT_EQ(rt.AddReplica(3, 1).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(RoutingTableTest, RemoveReplica) {
+  RoutingTable rt(10);
+  ASSERT_TRUE(rt.SetPrimary(3, 0).ok());
+  ASSERT_TRUE(rt.AddReplica(3, 1).ok());
+  ASSERT_TRUE(rt.RemoveReplica(3, 1).ok());
+  EXPECT_EQ(rt.GetPlacement(3)->copy_count(), 1u);
+  EXPECT_TRUE(rt.RemoveReplica(3, 1).IsNotFound());
+}
+
+TEST(RoutingTableTest, RemovePrimaryViaReplicaApiRejected) {
+  RoutingTable rt(10);
+  ASSERT_TRUE(rt.SetPrimary(3, 0).ok());
+  EXPECT_EQ(rt.RemoveReplica(3, 0).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(RoutingTableTest, MigrateFlipsPrimary) {
+  RoutingTable rt(10);
+  ASSERT_TRUE(rt.SetPrimary(3, 0).ok());
+  ASSERT_TRUE(rt.Migrate(3, 0, 4).ok());
+  EXPECT_EQ(*rt.GetPrimary(3), 4u);
+}
+
+TEST(RoutingTableTest, MigrateWithWrongSourceRejected) {
+  RoutingTable rt(10);
+  ASSERT_TRUE(rt.SetPrimary(3, 0).ok());
+  EXPECT_EQ(rt.Migrate(3, 2, 4).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(*rt.GetPrimary(3), 0u);  // unchanged
+}
+
+TEST(RoutingTableTest, CountPrimaries) {
+  RoutingTable rt(10);
+  for (storage::TupleKey k = 0; k < 10; ++k) {
+    ASSERT_TRUE(rt.SetPrimary(k, k % 2).ok());
+  }
+  EXPECT_EQ(rt.CountPrimaries(0), 5u);
+  EXPECT_EQ(rt.CountPrimaries(1), 5u);
+  EXPECT_EQ(rt.CountPrimaries(2), 0u);
+}
+
+TEST(RoutingTableTest, VersionBumpsOnEveryMutation) {
+  RoutingTable rt(10);
+  const uint64_t v0 = rt.version();
+  ASSERT_TRUE(rt.SetPrimary(1, 0).ok());
+  ASSERT_TRUE(rt.AddReplica(1, 1).ok());
+  ASSERT_TRUE(rt.Migrate(1, 0, 2).ok());
+  ASSERT_TRUE(rt.RemoveReplica(1, 1).ok());
+  EXPECT_EQ(rt.version(), v0 + 4);
+}
+
+TEST(RoutingTableTest, FailedMutationDoesNotBumpVersion) {
+  RoutingTable rt(10);
+  ASSERT_TRUE(rt.SetPrimary(1, 0).ok());
+  const uint64_t v = rt.version();
+  EXPECT_FALSE(rt.Migrate(1, 5, 2).ok());
+  EXPECT_FALSE(rt.AddReplica(1, 0).ok());
+  EXPECT_EQ(rt.version(), v);
+}
+
+}  // namespace
+}  // namespace soap::router

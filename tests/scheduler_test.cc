@@ -1,0 +1,158 @@
+// Behavioural tests for the five scheduling strategies (§3), run on a
+// scaled-down version of the paper's experiment so each case completes in
+// well under a second of wall-clock time.
+
+#include <gtest/gtest.h>
+
+#include "src/engine/experiment.h"
+
+namespace soap {
+namespace {
+
+engine::ExperimentConfig SmallConfig(SchedulingStrategy strategy,
+                                     double utilization) {
+  engine::ExperimentConfig config;
+  config.workload = workload::WorkloadSpec::Zipf(1.0);
+  config.workload.num_templates = 500;
+  config.workload.num_keys = 10'000;
+  config.utilization = utilization;
+  config.warmup_intervals = 3;
+  config.measured_intervals = 25;
+  config.strategy = strategy;
+  config.seed = 77;
+  return config;
+}
+
+engine::ExperimentResult RunExperiment(SchedulingStrategy strategy,
+                             double utilization) {
+  return engine::Experiment(SmallConfig(strategy, utilization)).Run();
+}
+
+TEST(SchedulerBehaviourTest, ApplyAllDeploysFastest) {
+  auto apply_all = RunExperiment(SchedulingStrategy::kApplyAll, 0.65);
+  auto feedback = RunExperiment(SchedulingStrategy::kFeedback, 0.65);
+  ASSERT_NE(apply_all.RepartitionCompletedAt(), -1);
+  ASSERT_NE(feedback.RepartitionCompletedAt(), -1);
+  EXPECT_LE(apply_all.RepartitionCompletedAt(),
+            feedback.RepartitionCompletedAt());
+}
+
+TEST(SchedulerBehaviourTest, ApplyAllStallsNormalProcessing) {
+  // During the stall interval(s) right after the plan lands, the normal
+  // throughput must dip relative to the pre-repartition level. Use a
+  // plan large enough that the stall covers a good part of an interval.
+  engine::ExperimentConfig config =
+      SmallConfig(SchedulingStrategy::kApplyAll, 0.65);
+  config.workload.num_templates = 3'500;
+  config.workload.num_keys = 20'000;
+  auto r = engine::Experiment(config).Run();
+  const double before = r.throughput.at(2);
+  const double during = r.throughput.at(3);  // plan lands at interval 3
+  EXPECT_LT(during, before * 0.8);
+  // And latency for transactions stuck behind the stall spikes.
+  EXPECT_GT(r.latency_ms.at(3), r.latency_ms.at(2) * 1.5);
+}
+
+TEST(SchedulerBehaviourTest, AfterAllStarvesUnderHighLoad) {
+  auto r = RunExperiment(SchedulingStrategy::kAfterAll, 1.30);
+  // Barely any repartitioning progress while overloaded.
+  EXPECT_LT(r.rep_rate.at(r.rep_rate.size() - 1), 0.2);
+  EXPECT_EQ(r.RepartitionCompletedAt(), -1);
+}
+
+TEST(SchedulerBehaviourTest, AfterAllFinishesUnderLowLoad) {
+  auto r = RunExperiment(SchedulingStrategy::kAfterAll, 0.65);
+  EXPECT_NE(r.RepartitionCompletedAt(), -1);
+  EXPECT_TRUE(r.plan_completed);
+}
+
+TEST(SchedulerBehaviourTest, FeedbackMakesProgressUnderHighLoad) {
+  auto feedback = RunExperiment(SchedulingStrategy::kFeedback, 1.30);
+  auto after_all = RunExperiment(SchedulingStrategy::kAfterAll, 1.30);
+  EXPECT_GT(feedback.rep_rate.TailMean(3),
+            after_all.rep_rate.TailMean(3) + 0.3);
+}
+
+TEST(SchedulerBehaviourTest, PiggybackUsesCarriersNotTxns) {
+  auto r = RunExperiment(SchedulingStrategy::kPiggyback, 1.30);
+  EXPECT_GT(r.piggybacked_ops, 0u);
+  // Pure piggyback never submits standalone repartition transactions.
+  EXPECT_EQ(r.counters.submitted_repartition, 0u);
+  EXPECT_GT(r.rep_rate.TailMean(3), 0.5);
+}
+
+TEST(SchedulerBehaviourTest, PiggybackSlowOnColdTailUnderLowLoad) {
+  // §3.5's motivation: with few transactions to piggyback on, the cold
+  // tail of the catalogue takes much longer than Hybrid.
+  auto piggyback = RunExperiment(SchedulingStrategy::kPiggyback, 0.65);
+  auto hybrid = RunExperiment(SchedulingStrategy::kHybrid, 0.65);
+  const int hybrid_done = hybrid.RepartitionCompletedAt();
+  ASSERT_NE(hybrid_done, -1);
+  const int piggyback_done = piggyback.RepartitionCompletedAt();
+  EXPECT_TRUE(piggyback_done == -1 || piggyback_done > hybrid_done);
+}
+
+TEST(SchedulerBehaviourTest, HybridCombinesBothMechanisms) {
+  auto r = RunExperiment(SchedulingStrategy::kHybrid, 1.30);
+  EXPECT_GT(r.piggybacked_ops, 0u);
+  EXPECT_GT(r.counters.submitted_repartition, 0u);
+  EXPECT_NE(r.RepartitionCompletedAt(), -1);
+}
+
+TEST(SchedulerBehaviourTest, HybridBeatsAfterAllThroughputUnderHighLoad) {
+  auto hybrid = RunExperiment(SchedulingStrategy::kHybrid, 1.30);
+  auto after_all = RunExperiment(SchedulingStrategy::kAfterAll, 1.30);
+  EXPECT_GT(hybrid.throughput.TailMean(5),
+            after_all.throughput.TailMean(5) * 1.1);
+  EXPECT_LT(hybrid.latency_ms.TailMean(5),
+            after_all.latency_ms.TailMean(5));
+}
+
+TEST(SchedulerBehaviourTest, EveryStrategyPreservesConsistency) {
+  for (auto strategy :
+       {SchedulingStrategy::kApplyAll, SchedulingStrategy::kAfterAll,
+        SchedulingStrategy::kFeedback, SchedulingStrategy::kPiggyback,
+        SchedulingStrategy::kHybrid}) {
+    auto r = RunExperiment(strategy, 1.30);
+    EXPECT_TRUE(r.audit.ok())
+        << StrategyName(strategy) << ": " << r.audit.ToString();
+  }
+}
+
+TEST(SchedulerBehaviourTest, PlanOpsNeverDoubleApplied) {
+  for (auto strategy :
+       {SchedulingStrategy::kFeedback, SchedulingStrategy::kPiggyback,
+        SchedulingStrategy::kHybrid}) {
+    auto r = RunExperiment(strategy, 0.65);
+    EXPECT_LE(r.plan_ops_applied, r.plan_ops_total)
+        << StrategyName(strategy);
+  }
+}
+
+TEST(SchedulerBehaviourTest, FeedbackRespectsPerIntervalCap) {
+  engine::ExperimentConfig config =
+      SmallConfig(SchedulingStrategy::kFeedback, 0.65);
+  config.feedback.max_txns_per_interval = 5;
+  auto r = engine::Experiment(config).Run();
+  // With at most 5 txns/interval plus the low-priority trickle, the plan
+  // (500 txns) cannot complete within 25 intervals... but idle capacity
+  // lets low-priority ones run too, so just check plausibility: strictly
+  // fewer normal-priority submissions than intervals * cap.
+  EXPECT_LE(r.counters.submitted_repartition,
+            500u + 25u * 5u + 64u /* low window refills */);
+}
+
+TEST(SchedulerBehaviourTest, DeterministicAcrossRuns) {
+  auto a = RunExperiment(SchedulingStrategy::kHybrid, 1.30);
+  auto b = RunExperiment(SchedulingStrategy::kHybrid, 1.30);
+  ASSERT_EQ(a.throughput.size(), b.throughput.size());
+  for (size_t i = 0; i < a.throughput.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.throughput.at(i), b.throughput.at(i)) << i;
+    EXPECT_DOUBLE_EQ(a.latency_ms.at(i), b.latency_ms.at(i)) << i;
+    EXPECT_DOUBLE_EQ(a.rep_rate.at(i), b.rep_rate.at(i)) << i;
+  }
+  EXPECT_EQ(a.events_executed, b.events_executed);
+}
+
+}  // namespace
+}  // namespace soap

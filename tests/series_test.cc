@@ -1,0 +1,119 @@
+#include "src/common/series.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace soap {
+namespace {
+
+TEST(SeriesTest, AppendAndStats) {
+  Series s("x");
+  for (double v : {1.0, 5.0, 3.0}) s.Append(v);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.Max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 3.0);
+}
+
+TEST(SeriesTest, EmptyStats) {
+  Series s("x");
+  EXPECT_DOUBLE_EQ(s.Max(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.TailMean(3), 0.0);
+}
+
+TEST(SeriesTest, TailMean) {
+  Series s("x");
+  for (double v : {100.0, 1.0, 2.0, 3.0}) s.Append(v);
+  EXPECT_DOUBLE_EQ(s.TailMean(3), 2.0);
+  EXPECT_DOUBLE_EQ(s.TailMean(10), 26.5);  // fewer points than requested
+}
+
+TEST(SeriesTest, FirstIndexAtLeast) {
+  Series s("x");
+  for (double v : {0.1, 0.5, 0.99, 1.0, 1.0}) s.Append(v);
+  EXPECT_EQ(s.FirstIndexAtLeast(0.999), 3);
+  EXPECT_EQ(s.FirstIndexAtLeast(0.5), 1);
+  EXPECT_EQ(s.FirstIndexAtLeast(2.0), -1);
+}
+
+TEST(SeriesBundleTest, AddIsIdempotentPerName) {
+  SeriesBundle b("t");
+  Series& first = b.Add("a");
+  first.Append(1.0);
+  Series& again = b.Add("a");
+  EXPECT_EQ(&first, &again);
+  EXPECT_EQ(b.series().size(), 1u);
+}
+
+TEST(SeriesBundleTest, InsertCopiesUnderNewName) {
+  Series src("orig");
+  src.Append(4.0);
+  src.Append(8.0);
+  SeriesBundle b("t");
+  b.Insert("renamed", src);
+  const Series* found = b.Find("renamed");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->name(), "renamed");
+  EXPECT_EQ(found->size(), 2u);
+  EXPECT_DOUBLE_EQ(found->at(1), 8.0);
+}
+
+TEST(SeriesBundleTest, FindMissingReturnsNull) {
+  SeriesBundle b("t");
+  EXPECT_EQ(b.Find("nope"), nullptr);
+}
+
+TEST(SeriesBundleTest, TableHasHeaderAndRows) {
+  SeriesBundle b("my title");
+  Series& s = b.Add("col");
+  s.Append(1.5);
+  s.Append(2.5);
+  const std::string table = b.ToTable();
+  EXPECT_NE(table.find("my title"), std::string::npos);
+  EXPECT_NE(table.find("col"), std::string::npos);
+  EXPECT_NE(table.find("1.500"), std::string::npos);
+  EXPECT_NE(table.find("2.500"), std::string::npos);
+}
+
+TEST(SeriesBundleTest, TableStrideSkipsRows) {
+  SeriesBundle b("t");
+  Series& s = b.Add("c");
+  for (int i = 0; i < 10; ++i) s.Append(i);
+  std::string table = b.ToTable(5);
+  // rows 0 and 5 only
+  EXPECT_NE(table.find("\n5"), std::string::npos);
+  EXPECT_EQ(table.find("\n7"), std::string::npos);
+}
+
+TEST(SeriesBundleTest, CsvRoundTrip) {
+  SeriesBundle b("t");
+  Series& x = b.Add("x");
+  x.Append(1.0);
+  x.Append(2.0);
+  Series& y = b.Add("y");
+  y.Append(3.0);
+  const std::string path = ::testing::TempDir() + "/soap_series_test.csv";
+  ASSERT_TRUE(b.WriteCsv(path).ok());
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string csv = ss.str();
+  EXPECT_NE(csv.find("interval,x,y"), std::string::npos);
+  EXPECT_NE(csv.find("0,1,3"), std::string::npos);
+  EXPECT_NE(csv.find("1,2,"), std::string::npos);  // ragged column padded
+  std::remove(path.c_str());
+}
+
+TEST(SeriesBundleTest, CsvToBadPathFails) {
+  SeriesBundle b("t");
+  b.Add("x").Append(1.0);
+  EXPECT_FALSE(b.WriteCsv("/nonexistent_dir_xyz/out.csv").ok());
+}
+
+}  // namespace
+}  // namespace soap

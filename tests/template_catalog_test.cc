@@ -1,0 +1,162 @@
+#include "src/workload/template_catalog.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace soap::workload {
+namespace {
+
+WorkloadSpec SmallSpec(double alpha, PopularityDist dist) {
+  WorkloadSpec s;
+  s.distribution = dist;
+  s.num_templates = 200;
+  s.num_keys = 2000;
+  s.alpha = alpha;
+  s.seed = 5;
+  return s;
+}
+
+TEST(TemplateCatalogTest, BuildsRequestedTemplates) {
+  TemplateCatalog catalog(SmallSpec(1.0, PopularityDist::kZipf), 5);
+  EXPECT_EQ(catalog.size(), 200u);
+  for (uint32_t t = 0; t < catalog.size(); ++t) {
+    EXPECT_EQ(catalog.at(t).id, t);
+    EXPECT_EQ(catalog.at(t).keys.size(), 5u);
+    EXPECT_EQ(catalog.at(t).is_write.size(), 5u);
+  }
+}
+
+TEST(TemplateCatalogTest, KeySetsDisjointAcrossTemplates) {
+  TemplateCatalog catalog(SmallSpec(0.6, PopularityDist::kZipf), 5);
+  std::set<storage::TupleKey> seen;
+  for (const TxnTemplate& tmpl : catalog.templates()) {
+    for (storage::TupleKey k : tmpl.keys) {
+      EXPECT_TRUE(seen.insert(k).second) << "key " << k << " reused";
+    }
+  }
+}
+
+TEST(TemplateCatalogTest, AlphaControlsDistributedCount) {
+  for (double alpha : {0.2, 0.6, 1.0}) {
+    TemplateCatalog catalog(SmallSpec(alpha, PopularityDist::kUniform), 5);
+    EXPECT_EQ(catalog.distributed_count(),
+              static_cast<uint32_t>(alpha * 200 + 0.5));
+    uint32_t actual = 0;
+    for (const TxnTemplate& t : catalog.templates()) {
+      actual += t.initially_distributed;
+    }
+    EXPECT_EQ(actual, catalog.distributed_count());
+  }
+}
+
+TEST(TemplateCatalogTest, CollocatedTemplatesStayHome) {
+  TemplateCatalog catalog(SmallSpec(0.5, PopularityDist::kZipf), 5);
+  for (const TxnTemplate& tmpl : catalog.templates()) {
+    if (tmpl.initially_distributed) continue;
+    for (storage::TupleKey k : tmpl.keys) {
+      EXPECT_EQ(catalog.InitialPartitionOf(k), tmpl.home_partition);
+    }
+    EXPECT_TRUE(tmpl.remote_keys.empty());
+  }
+}
+
+TEST(TemplateCatalogTest, DistributedTemplatesSpanExactlyTwoPartitions) {
+  TemplateCatalog catalog(SmallSpec(1.0, PopularityDist::kZipf), 5);
+  for (const TxnTemplate& tmpl : catalog.templates()) {
+    ASSERT_TRUE(tmpl.initially_distributed);
+    std::set<uint32_t> partitions;
+    for (storage::TupleKey k : tmpl.keys) {
+      partitions.insert(catalog.InitialPartitionOf(k));
+    }
+    EXPECT_EQ(partitions.size(), 2u);
+    EXPECT_EQ(tmpl.remote_keys.size(), 2u);  // floor(5/2)
+    EXPECT_NE(tmpl.remote_partition, tmpl.home_partition);
+    for (storage::TupleKey k : tmpl.remote_keys) {
+      EXPECT_EQ(catalog.InitialPartitionOf(k), tmpl.remote_partition);
+    }
+  }
+}
+
+TEST(TemplateCatalogTest, ReadsOrderedBeforeWrites) {
+  TemplateCatalog catalog(SmallSpec(1.0, PopularityDist::kZipf), 5);
+  for (const TxnTemplate& tmpl : catalog.templates()) {
+    bool seen_write = false;
+    for (bool w : tmpl.is_write) {
+      if (w) seen_write = true;
+      if (seen_write) {
+        EXPECT_TRUE(w);  // once writes start, no reads
+      }
+    }
+  }
+}
+
+TEST(TemplateCatalogTest, WriteFractionRoughlyHalf) {
+  TemplateCatalog catalog(SmallSpec(1.0, PopularityDist::kZipf), 5);
+  uint64_t writes = 0, total = 0;
+  for (const TxnTemplate& tmpl : catalog.templates()) {
+    for (bool w : tmpl.is_write) {
+      writes += w;
+      ++total;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(writes) / total, 0.5, 0.05);
+}
+
+TEST(TemplateCatalogTest, ZipfHomesBalanceExpectedLoad) {
+  // The hottest templates must not pile onto one node: weighted load per
+  // partition should be within a few percent of 1/P each.
+  WorkloadSpec spec = SmallSpec(1.0, PopularityDist::kZipf);
+  spec.num_templates = 5000;
+  spec.num_keys = 25000;
+  TemplateCatalog catalog(spec, 5);
+  ZipfSampler pmf(spec.num_templates, spec.zipf_s);
+  double load[5] = {0, 0, 0, 0, 0};
+  for (uint32_t t = 0; t < spec.num_templates; ++t) {
+    load[catalog.at(t).home_partition] += pmf.Pmf(t);
+  }
+  for (double l : load) EXPECT_NEAR(l, 0.2, 0.05);
+}
+
+TEST(TemplateCatalogTest, DeterministicGivenSeed) {
+  TemplateCatalog a(SmallSpec(0.6, PopularityDist::kZipf), 5);
+  TemplateCatalog b(SmallSpec(0.6, PopularityDist::kZipf), 5);
+  for (uint32_t t = 0; t < a.size(); ++t) {
+    EXPECT_EQ(a.at(t).keys, b.at(t).keys);
+    EXPECT_EQ(a.at(t).home_partition, b.at(t).home_partition);
+    EXPECT_EQ(a.at(t).initially_distributed, b.at(t).initially_distributed);
+  }
+}
+
+TEST(TemplateCatalogTest, InstantiateProducesMatchingOps) {
+  TemplateCatalog catalog(SmallSpec(1.0, PopularityDist::kZipf), 5);
+  auto t = catalog.Instantiate(3, 42);
+  const TxnTemplate& tmpl = catalog.at(3);
+  ASSERT_EQ(t->ops.size(), tmpl.keys.size());
+  EXPECT_EQ(t->template_id, 3u);
+  EXPECT_FALSE(t->is_repartition);
+  for (size_t i = 0; i < t->ops.size(); ++i) {
+    EXPECT_EQ(t->ops[i].key, tmpl.keys[i]);
+    EXPECT_EQ(t->ops[i].kind, tmpl.is_write[i] ? txn::OpKind::kWrite
+                                               : txn::OpKind::kRead);
+    if (tmpl.is_write[i]) {
+      EXPECT_EQ(t->ops[i].write_value, 42);
+    }
+  }
+}
+
+TEST(TemplateCatalogTest, PaperScaleConfigsFit) {
+  // The paper's two workloads must satisfy templates * queries <= keys.
+  WorkloadSpec zipf = WorkloadSpec::Zipf(1.0);
+  EXPECT_LE(static_cast<uint64_t>(zipf.num_templates) * zipf.queries_per_txn,
+            zipf.num_keys);
+  WorkloadSpec uni = WorkloadSpec::Uniform(1.0);
+  EXPECT_LE(static_cast<uint64_t>(uni.num_templates) * uni.queries_per_txn,
+            uni.num_keys);
+  EXPECT_EQ(zipf.num_templates, 23'457u);
+  EXPECT_EQ(uni.num_templates, 30'000u);
+  EXPECT_DOUBLE_EQ(zipf.zipf_s, 1.16);
+}
+
+}  // namespace
+}  // namespace soap::workload

@@ -1,0 +1,110 @@
+#include "src/workload/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace soap::workload {
+namespace {
+
+WorkloadSpec SmallSpec() {
+  WorkloadSpec s;
+  s.num_templates = 20;
+  s.num_keys = 200;
+  s.alpha = 1.0;
+  s.seed = 2;
+  return s;
+}
+
+TEST(TraceTest, RecordAndQuery) {
+  WorkloadTrace trace;
+  trace.Record(0, 3, 100);
+  trace.Record(0, 5, 101);
+  trace.Record(2, 3, 102);
+  EXPECT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace.IntervalCount(), 3u);
+  EXPECT_EQ(trace.EventsForInterval(0).size(), 2u);
+  EXPECT_EQ(trace.EventsForInterval(1).size(), 0u);
+  EXPECT_EQ(trace.EventsForInterval(2).size(), 1u);
+}
+
+TEST(TraceTest, EmptyTrace) {
+  WorkloadTrace trace;
+  EXPECT_EQ(trace.IntervalCount(), 0u);
+  EXPECT_TRUE(trace.EventsForInterval(0).empty());
+}
+
+TEST(TraceTest, ReplayInstantiatesAgainstCatalog) {
+  TemplateCatalog catalog(SmallSpec(), 5);
+  WorkloadTrace trace;
+  trace.Record(1, 4, 77);
+  trace.Record(1, 9, 78);
+  auto batch = trace.ReplayInterval(1, catalog);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0]->template_id, 4u);
+  EXPECT_EQ(batch[1]->template_id, 9u);
+  // Write values flow into the instantiated write ops.
+  bool saw_value = false;
+  for (const auto& op : batch[0]->ops) {
+    if (op.kind == txn::OpKind::kWrite) {
+      EXPECT_EQ(op.write_value, 77);
+      saw_value = true;
+    }
+  }
+  EXPECT_TRUE(saw_value || batch[0]->ops.empty());
+}
+
+TEST(TraceTest, SaveLoadRoundTrip) {
+  WorkloadTrace trace;
+  trace.Record(0, 1, -5);
+  trace.Record(3, 19, 123456789);
+  const std::string path = ::testing::TempDir() + "/soap_trace_rt.txt";
+  ASSERT_TRUE(trace.SaveToFile(path, 20).ok());
+  Result<WorkloadTrace> loaded = WorkloadTrace::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ(loaded->events()[0].interval, 0u);
+  EXPECT_EQ(loaded->events()[0].write_value, -5);
+  EXPECT_EQ(loaded->events()[1].template_id, 19u);
+  EXPECT_EQ(loaded->events()[1].write_value, 123456789);
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, LoadRejectsMissingFile) {
+  EXPECT_TRUE(
+      WorkloadTrace::LoadFromFile("/no/such/trace.txt").status().IsNotFound());
+}
+
+TEST(TraceTest, LoadRejectsBadHeader) {
+  const std::string path = ::testing::TempDir() + "/soap_trace_bad.txt";
+  {
+    std::ofstream out(path);
+    out << "not-a-trace v9 10\n";
+  }
+  EXPECT_EQ(WorkloadTrace::LoadFromFile(path).status().code(),
+            StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, LoadRejectsOutOfRangeTemplate) {
+  const std::string path = ::testing::TempDir() + "/soap_trace_oor.txt";
+  {
+    std::ofstream out(path);
+    out << "soap-trace v1 10\n5 99 0\n";
+  }
+  EXPECT_EQ(WorkloadTrace::LoadFromFile(path).status().code(),
+            StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, ReplaySkipsForeignTemplates) {
+  TemplateCatalog catalog(SmallSpec(), 5);  // 20 templates
+  WorkloadTrace trace;
+  trace.Record(0, 4, 1);
+  trace.Record(0, 50, 2);  // beyond this catalog
+  EXPECT_EQ(trace.ReplayInterval(0, catalog).size(), 1u);
+}
+
+}  // namespace
+}  // namespace soap::workload

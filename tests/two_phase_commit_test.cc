@@ -1,0 +1,170 @@
+#include "src/txn/two_phase_commit.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace soap::txn {
+namespace {
+
+struct Harness {
+  sim::Simulator sim;
+  sim::NetworkConfig net_config;
+  sim::Network network;
+  TwoPhaseCommitDriver driver;
+
+  Harness() : network(&sim, MakeConfig()), driver(&sim, &network) {}
+
+  static sim::NetworkConfig MakeConfig() {
+    sim::NetworkConfig c;
+    c.base_latency = Millis(1);
+    c.per_kb = 0;
+    c.jitter = 0;
+    return c;
+  }
+
+  /// A participant that votes `vote` after `work` of virtual time and
+  /// records its phase transitions.
+  TpcParticipant MakeParticipant(sim::NodeId node, bool vote,
+                                 std::vector<std::string>* log) {
+    TpcParticipant p;
+    p.node = node;
+    p.prepare = [this, vote, node, log](std::function<void(bool)> cb) {
+      log->push_back("prepare@" + std::to_string(node));
+      sim.After(Millis(2), [cb = std::move(cb), vote] { cb(vote); });
+    };
+    p.commit = [this, node, log](std::function<void()> cb) {
+      log->push_back("commit@" + std::to_string(node));
+      sim.After(Millis(2), std::move(cb));
+    };
+    p.abort = [this, node, log](std::function<void()> cb) {
+      log->push_back("abort@" + std::to_string(node));
+      sim.After(Millis(1), std::move(cb));
+    };
+    return p;
+  }
+};
+
+TEST(TwoPhaseCommitTest, AllYesCommits) {
+  Harness h;
+  std::vector<std::string> log;
+  bool committed = false;
+  bool done = false;
+  h.driver.Run(1, /*coordinator=*/0,
+               {h.MakeParticipant(1, true, &log),
+                h.MakeParticipant(2, true, &log)},
+               [&](bool c) {
+                 committed = c;
+                 done = true;
+               });
+  h.sim.Run();
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(committed);
+  // Both prepared, both committed, nobody aborted.
+  EXPECT_EQ(std::count_if(log.begin(), log.end(),
+                          [](const std::string& s) {
+                            return s.rfind("prepare", 0) == 0;
+                          }),
+            2);
+  EXPECT_EQ(std::count_if(log.begin(), log.end(),
+                          [](const std::string& s) {
+                            return s.rfind("commit", 0) == 0;
+                          }),
+            2);
+  EXPECT_EQ(h.driver.stats().committed, 1u);
+}
+
+TEST(TwoPhaseCommitTest, AnyNoAborts) {
+  Harness h;
+  std::vector<std::string> log;
+  bool committed = true;
+  h.driver.Run(1, 0,
+               {h.MakeParticipant(1, true, &log),
+                h.MakeParticipant(2, false, &log),
+                h.MakeParticipant(3, true, &log)},
+               [&](bool c) { committed = c; });
+  h.sim.Run();
+  EXPECT_FALSE(committed);
+  EXPECT_EQ(std::count_if(log.begin(), log.end(),
+                          [](const std::string& s) {
+                            return s.rfind("abort", 0) == 0;
+                          }),
+            3);
+  EXPECT_EQ(std::count_if(log.begin(), log.end(),
+                          [](const std::string& s) {
+                            return s.rfind("commit", 0) == 0;
+                          }),
+            0);
+  EXPECT_EQ(h.driver.stats().aborted, 1u);
+}
+
+TEST(TwoPhaseCommitTest, PreparesPrecedeCommits) {
+  Harness h;
+  std::vector<std::string> log;
+  h.driver.Run(1, 0,
+               {h.MakeParticipant(1, true, &log),
+                h.MakeParticipant(2, true, &log)},
+               [](bool) {});
+  h.sim.Run();
+  // The last prepare must come before the first commit.
+  size_t last_prepare = 0, first_commit = log.size();
+  for (size_t i = 0; i < log.size(); ++i) {
+    if (log[i].rfind("prepare", 0) == 0) last_prepare = i;
+    if (log[i].rfind("commit", 0) == 0 && i < first_commit) first_commit = i;
+  }
+  EXPECT_LT(last_prepare, first_commit);
+}
+
+TEST(TwoPhaseCommitTest, SingleLocalParticipantSkipsMessages) {
+  Harness h;
+  std::vector<std::string> log;
+  bool committed = false;
+  h.driver.Run(1, /*coordinator=*/2, {h.MakeParticipant(2, true, &log)},
+               [&](bool c) { committed = c; });
+  h.sim.Run();
+  EXPECT_TRUE(committed);
+  EXPECT_EQ(h.network.messages_sent(), 0u);  // one-phase optimization
+  // No prepare phase needed either.
+  EXPECT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0], "commit@2");
+}
+
+TEST(TwoPhaseCommitTest, MessageCountForNParticipants) {
+  Harness h;
+  std::vector<std::string> log;
+  h.driver.Run(1, 0,
+               {h.MakeParticipant(1, true, &log),
+                h.MakeParticipant(2, true, &log),
+                h.MakeParticipant(3, true, &log)},
+               [](bool) {});
+  h.sim.Run();
+  // prepare + vote + decision + ack per participant.
+  EXPECT_EQ(h.driver.stats().messages, 12u);
+}
+
+TEST(TwoPhaseCommitTest, CommitTakesAtLeastTwoRoundTrips) {
+  Harness h;
+  std::vector<std::string> log;
+  SimTime done_at = 0;
+  h.driver.Run(1, 0, {h.MakeParticipant(1, true, &log)},
+               [&](bool) { done_at = h.sim.Now(); });
+  h.sim.Run();
+  // 4 x 1ms latency + 2ms prepare + 2ms commit.
+  EXPECT_EQ(done_at, Millis(8));
+}
+
+TEST(TwoPhaseCommitTest, ConcurrentProtocolsIsolated) {
+  Harness h;
+  std::vector<std::string> log1, log2;
+  int commits = 0;
+  h.driver.Run(1, 0, {h.MakeParticipant(1, true, &log1)},
+               [&](bool c) { commits += c; });
+  h.driver.Run(2, 0, {h.MakeParticipant(2, true, &log2)},
+               [&](bool c) { commits += c; });
+  h.sim.Run();
+  EXPECT_EQ(commits, 2);
+  EXPECT_EQ(h.driver.stats().protocols_run, 2u);
+}
+
+}  // namespace
+}  // namespace soap::txn

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "src/workload/generator.h"
+#include "src/workload/history.h"
+#include "src/workload/template_catalog.h"
+
+namespace soap::workload {
+namespace {
+
+WorkloadSpec SmallSpec(PopularityDist dist) {
+  WorkloadSpec s;
+  s.distribution = dist;
+  s.num_templates = 100;
+  s.num_keys = 1000;
+  s.alpha = 1.0;
+  s.seed = 3;
+  return s;
+}
+
+// -------------------------------------------------------------- Generator
+
+TEST(GeneratorTest, ZipfFavorsLowRanks) {
+  TemplateCatalog catalog(SmallSpec(PopularityDist::kZipf), 5);
+  WorkloadGenerator gen(&catalog, 11);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 50000; ++i) counts[gen.SampleTemplate()]++;
+  EXPECT_GT(counts[0], counts[50] * 5);
+  EXPECT_GT(counts[0], 5000);
+}
+
+TEST(GeneratorTest, UniformIsFlat) {
+  TemplateCatalog catalog(SmallSpec(PopularityDist::kUniform), 5);
+  WorkloadGenerator gen(&catalog, 11);
+  std::vector<int> counts(100, 0);
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) counts[gen.SampleTemplate()]++;
+  for (int c : counts) EXPECT_NEAR(c, trials / 100, trials / 100 * 0.25);
+}
+
+TEST(GeneratorTest, IntervalBatchPoissonMean) {
+  TemplateCatalog catalog(SmallSpec(PopularityDist::kUniform), 5);
+  WorkloadGenerator gen(&catalog, 13);
+  double total = 0;
+  const int intervals = 300;
+  for (int i = 0; i < intervals; ++i) {
+    total += static_cast<double>(gen.GenerateInterval(50.0).size());
+  }
+  EXPECT_NEAR(total / intervals, 50.0, 2.0);
+}
+
+TEST(GeneratorTest, GeneratedTxnsMatchCatalog) {
+  TemplateCatalog catalog(SmallSpec(PopularityDist::kZipf), 5);
+  WorkloadGenerator gen(&catalog, 17);
+  for (int i = 0; i < 100; ++i) {
+    auto t = gen.GenerateOne();
+    ASSERT_LT(t->template_id, catalog.size());
+    EXPECT_EQ(t->ops.size(), 5u);
+    EXPECT_EQ(t->ops[0].key, catalog.at(t->template_id).keys[0]);
+  }
+  EXPECT_EQ(gen.generated(), 100u);
+}
+
+TEST(GeneratorTest, DeterministicGivenSeed) {
+  TemplateCatalog catalog(SmallSpec(PopularityDist::kZipf), 5);
+  WorkloadGenerator a(&catalog, 19), b(&catalog, 19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.SampleTemplate(), b.SampleTemplate());
+  }
+}
+
+TEST(GeneratorTest, CalibrationHitsUtilizationTarget) {
+  TemplateCatalog catalog(SmallSpec(PopularityDist::kUniform), 5);
+  CapacityModel capacity;
+  capacity.collocated_cost = Millis(20);
+  capacity.distributed_cost = Millis(40);
+  capacity.total_workers = 10;
+  // alpha=1: all distributed, mean cost 40ms -> capacity 250 txn/s.
+  const double rate = WorkloadGenerator::CalibrateArrivalRate(
+      catalog, capacity, 1.0);
+  EXPECT_NEAR(rate, 250.0, 1.0);
+  EXPECT_NEAR(
+      WorkloadGenerator::CalibrateArrivalRate(catalog, capacity, 0.65),
+      162.5, 1.0);
+}
+
+TEST(GeneratorTest, ExpectedCostInterpolatesWithAlpha) {
+  WorkloadSpec spec = SmallSpec(PopularityDist::kUniform);
+  spec.alpha = 0.5;
+  TemplateCatalog catalog(spec, 5);
+  CapacityModel capacity;
+  capacity.collocated_cost = Millis(20);
+  capacity.distributed_cost = Millis(40);
+  capacity.total_workers = 10;
+  EXPECT_NEAR(WorkloadGenerator::ExpectedInitialCost(catalog, capacity),
+              static_cast<double>(Millis(30)), static_cast<double>(Millis(1)));
+}
+
+TEST(GeneratorTest, ZipfExpectedCostWeightsByPopularity) {
+  // With alpha=1 every template is distributed regardless of popularity.
+  TemplateCatalog catalog(SmallSpec(PopularityDist::kZipf), 5);
+  CapacityModel capacity;
+  capacity.collocated_cost = Millis(20);
+  capacity.distributed_cost = Millis(40);
+  capacity.total_workers = 10;
+  EXPECT_NEAR(WorkloadGenerator::ExpectedInitialCost(catalog, capacity),
+              static_cast<double>(Millis(40)), 1000.0);
+}
+
+// ---------------------------------------------------------------- History
+
+TEST(HistoryTest, EmptyHasZeroRates) {
+  WorkloadHistory h(10, 5);
+  EXPECT_DOUBLE_EQ(h.FrequencyOf(3), 0.0);
+  EXPECT_DOUBLE_EQ(h.TotalRate(), 0.0);
+}
+
+TEST(HistoryTest, FrequencyPerSecond) {
+  WorkloadHistory h(10, 5);
+  for (int i = 0; i < 40; ++i) h.Record(2);
+  h.CloseInterval(Seconds(20));
+  EXPECT_DOUBLE_EQ(h.FrequencyOf(2), 2.0);
+  EXPECT_DOUBLE_EQ(h.FrequencyOf(3), 0.0);
+  EXPECT_DOUBLE_EQ(h.TotalRate(), 2.0);
+}
+
+TEST(HistoryTest, OpenIntervalNotCounted) {
+  WorkloadHistory h(10, 5);
+  h.Record(1);
+  EXPECT_DOUBLE_EQ(h.FrequencyOf(1), 0.0);
+  h.CloseInterval(Seconds(1));
+  EXPECT_DOUBLE_EQ(h.FrequencyOf(1), 1.0);
+}
+
+TEST(HistoryTest, WindowSlidesOldDataOut) {
+  WorkloadHistory h(10, 2);
+  h.Record(1);
+  h.CloseInterval(Seconds(1));  // interval A: one obs
+  h.CloseInterval(Seconds(1));  // interval B: none
+  EXPECT_DOUBLE_EQ(h.FrequencyOf(1), 0.5);
+  h.CloseInterval(Seconds(1));  // interval C: A falls out of the window
+  EXPECT_DOUBLE_EQ(h.FrequencyOf(1), 0.0);
+  EXPECT_EQ(h.window_size(), 2u);
+}
+
+TEST(HistoryTest, AggregatesAcrossWindow) {
+  WorkloadHistory h(10, 3);
+  for (int k = 0; k < 3; ++k) {
+    for (int i = 0; i < 10; ++i) h.Record(0);
+    h.CloseInterval(Seconds(10));
+  }
+  EXPECT_DOUBLE_EQ(h.FrequencyOf(0), 1.0);
+  EXPECT_EQ(h.total_recorded(), 30u);
+}
+
+TEST(HistoryTest, EstimatesMatchGeneratorPopularity) {
+  // Record a generated workload and verify the history's estimate for the
+  // hottest template approaches its true probability.
+  TemplateCatalog catalog(SmallSpec(PopularityDist::kZipf), 5);
+  WorkloadGenerator gen(&catalog, 23);
+  WorkloadHistory h(100, 10);
+  const int per_interval = 5000;
+  for (int k = 0; k < 10; ++k) {
+    for (int i = 0; i < per_interval; ++i) h.Record(gen.SampleTemplate());
+    h.CloseInterval(Seconds(1));
+  }
+  ZipfSampler pmf(100, 1.16);
+  const double expected_rate = pmf.Pmf(0) * per_interval;
+  EXPECT_NEAR(h.FrequencyOf(0), expected_rate, expected_rate * 0.1);
+}
+
+}  // namespace
+}  // namespace soap::workload
