@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_adaptivity.dir/bench_ablation_adaptivity.cc.o"
+  "CMakeFiles/bench_ablation_adaptivity.dir/bench_ablation_adaptivity.cc.o.d"
+  "bench_ablation_adaptivity"
+  "bench_ablation_adaptivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_adaptivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

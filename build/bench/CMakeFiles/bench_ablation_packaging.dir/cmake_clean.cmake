@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_packaging.dir/bench_ablation_packaging.cc.o"
+  "CMakeFiles/bench_ablation_packaging.dir/bench_ablation_packaging.cc.o.d"
+  "bench_ablation_packaging"
+  "bench_ablation_packaging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_packaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_piggyback_limit.dir/bench_ablation_piggyback_limit.cc.o"
+  "CMakeFiles/bench_ablation_piggyback_limit.dir/bench_ablation_piggyback_limit.cc.o.d"
+  "bench_ablation_piggyback_limit"
+  "bench_ablation_piggyback_limit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_piggyback_limit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

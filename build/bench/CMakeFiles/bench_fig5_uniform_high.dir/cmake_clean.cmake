@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_uniform_high.dir/bench_fig5_uniform_high.cc.o"
+  "CMakeFiles/bench_fig5_uniform_high.dir/bench_fig5_uniform_high.cc.o.d"
+  "bench_fig5_uniform_high"
+  "bench_fig5_uniform_high.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_uniform_high.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

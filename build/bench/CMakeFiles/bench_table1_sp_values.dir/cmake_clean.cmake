@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_sp_values.dir/bench_table1_sp_values.cc.o"
+  "CMakeFiles/bench_table1_sp_values.dir/bench_table1_sp_values.cc.o.d"
+  "bench_table1_sp_values"
+  "bench_table1_sp_values.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_sp_values.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

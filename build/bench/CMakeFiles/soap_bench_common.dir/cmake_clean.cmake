@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soap_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/soap_bench_common.dir/bench_common.cc.o.d"
+  "libsoap_bench_common.a"
+  "libsoap_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soap_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

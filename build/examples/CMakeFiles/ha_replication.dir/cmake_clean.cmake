@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ha_replication.dir/ha_replication.cpp.o"
+  "CMakeFiles/ha_replication.dir/ha_replication.cpp.o.d"
+  "ha_replication"
+  "ha_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ha_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster.cc" "src/cluster/CMakeFiles/soap_cluster.dir/cluster.cc.o" "gcc" "src/cluster/CMakeFiles/soap_cluster.dir/cluster.cc.o.d"
+  "/root/repo/src/cluster/node.cc" "src/cluster/CMakeFiles/soap_cluster.dir/node.cc.o" "gcc" "src/cluster/CMakeFiles/soap_cluster.dir/node.cc.o.d"
+  "/root/repo/src/cluster/processing_queue.cc" "src/cluster/CMakeFiles/soap_cluster.dir/processing_queue.cc.o" "gcc" "src/cluster/CMakeFiles/soap_cluster.dir/processing_queue.cc.o.d"
+  "/root/repo/src/cluster/transaction_manager.cc" "src/cluster/CMakeFiles/soap_cluster.dir/transaction_manager.cc.o" "gcc" "src/cluster/CMakeFiles/soap_cluster.dir/transaction_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/soap_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/soap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/soap_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/soap_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/router/CMakeFiles/soap_router.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soap_cluster.dir/cluster.cc.o"
+  "CMakeFiles/soap_cluster.dir/cluster.cc.o.d"
+  "CMakeFiles/soap_cluster.dir/node.cc.o"
+  "CMakeFiles/soap_cluster.dir/node.cc.o.d"
+  "CMakeFiles/soap_cluster.dir/processing_queue.cc.o"
+  "CMakeFiles/soap_cluster.dir/processing_queue.cc.o.d"
+  "CMakeFiles/soap_cluster.dir/transaction_manager.cc.o"
+  "CMakeFiles/soap_cluster.dir/transaction_manager.cc.o.d"
+  "libsoap_cluster.a"
+  "libsoap_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soap_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

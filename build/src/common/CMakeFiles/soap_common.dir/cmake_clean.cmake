@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soap_common.dir/flags.cc.o"
+  "CMakeFiles/soap_common.dir/flags.cc.o.d"
+  "CMakeFiles/soap_common.dir/histogram.cc.o"
+  "CMakeFiles/soap_common.dir/histogram.cc.o.d"
+  "CMakeFiles/soap_common.dir/logging.cc.o"
+  "CMakeFiles/soap_common.dir/logging.cc.o.d"
+  "CMakeFiles/soap_common.dir/random.cc.o"
+  "CMakeFiles/soap_common.dir/random.cc.o.d"
+  "CMakeFiles/soap_common.dir/series.cc.o"
+  "CMakeFiles/soap_common.dir/series.cc.o.d"
+  "CMakeFiles/soap_common.dir/status.cc.o"
+  "CMakeFiles/soap_common.dir/status.cc.o.d"
+  "libsoap_common.a"
+  "libsoap_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soap_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

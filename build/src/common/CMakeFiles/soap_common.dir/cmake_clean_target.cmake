@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsoap_common.a"
+)

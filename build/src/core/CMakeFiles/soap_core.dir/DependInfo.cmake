@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/basic_schedulers.cc" "src/core/CMakeFiles/soap_core.dir/basic_schedulers.cc.o" "gcc" "src/core/CMakeFiles/soap_core.dir/basic_schedulers.cc.o.d"
+  "/root/repo/src/core/feedback_scheduler.cc" "src/core/CMakeFiles/soap_core.dir/feedback_scheduler.cc.o" "gcc" "src/core/CMakeFiles/soap_core.dir/feedback_scheduler.cc.o.d"
+  "/root/repo/src/core/pid_controller.cc" "src/core/CMakeFiles/soap_core.dir/pid_controller.cc.o" "gcc" "src/core/CMakeFiles/soap_core.dir/pid_controller.cc.o.d"
+  "/root/repo/src/core/piggyback_scheduler.cc" "src/core/CMakeFiles/soap_core.dir/piggyback_scheduler.cc.o" "gcc" "src/core/CMakeFiles/soap_core.dir/piggyback_scheduler.cc.o.d"
+  "/root/repo/src/core/repartition_txn.cc" "src/core/CMakeFiles/soap_core.dir/repartition_txn.cc.o" "gcc" "src/core/CMakeFiles/soap_core.dir/repartition_txn.cc.o.d"
+  "/root/repo/src/core/repartitioner.cc" "src/core/CMakeFiles/soap_core.dir/repartitioner.cc.o" "gcc" "src/core/CMakeFiles/soap_core.dir/repartitioner.cc.o.d"
+  "/root/repo/src/core/txn_packager.cc" "src/core/CMakeFiles/soap_core.dir/txn_packager.cc.o" "gcc" "src/core/CMakeFiles/soap_core.dir/txn_packager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/soap_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/soap_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/repartition/CMakeFiles/soap_repartition.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/soap_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/router/CMakeFiles/soap_router.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/soap_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/soap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/soap_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

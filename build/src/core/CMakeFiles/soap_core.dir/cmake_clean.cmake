@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soap_core.dir/basic_schedulers.cc.o"
+  "CMakeFiles/soap_core.dir/basic_schedulers.cc.o.d"
+  "CMakeFiles/soap_core.dir/feedback_scheduler.cc.o"
+  "CMakeFiles/soap_core.dir/feedback_scheduler.cc.o.d"
+  "CMakeFiles/soap_core.dir/pid_controller.cc.o"
+  "CMakeFiles/soap_core.dir/pid_controller.cc.o.d"
+  "CMakeFiles/soap_core.dir/piggyback_scheduler.cc.o"
+  "CMakeFiles/soap_core.dir/piggyback_scheduler.cc.o.d"
+  "CMakeFiles/soap_core.dir/repartition_txn.cc.o"
+  "CMakeFiles/soap_core.dir/repartition_txn.cc.o.d"
+  "CMakeFiles/soap_core.dir/repartitioner.cc.o"
+  "CMakeFiles/soap_core.dir/repartitioner.cc.o.d"
+  "CMakeFiles/soap_core.dir/txn_packager.cc.o"
+  "CMakeFiles/soap_core.dir/txn_packager.cc.o.d"
+  "libsoap_core.a"
+  "libsoap_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soap_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

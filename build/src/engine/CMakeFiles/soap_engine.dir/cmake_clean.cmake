@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soap_engine.dir/experiment.cc.o"
+  "CMakeFiles/soap_engine.dir/experiment.cc.o.d"
+  "libsoap_engine.a"
+  "libsoap_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soap_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soap_repartition.dir/cost_model.cc.o"
+  "CMakeFiles/soap_repartition.dir/cost_model.cc.o.d"
+  "CMakeFiles/soap_repartition.dir/optimizer.cc.o"
+  "CMakeFiles/soap_repartition.dir/optimizer.cc.o.d"
+  "CMakeFiles/soap_repartition.dir/replication.cc.o"
+  "CMakeFiles/soap_repartition.dir/replication.cc.o.d"
+  "libsoap_repartition.a"
+  "libsoap_repartition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soap_repartition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

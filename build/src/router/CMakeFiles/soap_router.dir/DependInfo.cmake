@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/router/query_parser.cc" "src/router/CMakeFiles/soap_router.dir/query_parser.cc.o" "gcc" "src/router/CMakeFiles/soap_router.dir/query_parser.cc.o.d"
+  "/root/repo/src/router/query_router.cc" "src/router/CMakeFiles/soap_router.dir/query_router.cc.o" "gcc" "src/router/CMakeFiles/soap_router.dir/query_router.cc.o.d"
+  "/root/repo/src/router/routing_table.cc" "src/router/CMakeFiles/soap_router.dir/routing_table.cc.o" "gcc" "src/router/CMakeFiles/soap_router.dir/routing_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/soap_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/soap_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/soap_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/soap_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soap_router.dir/query_parser.cc.o"
+  "CMakeFiles/soap_router.dir/query_parser.cc.o.d"
+  "CMakeFiles/soap_router.dir/query_router.cc.o"
+  "CMakeFiles/soap_router.dir/query_router.cc.o.d"
+  "CMakeFiles/soap_router.dir/routing_table.cc.o"
+  "CMakeFiles/soap_router.dir/routing_table.cc.o.d"
+  "libsoap_router.a"
+  "libsoap_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soap_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

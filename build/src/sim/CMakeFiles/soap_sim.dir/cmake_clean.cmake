@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soap_sim.dir/network.cc.o"
+  "CMakeFiles/soap_sim.dir/network.cc.o.d"
+  "CMakeFiles/soap_sim.dir/simulator.cc.o"
+  "CMakeFiles/soap_sim.dir/simulator.cc.o.d"
+  "libsoap_sim.a"
+  "libsoap_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soap_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

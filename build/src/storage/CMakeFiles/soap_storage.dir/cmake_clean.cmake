@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soap_storage.dir/storage_engine.cc.o"
+  "CMakeFiles/soap_storage.dir/storage_engine.cc.o.d"
+  "CMakeFiles/soap_storage.dir/table.cc.o"
+  "CMakeFiles/soap_storage.dir/table.cc.o.d"
+  "CMakeFiles/soap_storage.dir/wal.cc.o"
+  "CMakeFiles/soap_storage.dir/wal.cc.o.d"
+  "libsoap_storage.a"
+  "libsoap_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soap_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

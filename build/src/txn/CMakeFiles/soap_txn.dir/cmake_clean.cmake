@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soap_txn.dir/lock_manager.cc.o"
+  "CMakeFiles/soap_txn.dir/lock_manager.cc.o.d"
+  "CMakeFiles/soap_txn.dir/two_phase_commit.cc.o"
+  "CMakeFiles/soap_txn.dir/two_phase_commit.cc.o.d"
+  "libsoap_txn.a"
+  "libsoap_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soap_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/generator.cc" "src/workload/CMakeFiles/soap_workload.dir/generator.cc.o" "gcc" "src/workload/CMakeFiles/soap_workload.dir/generator.cc.o.d"
+  "/root/repo/src/workload/history.cc" "src/workload/CMakeFiles/soap_workload.dir/history.cc.o" "gcc" "src/workload/CMakeFiles/soap_workload.dir/history.cc.o.d"
+  "/root/repo/src/workload/template_catalog.cc" "src/workload/CMakeFiles/soap_workload.dir/template_catalog.cc.o" "gcc" "src/workload/CMakeFiles/soap_workload.dir/template_catalog.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/workload/CMakeFiles/soap_workload.dir/trace.cc.o" "gcc" "src/workload/CMakeFiles/soap_workload.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/soap_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/soap_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/soap_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/soap_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

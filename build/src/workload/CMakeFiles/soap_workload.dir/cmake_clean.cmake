@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soap_workload.dir/generator.cc.o"
+  "CMakeFiles/soap_workload.dir/generator.cc.o.d"
+  "CMakeFiles/soap_workload.dir/history.cc.o"
+  "CMakeFiles/soap_workload.dir/history.cc.o.d"
+  "CMakeFiles/soap_workload.dir/template_catalog.cc.o"
+  "CMakeFiles/soap_workload.dir/template_catalog.cc.o.d"
+  "CMakeFiles/soap_workload.dir/trace.cc.o"
+  "CMakeFiles/soap_workload.dir/trace.cc.o.d"
+  "libsoap_workload.a"
+  "libsoap_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soap_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

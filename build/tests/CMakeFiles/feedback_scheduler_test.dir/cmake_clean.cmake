@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feedback_scheduler_test.dir/feedback_scheduler_test.cc.o"
+  "CMakeFiles/feedback_scheduler_test.dir/feedback_scheduler_test.cc.o.d"
+  "feedback_scheduler_test"
+  "feedback_scheduler_test.pdb"
+  "feedback_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feedback_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pid_controller_test.dir/pid_controller_test.cc.o"
+  "CMakeFiles/pid_controller_test.dir/pid_controller_test.cc.o.d"
+  "pid_controller_test"
+  "pid_controller_test.pdb"
+  "pid_controller_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pid_controller_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/processing_queue_test.dir/processing_queue_test.cc.o"
+  "CMakeFiles/processing_queue_test.dir/processing_queue_test.cc.o.d"
+  "processing_queue_test"
+  "processing_queue_test.pdb"
+  "processing_queue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/processing_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repartition_registry_test.dir/repartition_registry_test.cc.o"
+  "CMakeFiles/repartition_registry_test.dir/repartition_registry_test.cc.o.d"
+  "repartition_registry_test"
+  "repartition_registry_test.pdb"
+  "repartition_registry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repartition_registry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repartitioner_test.dir/repartitioner_test.cc.o"
+  "CMakeFiles/repartitioner_test.dir/repartitioner_test.cc.o.d"
+  "repartitioner_test"
+  "repartitioner_test.pdb"
+  "repartitioner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repartitioner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/status_test.cc" "tests/CMakeFiles/status_test.dir/status_test.cc.o" "gcc" "tests/CMakeFiles/status_test.dir/status_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/soap_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/soap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/repartition/CMakeFiles/soap_repartition.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/soap_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/router/CMakeFiles/soap_router.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/soap_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/soap_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/soap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/soap_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/soap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/template_catalog_test.dir/template_catalog_test.cc.o"
+  "CMakeFiles/template_catalog_test.dir/template_catalog_test.cc.o.d"
+  "template_catalog_test"
+  "template_catalog_test.pdb"
+  "template_catalog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/template_catalog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txn_packager_test.dir/txn_packager_test.cc.o"
+  "CMakeFiles/txn_packager_test.dir/txn_packager_test.cc.o.d"
+  "txn_packager_test"
+  "txn_packager_test.pdb"
+  "txn_packager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txn_packager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

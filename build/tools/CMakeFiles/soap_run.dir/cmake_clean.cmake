@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soap_run.dir/soap_run.cc.o"
+  "CMakeFiles/soap_run.dir/soap_run.cc.o.d"
+  "soap_run"
+  "soap_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soap_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
