@@ -112,6 +112,18 @@ class Cluster {
     return config_.num_nodes * config_.workers_per_node;
   }
 
+  /// Publishes the shared components' metrics (lock manager, 2PC driver,
+  /// network) into `registry`; nullptr detaches. Per-node busy-time gauges
+  /// are exported by the experiment engine, which owns interval timing.
+  void BindMetrics(obs::MetricsRegistry* registry) {
+    network_.BindMetrics(registry);
+    lock_manager_.BindMetrics(registry);
+    tpc_.BindMetrics(registry);
+  }
+
+  /// Forwards a lifecycle tracer to the 2PC driver (nullptr detaches).
+  void set_tracer(obs::TxnTracer* tracer) { tpc_.set_tracer(tracer); }
+
   /// Verifies cross-component invariants: every routed key's primary
   /// partition actually stores the tuple, and no tuple is stored on a
   /// partition the routing table does not know about. Used by tests and

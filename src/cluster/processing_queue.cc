@@ -5,11 +5,41 @@
 
 namespace soap::cluster {
 
+void ProcessingQueue::BindMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    m_pushes_ = nullptr;
+    m_depth_ = nullptr;
+    for (auto& g : m_depth_by_priority_) g = nullptr;
+    return;
+  }
+  m_pushes_ = registry->GetCounter("soap_queue_pushes_total");
+  m_depth_ = registry->GetGauge("soap_queue_depth");
+  for (int p = 0; p < 3; ++p) {
+    m_depth_by_priority_[p] = registry->GetGauge(
+        "soap_queue_depth_by_priority",
+        std::string("priority=\"") +
+            txn::PriorityName(static_cast<txn::TxnPriority>(p)) + "\"");
+  }
+  UpdateDepthGauges();
+}
+
+void ProcessingQueue::UpdateDepthGauges() {
+  if (m_depth_ == nullptr) return;
+  m_depth_->Set(static_cast<double>(Size()));
+  for (int p = 0; p < 3; ++p) {
+    m_depth_by_priority_[p]->Set(static_cast<double>(fifos_[p].size()));
+  }
+}
+
 void ProcessingQueue::Push(std::unique_ptr<txn::Transaction> t) {
   assert(t != nullptr);
   t->state = txn::TxnState::kQueued;
   fifos_[static_cast<int>(t->priority)].push_back(std::move(t));
   max_size_seen_ = std::max<uint64_t>(max_size_seen_, Size());
+  if (m_pushes_) {
+    m_pushes_->Increment();
+    UpdateDepthGauges();
+  }
 }
 
 std::unique_ptr<txn::Transaction> ProcessingQueue::Pop() {
@@ -17,6 +47,7 @@ std::unique_ptr<txn::Transaction> ProcessingQueue::Pop() {
     if (!fifos_[p].empty()) {
       std::unique_ptr<txn::Transaction> t = std::move(fifos_[p].front());
       fifos_[p].pop_front();
+      if (m_depth_) UpdateDepthGauges();
       return t;
     }
   }
@@ -29,6 +60,7 @@ std::unique_ptr<txn::Transaction> ProcessingQueue::Extract(txn::TxnId id) {
       if ((*it)->id == id) {
         std::unique_ptr<txn::Transaction> t = std::move(*it);
         fifo.erase(it);
+        if (m_depth_) UpdateDepthGauges();
         return t;
       }
     }

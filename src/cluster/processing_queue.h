@@ -10,6 +10,7 @@
 #include <deque>
 #include <memory>
 
+#include "src/obs/metrics.h"
 #include "src/txn/transaction.h"
 
 namespace soap::cluster {
@@ -47,10 +48,20 @@ class ProcessingQueue {
 
   uint64_t max_size_seen() const { return max_size_seen_; }
 
+  /// Publishes depth gauges (total and per priority class) and a push
+  /// counter into `registry` (nullptr detaches).
+  void BindMetrics(obs::MetricsRegistry* registry);
+
  private:
+  void UpdateDepthGauges();
+
   // Index = static_cast<int>(TxnPriority): 0 low, 1 normal, 2 high.
   std::deque<std::unique_ptr<txn::Transaction>> fifos_[3];
   uint64_t max_size_seen_ = 0;
+  // Observability hooks; nullptr when disabled.
+  obs::Counter* m_pushes_ = nullptr;
+  obs::Gauge* m_depth_ = nullptr;
+  obs::Gauge* m_depth_by_priority_[3] = {nullptr, nullptr, nullptr};
 };
 
 }  // namespace soap::cluster

@@ -51,6 +51,25 @@ struct TransactionManager::Exec {
 TransactionManager::TransactionManager(Cluster* cluster)
     : cluster_(cluster), sim_(cluster->simulator()) {}
 
+void TransactionManager::BindMetrics(obs::MetricsRegistry* registry) {
+  queue_.BindMetrics(registry);
+  if (registry == nullptr) {
+    m_queue_wait_seconds_ = nullptr;
+    m_lock_wait_seconds_ = nullptr;
+    m_lock_timeouts_ = nullptr;
+    m_latency_committed_ = nullptr;
+    m_latency_aborted_ = nullptr;
+    return;
+  }
+  m_queue_wait_seconds_ = registry->GetHistogram("soap_txn_queue_wait_seconds");
+  m_lock_wait_seconds_ = registry->GetHistogram("soap_lock_wait_seconds");
+  m_lock_timeouts_ = registry->GetCounter("soap_lock_timeouts_total");
+  m_latency_committed_ = registry->GetHistogram("soap_txn_latency_seconds",
+                                                "outcome=\"committed\"");
+  m_latency_aborted_ = registry->GetHistogram("soap_txn_latency_seconds",
+                                              "outcome=\"aborted\"");
+}
+
 txn::TxnId TransactionManager::Submit(std::unique_ptr<Transaction> t) {
   assert(t != nullptr);
   if (t->id == 0) t->id = ids_.Next();
@@ -62,6 +81,7 @@ txn::TxnId TransactionManager::Submit(std::unique_ptr<Transaction> t) {
     counters_.submitted_normal++;
   }
   const txn::TxnId id = t->id;
+  if (Traced(*t)) tracer_->Begin(id, obs::SpanKind::kQueued, sim_->Now());
   queue_.Push(std::move(t));
   MaybeDispatch();
   return id;
@@ -100,6 +120,12 @@ void TransactionManager::MaybeDispatch() {
       counters_.aborted_normal++;
       counters_.aborts_queue_timeout++;
       if (t->has_piggyback()) counters_.piggyback_carrier_aborts++;
+      if (m_latency_aborted_) {
+        m_latency_aborted_->RecordMicros(t->finish_time - t->submit_time);
+      }
+      if (Traced(*t)) {
+        tracer_->FinishTxn(t->id, t->submit_time, t->finish_time, 0, false);
+      }
       if (completion_cb_) completion_cb_(*t);
       continue;
     }
@@ -116,6 +142,15 @@ void TransactionManager::StartTransaction(std::unique_ptr<Transaction> t) {
   Transaction& txn = *e->txn;
   txn.state = TxnState::kRunning;
   txn.start_time = sim_->Now();
+  // Attempt 1 only: on resubmission submit_time is the original submit,
+  // not this queue entry, and would inflate the queue-wait histogram.
+  if (m_queue_wait_seconds_ && txn.attempt == 1) {
+    m_queue_wait_seconds_->RecordMicros(txn.start_time - txn.submit_time);
+  }
+  if (Traced(txn)) {
+    tracer_->End(txn.id, obs::SpanKind::kQueued, txn.start_time);
+    tracer_->Begin(txn.id, obs::SpanKind::kExecute, txn.start_time);
+  }
   if (txn.priority == TxnPriority::kLow) {
     inflight_low_++;
   } else {
@@ -240,14 +275,21 @@ void TransactionManager::AcquireLock(const ExecPtr& e,
                                      txn::LockMode mode,
                                      std::function<void()> next) {
   const txn::TxnId id = e->txn->id;
+  const SimTime wait_start = sim_->Now();
   auto shared_next = std::make_shared<std::function<void()>>(std::move(next));
   auto outcome = cluster_->lock_manager().Acquire(
-      id, key, mode, [this, e, shared_next]() {
+      id, key, mode, [this, e, wait_start, shared_next]() {
         // Granted later: cancel the timeout and proceed.
         if (e->done) return;
         if (e->timeout_event != sim::kInvalidEventId) {
           sim_->Cancel(e->timeout_event);
           e->timeout_event = sim::kInvalidEventId;
+        }
+        if (m_lock_wait_seconds_) {
+          m_lock_wait_seconds_->RecordMicros(sim_->Now() - wait_start);
+        }
+        if (Traced(*e->txn)) {
+          tracer_->End(e->txn->id, obs::SpanKind::kLockWait, sim_->Now());
         }
         (*shared_next)();
       });
@@ -256,12 +298,16 @@ void TransactionManager::AcquireLock(const ExecPtr& e,
       (*shared_next)();
       break;
     case txn::AcquireOutcome::kQueued:
+      if (Traced(*e->txn)) {
+        tracer_->Begin(id, obs::SpanKind::kLockWait, wait_start);
+      }
       e->timeout_event = sim_->After(
           cluster_->config().costs.lock_timeout, [this, e]() {
             e->timeout_event = sim::kInvalidEventId;
             if (e->done) return;
             // The grant may have raced this event at the same timestamp.
             if (!cluster_->lock_manager().CancelWait(e->txn->id)) return;
+            if (m_lock_timeouts_) m_lock_timeouts_->Increment();
             AbortTransaction(e, AbortReason::kLockTimeout);
           });
       break;
@@ -423,6 +469,10 @@ void TransactionManager::BeginCommit(const ExecPtr& e) {
   if (e->participants.size() <= 1) {
     // Collocated: one-phase local commit on the coordinator.
     txn.state = TxnState::kCommitting;
+    if (Traced(txn)) {
+      tracer_->End(txn.id, obs::SpanKind::kExecute, sim_->Now());
+      tracer_->Begin(txn.id, obs::SpanKind::kCommit, sim_->Now());
+    }
     const uint32_t p =
         e->participants.empty() ? e->coordinator : e->participants[0];
     cluster_->node(p).RunJob(costs.local_commit, OverheadCategory(e),
@@ -438,7 +488,12 @@ void TransactionManager::BeginCommit(const ExecPtr& e) {
   }
 
   // Distributed: full 2PC across every touched partition.
+  // Prepare/commit-round spans are emitted by the 2PC driver, which owns
+  // the phase transitions.
   txn.state = TxnState::kPreparing;
+  if (Traced(txn)) {
+    tracer_->End(txn.id, obs::SpanKind::kExecute, sim_->Now());
+  }
   std::vector<txn::TpcParticipant> participants;
   participants.reserve(e->participants.size());
   for (uint32_t p : e->participants) {
@@ -627,6 +682,13 @@ void TransactionManager::FinishCommit(const ExecPtr& e) {
   } else {
     counters_.committed_normal++;
   }
+  if (m_latency_committed_) {
+    m_latency_committed_->RecordMicros(txn.finish_time - txn.submit_time);
+  }
+  if (Traced(txn)) {
+    tracer_->FinishTxn(txn.id, txn.submit_time, txn.finish_time,
+                       e->coordinator, true);
+  }
   CompleteTransaction(e);
 }
 
@@ -663,6 +725,13 @@ void TransactionManager::AbortTransaction(const ExecPtr& e,
       break;
     case AbortReason::kNone:
       break;
+  }
+  if (m_latency_aborted_) {
+    m_latency_aborted_->RecordMicros(txn.finish_time - txn.submit_time);
+  }
+  if (Traced(txn)) {
+    tracer_->FinishTxn(txn.id, txn.submit_time, txn.finish_time,
+                       e->coordinator, false);
   }
   CompleteTransaction(e);
 }

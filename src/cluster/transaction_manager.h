@@ -15,6 +15,8 @@
 
 #include "src/cluster/cluster.h"
 #include "src/cluster/processing_queue.h"
+#include "src/obs/metrics.h"
+#include "src/obs/txn_tracer.h"
 #include "src/storage/tuple.h"
 #include "src/txn/transaction.h"
 
@@ -86,6 +88,16 @@ class TransactionManager {
     vote_abort_injector_ = std::move(fn);
   }
 
+  /// Publishes execution metrics (queue-wait, lock-wait and end-to-end
+  /// latency histograms, abort counters) into `registry`, and binds the
+  /// processing queue's depth gauges (nullptr detaches).
+  void BindMetrics(obs::MetricsRegistry* registry);
+
+  /// Attaches a lifecycle tracer; sampled transactions get spans for
+  /// queue residence, execution, lock waits and the commit protocol.
+  /// nullptr (default) detaches.
+  void set_tracer(obs::TxnTracer* tracer) { tracer_ = tracer; }
+
   const TmCounters& counters() const { return counters_; }
   const ProcessingQueue& queue() const { return queue_; }
   size_t inflight() const { return inflight_.size(); }
@@ -132,11 +144,24 @@ class TransactionManager {
   WorkCategory CategoryFor(const ExecPtr& e, const txn::Operation& op) const;
   WorkCategory OverheadCategory(const ExecPtr& e) const;
 
+  /// True when `t` is sampled by the attached tracer (one branch when
+  /// tracing is off).
+  bool Traced(const txn::Transaction& t) const {
+    return tracer_ != nullptr && tracer_->Sampled(t.id);
+  }
+
   Cluster* cluster_;
   sim::Simulator* sim_;
   ProcessingQueue queue_;
   txn::TxnIdGenerator ids_;
   TmCounters counters_;
+  obs::TxnTracer* tracer_ = nullptr;
+  // Observability hooks; nullptr when disabled.
+  obs::LatencyHistogram* m_queue_wait_seconds_ = nullptr;
+  obs::LatencyHistogram* m_lock_wait_seconds_ = nullptr;
+  obs::Counter* m_lock_timeouts_ = nullptr;
+  obs::LatencyHistogram* m_latency_committed_ = nullptr;
+  obs::LatencyHistogram* m_latency_aborted_ = nullptr;
   CompletionCallback completion_cb_;
   PreExecutionHook pre_execution_hook_;
   std::function<bool(const txn::Transaction&, uint32_t)>

@@ -40,12 +40,17 @@ class Histogram {
   /// Number of buckets (for tests).
   static constexpr size_t kNumBuckets = 64 + 1;
 
+  /// Raw bucket access for exporters (e.g. Prometheus cumulative
+  /// `_bucket` lines): samples in bucket `b` and its inclusive upper
+  /// bound (UINT64_MAX for the overflow bucket).
+  uint64_t bucket_count(size_t bucket) const { return buckets_[bucket]; }
+  static uint64_t BucketUpperBound(size_t bucket);
+
  private:
   /// Bucket index for a value: bucket b covers [2^(b-1), 2^b) with bucket 0
   /// holding value 0 and 1.
   static size_t BucketFor(uint64_t value);
   static uint64_t BucketLowerBound(size_t bucket);
-  static uint64_t BucketUpperBound(size_t bucket);
 
   std::vector<uint64_t> buckets_;
   uint64_t count_ = 0;

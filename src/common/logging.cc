@@ -26,6 +26,14 @@ std::mutex& SinkMutex() {
 }
 }  // namespace
 
+std::optional<LogLevel> ParseLogLevel(std::string_view name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  return std::nullopt;
+}
+
 Logger& Logger::Instance() {
   static Logger logger;
   return logger;
@@ -33,16 +41,34 @@ Logger& Logger::Instance() {
 
 void Logger::Write(LogLevel level, const std::string& message) {
   std::lock_guard<std::mutex> guard(SinkMutex());
-  std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+  if (clock_) {
+    const int64_t t = clock_();
+    std::fprintf(stderr, "[%s] [vt=%lld.%06llds] %s\n", LevelName(level),
+                 static_cast<long long>(t / 1'000'000),
+                 static_cast<long long>(t % 1'000'000), message.c_str());
+  } else {
+    std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+  }
 }
 
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level) {
+  // Component = the source directory under src/ (or the file's immediate
+  // parent), so lines read "[txn] lock_manager.cc:42".
   const char* base = file;
+  const char* parent = nullptr;
   for (const char* p = file; *p; ++p) {
-    if (*p == '/') base = p + 1;
+    if (*p == '/') {
+      parent = base;
+      base = p + 1;
+    }
+  }
+  if (parent != nullptr) {
+    stream_ << '[';
+    for (const char* p = parent; *p != '/'; ++p) stream_ << *p;
+    stream_ << "] ";
   }
   stream_ << base << ":" << line << " ";
 }

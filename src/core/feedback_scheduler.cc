@@ -12,6 +12,26 @@ FeedbackScheduler::FeedbackScheduler(FeedbackConfig config)
   pid_.SetOutputLimits(0.0, 4.0);
 }
 
+void FeedbackScheduler::BindMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    m_p_term_ = nullptr;
+    m_i_term_ = nullptr;
+    m_d_term_ = nullptr;
+    m_error_ = nullptr;
+    m_output_ = nullptr;
+    m_scheduled_ = nullptr;
+    m_promotions_ = nullptr;
+    return;
+  }
+  m_p_term_ = registry->GetGauge("soap_pid_p_term");
+  m_i_term_ = registry->GetGauge("soap_pid_i_term");
+  m_d_term_ = registry->GetGauge("soap_pid_d_term");
+  m_error_ = registry->GetGauge("soap_pid_error");
+  m_output_ = registry->GetGauge("soap_pid_output");
+  m_scheduled_ = registry->GetCounter("soap_feedback_scheduled_txns_total");
+  m_promotions_ = registry->GetCounter("soap_feedback_promotions_total");
+}
+
 void FeedbackScheduler::OnPlanReady() {
   pid_.Reset();
   scheduled_work_since_tick_ = 0.0;
@@ -92,11 +112,13 @@ uint32_t FeedbackScheduler::ScheduleAtNormalPriority(uint32_t n) {
     if (env_.tm->PromoteQueued(carrier, txn::TxnPriority::kNormal)) {
       ++scheduled;
       ++promoted_total_;
+      if (m_promotions_) m_promotions_->Increment();
       scheduled_work_since_tick_ += rt->cost;
     }
     // If promotion failed the transaction is already executing; it no
     // longer occupies the low window either way.
   }
+  if (m_scheduled_) m_scheduled_->Increment(scheduled);
   return scheduled;
 }
 
@@ -117,6 +139,13 @@ void FeedbackScheduler::OnIntervalTick(const IntervalStats& stats) {
   const double setpoint = config_.sp - 1.0;
   const double u = pid_.Update(setpoint - pv, dt);
   last_output_ = u;
+  if (m_output_) {
+    m_error_->Set(setpoint - pv);
+    m_p_term_->Set(pid_.last_p_term());
+    m_i_term_->Set(pid_.last_i_term());
+    m_d_term_->Set(pid_.last_d_term());
+    m_output_->Set(u);
+  }
 
   // Translate the commanded work ratio into a transaction count for the
   // coming interval, bounded by the per-interval cap.

@@ -37,6 +37,10 @@ class FeedbackScheduler : public Scheduler {
   void OnPlanReady() override;
   void OnIntervalTick(const IntervalStats& stats) override;
   void OnTxnComplete(const txn::Transaction& t) override;
+  /// Exports the controller internals: soap_pid_{p,i,d}_term,
+  /// soap_pid_error, soap_pid_output (gauges, refreshed each tick) and
+  /// soap_feedback_scheduled_txns_total / soap_feedback_promotions_total.
+  void BindMetrics(obs::MetricsRegistry* registry) override;
 
   const FeedbackConfig& config() const { return config_; }
   /// Last controller output (repartition/normal work ratio commanded).
@@ -67,6 +71,14 @@ class FeedbackScheduler : public Scheduler {
   double last_output_ = 0.0;
   uint64_t promoted_total_ = 0;
   uint64_t submitted_normal_priority_total_ = 0;
+  // Observability hooks; nullptr when disabled.
+  obs::Gauge* m_p_term_ = nullptr;
+  obs::Gauge* m_i_term_ = nullptr;
+  obs::Gauge* m_d_term_ = nullptr;
+  obs::Gauge* m_error_ = nullptr;
+  obs::Gauge* m_output_ = nullptr;
+  obs::Counter* m_scheduled_ = nullptr;
+  obs::Counter* m_promotions_ = nullptr;
   /// (rid, carrier TM id) of transactions sitting at low priority.
   std::deque<std::pair<uint64_t, txn::TxnId>> low_queue_;
 };

@@ -40,6 +40,10 @@ class HybridScheduler : public Scheduler {
   void OnTxnComplete(const txn::Transaction& t) override {
     feedback_.OnTxnComplete(t);
   }
+  void BindMetrics(obs::MetricsRegistry* registry) override {
+    feedback_.BindMetrics(registry);
+    piggyback_.BindMetrics(registry);
+  }
 
   const FeedbackScheduler& feedback() const { return feedback_; }
   const PiggybackScheduler& piggyback() const { return piggyback_; }

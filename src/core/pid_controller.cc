@@ -20,8 +20,10 @@ double PidController::Update(double error, double dt) {
   }
   last_error_ = error;
 
-  double u = gains_.kp * error + gains_.ki * proposed_integral +
-             gains_.kd * derivative;
+  last_p_ = gains_.kp * error;
+  last_i_ = gains_.ki * proposed_integral;
+  last_d_ = gains_.kd * derivative;
+  double u = last_p_ + last_i_ + last_d_;
 
   if (out_lo_.has_value() || out_hi_.has_value()) {
     const double lo = out_lo_.value_or(u);
@@ -32,15 +34,21 @@ double PidController::Update(double error, double dt) {
     if (clamped == u || (u > hi && error < 0.0) || (u < lo && error > 0.0)) {
       integral_ = proposed_integral;
     }
+    last_output_ = clamped;
     return clamped;
   }
   integral_ = proposed_integral;
+  last_output_ = u;
   return u;
 }
 
 void PidController::Reset() {
   integral_ = 0.0;
   last_error_.reset();
+  last_p_ = 0.0;
+  last_i_ = 0.0;
+  last_d_ = 0.0;
+  last_output_ = 0.0;
 }
 
 }  // namespace soap::core

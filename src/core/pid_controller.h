@@ -50,12 +50,23 @@ class PidController {
   double integral() const { return integral_; }
   double last_error() const { return last_error_.value_or(0.0); }
 
+  /// Individual terms of the last Update (pre-clamp decomposition of u):
+  /// what the observability layer exports as soap_pid_{p,i,d}_term.
+  double last_p_term() const { return last_p_; }
+  double last_i_term() const { return last_i_; }
+  double last_d_term() const { return last_d_; }
+  double last_output() const { return last_output_; }
+
  private:
   PidGains gains_;
   double integral_ = 0.0;
   std::optional<double> last_error_;
   std::optional<double> out_lo_;
   std::optional<double> out_hi_;
+  double last_p_ = 0.0;
+  double last_i_ = 0.0;
+  double last_d_ = 0.0;
+  double last_output_ = 0.0;
 };
 
 }  // namespace soap::core

@@ -1,5 +1,6 @@
 #include "src/core/repartitioner.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace soap::core {
@@ -67,6 +68,31 @@ void Repartitioner::ResubmitStripped(const txn::Transaction& t) {
   fresh->attempt = t.attempt;
   ++stripped_resubmissions_;
   tm_->Submit(std::move(fresh));
+}
+
+void Repartitioner::BindMetrics(obs::MetricsRegistry* registry) {
+  scheduler_->BindMetrics(registry);
+  if (registry == nullptr) {
+    m_ops_applied_ = nullptr;
+    m_ops_remaining_ = nullptr;
+    m_rep_rate_ = nullptr;
+    m_active_ = nullptr;
+    return;
+  }
+  m_ops_applied_ = registry->GetGauge("soap_repartition_ops_applied");
+  m_ops_remaining_ = registry->GetGauge("soap_repartition_ops_remaining");
+  m_rep_rate_ = registry->GetGauge("soap_repartition_rep_rate");
+  m_active_ = registry->GetGauge("soap_repartition_active");
+}
+
+void Repartitioner::PublishMetrics(uint64_t ops_applied) {
+  if (m_ops_applied_ == nullptr) return;
+  const uint64_t total = active_ ? registry_.total_ops() : 0;
+  const uint64_t applied = std::min(ops_applied, total);
+  m_ops_applied_->Set(static_cast<double>(applied));
+  m_ops_remaining_->Set(static_cast<double>(total - applied));
+  m_rep_rate_->Set(RepRate(ops_applied));
+  m_active_->Set(active_ ? 1.0 : 0.0);
 }
 
 void Repartitioner::OnIntervalTick(const IntervalStats& stats) {

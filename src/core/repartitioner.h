@@ -80,6 +80,16 @@ class Repartitioner {
     return rate > 1.0 ? 1.0 : rate;
   }
 
+  /// Publishes repartition-progress gauges (soap_repartition_ops_applied,
+  /// soap_repartition_ops_remaining, soap_repartition_rep_rate,
+  /// soap_repartition_active) and forwards to the scheduler's
+  /// BindMetrics; nullptr detaches.
+  void BindMetrics(obs::MetricsRegistry* registry);
+
+  /// Refreshes the progress gauges. The experiment engine calls this when
+  /// closing each interval, with the TM's cumulative ops-applied counter.
+  void PublishMetrics(uint64_t ops_applied);
+
   const RepartitionRegistry& registry() const { return registry_; }
   RepartitionRegistry& mutable_registry() { return registry_; }
   Scheduler& scheduler() { return *scheduler_; }
@@ -102,6 +112,11 @@ class Repartitioner {
   PackagingMode packaging_;
   bool active_ = false;
   uint64_t stripped_resubmissions_ = 0;
+  // Observability hooks; nullptr when disabled.
+  obs::Gauge* m_ops_applied_ = nullptr;
+  obs::Gauge* m_ops_remaining_ = nullptr;
+  obs::Gauge* m_rep_rate_ = nullptr;
+  obs::Gauge* m_active_ = nullptr;
 };
 
 }  // namespace soap::core

@@ -74,6 +74,12 @@ class Scheduler {
   /// their resubmission policy here.
   virtual void OnTxnComplete(const txn::Transaction& t) { (void)t; }
 
+  /// Publishes strategy-internal metrics (e.g. the feedback controller's
+  /// term gauges) into `registry`; nullptr detaches. Default: nothing.
+  virtual void BindMetrics(obs::MetricsRegistry* registry) {
+    (void)registry;
+  }
+
   bool Finished() const {
     return env_.registry != nullptr && env_.registry->AllDone();
   }

@@ -43,6 +43,11 @@ ExperimentResult Experiment::Run() {
 
   // --- Build the stack.
   sim::Simulator sim;
+  // Stamp log lines with this run's virtual time while it is in scope.
+  Logger::Instance().set_clock([&sim]() { return sim.Now(); });
+  struct LogClockGuard {
+    ~LogClockGuard() { Logger::Instance().set_clock(nullptr); }
+  } log_clock_guard;
   cluster::ClusterConfig cluster_config = config_.cluster;
   cluster_config.num_keys = config_.workload.num_keys;
   cluster_config.seed = config_.seed;
@@ -66,6 +71,24 @@ ExperimentResult Experiment::Run() {
       &cluster, &tm, &catalog, &history,
       MakeScheduler(config_.strategy, config_.feedback, config_.piggyback),
       repartition::OptimizerConfig{}, config_.packaging);
+
+  // --- Observability (off by default; see ObsOptions).
+  std::shared_ptr<obs::MetricsRegistry> metrics;
+  std::shared_ptr<obs::TxnTracer> tracer;
+  std::ostringstream metrics_jsonl;
+  if (config_.obs.MetricsEnabled()) {
+    metrics = std::make_shared<obs::MetricsRegistry>();
+    cluster.BindMetrics(metrics.get());
+    tm.BindMetrics(metrics.get());
+    repartitioner.BindMetrics(metrics.get());
+  }
+  if (config_.obs.TraceEnabled()) {
+    obs::TxnTracer::Config tracer_config;
+    tracer_config.sample_every = config_.obs.trace_sample;
+    tracer = std::make_shared<obs::TxnTracer>(tracer_config);
+    tm.set_tracer(tracer.get());
+    cluster.set_tracer(tracer.get());
+  }
 
   workload::WorkloadGenerator generator(&catalog, config_.seed * 7919 + 13);
   workload::WorkloadTrace record_trace;
@@ -184,6 +207,27 @@ ExperimentResult Experiment::Run() {
     prev_boundary = sim.Now();
 
     repartitioner.OnIntervalTick(stats);
+
+    // Snapshot AFTER the tick so the controller gauges reflect the
+    // decision just taken for the coming interval.
+    if (metrics) {
+      repartitioner.PublishMetrics(now.repartition_ops_applied);
+      metrics->GetGauge("soap_interval_index")
+          ->Set(static_cast<double>(index));
+      for (uint32_t i = 0; i < cluster.num_nodes(); ++i) {
+        metrics
+            ->GetGauge("soap_node_busy_seconds",
+                       "node=\"" + std::to_string(i) + "\"")
+            ->Set(ToSeconds(cluster.node(i).total_busy_time()));
+      }
+      metrics->GetGauge("soap_cluster_normal_work_seconds")
+          ->Set(ToSeconds(normal_work));
+      metrics->GetGauge("soap_cluster_repartition_work_seconds")
+          ->Set(ToSeconds(rep_work));
+      if (!config_.obs.metrics_jsonl_out.empty()) {
+        metrics_jsonl << metrics->ToJsonLine(sim.Now(), index) << '\n';
+      }
+    }
   };
 
   // --- Capacity disturbance (external tenant stealing worker time).
@@ -275,6 +319,32 @@ ExperimentResult Experiment::Run() {
   result.plan_completed = repartitioner.Finished();
   result.end_time = sim.Now();
   result.events_executed = sim.events_executed();
+
+  // --- Observability exports.
+  auto note_export = [&result](Status s) {
+    if (!s.ok()) {
+      SOAP_LOG(kError) << "observability export failed: " << s.ToString();
+      if (result.obs_export.ok()) result.obs_export = std::move(s);
+    }
+  };
+  if (tracer != nullptr) {
+    result.critical_path = tracer->AggregateCriticalPath();
+    if (!config_.obs.trace_out.empty()) {
+      note_export(tracer->WriteChromeJson(config_.obs.trace_out));
+    }
+  }
+  if (metrics != nullptr) {
+    if (!config_.obs.metrics_out.empty()) {
+      note_export(metrics->WriteFile(config_.obs.metrics_out,
+                                     metrics->ToPrometheusText()));
+    }
+    if (!config_.obs.metrics_jsonl_out.empty()) {
+      note_export(metrics->WriteFile(config_.obs.metrics_jsonl_out,
+                                     metrics_jsonl.str()));
+    }
+  }
+  result.metrics = std::move(metrics);
+  result.tracer = std::move(tracer);
   return result;
 }
 

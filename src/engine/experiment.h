@@ -15,6 +15,8 @@
 #include "src/common/series.h"
 #include "src/common/status.h"
 #include "src/core/soap.h"
+#include "src/obs/metrics.h"
+#include "src/obs/txn_tracer.h"
 
 namespace soap::engine {
 
@@ -29,6 +31,36 @@ struct Disturbance {
   uint32_t end_interval = 0;
   /// Fraction of the node's total worker capacity consumed (0, 1].
   double fraction = 0.5;
+};
+
+/// Observability outputs (see EXPERIMENTS.md, "Observability"). All off by
+/// default; a disabled run takes no instrumentation path beyond cheap
+/// null-pointer checks, so its results are identical to the seed's.
+struct ObsOptions {
+  /// Keep a MetricsRegistry on the result even without file outputs
+  /// (tests and benches inspect it directly).
+  bool collect_metrics = false;
+  /// Keep the TxnTracer on the result even without trace_out.
+  bool collect_trace = false;
+  /// Prometheus text dump written once after the run (empty: off).
+  std::string metrics_out;
+  /// Per-interval JSONL snapshots, one object per closed interval
+  /// (empty: off).
+  std::string metrics_jsonl_out;
+  /// Chrome trace-event JSON, loadable by Perfetto / chrome://tracing
+  /// (empty: off).
+  std::string trace_out;
+  /// Trace every n-th transaction id (1 = all). Applies whenever tracing
+  /// is on; 0 disables tracing even if trace_out is set.
+  uint32_t trace_sample = 1;
+
+  bool MetricsEnabled() const {
+    return collect_metrics || !metrics_out.empty() ||
+           !metrics_jsonl_out.empty();
+  }
+  bool TraceEnabled() const {
+    return trace_sample > 0 && (collect_trace || !trace_out.empty());
+  }
 };
 
 struct ExperimentConfig {
@@ -57,6 +89,7 @@ struct ExperimentConfig {
   /// audit storage/routing consistency.
   bool drain_and_audit = true;
   Duration drain_cap = Minutes(30);
+  ObsOptions obs;
   uint64_t seed = 1;
 };
 
@@ -87,6 +120,17 @@ struct ExperimentResult {
   bool plan_completed = false;
   SimTime end_time = 0;
   uint64_t events_executed = 0;
+
+  /// Observability artifacts; null unless the matching ObsOptions switch
+  /// was on. shared_ptr because results get copied into panel vectors.
+  std::shared_ptr<obs::MetricsRegistry> metrics;
+  std::shared_ptr<obs::TxnTracer> tracer;
+  /// Aggregated phase times of the traced transactions (zeros when
+  /// tracing was off).
+  obs::CriticalPathBreakdown critical_path;
+  /// First failure among the metrics/trace file writes (OK when all
+  /// succeeded or nothing was written).
+  Status obs_export = Status::OK();
 
   /// Interval index at which RepRate first reached ~1 (-1 if never).
   int RepartitionCompletedAt() const {

@@ -1,0 +1,186 @@
+#include "src/obs/metrics.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace soap::obs {
+
+namespace {
+
+/// Formats a double the way Prometheus clients do: shortest round-trip-ish
+/// representation without locale surprises.
+std::string FormatValue(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string FullName(const std::string& name, const std::string& labels) {
+  if (labels.empty()) return name;
+  return name + "{" + labels + "}";
+}
+
+/// `name{labels,extra}` / `name{extra}` — merges a histogram's `le` label
+/// into an existing label set.
+std::string WithExtraLabel(const std::string& name, const std::string& labels,
+                           const std::string& extra) {
+  if (labels.empty()) return name + "{" + extra + "}";
+  return name + "{" + labels + "," + extra + "}";
+}
+
+/// Minimal JSON string escape (metric names are ASCII identifiers, but be
+/// safe about quotes/backslashes in label values).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& labels) {
+  auto& slot = counters_[Key{name, labels}];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& labels) {
+  auto& slot = gauges_[Key{name, labels}];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+LatencyHistogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                                const std::string& labels) {
+  auto& slot = histograms_[Key{name, labels}];
+  if (slot == nullptr) slot = std::make_unique<LatencyHistogram>();
+  return slot.get();
+}
+
+const Counter* MetricsRegistry::FindCounter(const std::string& name,
+                                            const std::string& labels) const {
+  auto it = counters_.find(Key{name, labels});
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge* MetricsRegistry::FindGauge(const std::string& name,
+                                        const std::string& labels) const {
+  auto it = gauges_.find(Key{name, labels});
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const LatencyHistogram* MetricsRegistry::FindHistogram(
+    const std::string& name, const std::string& labels) const {
+  auto it = histograms_.find(Key{name, labels});
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+void MetricsRegistry::ResetValues() {
+  for (auto& [key, c] : counters_) c->Reset();
+  for (auto& [key, g] : gauges_) g->Reset();
+  for (auto& [key, h] : histograms_) h->Reset();
+}
+
+std::string MetricsRegistry::ToPrometheusText() const {
+  std::ostringstream os;
+  std::string last_family;
+  auto family_header = [&](const std::string& name, const char* type) {
+    if (name == last_family) return;
+    last_family = name;
+    os << "# TYPE " << name << " " << type << "\n";
+  };
+
+  for (const auto& [key, c] : counters_) {
+    family_header(key.name, "counter");
+    os << FullName(key.name, key.labels) << " " << c->value() << "\n";
+  }
+  for (const auto& [key, g] : gauges_) {
+    family_header(key.name, "gauge");
+    os << FullName(key.name, key.labels) << " " << FormatValue(g->value())
+       << "\n";
+  }
+  for (const auto& [key, h] : histograms_) {
+    family_header(key.name, "histogram");
+    const Histogram& hist = h->histogram();
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < Histogram::kNumBuckets; ++b) {
+      const uint64_t in_bucket = hist.bucket_count(b);
+      if (in_bucket == 0) continue;  // sparse: empty buckets add no info
+      cumulative += in_bucket;
+      const uint64_t ub = Histogram::BucketUpperBound(b);
+      const std::string le =
+          ub == UINT64_MAX ? "+Inf"
+                           : FormatValue(static_cast<double>(ub) / 1e6);
+      os << WithExtraLabel(key.name + "_bucket", key.labels,
+                           "le=\"" + le + "\"")
+         << " " << cumulative << "\n";
+    }
+    if (cumulative > 0 && hist.bucket_count(Histogram::kNumBuckets - 1) == 0) {
+      os << WithExtraLabel(key.name + "_bucket", key.labels, "le=\"+Inf\"")
+         << " " << cumulative << "\n";
+    }
+    os << FullName(key.name + "_sum", key.labels) << " "
+       << FormatValue(h->sum_seconds()) << "\n";
+    os << FullName(key.name + "_count", key.labels) << " " << h->count()
+       << "\n";
+  }
+  return os.str();
+}
+
+std::string MetricsRegistry::ToJsonLine(SimTime now, int64_t interval) const {
+  std::ostringstream os;
+  os << "{\"t_us\":" << now << ",\"interval\":" << interval;
+  os << ",\"counters\":{";
+  bool first = true;
+  for (const auto& [key, c] : counters_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << JsonEscape(FullName(key.name, key.labels)) << "\":"
+       << c->value();
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [key, g] : gauges_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << JsonEscape(FullName(key.name, key.labels)) << "\":"
+       << FormatValue(g->value());
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [key, h] : histograms_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << JsonEscape(FullName(key.name, key.labels)) << "\":"
+       << "{\"count\":" << h->count() << ",\"sum_s\":"
+       << FormatValue(h->sum_seconds()) << ",\"mean_s\":"
+       << FormatValue(h->MeanSeconds()) << ",\"p50_s\":"
+       << FormatValue(h->PercentileSeconds(50.0)) << ",\"p99_s\":"
+       << FormatValue(h->PercentileSeconds(99.0)) << ",\"max_s\":"
+       << FormatValue(static_cast<double>(h->histogram().max()) / 1e6) << "}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+Status MetricsRegistry::WriteFile(const std::string& path,
+                                  const std::string& contents) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open " + path + " for writing");
+  }
+  const size_t written = std::fwrite(contents.data(), 1, contents.size(), f);
+  const int rc = std::fclose(f);
+  if (written != contents.size() || rc != 0) {
+    return Status::Internal("short write to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace soap::obs

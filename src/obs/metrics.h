@@ -1,0 +1,137 @@
+// Cross-layer metrics: a registry of named counters, gauges and latency
+// histograms that every subsystem can publish into, with Prometheus-style
+// text exposition and per-interval JSONL snapshots. All values live in
+// virtual time; the experiment engine owns one registry per run.
+//
+// Cost discipline: instrumented components hold raw pointers to metric
+// objects, nullptr when observability is off. A hot-path hook is a single
+// branch on that pointer plus an integer add — no allocation, no lookup,
+// no time read — so enabled-off runs are bit-identical to uninstrumented
+// ones.
+
+#ifndef SOAP_OBS_METRICS_H_
+#define SOAP_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/status.h"
+#include "src/common/time.h"
+
+namespace soap::obs {
+
+/// Monotonically increasing event count (Prometheus counter).
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) { value_ += n; }
+  uint64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+/// Point-in-time value (Prometheus gauge). Doubles cover both counts
+/// (queue depth) and controller terms (which are signed).
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  void Add(double d) { value_ += d; }
+  double value() const { return value_; }
+  void Reset() { value_ = 0.0; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Latency distribution in virtual microseconds, exported in seconds (the
+/// Prometheus base unit). Wraps common/Histogram: O(1) record into
+/// exponential buckets.
+class LatencyHistogram {
+ public:
+  void RecordMicros(uint64_t micros) { hist_.Record(micros); }
+  void Record(Duration d) { hist_.Record(d < 0 ? 0 : static_cast<uint64_t>(d)); }
+  void Reset() { hist_.Clear(); }
+
+  const Histogram& histogram() const { return hist_; }
+  uint64_t count() const { return hist_.count(); }
+  double sum_seconds() const { return hist_.sum() / 1e6; }
+  double MeanSeconds() const { return hist_.Mean() / 1e6; }
+  double PercentileSeconds(double p) const { return hist_.Percentile(p) / 1e6; }
+
+ private:
+  Histogram hist_;
+};
+
+/// The process-wide metric namespace for one experiment. Get* registers on
+/// first use and returns a stable pointer (metrics are never removed, so
+/// components may cache the pointer for the registry's lifetime).
+///
+/// Names follow Prometheus conventions: snake_case with a unit suffix
+/// (`soap_lock_wait_seconds`, `soap_network_messages_total`). An optional
+/// label set ("node=\"3\"") distinguishes instances of one family; the
+/// exporter groups families under one # TYPE line.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name, const std::string& labels = "");
+  Gauge* GetGauge(const std::string& name, const std::string& labels = "");
+  LatencyHistogram* GetHistogram(const std::string& name,
+                                 const std::string& labels = "");
+
+  /// Lookup without registration; nullptr when absent (for tests/tools).
+  const Counter* FindCounter(const std::string& name,
+                             const std::string& labels = "") const;
+  const Gauge* FindGauge(const std::string& name,
+                         const std::string& labels = "") const;
+  const LatencyHistogram* FindHistogram(const std::string& name,
+                                        const std::string& labels = "") const;
+
+  /// Zeroes every registered metric (registration survives — cached
+  /// pointers stay valid). Call between experiments sharing a registry.
+  void ResetValues();
+
+  size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  /// Prometheus text exposition format (families sorted by name, one
+  /// # TYPE line per family; histograms expand to _bucket/_sum/_count
+  /// with `le` in seconds).
+  std::string ToPrometheusText() const;
+
+  /// One JSON object (single line, no trailing newline) snapshotting every
+  /// metric: {"t_us":...,"interval":...,"counters":{...},"gauges":{...},
+  /// "histograms":{name:{count,sum_s,mean_s,p50_s,p99_s,max_s}}}.
+  /// See EXPERIMENTS.md "Observability" for the schema contract.
+  std::string ToJsonLine(SimTime now, int64_t interval) const;
+
+  Status WriteFile(const std::string& path, const std::string& contents) const;
+
+ private:
+  struct Key {
+    std::string name;
+    std::string labels;
+    bool operator<(const Key& o) const {
+      if (name != o.name) return name < o.name;
+      return labels < o.labels;
+    }
+  };
+
+  // std::map: stable iteration order for deterministic exposition, and
+  // node-based so metric addresses survive future registrations.
+  std::map<Key, std::unique_ptr<Counter>> counters_;
+  std::map<Key, std::unique_ptr<Gauge>> gauges_;
+  std::map<Key, std::unique_ptr<LatencyHistogram>> histograms_;
+};
+
+}  // namespace soap::obs
+
+#endif  // SOAP_OBS_METRICS_H_

@@ -1,0 +1,139 @@
+#include "src/obs/txn_tracer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace soap::obs {
+
+const char* SpanKindName(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kQueued:
+      return "queued";
+    case SpanKind::kExecute:
+      return "execute";
+    case SpanKind::kLockWait:
+      return "lock_wait";
+    case SpanKind::kPrepare:
+      return "2pc_prepare";
+    case SpanKind::kCommit:
+      return "commit";
+    case SpanKind::kTxn:
+      return "txn";
+  }
+  return "?";
+}
+
+void TxnTracer::Begin(uint64_t txn_id, SpanKind kind, SimTime now) {
+  open_.emplace(OpenKey(txn_id, kind), now);  // no overwrite: idempotent
+}
+
+void TxnTracer::End(uint64_t txn_id, SpanKind kind, SimTime now) {
+  auto it = open_.find(OpenKey(txn_id, kind));
+  if (it == open_.end()) return;
+  TraceSpan span;
+  span.txn_id = txn_id;
+  span.kind = kind;
+  span.start_us = it->second;
+  span.end_us = now;
+  open_.erase(it);
+  Emit(span);
+}
+
+void TxnTracer::FinishTxn(uint64_t txn_id, SimTime submit_us, SimTime now,
+                          uint32_t coordinator, bool committed) {
+  for (int k = 0; k <= static_cast<int>(SpanKind::kCommit); ++k) {
+    End(txn_id, static_cast<SpanKind>(k), now);
+  }
+  TraceSpan span;
+  span.txn_id = txn_id;
+  span.kind = SpanKind::kTxn;
+  span.start_us = submit_us;
+  span.end_us = now;
+  span.node = coordinator;
+  span.committed = committed;
+  Emit(span);
+}
+
+void TxnTracer::Emit(TraceSpan span) {
+  if (spans_.size() >= config_.max_spans) {
+    ++dropped_;
+    return;
+  }
+  spans_.push_back(span);
+}
+
+void TxnTracer::Clear() {
+  open_.clear();
+  spans_.clear();
+  dropped_ = 0;
+}
+
+CriticalPathBreakdown TxnTracer::AggregateCriticalPath() const {
+  CriticalPathBreakdown b;
+  Duration execute_gross = 0;
+  for (const TraceSpan& s : spans_) {
+    switch (s.kind) {
+      case SpanKind::kQueued:
+        b.queued += s.duration();
+        break;
+      case SpanKind::kLockWait:
+        b.lock_wait += s.duration();
+        break;
+      case SpanKind::kExecute:
+        execute_gross += s.duration();
+        break;
+      case SpanKind::kPrepare:
+        b.prepare += s.duration();
+        break;
+      case SpanKind::kCommit:
+        b.commit += s.duration();
+        break;
+      case SpanKind::kTxn:
+        ++b.txns;
+        break;
+    }
+  }
+  // Lock waits happen inside the execute phase (op locks and the
+  // commit-lock chain both precede the commit protocol); subtract them so
+  // the buckets partition the critical path instead of double counting.
+  b.execute = std::max<Duration>(0, execute_gross - b.lock_wait);
+  return b;
+}
+
+std::string TxnTracer::ToChromeJson() const {
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceSpan& s : spans_) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << SpanKindName(s.kind)
+       << "\",\"cat\":\"txn\",\"ph\":\"X\",\"ts\":" << s.start_us
+       << ",\"dur\":" << s.duration() << ",\"pid\":" << s.node
+       << ",\"tid\":" << s.txn_id;
+    if (s.kind == SpanKind::kTxn) {
+      os << ",\"args\":{\"outcome\":\""
+         << (s.committed ? "committed" : "aborted") << "\"}";
+    }
+    os << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+Status TxnTracer::WriteChromeJson(const std::string& path) const {
+  const std::string json = ToChromeJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open " + path + " for writing");
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const int rc = std::fclose(f);
+  if (written != json.size() || rc != 0) {
+    return Status::Internal("short write to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace soap::obs

@@ -1,0 +1,130 @@
+// Sampling per-transaction lifecycle tracer. The transaction manager marks
+// phase transitions (queued -> execute -> lock-wait -> prepare -> commit /
+// abort) in virtual time; the tracer turns them into spans and exports
+// Chrome trace-event JSON that Perfetto / chrome://tracing load directly.
+//
+// Sampling is deterministic — txn_id % sample_every == 0 — so a traced run
+// is reproducible and the trace decision costs one branch plus one modulo,
+// only taken when tracing is enabled at all.
+
+#ifndef SOAP_OBS_TXN_TRACER_H_
+#define SOAP_OBS_TXN_TRACER_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/time.h"
+
+namespace soap::obs {
+
+/// Transaction lifecycle phases. kTxn is the enclosing whole-transaction
+/// span emitted at completion.
+enum class SpanKind : uint8_t {
+  kQueued = 0,    ///< submit -> dispatch (processing-queue residence)
+  kExecute = 1,   ///< dispatch -> commit protocol start (per-op work)
+  kLockWait = 2,  ///< one blocking lock acquisition (may repeat)
+  kPrepare = 3,   ///< 2PC phase 1 round
+  kCommit = 4,    ///< 2PC phase 2 / local commit
+  kTxn = 5,       ///< whole transaction, submit -> finish
+};
+
+const char* SpanKindName(SpanKind kind);
+
+struct TraceSpan {
+  uint64_t txn_id = 0;
+  SpanKind kind = SpanKind::kTxn;
+  SimTime start_us = 0;
+  SimTime end_us = 0;
+  /// Trace-track hint: the coordinator node for whole-txn spans, 0 for
+  /// phases (phases ride on their transaction's track).
+  uint32_t node = 0;
+  /// Outcome flag for kTxn spans ("committed"/"aborted" argument).
+  bool committed = false;
+
+  Duration duration() const { return end_us - start_us; }
+};
+
+/// Where a traced transaction's virtual time went, summed over phases.
+/// Queue + lock-wait + prepare separate scheduling and coordination cost
+/// from useful execution — the critical-path split §4's figures lack.
+struct CriticalPathBreakdown {
+  Duration queued = 0;
+  Duration lock_wait = 0;
+  Duration execute = 0;  ///< execute-span time minus contained lock waits
+  Duration prepare = 0;
+  Duration commit = 0;
+  uint64_t txns = 0;  ///< finished traced transactions aggregated
+
+  Duration Total() const {
+    return queued + lock_wait + execute + prepare + commit;
+  }
+};
+
+class TxnTracer {
+ public:
+  struct Config {
+    /// Trace every n-th transaction id; 0 disables tracing entirely,
+    /// 1 traces everything.
+    uint32_t sample_every = 0;
+    /// Hard cap on stored spans (memory backstop for long runs; spans
+    /// past the cap are dropped and counted).
+    size_t max_spans = 2'000'000;
+  };
+
+  TxnTracer() = default;
+  explicit TxnTracer(Config config) : config_(config) {}
+  TxnTracer(const TxnTracer&) = delete;
+  TxnTracer& operator=(const TxnTracer&) = delete;
+
+  bool enabled() const { return config_.sample_every > 0; }
+
+  /// The sampling decision; callers gate every other call on this.
+  bool Sampled(uint64_t txn_id) const {
+    return config_.sample_every > 0 && txn_id % config_.sample_every == 0;
+  }
+
+  /// Opens a phase span at `now`. Opening a kind that is already open is
+  /// a no-op (idempotent against resubmission races).
+  void Begin(uint64_t txn_id, SpanKind kind, SimTime now);
+
+  /// Closes an open phase span; no-op if that kind is not open.
+  void End(uint64_t txn_id, SpanKind kind, SimTime now);
+
+  /// Closes every phase the transaction still has open (abort paths) and
+  /// emits the enclosing kTxn span from `submit_us` to `now`.
+  void FinishTxn(uint64_t txn_id, SimTime submit_us, SimTime now,
+                 uint32_t coordinator, bool committed);
+
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+  size_t dropped_spans() const { return dropped_; }
+  size_t open_spans() const { return open_.size(); }
+  void Clear();
+
+  /// Aggregates finished transactions' phase times.
+  CriticalPathBreakdown AggregateCriticalPath() const;
+
+  /// Chrome trace-event JSON (object form, {"traceEvents":[...]}) with one
+  /// complete ("ph":"X") event per span; ts/dur in virtual microseconds,
+  /// pid = coordinator node, tid = transaction id.
+  std::string ToChromeJson() const;
+
+  Status WriteChromeJson(const std::string& path) const;
+
+ private:
+  static uint64_t OpenKey(uint64_t txn_id, SpanKind kind) {
+    return (txn_id << 3) | static_cast<uint64_t>(kind);
+  }
+  void Emit(TraceSpan span);
+
+  Config config_;
+  std::unordered_map<uint64_t, SimTime> open_;  // OpenKey -> start time
+  std::vector<TraceSpan> spans_;
+  size_t dropped_ = 0;
+};
+
+}  // namespace soap::obs
+
+#endif  // SOAP_OBS_TXN_TRACER_H_

@@ -18,7 +18,36 @@ EventId Network::Send(NodeId from, NodeId to, uint64_t bytes,
     delay += static_cast<Duration>(
         rng_.NextUint64(static_cast<uint64_t>(config_.jitter) + 1));
   }
+  if (m_messages_) {
+    m_messages_->Increment();
+    m_bytes_->Increment(bytes);
+    m_delivery_seconds_->Record(delay);
+    m_inflight_messages_->Add(1.0);
+    m_inflight_bytes_->Add(static_cast<double>(bytes));
+    return sim_->After(
+        delay, [this, bytes, cb = std::move(on_delivery)]() {
+          m_inflight_messages_->Add(-1.0);
+          m_inflight_bytes_->Add(-static_cast<double>(bytes));
+          cb();
+        });
+  }
   return sim_->After(delay, std::move(on_delivery));
+}
+
+void Network::BindMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    m_messages_ = nullptr;
+    m_bytes_ = nullptr;
+    m_inflight_messages_ = nullptr;
+    m_inflight_bytes_ = nullptr;
+    m_delivery_seconds_ = nullptr;
+    return;
+  }
+  m_messages_ = registry->GetCounter("soap_network_messages_total");
+  m_bytes_ = registry->GetCounter("soap_network_bytes_total");
+  m_inflight_messages_ = registry->GetGauge("soap_network_inflight_messages");
+  m_inflight_bytes_ = registry->GetGauge("soap_network_inflight_bytes");
+  m_delivery_seconds_ = registry->GetHistogram("soap_network_delivery_seconds");
 }
 
 }  // namespace soap::sim

@@ -8,9 +8,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <utility>
 
 #include "src/common/random.h"
 #include "src/common/time.h"
+#include "src/obs/metrics.h"
 #include "src/sim/simulator.h"
 
 namespace soap::sim {
@@ -48,12 +50,23 @@ class Network {
   uint64_t messages_sent() const { return messages_sent_; }
   uint64_t bytes_sent() const { return bytes_sent_; }
 
+  /// Publishes traffic counters and in-flight gauges into `registry`
+  /// (nullptr detaches). In-flight tracking wraps the delivery callback,
+  /// but only while bound — unbound sends are untouched.
+  void BindMetrics(obs::MetricsRegistry* registry);
+
  private:
   Simulator* sim_;
   NetworkConfig config_;
   Rng rng_;
   uint64_t messages_sent_ = 0;
   uint64_t bytes_sent_ = 0;
+  // Observability hooks; nullptr when disabled.
+  obs::Counter* m_messages_ = nullptr;
+  obs::Counter* m_bytes_ = nullptr;
+  obs::Gauge* m_inflight_messages_ = nullptr;
+  obs::Gauge* m_inflight_bytes_ = nullptr;
+  obs::LatencyHistogram* m_delivery_seconds_ = nullptr;
 };
 
 }  // namespace soap::sim

@@ -5,6 +5,24 @@
 
 namespace soap::txn {
 
+void LockManager::BindMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    m_acquires_ = nullptr;
+    m_waits_ = nullptr;
+    m_deadlocks_ = nullptr;
+    m_upgrades_ = nullptr;
+    m_cancelled_waits_ = nullptr;
+    m_waiting_txns_ = nullptr;
+    return;
+  }
+  m_acquires_ = registry->GetCounter("soap_lock_acquires_total");
+  m_waits_ = registry->GetCounter("soap_lock_waits_total");
+  m_deadlocks_ = registry->GetCounter("soap_lock_deadlocks_total");
+  m_upgrades_ = registry->GetCounter("soap_lock_upgrades_total");
+  m_cancelled_waits_ = registry->GetCounter("soap_lock_cancelled_waits_total");
+  m_waiting_txns_ = registry->GetGauge("soap_lock_waiting_txns");
+}
+
 bool LockManager::Compatible(const Entry& entry, TxnId txn, LockMode mode) {
   for (const Holder& h : entry.holders) {
     if (h.txn == txn) continue;  // own locks never conflict (upgrade path)
@@ -19,6 +37,7 @@ AcquireOutcome LockManager::Acquire(TxnId txn, storage::TupleKey key,
                                     LockMode mode, GrantCallback on_grant) {
   std::unique_lock<std::mutex> guard(mu_);
   stats_.acquires++;
+  if (m_acquires_) m_acquires_->Increment();
   assert(waiting_on_.find(txn) == waiting_on_.end() &&
          "a transaction may wait for at most one lock at a time");
 
@@ -36,10 +55,12 @@ AcquireOutcome LockManager::Acquire(TxnId txn, storage::TupleKey key,
       h.mode = LockMode::kExclusive;
       stats_.upgrades++;
       stats_.immediate_grants++;
+      if (m_upgrades_) m_upgrades_->Increment();
       return AcquireOutcome::kGranted;
     }
     if (WouldDeadlock(txn, key)) {
       stats_.deadlocks++;
+      if (m_deadlocks_) m_deadlocks_->Increment();
       return AcquireOutcome::kDeadlock;
     }
     // Upgrades go to the front of the queue: the holder blocks everyone
@@ -49,6 +70,8 @@ AcquireOutcome LockManager::Acquire(TxnId txn, storage::TupleKey key,
                std::move(on_grant)});
     waiting_on_[txn] = key;
     stats_.waits++;
+    if (m_waits_) m_waits_->Increment();
+    if (m_waiting_txns_) m_waiting_txns_->Set(static_cast<double>(waiting_on_.size()));
     return AcquireOutcome::kQueued;
   }
 
@@ -63,12 +86,15 @@ AcquireOutcome LockManager::Acquire(TxnId txn, storage::TupleKey key,
 
   if (WouldDeadlock(txn, key)) {
     stats_.deadlocks++;
+    if (m_deadlocks_) m_deadlocks_->Increment();
     return AcquireOutcome::kDeadlock;
   }
   entry.waiters.push_back(
       Waiter{txn, mode, /*is_upgrade=*/false, std::move(on_grant)});
   waiting_on_[txn] = key;
   stats_.waits++;
+  if (m_waits_) m_waits_->Increment();
+  if (m_waiting_txns_) m_waiting_txns_->Set(static_cast<double>(waiting_on_.size()));
   return AcquireOutcome::kQueued;
 }
 
@@ -89,6 +115,7 @@ void LockManager::GrantWaiters(storage::TupleKey key, Entry& entry,
       assert(found && "upgrade waiter lost its shared hold");
       (void)found;
       stats_.upgrades++;
+      if (m_upgrades_) m_upgrades_->Increment();
     } else {
       entry.holders.push_back(Holder{w.txn, w.mode});
       RecordHold(w.txn, key, w.mode);
@@ -97,6 +124,7 @@ void LockManager::GrantWaiters(storage::TupleKey key, Entry& entry,
     callbacks->push_back(std::move(w.on_grant));
     entry.waiters.pop_front();
   }
+  if (m_waiting_txns_) m_waiting_txns_->Set(static_cast<double>(waiting_on_.size()));
 }
 
 void LockManager::Release(TxnId txn, storage::TupleKey key) {
@@ -137,6 +165,7 @@ void LockManager::ReleaseAll(TxnId txn) {
           entry.waiters.end());
       waiting_on_.erase(wait_it);
       stats_.cancelled_waits++;
+      if (m_cancelled_waits_) m_cancelled_waits_->Increment();
       GrantWaiters(key, entry, &callbacks);
       if (entry.holders.empty() && entry.waiters.empty()) table_.erase(key);
     }
@@ -178,6 +207,7 @@ bool LockManager::CancelWait(TxnId txn) {
     cancelled = entry.waiters.size() < before;
     waiting_on_.erase(wait_it);
     stats_.cancelled_waits++;
+    if (m_cancelled_waits_) m_cancelled_waits_->Increment();
     // Removing a blocking waiter at the front may unblock those behind it.
     GrantWaiters(key, entry, &callbacks);
     if (entry.holders.empty() && entry.waiters.empty()) table_.erase(key);

@@ -19,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/obs/metrics.h"
 #include "src/storage/tuple.h"
 #include "src/txn/transaction.h"
 
@@ -86,6 +87,11 @@ class LockManager {
   const LockStats& stats() const { return stats_; }
   void ResetStats() { stats_ = LockStats{}; }
 
+  /// Publishes lock-table counters into `registry` (nullptr detaches).
+  /// The granted wait *durations* (soap_lock_wait_seconds) are recorded by
+  /// the transaction manager, which owns the virtual clock.
+  void BindMetrics(obs::MetricsRegistry* registry);
+
  private:
   struct Holder {
     TxnId txn;
@@ -124,6 +130,13 @@ class LockManager {
   /// The single key each blocked transaction is waiting on.
   std::unordered_map<TxnId, storage::TupleKey> waiting_on_;
   LockStats stats_;
+  // Observability hooks; nullptr when disabled (one-branch hot-path cost).
+  obs::Counter* m_acquires_ = nullptr;
+  obs::Counter* m_waits_ = nullptr;
+  obs::Counter* m_deadlocks_ = nullptr;
+  obs::Counter* m_upgrades_ = nullptr;
+  obs::Counter* m_cancelled_waits_ = nullptr;
+  obs::Gauge* m_waiting_txns_ = nullptr;
 };
 
 }  // namespace soap::txn

@@ -13,22 +13,52 @@ struct TwoPhaseCommitDriver::Instance {
   size_t acks_pending = 0;
   bool vote_abort = false;
   bool phase2_started = false;
+  SimTime prepare_start = 0;  ///< coordinator-side round timestamps
+  SimTime phase2_start = 0;
 };
+
+void TwoPhaseCommitDriver::BindMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    m_protocols_ = nullptr;
+    m_messages_ = nullptr;
+    m_vote_aborts_ = nullptr;
+    m_prepare_seconds_ = nullptr;
+    m_commit_seconds_ = nullptr;
+    return;
+  }
+  m_protocols_ = registry->GetCounter("soap_2pc_protocols_total");
+  m_messages_ = registry->GetCounter("soap_2pc_messages_total");
+  m_vote_aborts_ = registry->GetCounter("soap_2pc_vote_aborts_total");
+  m_prepare_seconds_ = registry->GetHistogram("soap_2pc_prepare_seconds");
+  m_commit_seconds_ = registry->GetHistogram("soap_2pc_commit_seconds");
+}
 
 void TwoPhaseCommitDriver::Run(TxnId txn_id, sim::NodeId coordinator,
                                std::vector<TpcParticipant> participants,
                                std::function<void(bool)> done) {
   assert(!participants.empty());
   stats_.protocols_run++;
+  if (m_protocols_) m_protocols_->Increment();
 
   // Single local participant: one-phase commit, no messages.
   if (participants.size() == 1 && participants[0].node == coordinator) {
     auto inst = std::make_shared<Instance>();
+    inst->txn_id = txn_id;
     inst->done = std::move(done);
+    inst->phase2_start = sim_->Now();
+    if (tracer_ != nullptr && tracer_->Sampled(txn_id)) {
+      tracer_->Begin(txn_id, obs::SpanKind::kCommit, inst->phase2_start);
+    }
     auto& p = participants[0];
     auto commit = p.commit;
     commit([this, inst]() {
       stats_.committed++;
+      if (m_commit_seconds_) {
+        m_commit_seconds_->Record(sim_->Now() - inst->phase2_start);
+      }
+      if (tracer_ != nullptr && tracer_->Sampled(inst->txn_id)) {
+        tracer_->End(inst->txn_id, obs::SpanKind::kCommit, sim_->Now());
+      }
       inst->done(true);
     });
     return;
@@ -40,16 +70,22 @@ void TwoPhaseCommitDriver::Run(TxnId txn_id, sim::NodeId coordinator,
   inst->participants = std::move(participants);
   inst->done = std::move(done);
   inst->votes_pending = inst->participants.size();
+  inst->prepare_start = sim_->Now();
+  if (tracer_ != nullptr && tracer_->Sampled(txn_id)) {
+    tracer_->Begin(txn_id, obs::SpanKind::kPrepare, inst->prepare_start);
+  }
 
   for (size_t i = 0; i < inst->participants.size(); ++i) {
     const sim::NodeId node = inst->participants[i].node;
     stats_.messages++;
+    if (m_messages_) m_messages_->Increment();
     network_->Send(coordinator, node, kControlBytes, [this, inst, i]() {
       // PREPARE delivered: run phase-1 work, then send the vote back.
       TpcParticipant& p = inst->participants[i];
       p.prepare([this, inst, i](bool vote) {
         const sim::NodeId node = inst->participants[i].node;
         stats_.messages++;
+        if (m_messages_) m_messages_->Increment();
         network_->Send(node, inst->coordinator, kControlBytes,
                        [this, inst, vote]() {
                          if (!vote) inst->vote_abort = true;
@@ -68,14 +104,25 @@ void TwoPhaseCommitDriver::StartPhase2(std::shared_ptr<Instance> inst,
   assert(!inst->phase2_started);
   inst->phase2_started = true;
   inst->acks_pending = inst->participants.size();
+  inst->phase2_start = sim_->Now();
+  if (m_prepare_seconds_) {
+    m_prepare_seconds_->Record(inst->phase2_start - inst->prepare_start);
+  }
+  if (!commit && m_vote_aborts_) m_vote_aborts_->Increment();
+  if (tracer_ != nullptr && tracer_->Sampled(inst->txn_id)) {
+    tracer_->End(inst->txn_id, obs::SpanKind::kPrepare, inst->phase2_start);
+    tracer_->Begin(inst->txn_id, obs::SpanKind::kCommit, inst->phase2_start);
+  }
   for (size_t i = 0; i < inst->participants.size(); ++i) {
     const sim::NodeId node = inst->participants[i].node;
     stats_.messages++;
+    if (m_messages_) m_messages_->Increment();
     network_->Send(inst->coordinator, node, kControlBytes,
                    [this, inst, i, node, commit]() {
                      TpcParticipant& p = inst->participants[i];
                      auto on_done = [this, inst, node, commit]() {
                        stats_.messages++;
+                       if (m_messages_) m_messages_->Increment();
                        network_->Send(
                            node, inst->coordinator, kControlBytes,
                            [this, inst, commit]() {
@@ -85,6 +132,16 @@ void TwoPhaseCommitDriver::StartPhase2(std::shared_ptr<Instance> inst,
                                  stats_.committed++;
                                } else {
                                  stats_.aborted++;
+                               }
+                               if (m_commit_seconds_) {
+                                 m_commit_seconds_->Record(
+                                     sim_->Now() - inst->phase2_start);
+                               }
+                               if (tracer_ != nullptr &&
+                                   tracer_->Sampled(inst->txn_id)) {
+                                 tracer_->End(inst->txn_id,
+                                              obs::SpanKind::kCommit,
+                                              sim_->Now());
                                }
                                inst->done(commit);
                              }

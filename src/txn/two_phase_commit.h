@@ -15,6 +15,8 @@
 #include <memory>
 #include <vector>
 
+#include "src/obs/metrics.h"
+#include "src/obs/txn_tracer.h"
 #include "src/sim/network.h"
 #include "src/sim/simulator.h"
 #include "src/txn/transaction.h"
@@ -63,6 +65,15 @@ class TwoPhaseCommitDriver {
 
   const TpcStats& stats() const { return stats_; }
 
+  /// Publishes protocol counters and per-round latency histograms
+  /// (soap_2pc_prepare_seconds / soap_2pc_commit_seconds) into `registry`
+  /// (nullptr detaches).
+  void BindMetrics(obs::MetricsRegistry* registry);
+
+  /// Attaches a lifecycle tracer: sampled transactions get kPrepare /
+  /// kCommit spans bracketing the protocol rounds (nullptr detaches).
+  void set_tracer(obs::TxnTracer* tracer) { tracer_ = tracer; }
+
  private:
   struct Instance;
   void StartPhase2(std::shared_ptr<Instance> inst, bool commit);
@@ -70,6 +81,13 @@ class TwoPhaseCommitDriver {
   sim::Simulator* sim_;
   sim::Network* network_;
   TpcStats stats_;
+  obs::TxnTracer* tracer_ = nullptr;
+  // Observability hooks; nullptr when disabled.
+  obs::Counter* m_protocols_ = nullptr;
+  obs::Counter* m_messages_ = nullptr;
+  obs::Counter* m_vote_aborts_ = nullptr;
+  obs::LatencyHistogram* m_prepare_seconds_ = nullptr;
+  obs::LatencyHistogram* m_commit_seconds_ = nullptr;
 };
 
 }  // namespace soap::txn

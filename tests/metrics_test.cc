@@ -1,0 +1,171 @@
+#include "src/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace soap::obs {
+namespace {
+
+TEST(MetricsRegistryTest, RegistrationReturnsStablePointers) {
+  MetricsRegistry registry;
+  Counter* c1 = registry.GetCounter("soap_events_total");
+  Counter* c2 = registry.GetCounter("soap_events_total");
+  EXPECT_EQ(c1, c2);
+
+  // Distinct labels are distinct instances of the same family.
+  Counter* labelled = registry.GetCounter("soap_events_total", "node=\"1\"");
+  EXPECT_NE(c1, labelled);
+
+  // Registering more metrics must not move existing ones (components
+  // cache raw pointers).
+  for (int i = 0; i < 100; ++i) {
+    registry.GetCounter("soap_filler_" + std::to_string(i));
+  }
+  EXPECT_EQ(registry.GetCounter("soap_events_total"), c1);
+}
+
+TEST(MetricsRegistryTest, CounterGaugeHistogramValues) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("soap_c_total");
+  c->Increment();
+  c->Increment(9);
+  EXPECT_EQ(c->value(), 10u);
+
+  Gauge* g = registry.GetGauge("soap_g");
+  g->Set(2.5);
+  g->Add(-1.0);
+  EXPECT_DOUBLE_EQ(g->value(), 1.5);
+
+  LatencyHistogram* h = registry.GetHistogram("soap_h_seconds");
+  h->RecordMicros(1'000'000);  // 1 s
+  h->RecordMicros(3'000'000);  // 3 s
+  EXPECT_EQ(h->count(), 2u);
+  EXPECT_DOUBLE_EQ(h->sum_seconds(), 4.0);
+  EXPECT_DOUBLE_EQ(h->MeanSeconds(), 2.0);
+}
+
+TEST(MetricsRegistryTest, FindDoesNotRegister) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.FindCounter("soap_missing_total"), nullptr);
+  EXPECT_EQ(registry.FindGauge("soap_missing"), nullptr);
+  EXPECT_EQ(registry.FindHistogram("soap_missing_seconds"), nullptr);
+  EXPECT_EQ(registry.size(), 0u);
+
+  Counter* c = registry.GetCounter("soap_present_total");
+  EXPECT_EQ(registry.FindCounter("soap_present_total"), c);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(MetricsRegistryTest, ResetValuesKeepsRegistrations) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("soap_c_total");
+  Gauge* g = registry.GetGauge("soap_g");
+  LatencyHistogram* h = registry.GetHistogram("soap_h_seconds");
+  c->Increment(5);
+  g->Set(7.0);
+  h->RecordMicros(123);
+
+  registry.ResetValues();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_DOUBLE_EQ(g->value(), 0.0);
+  EXPECT_EQ(h->count(), 0u);
+  // Pointers stay valid and registered.
+  EXPECT_EQ(registry.GetCounter("soap_c_total"), c);
+  EXPECT_EQ(registry.size(), 3u);
+}
+
+TEST(MetricsRegistryTest, PrometheusTextExposition) {
+  MetricsRegistry registry;
+  registry.GetCounter("soap_lock_waits_total")->Increment(3);
+  registry.GetGauge("soap_queue_depth", "priority=\"high\"")->Set(4.0);
+  registry.GetGauge("soap_queue_depth", "priority=\"low\"")->Set(1.0);
+  LatencyHistogram* h = registry.GetHistogram("soap_lock_wait_seconds");
+  h->RecordMicros(100);
+  h->RecordMicros(100'000);
+
+  const std::string text = registry.ToPrometheusText();
+  EXPECT_NE(text.find("# TYPE soap_lock_waits_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("soap_lock_waits_total 3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE soap_queue_depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("soap_queue_depth{priority=\"high\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE soap_lock_wait_seconds histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("soap_lock_wait_seconds_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("soap_lock_wait_seconds_count 2\n"), std::string::npos);
+  EXPECT_NE(text.find("soap_lock_wait_seconds_sum "), std::string::npos);
+
+  // One # TYPE line per family even with several labelled instances.
+  size_t first = text.find("# TYPE soap_queue_depth gauge");
+  EXPECT_EQ(text.find("# TYPE soap_queue_depth gauge", first + 1),
+            std::string::npos);
+}
+
+TEST(MetricsRegistryTest, PrometheusBucketsAreCumulative) {
+  MetricsRegistry registry;
+  LatencyHistogram* h = registry.GetHistogram("soap_h_seconds");
+  h->RecordMicros(1);
+  h->RecordMicros(1);
+  h->RecordMicros(1 << 20);
+
+  const std::string text = registry.ToPrometheusText();
+  // The +Inf bucket always carries the full count.
+  EXPECT_NE(text.find("soap_h_seconds_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  // The low bucket carries only its own two samples.
+  EXPECT_NE(text.find("} 2\n"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, JsonLineShapeAndContent) {
+  MetricsRegistry registry;
+  registry.GetCounter("soap_c_total")->Increment(2);
+  registry.GetGauge("soap_pid_p_term")->Set(-0.25);
+  registry.GetHistogram("soap_h_seconds")->RecordMicros(2'000'000);
+
+  const std::string line = registry.ToJsonLine(/*now=*/1'234'567,
+                                               /*interval=*/7);
+  EXPECT_EQ(line.find("{\"t_us\":1234567,\"interval\":7,"), 0u);
+  EXPECT_NE(line.find("\"counters\":{\"soap_c_total\":2}"),
+            std::string::npos);
+  EXPECT_NE(line.find("\"soap_pid_p_term\":-0.25"), std::string::npos);
+  EXPECT_NE(line.find("\"soap_h_seconds\":{\"count\":1,"), std::string::npos);
+  EXPECT_EQ(line.find('\n'), std::string::npos);  // single line
+
+  // Balanced braces => structurally sound JSON for this ASCII subset.
+  int depth = 0;
+  for (char c : line) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(MetricsRegistryTest, WriteFileRoundTrip) {
+  MetricsRegistry registry;
+  registry.GetCounter("soap_c_total")->Increment();
+  const std::string path =
+      testing::TempDir() + "/soap_metrics_test_out.prom";
+  ASSERT_TRUE(registry.WriteFile(path, registry.ToPrometheusText()).ok());
+
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), registry.ToPrometheusText());
+  std::remove(path.c_str());
+}
+
+TEST(MetricsRegistryTest, WriteFileFailsOnBadPath) {
+  MetricsRegistry registry;
+  EXPECT_FALSE(
+      registry.WriteFile("/nonexistent-dir/x/y.prom", "data").ok());
+}
+
+}  // namespace
+}  // namespace soap::obs

@@ -1,0 +1,168 @@
+#include "src/obs/txn_tracer.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace soap::obs {
+namespace {
+
+TxnTracer::Config SampleEvery(uint32_t n) {
+  TxnTracer::Config config;
+  config.sample_every = n;
+  return config;
+}
+
+TEST(TxnTracerTest, SamplingIsDeterministic) {
+  TxnTracer tracer(SampleEvery(3));
+  EXPECT_TRUE(tracer.enabled());
+  for (uint64_t id = 0; id < 30; ++id) {
+    EXPECT_EQ(tracer.Sampled(id), id % 3 == 0) << "id=" << id;
+  }
+}
+
+TEST(TxnTracerTest, ZeroSampleDisables) {
+  TxnTracer tracer;  // default config: sample_every = 0
+  EXPECT_FALSE(tracer.enabled());
+  EXPECT_FALSE(tracer.Sampled(0));
+  EXPECT_FALSE(tracer.Sampled(42));
+}
+
+TEST(TxnTracerTest, BeginEndEmitsSpan) {
+  TxnTracer tracer(SampleEvery(1));
+  tracer.Begin(7, SpanKind::kQueued, 100);
+  EXPECT_EQ(tracer.open_spans(), 1u);
+  tracer.End(7, SpanKind::kQueued, 250);
+  ASSERT_EQ(tracer.spans().size(), 1u);
+  const TraceSpan& s = tracer.spans()[0];
+  EXPECT_EQ(s.txn_id, 7u);
+  EXPECT_EQ(s.kind, SpanKind::kQueued);
+  EXPECT_EQ(s.start_us, 100);
+  EXPECT_EQ(s.end_us, 250);
+  EXPECT_EQ(s.duration(), 150);
+  EXPECT_EQ(tracer.open_spans(), 0u);
+}
+
+TEST(TxnTracerTest, BeginIsIdempotentEndWithoutBeginIsNoop) {
+  TxnTracer tracer(SampleEvery(1));
+  tracer.Begin(1, SpanKind::kExecute, 10);
+  tracer.Begin(1, SpanKind::kExecute, 999);  // ignored: already open
+  tracer.End(1, SpanKind::kExecute, 20);
+  ASSERT_EQ(tracer.spans().size(), 1u);
+  EXPECT_EQ(tracer.spans()[0].start_us, 10);
+
+  tracer.End(1, SpanKind::kExecute, 30);  // nothing open: no-op
+  EXPECT_EQ(tracer.spans().size(), 1u);
+}
+
+TEST(TxnTracerTest, NestedPhasesOfOneTxnCoexist) {
+  TxnTracer tracer(SampleEvery(1));
+  tracer.Begin(5, SpanKind::kExecute, 0);
+  tracer.Begin(5, SpanKind::kLockWait, 10);  // nested inside execute
+  tracer.End(5, SpanKind::kLockWait, 40);
+  tracer.End(5, SpanKind::kExecute, 100);
+  ASSERT_EQ(tracer.spans().size(), 2u);
+  EXPECT_EQ(tracer.spans()[0].kind, SpanKind::kLockWait);
+  EXPECT_EQ(tracer.spans()[1].kind, SpanKind::kExecute);
+}
+
+TEST(TxnTracerTest, FinishTxnClosesOpenPhasesAndEmitsTxnSpan) {
+  TxnTracer tracer(SampleEvery(1));
+  tracer.Begin(9, SpanKind::kQueued, 0);
+  tracer.Begin(9, SpanKind::kExecute, 50);  // still open at abort
+  tracer.FinishTxn(9, /*submit_us=*/0, /*now=*/300, /*coordinator=*/2,
+                   /*committed=*/false);
+  EXPECT_EQ(tracer.open_spans(), 0u);
+  ASSERT_EQ(tracer.spans().size(), 3u);
+  const TraceSpan& txn = tracer.spans().back();
+  EXPECT_EQ(txn.kind, SpanKind::kTxn);
+  EXPECT_EQ(txn.start_us, 0);
+  EXPECT_EQ(txn.end_us, 300);
+  EXPECT_EQ(txn.node, 2u);
+  EXPECT_FALSE(txn.committed);
+  // The dangling phases were force-closed at the finish time.
+  for (const TraceSpan& s : tracer.spans()) {
+    EXPECT_LE(s.end_us, 300);
+  }
+}
+
+TEST(TxnTracerTest, CriticalPathSubtractsLockWaitFromExecute) {
+  TxnTracer tracer(SampleEvery(1));
+  tracer.Begin(1, SpanKind::kQueued, 0);
+  tracer.End(1, SpanKind::kQueued, 100);
+  tracer.Begin(1, SpanKind::kExecute, 100);
+  tracer.Begin(1, SpanKind::kLockWait, 150);
+  tracer.End(1, SpanKind::kLockWait, 250);
+  tracer.End(1, SpanKind::kExecute, 400);
+  tracer.Begin(1, SpanKind::kPrepare, 400);
+  tracer.End(1, SpanKind::kPrepare, 450);
+  tracer.Begin(1, SpanKind::kCommit, 450);
+  tracer.End(1, SpanKind::kCommit, 500);
+  tracer.FinishTxn(1, 0, 500, 0, true);
+
+  const CriticalPathBreakdown b = tracer.AggregateCriticalPath();
+  EXPECT_EQ(b.txns, 1u);
+  EXPECT_EQ(b.queued, 100);
+  EXPECT_EQ(b.lock_wait, 100);
+  EXPECT_EQ(b.execute, 200);  // 300 gross - 100 lock wait
+  EXPECT_EQ(b.prepare, 50);
+  EXPECT_EQ(b.commit, 50);
+  EXPECT_EQ(b.Total(), 500);
+}
+
+TEST(TxnTracerTest, MaxSpansCapCountsDrops) {
+  TxnTracer::Config config = SampleEvery(1);
+  config.max_spans = 2;
+  TxnTracer tracer(config);
+  for (uint64_t id = 0; id < 4; ++id) {
+    tracer.Begin(id, SpanKind::kExecute, 0);
+    tracer.End(id, SpanKind::kExecute, 10);
+  }
+  EXPECT_EQ(tracer.spans().size(), 2u);
+  EXPECT_EQ(tracer.dropped_spans(), 2u);
+  tracer.Clear();
+  EXPECT_EQ(tracer.spans().size(), 0u);
+  EXPECT_EQ(tracer.dropped_spans(), 0u);
+}
+
+TEST(TxnTracerTest, ChromeJsonIsWellFormed) {
+  TxnTracer tracer(SampleEvery(1));
+  tracer.Begin(3, SpanKind::kQueued, 0);
+  tracer.End(3, SpanKind::kQueued, 10);
+  tracer.Begin(3, SpanKind::kExecute, 10);
+  tracer.End(3, SpanKind::kExecute, 90);
+  tracer.FinishTxn(3, 0, 100, 4, true);
+
+  const std::string json = tracer.ToChromeJson();
+  EXPECT_EQ(json.find("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["), 0u);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"queued\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"txn\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"outcome\":\"committed\"}"),
+            std::string::npos);
+
+  // Structural well-formedness: balanced {} and [], never negative depth.
+  int braces = 0;
+  int brackets = 0;
+  for (char c : json) {
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+    ASSERT_GE(braces, 0);
+    ASSERT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(TxnTracerTest, EmptyTracerProducesValidChromeJson) {
+  TxnTracer tracer(SampleEvery(1));
+  EXPECT_EQ(tracer.ToChromeJson(),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}");
+}
+
+}  // namespace
+}  // namespace soap::obs

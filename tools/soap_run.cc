@@ -12,6 +12,7 @@
 #include <string>
 
 #include "src/common/flags.h"
+#include "src/common/logging.h"
 #include "src/engine/experiment.h"
 
 namespace {
@@ -35,6 +36,11 @@ void PrintUsage() {
       "  --record-trace PATH  save the arrival stream for replay\n"
       "  --replay-trace PATH  drive the run from a recorded trace\n"
       "  --chart     also render ASCII charts\n"
+      "  --metrics_out PATH    Prometheus text dump of the run's metrics\n"
+      "  --metrics_jsonl PATH  per-interval JSONL metric snapshots\n"
+      "  --trace_out PATH      Chrome trace JSON (Perfetto-loadable)\n"
+      "  --trace_sample N      trace every n-th transaction         (1)\n"
+      "  --log_level debug|info|warn|error                       (warn)\n"
       "  --help      this text\n");
 }
 
@@ -119,6 +125,20 @@ int main(int argc, char** argv) {
   const bool chart = flags.GetBool("chart");
   config.record_trace_path = flags.GetString("record-trace", "");
   config.replay_trace_path = flags.GetString("replay-trace", "");
+  config.obs.metrics_out = flags.GetString("metrics_out", "");
+  config.obs.metrics_jsonl_out = flags.GetString("metrics_jsonl", "");
+  config.obs.trace_out = flags.GetString("trace_out", "");
+  config.obs.trace_sample =
+      static_cast<uint32_t>(flags.GetInt("trace_sample", 1));
+  const std::string log_level = flags.GetString("log_level", "");
+  if (!log_level.empty()) {
+    std::optional<LogLevel> parsed_level = ParseLogLevel(log_level);
+    if (!parsed_level.has_value()) {
+      std::fprintf(stderr, "unknown --log_level %s\n", log_level.c_str());
+      return 2;
+    }
+    Logger::Instance().set_level(*parsed_level);
+  }
 
   for (const std::string& unknown : flags.UnconsumedFlags()) {
     std::fprintf(stderr, "unknown flag --%s (see --help)\n",
@@ -154,6 +174,32 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("wrote %s\n", csv.c_str());
+  }
+  if (r.tracer != nullptr && r.critical_path.txns > 0) {
+    const obs::CriticalPathBreakdown& cp = r.critical_path;
+    const double per_txn = 1.0 / static_cast<double>(cp.txns);
+    std::printf(
+        "critical path, mean per traced txn (%llu traced): "
+        "queued=%.2fms lock_wait=%.2fms execute=%.2fms prepare=%.2fms "
+        "commit=%.2fms\n",
+        static_cast<unsigned long long>(cp.txns),
+        ToMillis(cp.queued) * per_txn, ToMillis(cp.lock_wait) * per_txn,
+        ToMillis(cp.execute) * per_txn, ToMillis(cp.prepare) * per_txn,
+        ToMillis(cp.commit) * per_txn);
+  }
+  if (!r.obs_export.ok()) {
+    std::fprintf(stderr, "observability export: %s\n",
+                 r.obs_export.ToString().c_str());
+    return 1;
+  }
+  if (!config.obs.metrics_out.empty()) {
+    std::printf("wrote %s\n", config.obs.metrics_out.c_str());
+  }
+  if (!config.obs.metrics_jsonl_out.empty()) {
+    std::printf("wrote %s\n", config.obs.metrics_jsonl_out.c_str());
+  }
+  if (!config.obs.trace_out.empty() && r.tracer != nullptr) {
+    std::printf("wrote %s\n", config.obs.trace_out.c_str());
   }
   return r.audit.ok() ? 0 : 1;
 }
