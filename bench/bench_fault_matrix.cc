@@ -1,0 +1,137 @@
+// Fault-tolerance matrix: each of the five scheduling strategies runs the
+// same Zipf workload under a grid of injected fault scenarios, and its
+// degradation against the fault-free baseline is reported — throughput,
+// tail latency, failure rate and repartition completion. The output ends
+// with a machine-readable JSON block (also written to fault_matrix.json)
+// so CI and plotting scripts can track regressions in the self-healing
+// deployment path.
+//
+// SOAP_BENCH_FAST=1 shrinks the grid for smoke runs.
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+struct Scenario {
+  const char* name;
+  const char* spec;  // empty = fault-free baseline
+  /// Transient faults (crashes that heal) must not stop the deployment.
+  /// Persistent message loss may legitimately starve the lazy strategies
+  /// — they only spend idle capacity, and the loss-induced backlog leaves
+  /// none — so completion is not required there.
+  bool require_completion;
+};
+
+std::string JsonEscapeless(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  using soap::engine::ExperimentConfig;
+  using soap::engine::ExperimentResult;
+
+  const bool fast = soap::bench::FastMode();
+  // Crashes land mid-deployment: repartitioning starts at the end of the
+  // warmup, and the crash window opens one interval later.
+  const std::vector<Scenario> scenarios = {
+      {"none", "", true},
+      {"crash", "crash:node=1,at=80s,down=20s", true},
+      {"drop1pct", "drop:p=0.01", false},
+      {"crash+drop", "crash:node=1,at=80s,down=20s;drop:p=0.005", false},
+      {"double_crash",
+       "crash:node=1,at=80s,down=20s;crash:node=3,at=140s,down=20s", true},
+  };
+
+  std::printf("==== Fault matrix: degradation by strategy x scenario ====\n\n");
+  std::printf("%-10s %-13s %-10s %-12s %-12s %-10s %-9s %-9s\n", "strategy",
+              "scenario", "rep_done@", "tput/min", "p99_ms", "fail_max",
+              "crashes", "audit");
+
+  std::ostringstream json;
+  json << "{\n  \"strategies\": [\n";
+  int exit_code = 0;
+  bool first_strategy = true;
+  for (auto strategy : soap::bench::AllStrategies()) {
+    double baseline_tput = 0.0;
+    double baseline_p99 = 0.0;
+    if (!first_strategy) json << ",\n";
+    first_strategy = false;
+    json << "    {\"strategy\": \"" << soap::StrategyName(strategy)
+         << "\", \"scenarios\": [";
+    bool first_scenario = true;
+    for (const Scenario& scenario : scenarios) {
+      ExperimentConfig config = soap::bench::MakeCellConfig(
+          strategy, soap::workload::PopularityDist::kZipf,
+          /*high_load=*/false, /*alpha=*/1.0);
+      config.workload.num_keys = fast ? 5'000 : 20'000;
+      config.workload.num_templates = fast ? 200 : 800;
+      config.warmup_intervals = fast ? 2 : 3;
+      config.measured_intervals = fast ? 6 : 12;
+      config.fault_spec = scenario.spec;
+      ExperimentResult r = soap::engine::Experiment(config).Run();
+
+      const double tput = r.throughput.TailMean(3);
+      const double p99 = r.latency_p99_ms.Max();
+      const double fail_max = r.failure_rate.Max();
+      if (scenario.spec[0] == '\0') {
+        baseline_tput = tput;
+        baseline_p99 = p99;
+      }
+      const double tput_ratio =
+          baseline_tput > 0.0 ? tput / baseline_tput : 0.0;
+      const double p99_ratio = baseline_p99 > 0.0 ? p99 / baseline_p99 : 0.0;
+
+      std::printf("%-10s %-13s %-10d %-12.0f %-12.0f %-10.3f %-9llu %-9s\n",
+                  soap::StrategyName(strategy), scenario.name,
+                  r.RepartitionCompletedAt(), tput, p99, fail_max,
+                  static_cast<unsigned long long>(r.faults_crashes),
+                  r.audit.ok() ? "ok" : "FAIL");
+      std::fflush(stdout);
+
+      if (!first_scenario) json << ", ";
+      first_scenario = false;
+      json << "{\"scenario\": \"" << scenario.name << "\", \"spec\": \""
+           << scenario.spec << "\", \"tail_throughput_txn_min\": "
+           << JsonEscapeless(tput)
+           << ", \"throughput_vs_baseline\": " << JsonEscapeless(tput_ratio)
+           << ", \"p99_ms\": " << JsonEscapeless(p99)
+           << ", \"p99_vs_baseline\": " << JsonEscapeless(p99_ratio)
+           << ", \"failure_rate_max\": " << JsonEscapeless(fail_max)
+           << ", \"rep_completed_at\": " << r.RepartitionCompletedAt()
+           << ", \"crashes\": " << r.faults_crashes
+           << ", \"msgs_dropped\": " << r.faults_msgs_dropped
+           << ", \"tpc_resends\": " << r.tpc_stats.resends
+           << ", \"aborts_node_crash\": " << r.counters.aborts_node_crash
+           << ", \"audit_ok\": " << (r.audit.ok() ? "true" : "false")
+           << ", \"drained\": " << (r.drained ? "true" : "false") << "}";
+
+      // The self-healing bar: every faulted run must stay consistent and
+      // drain; transient-fault runs must still finish the plan.
+      if (!r.audit.ok() || !r.drained) exit_code = 1;
+      if (scenario.require_completion && !r.plan_completed) exit_code = 1;
+    }
+    json << "]}";
+  }
+  json << "\n  ]\n}\n";
+
+  std::printf("\n==== JSON ====\n%s", json.str().c_str());
+  if (FILE* f = std::fopen("fault_matrix.json", "w")) {
+    std::fputs(json.str().c_str(), f);
+    std::fclose(f);
+    std::printf("# wrote fault_matrix.json\n");
+  }
+  std::printf(
+      "\n# Reading the report: throughput_vs_baseline ~ 1.0 and a bounded\n"
+      "# p99_vs_baseline mean the strategy absorbed the faults; audit_ok\n"
+      "# and drained must be true everywhere, else the exit code is 1.\n");
+  return exit_code;
+}

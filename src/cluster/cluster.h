@@ -46,6 +46,10 @@ struct ExecutionCosts {
   /// after submission is aborted instead of dispatched. Repartition
   /// transactions never expire; their schedulers own their fate.
   Duration txn_timeout = Seconds(180);
+  /// WAL-replay cost charged when a crashed node restarts (fault
+  /// injection only): fixed startup plus a per-WAL-record scan term.
+  Duration recovery_fixed = Millis(50);
+  Duration recovery_per_record = Micros(2);
 };
 
 /// Transaction isolation level at the data nodes. The paper's prototype

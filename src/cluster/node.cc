@@ -8,6 +8,10 @@ namespace soap::cluster {
 void Node::RunJob(Duration service, WorkCategory category,
                   JobClass job_class, std::function<void()> done) {
   assert(service >= 0);
+  if (down_) {
+    ++jobs_dropped_;
+    return;
+  }
   Job job{service, category, std::move(done)};
   if (free_workers_ > 0) {
     StartJob(std::move(job));
@@ -24,7 +28,9 @@ void Node::StartJob(Job job) {
   busy_time_[static_cast<int>(job.category)] += job.service;
   ++jobs_run_;
   auto done = std::move(job.done);
-  sim_->After(job.service, [this, done = std::move(done)]() {
+  sim_->After(job.service, [this, epoch = epoch_,
+                            done = std::move(done)]() {
+    if (epoch != epoch_) return;  // job vaporised by a crash
     ++free_workers_;
     if (!urgent_queue_.empty()) {
       Job next = std::move(urgent_queue_.front());
@@ -37,6 +43,15 @@ void Node::StartJob(Job job) {
     }
     done();
   });
+}
+
+void Node::Crash() {
+  jobs_dropped_ += bulk_queue_.size() + urgent_queue_.size();
+  bulk_queue_.clear();
+  urgent_queue_.clear();
+  free_workers_ = workers_;
+  ++epoch_;
+  down_ = true;
 }
 
 }  // namespace soap::cluster

@@ -47,9 +47,18 @@ class Node {
 
   /// Queues `service` time of work; `done` fires when a worker has spent
   /// that long on it. kUrgent jobs are served before kBulk; FIFO within a
-  /// class.
+  /// class. While the node is down, jobs are silently discarded (their
+  /// `done` never fires — the fault layer aborts the owning transaction).
   void RunJob(Duration service, WorkCategory category, JobClass job_class,
               std::function<void()> done);
+
+  /// Crash semantics: discards queued jobs, vaporises running ones (their
+  /// completion events still fire but do nothing — modelling work lost
+  /// mid-flight), frees all workers and refuses new jobs until Restart().
+  void Crash();
+  void Restart() { down_ = false; }
+  bool down() const { return down_; }
+  uint64_t jobs_dropped() const { return jobs_dropped_; }
 
   /// Virtual time workers have spent busy, per category.
   Duration busy_time(WorkCategory category) const {
@@ -82,6 +91,11 @@ class Node {
   std::deque<Job> urgent_queue_;
   Duration busy_time_[3] = {0, 0, 0};
   uint64_t jobs_run_ = 0;
+  bool down_ = false;
+  /// Bumped by Crash() so completion events of vaporised jobs recognise
+  /// themselves as stale and leave the worker accounting alone.
+  uint64_t epoch_ = 0;
+  uint64_t jobs_dropped_ = 0;
 };
 
 }  // namespace soap::cluster

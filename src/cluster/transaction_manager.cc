@@ -39,6 +39,9 @@ struct TransactionManager::Exec {
   bool lock_set_built = false;
   sim::EventId timeout_event = sim::kInvalidEventId;
   bool done = false;
+  /// Partitions whose phase-2 apply already ran, so redelivered or resent
+  /// commit messages are idempotent.
+  std::unordered_set<uint32_t> applied_partitions;
 
   void AddParticipant(uint32_t p) {
     if (std::find(participants.begin(), participants.end(), p) ==
@@ -170,6 +173,16 @@ void TransactionManager::StartTransaction(std::unique_ptr<Transaction> t) {
     } else {
       e->coordinator = first.source_partition;
     }
+  }
+
+  // A down coordinator cannot run the begin job (it would be silently
+  // discarded); fail the transaction. Deferred so the abort's completion
+  // callback does not re-enter the MaybeDispatch loop that called us.
+  if (cluster_->node(e->coordinator).down()) {
+    sim_->After(0, [this, e]() {
+      if (!e->done) AbortTransaction(e, AbortReason::kNodeCrash);
+    });
+    return;
   }
 
   cluster_->node(e->coordinator)
@@ -337,6 +350,10 @@ void TransactionManager::RunOp(const ExecPtr& e, size_t op_index) {
     case OpKind::kRead: {
       Result<router::PartitionId> primary = cluster_->router().RouteRead(op.key);
       const uint32_t p = primary.ok() ? *primary : e->coordinator;
+      if (cluster_->node(p).down()) {
+        AbortTransaction(e, AbortReason::kNodeCrash);
+        return;
+      }
       op.source_partition = p;
       e->AddParticipant(p);
       cluster_->node(p).RunJob(costs.read_query, CategoryFor(e, op),
@@ -347,6 +364,10 @@ void TransactionManager::RunOp(const ExecPtr& e, size_t op_index) {
       Result<router::PartitionId> primary =
           cluster_->router().RouteWrite(op.key);
       const uint32_t p = primary.ok() ? *primary : e->coordinator;
+      if (cluster_->node(p).down()) {
+        AbortTransaction(e, AbortReason::kNodeCrash);
+        return;
+      }
       op.source_partition = p;
       e->AddParticipant(p);
       cluster_->node(p).RunJob(costs.write_query, CategoryFor(e, op),
@@ -373,24 +394,41 @@ void TransactionManager::RunOp(const ExecPtr& e, size_t op_index) {
         advance();
         return;
       }
-      e->staged[op.key] = *tuple;
-      e->AddParticipant(op.source_partition);
-      e->AddParticipant(op.target_partition);
       const uint32_t src = op.source_partition;
       const uint32_t dst = op.target_partition;
+      if (cluster_->node(src).down() || cluster_->node(dst).down()) {
+        AbortTransaction(e, AbortReason::kNodeCrash);
+        return;
+      }
+      e->staged[op.key] = *tuple;
+      e->AddParticipant(src);
+      e->AddParticipant(dst);
       const WorkCategory cat = CategoryFor(e, op);
       const Duration service = costs.migrate_insert;
-      cluster_->network().Send(
-          src, dst, storage::Tuple::kWireSize, [this, e, dst, cat, service,
-                                                advance]() {
+      cluster_->network().SendWithFailure(
+          src, dst, storage::Tuple::kWireSize,
+          [this, e, dst, cat, service, advance]() {
             if (e->done) return;
+            // The destination may have crashed while the copy was in
+            // flight.
+            if (cluster_->node(dst).down()) {
+              AbortTransaction(e, AbortReason::kNodeCrash);
+              return;
+            }
             cluster_->node(dst).RunJob(service, cat, JobClass::kBulk, advance);
+          },
+          [this, e]() {
+            if (!e->done) AbortTransaction(e, AbortReason::kNodeCrash);
           });
       return;
     }
     case OpKind::kMigrateDelete: {
       if (e->skipped_rep_ops.count(op.repartition_op_id) > 0) {
         advance();
+        return;
+      }
+      if (cluster_->node(op.source_partition).down()) {
+        AbortTransaction(e, AbortReason::kNodeCrash);
         return;
       }
       e->AddParticipant(op.source_partition);
@@ -414,18 +452,30 @@ void TransactionManager::RunOp(const ExecPtr& e, size_t op_index) {
         return;
       }
       op.source_partition = placement->primary;
+      const uint32_t dst = op.target_partition;
+      if (cluster_->node(op.source_partition).down() ||
+          cluster_->node(dst).down()) {
+        AbortTransaction(e, AbortReason::kNodeCrash);
+        return;
+      }
       e->staged[op.key] = *tuple;
       e->AddParticipant(op.source_partition);
-      e->AddParticipant(op.target_partition);
-      const uint32_t dst = op.target_partition;
+      e->AddParticipant(dst);
       const WorkCategory cat = CategoryFor(e, op);
-      cluster_->network().Send(
+      cluster_->network().SendWithFailure(
           op.source_partition, dst, storage::Tuple::kWireSize,
           [this, e, dst, cat, advance]() {
             if (e->done) return;
+            if (cluster_->node(dst).down()) {
+              AbortTransaction(e, AbortReason::kNodeCrash);
+              return;
+            }
             cluster_->node(dst).RunJob(
                 cluster_->config().costs.replica_create, cat,
                 JobClass::kBulk, advance);
+          },
+          [this, e]() {
+            if (!e->done) AbortTransaction(e, AbortReason::kNodeCrash);
           });
       return;
     }
@@ -436,6 +486,10 @@ void TransactionManager::RunOp(const ExecPtr& e, size_t op_index) {
           !placement->HasReplicaOn(op.source_partition)) {
         e->skipped_rep_ops.insert(op.repartition_op_id);
         advance();
+        return;
+      }
+      if (cluster_->node(op.source_partition).down()) {
+        AbortTransaction(e, AbortReason::kNodeCrash);
         return;
       }
       e->AddParticipant(op.source_partition);
@@ -468,13 +522,17 @@ void TransactionManager::BeginCommit(const ExecPtr& e) {
 
   if (e->participants.size() <= 1) {
     // Collocated: one-phase local commit on the coordinator.
+    const uint32_t p =
+        e->participants.empty() ? e->coordinator : e->participants[0];
+    if (cluster_->node(p).down()) {
+      AbortTransaction(e, AbortReason::kNodeCrash);
+      return;
+    }
     txn.state = TxnState::kCommitting;
     if (Traced(txn)) {
       tracer_->End(txn.id, obs::SpanKind::kExecute, sim_->Now());
       tracer_->Begin(txn.id, obs::SpanKind::kCommit, sim_->Now());
     }
-    const uint32_t p =
-        e->participants.empty() ? e->coordinator : e->participants[0];
     cluster_->node(p).RunJob(costs.local_commit, OverheadCategory(e),
                              JobClass::kUrgent, [this, e, p]() {
                                Status s = ApplyAtPartition(e, p);
@@ -487,7 +545,12 @@ void TransactionManager::BeginCommit(const ExecPtr& e) {
     return;
   }
 
-  // Distributed: full 2PC across every touched partition.
+  // Distributed: full 2PC across every touched partition. A down
+  // coordinator cannot drive the protocol — presume abort up front.
+  if (cluster_->node(e->coordinator).down()) {
+    AbortTransaction(e, AbortReason::kNodeCrash);
+    return;
+  }
   // Prepare/commit-round spans are emitted by the 2PC driver, which owns
   // the phase transitions.
   txn.state = TxnState::kPreparing;
@@ -529,6 +592,9 @@ void TransactionManager::BeginCommit(const ExecPtr& e) {
   }
   cluster_->tpc().Run(txn.id, e->coordinator, std::move(participants),
                       [this, e](bool committed) {
+                        // A node-crash abort may have completed the exec
+                        // before the protocol resolved.
+                        if (e->done) return;
                         if (committed) {
                           e->txn->state = TxnState::kCommitting;
                           FinishCommit(e);
@@ -540,6 +606,7 @@ void TransactionManager::BeginCommit(const ExecPtr& e) {
 
 Status TransactionManager::ApplyAtPartition(const ExecPtr& e,
                                             uint32_t partition) {
+  if (!e->applied_partitions.insert(partition).second) return Status::OK();
   Transaction& txn = *e->txn;
   Status first_error = Status::OK();
   auto note = [&first_error](Status s) {
@@ -723,6 +790,12 @@ void TransactionManager::AbortTransaction(const ExecPtr& e,
     case AbortReason::kInjected:
       counters_.aborts_vote++;
       break;
+    case AbortReason::kNodeCrash:
+      counters_.aborts_node_crash++;
+      break;
+    case AbortReason::kShutdown:
+      counters_.aborts_shutdown++;
+      break;
     case AbortReason::kNone:
       break;
   }
@@ -734,6 +807,65 @@ void TransactionManager::AbortTransaction(const ExecPtr& e,
                        e->coordinator, false);
   }
   CompleteTransaction(e);
+}
+
+void TransactionManager::OnNodeCrash(uint32_t node) {
+  std::vector<ExecPtr> victims;
+  for (const auto& [id, e] : inflight_) {
+    if (e->done) continue;
+    const TxnState state = e->txn->state;
+    // From the prepare round on the 2PC driver owns the outcome: it
+    // aborts undecided instances of a dead coordinator and completes
+    // decided ones through its retry path. One-phase commits (a single
+    // participant, no protocol) are ours to abort — their vaporized
+    // local-commit job would otherwise never call back.
+    if (state == TxnState::kPreparing) continue;
+    if (state == TxnState::kCommitting && e->participants.size() > 1) {
+      continue;
+    }
+    bool involved = e->coordinator == node;
+    for (uint32_t p : e->participants) {
+      if (p == node) involved = true;
+    }
+    if (involved) victims.push_back(e);
+  }
+  // inflight_ iteration order is unspecified; sort for determinism.
+  std::sort(victims.begin(), victims.end(),
+            [](const ExecPtr& a, const ExecPtr& b) {
+              return a->txn->id < b->txn->id;
+            });
+  for (const ExecPtr& e : victims) {
+    if (!e->done) AbortTransaction(e, AbortReason::kNodeCrash);
+  }
+}
+
+void TransactionManager::DrainQueue(txn::AbortReason reason) {
+  // Completion callbacks may push fresh transactions; keep popping until
+  // the queue stays empty.
+  while (!queue_.Empty()) {
+    std::unique_ptr<Transaction> t = queue_.Pop();
+    t->state = TxnState::kAborted;
+    t->abort_reason = reason;
+    t->finish_time = sim_->Now();
+    if (t->is_repartition) {
+      counters_.aborted_repartition++;
+    } else {
+      counters_.aborted_normal++;
+      if (t->has_piggyback()) counters_.piggyback_carrier_aborts++;
+    }
+    if (reason == AbortReason::kShutdown) {
+      counters_.aborts_shutdown++;
+    } else if (reason == AbortReason::kNodeCrash) {
+      counters_.aborts_node_crash++;
+    }
+    if (m_latency_aborted_) {
+      m_latency_aborted_->RecordMicros(t->finish_time - t->submit_time);
+    }
+    if (Traced(*t)) {
+      tracer_->FinishTxn(t->id, t->submit_time, t->finish_time, 0, false);
+    }
+    if (completion_cb_) completion_cb_(*t);
+  }
 }
 
 void TransactionManager::CompleteTransaction(const ExecPtr& e) {

@@ -42,6 +42,8 @@ struct TmCounters {
   uint64_t aborts_lock_timeout = 0;
   uint64_t aborts_queue_timeout = 0;
   uint64_t aborts_vote = 0;
+  uint64_t aborts_node_crash = 0;
+  uint64_t aborts_shutdown = 0;
 
   uint64_t total_submitted() const {
     return submitted_normal + submitted_repartition;
@@ -107,6 +109,17 @@ class TransactionManager {
   /// True when a low-priority transaction would be admitted right now
   /// (the "system is idle" condition of the AfterAll strategy, §3.2).
   bool IdleForLowPriority() const;
+
+  /// Reacts to a node crash: in-flight transactions touching `node` abort
+  /// with kNodeCrash. Transactions already inside the commit protocol are
+  /// left to the 2PC driver, which owns their outcome from the decision
+  /// point on.
+  void OnNodeCrash(uint32_t node);
+
+  /// Completes every still-queued transaction with an abort (used at
+  /// experiment shutdown so queued-but-never-dispatched transactions do
+  /// not leak their callbacks).
+  void DrainQueue(txn::AbortReason reason);
 
  private:
   struct Exec;

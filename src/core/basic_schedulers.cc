@@ -2,43 +2,46 @@
 
 namespace soap::core {
 
-namespace {
-
-/// Submits every pending repartition transaction at the given priority,
-/// in benefit-density order.
-void SubmitAllPending(Scheduler* scheduler, RepartitionRegistry* registry,
-                      cluster::TransactionManager* tm,
-                      txn::TxnPriority priority) {
-  (void)scheduler;
-  while (RepartitionTxn* rt = registry->NextPending()) {
-    auto t = RepartitionRegistry::MakeTransaction(*rt, priority);
-    const txn::TxnId id = tm->Submit(std::move(t));
-    registry->MarkSubmitted(rt->rid, id);
-  }
-}
-
-}  // namespace
-
 void ApplyAllScheduler::OnPlanReady() {
-  SubmitAllPending(this, env_.registry, env_.tm, txn::TxnPriority::kHigh);
+  SubmitAllPending(txn::TxnPriority::kHigh);
 }
 
 void ApplyAllScheduler::OnTxnComplete(const txn::Transaction& t) {
   // Aborted repartition transactions were reverted to pending by the
   // repartitioner; push them right back at high priority.
   if (t.is_repartition && t.aborted()) {
-    SubmitAllPending(this, env_.registry, env_.tm, txn::TxnPriority::kHigh);
+    SubmitAllPending(txn::TxnPriority::kHigh);
   }
 }
 
+void ApplyAllScheduler::OnIntervalTick(const IntervalStats& stats) {
+  (void)stats;
+  // Retries transactions whose backoff window elapsed (no-op without
+  // faults: the pending list empties synchronously on plan-ready/abort).
+  SubmitAllPending(txn::TxnPriority::kHigh);
+}
+
+void ApplyAllScheduler::OnResume() {
+  SubmitAllPending(txn::TxnPriority::kHigh);
+}
+
 void AfterAllScheduler::OnPlanReady() {
-  SubmitAllPending(this, env_.registry, env_.tm, txn::TxnPriority::kLow);
+  SubmitAllPending(txn::TxnPriority::kLow);
 }
 
 void AfterAllScheduler::OnTxnComplete(const txn::Transaction& t) {
   if (t.is_repartition && t.aborted()) {
-    SubmitAllPending(this, env_.registry, env_.tm, txn::TxnPriority::kLow);
+    SubmitAllPending(txn::TxnPriority::kLow);
   }
+}
+
+void AfterAllScheduler::OnIntervalTick(const IntervalStats& stats) {
+  (void)stats;
+  SubmitAllPending(txn::TxnPriority::kLow);
+}
+
+void AfterAllScheduler::OnResume() {
+  SubmitAllPending(txn::TxnPriority::kLow);
 }
 
 }  // namespace soap::core

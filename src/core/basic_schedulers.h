@@ -20,6 +20,8 @@ class ApplyAllScheduler : public Scheduler {
   std::string_view name() const override { return "ApplyAll"; }
   void OnPlanReady() override;
   void OnTxnComplete(const txn::Transaction& t) override;
+  void OnIntervalTick(const IntervalStats& stats) override;
+  void OnResume() override;
 };
 
 class AfterAllScheduler : public Scheduler {
@@ -27,6 +29,8 @@ class AfterAllScheduler : public Scheduler {
   std::string_view name() const override { return "AfterAll"; }
   void OnPlanReady() override;
   void OnTxnComplete(const txn::Transaction& t) override;
+  void OnIntervalTick(const IntervalStats& stats) override;
+  void OnResume() override;
 };
 
 }  // namespace soap::core

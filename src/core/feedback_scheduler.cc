@@ -71,12 +71,13 @@ void FeedbackScheduler::RefillLowWindow() {
     }
     low_queue_.pop_front();
   }
+  if (paused()) return;
   // Fill from the COLD end of the ranked list: idle capacity is best
   // spent on data that transactions rarely visit (§3.5), and claiming the
   // hot head here would lock it away from the piggyback module and the
   // controller while the transaction sits at low priority.
   while (low_queue_.size() < config_.low_priority_window) {
-    RepartitionTxn* rt = env_.registry->LastPending();
+    RepartitionTxn* rt = env_.registry->LastPending(Now());
     if (rt == nullptr) break;
     auto t =
         RepartitionRegistry::MakeTransaction(*rt, txn::TxnPriority::kLow);
@@ -87,14 +88,15 @@ void FeedbackScheduler::RefillLowWindow() {
 }
 
 uint32_t FeedbackScheduler::ScheduleAtNormalPriority(uint32_t n) {
+  if (paused()) return 0;
   uint32_t scheduled = 0;
   // Submit the densest pending transactions at normal priority — the
   // ranked order of Algorithm 1.
   while (scheduled < n) {
-    RepartitionTxn* rt = env_.registry->NextPending();
+    RepartitionTxn* rt = env_.registry->NextPending(Now());
     if (rt == nullptr) break;
+    if (!SubmitPending(rt, txn::TxnPriority::kNormal)) break;
     scheduled_work_since_tick_ += rt->cost;
-    SubmitPending(rt, txn::TxnPriority::kNormal);
     ++scheduled;
     ++submitted_normal_priority_total_;
   }
@@ -165,5 +167,7 @@ void FeedbackScheduler::OnTxnComplete(const txn::Transaction& t) {
     RefillLowWindow();
   }
 }
+
+void FeedbackScheduler::OnResume() { RefillLowWindow(); }
 
 }  // namespace soap::core

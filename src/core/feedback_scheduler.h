@@ -37,6 +37,7 @@ class FeedbackScheduler : public Scheduler {
   void OnPlanReady() override;
   void OnIntervalTick(const IntervalStats& stats) override;
   void OnTxnComplete(const txn::Transaction& t) override;
+  void OnResume() override;
   /// Exports the controller internals: soap_pid_{p,i,d}_term,
   /// soap_pid_error, soap_pid_output (gauges, refreshed each tick) and
   /// soap_feedback_scheduled_txns_total / soap_feedback_promotions_total.

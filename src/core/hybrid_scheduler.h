@@ -44,6 +44,14 @@ class HybridScheduler : public Scheduler {
     feedback_.BindMetrics(registry);
     piggyback_.BindMetrics(registry);
   }
+  // The children hold their own pause flags; forward so a fault-layer
+  // pause reaches both modules.
+  void set_paused(bool paused) override {
+    Scheduler::set_paused(paused);
+    feedback_.set_paused(paused);
+    piggyback_.set_paused(paused);
+  }
+  void OnResume() override { feedback_.OnResume(); }
 
   const FeedbackScheduler& feedback() const { return feedback_; }
   const PiggybackScheduler& piggyback() const { return piggyback_; }

@@ -3,9 +3,10 @@
 namespace soap::core {
 
 void PiggybackScheduler::OnNormalTxnSubmission(txn::Transaction* t) {
+  if (paused()) return;
   if (t->is_repartition || t->has_piggyback()) return;
   RepartitionTxn* rt =
-      env_.registry->FindPendingByTemplate(t->template_id);
+      env_.registry->FindPendingByTemplate(t->template_id, Now());
   if (rt == nullptr) return;
   if (rt->ops.size() > config_.max_ops_per_carrier) return;
   RepartitionRegistry::InjectInto(*rt, t);

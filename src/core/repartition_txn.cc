@@ -41,6 +41,22 @@ RepartitionTxn* RepartitionRegistry::LastPending() {
   return Get(pending_.rbegin()->rid);
 }
 
+RepartitionTxn* RepartitionRegistry::NextPending(SimTime now) {
+  for (const RankOrder& rank : pending_) {
+    RepartitionTxn* rt = Get(rank.rid);
+    if (rt->not_before <= now) return rt;
+  }
+  return nullptr;
+}
+
+RepartitionTxn* RepartitionRegistry::LastPending(SimTime now) {
+  for (auto it = pending_.rbegin(); it != pending_.rend(); ++it) {
+    RepartitionTxn* rt = Get(it->rid);
+    if (rt->not_before <= now) return rt;
+  }
+  return nullptr;
+}
+
 RepartitionTxn* RepartitionRegistry::FindPendingByTemplate(
     uint32_t template_id) {
   auto it = by_template_.find(template_id);
@@ -49,6 +65,13 @@ RepartitionTxn* RepartitionRegistry::FindPendingByTemplate(
   if (rt == nullptr || rt->state != RepartitionTxn::State::kPending) {
     return nullptr;
   }
+  return rt;
+}
+
+RepartitionTxn* RepartitionRegistry::FindPendingByTemplate(
+    uint32_t template_id, SimTime now) {
+  RepartitionTxn* rt = FindPendingByTemplate(template_id);
+  if (rt == nullptr || rt->not_before > now) return nullptr;
   return rt;
 }
 

@@ -39,6 +39,11 @@ struct RepartitionTxn {
   /// piggyback carrier), 0 when pending/done.
   txn::TxnId carrier = 0;
   uint32_t attempts = 0;
+  /// Fault-aware retry state: a failed attempt re-ranks the transaction
+  /// into the pending list but holds it back until `not_before` (set by
+  /// the repartitioner's exponential backoff; 0 = immediately eligible).
+  SimTime not_before = 0;
+  uint32_t failures = 0;
 };
 
 /// Owns the ranked list; hands out pending transactions in density order
@@ -72,6 +77,12 @@ class RepartitionRegistry {
   /// The pending repartition transaction benefiting `template_id`
   /// (Algorithm 2's TRep lookup); nullptr if none or not pending.
   RepartitionTxn* FindPendingByTemplate(uint32_t template_id);
+
+  /// Backoff-aware variants: skip pending transactions still held back by
+  /// a retry delay (rt->not_before > now).
+  RepartitionTxn* NextPending(SimTime now);
+  RepartitionTxn* LastPending(SimTime now);
+  RepartitionTxn* FindPendingByTemplate(uint32_t template_id, SimTime now);
 
   /// State transitions. MarkPending is the abort path (resubmission).
   void MarkSubmitted(uint64_t rid, txn::TxnId carrier);

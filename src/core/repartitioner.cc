@@ -27,6 +27,7 @@ Repartitioner::Repartitioner(cluster::Cluster* cluster,
   env.tm = tm_;
   env.registry = &registry_;
   env.cost_model = &cost_model_;
+  env.sim = cluster->simulator();
   scheduler_->Bind(env);
 }
 
@@ -52,11 +53,14 @@ void Repartitioner::OnTxnComplete(const txn::Transaction& t) {
         registry_.MarkDone(rid);
       } else {
         registry_.MarkPending(rid);
-        if (!t.is_repartition) ResubmitStripped(t);  // Algorithm 2, l.14-15
+        if (fault_aware_) ApplyBackoff(rt);
+        if (!t.is_repartition && !shutting_down_) {
+          ResubmitStripped(t);  // Algorithm 2, l.14-15
+        }
       }
     }
   }
-  scheduler_->OnTxnComplete(t);
+  if (!shutting_down_) scheduler_->OnTxnComplete(t);
 }
 
 void Repartitioner::ResubmitStripped(const txn::Transaction& t) {
@@ -126,6 +130,42 @@ bool Repartitioner::FinishRound() {
   active_ = false;
   registry_.Init({});
   return true;
+}
+
+void Repartitioner::EnableFaultHandling(uint64_t seed) {
+  fault_aware_ = true;
+  backoff_rng_ = Rng(seed);
+}
+
+void Repartitioner::OnNodeCrash(uint32_t node) {
+  if (!fault_aware_) return;
+  down_nodes_.insert(node);
+  scheduler_->set_paused(true);
+}
+
+void Repartitioner::OnNodeRestart(uint32_t node) {
+  if (!fault_aware_) return;
+  down_nodes_.erase(node);
+  if (!down_nodes_.empty() || shutting_down_) return;
+  scheduler_->set_paused(false);
+  if (active_ && !registry_.AllDone()) scheduler_->OnResume();
+}
+
+void Repartitioner::BeginShutdown() {
+  shutting_down_ = true;
+  scheduler_->set_paused(true);
+}
+
+void Repartitioner::ApplyBackoff(RepartitionTxn* rt) {
+  ++rt->failures;
+  Duration d = backoff_base_;
+  for (uint32_t i = 1; i < rt->failures && d < backoff_cap_; ++i) d *= 2;
+  if (d > backoff_cap_) d = backoff_cap_;
+  d += static_cast<Duration>(backoff_rng_.NextUint64(
+      static_cast<uint64_t>(backoff_base_ / 4 + 1)));
+  const SimTime now = cluster_->simulator()->Now();
+  rt->not_before = now + d;
+  ++backoffs_;
 }
 
 bool Repartitioner::MaybeStartRepartitioning() {

@@ -9,9 +9,11 @@
 #define SOAP_CORE_REPARTITIONER_H_
 
 #include <memory>
+#include <set>
 
 #include "src/cluster/cluster.h"
 #include "src/cluster/transaction_manager.h"
+#include "src/common/random.h"
 #include "src/core/repartition_txn.h"
 #include "src/core/scheduler.h"
 #include "src/core/txn_packager.h"
@@ -66,6 +68,28 @@ class Repartitioner {
   /// Starts only if the optimizer's performance estimate warrants it.
   bool MaybeStartRepartitioning();
 
+  /// Turns on the self-healing deployment behavior: exponential backoff
+  /// for aborted repartition/carrier transactions and pause/resume of the
+  /// scheduler around node crashes. Off by default so fault-free runs
+  /// stay byte-identical.
+  void EnableFaultHandling(uint64_t seed);
+  /// Backoff parameters for aborted repartition transactions (defaults
+  /// 500ms doubling, capped at 30s).
+  void set_backoff(Duration base, Duration cap) {
+    backoff_base_ = base;
+    backoff_cap_ = cap;
+  }
+  /// A node went down: pause deployment until every down node recovered.
+  void OnNodeCrash(uint32_t node);
+  /// A node finished WAL replay; resumes the scheduler once no node is
+  /// down any more.
+  void OnNodeRestart(uint32_t node);
+  /// The experiment is draining; stop resubmitting aborted carriers and
+  /// stop handing new work to the scheduler.
+  void BeginShutdown();
+
+  uint64_t backoffs() const { return backoffs_; }
+
   bool active() const { return active_; }
   bool Finished() const {
     return active_ && registry_.AllDone();
@@ -99,6 +123,10 @@ class Repartitioner {
 
  private:
   void ResubmitStripped(const txn::Transaction& t);
+  /// Pushes rt->not_before out by base * 2^(failures-1) (capped) plus a
+  /// deterministic jitter draw, so a struggling transaction stops churning
+  /// the cluster while the fault persists.
+  void ApplyBackoff(RepartitionTxn* rt);
 
   cluster::Cluster* cluster_;
   cluster::TransactionManager* tm_;
@@ -112,6 +140,14 @@ class Repartitioner {
   PackagingMode packaging_;
   bool active_ = false;
   uint64_t stripped_resubmissions_ = 0;
+  // Fault-handling state; dormant unless EnableFaultHandling ran.
+  bool fault_aware_ = false;
+  bool shutting_down_ = false;
+  std::set<uint32_t> down_nodes_;
+  Rng backoff_rng_{1};
+  Duration backoff_base_ = Millis(500);
+  Duration backoff_cap_ = Seconds(30);
+  uint64_t backoffs_ = 0;
   // Observability hooks; nullptr when disabled.
   obs::Gauge* m_ops_applied_ = nullptr;
   obs::Gauge* m_ops_remaining_ = nullptr;

@@ -6,11 +6,13 @@
 #define SOAP_CORE_SCHEDULER_H_
 
 #include <cstdint>
+#include <limits>
 #include <string_view>
 
 #include "src/cluster/transaction_manager.h"
 #include "src/core/repartition_txn.h"
 #include "src/repartition/cost_model.h"
+#include "src/sim/simulator.h"
 
 namespace soap::core {
 
@@ -48,6 +50,9 @@ struct SchedulerEnv {
   cluster::TransactionManager* tm = nullptr;
   RepartitionRegistry* registry = nullptr;
   const repartition::CostModel* cost_model = nullptr;
+  /// For backoff eligibility checks; may be nullptr (tests), in which
+  /// case every pending transaction is considered eligible.
+  sim::Simulator* sim = nullptr;
 };
 
 class Scheduler {
@@ -84,15 +89,48 @@ class Scheduler {
     return env_.registry != nullptr && env_.registry->AllDone();
   }
 
+  /// Pauses deployment (fault layer: a plan node is down). A paused
+  /// scheduler submits nothing; composite schedulers forward to their
+  /// children.
+  virtual void set_paused(bool paused) { paused_ = paused; }
+  bool paused() const { return paused_; }
+
+  /// All paused nodes recovered; schedulers that only act on external
+  /// events (plan ready, txn complete) use this to restart deployment.
+  virtual void OnResume() {}
+
  protected:
   /// Builds, submits and registers one pending repartition transaction.
-  void SubmitPending(RepartitionTxn* rt, txn::TxnPriority priority) {
+  /// Returns false (submitting nothing) while paused.
+  bool SubmitPending(RepartitionTxn* rt, txn::TxnPriority priority) {
+    if (paused_) return false;
     auto t = RepartitionRegistry::MakeTransaction(*rt, priority);
     const txn::TxnId id = env_.tm->Submit(std::move(t));
     env_.registry->MarkSubmitted(rt->rid, id);
+    return true;
+  }
+
+  /// Submits every currently eligible pending transaction (head-first).
+  /// Returns the number submitted; stops early when paused.
+  size_t SubmitAllPending(txn::TxnPriority priority) {
+    size_t n = 0;
+    while (RepartitionTxn* rt = env_.registry->NextPending(Now())) {
+      if (!SubmitPending(rt, priority)) break;
+      ++n;
+    }
+    return n;
+  }
+
+  /// Current virtual time, or "the end of time" with no simulator bound
+  /// (making every backed-off transaction eligible, i.e. the pre-fault
+  /// behaviour).
+  SimTime Now() const {
+    return env_.sim != nullptr ? env_.sim->Now()
+                               : std::numeric_limits<SimTime>::max();
   }
 
   SchedulerEnv env_;
+  bool paused_ = false;
 };
 
 }  // namespace soap::core

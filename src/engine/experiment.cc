@@ -5,6 +5,7 @@
 
 #include "src/common/histogram.h"
 #include "src/common/logging.h"
+#include "src/fault/fault_injector.h"
 #include "src/workload/trace.h"
 
 namespace soap::engine {
@@ -88,6 +89,77 @@ ExperimentResult Experiment::Run() {
     tracer = std::make_shared<obs::TxnTracer>(tracer_config);
     tm.set_tracer(tracer.get());
     cluster.set_tracer(tracer.get());
+  }
+
+  // --- Fault injection (off unless a spec was given; with no spec the run
+  // schedules no fault events and draws no fault randomness, so it stays
+  // byte-identical to a build without the fault layer).
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (!config_.fault_spec.empty()) {
+    Result<fault::FaultSpec> spec =
+        fault::FaultSpec::Parse(config_.fault_spec);
+    if (!spec.ok()) {
+      SOAP_LOG(kError) << "bad --fault_spec: " << spec.status().ToString();
+      result.audit = spec.status();
+      return result;
+    }
+    // Separate streams for message faults, 2PC jitter and repartition
+    // backoff so changing one spec clause does not shift the others.
+    const uint64_t fseed =
+        spec->seed != 0 ? spec->seed
+                        : config_.seed * 6364136223846793005ULL +
+                              1442695040888963407ULL;
+    injector = std::make_unique<fault::FaultInjector>(&sim, *spec, fseed);
+    cluster.network().set_fault_hooks(injector.get());
+
+    txn::TpcFaultConfig tpc_cfg;
+    tpc_cfg.enabled = true;
+    tpc_cfg.prepare_timeout = spec->tpc.prepare_timeout;
+    tpc_cfg.ack_timeout = spec->tpc.ack_timeout;
+    tpc_cfg.max_resends = spec->tpc.max_resends;
+    tpc_cfg.backoff = spec->tpc.backoff;
+    tpc_cfg.jitter = spec->tpc.jitter;
+    tpc_cfg.seed = fseed ^ 0x9e3779b97f4a7c15ULL;
+    cluster.tpc().EnableFaultHandling(tpc_cfg);
+
+    repartitioner.EnableFaultHandling(fseed ^ 0x2545f4914f6cdd1dULL);
+    repartitioner.set_backoff(spec->retry.base, spec->retry.cap);
+
+    injector->set_on_crash([&](sim::NodeId n) {
+      const auto node = static_cast<uint32_t>(n);
+      cluster.node(node).Crash();
+      cluster.tpc().OnNodeCrash(n);
+      tm.OnNodeCrash(node);
+      repartitioner.OnNodeCrash(node);
+    });
+    injector->set_on_restart([&](sim::NodeId n) {
+      const auto node = static_cast<uint32_t>(n);
+      // The checkpoint image plus the WAL suffix reproduce the committed
+      // table; the replay job charges the node for that scan before it
+      // takes new work.
+      Status s = cluster.storage(node).CrashAndRecover();
+      if (!s.ok()) {
+        SOAP_LOG(kError) << "node " << node
+                         << " recovery failed: " << s.ToString();
+      }
+      const auto wal_records =
+          static_cast<Duration>(cluster.storage(node).wal().size());
+      cluster.node(node).Restart();
+      const Duration replay = config_.cluster.costs.recovery_fixed +
+                              config_.cluster.costs.recovery_per_record *
+                                  wal_records;
+      cluster.node(node).RunJob(
+          replay, cluster::WorkCategory::kExternal,
+          cluster::JobClass::kUrgent, [&, node, replay]() {
+            if (metrics) {
+              metrics->GetHistogram("soap_node_recovery_seconds")
+                  ->Record(replay);
+            }
+            repartitioner.OnNodeRestart(node);
+          });
+    });
+    if (metrics) injector->BindMetrics(metrics.get());
+    injector->Start();
   }
 
   workload::WorkloadGenerator generator(&catalog, config_.seed * 7919 + 13);
@@ -300,7 +372,21 @@ ExperimentResult Experiment::Run() {
       if (!sim.Step()) break;
     }
     result.drained = tm.inflight() == 0 && tm.queue().Empty();
+    if (!result.drained && tm.inflight() == 0) {
+      // Nothing is executing but transactions are still queued (e.g. the
+      // drain cap hit while a node was down). They will never dispatch;
+      // complete their callbacks with an abort so no submitter hangs.
+      repartitioner.BeginShutdown();
+      tm.DrainQueue(txn::AbortReason::kShutdown);
+      result.drained = tm.inflight() == 0 && tm.queue().Empty();
+    }
     result.audit = cluster.CheckConsistency();
+    if (result.audit.ok() && cluster.lock_manager().LockedKeyCount() != 0) {
+      result.audit = Status::Internal(
+          "locks leaked after drain: " +
+          std::to_string(cluster.lock_manager().LockedKeyCount()) +
+          " keys still locked");
+    }
   }
 
   if (!config_.record_trace_path.empty()) {
@@ -316,6 +402,12 @@ ExperimentResult Experiment::Run() {
   result.piggybacked_ops = tm.counters().piggybacked_ops_applied;
   result.counters = tm.counters();
   result.lock_stats = cluster.lock_manager().stats();
+  result.tpc_stats = cluster.tpc().stats();
+  if (injector != nullptr) {
+    result.faults_crashes = injector->stats().crashes;
+    result.faults_msgs_dropped = injector->stats().msgs_dropped;
+    result.faults_msgs_parked = injector->stats().msgs_parked;
+  }
   result.plan_completed = repartitioner.Finished();
   result.end_time = sim.Now();
   result.events_executed = sim.events_executed();
@@ -362,8 +454,21 @@ std::string ExperimentResult::Summary() const {
      << ", aborts[deadlock=" << counters.aborts_deadlock
      << " lock_timeout=" << counters.aborts_lock_timeout
      << " queue_timeout=" << counters.aborts_queue_timeout
-     << " vote=" << counters.aborts_vote << "]"
-     << ", audit=" << audit.ToString();
+     << " vote=" << counters.aborts_vote;
+  if (counters.aborts_node_crash > 0 || counters.aborts_shutdown > 0) {
+    os << " node_crash=" << counters.aborts_node_crash
+       << " shutdown=" << counters.aborts_shutdown;
+  }
+  os << "]";
+  if (faults_crashes > 0 || faults_msgs_dropped > 0 ||
+      faults_msgs_parked > 0) {
+    os << ", faults[crashes=" << faults_crashes
+       << " msgs_dropped=" << faults_msgs_dropped
+       << " msgs_parked=" << faults_msgs_parked
+       << " 2pc_resends=" << tpc_stats.resends
+       << " prepare_timeouts=" << tpc_stats.prepare_timeouts << "]";
+  }
+  os << ", audit=" << audit.ToString();
   return os.str();
 }
 

@@ -17,6 +17,7 @@
 #include "src/core/soap.h"
 #include "src/obs/metrics.h"
 #include "src/obs/txn_tracer.h"
+#include "src/txn/two_phase_commit.h"
 
 namespace soap::engine {
 
@@ -89,6 +90,11 @@ struct ExperimentConfig {
   /// audit storage/routing consistency.
   bool drain_and_audit = true;
   Duration drain_cap = Minutes(30);
+  /// Fault-injection spec (see src/fault/fault_spec.h for the grammar;
+  /// EXPERIMENTS.md "Fault injection" for examples). Empty disables the
+  /// fault layer entirely: the run is byte-identical to one built without
+  /// it.
+  std::string fault_spec;
   ObsOptions obs;
   uint64_t seed = 1;
 };
@@ -115,6 +121,11 @@ struct ExperimentResult {
   uint64_t piggybacked_ops = 0;
   cluster::TmCounters counters;      ///< final cumulative counters
   txn::LockStats lock_stats;
+  /// Fault-layer tallies; all zero unless `fault_spec` was set.
+  uint64_t faults_crashes = 0;
+  uint64_t faults_msgs_dropped = 0;
+  uint64_t faults_msgs_parked = 0;
+  txn::TpcStats tpc_stats;
   Status audit = Status::OK();       ///< end-of-run consistency audit
   bool drained = false;
   bool plan_completed = false;

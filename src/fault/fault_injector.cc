@@ -1,0 +1,143 @@
+#include "src/fault/fault_injector.h"
+
+#include "src/common/logging.h"
+
+namespace soap::fault {
+
+void FaultInjector::Start() {
+  for (const CrashEvent& ev : spec_.crashes) {
+    sim_->At(ev.at, [this, ev] { Crash(ev); });
+  }
+  // Partition windows need no scheduled events: Partitioned() compares the
+  // current virtual time against each window on the message path.
+}
+
+void FaultInjector::Crash(const CrashEvent& ev) {
+  if (down_.count(ev.node) != 0) return;  // already down
+  down_.insert(ev.node);
+  ++stats_.crashes;
+  if (m_crashes_) m_crashes_->Increment();
+  SOAP_LOG(kInfo) << "fault: crashing node " << ev.node << " at t="
+                 << ToSeconds(sim_->Now()) << "s (down "
+                 << ToSeconds(ev.down) << "s)";
+  if (on_crash_) on_crash_(ev.node);
+  if (ev.down > 0) {
+    sim_->After(ev.down, [this, node = ev.node] { Restart(node); });
+  }
+}
+
+void FaultInjector::Restart(sim::NodeId node) {
+  if (down_.erase(node) == 0) return;
+  ++stats_.restarts;
+  if (m_restarts_) m_restarts_->Increment();
+  SOAP_LOG(kInfo) << "fault: restarting node " << node << " at t="
+                 << ToSeconds(sim_->Now()) << "s";
+  if (on_restart_) on_restart_(node);
+  // Redeliver messages parked for this node, in arrival order, shortly
+  // after the restart so they queue behind the recovery replay job.
+  std::vector<std::function<void()>> redeliver;
+  auto it = parked_.begin();
+  while (it != parked_.end()) {
+    if (it->first == node) {
+      redeliver.push_back(std::move(it->second));
+      it = parked_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto& deliver : redeliver) {
+    ++stats_.msgs_redelivered;
+    if (m_redelivered_) m_redelivered_->Increment();
+    sim_->After(Millis(1), std::move(deliver));
+  }
+}
+
+bool FaultInjector::Partitioned(sim::NodeId from, sim::NodeId to) const {
+  const SimTime now = sim_->Now();
+  for (const PartitionEvent& ev : spec_.partitions) {
+    if (now >= ev.at && now < ev.at + ev.duration &&
+        ev.Separates(from, to)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+sim::MsgFate FaultInjector::OnMessage(sim::NodeId from, sim::NodeId to,
+                                      sim::MsgClass cls) {
+  sim::MsgFate fate;
+  // A crashed sender emits nothing; its in-flight work is aborted by the
+  // crash callback, so the message is simply lost.
+  if (down_.count(from) != 0) {
+    fate.action = sim::MsgFate::Action::kDrop;
+    ++stats_.msgs_dropped;
+    if (m_dropped_) m_dropped_->Increment();
+    return fate;
+  }
+  // A down destination parks idempotent control traffic for redelivery at
+  // restart; data transfers fail fast so the sender aborts.
+  if (down_.count(to) != 0) {
+    if (cls == sim::MsgClass::kControl) {
+      fate.action = sim::MsgFate::Action::kPark;
+    } else {
+      fate.action = sim::MsgFate::Action::kDrop;
+      ++stats_.msgs_dropped;
+      if (m_dropped_) m_dropped_->Increment();
+    }
+    return fate;
+  }
+  if (from != to && Partitioned(from, to)) {
+    fate.action = sim::MsgFate::Action::kDrop;
+    ++stats_.msgs_dropped;
+    if (m_dropped_) m_dropped_->Increment();
+    return fate;
+  }
+  for (const MessageRule& rule : spec_.drops) {
+    if (rule.Matches(from, to) && rng_.NextBernoulli(rule.p)) {
+      fate.action = sim::MsgFate::Action::kDrop;
+      ++stats_.msgs_dropped;
+      if (m_dropped_) m_dropped_->Increment();
+      return fate;
+    }
+  }
+  for (const MessageRule& rule : spec_.delays) {
+    if (rule.Matches(from, to) && rng_.NextBernoulli(rule.p)) {
+      fate.extra_delay += rule.add;
+      ++stats_.msgs_delayed;
+    }
+  }
+  if (cls == sim::MsgClass::kControl) {
+    for (const MessageRule& rule : spec_.dups) {
+      if (rule.Matches(from, to) && rng_.NextBernoulli(rule.p)) {
+        fate.duplicate = true;
+        ++stats_.msgs_duplicated;
+        break;
+      }
+    }
+  }
+  return fate;
+}
+
+void FaultInjector::Park(sim::NodeId to, std::function<void()> deliver) {
+  ++stats_.msgs_parked;
+  if (m_parked_) m_parked_->Increment();
+  parked_.emplace_back(to, std::move(deliver));
+}
+
+void FaultInjector::BindMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    m_crashes_ = nullptr;
+    m_restarts_ = nullptr;
+    m_dropped_ = nullptr;
+    m_parked_ = nullptr;
+    m_redelivered_ = nullptr;
+    return;
+  }
+  m_crashes_ = registry->GetCounter("soap_fault_crashes_total");
+  m_restarts_ = registry->GetCounter("soap_fault_restarts_total");
+  m_dropped_ = registry->GetCounter("soap_fault_msgs_dropped_total");
+  m_parked_ = registry->GetCounter("soap_fault_msgs_parked_total");
+  m_redelivered_ = registry->GetCounter("soap_fault_msgs_redelivered_total");
+}
+
+}  // namespace soap::fault

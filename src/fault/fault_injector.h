@@ -1,0 +1,97 @@
+// FaultInjector: executes a FaultSpec against one simulated run. Crashes,
+// restarts and partition windows become ordinary simulator events scheduled
+// up front; per-message fates (drop / delay / duplicate / park) are decided
+// synchronously from Network's send path via the NetworkFaultHooks
+// interface, using a dedicated RNG so the workload's random stream is
+// untouched.
+//
+// Crash/restart sequencing contract (relied on by engine::Experiment):
+//   crash event:   mark node down  -> on_crash callback
+//   restart event: mark node up    -> on_restart callback -> redeliver
+//                  parked messages (they queue behind recovery work)
+//
+// Control messages addressed to a down node are parked (store-and-forward)
+// and redelivered at restart; data messages fail fast so the owning
+// transaction aborts instead of hanging.
+
+#ifndef SOAP_FAULT_FAULT_INJECTOR_H_
+#define SOAP_FAULT_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/fault/fault_spec.h"
+#include "src/obs/metrics.h"
+#include "src/sim/network.h"
+#include "src/sim/simulator.h"
+
+namespace soap::fault {
+
+struct FaultStats {
+  uint64_t crashes = 0;
+  uint64_t restarts = 0;
+  uint64_t msgs_dropped = 0;
+  uint64_t msgs_parked = 0;
+  uint64_t msgs_redelivered = 0;
+  uint64_t msgs_duplicated = 0;
+  uint64_t msgs_delayed = 0;
+};
+
+class FaultInjector : public sim::NetworkFaultHooks {
+ public:
+  FaultInjector(sim::Simulator* sim, FaultSpec spec, uint64_t seed)
+      : sim_(sim), spec_(std::move(spec)), rng_(seed) {}
+
+  /// Invoked right after the node is marked down / back up.
+  void set_on_crash(std::function<void(sim::NodeId)> fn) {
+    on_crash_ = std::move(fn);
+  }
+  void set_on_restart(std::function<void(sim::NodeId)> fn) {
+    on_restart_ = std::move(fn);
+  }
+
+  /// Schedules all crash/restart events from the spec. Call once, before
+  /// Simulator::Run.
+  void Start();
+
+  bool NodeDown(sim::NodeId node) const {
+    return down_.count(node) != 0;
+  }
+
+  // sim::NetworkFaultHooks
+  sim::MsgFate OnMessage(sim::NodeId from, sim::NodeId to,
+                         sim::MsgClass cls) override;
+  void Park(sim::NodeId to, std::function<void()> deliver) override;
+
+  const FaultStats& stats() const { return stats_; }
+
+  /// Publishes fault counters into `registry` (nullptr detaches).
+  void BindMetrics(obs::MetricsRegistry* registry);
+
+ private:
+  void Crash(const CrashEvent& ev);
+  void Restart(sim::NodeId node);
+  bool Partitioned(sim::NodeId from, sim::NodeId to) const;
+
+  sim::Simulator* sim_;
+  FaultSpec spec_;
+  Rng rng_;
+  std::function<void(sim::NodeId)> on_crash_;
+  std::function<void(sim::NodeId)> on_restart_;
+  std::set<sim::NodeId> down_;
+  std::vector<std::pair<sim::NodeId, std::function<void()>>> parked_;
+  FaultStats stats_;
+  obs::Counter* m_crashes_ = nullptr;
+  obs::Counter* m_restarts_ = nullptr;
+  obs::Counter* m_dropped_ = nullptr;
+  obs::Counter* m_parked_ = nullptr;
+  obs::Counter* m_redelivered_ = nullptr;
+};
+
+}  // namespace soap::fault
+
+#endif  // SOAP_FAULT_FAULT_INJECTOR_H_

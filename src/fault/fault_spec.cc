@@ -1,0 +1,312 @@
+#include "src/fault/fault_spec.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+namespace soap::fault {
+
+namespace {
+
+std::vector<std::string> Split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (char c : text) {
+    if (c == sep) {
+      parts.push_back(current);
+      current.clear();
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      current.push_back(c);
+    }
+  }
+  parts.push_back(current);
+  return parts;
+}
+
+Result<Duration> ParseDuration(const std::string& value) {
+  if (value.empty()) return Status::InvalidArgument("empty duration");
+  size_t pos = 0;
+  const long long magnitude = std::strtoll(value.c_str(), nullptr, 10);
+  while (pos < value.size() &&
+         (std::isdigit(static_cast<unsigned char>(value[pos])) ||
+          value[pos] == '-' || value[pos] == '+')) {
+    ++pos;
+  }
+  const std::string suffix = value.substr(pos);
+  if (pos == 0) {
+    return Status::InvalidArgument("bad duration '" + value + "'");
+  }
+  Duration unit = kMicrosecond;
+  if (suffix == "us" || suffix.empty()) {
+    unit = kMicrosecond;
+  } else if (suffix == "ms") {
+    unit = kMillisecond;
+  } else if (suffix == "s") {
+    unit = kSecond;
+  } else if (suffix == "m") {
+    unit = kMinute;
+  } else {
+    return Status::InvalidArgument("bad duration suffix '" + value + "'");
+  }
+  return static_cast<Duration>(magnitude) * unit;
+}
+
+Result<uint64_t> ParseUint(const std::string& value) {
+  if (value.empty() ||
+      !std::isdigit(static_cast<unsigned char>(value[0]))) {
+    return Status::InvalidArgument("bad integer '" + value + "'");
+  }
+  return static_cast<uint64_t>(std::strtoull(value.c_str(), nullptr, 10));
+}
+
+Result<double> ParseDouble(const std::string& value) {
+  char* end = nullptr;
+  const double d = std::strtod(value.c_str(), &end);
+  if (value.empty() || end == value.c_str() || *end != '\0') {
+    return Status::InvalidArgument("bad number '" + value + "'");
+  }
+  return d;
+}
+
+/// "1-3" into an unordered edge.
+Status ParseEdge(const std::string& value, MessageRule* rule) {
+  const std::vector<std::string> ends = Split(value, '-');
+  if (ends.size() != 2) {
+    return Status::InvalidArgument("bad edge '" + value + "' (want a-b)");
+  }
+  Result<uint64_t> a = ParseUint(ends[0]);
+  Result<uint64_t> b = ParseUint(ends[1]);
+  if (!a.ok()) return a.status();
+  if (!b.ok()) return b.status();
+  rule->edge_a = static_cast<int32_t>(*a);
+  rule->edge_b = static_cast<int32_t>(*b);
+  return Status::OK();
+}
+
+/// Key=value pairs of one clause body.
+Result<std::vector<std::pair<std::string, std::string>>> ParsePairs(
+    const std::string& body, const std::string& clause) {
+  std::vector<std::pair<std::string, std::string>> pairs;
+  if (body.empty()) return pairs;
+  for (const std::string& item : Split(body, ',')) {
+    const size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("bad parameter '" + item +
+                                     "' in clause '" + clause + "'");
+    }
+    pairs.emplace_back(item.substr(0, eq), item.substr(eq + 1));
+  }
+  return pairs;
+}
+
+Status UnknownKey(const std::string& key, const std::string& clause) {
+  return Status::InvalidArgument("unknown key '" + key + "' in clause '" +
+                                 clause + "'");
+}
+
+std::string DurationToString(Duration d) {
+  std::ostringstream os;
+  if (d != 0 && d % kSecond == 0) {
+    os << (d / kSecond) << "s";
+  } else if (d != 0 && d % kMillisecond == 0) {
+    os << (d / kMillisecond) << "ms";
+  } else {
+    os << d << "us";
+  }
+  return os.str();
+}
+
+std::string RuleToString(const char* kind, const MessageRule& rule) {
+  std::ostringstream os;
+  os << kind << ":p=" << rule.p;
+  if (rule.add != 0) os << ",add=" << DurationToString(rule.add);
+  if (rule.edge_a >= 0) os << ",edge=" << rule.edge_a << "-" << rule.edge_b;
+  return os.str();
+}
+
+}  // namespace
+
+Result<FaultSpec> FaultSpec::Parse(const std::string& text) {
+  FaultSpec spec;
+  for (const std::string& clause : Split(text, ';')) {
+    if (clause.empty()) continue;
+    const size_t colon = clause.find(':');
+    const std::string kind = clause.substr(0, colon);
+    const std::string body =
+        colon == std::string::npos ? "" : clause.substr(colon + 1);
+
+    if (kind == "seed") {
+      Result<uint64_t> s = ParseUint(body);
+      if (!s.ok()) return s.status();
+      spec.seed = *s;
+      continue;
+    }
+
+    auto pairs = ParsePairs(body, clause);
+    if (!pairs.ok()) return pairs.status();
+
+    if (kind == "crash") {
+      CrashEvent ev;
+      for (const auto& [key, value] : *pairs) {
+        if (key == "node") {
+          Result<uint64_t> n = ParseUint(value);
+          if (!n.ok()) return n.status();
+          ev.node = static_cast<uint32_t>(*n);
+        } else if (key == "at") {
+          Result<Duration> d = ParseDuration(value);
+          if (!d.ok()) return d.status();
+          ev.at = *d;
+        } else if (key == "down") {
+          Result<Duration> d = ParseDuration(value);
+          if (!d.ok()) return d.status();
+          ev.down = *d;
+        } else {
+          return UnknownKey(key, clause);
+        }
+      }
+      spec.crashes.push_back(ev);
+    } else if (kind == "drop" || kind == "delay" || kind == "dup") {
+      MessageRule rule;
+      for (const auto& [key, value] : *pairs) {
+        if (key == "p") {
+          Result<double> p = ParseDouble(value);
+          if (!p.ok()) return p.status();
+          if (*p < 0.0 || *p > 1.0) {
+            return Status::InvalidArgument("probability out of [0,1]: " +
+                                           value);
+          }
+          rule.p = *p;
+        } else if (key == "add" && kind == "delay") {
+          Result<Duration> d = ParseDuration(value);
+          if (!d.ok()) return d.status();
+          rule.add = *d;
+        } else if (key == "edge") {
+          SOAP_RETURN_NOT_OK(ParseEdge(value, &rule));
+        } else {
+          return UnknownKey(key, clause);
+        }
+      }
+      if (kind == "delay" && rule.add <= 0) {
+        return Status::InvalidArgument("delay clause needs add=<duration>");
+      }
+      if (kind == "drop") {
+        spec.drops.push_back(rule);
+      } else if (kind == "delay") {
+        spec.delays.push_back(rule);
+      } else {
+        spec.dups.push_back(rule);
+      }
+    } else if (kind == "partition") {
+      PartitionEvent ev;
+      for (const auto& [key, value] : *pairs) {
+        if (key == "at") {
+          Result<Duration> d = ParseDuration(value);
+          if (!d.ok()) return d.status();
+          ev.at = *d;
+        } else if (key == "for") {
+          Result<Duration> d = ParseDuration(value);
+          if (!d.ok()) return d.status();
+          ev.duration = *d;
+        } else if (key == "group") {
+          for (const std::string& node : Split(value, '-')) {
+            Result<uint64_t> n = ParseUint(node);
+            if (!n.ok()) return n.status();
+            ev.group.push_back(static_cast<uint32_t>(*n));
+          }
+        } else {
+          return UnknownKey(key, clause);
+        }
+      }
+      if (ev.duration <= 0 || ev.group.empty()) {
+        return Status::InvalidArgument(
+            "partition clause needs for=<duration>,group=a-b-...");
+      }
+      spec.partitions.push_back(ev);
+    } else if (kind == "tpc") {
+      for (const auto& [key, value] : *pairs) {
+        if (key == "prepare_to") {
+          Result<Duration> d = ParseDuration(value);
+          if (!d.ok()) return d.status();
+          spec.tpc.prepare_timeout = *d;
+        } else if (key == "ack_to") {
+          Result<Duration> d = ParseDuration(value);
+          if (!d.ok()) return d.status();
+          spec.tpc.ack_timeout = *d;
+        } else if (key == "resends") {
+          Result<uint64_t> n = ParseUint(value);
+          if (!n.ok()) return n.status();
+          spec.tpc.max_resends = static_cast<uint32_t>(*n);
+        } else if (key == "backoff") {
+          Result<double> b = ParseDouble(value);
+          if (!b.ok()) return b.status();
+          spec.tpc.backoff = *b;
+        } else if (key == "jitter") {
+          Result<Duration> d = ParseDuration(value);
+          if (!d.ok()) return d.status();
+          spec.tpc.jitter = *d;
+        } else {
+          return UnknownKey(key, clause);
+        }
+      }
+    } else if (kind == "retry") {
+      for (const auto& [key, value] : *pairs) {
+        if (key == "base") {
+          Result<Duration> d = ParseDuration(value);
+          if (!d.ok()) return d.status();
+          spec.retry.base = *d;
+        } else if (key == "cap") {
+          Result<Duration> d = ParseDuration(value);
+          if (!d.ok()) return d.status();
+          spec.retry.cap = *d;
+        } else {
+          return UnknownKey(key, clause);
+        }
+      }
+    } else {
+      return Status::InvalidArgument("unknown fault clause '" + kind + "'");
+    }
+  }
+  return spec;
+}
+
+std::string FaultSpec::ToString() const {
+  std::ostringstream os;
+  bool first = true;
+  auto sep = [&os, &first]() {
+    if (!first) os << ";";
+    first = false;
+  };
+  for (const CrashEvent& ev : crashes) {
+    sep();
+    os << "crash:node=" << ev.node << ",at=" << DurationToString(ev.at)
+       << ",down=" << DurationToString(ev.down);
+  }
+  for (const MessageRule& rule : drops) {
+    sep();
+    os << RuleToString("drop", rule);
+  }
+  for (const MessageRule& rule : delays) {
+    sep();
+    os << RuleToString("delay", rule);
+  }
+  for (const MessageRule& rule : dups) {
+    sep();
+    os << RuleToString("dup", rule);
+  }
+  for (const PartitionEvent& ev : partitions) {
+    sep();
+    os << "partition:at=" << DurationToString(ev.at)
+       << ",for=" << DurationToString(ev.duration) << ",group=";
+    for (size_t i = 0; i < ev.group.size(); ++i) {
+      if (i > 0) os << "-";
+      os << ev.group[i];
+    }
+  }
+  if (seed != 0) {
+    sep();
+    os << "seed:" << seed;
+  }
+  return os.str();
+}
+
+}  // namespace soap::fault

@@ -1,0 +1,126 @@
+// Fault plan specification: a small parseable grammar describing which
+// failures to inject into one run. The spec is the single determinism
+// boundary of soap::fault — identical (seed, workload, fault_spec) triples
+// produce identical runs, and an empty spec injects nothing at all.
+//
+// Grammar (clauses separated by ';', parameters by ','):
+//
+//   crash:node=2,at=120s,down=15s      crash node 2 at t=120s, restart
+//                                      after 15s (down=0: never restarts)
+//   drop:p=0.01[,edge=1-3]             drop each message with prob. p,
+//                                      optionally only between nodes 1,3
+//   delay:p=0.05,add=10ms[,edge=a-b]   add `add` extra latency with prob. p
+//   dup:p=0.02[,edge=a-b]              duplicate control messages
+//   partition:at=100s,for=20s,group=0-1  cut nodes {0,1} off from the rest
+//                                        for the window [at, at+for)
+//   tpc:prepare_to=3s,ack_to=3s,resends=3,backoff=2.0,jitter=100ms
+//                                      2PC timeout/retry tuning
+//   retry:base=500ms,cap=30s           repartition resubmission backoff
+//   seed:7                             fault RNG seed (default: derived
+//                                      from the experiment seed)
+//
+// Durations accept the suffixes us, ms, s and m; a bare number means
+// microseconds.
+
+#ifndef SOAP_FAULT_FAULT_SPEC_H_
+#define SOAP_FAULT_FAULT_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/time.h"
+
+namespace soap::fault {
+
+/// One scheduled node crash (and optional restart).
+struct CrashEvent {
+  uint32_t node = 0;
+  SimTime at = 0;
+  /// Downtime before the restart fires; 0 means the node never comes back.
+  Duration down = Seconds(15);
+};
+
+/// A probabilistic message rule (drop / duplicate / extra delay). The rule
+/// applies to every message unless an edge restricts it to the unordered
+/// node pair {a, b}.
+struct MessageRule {
+  double p = 0.0;
+  /// Edge restriction; -1 = any node.
+  int32_t edge_a = -1;
+  int32_t edge_b = -1;
+  /// Extra latency for delay rules; unused by drop/dup.
+  Duration add = 0;
+
+  bool Matches(uint32_t from, uint32_t to) const {
+    if (edge_a < 0) return true;
+    const auto a = static_cast<uint32_t>(edge_a);
+    const auto b = static_cast<uint32_t>(edge_b);
+    return (from == a && to == b) || (from == b && to == a);
+  }
+};
+
+/// A transient network partition: during [at, at+duration) messages
+/// between `group` and its complement are cut.
+struct PartitionEvent {
+  SimTime at = 0;
+  Duration duration = 0;
+  std::vector<uint32_t> group;
+
+  bool Separates(uint32_t from, uint32_t to) const {
+    bool from_in = false;
+    bool to_in = false;
+    for (uint32_t n : group) {
+      if (n == from) from_in = true;
+      if (n == to) to_in = true;
+    }
+    return from_in != to_in;
+  }
+};
+
+/// 2PC timeout/retry tuning (consumed by txn::TwoPhaseCommitDriver).
+struct TpcTuning {
+  Duration prepare_timeout = Seconds(3);
+  Duration ack_timeout = Seconds(3);
+  uint32_t max_resends = 3;
+  double backoff = 2.0;
+  Duration jitter = Millis(100);
+};
+
+/// Repartition resubmission backoff tuning (consumed by the Repartitioner).
+struct RetryTuning {
+  Duration base = Millis(500);
+  Duration cap = Seconds(30);
+};
+
+/// The parsed fault plan.
+struct FaultSpec {
+  std::vector<CrashEvent> crashes;
+  std::vector<MessageRule> drops;
+  std::vector<MessageRule> delays;
+  std::vector<MessageRule> dups;
+  std::vector<PartitionEvent> partitions;
+  TpcTuning tpc;
+  RetryTuning retry;
+  /// Explicit fault RNG seed; 0 = derive from the experiment seed.
+  uint64_t seed = 0;
+
+  /// True when the spec injects no faults (tuning-only specs count as
+  /// empty: there is nothing for the tuned machinery to react to).
+  bool empty() const {
+    return crashes.empty() && drops.empty() && delays.empty() &&
+           dups.empty() && partitions.empty();
+  }
+
+  /// Parses the grammar above. Unknown clauses or keys are errors, so a
+  /// typo cannot silently produce a fault-free run.
+  static Result<FaultSpec> Parse(const std::string& text);
+
+  /// Canonical round-trippable rendering (Parse(ToString()) == *this).
+  std::string ToString() const;
+};
+
+}  // namespace soap::fault
+
+#endif  // SOAP_FAULT_FAULT_SPEC_H_

@@ -1,5 +1,7 @@
 #include "src/sim/network.h"
 
+#include <memory>
+
 namespace soap::sim {
 
 Duration Network::NominalLatency(NodeId from, NodeId to,
@@ -10,7 +12,21 @@ Duration Network::NominalLatency(NodeId from, NodeId to,
 }
 
 EventId Network::Send(NodeId from, NodeId to, uint64_t bytes,
-                      std::function<void()> on_delivery) {
+                      std::function<void()> on_delivery, MsgClass cls) {
+  return SendImpl(from, to, bytes, std::move(on_delivery), nullptr, cls);
+}
+
+EventId Network::SendWithFailure(NodeId from, NodeId to, uint64_t bytes,
+                                 std::function<void()> on_delivery,
+                                 std::function<void()> on_drop,
+                                 MsgClass cls) {
+  return SendImpl(from, to, bytes, std::move(on_delivery),
+                  std::move(on_drop), cls);
+}
+
+EventId Network::SendImpl(NodeId from, NodeId to, uint64_t bytes,
+                          std::function<void()> on_delivery,
+                          std::function<void()> on_drop, MsgClass cls) {
   ++messages_sent_;
   bytes_sent_ += bytes;
   Duration delay = NominalLatency(from, to, bytes);
@@ -18,20 +34,74 @@ EventId Network::Send(NodeId from, NodeId to, uint64_t bytes,
     delay += static_cast<Duration>(
         rng_.NextUint64(static_cast<uint64_t>(config_.jitter) + 1));
   }
+
+  MsgFate fate;
+  if (hooks_ != nullptr) fate = hooks_->OnMessage(from, to, cls);
+
   if (m_messages_) {
     m_messages_->Increment();
     m_bytes_->Increment(bytes);
-    m_delivery_seconds_->Record(delay);
-    m_inflight_messages_->Add(1.0);
-    m_inflight_bytes_->Add(static_cast<double>(bytes));
-    return sim_->After(
-        delay, [this, bytes, cb = std::move(on_delivery)]() {
-          m_inflight_messages_->Add(-1.0);
-          m_inflight_bytes_->Add(-static_cast<double>(bytes));
-          cb();
-        });
+    m_delivery_seconds_->Record(delay + fate.extra_delay);
   }
-  return sim_->After(delay, std::move(on_delivery));
+
+  switch (fate.action) {
+    case MsgFate::Action::kDrop:
+      // The sender notices the loss (if it cares) after the nominal
+      // one-way latency — a stand-in for its local failure detector.
+      if (on_drop) return sim_->After(delay, std::move(on_drop));
+      return kInvalidEventId;
+    case MsgFate::Action::kPark:
+      hooks_->Park(to, std::move(on_delivery));
+      return kInvalidEventId;
+    case MsgFate::Action::kDeliver:
+      break;
+  }
+
+  delay += fate.extra_delay;
+  if (fate.duplicate) {
+    // Deliver the copy one base latency later, as if resent immediately.
+    ScheduleDelivery(delay + config_.base_latency, bytes, on_delivery);
+  }
+  return ScheduleDelivery(delay, bytes, std::move(on_delivery));
+}
+
+EventId Network::ScheduleDelivery(Duration delay, uint64_t bytes,
+                                  std::function<void()> cb) {
+  if (m_inflight_messages_ == nullptr) {
+    return sim_->After(delay, std::move(cb));
+  }
+  m_inflight_messages_->Add(1.0);
+  m_inflight_bytes_->Add(static_cast<double>(bytes));
+  // The event id is only known after After() returns, but the wrapped
+  // callback needs it to erase its bookkeeping entry — hence the cell.
+  auto id_cell = std::make_shared<EventId>(kInvalidEventId);
+  EventId id = sim_->After(
+      delay, [this, bytes, id_cell, cb = std::move(cb)]() {
+        m_inflight_messages_->Add(-1.0);
+        m_inflight_bytes_->Add(-static_cast<double>(bytes));
+        inflight_by_event_.erase(*id_cell);
+        cb();
+      });
+  *id_cell = id;
+  inflight_by_event_.emplace(id, bytes);
+  return id;
+}
+
+bool Network::Cancel(EventId id) {
+  if (id == kInvalidEventId) return false;
+  if (m_inflight_messages_ != nullptr) {
+    // With metrics bound, the in-flight map is the authority: an id it no
+    // longer holds already delivered (the simulator's lazy Cancel cannot
+    // tell and would otherwise leak the gauges it already decremented).
+    auto it = inflight_by_event_.find(id);
+    if (it == inflight_by_event_.end()) return false;
+    if (!sim_->Cancel(id)) return false;
+    m_inflight_messages_->Add(-1.0);
+    m_inflight_bytes_->Add(-static_cast<double>(it->second));
+    inflight_by_event_.erase(it);
+    return true;
+  }
+  return sim_->Cancel(id);
 }
 
 void Network::BindMetrics(obs::MetricsRegistry* registry) {
@@ -41,6 +111,7 @@ void Network::BindMetrics(obs::MetricsRegistry* registry) {
     m_inflight_messages_ = nullptr;
     m_inflight_bytes_ = nullptr;
     m_delivery_seconds_ = nullptr;
+    inflight_by_event_.clear();
     return;
   }
   m_messages_ = registry->GetCounter("soap_network_messages_total");

@@ -2,12 +2,18 @@
 // per-byte transfer cost and optional jitter. Message delivery is an event
 // on the shared Simulator, so 2PC rounds and tuple migration really consume
 // virtual time.
+//
+// Fault injection attaches through the NetworkFaultHooks interface below:
+// the hook decides each message's fate (deliver / drop / park until the
+// destination restarts) before the delivery event is scheduled. Without a
+// hook the send path is untouched, so fault-free runs stay byte-identical.
 
 #ifndef SOAP_SIM_NETWORK_H_
 #define SOAP_SIM_NETWORK_H_
 
 #include <cstdint>
 #include <functional>
+#include <unordered_map>
 #include <utility>
 
 #include "src/common/random.h"
@@ -31,6 +37,40 @@ struct NetworkConfig {
   Duration jitter = Micros(200);
 };
 
+/// How fault injection classifies a message. Control messages (2PC votes,
+/// decisions, acks) are idempotent at the receiver and may be parked for a
+/// down node or duplicated; data messages (tuple migration) advance
+/// transaction state exactly once, so they only ever deliver or fail fast.
+enum class MsgClass : uint8_t {
+  kData = 0,
+  kControl = 1,
+};
+
+/// The injector's verdict for one message.
+struct MsgFate {
+  enum class Action : uint8_t {
+    kDeliver,
+    kDrop,
+    /// Store-and-forward: hold the delivery until the destination restarts.
+    kPark,
+  };
+  Action action = Action::kDeliver;
+  Duration extra_delay = 0;
+  /// Deliver a second copy (control messages only).
+  bool duplicate = false;
+};
+
+/// Implemented by fault::FaultInjector. Lives here so soap_sim does not
+/// depend on soap_fault.
+class NetworkFaultHooks {
+ public:
+  virtual ~NetworkFaultHooks() = default;
+  virtual MsgFate OnMessage(NodeId from, NodeId to, MsgClass cls) = 0;
+  /// Takes ownership of a parked delivery; the injector replays it when
+  /// node `to` restarts (or never, if it does not).
+  virtual void Park(NodeId to, std::function<void()> deliver) = 0;
+};
+
 /// Delivers messages between nodes with simulated latency. Also counts
 /// traffic for the experiment reports.
 class Network {
@@ -39,9 +79,25 @@ class Network {
       : sim_(sim), config_(config), rng_(seed) {}
 
   /// Schedules `on_delivery` after the simulated transfer of `bytes` from
-  /// `from` to `to`. Returns the event id (cancellable).
+  /// `from` to `to`. Returns the event id (cancellable). Under fault
+  /// injection a dropped or parked message simply never delivers — use
+  /// SendWithFailure when the sender must learn about the loss.
   EventId Send(NodeId from, NodeId to, uint64_t bytes,
-               std::function<void()> on_delivery);
+               std::function<void()> on_delivery,
+               MsgClass cls = MsgClass::kControl);
+
+  /// Like Send, but a message the injector drops (or addresses to a down
+  /// node) invokes `on_drop` after the same simulated delay instead of
+  /// silently vanishing, so the sender can abort instead of hanging.
+  EventId SendWithFailure(NodeId from, NodeId to, uint64_t bytes,
+                          std::function<void()> on_delivery,
+                          std::function<void()> on_drop,
+                          MsgClass cls = MsgClass::kData);
+
+  /// Cancels an in-flight delivery. Returns false if it already fired or
+  /// was never tracked. Keeps the in-flight gauges balanced when metrics
+  /// are bound (a plain Simulator::Cancel would leak them).
+  bool Cancel(EventId id);
 
   /// The latency such a message would experience (without jitter); used by
   /// cost models.
@@ -50,15 +106,27 @@ class Network {
   uint64_t messages_sent() const { return messages_sent_; }
   uint64_t bytes_sent() const { return bytes_sent_; }
 
+  /// Attaches (or detaches, with nullptr) the fault injector.
+  void set_fault_hooks(NetworkFaultHooks* hooks) { hooks_ = hooks; }
+
   /// Publishes traffic counters and in-flight gauges into `registry`
   /// (nullptr detaches). In-flight tracking wraps the delivery callback,
   /// but only while bound — unbound sends are untouched.
   void BindMetrics(obs::MetricsRegistry* registry);
 
  private:
+  EventId SendImpl(NodeId from, NodeId to, uint64_t bytes,
+                   std::function<void()> on_delivery,
+                   std::function<void()> on_drop, MsgClass cls);
+  /// Schedules a delivery, wrapping it for gauge accounting when metrics
+  /// are bound.
+  EventId ScheduleDelivery(Duration delay, uint64_t bytes,
+                           std::function<void()> cb);
+
   Simulator* sim_;
   NetworkConfig config_;
   Rng rng_;
+  NetworkFaultHooks* hooks_ = nullptr;
   uint64_t messages_sent_ = 0;
   uint64_t bytes_sent_ = 0;
   // Observability hooks; nullptr when disabled.
@@ -67,6 +135,9 @@ class Network {
   obs::Gauge* m_inflight_messages_ = nullptr;
   obs::Gauge* m_inflight_bytes_ = nullptr;
   obs::LatencyHistogram* m_delivery_seconds_ = nullptr;
+  // Outstanding metered deliveries, so Cancel can release their gauge
+  // contribution. Populated only while metrics are bound.
+  std::unordered_map<EventId, uint64_t> inflight_by_event_;
 };
 
 }  // namespace soap::sim

@@ -23,9 +23,13 @@ Status StorageEngine::ApplyErase(uint64_t txn_id, TupleKey key) {
 }
 
 Status StorageEngine::RecoverFromWal() {
-  Table fresh;
-  SOAP_RETURN_NOT_OK(wal_.Replay(&fresh));
-  table_ = std::move(fresh);
+  // The WAL only holds records appended since the last checkpoint
+  // (Checkpoint() truncates it), so replay must start from the
+  // checkpoint image — an empty table would silently lose everything
+  // the truncated prefix covered.
+  Table recovered = checkpoint_;
+  SOAP_RETURN_NOT_OK(wal_.Replay(&recovered));
+  table_ = std::move(recovered);
   return Status::OK();
 }
 

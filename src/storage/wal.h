@@ -32,12 +32,14 @@ class Wal {
   void AppendUpdate(uint64_t txn_id, const Tuple& tuple);
   void AppendErase(uint64_t txn_id, TupleKey key);
 
-  /// Applies all records in order to an empty table, reconstructing the
-  /// engine's committed state.
+  /// Applies all records in order to `table`, rolling the log forward.
+  /// Callers must start from the checkpoint image the log was truncated
+  /// against (StorageEngine::RecoverFromWal and CrashAndRecover do).
   Status Replay(Table* table) const;
 
   /// Drops records older than `keep_last` entries (log truncation after a
-  /// checkpoint). Keeps replay correct only if the caller checkpointed.
+  /// checkpoint). Safe because recovery replays onto the checkpoint
+  /// snapshot, never onto an empty table.
   void Truncate(size_t keep_last);
 
   size_t size() const { return records_.size(); }

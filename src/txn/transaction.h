@@ -77,6 +77,8 @@ enum class AbortReason : uint8_t {
   kQueueTimeout,  // exceeded the transaction deadline while queued
   kVoteAbort,     // a 2PC participant voted no
   kInjected,      // failure injection in tests
+  kNodeCrash,     // a participating node crashed or dropped the data
+  kShutdown,      // still queued when the experiment drained its queue
 };
 
 /// A transaction as seen by the scheduler and execution engine.

@@ -13,8 +13,17 @@ struct TwoPhaseCommitDriver::Instance {
   size_t acks_pending = 0;
   bool vote_abort = false;
   bool phase2_started = false;
+  bool one_phase = false;
+  bool completed = false;
+  bool decision = false;  ///< valid once phase2_started
   SimTime prepare_start = 0;  ///< coordinator-side round timestamps
   SimTime phase2_start = 0;
+  // Fault handling: per-participant dedup (resends and duplicated
+  // messages may produce repeat votes/acks) plus the retry timer.
+  std::vector<char> voted;
+  std::vector<char> acked;
+  uint32_t resends = 0;
+  sim::EventId timer = sim::kInvalidEventId;
 };
 
 void TwoPhaseCommitDriver::BindMetrics(obs::MetricsRegistry* registry) {
@@ -22,6 +31,8 @@ void TwoPhaseCommitDriver::BindMetrics(obs::MetricsRegistry* registry) {
     m_protocols_ = nullptr;
     m_messages_ = nullptr;
     m_vote_aborts_ = nullptr;
+    m_resends_ = nullptr;
+    m_prepare_timeouts_ = nullptr;
     m_prepare_seconds_ = nullptr;
     m_commit_seconds_ = nullptr;
     return;
@@ -29,8 +40,17 @@ void TwoPhaseCommitDriver::BindMetrics(obs::MetricsRegistry* registry) {
   m_protocols_ = registry->GetCounter("soap_2pc_protocols_total");
   m_messages_ = registry->GetCounter("soap_2pc_messages_total");
   m_vote_aborts_ = registry->GetCounter("soap_2pc_vote_aborts_total");
+  m_resends_ = registry->GetCounter("soap_2pc_resends_total");
+  m_prepare_timeouts_ =
+      registry->GetCounter("soap_2pc_prepare_timeouts_total");
   m_prepare_seconds_ = registry->GetHistogram("soap_2pc_prepare_seconds");
   m_commit_seconds_ = registry->GetHistogram("soap_2pc_commit_seconds");
+}
+
+void TwoPhaseCommitDriver::EnableFaultHandling(const TpcFaultConfig& config) {
+  fault_ = config;
+  fault_.enabled = true;
+  fault_rng_ = Rng(config.seed);
 }
 
 void TwoPhaseCommitDriver::Run(TxnId txn_id, sim::NodeId coordinator,
@@ -44,23 +64,17 @@ void TwoPhaseCommitDriver::Run(TxnId txn_id, sim::NodeId coordinator,
   if (participants.size() == 1 && participants[0].node == coordinator) {
     auto inst = std::make_shared<Instance>();
     inst->txn_id = txn_id;
+    inst->coordinator = coordinator;
+    inst->one_phase = true;
     inst->done = std::move(done);
     inst->phase2_start = sim_->Now();
+    if (fault_.enabled) live_[txn_id] = inst;
     if (tracer_ != nullptr && tracer_->Sampled(txn_id)) {
       tracer_->Begin(txn_id, obs::SpanKind::kCommit, inst->phase2_start);
     }
     auto& p = participants[0];
     auto commit = p.commit;
-    commit([this, inst]() {
-      stats_.committed++;
-      if (m_commit_seconds_) {
-        m_commit_seconds_->Record(sim_->Now() - inst->phase2_start);
-      }
-      if (tracer_ != nullptr && tracer_->Sampled(inst->txn_id)) {
-        tracer_->End(inst->txn_id, obs::SpanKind::kCommit, sim_->Now());
-      }
-      inst->done(true);
-    });
+    commit([this, inst]() { Finalize(inst, true); });
     return;
   }
 
@@ -71,23 +85,41 @@ void TwoPhaseCommitDriver::Run(TxnId txn_id, sim::NodeId coordinator,
   inst->done = std::move(done);
   inst->votes_pending = inst->participants.size();
   inst->prepare_start = sim_->Now();
+  if (fault_.enabled) {
+    inst->voted.assign(inst->participants.size(), 0);
+    inst->acked.assign(inst->participants.size(), 0);
+    live_[txn_id] = inst;
+    ArmPrepareTimer(inst);
+  }
   if (tracer_ != nullptr && tracer_->Sampled(txn_id)) {
     tracer_->Begin(txn_id, obs::SpanKind::kPrepare, inst->prepare_start);
   }
+  SendPrepare(inst, /*resend=*/false);
+}
 
+void TwoPhaseCommitDriver::SendPrepare(std::shared_ptr<Instance> inst,
+                                       bool resend) {
   for (size_t i = 0; i < inst->participants.size(); ++i) {
+    if (resend && inst->voted[i]) continue;
     const sim::NodeId node = inst->participants[i].node;
     stats_.messages++;
     if (m_messages_) m_messages_->Increment();
-    network_->Send(coordinator, node, kControlBytes, [this, inst, i]() {
+    network_->Send(inst->coordinator, node, kControlBytes,
+                   [this, inst, i]() {
       // PREPARE delivered: run phase-1 work, then send the vote back.
+      if (inst->completed || inst->phase2_started) return;
       TpcParticipant& p = inst->participants[i];
       p.prepare([this, inst, i](bool vote) {
         const sim::NodeId node = inst->participants[i].node;
         stats_.messages++;
         if (m_messages_) m_messages_->Increment();
         network_->Send(node, inst->coordinator, kControlBytes,
-                       [this, inst, vote]() {
+                       [this, inst, i, vote]() {
+                         if (inst->completed || inst->phase2_started) return;
+                         if (fault_.enabled) {
+                           if (inst->voted[i]) return;
+                           inst->voted[i] = 1;
+                         }
                          if (!vote) inst->vote_abort = true;
                          assert(inst->votes_pending > 0);
                          if (--inst->votes_pending == 0) {
@@ -103,6 +135,7 @@ void TwoPhaseCommitDriver::StartPhase2(std::shared_ptr<Instance> inst,
                                        bool commit) {
   assert(!inst->phase2_started);
   inst->phase2_started = true;
+  inst->decision = commit;
   inst->acks_pending = inst->participants.size();
   inst->phase2_start = sim_->Now();
   if (m_prepare_seconds_) {
@@ -113,37 +146,40 @@ void TwoPhaseCommitDriver::StartPhase2(std::shared_ptr<Instance> inst,
     tracer_->End(inst->txn_id, obs::SpanKind::kPrepare, inst->phase2_start);
     tracer_->Begin(inst->txn_id, obs::SpanKind::kCommit, inst->phase2_start);
   }
+  if (fault_.enabled) {
+    CancelTimer(inst);
+    inst->resends = 0;
+    ArmAckTimer(inst);
+  }
+  SendDecision(inst, /*resend=*/false);
+}
+
+void TwoPhaseCommitDriver::SendDecision(std::shared_ptr<Instance> inst,
+                                        bool resend) {
+  const bool commit = inst->decision;
   for (size_t i = 0; i < inst->participants.size(); ++i) {
+    if (resend && inst->acked[i]) continue;
     const sim::NodeId node = inst->participants[i].node;
     stats_.messages++;
     if (m_messages_) m_messages_->Increment();
     network_->Send(inst->coordinator, node, kControlBytes,
                    [this, inst, i, node, commit]() {
+                     if (inst->completed) return;
                      TpcParticipant& p = inst->participants[i];
-                     auto on_done = [this, inst, node, commit]() {
+                     auto on_done = [this, inst, i, node, commit]() {
                        stats_.messages++;
                        if (m_messages_) m_messages_->Increment();
                        network_->Send(
                            node, inst->coordinator, kControlBytes,
-                           [this, inst, commit]() {
+                           [this, inst, i, commit]() {
+                             if (inst->completed) return;
+                             if (fault_.enabled) {
+                               if (inst->acked[i]) return;
+                               inst->acked[i] = 1;
+                             }
                              assert(inst->acks_pending > 0);
                              if (--inst->acks_pending == 0) {
-                               if (commit) {
-                                 stats_.committed++;
-                               } else {
-                                 stats_.aborted++;
-                               }
-                               if (m_commit_seconds_) {
-                                 m_commit_seconds_->Record(
-                                     sim_->Now() - inst->phase2_start);
-                               }
-                               if (tracer_ != nullptr &&
-                                   tracer_->Sampled(inst->txn_id)) {
-                                 tracer_->End(inst->txn_id,
-                                              obs::SpanKind::kCommit,
-                                              sim_->Now());
-                               }
-                               inst->done(commit);
+                               Finalize(inst, commit);
                              }
                            });
                      };
@@ -153,6 +189,114 @@ void TwoPhaseCommitDriver::StartPhase2(std::shared_ptr<Instance> inst,
                        p.abort(on_done);
                      }
                    });
+  }
+}
+
+void TwoPhaseCommitDriver::Finalize(std::shared_ptr<Instance> inst,
+                                    bool commit) {
+  if (inst->completed) return;
+  inst->completed = true;
+  CancelTimer(inst);
+  if (commit) {
+    stats_.committed++;
+  } else {
+    stats_.aborted++;
+  }
+  if (inst->phase2_started || inst->one_phase) {
+    if (m_commit_seconds_) {
+      m_commit_seconds_->Record(sim_->Now() - inst->phase2_start);
+    }
+    if (tracer_ != nullptr && tracer_->Sampled(inst->txn_id)) {
+      tracer_->End(inst->txn_id, obs::SpanKind::kCommit, sim_->Now());
+    }
+  } else {
+    // Aborted before the decision (coordinator crash): close the prepare
+    // round that never resolved.
+    if (m_prepare_seconds_) {
+      m_prepare_seconds_->Record(sim_->Now() - inst->prepare_start);
+    }
+    if (tracer_ != nullptr && tracer_->Sampled(inst->txn_id)) {
+      tracer_->End(inst->txn_id, obs::SpanKind::kPrepare, sim_->Now());
+    }
+  }
+  if (fault_.enabled) live_.erase(inst->txn_id);
+  inst->done(commit);
+}
+
+void TwoPhaseCommitDriver::OnNodeCrash(sim::NodeId node) {
+  if (!fault_.enabled) return;
+  std::vector<std::shared_ptr<Instance>> victims;
+  for (const auto& [txn_id, inst] : live_) {
+    if (inst->completed) continue;
+    if (inst->coordinator != node) continue;
+    // A decided multi-participant instance keeps its outcome: the
+    // decision is durable and the ack-retry path finishes it. Everything
+    // undecided at the dead coordinator is presumed aborted, including a
+    // one-phase commit whose apply job the crash vaporized.
+    if (!inst->one_phase && inst->phase2_started) continue;
+    victims.push_back(inst);
+  }
+  for (auto& inst : victims) {
+    stats_.coordinator_crash_aborts++;
+    Finalize(inst, false);
+  }
+}
+
+Duration TwoPhaseCommitDriver::BackoffDelay(Duration base,
+                                            uint32_t resends) {
+  double d = static_cast<double>(base);
+  for (uint32_t i = 0; i < resends; ++i) d *= fault_.backoff;
+  Duration delay = static_cast<Duration>(d);
+  if (fault_.jitter > 0) {
+    delay += static_cast<Duration>(
+        fault_rng_.NextUint64(static_cast<uint64_t>(fault_.jitter) + 1));
+  }
+  return delay;
+}
+
+void TwoPhaseCommitDriver::ArmPrepareTimer(std::shared_ptr<Instance> inst) {
+  inst->timer = sim_->After(
+      BackoffDelay(fault_.prepare_timeout, inst->resends), [this, inst]() {
+        if (inst->completed || inst->phase2_started) return;
+        if (inst->resends < fault_.max_resends) {
+          ++inst->resends;
+          stats_.resends++;
+          if (m_resends_) m_resends_->Increment();
+          SendPrepare(inst, /*resend=*/true);
+          ArmPrepareTimer(inst);
+        } else {
+          // Votes are still missing after every retry: presume abort and
+          // tell the reachable participants to roll back.
+          stats_.prepare_timeouts++;
+          if (m_prepare_timeouts_) m_prepare_timeouts_->Increment();
+          StartPhase2(inst, false);
+        }
+      });
+}
+
+void TwoPhaseCommitDriver::ArmAckTimer(std::shared_ptr<Instance> inst) {
+  inst->timer = sim_->After(
+      BackoffDelay(fault_.ack_timeout, inst->resends), [this, inst]() {
+        if (inst->completed) return;
+        if (inst->resends < fault_.max_resends) {
+          ++inst->resends;
+          stats_.resends++;
+          if (m_resends_) m_resends_->Increment();
+          SendDecision(inst, /*resend=*/true);
+          ArmAckTimer(inst);
+        } else {
+          // The decision stands whether or not every ack arrived; missing
+          // applies ride on messages parked for the down node.
+          stats_.ack_giveups++;
+          Finalize(inst, inst->decision);
+        }
+      });
+}
+
+void TwoPhaseCommitDriver::CancelTimer(std::shared_ptr<Instance> inst) {
+  if (inst->timer != sim::kInvalidEventId) {
+    sim_->Cancel(inst->timer);
+    inst->timer = sim::kInvalidEventId;
   }
 }
 

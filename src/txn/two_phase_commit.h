@@ -6,15 +6,27 @@
 //   coordinator --COMMIT/ABORT--> each participant --ACK--> coordinator
 //
 // matching the XA flow the paper's prototype drives through Bitronix.
+//
+// With fault handling enabled (EnableFaultHandling) the driver survives
+// lost messages and dead nodes: a prepare round that stalls is retried
+// with exponential backoff and finally resolved by presumed abort; a
+// decision round is re-sent to unacknowledged participants and eventually
+// finalized regardless (the decision is durable once made); a coordinator
+// crash aborts its undecided instances. Votes, acks and participant
+// applies are deduplicated so resends and duplicated messages are safe.
+// None of this machinery schedules events or draws randomness unless
+// enabled, keeping fault-free runs byte-identical.
 
 #ifndef SOAP_TXN_TWO_PHASE_COMMIT_H_
 #define SOAP_TXN_TWO_PHASE_COMMIT_H_
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <vector>
 
+#include "src/common/random.h"
 #include "src/obs/metrics.h"
 #include "src/obs/txn_tracer.h"
 #include "src/sim/network.h"
@@ -24,7 +36,10 @@
 namespace soap::txn {
 
 /// One participant's hooks. Each hook receives a continuation it must call
-/// exactly once when its (virtual-time) work finishes.
+/// exactly once when its (virtual-time) work finishes. Under fault
+/// injection a hook may be re-invoked by a message resend; the driver
+/// deduplicates the resulting votes/acks, and hook effects must be
+/// idempotent (the transaction manager's are).
 struct TpcParticipant {
   sim::NodeId node = 0;
   /// Performs phase-1 work, then calls `vote(true)` to vote commit or
@@ -36,12 +51,30 @@ struct TpcParticipant {
   std::function<void(std::function<void()> ack)> abort;
 };
 
-/// Statistics for reports.
+/// Statistics for reports. Every protocol ends exactly once:
+/// protocols_run == committed + aborted holds after the run drains.
 struct TpcStats {
   uint64_t protocols_run = 0;
   uint64_t committed = 0;
   uint64_t aborted = 0;
   uint64_t messages = 0;
+  // Fault-handling outcomes (zero in fault-free runs).
+  uint64_t resends = 0;
+  uint64_t prepare_timeouts = 0;
+  uint64_t ack_giveups = 0;
+  uint64_t coordinator_crash_aborts = 0;
+};
+
+/// Timeout/retry policy; `enabled == false` (the default) turns the whole
+/// fault path off.
+struct TpcFaultConfig {
+  bool enabled = false;
+  Duration prepare_timeout = Seconds(3);
+  Duration ack_timeout = Seconds(3);
+  uint32_t max_resends = 3;
+  double backoff = 2.0;
+  Duration jitter = Millis(100);
+  uint64_t seed = 0x5eed;
 };
 
 /// Runs 2PC instances. Stateless between instances apart from stats; each
@@ -63,6 +96,19 @@ class TwoPhaseCommitDriver {
            std::vector<TpcParticipant> participants,
            std::function<void(bool committed)> done);
 
+  /// Turns on timeout/retry handling for all subsequent instances.
+  void EnableFaultHandling(const TpcFaultConfig& config);
+
+  /// Reacts to a node crash: undecided instances coordinated at `node`
+  /// (including one-phase commits running there) abort immediately —
+  /// presumed abort, since the dead coordinator can no longer decide.
+  /// Decided instances keep their outcome and finish via the ack-retry
+  /// path. No-op unless fault handling is enabled.
+  void OnNodeCrash(sim::NodeId node);
+
+  /// Live (unfinished) protocol instances; 0 after a clean drain.
+  size_t live_instances() const { return live_.size(); }
+
   const TpcStats& stats() const { return stats_; }
 
   /// Publishes protocol counters and per-round latency histograms
@@ -77,15 +123,31 @@ class TwoPhaseCommitDriver {
  private:
   struct Instance;
   void StartPhase2(std::shared_ptr<Instance> inst, bool commit);
+  void SendPrepare(std::shared_ptr<Instance> inst, bool resend);
+  void SendDecision(std::shared_ptr<Instance> inst, bool resend);
+  /// Completes the instance exactly once: stats, metrics, tracer span,
+  /// `done`. Safe to call from any path; later calls are ignored.
+  void Finalize(std::shared_ptr<Instance> inst, bool commit);
+  void ArmPrepareTimer(std::shared_ptr<Instance> inst);
+  void ArmAckTimer(std::shared_ptr<Instance> inst);
+  void CancelTimer(std::shared_ptr<Instance> inst);
+  Duration BackoffDelay(Duration base, uint32_t resends);
 
   sim::Simulator* sim_;
   sim::Network* network_;
   TpcStats stats_;
+  TpcFaultConfig fault_;
+  Rng fault_rng_{0x5eed};
+  /// Unfinished instances, for OnNodeCrash and drain checks. Populated
+  /// only while fault handling is enabled (ordered for determinism).
+  std::map<TxnId, std::shared_ptr<Instance>> live_;
   obs::TxnTracer* tracer_ = nullptr;
   // Observability hooks; nullptr when disabled.
   obs::Counter* m_protocols_ = nullptr;
   obs::Counter* m_messages_ = nullptr;
   obs::Counter* m_vote_aborts_ = nullptr;
+  obs::Counter* m_resends_ = nullptr;
+  obs::Counter* m_prepare_timeouts_ = nullptr;
   obs::LatencyHistogram* m_prepare_seconds_ = nullptr;
   obs::LatencyHistogram* m_commit_seconds_ = nullptr;
 };

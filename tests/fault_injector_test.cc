@@ -1,0 +1,180 @@
+#include "src/fault/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/network.h"
+#include "src/sim/simulator.h"
+
+namespace soap::fault {
+namespace {
+
+FaultSpec MustParse(const std::string& text) {
+  Result<FaultSpec> spec = FaultSpec::Parse(text);
+  EXPECT_TRUE(spec.ok()) << spec.status().ToString();
+  return *spec;
+}
+
+TEST(FaultInjectorTest, CrashAndRestartFireAtScheduledTimes) {
+  sim::Simulator sim;
+  FaultInjector inj(&sim, MustParse("crash:node=2,at=10s,down=5s"), 1);
+  SimTime crashed_at = -1;
+  SimTime restarted_at = -1;
+  inj.set_on_crash([&](sim::NodeId n) {
+    EXPECT_EQ(n, 2u);
+    EXPECT_TRUE(inj.NodeDown(2));
+    crashed_at = sim.Now();
+  });
+  inj.set_on_restart([&](sim::NodeId n) {
+    EXPECT_EQ(n, 2u);
+    EXPECT_FALSE(inj.NodeDown(2));
+    restarted_at = sim.Now();
+  });
+  inj.Start();
+  sim.Run();
+  EXPECT_EQ(crashed_at, Seconds(10));
+  EXPECT_EQ(restarted_at, Seconds(15));
+  EXPECT_EQ(inj.stats().crashes, 1u);
+  EXPECT_EQ(inj.stats().restarts, 1u);
+}
+
+TEST(FaultInjectorTest, DownZeroNeverRestarts) {
+  sim::Simulator sim;
+  FaultInjector inj(&sim, MustParse("crash:node=1,at=1s,down=0"), 1);
+  inj.Start();
+  sim.Run();
+  EXPECT_TRUE(inj.NodeDown(1));
+  EXPECT_EQ(inj.stats().restarts, 0u);
+}
+
+TEST(FaultInjectorTest, MessagesFromDownNodeAreDropped) {
+  sim::Simulator sim;
+  FaultInjector inj(&sim, MustParse("crash:node=0,at=0,down=0"), 1);
+  inj.Start();
+  sim.Run();
+  sim::MsgFate fate = inj.OnMessage(0, 1, sim::MsgClass::kControl);
+  EXPECT_EQ(fate.action, sim::MsgFate::Action::kDrop);
+}
+
+TEST(FaultInjectorTest, ControlToDownNodeParksDataDrops) {
+  sim::Simulator sim;
+  FaultInjector inj(&sim, MustParse("crash:node=3,at=0,down=0"), 1);
+  inj.Start();
+  sim.Run();
+  EXPECT_EQ(inj.OnMessage(1, 3, sim::MsgClass::kControl).action,
+            sim::MsgFate::Action::kPark);
+  EXPECT_EQ(inj.OnMessage(1, 3, sim::MsgClass::kData).action,
+            sim::MsgFate::Action::kDrop);
+}
+
+TEST(FaultInjectorTest, ParkedDeliveriesReplayAfterRestartInOrder) {
+  sim::Simulator sim;
+  FaultInjector inj(&sim, MustParse("crash:node=2,at=1s,down=4s"), 1);
+  std::vector<int> delivered;
+  inj.set_on_crash([&](sim::NodeId) {
+    // While down, park two control deliveries.
+    inj.Park(2, [&] { delivered.push_back(1); });
+    inj.Park(2, [&] { delivered.push_back(2); });
+  });
+  SimTime restarted_at = -1;
+  inj.set_on_restart([&](sim::NodeId) { restarted_at = sim.Now(); });
+  inj.Start();
+  sim.Run();
+  ASSERT_EQ(delivered.size(), 2u);
+  EXPECT_EQ(delivered[0], 1);
+  EXPECT_EQ(delivered[1], 2);
+  EXPECT_EQ(restarted_at, Seconds(5));
+  EXPECT_EQ(inj.stats().msgs_parked, 2u);
+  EXPECT_EQ(inj.stats().msgs_redelivered, 2u);
+}
+
+TEST(FaultInjectorTest, DropRuleIsProbabilisticAndDeterministic) {
+  auto count_drops = [](uint64_t seed) {
+    sim::Simulator sim;
+    FaultInjector inj(&sim, MustParse("drop:p=0.5"), seed);
+    inj.Start();
+    int drops = 0;
+    for (int i = 0; i < 1000; ++i) {
+      if (inj.OnMessage(0, 1, sim::MsgClass::kControl).action ==
+          sim::MsgFate::Action::kDrop) {
+        ++drops;
+      }
+    }
+    return drops;
+  };
+  const int a = count_drops(7);
+  EXPECT_EQ(a, count_drops(7));   // same seed, same stream
+  EXPECT_GT(a, 350);              // p=0.5 over 1000 draws
+  EXPECT_LT(a, 650);
+}
+
+TEST(FaultInjectorTest, EdgeRestrictedDropLeavesOtherEdgesAlone) {
+  sim::Simulator sim;
+  FaultInjector inj(&sim, MustParse("drop:p=1.0,edge=1-3"), 7);
+  inj.Start();
+  EXPECT_EQ(inj.OnMessage(1, 3, sim::MsgClass::kControl).action,
+            sim::MsgFate::Action::kDrop);
+  EXPECT_EQ(inj.OnMessage(3, 1, sim::MsgClass::kControl).action,
+            sim::MsgFate::Action::kDrop);
+  EXPECT_EQ(inj.OnMessage(0, 2, sim::MsgClass::kControl).action,
+            sim::MsgFate::Action::kDeliver);
+}
+
+TEST(FaultInjectorTest, PartitionCutsCrossGroupMessagesDuringWindow) {
+  sim::Simulator sim;
+  FaultInjector inj(&sim,
+                    MustParse("partition:at=10s,for=20s,group=0-1"), 1);
+  inj.Start();
+  // Before the window: delivered.
+  EXPECT_EQ(inj.OnMessage(0, 2, sim::MsgClass::kControl).action,
+            sim::MsgFate::Action::kDeliver);
+  sim.RunUntil(Seconds(15));
+  // Inside: cross-group cut, intra-group fine.
+  EXPECT_EQ(inj.OnMessage(0, 2, sim::MsgClass::kControl).action,
+            sim::MsgFate::Action::kDrop);
+  EXPECT_EQ(inj.OnMessage(0, 1, sim::MsgClass::kControl).action,
+            sim::MsgFate::Action::kDeliver);
+  EXPECT_EQ(inj.OnMessage(2, 4, sim::MsgClass::kControl).action,
+            sim::MsgFate::Action::kDeliver);
+  sim.RunUntil(Seconds(31));
+  // After: healed.
+  EXPECT_EQ(inj.OnMessage(0, 2, sim::MsgClass::kControl).action,
+            sim::MsgFate::Action::kDeliver);
+}
+
+TEST(FaultInjectorTest, DelayRuleAddsLatencyDupOnlyDuplicatesControl) {
+  sim::Simulator sim;
+  FaultInjector inj(&sim, MustParse("delay:p=1.0,add=10ms;dup:p=1.0"), 1);
+  inj.Start();
+  sim::MsgFate control = inj.OnMessage(0, 1, sim::MsgClass::kControl);
+  EXPECT_EQ(control.action, sim::MsgFate::Action::kDeliver);
+  EXPECT_EQ(control.extra_delay, Millis(10));
+  EXPECT_TRUE(control.duplicate);
+  sim::MsgFate data = inj.OnMessage(0, 1, sim::MsgClass::kData);
+  EXPECT_FALSE(data.duplicate);  // data is exactly-once
+}
+
+// End-to-end through Network: a dropped data message takes the on_drop
+// path; a duplicated control message delivers twice.
+TEST(FaultInjectorTest, NetworkIntegration) {
+  sim::Simulator sim;
+  sim::NetworkConfig nc;
+  nc.jitter = 0;
+  sim::Network net(&sim, nc);
+  FaultInjector inj(&sim, MustParse("drop:p=1.0,edge=0-1;dup:p=1.0"), 1);
+  net.set_fault_hooks(&inj);
+  inj.Start();
+  int delivered = 0;
+  int dropped = 0;
+  net.SendWithFailure(0, 1, 64, [&] { ++delivered; }, [&] { ++dropped; });
+  int dup_delivered = 0;
+  net.Send(2, 3, 64, [&] { ++dup_delivered; });
+  sim.Run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(dropped, 1);
+  EXPECT_EQ(dup_delivered, 2);
+  EXPECT_EQ(inj.stats().msgs_dropped, 1u);
+  EXPECT_EQ(inj.stats().msgs_duplicated, 1u);
+}
+
+}  // namespace
+}  // namespace soap::fault

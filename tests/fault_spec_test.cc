@@ -1,0 +1,135 @@
+#include "src/fault/fault_spec.h"
+
+#include <gtest/gtest.h>
+
+namespace soap::fault {
+namespace {
+
+TEST(FaultSpecTest, EmptyStringParsesToEmptySpec) {
+  Result<FaultSpec> spec = FaultSpec::Parse("");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_TRUE(spec->empty());
+  EXPECT_EQ(spec->ToString(), "");
+}
+
+TEST(FaultSpecTest, ParsesCrashClause) {
+  Result<FaultSpec> spec = FaultSpec::Parse("crash:node=2,at=120s,down=15s");
+  ASSERT_TRUE(spec.ok());
+  ASSERT_EQ(spec->crashes.size(), 1u);
+  EXPECT_EQ(spec->crashes[0].node, 2u);
+  EXPECT_EQ(spec->crashes[0].at, Seconds(120));
+  EXPECT_EQ(spec->crashes[0].down, Seconds(15));
+  EXPECT_FALSE(spec->empty());
+}
+
+TEST(FaultSpecTest, CrashDownZeroMeansNoRestart) {
+  Result<FaultSpec> spec = FaultSpec::Parse("crash:node=0,at=5s,down=0");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->crashes[0].down, 0);
+}
+
+TEST(FaultSpecTest, ParsesDropWithEdge) {
+  Result<FaultSpec> spec = FaultSpec::Parse("drop:p=0.01,edge=1-3");
+  ASSERT_TRUE(spec.ok());
+  ASSERT_EQ(spec->drops.size(), 1u);
+  EXPECT_DOUBLE_EQ(spec->drops[0].p, 0.01);
+  EXPECT_TRUE(spec->drops[0].Matches(1, 3));
+  EXPECT_TRUE(spec->drops[0].Matches(3, 1));  // unordered pair
+  EXPECT_FALSE(spec->drops[0].Matches(1, 2));
+}
+
+TEST(FaultSpecTest, ParsesDelayAndDup) {
+  Result<FaultSpec> spec =
+      FaultSpec::Parse("delay:p=0.05,add=10ms;dup:p=0.02");
+  ASSERT_TRUE(spec.ok());
+  ASSERT_EQ(spec->delays.size(), 1u);
+  EXPECT_EQ(spec->delays[0].add, Millis(10));
+  ASSERT_EQ(spec->dups.size(), 1u);
+  EXPECT_DOUBLE_EQ(spec->dups[0].p, 0.02);
+}
+
+TEST(FaultSpecTest, ParsesPartition) {
+  Result<FaultSpec> spec =
+      FaultSpec::Parse("partition:at=100s,for=20s,group=0-1");
+  ASSERT_TRUE(spec.ok());
+  ASSERT_EQ(spec->partitions.size(), 1u);
+  const PartitionEvent& ev = spec->partitions[0];
+  EXPECT_EQ(ev.at, Seconds(100));
+  EXPECT_EQ(ev.duration, Seconds(20));
+  EXPECT_TRUE(ev.Separates(0, 2));
+  EXPECT_TRUE(ev.Separates(4, 1));
+  EXPECT_FALSE(ev.Separates(0, 1));  // both inside the group
+  EXPECT_FALSE(ev.Separates(2, 3));  // both outside
+}
+
+TEST(FaultSpecTest, ParsesTuningClauses) {
+  Result<FaultSpec> spec = FaultSpec::Parse(
+      "tpc:prepare_to=1s,ack_to=2s,resends=5,backoff=1.5,jitter=50ms;"
+      "retry:base=250ms,cap=10s;seed:7");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->tpc.prepare_timeout, Seconds(1));
+  EXPECT_EQ(spec->tpc.ack_timeout, Seconds(2));
+  EXPECT_EQ(spec->tpc.max_resends, 5u);
+  EXPECT_DOUBLE_EQ(spec->tpc.backoff, 1.5);
+  EXPECT_EQ(spec->tpc.jitter, Millis(50));
+  EXPECT_EQ(spec->retry.base, Millis(250));
+  EXPECT_EQ(spec->retry.cap, Seconds(10));
+  EXPECT_EQ(spec->seed, 7u);
+  // Tuning without any fault clause injects nothing.
+  EXPECT_TRUE(spec->empty());
+}
+
+TEST(FaultSpecTest, DurationSuffixes) {
+  Result<FaultSpec> spec =
+      FaultSpec::Parse("crash:node=0,at=1m,down=500000");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->crashes[0].at, Minutes(1));
+  EXPECT_EQ(spec->crashes[0].down, Micros(500000));  // bare = microseconds
+}
+
+TEST(FaultSpecTest, RoundTripsThroughToString) {
+  const std::string text =
+      "crash:node=2,at=120s,down=15s;drop:p=0.01,edge=1-3;"
+      "delay:p=0.05,add=10ms;dup:p=0.02;partition:at=100s,for=20s,group=0-1;"
+      "seed:9";
+  Result<FaultSpec> spec = FaultSpec::Parse(text);
+  ASSERT_TRUE(spec.ok());
+  Result<FaultSpec> again = FaultSpec::Parse(spec->ToString());
+  ASSERT_TRUE(again.ok()) << spec->ToString();
+  EXPECT_EQ(again->ToString(), spec->ToString());
+  EXPECT_EQ(again->crashes.size(), 1u);
+  EXPECT_EQ(again->drops.size(), 1u);
+  EXPECT_EQ(again->delays.size(), 1u);
+  EXPECT_EQ(again->dups.size(), 1u);
+  EXPECT_EQ(again->partitions.size(), 1u);
+  EXPECT_EQ(again->seed, 9u);
+}
+
+TEST(FaultSpecTest, RejectsUnknownClause) {
+  EXPECT_FALSE(FaultSpec::Parse("explode:now").ok());
+}
+
+TEST(FaultSpecTest, RejectsUnknownKey) {
+  EXPECT_FALSE(FaultSpec::Parse("crash:node=1,when=5s").ok());
+}
+
+TEST(FaultSpecTest, RejectsBadProbability) {
+  EXPECT_FALSE(FaultSpec::Parse("drop:p=1.5").ok());
+  EXPECT_FALSE(FaultSpec::Parse("drop:p=-0.1").ok());
+}
+
+TEST(FaultSpecTest, RejectsDelayWithoutAdd) {
+  EXPECT_FALSE(FaultSpec::Parse("delay:p=0.1").ok());
+}
+
+TEST(FaultSpecTest, RejectsPartitionWithoutWindow) {
+  EXPECT_FALSE(FaultSpec::Parse("partition:at=10s,group=0-1").ok());
+}
+
+TEST(FaultSpecTest, RejectsGarbageNumbers) {
+  EXPECT_FALSE(FaultSpec::Parse("crash:node=banana,at=1s").ok());
+  EXPECT_FALSE(FaultSpec::Parse("drop:p=zero").ok());
+}
+
+}  // namespace
+}  // namespace soap::fault

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+#include <vector>
+
 namespace soap::sim {
 namespace {
 
@@ -81,6 +84,144 @@ TEST(NetworkTest, ConcurrentMessagesIndependent) {
   for (int i = 0; i < 10; ++i) net.Send(0, 1, 0, [&] { ++delivered; });
   sim.Run();
   EXPECT_EQ(delivered, 10);
+}
+
+TEST(NetworkTest, CancelReleasesInflightGauges) {
+  Simulator sim;
+  Network net(&sim, NoJitter());
+  obs::MetricsRegistry metrics;
+  net.BindMetrics(&metrics);
+  obs::Gauge* inflight = metrics.GetGauge("soap_network_inflight_messages");
+  obs::Gauge* inflight_bytes = metrics.GetGauge("soap_network_inflight_bytes");
+
+  const EventId id = net.Send(0, 1, 100, [] { FAIL() << "cancelled"; });
+  ASSERT_NE(id, kInvalidEventId);
+  EXPECT_EQ(inflight->value(), 1.0);
+  EXPECT_EQ(inflight_bytes->value(), 100.0);
+  EXPECT_TRUE(net.Cancel(id));
+  // A cancelled delivery must not leak its in-flight contribution.
+  EXPECT_EQ(inflight->value(), 0.0);
+  EXPECT_EQ(inflight_bytes->value(), 0.0);
+  EXPECT_FALSE(net.Cancel(id));  // already gone
+  sim.Run();
+}
+
+TEST(NetworkTest, CancelOfDeliveredEventIsRejected) {
+  Simulator sim;
+  Network net(&sim, NoJitter());
+  obs::MetricsRegistry metrics;
+  net.BindMetrics(&metrics);
+  const EventId id = net.Send(0, 1, 64, [] {});
+  sim.Run();
+  EXPECT_FALSE(net.Cancel(id));
+  EXPECT_EQ(metrics.GetGauge("soap_network_inflight_messages")->value(), 0.0);
+}
+
+namespace {
+/// Scripted hook: applies one fixed fate to every message.
+class FixedFateHooks : public NetworkFaultHooks {
+ public:
+  explicit FixedFateHooks(MsgFate fate) : fate_(fate) {}
+  MsgFate OnMessage(NodeId, NodeId, MsgClass) override { return fate_; }
+  void Park(NodeId to, std::function<void()> deliver) override {
+    parked.emplace_back(to, std::move(deliver));
+  }
+  std::vector<std::pair<NodeId, std::function<void()>>> parked;
+
+ private:
+  MsgFate fate_;
+};
+}  // namespace
+
+TEST(NetworkTest, SendWithFailureInvokesOnDropWhenDropped) {
+  Simulator sim;
+  Network net(&sim, NoJitter());
+  MsgFate drop;
+  drop.action = MsgFate::Action::kDrop;
+  FixedFateHooks hooks(drop);
+  net.set_fault_hooks(&hooks);
+  int delivered = 0;
+  int dropped = 0;
+  SimTime dropped_at = -1;
+  net.SendWithFailure(0, 1, 1024, [&] { ++delivered; }, [&] {
+    ++dropped;
+    dropped_at = sim.Now();
+  });
+  sim.Run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(dropped, 1);
+  // The loss is detected after the nominal transfer delay, not instantly.
+  EXPECT_EQ(dropped_at, Millis(1) + Micros(1024));
+}
+
+TEST(NetworkTest, ExtraDelayPostponesDelivery) {
+  Simulator sim;
+  Network net(&sim, NoJitter());
+  MsgFate slow;
+  slow.extra_delay = Millis(10);
+  FixedFateHooks hooks(slow);
+  net.set_fault_hooks(&hooks);
+  SimTime delivered = -1;
+  net.Send(0, 1, 1024, [&] { delivered = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(delivered, Millis(11) + Micros(1024));
+}
+
+TEST(NetworkTest, DuplicateDeliversTwice) {
+  Simulator sim;
+  Network net(&sim, NoJitter());
+  MsgFate dup;
+  dup.duplicate = true;
+  FixedFateHooks hooks(dup);
+  net.set_fault_hooks(&hooks);
+  int delivered = 0;
+  net.Send(0, 1, 0, [&] { ++delivered; });
+  sim.Run();
+  EXPECT_EQ(delivered, 2);
+}
+
+TEST(NetworkTest, ParkHandsDeliveryToTheHooks) {
+  Simulator sim;
+  Network net(&sim, NoJitter());
+  MsgFate park;
+  park.action = MsgFate::Action::kPark;
+  FixedFateHooks hooks(park);
+  net.set_fault_hooks(&hooks);
+  int delivered = 0;
+  net.Send(0, 3, 64, [&] { ++delivered; });
+  sim.Run();
+  EXPECT_EQ(delivered, 0);  // held by the injector
+  ASSERT_EQ(hooks.parked.size(), 1u);
+  EXPECT_EQ(hooks.parked[0].first, 3u);
+  hooks.parked[0].second();  // manual redelivery
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(NetworkTest, HooksDoNotPerturbDeliveryTiming) {
+  // A pass-through hook must leave delivery times identical to no hook:
+  // the fault layer's presence alone cannot change a run.
+  NetworkConfig c = NoJitter();
+  c.jitter = Micros(500);
+  SimTime without_hooks, with_hooks;
+  {
+    Simulator sim;
+    Network net(&sim, c, /*seed=*/5);
+    SimTime d = 0;
+    net.Send(0, 1, 64, [&] { d = sim.Now(); });
+    sim.Run();
+    without_hooks = d;
+  }
+  {
+    Simulator sim;
+    Network net(&sim, c, /*seed=*/5);
+    FixedFateHooks hooks(MsgFate{});
+    net.set_fault_hooks(&hooks);
+    SimTime d = 0;
+    net.Send(0, 1, 64, [&] { d = sim.Now(); });
+    sim.Run();
+    with_hooks = d;
+  }
+  EXPECT_EQ(without_hooks, with_hooks);
 }
 
 }  // namespace

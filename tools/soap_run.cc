@@ -40,6 +40,9 @@ void PrintUsage() {
       "  --metrics_jsonl PATH  per-interval JSONL metric snapshots\n"
       "  --trace_out PATH      Chrome trace JSON (Perfetto-loadable)\n"
       "  --trace_sample N      trace every n-th transaction         (1)\n"
+      "  --fault_spec SPEC     inject faults, e.g.\n"
+      "              'crash:node=2,at=120s,down=15s;drop:p=0.01'\n"
+      "              (see EXPERIMENTS.md, \"Fault injection\")\n"
       "  --log_level debug|info|warn|error                       (warn)\n"
       "  --help      this text\n");
 }
@@ -130,6 +133,7 @@ int main(int argc, char** argv) {
   config.obs.trace_out = flags.GetString("trace_out", "");
   config.obs.trace_sample =
       static_cast<uint32_t>(flags.GetInt("trace_sample", 1));
+  config.fault_spec = flags.GetString("fault_spec", "");
   const std::string log_level = flags.GetString("log_level", "");
   if (!log_level.empty()) {
     std::optional<LogLevel> parsed_level = ParseLogLevel(log_level);
@@ -148,6 +152,21 @@ int main(int argc, char** argv) {
 
   engine::ExperimentResult r = engine::Experiment(config).Run();
   std::printf("%s\n\n", r.Summary().c_str());
+  if (!config.fault_spec.empty()) {
+    std::printf(
+        "faults: crashes=%llu msgs_dropped=%llu msgs_parked=%llu "
+        "2pc[resends=%llu prepare_timeouts=%llu ack_giveups=%llu "
+        "coord_crash_aborts=%llu] aborts[node_crash=%llu shutdown=%llu]\n\n",
+        static_cast<unsigned long long>(r.faults_crashes),
+        static_cast<unsigned long long>(r.faults_msgs_dropped),
+        static_cast<unsigned long long>(r.faults_msgs_parked),
+        static_cast<unsigned long long>(r.tpc_stats.resends),
+        static_cast<unsigned long long>(r.tpc_stats.prepare_timeouts),
+        static_cast<unsigned long long>(r.tpc_stats.ack_giveups),
+        static_cast<unsigned long long>(r.tpc_stats.coordinator_crash_aborts),
+        static_cast<unsigned long long>(r.counters.aborts_node_crash),
+        static_cast<unsigned long long>(r.counters.aborts_shutdown));
+  }
 
   SeriesBundle bundle(strategy + " / " + workload + " / " + load +
                       " / alpha=" + std::to_string(alpha));
