@@ -2,7 +2,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <ctime>
+
+#include "src/engine/parallel_runner.h"
 
 namespace soap::bench {
 
@@ -42,8 +45,25 @@ double Table1Sp(SchedulingStrategy strategy,
 }
 
 bool FastMode() {
-  const char* env = std::getenv("SOAP_BENCH_FAST");
-  return env != nullptr && env[0] == '1';
+  // getenv is surprisingly hot when every MakeCellConfig call pays it, and
+  // the answer cannot change mid-process: resolve once.
+  static const bool fast = [] {
+    const char* env = std::getenv("SOAP_BENCH_FAST");
+    return env != nullptr && env[0] == '1';
+  }();
+  return fast;
+}
+
+unsigned BenchThreads(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      return engine::ParseThreadCount(argv[i + 1]);
+    }
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      return engine::ParseThreadCount(argv[i] + 10);
+    }
+  }
+  return engine::ParseThreadCount(std::getenv("SOAP_BENCH_THREADS"));
 }
 
 engine::ExperimentConfig MakeCellConfig(SchedulingStrategy strategy,
@@ -99,27 +119,69 @@ const std::vector<SchedulingStrategy>& AllStrategies() {
 
 std::vector<PanelResult> RunPanel(workload::PopularityDist distribution,
                                   bool high_load,
-                                  const std::vector<double>& alphas) {
-  std::vector<PanelResult> panel;
-  for (double alpha : alphas) {
-    PanelResult row;
-    row.alpha = alpha;
-    for (SchedulingStrategy strategy : AllStrategies()) {
-      engine::ExperimentConfig config =
-          MakeCellConfig(strategy, distribution, high_load, alpha);
-      const std::clock_t t0 = std::clock();
-      engine::Experiment experiment(config);
-      row.per_strategy.push_back(experiment.Run());
-      const double secs =
-          static_cast<double>(std::clock() - t0) / CLOCKS_PER_SEC;
-      const engine::ExperimentResult& r = row.per_strategy.back();
-      std::printf("# ran %-9s alpha=%.0f%%: %.1fs wall, %llu events, %s\n",
-                  StrategyName(strategy), alpha * 100.0, secs,
-                  static_cast<unsigned long long>(r.events_executed),
-                  r.audit.ok() ? "audit ok" : r.audit.ToString().c_str());
-      std::fflush(stdout);
+                                  const std::vector<double>& alphas,
+                                  unsigned threads) {
+  const size_t per_row = AllStrategies().size();
+  if (threads <= 1) {
+    // Serial path: byte-for-byte the historical loop (CPU-clock timing and
+    // all) so default runs remain directly comparable with old logs.
+    std::vector<PanelResult> panel;
+    for (double alpha : alphas) {
+      PanelResult row;
+      row.alpha = alpha;
+      for (SchedulingStrategy strategy : AllStrategies()) {
+        engine::ExperimentConfig config =
+            MakeCellConfig(strategy, distribution, high_load, alpha);
+        const std::clock_t t0 = std::clock();
+        engine::Experiment experiment(config);
+        row.per_strategy.push_back(experiment.Run());
+        const double secs =
+            static_cast<double>(std::clock() - t0) / CLOCKS_PER_SEC;
+        const engine::ExperimentResult& r = row.per_strategy.back();
+        std::printf("# ran %-9s alpha=%.0f%%: %.1fs wall, %llu events, %s\n",
+                    StrategyName(strategy), alpha * 100.0, secs,
+                    static_cast<unsigned long long>(r.events_executed),
+                    r.audit.ok() ? "audit ok" : r.audit.ToString().c_str());
+        std::fflush(stdout);
+      }
+      panel.push_back(std::move(row));
     }
-    panel.push_back(std::move(row));
+    return panel;
+  }
+
+  // Parallel path: one cell per (alpha, strategy), fanned across the pool.
+  // Progress lines stream in input order as cells complete, with true
+  // wall-clock per cell.
+  std::vector<engine::ExperimentCell> cells;
+  cells.reserve(alphas.size() * per_row);
+  for (double alpha : alphas) {
+    for (SchedulingStrategy strategy : AllStrategies()) {
+      cells.push_back(engine::ExperimentCell{
+          MakeCellConfig(strategy, distribution, high_load, alpha)});
+    }
+  }
+  engine::ParallelRunner runner(threads);
+  std::vector<engine::CellOutcome> outcomes =
+      runner.Run(std::move(cells), [&](const engine::CellOutcome& outcome) {
+        const size_t row = outcome.index / per_row;
+        const size_t col = outcome.index % per_row;
+        const engine::ExperimentResult& r = outcome.result;
+        std::printf("# ran %-9s alpha=%.0f%%: %.1fs wall, %llu events, %s\n",
+                    StrategyName(AllStrategies()[col]), alphas[row] * 100.0,
+                    outcome.wall_seconds,
+                    static_cast<unsigned long long>(r.events_executed),
+                    r.audit.ok() ? "audit ok" : r.audit.ToString().c_str());
+        std::fflush(stdout);
+      });
+  std::vector<PanelResult> panel;
+  for (size_t row = 0; row < alphas.size(); ++row) {
+    PanelResult out;
+    out.alpha = alphas[row];
+    for (size_t col = 0; col < per_row; ++col) {
+      out.per_strategy.push_back(
+          std::move(outcomes[row * per_row + col].result));
+    }
+    panel.push_back(std::move(out));
   }
   return panel;
 }
@@ -182,13 +244,15 @@ void PrintPanelSummary(const std::vector<PanelResult>& panel) {
 }
 
 int RunFigureMain(workload::PopularityDist distribution, bool high_load,
-                  const char* figure_name, const char* description) {
+                  const char* figure_name, const char* description,
+                  int argc, char** argv) {
   std::printf("==== %s: %s ====\n", figure_name, description);
   std::printf("# scale: %s\n\n",
               FastMode() ? "FAST (SOAP_BENCH_FAST=1, ~10x reduced)"
                          : "full (paper dimensions, Section 4.1)");
   std::vector<PanelResult> panel =
-      RunPanel(distribution, high_load, {1.0, 0.6, 0.2});
+      RunPanel(distribution, high_load, {1.0, 0.6, 0.2},
+               BenchThreads(argc, argv));
   std::printf("\n");
   const std::string prefix = figure_name;
   PrintMetric(panel, "rep_rate", std::string(figure_name) + " RepRate",

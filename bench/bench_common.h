@@ -23,7 +23,14 @@ double Table1Sp(SchedulingStrategy strategy,
 /// Scale knob: SOAP_BENCH_FAST=1 in the environment shrinks the workload
 /// and the horizon ~10x for smoke runs. Full scale reproduces §4.1:
 /// 500,000 tuples, 23,457/30,000 templates, 10 + 125 intervals of 20 s.
+/// The environment is read once and cached (benches call this per cell).
 bool FastMode();
+
+/// Worker-thread count for panel runs: `--threads N` (or `--threads=N`)
+/// from argv, else SOAP_BENCH_THREADS, else 1. Cells are independent
+/// experiments, so any thread count produces identical results; see
+/// engine::ParallelRunner.
+unsigned BenchThreads(int argc, char** argv);
 
 /// Builds the full §4.1 configuration for one experiment cell.
 engine::ExperimentConfig MakeCellConfig(SchedulingStrategy strategy,
@@ -40,10 +47,13 @@ struct PanelResult {
 const std::vector<SchedulingStrategy>& AllStrategies();
 
 /// Runs one (distribution, load) panel for the given alphas. Prints a
-/// progress line per run.
+/// progress line per run (always in run order). `threads > 1` fans the
+/// independent cells across an engine::ParallelRunner pool; results and
+/// output ordering are identical at any thread count.
 std::vector<PanelResult> RunPanel(workload::PopularityDist distribution,
                                   bool high_load,
-                                  const std::vector<double>& alphas);
+                                  const std::vector<double>& alphas,
+                                  unsigned threads = 1);
 
 /// Prints the per-interval series for one metric across strategies, one
 /// table per alpha, and writes "<csv_prefix>_a<alpha>.csv".
@@ -62,7 +72,8 @@ void PrintPanelSummary(const std::vector<PanelResult>& panel);
 /// throughput, latency) plus the failure-rate series and a summary.
 /// Returns a process exit code.
 int RunFigureMain(workload::PopularityDist distribution, bool high_load,
-                  const char* figure_name, const char* description);
+                  const char* figure_name, const char* description,
+                  int argc = 0, char** argv = nullptr);
 
 }  // namespace soap::bench
 

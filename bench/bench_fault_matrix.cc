@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "src/engine/parallel_runner.h"
 
 namespace {
 
@@ -35,11 +36,12 @@ std::string JsonEscapeless(double v) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using soap::engine::ExperimentConfig;
   using soap::engine::ExperimentResult;
 
   const bool fast = soap::bench::FastMode();
+  const unsigned threads = soap::bench::BenchThreads(argc, argv);
   // Crashes land mid-deployment: repartitioning starts at the end of the
   // warmup, and the crash window opens one interval later.
   const std::vector<Scenario> scenarios = {
@@ -56,18 +58,12 @@ int main() {
               "scenario", "rep_done@", "tput/min", "p99_ms", "fail_max",
               "crashes", "audit");
 
-  std::ostringstream json;
-  json << "{\n  \"strategies\": [\n";
-  int exit_code = 0;
-  bool first_strategy = true;
+  // One cell per (strategy, scenario); independent, so the grid fans out
+  // across the pool. Ordered streaming keeps the report rows (and the
+  // baseline-first dependency inside each strategy block) intact at any
+  // thread count.
+  std::vector<soap::engine::ExperimentCell> cells;
   for (auto strategy : soap::bench::AllStrategies()) {
-    double baseline_tput = 0.0;
-    double baseline_p99 = 0.0;
-    if (!first_strategy) json << ",\n";
-    first_strategy = false;
-    json << "    {\"strategy\": \"" << soap::StrategyName(strategy)
-         << "\", \"scenarios\": [";
-    bool first_scenario = true;
     for (const Scenario& scenario : scenarios) {
       ExperimentConfig config = soap::bench::MakeCellConfig(
           strategy, soap::workload::PopularityDist::kZipf,
@@ -77,7 +73,27 @@ int main() {
       config.warmup_intervals = fast ? 2 : 3;
       config.measured_intervals = fast ? 6 : 12;
       config.fault_spec = scenario.spec;
-      ExperimentResult r = soap::engine::Experiment(config).Run();
+      cells.push_back(soap::engine::ExperimentCell{std::move(config)});
+    }
+  }
+  std::vector<soap::engine::CellOutcome> outcomes =
+      soap::engine::ParallelRunner(threads).Run(std::move(cells));
+
+  std::ostringstream json;
+  json << "{\n  \"strategies\": [\n";
+  int exit_code = 0;
+  bool first_strategy = true;
+  size_t cell_index = 0;
+  for (auto strategy : soap::bench::AllStrategies()) {
+    double baseline_tput = 0.0;
+    double baseline_p99 = 0.0;
+    if (!first_strategy) json << ",\n";
+    first_strategy = false;
+    json << "    {\"strategy\": \"" << soap::StrategyName(strategy)
+         << "\", \"scenarios\": [";
+    bool first_scenario = true;
+    for (const Scenario& scenario : scenarios) {
+      const ExperimentResult& r = outcomes[cell_index++].result;
 
       const double tput = r.throughput.TailMean(3);
       const double p99 = r.latency_p99_ms.Max();

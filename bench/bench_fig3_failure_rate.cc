@@ -6,7 +6,7 @@
 
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using soap::workload::PopularityDist;
   struct Panel {
     const char* name;
@@ -27,7 +27,8 @@ int main() {
   int exit_code = 0;
   for (const Panel& panel : panels) {
     std::printf("---- %s ----\n", panel.name);
-    auto results = soap::bench::RunPanel(panel.dist, panel.high, {1.0});
+    auto results = soap::bench::RunPanel(panel.dist, panel.high, {1.0},
+                                         soap::bench::BenchThreads(argc, argv));
     std::string csv = std::string("fig3_") +
                       (panel.dist == PopularityDist::kZipf ? "zipf" : "uni") +
                       (panel.high ? "_high" : "_low");

@@ -4,8 +4,9 @@
 
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   return soap::bench::RunFigureMain(
       soap::workload::PopularityDist::kZipf, /*high_load=*/true, "fig4",
-      "Zipf High Workload (RepRate / Throughput / Latency, alpha sweep)");
+      "Zipf High Workload (RepRate / Throughput / Latency, alpha sweep)",
+      argc, argv);
 }

@@ -2,8 +2,9 @@
 
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   return soap::bench::RunFigureMain(
       soap::workload::PopularityDist::kZipf, /*high_load=*/false, "fig6",
-      "Zipf Low Workload (RepRate / Throughput / Latency, alpha sweep)");
+      "Zipf Low Workload (RepRate / Throughput / Latency, alpha sweep)",
+      argc, argv);
 }

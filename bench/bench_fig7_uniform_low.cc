@@ -2,8 +2,9 @@
 
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   return soap::bench::RunFigureMain(
       soap::workload::PopularityDist::kUniform, /*high_load=*/false, "fig7",
-      "Uniform Low Workload (RepRate / Throughput / Latency, alpha sweep)");
+      "Uniform Low Workload (RepRate / Throughput / Latency, alpha sweep)",
+      argc, argv);
 }

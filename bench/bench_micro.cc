@@ -1,13 +1,38 @@
 // Component microbenchmarks (google-benchmark): lock manager, routing
 // table/query router, samplers, simulator event loop, and the processing
 // queue. These bound the per-event costs the discrete-event runs pay.
+//
+// Besides the normal google-benchmark CLI, the binary has a machine-
+// readable mode for CI perf tracking:
+//
+//   bench_micro --json [path]         measure the event-loop suite and
+//                                     write bench_results/BENCH_micro.json
+//                                     (or `path`)
+//   bench_micro --json --baseline f   additionally compare against a
+//                                     previous JSON and exit non-zero on a
+//                                     >25% throughput regression
+//
+// The JSON suite times the simulator event loop (drain + steady-state),
+// cancel throughput, and a fast-scale figure panel serially and on
+// min(4, host cores) ParallelRunner threads.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
 
+#include "bench/bench_common.h"
 #include "src/cluster/processing_queue.h"
 #include "src/common/random.h"
+#include "src/engine/parallel_runner.h"
 #include "src/router/query_parser.h"
 #include "src/router/query_router.h"
 #include "src/sim/simulator.h"
@@ -144,6 +169,205 @@ void BM_ProcessingQueuePushPop(benchmark::State& state) {
 }
 BENCHMARK(BM_ProcessingQueuePushPop);
 
+// --- Machine-readable perf suite (--json mode) -------------------------
+
+double MedianOf(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  return xs[xs.size() / 2];
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// ns/event draining a pre-seeded 10k-event queue (the BM_SimulatorEventLoop
+/// shape), median over `reps`.
+double MeasureDrainNsPerEvent(int reps) {
+  std::vector<double> samples;
+  for (int rep = 0; rep < reps; ++rep) {
+    soap::sim::Simulator sim;
+    for (int i = 0; i < 10'000; ++i) sim.At(i, [] {});
+    const auto t0 = std::chrono::steady_clock::now();
+    sim.Run();
+    samples.push_back(SecondsSince(t0) * 1e9 / 10'000.0);
+  }
+  return MedianOf(std::move(samples));
+}
+
+/// ns/event with self-rescheduling callbacks at a steady queue depth — the
+/// pattern experiment runs actually produce (schedule/execute interleaved).
+double MeasureSteadyStateNsPerEvent(int reps) {
+  struct State {
+    soap::sim::Simulator* sim;
+    long remaining;
+    uint64_t mix;
+  };
+  struct Fire {
+    State* st;
+    void operator()() {
+      if (--st->remaining <= 0) return;
+      st->mix = st->mix * 6364136223846793005ull + 1442695040888963407ull;
+      st->sim->After(1 + (st->mix >> 33) % 200, Fire{st});
+    }
+  };
+  std::vector<double> samples;
+  for (int rep = 0; rep < reps; ++rep) {
+    soap::sim::Simulator sim;
+    State st{&sim, 1'000'000, 0x9e3779b97f4a7c15ull};
+    for (int i = 0; i < 1'000; ++i) sim.At(i, Fire{&st});
+    const auto t0 = std::chrono::steady_clock::now();
+    sim.Run();
+    samples.push_back(SecondsSince(t0) * 1e9 /
+                      static_cast<double>(sim.events_executed()));
+  }
+  return MedianOf(std::move(samples));
+}
+
+/// ns per Cancel of a pending far-future event, median over `reps`.
+double MeasureCancelNs(int reps) {
+  const int kN = 200'000;
+  std::vector<double> samples;
+  for (int rep = 0; rep < reps; ++rep) {
+    soap::sim::Simulator sim;
+    std::vector<soap::sim::EventId> ids;
+    ids.reserve(kN);
+    for (int i = 0; i < kN; ++i) ids.push_back(sim.After(1'000'000 + i, [] {}));
+    const auto t0 = std::chrono::steady_clock::now();
+    for (soap::sim::EventId id : ids) sim.Cancel(id);
+    samples.push_back(SecondsSince(t0) * 1e9 / kN);
+  }
+  return MedianOf(std::move(samples));
+}
+
+/// Fast-scale fig4-style panel (alpha sweep x 5 strategies) wall-clock at
+/// the given thread count. Scale mirrors SOAP_BENCH_FAST without needing
+/// the environment variable.
+double MeasurePanelSeconds(unsigned threads) {
+  std::vector<soap::engine::ExperimentCell> cells;
+  for (double alpha : {1.0, 0.6, 0.2}) {
+    for (soap::SchedulingStrategy strategy : soap::bench::AllStrategies()) {
+      soap::engine::ExperimentConfig config = soap::bench::MakeCellConfig(
+          strategy, soap::workload::PopularityDist::kZipf,
+          /*high_load=*/true, alpha);
+      config.workload.num_templates = 2'345;
+      config.workload.num_keys = 50'000;
+      config.warmup_intervals = 2;
+      config.measured_intervals = 6;
+      cells.push_back(soap::engine::ExperimentCell{std::move(config)});
+    }
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  soap::engine::ParallelRunner(threads).Run(std::move(cells));
+  return SecondsSince(t0);
+}
+
+/// Minimal extractor for the flat JSON this binary writes: finds
+/// `"key": <number>` anywhere in `text`. Returns 0.0 when absent.
+double JsonNumber(const std::string& text, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t at = text.find(needle);
+  if (at == std::string::npos) return 0.0;
+  return std::strtod(text.c_str() + at + needle.size(), nullptr);
+}
+
+int RunJsonMode(const std::string& out_path, const std::string& baseline) {
+  const double drain_ns = MeasureDrainNsPerEvent(151);
+  const double steady_ns = MeasureSteadyStateNsPerEvent(5);
+  const double cancel_ns = MeasureCancelNs(9);
+  const double panel_serial_s = MeasurePanelSeconds(1);
+  // Panel speedup scales with min(threads, cores); measuring 4 threads on
+  // a 1-core host would just report scheduler overhead. Record the host
+  // core count so readers can interpret the ratio.
+  const unsigned host_cpus =
+      std::max(1u, std::thread::hardware_concurrency());
+  const unsigned panel_threads = std::min(4u, host_cpus);
+  const double panel_par_s = panel_threads > 1 ? MeasurePanelSeconds(panel_threads)
+                                               : panel_serial_s;
+
+  std::ostringstream json;
+  json.precision(6);
+  json << "{\n"
+       << "  \"schema\": \"soap-bench-micro-v1\",\n"
+       << "  \"host_cpus\": " << host_cpus << ",\n"
+       << "  \"event_loop_events_per_sec\": " << 1e9 / drain_ns << ",\n"
+       << "  \"event_loop_ns_per_event\": " << drain_ns << ",\n"
+       << "  \"steady_state_events_per_sec\": " << 1e9 / steady_ns << ",\n"
+       << "  \"steady_state_ns_per_event\": " << steady_ns << ",\n"
+       << "  \"cancel_per_sec\": " << 1e9 / cancel_ns << ",\n"
+       << "  \"cancel_ns\": " << cancel_ns << ",\n"
+       << "  \"panel_fast_serial_seconds\": " << panel_serial_s << ",\n"
+       << "  \"panel_fast_parallel_threads\": " << panel_threads << ",\n"
+       << "  \"panel_fast_parallel_seconds\": " << panel_par_s << ",\n"
+       << "  \"panel_fast_speedup\": "
+       << (panel_par_s > 0.0 ? panel_serial_s / panel_par_s : 0.0) << "\n"
+       << "}\n";
+
+  std::filesystem::path path(out_path);
+  if (path.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(path.parent_path(), ec);
+  }
+  std::ofstream out(path);
+  out << json.str();
+  out.close();
+  std::printf("%s", json.str().c_str());
+  std::printf("# wrote %s\n", out_path.c_str());
+
+  if (baseline.empty()) return 0;
+  std::ifstream in(baseline);
+  if (!in) {
+    std::fprintf(stderr, "baseline %s unreadable\n", baseline.c_str());
+    return 1;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string base = buf.str();
+  struct Gate {
+    const char* key;
+    double current;
+  };
+  // Throughput gates: fail when current drops below 75% of the baseline.
+  const Gate gates[] = {
+      {"event_loop_events_per_sec", 1e9 / drain_ns},
+      {"steady_state_events_per_sec", 1e9 / steady_ns},
+      {"cancel_per_sec", 1e9 / cancel_ns},
+  };
+  int exit_code = 0;
+  for (const Gate& gate : gates) {
+    const double was = JsonNumber(base, gate.key);
+    if (was <= 0.0) continue;
+    const double ratio = gate.current / was;
+    std::printf("# gate %-28s %.3gx baseline%s\n", gate.key, ratio,
+                ratio < 0.75 ? "  REGRESSION" : "");
+    if (ratio < 0.75) exit_code = 1;
+  }
+  return exit_code;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::string baseline;
+  std::vector<char*> passthrough{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = "bench_results/BENCH_micro.json";
+      if (i + 1 < argc && argv[i + 1][0] != '-') json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+      baseline = argv[++i];
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (!json_path.empty()) return RunJsonMode(json_path, baseline);
+  int pass_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pass_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc, passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

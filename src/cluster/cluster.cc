@@ -13,11 +13,22 @@ Cluster::Cluster(sim::Simulator* sim, const ClusterConfig& config)
       router_(&routing_table_) {
   nodes_.reserve(config_.num_nodes);
   storage_.reserve(config_.num_nodes);
+  // Size the hash maps from the config's cardinalities up front: tables see
+  // ~num_keys/num_nodes rows (replication adds slack), and the lock table
+  // sees at most max_inflight concurrent transactions touching a handful of
+  // keys each. Avoids rehash stalls mid-run.
+  const size_t rows_per_node =
+      config_.num_nodes == 0
+          ? 0
+          : (static_cast<size_t>(config_.num_keys) / config_.num_nodes) * 2;
   for (uint32_t i = 0; i < config_.num_nodes; ++i) {
     nodes_.push_back(
         std::make_unique<Node>(sim_, i, config_.workers_per_node));
     storage_.push_back(std::make_unique<storage::StorageEngine>(i));
+    storage_.back()->Reserve(rows_per_node);
   }
+  lock_manager_.Reserve(static_cast<size_t>(config_.max_inflight) * 8,
+                        static_cast<size_t>(config_.max_inflight) * 2);
 }
 
 Status Cluster::LoadTuple(const storage::Tuple& tuple, uint32_t partition) {

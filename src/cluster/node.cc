@@ -6,7 +6,7 @@
 namespace soap::cluster {
 
 void Node::RunJob(Duration service, WorkCategory category,
-                  JobClass job_class, std::function<void()> done) {
+                  JobClass job_class, sim::InlineFn done) {
   assert(service >= 0);
   if (down_) {
     ++jobs_dropped_;
@@ -27,30 +27,45 @@ void Node::StartJob(Job job) {
   --free_workers_;
   busy_time_[static_cast<int>(job.category)] += job.service;
   ++jobs_run_;
-  auto done = std::move(job.done);
-  sim_->After(job.service, [this, epoch = epoch_,
-                            done = std::move(done)]() {
-    if (epoch != epoch_) return;  // job vaporised by a crash
-    ++free_workers_;
-    if (!urgent_queue_.empty()) {
-      Job next = std::move(urgent_queue_.front());
-      urgent_queue_.pop_front();
-      StartJob(std::move(next));
-    } else if (!bulk_queue_.empty()) {
-      Job next = std::move(bulk_queue_.front());
-      bulk_queue_.pop_front();
-      StartJob(std::move(next));
-    }
-    done();
-  });
+  const uint64_t job_id = next_job_id_++;
+  running_.emplace_back(job_id, std::move(job.done));
+  sim_->After(job.service, [this, job_id]() { OnJobDone(job_id); });
+}
+
+void Node::OnJobDone(uint64_t job_id) {
+  // Extract the callback (swap-erase) before anything else: starting the
+  // next queued job below may grow `running_` and invalidate references.
+  sim::InlineFn done;
+  bool found = false;
+  for (size_t i = 0; i < running_.size(); ++i) {
+    if (running_[i].first != job_id) continue;
+    done = std::move(running_[i].second);
+    running_[i] = std::move(running_.back());
+    running_.pop_back();
+    found = true;
+    break;
+  }
+  if (!found) return;  // job vaporised by a crash
+  ++free_workers_;
+  if (!urgent_queue_.empty()) {
+    Job next = std::move(urgent_queue_.front());
+    urgent_queue_.pop_front();
+    StartJob(std::move(next));
+  } else if (!bulk_queue_.empty()) {
+    Job next = std::move(bulk_queue_.front());
+    bulk_queue_.pop_front();
+    StartJob(std::move(next));
+  }
+  done();
 }
 
 void Node::Crash() {
   jobs_dropped_ += bulk_queue_.size() + urgent_queue_.size();
   bulk_queue_.clear();
   urgent_queue_.clear();
+  // Vaporise running jobs: their completion events will find no entry.
+  running_.clear();
   free_workers_ = workers_;
-  ++epoch_;
   down_ = true;
 }
 

@@ -8,7 +8,8 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
+#include <utility>
+#include <vector>
 
 #include "src/common/time.h"
 #include "src/sim/network.h"
@@ -50,11 +51,12 @@ class Node {
   /// class. While the node is down, jobs are silently discarded (their
   /// `done` never fires — the fault layer aborts the owning transaction).
   void RunJob(Duration service, WorkCategory category, JobClass job_class,
-              std::function<void()> done);
+              sim::InlineFn done);
 
   /// Crash semantics: discards queued jobs, vaporises running ones (their
-  /// completion events still fire but do nothing — modelling work lost
-  /// mid-flight), frees all workers and refuses new jobs until Restart().
+  /// completion events still fire but find no running-job entry and do
+  /// nothing — modelling work lost mid-flight), frees all workers and
+  /// refuses new jobs until Restart().
   void Crash();
   void Restart() { down_ = false; }
   bool down() const { return down_; }
@@ -78,10 +80,11 @@ class Node {
   struct Job {
     Duration service;
     WorkCategory category;
-    std::function<void()> done;
+    sim::InlineFn done;
   };
 
   void StartJob(Job job);
+  void OnJobDone(uint64_t job_id);
 
   sim::Simulator* sim_;
   sim::NodeId id_;
@@ -92,10 +95,15 @@ class Node {
   Duration busy_time_[3] = {0, 0, 0};
   uint64_t jobs_run_ = 0;
   bool down_ = false;
-  /// Bumped by Crash() so completion events of vaporised jobs recognise
-  /// themselves as stale and leave the worker accounting alone.
-  uint64_t epoch_ = 0;
   uint64_t jobs_dropped_ = 0;
+  /// Completion callbacks of currently running jobs, keyed by job id (at
+  /// most `workers_` entries, so a flat vector beats a hash map). Keeping
+  /// the InlineFn here instead of inside the completion closure keeps that
+  /// closure within InlineFn's inline buffer — no allocation per job.
+  /// Crash() clears the table; a completion event whose id is gone knows
+  /// its job was vaporised and leaves the worker accounting alone.
+  std::vector<std::pair<uint64_t, sim::InlineFn>> running_;
+  uint64_t next_job_id_ = 1;
 };
 
 }  // namespace soap::cluster

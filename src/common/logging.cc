@@ -34,6 +34,8 @@ std::optional<LogLevel> ParseLogLevel(std::string_view name) {
   return std::nullopt;
 }
 
+thread_local Logger::ClockFn Logger::clock_;
+
 Logger& Logger::Instance() {
   static Logger logger;
   return logger;

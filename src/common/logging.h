@@ -42,7 +42,9 @@ class Logger {
   /// Installs (or, with nullptr, removes) the virtual-time stamp source.
   /// The experiment engine points this at its simulator for the duration
   /// of a run; whoever installs a clock must remove it before the clock's
-  /// referent dies.
+  /// referent dies. The hook is thread-local: experiments running on
+  /// parallel threads (engine::ParallelRunner) each stamp their own lines
+  /// with their own simulator's virtual time.
   void set_clock(ClockFn clock) { clock_ = std::move(clock); }
 
   void Write(LogLevel level, const std::string& message);
@@ -50,7 +52,7 @@ class Logger {
  private:
   Logger() = default;
   LogLevel level_ = LogLevel::kWarn;
-  ClockFn clock_;
+  static thread_local ClockFn clock_;
 };
 
 namespace internal {

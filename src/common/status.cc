@@ -30,10 +30,21 @@ std::string_view StatusCodeName(StatusCode code) {
   return "Unknown";
 }
 
+void Status::Materialize() const {
+  switch (lazy_) {
+    case LazyMsg::kTuple:
+      message_ = "tuple " + std::to_string(lazy_arg_);
+      break;
+    case LazyMsg::kNone:
+      break;
+  }
+  lazy_ = LazyMsg::kNone;
+}
+
 std::string Status::ToString() const {
   if (ok()) return "Ok";
   std::string out(StatusCodeName(code_));
-  if (!message_.empty()) {
+  if (!message().empty()) {
     out += ": ";
     out += message_;
   }

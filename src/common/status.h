@@ -5,6 +5,7 @@
 #ifndef SOAP_COMMON_STATUS_H_
 #define SOAP_COMMON_STATUS_H_
 
+#include <cstdint>
 #include <ostream>
 #include <string>
 #include <string_view>
@@ -72,9 +73,23 @@ class Status {
     return Status(StatusCode::kInternal, std::move(msg));
   }
 
+  /// Lazy-message factories for hot miss paths: the "tuple <key>" text is
+  /// only assembled if someone actually reads message()/ToString(). A miss
+  /// Status that is merely branched on (the common case in the transaction
+  /// manager's stale-plan guards) never allocates.
+  static Status NotFoundTuple(uint64_t key) {
+    return Status(StatusCode::kNotFound, LazyMsg::kTuple, key);
+  }
+  static Status AlreadyExistsTuple(uint64_t key) {
+    return Status(StatusCode::kAlreadyExists, LazyMsg::kTuple, key);
+  }
+
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
+  const std::string& message() const {
+    if (lazy_ != LazyMsg::kNone) Materialize();
+    return message_;
+  }
 
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
   bool IsAborted() const { return code_ == StatusCode::kAborted; }
@@ -87,15 +102,26 @@ class Status {
   std::string ToString() const;
 
   bool operator==(const Status& other) const {
-    return code_ == other.code_ && message_ == other.message_;
+    return code_ == other.code_ && message() == other.message();
   }
 
  private:
+  /// Deferred message recipes; kNone means message_ is authoritative.
+  enum class LazyMsg : uint8_t { kNone = 0, kTuple };
+
   Status(StatusCode code, std::string msg)
       : code_(code), message_(std::move(msg)) {}
+  Status(StatusCode code, LazyMsg lazy, uint64_t arg)
+      : code_(code), lazy_(lazy), lazy_arg_(arg) {}
+
+  /// Renders the deferred message into message_. Not thread-safe, like the
+  /// rest of Status; a Status is owned by one simulation thread.
+  void Materialize() const;
 
   StatusCode code_ = StatusCode::kOk;
-  std::string message_;
+  mutable LazyMsg lazy_ = LazyMsg::kNone;
+  uint64_t lazy_arg_ = 0;
+  mutable std::string message_;
 };
 
 inline std::ostream& operator<<(std::ostream& os, const Status& s) {

@@ -1,0 +1,101 @@
+#include "src/engine/parallel_runner.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+namespace soap::engine {
+
+namespace {
+
+double Elapsed(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+std::vector<CellOutcome> ParallelRunner::Run(std::vector<ExperimentCell> cells,
+                                             const ResultFn& on_result) {
+  std::vector<CellOutcome> outcomes(cells.size());
+  if (cells.empty()) return outcomes;
+
+  unsigned threads = threads_;
+  if (threads > cells.size()) threads = static_cast<unsigned>(cells.size());
+  if (threads <= 1) {
+    // Serial path: identical to the historical bench loop — run, report,
+    // advance. Kept free of any pool machinery so single-threaded runs
+    // have exactly the seed's behaviour and timing profile.
+    for (size_t i = 0; i < cells.size(); ++i) {
+      const auto start = std::chrono::steady_clock::now();
+      Experiment experiment(std::move(cells[i].config));
+      outcomes[i].index = i;
+      outcomes[i].result = experiment.Run();
+      outcomes[i].wall_seconds = Elapsed(start);
+      if (on_result) on_result(outcomes[i]);
+    }
+    return outcomes;
+  }
+
+  // Work-stealing-free dispatch: cells are claimed in order via an atomic
+  // cursor; completion is signalled per cell so the caller can stream
+  // outcome i as soon as 0..i are all done.
+  std::atomic<size_t> next{0};
+  std::vector<char> done(cells.size(), 0);
+  std::mutex mu;
+  std::condition_variable cv;
+
+  auto worker = [&]() {
+    for (;;) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= cells.size()) return;
+      const auto start = std::chrono::steady_clock::now();
+      Experiment experiment(std::move(cells[i].config));
+      CellOutcome outcome;
+      outcome.index = i;
+      outcome.result = experiment.Run();
+      outcome.wall_seconds = Elapsed(start);
+      {
+        std::lock_guard<std::mutex> guard(mu);
+        outcomes[i] = std::move(outcome);
+        done[i] = 1;
+      }
+      cv.notify_all();
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+
+  // Stream results in input order from the calling thread.
+  {
+    std::unique_lock<std::mutex> guard(mu);
+    for (size_t i = 0; i < cells.size(); ++i) {
+      cv.wait(guard, [&] { return done[i] != 0; });
+      if (on_result) {
+        guard.unlock();
+        on_result(outcomes[i]);
+        guard.lock();
+      }
+    }
+  }
+  for (auto& t : pool) t.join();
+  return outcomes;
+}
+
+unsigned ParseThreadCount(const char* text) {
+  if (text == nullptr || *text == '\0') return 1;
+  char* end = nullptr;
+  const long value = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || value < 1) return 1;
+  const long kMax = 256;
+  return static_cast<unsigned>(value < kMax ? value : kMax);
+}
+
+}  // namespace soap::engine

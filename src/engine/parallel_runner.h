@@ -1,0 +1,61 @@
+// ParallelRunner: fans independent experiment cells across a bounded pool
+// of worker threads while reporting results strictly in input order.
+//
+// Every Experiment owns its whole stack (simulator, RNGs, metrics), and the
+// only cross-experiment global — the Logger's virtual-time clock — is
+// thread-local, so cells share nothing and each cell's result is
+// bit-identical to a serial run of the same config. With `threads <= 1` the
+// runner degenerates to the exact serial loop the benches always had.
+
+#ifndef SOAP_ENGINE_PARALLEL_RUNNER_H_
+#define SOAP_ENGINE_PARALLEL_RUNNER_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "src/engine/experiment.h"
+
+namespace soap::engine {
+
+/// One unit of work: a config to run plus its position in the panel.
+struct ExperimentCell {
+  ExperimentConfig config;
+};
+
+/// Outcome of one cell, augmented with host-side timing.
+struct CellOutcome {
+  size_t index = 0;           ///< position in the input vector
+  ExperimentResult result;
+  double wall_seconds = 0.0;  ///< host wall-clock spent inside Run()
+};
+
+class ParallelRunner {
+ public:
+  /// Called once per cell, always in input order (cell i is reported only
+  /// after cells 0..i-1), from the caller's thread.
+  using ResultFn = std::function<void(const CellOutcome&)>;
+
+  /// `threads` is clamped to [1, cells.size()]; 1 means run serially on
+  /// the calling thread with no pool at all.
+  explicit ParallelRunner(unsigned threads) : threads_(threads) {}
+
+  /// Runs every cell and streams outcomes to `on_result` in input order.
+  /// Blocks until all cells finished. Returns the outcomes, also in input
+  /// order (the callback may be null if only the return value is wanted).
+  std::vector<CellOutcome> Run(std::vector<ExperimentCell> cells,
+                               const ResultFn& on_result = nullptr);
+
+  unsigned threads() const { return threads_; }
+
+ private:
+  unsigned threads_;
+};
+
+/// Parses a `--threads N` style value (also used for SOAP_BENCH_THREADS):
+/// returns 1 for empty/invalid input, otherwise the clamped count.
+unsigned ParseThreadCount(const char* text);
+
+}  // namespace soap::engine
+
+#endif  // SOAP_ENGINE_PARALLEL_RUNNER_H_

@@ -35,7 +35,7 @@ void FaultInjector::Restart(sim::NodeId node) {
   if (on_restart_) on_restart_(node);
   // Redeliver messages parked for this node, in arrival order, shortly
   // after the restart so they queue behind the recovery replay job.
-  std::vector<std::function<void()>> redeliver;
+  std::vector<sim::InlineFn> redeliver;
   auto it = parked_.begin();
   while (it != parked_.end()) {
     if (it->first == node) {
@@ -118,7 +118,7 @@ sim::MsgFate FaultInjector::OnMessage(sim::NodeId from, sim::NodeId to,
   return fate;
 }
 
-void FaultInjector::Park(sim::NodeId to, std::function<void()> deliver) {
+void FaultInjector::Park(sim::NodeId to, sim::InlineFn deliver) {
   ++stats_.msgs_parked;
   if (m_parked_) m_parked_->Increment();
   parked_.emplace_back(to, std::move(deliver));

@@ -65,7 +65,7 @@ class FaultInjector : public sim::NetworkFaultHooks {
   // sim::NetworkFaultHooks
   sim::MsgFate OnMessage(sim::NodeId from, sim::NodeId to,
                          sim::MsgClass cls) override;
-  void Park(sim::NodeId to, std::function<void()> deliver) override;
+  void Park(sim::NodeId to, sim::InlineFn deliver) override;
 
   const FaultStats& stats() const { return stats_; }
 
@@ -83,7 +83,7 @@ class FaultInjector : public sim::NetworkFaultHooks {
   std::function<void(sim::NodeId)> on_crash_;
   std::function<void(sim::NodeId)> on_restart_;
   std::set<sim::NodeId> down_;
-  std::vector<std::pair<sim::NodeId, std::function<void()>>> parked_;
+  std::vector<std::pair<sim::NodeId, sim::InlineFn>> parked_;
   FaultStats stats_;
   obs::Counter* m_crashes_ = nullptr;
   obs::Counter* m_restarts_ = nullptr;

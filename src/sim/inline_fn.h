@@ -1,0 +1,126 @@
+// InlineFn: a move-only `void()` callable with a small-buffer store sized
+// for the simulator's hot closures (lock grants, network deliveries, node
+// job completions, timers). Unlike std::function it never copies its
+// target, and targets up to kInlineCapacity bytes live inside the object —
+// no heap allocation on the per-event path. Larger or over-aligned targets
+// fall back to a single heap cell, so any callable still works.
+
+#ifndef SOAP_SIM_INLINE_FN_H_
+#define SOAP_SIM_INLINE_FN_H_
+
+#include <cassert>
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace soap::sim {
+
+class InlineFn {
+ public:
+  /// Chosen to fit the engine's largest hot closure (a shared_ptr pair
+  /// plus a few scalars) with the whole object still one cache line.
+  static constexpr size_t kInlineCapacity = 48;
+
+  InlineFn() noexcept = default;
+  InlineFn(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using D = std::decay_t<F>;
+    if constexpr (FitsInline<D>()) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      *reinterpret_cast<D**>(storage_) = new D(std::forward<F>(f));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  InlineFn(InlineFn&& other) noexcept { MoveFrom(other); }
+  InlineFn& operator=(InlineFn&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+  InlineFn& operator=(std::nullptr_t) noexcept {
+    Reset();
+    return *this;
+  }
+
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+
+  ~InlineFn() { Reset(); }
+
+  void operator()() {
+    assert(ops_ != nullptr && "invoking an empty InlineFn");
+    ops_->invoke(storage_);
+  }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  /// Destroys the target, leaving the wrapper empty.
+  void Reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    /// Move-constructs the target from `from`'s storage into `to`'s and
+    /// destroys the original (the relocation a container move needs).
+    void (*relocate)(void* from, void* to) noexcept;
+    void (*destroy)(void* storage) noexcept;
+  };
+
+  template <typename D>
+  static constexpr bool FitsInline() {
+    return sizeof(D) <= kInlineCapacity &&
+           alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  template <typename D>
+  static constexpr Ops kInlineOps = {
+      [](void* s) { (*std::launder(reinterpret_cast<D*>(s)))(); },
+      [](void* from, void* to) noexcept {
+        D* src = std::launder(reinterpret_cast<D*>(from));
+        ::new (to) D(std::move(*src));
+        src->~D();
+      },
+      [](void* s) noexcept { std::launder(reinterpret_cast<D*>(s))->~D(); },
+  };
+
+  template <typename D>
+  static constexpr Ops kHeapOps = {
+      [](void* s) { (**reinterpret_cast<D**>(s))(); },
+      [](void* from, void* to) noexcept {
+        *reinterpret_cast<D**>(to) = *reinterpret_cast<D**>(from);
+      },
+      [](void* s) noexcept { delete *reinterpret_cast<D**>(s); },
+  };
+
+  void MoveFrom(InlineFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(other.storage_, storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineCapacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace soap::sim
+
+#endif  // SOAP_SIM_INLINE_FN_H_

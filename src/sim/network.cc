@@ -12,21 +12,20 @@ Duration Network::NominalLatency(NodeId from, NodeId to,
 }
 
 EventId Network::Send(NodeId from, NodeId to, uint64_t bytes,
-                      std::function<void()> on_delivery, MsgClass cls) {
+                      InlineFn on_delivery, MsgClass cls) {
   return SendImpl(from, to, bytes, std::move(on_delivery), nullptr, cls);
 }
 
 EventId Network::SendWithFailure(NodeId from, NodeId to, uint64_t bytes,
-                                 std::function<void()> on_delivery,
-                                 std::function<void()> on_drop,
+                                 InlineFn on_delivery, InlineFn on_drop,
                                  MsgClass cls) {
   return SendImpl(from, to, bytes, std::move(on_delivery),
                   std::move(on_drop), cls);
 }
 
 EventId Network::SendImpl(NodeId from, NodeId to, uint64_t bytes,
-                          std::function<void()> on_delivery,
-                          std::function<void()> on_drop, MsgClass cls) {
+                          InlineFn on_delivery, InlineFn on_drop,
+                          MsgClass cls) {
   ++messages_sent_;
   bytes_sent_ += bytes;
   Duration delay = NominalLatency(from, to, bytes);
@@ -60,13 +59,18 @@ EventId Network::SendImpl(NodeId from, NodeId to, uint64_t bytes,
   delay += fate.extra_delay;
   if (fate.duplicate) {
     // Deliver the copy one base latency later, as if resent immediately.
-    ScheduleDelivery(delay + config_.base_latency, bytes, on_delivery);
+    // InlineFn is move-only, so the duplicate shares the original target
+    // through a relay that survives both deliveries.
+    auto shared = std::make_shared<InlineFn>(std::move(on_delivery));
+    ScheduleDelivery(delay + config_.base_latency, bytes,
+                     [shared]() { (*shared)(); });
+    return ScheduleDelivery(delay, bytes, [shared]() { (*shared)(); });
   }
   return ScheduleDelivery(delay, bytes, std::move(on_delivery));
 }
 
 EventId Network::ScheduleDelivery(Duration delay, uint64_t bytes,
-                                  std::function<void()> cb) {
+                                  InlineFn cb) {
   if (m_inflight_messages_ == nullptr) {
     return sim_->After(delay, std::move(cb));
   }
@@ -76,7 +80,7 @@ EventId Network::ScheduleDelivery(Duration delay, uint64_t bytes,
   // callback needs it to erase its bookkeeping entry — hence the cell.
   auto id_cell = std::make_shared<EventId>(kInvalidEventId);
   EventId id = sim_->After(
-      delay, [this, bytes, id_cell, cb = std::move(cb)]() {
+      delay, [this, bytes, id_cell, cb = std::move(cb)]() mutable {
         m_inflight_messages_->Add(-1.0);
         m_inflight_bytes_->Add(-static_cast<double>(bytes));
         inflight_by_event_.erase(*id_cell);

@@ -12,7 +12,6 @@
 #define SOAP_SIM_NETWORK_H_
 
 #include <cstdint>
-#include <functional>
 #include <unordered_map>
 #include <utility>
 
@@ -68,7 +67,7 @@ class NetworkFaultHooks {
   virtual MsgFate OnMessage(NodeId from, NodeId to, MsgClass cls) = 0;
   /// Takes ownership of a parked delivery; the injector replays it when
   /// node `to` restarts (or never, if it does not).
-  virtual void Park(NodeId to, std::function<void()> deliver) = 0;
+  virtual void Park(NodeId to, InlineFn deliver) = 0;
 };
 
 /// Delivers messages between nodes with simulated latency. Also counts
@@ -83,15 +82,13 @@ class Network {
   /// injection a dropped or parked message simply never delivers — use
   /// SendWithFailure when the sender must learn about the loss.
   EventId Send(NodeId from, NodeId to, uint64_t bytes,
-               std::function<void()> on_delivery,
-               MsgClass cls = MsgClass::kControl);
+               InlineFn on_delivery, MsgClass cls = MsgClass::kControl);
 
   /// Like Send, but a message the injector drops (or addresses to a down
   /// node) invokes `on_drop` after the same simulated delay instead of
   /// silently vanishing, so the sender can abort instead of hanging.
   EventId SendWithFailure(NodeId from, NodeId to, uint64_t bytes,
-                          std::function<void()> on_delivery,
-                          std::function<void()> on_drop,
+                          InlineFn on_delivery, InlineFn on_drop,
                           MsgClass cls = MsgClass::kData);
 
   /// Cancels an in-flight delivery. Returns false if it already fired or
@@ -116,12 +113,10 @@ class Network {
 
  private:
   EventId SendImpl(NodeId from, NodeId to, uint64_t bytes,
-                   std::function<void()> on_delivery,
-                   std::function<void()> on_drop, MsgClass cls);
+                   InlineFn on_delivery, InlineFn on_drop, MsgClass cls);
   /// Schedules a delivery, wrapping it for gauge accounting when metrics
   /// are bound.
-  EventId ScheduleDelivery(Duration delay, uint64_t bytes,
-                           std::function<void()> cb);
+  EventId ScheduleDelivery(Duration delay, uint64_t bytes, InlineFn cb);
 
   Simulator* sim_;
   NetworkConfig config_;

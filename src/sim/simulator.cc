@@ -1,40 +1,117 @@
 #include "src/sim/simulator.h"
 
 #include <cassert>
+#include <utility>
 
 namespace soap::sim {
 
-EventId Simulator::At(SimTime when, std::function<void()> fn) {
+uint32_t Simulator::AcquireSlot() {
+  if (free_head_ != kNoFreeSlot) {
+    const uint32_t slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    slots_[slot].next_free = kNoFreeSlot;
+    --free_count_;
+    return slot;
+  }
+  slots_.emplace_back();
+  return static_cast<uint32_t>(slots_.size() - 1);
+}
+
+void Simulator::ReleaseSlot(uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.fn.Reset();
+  s.seq = 0;  // invalidates the outstanding EventId and any stale heap entry
+  s.next_free = free_head_;
+  free_head_ = slot;
+  ++free_count_;
+}
+
+void Simulator::HeapPush(HeapEntry entry) {
+  size_t i = heap_.size();
+  heap_.push_back(entry);
+  while (i > 0) {
+    const size_t parent = (i - 1) / 4;
+    if (entry >= heap_[parent]) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = entry;
+}
+
+Simulator::HeapEntry Simulator::HeapPopMin() {
+  const HeapEntry min = heap_[0];
+  const HeapEntry last = heap_.back();
+  heap_.pop_back();
+  if (heap_.empty()) return min;
+  // Sift `last` down from the root. The common full-group case selects the
+  // least of four children with three wide compares that lower to cmovs.
+  const size_t n = heap_.size();
+  size_t i = 0;
+  for (;;) {
+    const size_t fc = 4 * i + 1;
+    if (fc + 4 <= n) {
+      const size_t a = heap_[fc + 1] < heap_[fc] ? fc + 1 : fc;
+      const size_t b = heap_[fc + 3] < heap_[fc + 2] ? fc + 3 : fc + 2;
+      const size_t best = heap_[b] < heap_[a] ? b : a;
+      if (last <= heap_[best]) break;
+      heap_[i] = heap_[best];
+      i = best;
+    } else {
+      if (fc >= n) break;
+      size_t best = fc;
+      for (size_t c = fc + 1; c < n; ++c) {
+        if (heap_[c] < heap_[best]) best = c;
+      }
+      if (last <= heap_[best]) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+  }
+  heap_[i] = last;
+  return min;
+}
+
+EventId Simulator::At(SimTime when, InlineFn fn) {
   assert(when >= now_);
-  const EventId id = next_seq_;
-  queue_.push(Event{when, next_seq_, id, std::move(fn)});
+  const uint32_t slot = AcquireSlot();
+  assert(slot <= kSlotMask && "event slab exhausted the 24-bit slot space");
+  assert(next_seq_ >> (64 - kSlotBits) == 0 && "seq overflow");
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  s.seq = next_seq_;
+  const EventId id = MakeId(slot, next_seq_);
+  HeapPush(MakeEntry(when, id));
   ++next_seq_;
   return id;
 }
 
-EventId Simulator::After(Duration delay, std::function<void()> fn) {
+EventId Simulator::After(Duration delay, InlineFn fn) {
   assert(delay >= 0);
   return At(now_ + delay, std::move(fn));
 }
 
 bool Simulator::Cancel(EventId id) {
-  if (id == kInvalidEventId || id >= next_seq_) return false;
-  return cancelled_.insert(id).second;
+  const uint64_t seq = id >> kSlotBits;
+  const uint64_t slot = id & kSlotMask;
+  if (seq == 0 || slot >= slots_.size()) return false;
+  if (slots_[slot].seq != seq) return false;  // already fired or cancelled
+  ReleaseSlot(static_cast<uint32_t>(slot));
+  return true;
 }
 
 bool Simulator::Step() {
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    auto it = cancelled_.find(ev.id);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
-    assert(ev.when >= now_);
-    now_ = ev.when;
+  while (!heap_.empty()) {
+    const HeapEntry top = HeapPopMin();
+    const EventId id = EntryId(top);
+    const uint32_t slot_idx = static_cast<uint32_t>(id & kSlotMask);
+    Slot& slot = slots_[slot_idx];
+    if (slot.seq != id >> kSlotBits) continue;  // cancelled: stale entry
+    assert(EntryWhen(top) >= now_);
+    now_ = EntryWhen(top);
     ++events_executed_;
-    ev.fn();
+    InlineFn fn = std::move(slot.fn);
+    ReleaseSlot(slot_idx);
+    fn();
     return true;
   }
   return false;
@@ -46,9 +123,8 @@ void Simulator::Run() {
 }
 
 void Simulator::RunUntil(SimTime deadline) {
-  while (!queue_.empty()) {
-    const Event& top = queue_.top();
-    if (top.when > deadline) break;
+  while (!heap_.empty()) {
+    if (EntryWhen(heap_[0]) > deadline) break;
     if (!Step()) break;
   }
   if (now_ < deadline) now_ = deadline;

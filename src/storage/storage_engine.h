@@ -26,6 +26,9 @@ class StorageEngine {
   uint32_t partition_id() const { return partition_id_; }
 
   /// Reads the committed version of a tuple.
+  /// Pre-sizes the table's hash index (see Table::Reserve).
+  void Reserve(size_t expected_rows) { table_.Reserve(expected_rows); }
+
   Result<Tuple> Read(TupleKey key) const { return table_.Get(key); }
 
   bool Contains(TupleKey key) const { return table_.Contains(key); }

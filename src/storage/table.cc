@@ -7,7 +7,7 @@ namespace soap::storage {
 Status Table::Insert(const Tuple& tuple) {
   auto [it, inserted] = rows_.emplace(tuple.key, tuple);
   if (!inserted) {
-    return Status::AlreadyExists("tuple " + std::to_string(tuple.key));
+    return Status::AlreadyExistsTuple(tuple.key);
   }
   return Status::OK();
 }
@@ -17,7 +17,7 @@ void Table::Upsert(const Tuple& tuple) { rows_[tuple.key] = tuple; }
 Result<Tuple> Table::Get(TupleKey key) const {
   auto it = rows_.find(key);
   if (it == rows_.end()) {
-    return Status::NotFound("tuple " + std::to_string(key));
+    return Status::NotFoundTuple(key);
   }
   return it->second;
 }
@@ -25,7 +25,7 @@ Result<Tuple> Table::Get(TupleKey key) const {
 Status Table::Update(TupleKey key, int64_t content) {
   auto it = rows_.find(key);
   if (it == rows_.end()) {
-    return Status::NotFound("tuple " + std::to_string(key));
+    return Status::NotFoundTuple(key);
   }
   it->second.content = content;
   it->second.version++;
@@ -34,7 +34,7 @@ Status Table::Update(TupleKey key, int64_t content) {
 
 Status Table::Erase(TupleKey key) {
   if (rows_.erase(key) == 0) {
-    return Status::NotFound("tuple " + std::to_string(key));
+    return Status::NotFoundTuple(key);
   }
   return Status::OK();
 }

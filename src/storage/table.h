@@ -17,6 +17,10 @@ namespace soap::storage {
 /// the table itself is a plain single-writer structure.
 class Table {
  public:
+  /// Pre-sizes the hash index for an expected row count, so bulk loads and
+  /// steady-state stores never rehash mid-run.
+  void Reserve(size_t expected_rows) { rows_.reserve(expected_rows); }
+
   /// Inserts a new tuple. Fails with AlreadyExists if the key is present.
   Status Insert(const Tuple& tuple);
 

@@ -5,6 +5,13 @@
 
 namespace soap::txn {
 
+void LockManager::Reserve(size_t expected_keys, size_t expected_txns) {
+  std::unique_lock<std::mutex> guard(mu_);
+  table_.reserve(expected_keys);
+  held_.reserve(expected_txns);
+  waiting_on_.reserve(expected_txns);
+}
+
 void LockManager::BindMetrics(obs::MetricsRegistry* registry) {
   if (registry == nullptr) {
     m_acquires_ = nullptr;

@@ -14,12 +14,12 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "src/obs/metrics.h"
+#include "src/sim/inline_fn.h"
 #include "src/storage/tuple.h"
 #include "src/txn/transaction.h"
 
@@ -51,8 +51,9 @@ class LockManager {
   /// Invoked when a queued request is granted. The callback runs inside
   /// the Release/CancelWait call that unblocked it; implementations should
   /// only schedule simulator work, not re-enter the lock manager
-  /// synchronously with long critical sections.
-  using GrantCallback = std::function<void()>;
+  /// synchronously with long critical sections. Move-only and inline up to
+  /// sim::InlineFn::kInlineCapacity — the grant path allocates nothing.
+  using GrantCallback = sim::InlineFn;
 
   LockManager() = default;
   LockManager(const LockManager&) = delete;
@@ -86,6 +87,11 @@ class LockManager {
 
   const LockStats& stats() const { return stats_; }
   void ResetStats() { stats_ = LockStats{}; }
+
+  /// Pre-sizes the hash tables from config cardinalities (expected hot-key
+  /// working set and concurrent transactions) so the per-acquire paths do
+  /// not pay incremental rehashes.
+  void Reserve(size_t expected_keys, size_t expected_txns);
 
   /// Publishes lock-table counters into `registry` (nullptr detaches).
   /// The granted wait *durations* (soap_lock_wait_seconds) are recorded by

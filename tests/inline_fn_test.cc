@@ -1,0 +1,119 @@
+#include "src/sim/inline_fn.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace soap::sim {
+namespace {
+
+TEST(InlineFnTest, DefaultIsEmpty) {
+  InlineFn fn;
+  EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+TEST(InlineFnTest, InvokesSmallLambda) {
+  int calls = 0;
+  InlineFn fn = [&calls] { ++calls; };
+  EXPECT_TRUE(static_cast<bool>(fn));
+  fn();
+  fn();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(InlineFnTest, HoldsMoveOnlyCapture) {
+  auto payload = std::make_unique<int>(41);
+  int got = 0;
+  InlineFn fn = [&got, payload = std::move(payload)] { got = *payload + 1; };
+  fn();
+  EXPECT_EQ(got, 42);
+}
+
+TEST(InlineFnTest, MoveTransfersTargetAndEmptiesSource) {
+  int calls = 0;
+  InlineFn a = [&calls] { ++calls; };
+  InlineFn b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(InlineFnTest, MoveAssignReleasesPreviousTarget) {
+  auto counter = std::make_shared<int>(0);
+  InlineFn a = [counter] { ++*counter; };
+  EXPECT_EQ(counter.use_count(), 2);
+  a = InlineFn([] {});
+  EXPECT_EQ(counter.use_count(), 1);  // old target destroyed
+}
+
+TEST(InlineFnTest, LargeCaptureFallsBackToHeapAndStillWorks) {
+  // Way past kInlineCapacity: forces the heap cell path.
+  std::array<uint64_t, 32> big;
+  for (size_t i = 0; i < big.size(); ++i) big[i] = i;
+  uint64_t sum = 0;
+  InlineFn fn = [big, &sum] {
+    for (uint64_t v : big) sum += v;
+  };
+  InlineFn moved = std::move(fn);
+  moved();
+  EXPECT_EQ(sum, 31u * 32u / 2u);
+}
+
+TEST(InlineFnTest, DestructorReleasesInlineCapture) {
+  auto counter = std::make_shared<int>(0);
+  {
+    InlineFn fn = [counter] { ++*counter; };
+    EXPECT_EQ(counter.use_count(), 2);
+  }
+  EXPECT_EQ(counter.use_count(), 1);
+}
+
+TEST(InlineFnTest, ResetEmptiesAndReleases) {
+  auto counter = std::make_shared<int>(0);
+  InlineFn fn = [counter] { ++*counter; };
+  fn.Reset();
+  EXPECT_FALSE(static_cast<bool>(fn));
+  EXPECT_EQ(counter.use_count(), 1);
+}
+
+TEST(InlineFnTest, NullptrAssignmentClears) {
+  InlineFn fn = [] {};
+  fn = nullptr;
+  EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+TEST(InlineFnTest, VectorOfInlineFnRelocatesSafely) {
+  // Growing a vector relocates the functions; captured state must follow.
+  std::vector<InlineFn> fns;
+  int total = 0;
+  for (int i = 0; i < 100; ++i) {
+    fns.emplace_back([&total, i] { total += i; });
+  }
+  for (InlineFn& fn : fns) fn();
+  EXPECT_EQ(total, 99 * 100 / 2);
+}
+
+TEST(InlineFnTest, HotClosureShapesStayInline) {
+  // The shapes the simulator schedules all day must fit the inline buffer;
+  // if one outgrows it this static check fails the build of the test, not
+  // a profile three layers later.
+  struct GrantShape {
+    void* a;
+    void* b;
+    int64_t c;
+    std::shared_ptr<int> d;
+  };
+  static_assert(sizeof(GrantShape) <= InlineFn::kInlineCapacity);
+  auto lambda = [](GrantShape* s) {
+    return [s]() { ++s->c; };
+  };
+  static_assert(sizeof(decltype(lambda(nullptr))) <=
+                InlineFn::kInlineCapacity);
+}
+
+}  // namespace
+}  // namespace soap::sim

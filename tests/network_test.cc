@@ -123,10 +123,10 @@ class FixedFateHooks : public NetworkFaultHooks {
  public:
   explicit FixedFateHooks(MsgFate fate) : fate_(fate) {}
   MsgFate OnMessage(NodeId, NodeId, MsgClass) override { return fate_; }
-  void Park(NodeId to, std::function<void()> deliver) override {
+  void Park(NodeId to, InlineFn deliver) override {
     parked.emplace_back(to, std::move(deliver));
   }
-  std::vector<std::pair<NodeId, std::function<void()>>> parked;
+  std::vector<std::pair<NodeId, InlineFn>> parked;
 
  private:
   MsgFate fate_;

@@ -1,0 +1,167 @@
+#include "src/engine/parallel_runner.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/series.h"
+#include "src/engine/experiment.h"
+
+namespace soap::engine {
+namespace {
+
+// The pinned determinism config: small enough to run several times in a
+// test, big enough to exercise repartitioning, 2PC and the drain/audit
+// path. Golden numbers below were produced by the seed implementation and
+// must never drift — they are the byte-identity contract in miniature.
+ExperimentConfig PinnedConfig(uint64_t seed) {
+  ExperimentConfig config;
+  config.workload = workload::WorkloadSpec::Zipf(1.0);
+  config.workload.num_templates = 200;
+  config.workload.num_keys = 5'000;
+  config.utilization = workload::kHighLoadUtilization;
+  config.strategy = SchedulingStrategy::kHybrid;
+  config.warmup_intervals = 2;
+  config.measured_intervals = 6;
+  config.seed = seed;
+  return config;
+}
+
+std::vector<ExperimentCell> PinnedCells() {
+  std::vector<ExperimentCell> cells;
+  for (uint64_t seed : {42u, 43u, 44u}) {
+    cells.push_back(ExperimentCell{PinnedConfig(seed)});
+  }
+  return cells;
+}
+
+void ExpectSameResult(const ExperimentResult& a, const ExperimentResult& b) {
+  // Exact double equality on purpose: a deterministic engine reproduces
+  // bit-identical series, not merely close ones.
+  EXPECT_EQ(a.throughput.values(), b.throughput.values());
+  EXPECT_EQ(a.latency_ms.values(), b.latency_ms.values());
+  EXPECT_EQ(a.latency_p99_ms.values(), b.latency_p99_ms.values());
+  EXPECT_EQ(a.rep_rate.values(), b.rep_rate.values());
+  EXPECT_EQ(a.failure_rate.values(), b.failure_rate.values());
+  EXPECT_EQ(a.queue_length.values(), b.queue_length.values());
+  EXPECT_EQ(a.utilization.values(), b.utilization.values());
+  EXPECT_EQ(a.rep_work_ratio.values(), b.rep_work_ratio.values());
+  EXPECT_EQ(a.counters.committed_normal, b.counters.committed_normal);
+  EXPECT_EQ(a.counters.aborted_normal, b.counters.aborted_normal);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_EQ(a.end_time, b.end_time);
+  EXPECT_EQ(a.audit.ok(), b.audit.ok());
+}
+
+std::string CsvBytes(const ExperimentResult& r, const std::string& path) {
+  SeriesBundle bundle("determinism");
+  bundle.Insert("throughput", r.throughput);
+  bundle.Insert("latency_ms", r.latency_ms);
+  bundle.Insert("rep_rate", r.rep_rate);
+  bundle.Insert("failure_rate", r.failure_rate);
+  EXPECT_TRUE(bundle.WriteCsv(path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  std::remove(path.c_str());
+  return out.str();
+}
+
+// The golden counts for PinnedConfig(42), captured from the seed
+// implementation before the fast-path event loop landed. If this fails the
+// refactor changed simulation behaviour, not just its speed — every figure
+// CSV would differ too.
+TEST(ParallelRunnerTest, PinnedConfigMatchesSeedGoldenCounts) {
+  ExperimentResult r = Experiment(PinnedConfig(42)).Run();
+  EXPECT_EQ(r.events_executed, 602852u);
+  EXPECT_EQ(r.end_time, 160'000'000);
+  EXPECT_EQ(r.counters.committed_normal, 64'910u);
+  EXPECT_TRUE(r.audit.ok()) << r.audit.ToString();
+}
+
+TEST(ParallelRunnerTest, ThreadCountsProduceIdenticalResults) {
+  // Reference: plain serial Experiment loop, no runner involved.
+  std::vector<ExperimentResult> reference;
+  for (ExperimentCell& cell : PinnedCells()) {
+    reference.push_back(Experiment(std::move(cell.config)).Run());
+  }
+
+  for (unsigned threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    std::vector<CellOutcome> outcomes =
+        ParallelRunner(threads).Run(PinnedCells());
+    ASSERT_EQ(outcomes.size(), reference.size());
+    for (size_t i = 0; i < reference.size(); ++i) {
+      SCOPED_TRACE("cell=" + std::to_string(i));
+      EXPECT_EQ(outcomes[i].index, i);
+      ExpectSameResult(outcomes[i].result, reference[i]);
+    }
+  }
+}
+
+TEST(ParallelRunnerTest, CsvBytesIdenticalAcrossThreadCounts) {
+  const std::string dir = ::testing::TempDir();
+  std::vector<std::string> golden;
+  for (ExperimentCell& cell : PinnedCells()) {
+    ExperimentResult r = Experiment(std::move(cell.config)).Run();
+    golden.push_back(CsvBytes(r, dir + "/soap_det_serial.csv"));
+    EXPECT_FALSE(golden.back().empty());
+  }
+
+  for (unsigned threads : {2u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    std::vector<CellOutcome> outcomes =
+        ParallelRunner(threads).Run(PinnedCells());
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+      EXPECT_EQ(CsvBytes(outcomes[i].result, dir + "/soap_det_par.csv"),
+                golden[i])
+          << "cell " << i;
+    }
+  }
+}
+
+TEST(ParallelRunnerTest, OutcomesStreamInInputOrder) {
+  // Use trivially small configs: this test is about ordering, not physics.
+  std::vector<ExperimentCell> cells;
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    ExperimentConfig config = PinnedConfig(seed);
+    config.workload.num_keys = 500;
+    config.workload.num_templates = 50;
+    config.measured_intervals = 1;
+    cells.push_back(ExperimentCell{std::move(config)});
+  }
+  std::vector<size_t> seen;
+  ParallelRunner(4).Run(std::move(cells), [&seen](const CellOutcome& out) {
+    seen.push_back(out.index);
+  });
+  EXPECT_EQ(seen, (std::vector<size_t>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(ParallelRunnerTest, EmptyCellListIsANoOp) {
+  bool called = false;
+  std::vector<CellOutcome> outcomes =
+      ParallelRunner(8).Run({}, [&called](const CellOutcome&) {
+        called = true;
+      });
+  EXPECT_TRUE(outcomes.empty());
+  EXPECT_FALSE(called);
+}
+
+TEST(ParseThreadCountTest, ParsesAndClamps) {
+  EXPECT_EQ(ParseThreadCount(nullptr), 1u);
+  EXPECT_EQ(ParseThreadCount(""), 1u);
+  EXPECT_EQ(ParseThreadCount("banana"), 1u);
+  EXPECT_EQ(ParseThreadCount("4banana"), 1u);
+  EXPECT_EQ(ParseThreadCount("0"), 1u);
+  EXPECT_EQ(ParseThreadCount("-3"), 1u);
+  EXPECT_EQ(ParseThreadCount("1"), 1u);
+  EXPECT_EQ(ParseThreadCount("8"), 8u);
+  EXPECT_EQ(ParseThreadCount("99999"), 256u);
+}
+
+}  // namespace
+}  // namespace soap::engine

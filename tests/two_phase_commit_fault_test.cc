@@ -30,7 +30,7 @@ class LossyHooks : public sim::NetworkFaultHooks {
     fate.duplicate = duplicate_all_;
     return fate;
   }
-  void Park(sim::NodeId, std::function<void()>) override {
+  void Park(sim::NodeId, sim::InlineFn) override {
     FAIL() << "nothing should park in these tests";
   }
 
