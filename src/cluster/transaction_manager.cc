@@ -748,6 +748,22 @@ void TransactionManager::FinishCommit(const ExecPtr& e) {
     counters_.committed_repartition++;
   } else {
     counters_.committed_normal++;
+    // Distributed iff the txn's own queries spanned >1 partition
+    // (piggybacked repartition ops don't count against the workload).
+    uint32_t span_partitions[8];
+    uint32_t span = 0;
+    for (const Operation& op : txn.ops) {
+      if (op.repartition_op_id != 0) continue;
+      bool seen = false;
+      for (uint32_t i = 0; i < span; ++i) {
+        if (span_partitions[i] == op.source_partition) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen && span < 8) span_partitions[span++] = op.source_partition;
+    }
+    if (span > 1) counters_.committed_normal_distributed++;
   }
   if (m_latency_committed_) {
     m_latency_committed_->RecordMicros(txn.finish_time - txn.submit_time);

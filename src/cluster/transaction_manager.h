@@ -26,6 +26,10 @@ namespace soap::cluster {
 struct TmCounters {
   uint64_t submitted_normal = 0;
   uint64_t committed_normal = 0;
+  /// Committed normal transactions whose own queries (piggybacked ops
+  /// excluded) spanned more than one partition — the numerator of the
+  /// distributed-transaction ratio the planner drives down.
+  uint64_t committed_normal_distributed = 0;
   uint64_t aborted_normal = 0;
   uint64_t submitted_repartition = 0;
   uint64_t committed_repartition = 0;

@@ -67,6 +67,7 @@ void Repartitioner::ResubmitStripped(const txn::Transaction& t) {
   auto fresh = std::make_unique<txn::Transaction>();
   fresh->priority = t.priority;
   fresh->template_id = t.template_id;
+  fresh->partner_template = t.partner_template;
   fresh->ops = t.ops;  // without the piggybacked repartition operations
   fresh->submit_time = t.submit_time;
   fresh->attempt = t.attempt;
@@ -92,7 +93,10 @@ void Repartitioner::BindMetrics(obs::MetricsRegistry* registry) {
 void Repartitioner::PublishMetrics(uint64_t ops_applied) {
   if (m_ops_applied_ == nullptr) return;
   const uint64_t total = active_ ? registry_.total_ops() : 0;
-  const uint64_t applied = std::min(ops_applied, total);
+  const uint64_t in_round = ops_applied > ops_applied_at_round_start_
+                                ? ops_applied - ops_applied_at_round_start_
+                                : 0;
+  const uint64_t applied = std::min(in_round, total);
   m_ops_applied_->Set(static_cast<double>(applied));
   m_ops_remaining_->Set(static_cast<double>(total - applied));
   m_rep_rate_->Set(RepRate(ops_applied));
@@ -109,7 +113,7 @@ void Repartitioner::OnIntervalTick(const IntervalStats& stats) {
 bool Repartitioner::StartRepartitioning() {
   if (active_) return false;
   repartition::RepartitionPlan plan =
-      optimizer_.DerivePlan(cluster_->routing_table());
+      optimizer_.DerivePlan(cluster_->routing_table(), &op_ids_);
   if (plan.empty()) return false;
   return StartRepartitioningWithPlan(plan);
 }
@@ -121,6 +125,8 @@ bool Repartitioner::StartRepartitioningWithPlan(
       plan, *history_, optimizer_, cluster_->routing_table(), packaging_);
   registry_.Init(std::move(ranked));
   active_ = true;
+  ++rounds_started_;
+  ops_applied_at_round_start_ = tm_->counters().repartition_ops_applied;
   scheduler_->OnPlanReady();
   return true;
 }

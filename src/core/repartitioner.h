@@ -96,10 +96,15 @@ class Repartitioner {
   }
 
   /// Fraction of plan units applied so far (the RepRate series of
-  /// Figures 4-7); `ops_applied` comes from the TM counters.
+  /// Figures 4-7); `ops_applied` comes from the TM counters (cumulative
+  /// across rounds — applications before the current round started are
+  /// subtracted, so every generation's RepRate climbs 0 → 1).
   double RepRate(uint64_t ops_applied) const {
     if (!active_ || registry_.total_ops() == 0) return 0.0;
-    const double rate = static_cast<double>(ops_applied) /
+    const uint64_t in_round = ops_applied > ops_applied_at_round_start_
+                                  ? ops_applied - ops_applied_at_round_start_
+                                  : 0;
+    const double rate = static_cast<double>(in_round) /
                         static_cast<double>(registry_.total_ops());
     return rate > 1.0 ? 1.0 : rate;
   }
@@ -121,6 +126,13 @@ class Repartitioner {
   const repartition::Optimizer& optimizer() const { return optimizer_; }
   uint64_t stripped_resubmissions() const { return stripped_resubmissions_; }
 
+  /// The run-wide op-id source every plan generation draws from (the
+  /// optimizer's internal plans and the online planner share it, so op
+  /// ids stay unique across generations).
+  repartition::OpIdAllocator& op_ids() { return op_ids_; }
+  /// Rounds started so far (one per deployed plan generation).
+  uint64_t rounds_started() const { return rounds_started_; }
+
  private:
   void ResubmitStripped(const txn::Transaction& t);
   /// Pushes rt->not_before out by base * 2^(failures-1) (capped) plus a
@@ -138,7 +150,12 @@ class Repartitioner {
   RepartitionRegistry registry_;
   std::unique_ptr<Scheduler> scheduler_;
   PackagingMode packaging_;
+  repartition::OpIdAllocator op_ids_;
   bool active_ = false;
+  uint64_t rounds_started_ = 0;
+  /// TM's cumulative repartition_ops_applied when the current round
+  /// started; RepRate counts only in-round applications.
+  uint64_t ops_applied_at_round_start_ = 0;
   uint64_t stripped_resubmissions_ = 0;
   // Fault-handling state; dormant unless EnableFaultHandling ran.
   bool fault_aware_ = false;

@@ -73,6 +73,19 @@ ExperimentResult Experiment::Run() {
       MakeScheduler(config_.strategy, config_.feedback, config_.piggyback),
       repartition::OptimizerConfig{}, config_.packaging);
 
+  // --- Online planner (off by default; with it the one-shot optimizer
+  // plan is replaced by continuous co-access-graph replanning).
+  std::unique_ptr<planner::Planner> online_planner;
+  if (config_.planner.enabled) {
+    planner::PlannerConfig pc = config_.planner;
+    if (pc.first_plan_interval == 0) {
+      pc.first_plan_interval = config_.warmup_intervals;
+    }
+    if (pc.replan_period == 0) pc.replan_period = 1;
+    online_planner = std::make_unique<planner::Planner>(
+        &catalog, &cluster.routing_table(), &repartitioner, pc);
+  }
+
   // --- Observability (off by default; see ObsOptions).
   std::shared_ptr<obs::MetricsRegistry> metrics;
   std::shared_ptr<obs::TxnTracer> tracer;
@@ -82,6 +95,7 @@ ExperimentResult Experiment::Run() {
     cluster.BindMetrics(metrics.get());
     tm.BindMetrics(metrics.get());
     repartitioner.BindMetrics(metrics.get());
+    if (online_planner != nullptr) online_planner->BindMetrics(metrics.get());
   }
   if (config_.obs.TraceEnabled()) {
     obs::TxnTracer::Config tracer_config;
@@ -213,6 +227,7 @@ ExperimentResult Experiment::Run() {
           static_cast<uint64_t>(t.Latency()));
     }
     repartitioner.OnTxnComplete(t);
+    if (online_planner != nullptr) online_planner->OnTxnComplete(t);
   });
 
   const uint32_t total_intervals =
@@ -264,6 +279,14 @@ ExperimentResult Experiment::Run() {
             : 0.0);
     result.queue_length.Append(static_cast<double>(tm.queue().Size()));
     result.rep_work_ratio.Append(stats.RepartitionWorkRatio());
+    const uint64_t committed_distributed =
+        now.committed_normal_distributed -
+        prev_counters.committed_normal_distributed;
+    result.distributed_ratio.Append(
+        stats.normal_committed > 0
+            ? static_cast<double>(committed_distributed) /
+                  static_cast<double>(stats.normal_committed)
+            : 0.0);
     const double worker_time =
         ToSeconds(stats.length) * capacity.total_workers;
     result.utilization.Append(
@@ -279,6 +302,7 @@ ExperimentResult Experiment::Run() {
     prev_boundary = sim.Now();
 
     repartitioner.OnIntervalTick(stats);
+    if (online_planner != nullptr) online_planner->OnIntervalTick(index);
 
     // Snapshot AFTER the tick so the controller gauges reflect the
     // decision just taken for the coming interval.
@@ -331,7 +355,9 @@ ExperimentResult Experiment::Run() {
   for (uint32_t k = 0; k < total_intervals; ++k) {
     const SimTime start = static_cast<SimTime>(k) * config_.interval_length;
     sim.At(start, [&, k]() {
-      if (k == config_.warmup_intervals) {
+      // With the online planner the one-shot plan never deploys; the
+      // planner emits its first generation at the same boundary.
+      if (k == config_.warmup_intervals && online_planner == nullptr) {
         const bool started = repartitioner.StartRepartitioning();
         if (!started) {
           SOAP_LOG(kWarn) << "no repartitioning needed (empty plan)";
@@ -339,7 +365,7 @@ ExperimentResult Experiment::Run() {
       }
       std::vector<std::unique_ptr<txn::Transaction>> batch =
           replaying ? replay_trace.ReplayInterval(k, catalog)
-                    : generator.GenerateInterval(per_interval_mean);
+                    : generator.GenerateInterval(per_interval_mean, k);
       for (auto& t : batch) {
         if (!config_.record_trace_path.empty()) {
           int64_t value = 0;
@@ -349,7 +375,10 @@ ExperimentResult Experiment::Run() {
               break;
             }
           }
-          record_trace.Record(k, t->template_id, value);
+          const int phase = config_.workload.PhaseIndexAt(k);
+          record_trace.Record(k, t->template_id, value,
+                              phase < 0 ? 0 : static_cast<uint32_t>(phase),
+                              t->partner_template);
         }
         repartitioner.InterceptNormalSubmission(t.get());
         tm.Submit(std::move(t));
@@ -409,6 +438,10 @@ ExperimentResult Experiment::Run() {
     result.faults_msgs_parked = injector->stats().msgs_parked;
   }
   result.plan_completed = repartitioner.Finished();
+  result.plan_generations = repartitioner.rounds_started();
+  if (online_planner != nullptr) {
+    result.planner_stats = online_planner->stats();
+  }
   result.end_time = sim.Now();
   result.events_executed = sim.events_executed();
 
@@ -467,6 +500,17 @@ std::string ExperimentResult::Summary() const {
        << " msgs_parked=" << faults_msgs_parked
        << " 2pc_resends=" << tpc_stats.resends
        << " prepare_timeouts=" << tpc_stats.prepare_timeouts << "]";
+  }
+  if (planner_stats.txns_observed > 0) {
+    os << ", planner[plans=" << planner_stats.plans_emitted
+       << " ops=" << planner_stats.ops_emitted
+       << " cut=" << planner_stats.last_cut_weight
+       << " internal=" << planner_stats.last_internal_weight
+       << " graph=" << planner_stats.last_graph_vertices << "v/"
+       << planner_stats.last_graph_edges
+       << "e skipped_active=" << planner_stats.replans_skipped_active
+       << " skipped_small=" << planner_stats.replans_skipped_small
+       << " dist_ratio_tail=" << distributed_ratio.TailMean(5) << "]";
   }
   os << ", audit=" << audit.ToString();
   return os.str();

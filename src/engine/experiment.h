@@ -17,6 +17,7 @@
 #include "src/core/soap.h"
 #include "src/obs/metrics.h"
 #include "src/obs/txn_tracer.h"
+#include "src/planner/planner.h"
 #include "src/txn/two_phase_commit.h"
 
 namespace soap::engine {
@@ -95,6 +96,11 @@ struct ExperimentConfig {
   /// fault layer entirely: the run is byte-identical to one built without
   /// it.
   std::string fault_spec;
+  /// Online co-access-graph planner (src/planner/). Disabled by default:
+  /// the planner is then never constructed, the one-shot optimizer plan
+  /// deploys at the end of warmup as always, and the run stays
+  /// byte-identical to the static pipeline.
+  planner::PlannerConfig planner;
   ObsOptions obs;
   uint64_t seed = 1;
 };
@@ -113,6 +119,9 @@ struct ExperimentResult {
   /// Repartition work / normal work per interval — the PV the feedback
   /// controller stabilises (§3.3); compare against Table 1's SP - 1.
   Series rep_work_ratio{"rep_work_ratio"};
+  /// Fraction of committed normal transactions whose queries spanned >1
+  /// partition — the objective the (online or one-shot) plan minimises.
+  Series distributed_ratio{"distributed_ratio"};
 
   double arrival_rate_txn_s = 0.0;   ///< calibrated Poisson rate
   double capacity_txn_s = 0.0;       ///< collocated-only capacity
@@ -126,6 +135,10 @@ struct ExperimentResult {
   uint64_t faults_msgs_dropped = 0;
   uint64_t faults_msgs_parked = 0;
   txn::TpcStats tpc_stats;
+  /// Online-planner tallies; all zero unless `planner.enabled` was set.
+  planner::PlannerStats planner_stats;
+  /// Plan generations deployed (1 for the static one-shot pipeline).
+  uint64_t plan_generations = 0;
   Status audit = Status::OK();       ///< end-of-run consistency audit
   bool drained = false;
   bool plan_completed = false;

@@ -1,0 +1,125 @@
+#include "src/planner/co_access_graph.h"
+
+#include <algorithm>
+
+namespace soap::planner {
+
+void CoAccessGraph::Observe(const txn::Transaction& t) {
+  // Distinct data keys only; piggybacked/repartition ops carry
+  // repartition_op_id != 0 and are not workload co-access.
+  std::vector<storage::TupleKey> keys;
+  keys.reserve(t.ops.size());
+  for (const txn::Operation& op : t.ops) {
+    if (op.repartition_op_id != 0) continue;
+    keys.push_back(op.key);
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  if (keys.empty() || keys.size() > config_.max_keys_per_txn) return;
+
+  ++txns_observed_;
+  for (storage::TupleKey k : keys) vertices_[k].weight += 1;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    for (size_t j = i + 1; j < keys.size(); ++j) {
+      Vertex& va = vertices_[keys[i]];
+      auto [it, inserted] = va.out.try_emplace(keys[j], 0);
+      it->second += 1;
+      vertices_[keys[j]].out[keys[i]] += 1;
+      if (inserted) ++edge_count_;
+    }
+  }
+  if (edge_count_ > config_.max_edges) EvictOverCap();
+}
+
+void CoAccessGraph::EraseEdge(storage::TupleKey a, storage::TupleKey b) {
+  auto ia = vertices_.find(a);
+  auto ib = vertices_.find(b);
+  if (ia != vertices_.end()) ia->second.out.erase(b);
+  if (ib != vertices_.end()) ib->second.out.erase(a);
+  --edge_count_;
+}
+
+void CoAccessGraph::EvictOverCap() {
+  if (edge_count_ <= config_.max_edges) return;
+  std::vector<Edge> edges = SortedEdges();
+  // Lightest first; SortedEdges' (a, b) order makes ties deterministic.
+  std::stable_sort(edges.begin(), edges.end(),
+                   [](const Edge& x, const Edge& y) {
+                     return x.weight < y.weight;
+                   });
+  const size_t excess = edge_count_ - config_.max_edges;
+  for (size_t i = 0; i < excess && i < edges.size(); ++i) {
+    EraseEdge(edges[i].a, edges[i].b);
+  }
+}
+
+void CoAccessGraph::Decay() {
+  std::vector<std::pair<storage::TupleKey, storage::TupleKey>> dead_edges;
+  for (auto& [key, v] : vertices_) {
+    v.weight >>= config_.decay_shift;
+    for (auto& [nbr, w] : v.out) {
+      w >>= config_.decay_shift;
+      if (w < config_.min_edge_weight && key < nbr) {
+        dead_edges.emplace_back(key, nbr);
+      }
+    }
+  }
+  for (const auto& [a, b] : dead_edges) EraseEdge(a, b);
+  // Drop vertices that decayed to nothing and have no edges left.
+  for (auto it = vertices_.begin(); it != vertices_.end();) {
+    if (it->second.weight == 0 && it->second.out.empty()) {
+      it = vertices_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  EvictOverCap();
+}
+
+uint64_t CoAccessGraph::VertexWeight(storage::TupleKey key) const {
+  auto it = vertices_.find(key);
+  return it == vertices_.end() ? 0 : it->second.weight;
+}
+
+uint64_t CoAccessGraph::EdgeWeight(storage::TupleKey a,
+                                   storage::TupleKey b) const {
+  auto it = vertices_.find(a);
+  if (it == vertices_.end()) return 0;
+  auto e = it->second.out.find(b);
+  return e == it->second.out.end() ? 0 : e->second;
+}
+
+std::vector<storage::TupleKey> CoAccessGraph::SortedVertices() const {
+  std::vector<storage::TupleKey> keys;
+  keys.reserve(vertices_.size());
+  for (const auto& [key, v] : vertices_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+std::vector<CoAccessGraph::Edge> CoAccessGraph::SortedEdges() const {
+  std::vector<Edge> edges;
+  edges.reserve(edge_count_);
+  for (const auto& [key, v] : vertices_) {
+    for (const auto& [nbr, w] : v.out) {
+      if (key < nbr) edges.push_back({key, nbr, w});
+    }
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& x, const Edge& y) {
+    return x.a != y.a ? x.a < y.a : x.b < y.b;
+  });
+  return edges;
+}
+
+std::vector<std::pair<storage::TupleKey, uint64_t>>
+CoAccessGraph::NeighborsOf(storage::TupleKey key) const {
+  std::vector<std::pair<storage::TupleKey, uint64_t>> out;
+  auto it = vertices_.find(key);
+  if (it == vertices_.end()) return out;
+  out.reserve(it->second.out.size());
+  for (const auto& [nbr, w] : it->second.out) out.emplace_back(nbr, w);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace soap::planner

@@ -1,0 +1,89 @@
+// Sliding-window tuple co-access graph (the workload model of Schism,
+// SWORD and the hypergraph partitioners): vertices are tuple keys weighted
+// by access rate, edges connect keys touched by the same committed
+// transaction, weighted by co-access frequency. Memory stays bounded by
+// deterministic exponential decay (right-shift per interval) plus
+// lowest-weight-first eviction against hard caps — no wall clock, no
+// hashing-order dependence in anything observable.
+
+#ifndef SOAP_PLANNER_CO_ACCESS_GRAPH_H_
+#define SOAP_PLANNER_CO_ACCESS_GRAPH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/storage/tuple.h"
+#include "src/txn/transaction.h"
+
+namespace soap::planner {
+
+struct CoAccessGraphConfig {
+  /// Right-shift applied to every vertex/edge weight at Decay(); 1 halves
+  /// the window each interval, making the effective sliding window a few
+  /// intervals deep.
+  uint32_t decay_shift = 1;
+  /// Edges whose weight falls below this after decay are evicted.
+  uint64_t min_edge_weight = 1;
+  /// Hard cap on undirected edge count; exceeding it evicts the lightest
+  /// edges (ties broken by key order) until back under the cap.
+  size_t max_edges = 1u << 20;
+  /// Transactions touching more keys than this are ignored (quadratic
+  /// edge fan-out guard; normal SOAP transactions touch 5 keys).
+  size_t max_keys_per_txn = 32;
+};
+
+class CoAccessGraph {
+ public:
+  explicit CoAccessGraph(CoAccessGraphConfig config = {})
+      : config_(config) {}
+
+  /// Feeds one committed normal transaction: each distinct key's vertex
+  /// weight +1, each distinct key pair's edge weight +1.
+  void Observe(const txn::Transaction& t);
+
+  /// Ages the window: every weight >>= decay_shift, then evicts edges
+  /// below min_edge_weight, isolated zero-weight vertices, and (if still
+  /// over max_edges) the lightest edges.
+  void Decay();
+
+  uint64_t VertexWeight(storage::TupleKey key) const;
+  uint64_t EdgeWeight(storage::TupleKey a, storage::TupleKey b) const;
+
+  size_t vertex_count() const { return vertices_.size(); }
+  size_t edge_count() const { return edge_count_; }
+  uint64_t txns_observed() const { return txns_observed_; }
+
+  /// Deterministic snapshots for the partitioner (sorted by key).
+  std::vector<storage::TupleKey> SortedVertices() const;
+  struct Edge {
+    storage::TupleKey a = 0;  // a < b
+    storage::TupleKey b = 0;
+    uint64_t weight = 0;
+  };
+  std::vector<Edge> SortedEdges() const;
+
+  /// Sorted neighbours of one vertex with edge weights.
+  std::vector<std::pair<storage::TupleKey, uint64_t>> NeighborsOf(
+      storage::TupleKey key) const;
+
+ private:
+  struct Vertex {
+    uint64_t weight = 0;
+    /// Adjacency is stored in both directions with equal weights.
+    std::unordered_map<storage::TupleKey, uint64_t> out;
+  };
+
+  void EraseEdge(storage::TupleKey a, storage::TupleKey b);
+  void EvictOverCap();
+
+  CoAccessGraphConfig config_;
+  std::unordered_map<storage::TupleKey, Vertex> vertices_;
+  size_t edge_count_ = 0;  // undirected pairs
+  uint64_t txns_observed_ = 0;
+};
+
+}  // namespace soap::planner
+
+#endif  // SOAP_PLANNER_CO_ACCESS_GRAPH_H_

@@ -1,0 +1,176 @@
+#include "src/planner/graph_partitioner.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace soap::planner {
+
+Clustering GraphPartitioner::Partition(const CoAccessGraph& graph,
+                                       const router::RoutingTable& routing,
+                                       uint32_t num_partitions) const {
+  Clustering out;
+  out.keys = graph.SortedVertices();
+  out.load.assign(num_partitions, 0.0);
+  const size_t n = out.keys.size();
+  out.partition_of.resize(n);
+  if (n == 0 || num_partitions == 0) return out;
+
+  std::unordered_map<storage::TupleKey, uint32_t> index_of;
+  index_of.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    index_of[out.keys[i]] = static_cast<uint32_t>(i);
+  }
+
+  // CSR adjacency restricted to graph vertices (sorted per vertex).
+  std::vector<uint32_t> adj_start(n + 1, 0);
+  std::vector<uint32_t> adj_vertex;
+  std::vector<uint64_t> adj_weight;
+  {
+    const std::vector<CoAccessGraph::Edge> edges = graph.SortedEdges();
+    std::vector<uint32_t> degree(n, 0);
+    for (const CoAccessGraph::Edge& e : edges) {
+      ++degree[index_of[e.a]];
+      ++degree[index_of[e.b]];
+    }
+    for (size_t i = 0; i < n; ++i) adj_start[i + 1] = adj_start[i] + degree[i];
+    adj_vertex.resize(adj_start[n]);
+    adj_weight.resize(adj_start[n]);
+    std::vector<uint32_t> fill(adj_start.begin(), adj_start.end() - 1);
+    for (const CoAccessGraph::Edge& e : edges) {
+      const uint32_t ia = index_of[e.a];
+      const uint32_t ib = index_of[e.b];
+      adj_vertex[fill[ia]] = ib;
+      adj_weight[fill[ia]++] = e.weight;
+      adj_vertex[fill[ib]] = ia;
+      adj_weight[fill[ib]++] = e.weight;
+    }
+  }
+
+  // Seed labels from the live routing; a vertex each weighs at least 1
+  // toward balance so cold-but-present tuples still count.
+  std::vector<uint32_t> label(n, 0);
+  std::vector<double> vweight(n, 1.0);
+  double total_weight = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    Result<router::PartitionId> p = routing.GetPrimary(out.keys[i]);
+    label[i] = p.ok() ? (*p % num_partitions) : static_cast<uint32_t>(
+                                                    out.keys[i] %
+                                                    num_partitions);
+    const uint64_t w = graph.VertexWeight(out.keys[i]);
+    vweight[i] = w > 0 ? static_cast<double>(w) : 1.0;
+    total_weight += vweight[i];
+    out.load[label[i]] += vweight[i];
+  }
+  const std::vector<uint32_t> seed_label = label;
+  const double cap =
+      config_.balance_slack * total_weight / static_cast<double>(num_partitions);
+
+  // Label propagation: sorted visit order + lowest-partition tie-break
+  // keep every sweep deterministic.
+  std::vector<uint64_t> weight_to(num_partitions, 0);
+  auto gather = [&](size_t i) {
+    std::fill(weight_to.begin(), weight_to.end(), 0);
+    for (uint32_t e = adj_start[i]; e < adj_start[i + 1]; ++e) {
+      weight_to[label[adj_vertex[e]]] += adj_weight[e];
+    }
+  };
+  auto sweep = [&]() {
+    uint32_t changed = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (adj_start[i] == adj_start[i + 1]) continue;
+      gather(i);
+      const uint32_t cur = label[i];
+      uint32_t best = cur;
+      uint64_t best_w = weight_to[cur];
+      for (uint32_t p = 0; p < num_partitions; ++p) {
+        if (weight_to[p] > best_w) {
+          best = p;
+          best_w = weight_to[p];
+        }
+      }
+      if (best == cur) continue;
+      if (best_w < weight_to[cur] + config_.min_gain) continue;
+      if (out.load[best] + vweight[i] > cap) continue;
+      out.load[cur] -= vweight[i];
+      out.load[best] += vweight[i];
+      label[i] = best;
+      ++changed;
+    }
+    return changed;
+  };
+  for (uint32_t pass = 0; pass < config_.max_passes; ++pass) {
+    if (sweep() == 0) break;
+  }
+
+  // Balance stage. Propagation only refuses to move weight INTO an
+  // over-cap partition; it never drains one that drift overloaded — a
+  // hot vertex's neighbours share its label, so the majority vote says
+  // stay. Evict the weakest-attached vertices from each over-cap
+  // partition to the best under-cap alternative (max co-access pull,
+  // then least load, then lowest index), and let a propagation sweep
+  // re-cohere the displaced co-access groups.
+  auto evict = [&]() {
+    uint32_t moved = 0;
+    for (uint32_t p = 0; p < num_partitions; ++p) {
+      if (out.load[p] <= cap) continue;
+      // (attachment to own partition, vertex index): weakest leave
+      // first, so the cut pays as little as possible for balance.
+      std::vector<std::pair<uint64_t, uint32_t>> members;
+      for (size_t i = 0; i < n; ++i) {
+        if (label[i] != p) continue;
+        uint64_t attach = 0;
+        for (uint32_t e = adj_start[i]; e < adj_start[i + 1]; ++e) {
+          if (label[adj_vertex[e]] == p) attach += adj_weight[e];
+        }
+        members.emplace_back(attach, static_cast<uint32_t>(i));
+      }
+      std::sort(members.begin(), members.end());
+      for (const auto& member : members) {
+        if (out.load[p] <= cap) break;
+        const size_t i = member.second;
+        gather(i);
+        uint32_t best = num_partitions;
+        uint64_t best_w = 0;
+        for (uint32_t q = 0; q < num_partitions; ++q) {
+          if (q == p || out.load[q] + vweight[i] > cap) continue;
+          if (best == num_partitions || weight_to[q] > best_w ||
+              (weight_to[q] == best_w && out.load[q] < out.load[best])) {
+            best = q;
+            best_w = weight_to[q];
+          }
+        }
+        if (best == num_partitions) continue;
+        out.load[p] -= vweight[i];
+        out.load[best] += vweight[i];
+        label[i] = best;
+        ++moved;
+      }
+    }
+    return moved;
+  };
+  for (uint32_t round = 0; round < config_.max_passes; ++round) {
+    if (evict() == 0) break;
+    if (sweep() == 0) break;
+  }
+  evict();  // sweeps respect the cap, but re-drain in case one refilled
+
+  for (size_t i = 0; i < n; ++i) {
+    out.partition_of[i] = label[i];
+    if (label[i] != seed_label[i]) ++out.moved;
+  }
+  // Objective decomposition over undirected edges.
+  for (size_t i = 0; i < n; ++i) {
+    for (uint32_t e = adj_start[i]; e < adj_start[i + 1]; ++e) {
+      const uint32_t j = adj_vertex[e];
+      if (j <= i) continue;  // count each undirected edge once
+      if (label[i] == label[j]) {
+        out.internal_weight += adj_weight[e];
+      } else {
+        out.cut_weight += adj_weight[e];
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace soap::planner

@@ -1,0 +1,64 @@
+#include "src/planner/plan_builder.h"
+
+#include <algorithm>
+
+namespace soap::planner {
+
+BuiltPlan PlanBuilder::Build(const Clustering& clustering,
+                             const CoAccessGraph& graph,
+                             const router::RoutingTable& routing,
+                             repartition::OpIdAllocator* ids) const {
+  struct Move {
+    storage::TupleKey key = 0;
+    uint32_t source = 0;
+    uint32_t target = 0;
+    uint64_t heat = 0;
+  };
+  std::vector<Move> moves;
+  for (size_t i = 0; i < clustering.keys.size(); ++i) {
+    const storage::TupleKey key = clustering.keys[i];
+    Result<router::PartitionId> cur = routing.GetPrimary(key);
+    if (!cur.ok()) continue;
+    const uint32_t want = clustering.partition_of[i];
+    if (*cur == want) continue;
+    const uint64_t heat = graph.VertexWeight(key);
+    if (heat < config_.min_vertex_weight) continue;
+    moves.push_back({key, *cur, want, heat});
+  }
+
+  BuiltPlan out;
+  if (config_.max_ops > 0 && moves.size() > config_.max_ops) {
+    out.dropped = moves.size() - config_.max_ops;
+    std::stable_sort(moves.begin(), moves.end(),
+                     [](const Move& x, const Move& y) {
+                       if (x.heat != y.heat) return x.heat > y.heat;
+                       return x.key < y.key;
+                     });
+    moves.resize(config_.max_ops);
+    // Emission order stays key-sorted regardless of the heat cut.
+    std::sort(moves.begin(), moves.end(),
+              [](const Move& x, const Move& y) { return x.key < y.key; });
+  }
+
+  out.plan.epoch = ids->BeginEpoch();
+  out.plan.ops.reserve(moves.size());
+  for (const Move& m : moves) {
+    repartition::RepartitionOp op;
+    op.id = ids->Allocate();
+    op.type = repartition::RepartitionOpType::kObjectsMigration;
+    op.key = m.key;
+    op.source_partition = m.source;
+    op.target_partition = m.target;
+    const uint32_t tmpl = catalog_->TemplateOfKey(m.key);
+    if (tmpl != workload::TemplateCatalog::kNoTemplate) {
+      op.affected_templates.push_back(tmpl);
+    }
+    out.plan.ops.push_back(std::move(op));
+  }
+  if (!out.plan.ops.empty()) {
+    out.deploy_cost = cost_model_->RepartitionTxnCost(out.plan.ops);
+  }
+  return out;
+}
+
+}  // namespace soap::planner

@@ -1,0 +1,58 @@
+// Turns a clustering into a deployable RepartitionPlan: diffs the desired
+// labels against the live routing table, emits one migration op per tuple
+// that must move, prices the plan with the existing CostModel, and draws
+// op ids from the run-wide OpIdAllocator so successive generations never
+// collide in the registry's idempotency tracking.
+
+#ifndef SOAP_PLANNER_PLAN_BUILDER_H_
+#define SOAP_PLANNER_PLAN_BUILDER_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/planner/co_access_graph.h"
+#include "src/planner/graph_partitioner.h"
+#include "src/repartition/cost_model.h"
+#include "src/repartition/operation.h"
+#include "src/router/routing_table.h"
+#include "src/workload/template_catalog.h"
+
+namespace soap::planner {
+
+struct PlanBuilderConfig {
+  /// Cap on migration ops per generation (0 = unlimited); when over, the
+  /// hottest tuples (highest vertex weight, ties by key) win.
+  size_t max_ops = 2048;
+  /// Tuples colder than this vertex weight are not worth migrating.
+  uint64_t min_vertex_weight = 1;
+};
+
+struct BuiltPlan {
+  repartition::RepartitionPlan plan;
+  /// CostModel price of deploying the plan (one standalone repartition
+  /// txn worth of node work per op batch; diagnostic only).
+  Duration deploy_cost = 0;
+  /// Moves dropped by the max_ops cap (0 = plan is complete).
+  size_t dropped = 0;
+};
+
+class PlanBuilder {
+ public:
+  PlanBuilder(const workload::TemplateCatalog* catalog,
+              const repartition::CostModel* cost_model,
+              PlanBuilderConfig config = {})
+      : catalog_(catalog), cost_model_(cost_model), config_(config) {}
+
+  BuiltPlan Build(const Clustering& clustering, const CoAccessGraph& graph,
+                  const router::RoutingTable& routing,
+                  repartition::OpIdAllocator* ids) const;
+
+ private:
+  const workload::TemplateCatalog* catalog_;
+  const repartition::CostModel* cost_model_;
+  PlanBuilderConfig config_;
+};
+
+}  // namespace soap::planner
+
+#endif  // SOAP_PLANNER_PLAN_BUILDER_H_

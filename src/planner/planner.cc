@@ -1,0 +1,84 @@
+#include "src/planner/planner.h"
+
+namespace soap::planner {
+
+Planner::Planner(const workload::TemplateCatalog* catalog,
+                 const router::RoutingTable* routing,
+                 core::Repartitioner* repartitioner, PlannerConfig config)
+    : catalog_(catalog),
+      routing_(routing),
+      repartitioner_(repartitioner),
+      config_(config),
+      graph_(config.graph),
+      partitioner_(config.partitioner),
+      builder_(catalog, &repartitioner->cost_model(), config.builder) {}
+
+void Planner::OnTxnComplete(const txn::Transaction& t) {
+  if (t.is_repartition || !t.committed()) return;
+  graph_.Observe(t);
+  ++stats_.txns_observed;
+}
+
+void Planner::OnIntervalTick(uint32_t interval) {
+  if (interval + 1 >= config_.first_plan_interval) {
+    const uint32_t since_eligible = interval + 1 - config_.first_plan_interval;
+    if (since_eligible % config_.replan_period == 0) TryReplan();
+  }
+  graph_.Decay();
+  if (m_graph_vertices_ != nullptr) {
+    m_graph_vertices_->Set(static_cast<double>(graph_.vertex_count()));
+    m_graph_edges_->Set(static_cast<double>(graph_.edge_count()));
+    m_cut_weight_->Set(static_cast<double>(stats_.last_cut_weight));
+    m_plans_emitted_->Set(static_cast<double>(stats_.plans_emitted));
+    m_ops_emitted_->Set(static_cast<double>(stats_.ops_emitted));
+  }
+}
+
+void Planner::TryReplan() {
+  // A still-deploying generation must finish first: op ids in flight keep
+  // their registry entries until AllDone, and FinishRound() refuses to
+  // retire an unfinished round.
+  if (repartitioner_->active()) {
+    if (!repartitioner_->FinishRound()) {
+      ++stats_.replans_skipped_active;
+      return;
+    }
+  }
+  const Clustering clustering = partitioner_.Partition(
+      graph_, *routing_, catalog_->num_partitions());
+  stats_.last_cut_weight = clustering.cut_weight;
+  stats_.last_internal_weight = clustering.internal_weight;
+  stats_.last_graph_vertices = graph_.vertex_count();
+  stats_.last_graph_edges = graph_.edge_count();
+  stats_.last_moved = clustering.moved;
+
+  const BuiltPlan built = builder_.Build(clustering, graph_, *routing_,
+                                         &repartitioner_->op_ids());
+  stats_.ops_dropped_by_cap += built.dropped;
+  if (built.plan.size() < config_.min_plan_ops) {
+    ++stats_.replans_skipped_small;
+    return;
+  }
+  if (repartitioner_->StartRepartitioningWithPlan(built.plan)) {
+    ++stats_.plans_emitted;
+    stats_.ops_emitted += built.plan.size();
+  }
+}
+
+void Planner::BindMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    m_graph_vertices_ = nullptr;
+    m_graph_edges_ = nullptr;
+    m_cut_weight_ = nullptr;
+    m_plans_emitted_ = nullptr;
+    m_ops_emitted_ = nullptr;
+    return;
+  }
+  m_graph_vertices_ = registry->GetGauge("soap_planner_graph_vertices");
+  m_graph_edges_ = registry->GetGauge("soap_planner_graph_edges");
+  m_cut_weight_ = registry->GetGauge("soap_planner_cut_weight");
+  m_plans_emitted_ = registry->GetGauge("soap_planner_plans_emitted");
+  m_ops_emitted_ = registry->GetGauge("soap_planner_ops_emitted");
+}
+
+}  // namespace soap::planner

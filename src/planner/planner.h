@@ -1,0 +1,102 @@
+// The online planner: closes the monitor→plan→deploy loop the paper
+// leaves open. Committed transactions feed the CoAccessGraph; every
+// replan_period intervals the GraphPartitioner re-clusters the graph, the
+// PlanBuilder diffs the clustering against the live routing table, and —
+// if the previous generation has fully deployed — the resulting plan is
+// handed to the Repartitioner, which packages, ranks and schedules it with
+// whichever of the five strategies the experiment configured. Disabled
+// (the default) the planner is never constructed and every run stays
+// byte-identical to the static pipeline.
+
+#ifndef SOAP_PLANNER_PLANNER_H_
+#define SOAP_PLANNER_PLANNER_H_
+
+#include <cstdint>
+
+#include "src/core/repartitioner.h"
+#include "src/obs/metrics.h"
+#include "src/planner/co_access_graph.h"
+#include "src/planner/graph_partitioner.h"
+#include "src/planner/plan_builder.h"
+#include "src/workload/template_catalog.h"
+
+namespace soap::planner {
+
+struct PlannerConfig {
+  /// Off by default: experiments construct a Planner only when set, so
+  /// the static pipeline stays untouched.
+  bool enabled = false;
+  /// First interval index (0-based, counted like the experiment's
+  /// interval ticks) at which a plan may be deployed; 0 = "at the end of
+  /// warmup", resolved by the experiment.
+  uint32_t first_plan_interval = 0;
+  /// Intervals between generation attempts.
+  uint32_t replan_period = 3;
+  /// Generations that would move fewer tuples than this are skipped
+  /// (deployment churn guard).
+  size_t min_plan_ops = 8;
+  CoAccessGraphConfig graph;
+  GraphPartitionerConfig partitioner;
+  PlanBuilderConfig builder;
+};
+
+struct PlannerStats {
+  uint64_t txns_observed = 0;
+  uint64_t plans_emitted = 0;
+  uint64_t ops_emitted = 0;
+  /// Replan attempts skipped because the previous generation was still
+  /// deploying.
+  uint64_t replans_skipped_active = 0;
+  /// Replan attempts skipped because the diff was below min_plan_ops.
+  uint64_t replans_skipped_small = 0;
+  uint64_t ops_dropped_by_cap = 0;
+  uint64_t last_cut_weight = 0;
+  uint64_t last_internal_weight = 0;
+  uint64_t last_graph_vertices = 0;
+  uint64_t last_graph_edges = 0;
+  uint64_t last_moved = 0;
+};
+
+class Planner {
+ public:
+  Planner(const workload::TemplateCatalog* catalog,
+          const router::RoutingTable* routing,
+          core::Repartitioner* repartitioner, PlannerConfig config);
+
+  /// Feed from the TM completion callback; only committed normal
+  /// transactions enter the graph.
+  void OnTxnComplete(const txn::Transaction& t);
+
+  /// One experiment interval closed (0-based index). Replans on schedule,
+  /// then ages the graph window.
+  void OnIntervalTick(uint32_t interval);
+
+  const PlannerStats& stats() const { return stats_; }
+  const CoAccessGraph& graph() const { return graph_; }
+  const PlannerConfig& config() const { return config_; }
+
+  /// Publishes soap_planner_* gauges; nullptr detaches.
+  void BindMetrics(obs::MetricsRegistry* registry);
+
+ private:
+  void TryReplan();
+
+  const workload::TemplateCatalog* catalog_;
+  const router::RoutingTable* routing_;
+  core::Repartitioner* repartitioner_;
+  PlannerConfig config_;
+  CoAccessGraph graph_;
+  GraphPartitioner partitioner_;
+  PlanBuilder builder_;
+  PlannerStats stats_;
+  // Observability hooks; nullptr when disabled.
+  obs::Gauge* m_graph_vertices_ = nullptr;
+  obs::Gauge* m_graph_edges_ = nullptr;
+  obs::Gauge* m_cut_weight_ = nullptr;
+  obs::Gauge* m_plans_emitted_ = nullptr;
+  obs::Gauge* m_ops_emitted_ = nullptr;
+};
+
+}  // namespace soap::planner
+
+#endif  // SOAP_PLANNER_PLANNER_H_

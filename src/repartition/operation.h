@@ -36,12 +36,34 @@ struct RepartitionOp {
   double benefit = 0.0;
 };
 
-/// The optimizer's output: the full set of plan units.
+/// The optimizer's output: the full set of plan units. `epoch` numbers the
+/// plan generation the ids were drawn in (1-based; 0 = unset/legacy).
 struct RepartitionPlan {
   std::vector<RepartitionOp> ops;
+  uint64_t epoch = 0;
 
   bool empty() const { return ops.empty(); }
   size_t size() const { return ops.size(); }
+};
+
+/// Monotonic op-id source shared by every plan producer in a run. Op ids
+/// feed the TM's applied-op idempotency tracking and the RepRate metric,
+/// so ids from successive plan generations must never collide — each
+/// generation opens a new epoch and keeps drawing from the same counter.
+class OpIdAllocator {
+ public:
+  /// Next unique op id (1-based, never reused within a run).
+  uint64_t Allocate() { return next_id_++; }
+
+  /// Opens a new plan generation and returns its epoch number (1-based).
+  uint64_t BeginEpoch() { return ++epochs_; }
+
+  uint64_t next_id() const { return next_id_; }
+  uint64_t epochs() const { return epochs_; }
+
+ private:
+  uint64_t next_id_ = 1;
+  uint64_t epochs_ = 0;
 };
 
 }  // namespace soap::repartition

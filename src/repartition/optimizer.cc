@@ -51,10 +51,10 @@ Duration Optimizer::TemplateGain(uint32_t template_id,
          cost_model_->CollocatedTxnCost();
 }
 
-RepartitionPlan Optimizer::DerivePlan(
-    const router::RoutingTable& routing) const {
+RepartitionPlan Optimizer::DerivePlan(const router::RoutingTable& routing,
+                                      OpIdAllocator* ids) const {
   RepartitionPlan plan;
-  uint64_t next_id = 1;
+  plan.epoch = ids->BeginEpoch();
   for (uint32_t t = 0; t < catalog_->size(); ++t) {
     const workload::TxnTemplate& tmpl = catalog_->at(t);
     // Current placement of the template's keys.
@@ -81,7 +81,7 @@ RepartitionPlan Optimizer::DerivePlan(
     for (const auto& [key, partition] : key_partitions) {
       if (partition == target) continue;
       RepartitionOp op;
-      op.id = next_id++;
+      op.id = ids->Allocate();
       op.type = RepartitionOpType::kObjectsMigration;
       op.key = key;
       op.source_partition = partition;

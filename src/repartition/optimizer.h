@@ -46,8 +46,17 @@ class Optimizer {
 
   /// Derives the plan from the *actual* current placement: one migration
   /// unit per key that must move for its template to become collocated.
-  /// Op ids are assigned 1..N.
-  RepartitionPlan DerivePlan(const router::RoutingTable& routing) const;
+  /// Op ids are drawn from `ids`, which survives across calls so that
+  /// successive plan generations never reuse an id (registry idempotency
+  /// and applied-op tracking key on them).
+  RepartitionPlan DerivePlan(const router::RoutingTable& routing,
+                             OpIdAllocator* ids) const;
+
+  /// Convenience overload backed by an optimizer-owned allocator: the
+  /// first call yields ids 1..N, later calls continue monotonically.
+  RepartitionPlan DerivePlan(const router::RoutingTable& routing) const {
+    return DerivePlan(routing, &own_ids_);
+  }
 
   /// Per-template gain the plan realises: Ci(O) - Ci(P) in node-work
   /// microseconds (0 when the template is already collocated).
@@ -63,6 +72,9 @@ class Optimizer {
   const CostModel* cost_model_;
   uint32_t total_workers_;
   OptimizerConfig config_;
+  /// Backs the allocator-less DerivePlan overload; mutable because id
+  /// allocation is bookkeeping, not optimizer state the plan depends on.
+  mutable OpIdAllocator own_ids_;
 };
 
 }  // namespace soap::repartition

@@ -94,6 +94,12 @@ struct Transaction {
   /// (the paper's t_i); repartition txns record the template they benefit.
   uint32_t template_id = 0;
 
+  /// Partner template whose keys a drifting (paired) workload mixed into
+  /// this transaction's tail queries; kNoPartnerTemplate for the ordinary
+  /// single-template case.
+  static constexpr uint32_t kNoPartnerTemplate = UINT32_MAX;
+  uint32_t partner_template = kNoPartnerTemplate;
+
   /// The transaction body.
   std::vector<Operation> ops;
 

@@ -8,7 +8,12 @@ WorkloadGenerator::WorkloadGenerator(const TemplateCatalog* catalog,
                                      uint64_t seed)
     : catalog_(catalog),
       rng_(seed),
-      zipf_(catalog->size(), catalog->spec().zipf_s) {}
+      zipf_(catalog->size(), catalog->spec().zipf_s) {
+  phase_zipf_.reserve(catalog->spec().phases.size());
+  for (const DriftPhase& ph : catalog->spec().phases) {
+    phase_zipf_.emplace_back(catalog->size(), ph.zipf_s);
+  }
+}
 
 uint32_t WorkloadGenerator::SampleTemplate() {
   if (catalog_->spec().distribution == PopularityDist::kZipf) {
@@ -18,10 +23,40 @@ uint32_t WorkloadGenerator::SampleTemplate() {
 }
 
 std::unique_ptr<txn::Transaction> WorkloadGenerator::GenerateOne() {
-  const uint32_t tmpl = SampleTemplate();
+  return GenerateOneInPhase(nullptr, -1);
+}
+
+std::unique_ptr<txn::Transaction> WorkloadGenerator::GenerateOne(
+    uint32_t interval) {
+  const int idx = catalog_->spec().PhaseIndexAt(interval);
+  return GenerateOneInPhase(catalog_->spec().PhaseAt(interval), idx);
+}
+
+std::unique_ptr<txn::Transaction> WorkloadGenerator::GenerateOneInPhase(
+    const DriftPhase* phase, int phase_index) {
+  const auto n = static_cast<uint32_t>(catalog_->size());
+  uint32_t tmpl;
+  bool paired = false;
+  if (phase == nullptr) {
+    tmpl = SampleTemplate();
+  } else {
+    uint32_t rank;
+    if (catalog_->spec().distribution == PopularityDist::kZipf) {
+      rank = static_cast<uint32_t>(
+          phase_zipf_[static_cast<size_t>(phase_index)].Sample(rng_));
+    } else {
+      rank = static_cast<uint32_t>(rng_.NextUint64(n));
+    }
+    tmpl = (rank + phase->rotation) % n;
+    paired = phase->pair_fraction > 0.0 &&
+             rng_.NextBernoulli(phase->pair_fraction);
+  }
   ++generated_;
-  return catalog_->Instantiate(tmpl,
-                               static_cast<int64_t>(rng_.Next() >> 32));
+  const auto value = static_cast<int64_t>(rng_.Next() >> 32);
+  if (!paired) return catalog_->Instantiate(tmpl, value);
+  const uint32_t partner = (tmpl + phase->pair_stride) % n;
+  if (partner == tmpl) return catalog_->Instantiate(tmpl, value);
+  return catalog_->InstantiatePaired(tmpl, partner, value);
 }
 
 std::vector<std::unique_ptr<txn::Transaction>>
@@ -30,6 +65,18 @@ WorkloadGenerator::GenerateInterval(double mean_arrivals) {
   std::vector<std::unique_ptr<txn::Transaction>> batch;
   batch.reserve(static_cast<size_t>(count));
   for (int64_t i = 0; i < count; ++i) batch.push_back(GenerateOne());
+  return batch;
+}
+
+std::vector<std::unique_ptr<txn::Transaction>>
+WorkloadGenerator::GenerateInterval(double mean_arrivals,
+                                    uint32_t interval) {
+  const int64_t count = rng_.NextPoisson(mean_arrivals);
+  std::vector<std::unique_ptr<txn::Transaction>> batch;
+  batch.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    batch.push_back(GenerateOne(interval));
+  }
   return batch;
 }
 

@@ -40,9 +40,19 @@ class WorkloadGenerator {
   /// Instantiates one normal transaction.
   std::unique_ptr<txn::Transaction> GenerateOne();
 
+  /// Instantiates one transaction under the drift phase (if any)
+  /// governing `interval`. With no phases this takes *exactly* the same
+  /// RNG draw path as GenerateOne(), keeping stationary runs
+  /// bit-identical.
+  std::unique_ptr<txn::Transaction> GenerateOne(uint32_t interval);
+
   /// Poisson(mean_arrivals) transactions for one interval.
   std::vector<std::unique_ptr<txn::Transaction>> GenerateInterval(
       double mean_arrivals);
+
+  /// Phase-aware variant used by drifting experiments.
+  std::vector<std::unique_ptr<txn::Transaction>> GenerateInterval(
+      double mean_arrivals, uint32_t interval);
 
   /// Mean node-work cost of one transaction under the *initial* placement
   /// (frequency-weighted over distributed/collocated templates).
@@ -58,9 +68,15 @@ class WorkloadGenerator {
   uint64_t generated() const { return generated_; }
 
  private:
+  /// One transaction under `phase` (nullptr = stationary path).
+  std::unique_ptr<txn::Transaction> GenerateOneInPhase(const DriftPhase* phase,
+                                                       int phase_index);
+
   const TemplateCatalog* catalog_;
   Rng rng_;
   ZipfSampler zipf_;
+  /// Per-phase rank samplers (parallel to spec().phases; Zipf only).
+  std::vector<ZipfSampler> phase_zipf_;
   uint64_t generated_ = 0;
 };
 

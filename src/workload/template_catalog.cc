@@ -63,6 +63,7 @@ TemplateCatalog::TemplateCatalog(const WorkloadSpec& spec,
   }
 
   templates_.resize(spec.num_templates);
+  template_of_.assign(spec.num_keys, kNoTemplate);
   const uint32_t q = spec.queries_per_txn;
   for (uint32_t t = 0; t < spec.num_templates; ++t) {
     TxnTemplate& tmpl = templates_[t];
@@ -81,6 +82,7 @@ TemplateCatalog::TemplateCatalog(const WorkloadSpec& spec,
     for (uint32_t i = 0; i < q; ++i) {
       tmpl.keys.push_back(perm[static_cast<uint64_t>(t) * q + i]);
       tmpl.is_write.push_back(i >= q - writes);
+      template_of_[tmpl.keys.back()] = t;
     }
     if (tmpl.initially_distributed) {
       // The last floor(q/2) keys start on the next partition and must be
@@ -118,6 +120,29 @@ std::unique_ptr<txn::Transaction> TemplateCatalog::Instantiate(
     txn::Operation op;
     op.kind = tmpl.is_write[i] ? txn::OpKind::kWrite : txn::OpKind::kRead;
     op.key = tmpl.keys[i];
+    op.write_value = write_value;
+    t->ops.push_back(op);
+  }
+  return t;
+}
+
+std::unique_ptr<txn::Transaction> TemplateCatalog::InstantiatePaired(
+    uint32_t base_template, uint32_t partner_template,
+    int64_t write_value) const {
+  const TxnTemplate& base = templates_.at(base_template);
+  const TxnTemplate& partner = templates_.at(partner_template);
+  const size_t q = base.keys.size();
+  const size_t head = q - q / 2;
+  auto t = std::make_unique<txn::Transaction>();
+  t->template_id = base_template;
+  t->partner_template = partner_template;
+  t->priority = txn::TxnPriority::kNormal;
+  t->ops.reserve(q);
+  for (size_t i = 0; i < q; ++i) {
+    txn::Operation op;
+    op.kind = base.is_write[i] ? txn::OpKind::kWrite : txn::OpKind::kRead;
+    op.key = i < head ? base.keys[i]
+                      : partner.keys[(i - head) % partner.keys.size()];
     op.write_value = write_value;
     t->ops.push_back(op);
   }

@@ -61,12 +61,29 @@ class TemplateCatalog {
   std::unique_ptr<txn::Transaction> Instantiate(uint32_t template_id,
                                                 int64_t write_value) const;
 
+  /// Instantiates a *paired* transaction (drifting workloads): the head
+  /// ceil(q/2) queries touch the base template's keys, the tail floor(q/2)
+  /// queries touch the partner template's first keys. Read/write kinds
+  /// follow the base template, so the read-before-write statement ordering
+  /// is preserved.
+  std::unique_ptr<txn::Transaction> InstantiatePaired(
+      uint32_t base_template, uint32_t partner_template,
+      int64_t write_value) const;
+
+  /// Owning template of a key, or kNoTemplate for unowned keys.
+  static constexpr uint32_t kNoTemplate = UINT32_MAX;
+  uint32_t TemplateOfKey(storage::TupleKey key) const {
+    return key < template_of_.size() ? template_of_[key] : kNoTemplate;
+  }
+
  private:
   WorkloadSpec spec_;
   uint32_t num_partitions_;
   std::vector<TxnTemplate> templates_;
   /// key -> initial partition for keys owned by templates.
   std::vector<uint32_t> initial_partition_;
+  /// key -> owning template (kNoTemplate for unowned keys).
+  std::vector<uint32_t> template_of_;
   uint32_t distributed_count_ = 0;
 };
 

@@ -21,7 +21,14 @@ std::vector<std::unique_ptr<txn::Transaction>> WorkloadTrace::ReplayInterval(
   for (const TraceEvent& ev : events_) {
     if (ev.interval != interval) continue;
     if (ev.template_id >= catalog.size()) continue;  // foreign trace
-    batch.push_back(catalog.Instantiate(ev.template_id, ev.write_value));
+    if (ev.partner_template != TraceEvent::kNoPartner &&
+        ev.partner_template < catalog.size() &&
+        ev.partner_template != ev.template_id) {
+      batch.push_back(catalog.InstantiatePaired(
+          ev.template_id, ev.partner_template, ev.write_value));
+    } else {
+      batch.push_back(catalog.Instantiate(ev.template_id, ev.write_value));
+    }
   }
   return batch;
 }
@@ -36,14 +43,32 @@ uint32_t WorkloadTrace::IntervalCount() const {
   return any ? max_interval + 1 : 0;
 }
 
+bool WorkloadTrace::NeedsV2() const {
+  for (const TraceEvent& ev : events_) {
+    if (ev.phase != 0 || ev.partner_template != TraceEvent::kNoPartner) {
+      return true;
+    }
+  }
+  return false;
+}
+
 Status WorkloadTrace::SaveToFile(const std::string& path,
                                  uint32_t num_templates) const {
   std::ofstream out(path);
   if (!out) return Status::Internal("cannot open " + path + " for writing");
-  out << "soap-trace v1 " << num_templates << "\n";
+  const bool v2 = NeedsV2();
+  out << "soap-trace " << (v2 ? "v2" : "v1") << " " << num_templates << "\n";
   for (const TraceEvent& ev : events_) {
-    out << ev.interval << " " << ev.template_id << " " << ev.write_value
-        << "\n";
+    out << ev.interval << " " << ev.template_id << " " << ev.write_value;
+    if (v2) {
+      out << " " << ev.phase << " ";
+      if (ev.partner_template == TraceEvent::kNoPartner) {
+        out << -1;
+      } else {
+        out << ev.partner_template;
+      }
+    }
+    out << "\n";
   }
   return out.good() ? Status::OK() : Status::Internal("short write");
 }
@@ -54,12 +79,31 @@ Result<WorkloadTrace> WorkloadTrace::LoadFromFile(const std::string& path) {
   std::string magic, version;
   uint32_t num_templates = 0;
   if (!(in >> magic >> version >> num_templates) || magic != "soap-trace" ||
-      version != "v1") {
-    return Status::Corruption("not a soap-trace v1 file: " + path);
+      (version != "v1" && version != "v2")) {
+    return Status::Corruption("not a soap-trace v1/v2 file: " + path);
   }
+  const bool v2 = version == "v2";
   WorkloadTrace trace;
   TraceEvent ev;
   while (in >> ev.interval >> ev.template_id >> ev.write_value) {
+    if (v2) {
+      int64_t partner = 0;
+      if (!(in >> ev.phase >> partner)) {
+        return Status::Corruption("truncated v2 record in " + path);
+      }
+      if (partner < 0) {
+        ev.partner_template = TraceEvent::kNoPartner;
+      } else if (partner >= static_cast<int64_t>(num_templates)) {
+        return Status::Corruption("partner template " +
+                                  std::to_string(partner) +
+                                  " out of range in " + path);
+      } else {
+        ev.partner_template = static_cast<uint32_t>(partner);
+      }
+    } else {
+      ev.phase = 0;
+      ev.partner_template = TraceEvent::kNoPartner;
+    }
     if (ev.template_id >= num_templates) {
       return Status::Corruption("template id " +
                                 std::to_string(ev.template_id) +

@@ -18,22 +18,43 @@
 
 namespace soap::workload {
 
-/// One recorded arrival.
+/// One recorded arrival. `phase` and `partner_template` capture drifting
+/// workloads (format v2): `phase` is the DriftPhase index governing the
+/// interval (0 when stationary) and `partner_template` is the paired
+/// template whose keys the transaction's tail queries touched
+/// (kNoPartner = ordinary single-template arrival).
 struct TraceEvent {
+  static constexpr uint32_t kNoPartner = UINT32_MAX;
   uint32_t interval = 0;
   uint32_t template_id = 0;
   int64_t write_value = 0;
+  uint32_t phase = 0;
+  uint32_t partner_template = kNoPartner;
 };
 
-/// An in-memory workload trace with text-file persistence. The file format
-/// is one line per arrival: "<interval> <template_id> <write_value>",
-/// preceded by a header line "soap-trace v1 <num_templates>".
+/// An in-memory workload trace with text-file persistence. File formats:
+///   v1: header "soap-trace v1 <num_templates>",
+///       lines "<interval> <template_id> <write_value>"
+///   v2: header "soap-trace v2 <num_templates>",
+///       lines "<interval> <template_id> <write_value> <phase> <partner>"
+///       where <partner> is -1 for unpaired arrivals.
+/// SaveToFile writes v1 whenever no event carries drift data, so
+/// stationary runs keep producing byte-identical trace files; v1 files
+/// load as phase 0 / unpaired (backward compatible).
 class WorkloadTrace {
  public:
   WorkloadTrace() = default;
 
   void Record(uint32_t interval, uint32_t template_id, int64_t write_value) {
-    events_.push_back({interval, template_id, write_value});
+    events_.push_back({interval, template_id, write_value, 0,
+                       TraceEvent::kNoPartner});
+  }
+
+  /// Drift-aware record (format v2 fields).
+  void Record(uint32_t interval, uint32_t template_id, int64_t write_value,
+              uint32_t phase, uint32_t partner_template) {
+    events_.push_back(
+        {interval, template_id, write_value, phase, partner_template});
   }
 
   size_t size() const { return events_.size(); }
@@ -43,12 +64,16 @@ class WorkloadTrace {
   std::vector<TraceEvent> EventsForInterval(uint32_t interval) const;
 
   /// Instantiates the interval's arrivals against a catalog (the replay
-  /// side of the record/replay pair).
+  /// side of the record/replay pair). Paired arrivals replay through
+  /// TemplateCatalog::InstantiatePaired.
   std::vector<std::unique_ptr<txn::Transaction>> ReplayInterval(
       uint32_t interval, const TemplateCatalog& catalog) const;
 
   /// Highest interval index present (+1), i.e. the replay horizon.
   uint32_t IntervalCount() const;
+
+  /// True if any event carries drift data (forces format v2 on save).
+  bool NeedsV2() const;
 
   Status SaveToFile(const std::string& path,
                     uint32_t num_templates) const;

@@ -9,6 +9,7 @@
 #define SOAP_WORKLOAD_WORKLOAD_SPEC_H_
 
 #include <cstdint>
+#include <vector>
 
 namespace soap::workload {
 
@@ -20,6 +21,22 @@ enum class LoadLevel : uint8_t { kLow, kHigh };
 
 constexpr double kHighLoadUtilization = 1.30;
 constexpr double kLowLoadUtilization = 0.65;
+
+/// One phase of a drifting workload. From `start_interval` on (until the
+/// next phase starts), template popularity ranks are rotated by `rotation`
+/// positions, the Zipf skew becomes `zipf_s`, and a `pair_fraction` of
+/// transactions additionally co-access a partner template's keys
+/// (partner = (base + pair_stride) mod num_templates). Paired
+/// transactions create *cross-template* co-access that a template-
+/// granularity one-shot plan can never collocate — the drift signal the
+/// online planner chases.
+struct DriftPhase {
+  uint32_t start_interval = 0;
+  uint32_t rotation = 0;
+  double zipf_s = 1.16;
+  double pair_fraction = 0.0;
+  uint32_t pair_stride = 1;
+};
 
 struct WorkloadSpec {
   PopularityDist distribution = PopularityDist::kZipf;
@@ -34,6 +51,24 @@ struct WorkloadSpec {
   /// (and collocated after) — the paper's α, swept over {1.0, 0.6, 0.2}.
   double alpha = 1.0;
   uint64_t seed = 7;
+  /// Drift phases sorted by start_interval; empty = stationary workload
+  /// (the generator's draw sequence is then bit-identical to the
+  /// pre-drift implementation).
+  std::vector<DriftPhase> phases;
+
+  /// Index into `phases` governing `interval`, or -1 before the first
+  /// phase starts (stationary behaviour).
+  int PhaseIndexAt(uint32_t interval) const {
+    int idx = -1;
+    for (size_t i = 0; i < phases.size(); ++i) {
+      if (phases[i].start_interval <= interval) idx = static_cast<int>(i);
+    }
+    return idx;
+  }
+  const DriftPhase* PhaseAt(uint32_t interval) const {
+    const int idx = PhaseIndexAt(interval);
+    return idx < 0 ? nullptr : &phases[static_cast<size_t>(idx)];
+  }
 
   /// The paper's two configurations.
   static WorkloadSpec Zipf(double alpha, uint64_t seed = 7) {
@@ -50,6 +85,78 @@ struct WorkloadSpec {
     s.num_templates = 30'000;
     s.alpha = alpha;
     s.seed = seed;
+    return s;
+  }
+
+  /// Hotspot drift: every `phase_len` intervals (starting at
+  /// `first_interval`) the popularity ranking rotates by
+  /// num_templates/num_phases positions, so the hot set wanders through
+  /// the template space while `pair_fraction` of transactions co-access a
+  /// fixed-stride partner template.
+  static WorkloadSpec HotspotDrift(const WorkloadSpec& base,
+                                   uint32_t first_interval,
+                                   uint32_t num_phases, uint32_t phase_len,
+                                   double pair_fraction = 0.35) {
+    WorkloadSpec s = base;
+    const uint32_t step =
+        num_phases > 0 ? s.num_templates / num_phases : 0;
+    for (uint32_t p = 0; p < num_phases; ++p) {
+      DriftPhase ph;
+      ph.start_interval = first_interval + p * phase_len;
+      ph.rotation = (p * (step > 0 ? step : 1)) % s.num_templates;
+      ph.zipf_s = s.zipf_s;
+      ph.pair_fraction = pair_fraction;
+      ph.pair_stride = s.num_templates / 2 + 1;
+      s.phases.push_back(ph);
+    }
+    return s;
+  }
+
+  /// Zipf-skew flip: phases alternate between a highly skewed (`high_s`)
+  /// and a broad (`low_s`) popularity distribution, shifting load between
+  /// a narrow hot set and the long tail.
+  static WorkloadSpec SkewFlip(const WorkloadSpec& base,
+                               uint32_t first_interval, uint32_t num_phases,
+                               uint32_t phase_len, double high_s = 1.16,
+                               double low_s = 0.4,
+                               double pair_fraction = 0.35) {
+    WorkloadSpec s = base;
+    for (uint32_t p = 0; p < num_phases; ++p) {
+      DriftPhase ph;
+      ph.start_interval = first_interval + p * phase_len;
+      ph.rotation = 0;
+      ph.zipf_s = (p % 2 == 0) ? high_s : low_s;
+      ph.pair_fraction = pair_fraction;
+      ph.pair_stride = s.num_templates / 2 + 1;
+      s.phases.push_back(ph);
+    }
+    return s;
+  }
+
+  /// Template-mix rotation: the popularity ranking stays put but each
+  /// phase re-pairs templates with a different partner stride, churning
+  /// *which* cross-template groups co-access.
+  static WorkloadSpec MixRotation(const WorkloadSpec& base,
+                                  uint32_t first_interval,
+                                  uint32_t num_phases, uint32_t phase_len,
+                                  double pair_fraction = 0.35) {
+    WorkloadSpec s = base;
+    for (uint32_t p = 0; p < num_phases; ++p) {
+      DriftPhase ph;
+      ph.start_interval = first_interval + p * phase_len;
+      ph.rotation = 0;
+      ph.zipf_s = s.zipf_s;
+      ph.pair_fraction = pair_fraction;
+      // Distinct deterministic stride per phase (Weyl-style multiplier
+      // keeps successive strides far apart in the template space).
+      ph.pair_stride =
+          s.num_templates > 1
+              ? 1 + static_cast<uint32_t>(
+                        (static_cast<uint64_t>(p) * 2654435761ull) %
+                        (s.num_templates - 1))
+              : 0;
+      s.phases.push_back(ph);
+    }
     return s;
   }
 };

@@ -1,0 +1,169 @@
+#include "src/workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/workload/template_catalog.h"
+
+namespace soap::workload {
+namespace {
+
+WorkloadSpec SmallSpec() {
+  WorkloadSpec s;
+  s.num_templates = 40;
+  s.num_keys = 400;
+  s.alpha = 1.0;
+  s.seed = 2;
+  return s;
+}
+
+struct TxnFingerprint {
+  uint32_t template_id;
+  uint32_t partner_template;
+  std::vector<storage::TupleKey> keys;
+
+  bool operator==(const TxnFingerprint& o) const {
+    return template_id == o.template_id &&
+           partner_template == o.partner_template && keys == o.keys;
+  }
+};
+
+std::vector<TxnFingerprint> Fingerprints(
+    const std::vector<std::unique_ptr<txn::Transaction>>& batch) {
+  std::vector<TxnFingerprint> out;
+  out.reserve(batch.size());
+  for (const auto& t : batch) {
+    TxnFingerprint fp;
+    fp.template_id = t->template_id;
+    fp.partner_template = t->partner_template;
+    for (const auto& op : t->ops) fp.keys.push_back(op.key);
+    out.push_back(std::move(fp));
+  }
+  return out;
+}
+
+TEST(GeneratorTest, SameSeedSameArrivalStream) {
+  TemplateCatalog catalog(SmallSpec(), 4);
+  WorkloadGenerator a(&catalog, 99);
+  WorkloadGenerator b(&catalog, 99);
+  for (uint32_t interval = 0; interval < 5; ++interval) {
+    auto batch_a = a.GenerateInterval(30.0);
+    auto batch_b = b.GenerateInterval(30.0);
+    ASSERT_EQ(batch_a.size(), batch_b.size()) << "interval " << interval;
+    EXPECT_EQ(Fingerprints(batch_a), Fingerprints(batch_b));
+  }
+  EXPECT_EQ(a.generated(), b.generated());
+}
+
+TEST(GeneratorTest, DifferentSeedDifferentStream) {
+  TemplateCatalog catalog(SmallSpec(), 4);
+  WorkloadGenerator a(&catalog, 1);
+  WorkloadGenerator b(&catalog, 2);
+  auto batch_a = a.GenerateInterval(50.0);
+  auto batch_b = b.GenerateInterval(50.0);
+  EXPECT_FALSE(batch_a.size() == batch_b.size() &&
+               Fingerprints(batch_a) == Fingerprints(batch_b));
+}
+
+// The phase-aware entry points must take the exact same draw path as the
+// legacy ones while no drift phase governs the interval — stationary runs
+// stay bit-identical whether or not the caller is drift-aware.
+TEST(GeneratorTest, PhaseAwarePathMatchesLegacyWithoutPhases) {
+  TemplateCatalog catalog(SmallSpec(), 4);
+  WorkloadGenerator legacy(&catalog, 7);
+  WorkloadGenerator phased(&catalog, 7);
+  for (uint32_t interval = 0; interval < 4; ++interval) {
+    auto batch_a = legacy.GenerateInterval(25.0);
+    auto batch_b = phased.GenerateInterval(25.0, interval);
+    ASSERT_EQ(batch_a.size(), batch_b.size());
+    EXPECT_EQ(Fingerprints(batch_a), Fingerprints(batch_b));
+  }
+}
+
+// Same equivalence before the first phase starts: a drifting spec behaves
+// stationarily until its first start_interval.
+TEST(GeneratorTest, DriftSpecIsStationaryBeforeFirstPhase) {
+  WorkloadSpec spec = WorkloadSpec::HotspotDrift(SmallSpec(),
+                                                 /*first_interval=*/10,
+                                                 /*num_phases=*/2,
+                                                 /*phase_len=*/5);
+  TemplateCatalog plain_catalog(SmallSpec(), 4);
+  TemplateCatalog drift_catalog(spec, 4);
+  WorkloadGenerator plain(&plain_catalog, 7);
+  WorkloadGenerator drifting(&drift_catalog, 7);
+  auto batch_a = plain.GenerateInterval(25.0, 0);
+  auto batch_b = drifting.GenerateInterval(25.0, 9);  // last pre-drift
+  ASSERT_EQ(batch_a.size(), batch_b.size());
+  EXPECT_EQ(Fingerprints(batch_a), Fingerprints(batch_b));
+}
+
+TEST(GeneratorTest, HotspotPhaseRotatesThePopularTemplates) {
+  WorkloadSpec spec = WorkloadSpec::HotspotDrift(SmallSpec(),
+                                                 /*first_interval=*/0,
+                                                 /*num_phases=*/2,
+                                                 /*phase_len=*/5,
+                                                 /*pair_fraction=*/0.0);
+  ASSERT_EQ(spec.phases.size(), 2u);
+  const uint32_t rotation = spec.phases[1].rotation;
+  ASSERT_NE(rotation, 0u);
+  TemplateCatalog catalog(spec, 4);
+  // Popularity histograms per phase; with Zipf s=1.16 the hottest
+  // template collects a clearly recognisable share.
+  std::vector<uint32_t> phase0(spec.num_templates, 0);
+  std::vector<uint32_t> phase1(spec.num_templates, 0);
+  WorkloadGenerator gen(&catalog, 11);
+  for (int i = 0; i < 4000; ++i) {
+    phase0[gen.GenerateOne(0)->template_id]++;
+    phase1[gen.GenerateOne(5)->template_id]++;
+  }
+  const auto argmax = [](const std::vector<uint32_t>& h) {
+    uint32_t best = 0;
+    for (uint32_t t = 1; t < h.size(); ++t) {
+      if (h[t] > h[best]) best = t;
+    }
+    return best;
+  };
+  EXPECT_EQ(argmax(phase0), 0u);
+  EXPECT_EQ(argmax(phase1), rotation % spec.num_templates);
+}
+
+TEST(GeneratorTest, PairedTransactionsSpanTwoTemplates) {
+  WorkloadSpec spec = SmallSpec();
+  DriftPhase ph;
+  ph.start_interval = 0;
+  ph.pair_fraction = 1.0;  // every txn paired
+  ph.pair_stride = 3;
+  spec.phases.push_back(ph);
+  TemplateCatalog catalog(spec, 4);
+  WorkloadGenerator gen(&catalog, 5);
+  const uint32_t q = spec.queries_per_txn;
+  for (int i = 0; i < 50; ++i) {
+    auto t = gen.GenerateOne(0);
+    ASSERT_NE(t->partner_template, txn::Transaction::kNoPartnerTemplate);
+    EXPECT_EQ(t->partner_template,
+              (t->template_id + ph.pair_stride) % spec.num_templates);
+    ASSERT_EQ(t->ops.size(), q);
+    const TxnTemplate& base = catalog.at(t->template_id);
+    const TxnTemplate& partner = catalog.at(t->partner_template);
+    // Head queries hit the base template, tail queries the partner.
+    const uint32_t head = q - q / 2;
+    for (uint32_t i2 = 0; i2 < q; ++i2) {
+      const auto& owner_keys = i2 < head ? base.keys : partner.keys;
+      EXPECT_TRUE(std::find(owner_keys.begin(), owner_keys.end(),
+                            t->ops[i2].key) != owner_keys.end())
+          << "query " << i2;
+    }
+  }
+}
+
+TEST(GeneratorTest, UnpairedTransactionsHaveNoPartner) {
+  TemplateCatalog catalog(SmallSpec(), 4);
+  WorkloadGenerator gen(&catalog, 5);
+  auto t = gen.GenerateOne();
+  EXPECT_EQ(t->partner_template, txn::Transaction::kNoPartnerTemplate);
+}
+
+}  // namespace
+}  // namespace soap::workload

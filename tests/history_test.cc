@@ -1,0 +1,114 @@
+#include "src/workload/history.h"
+
+#include <gtest/gtest.h>
+
+namespace soap::workload {
+namespace {
+
+TEST(WorkloadHistoryTest, EmptyHistoryReportsZeroRates) {
+  WorkloadHistory history(4, 3);
+  EXPECT_EQ(history.window_size(), 0u);
+  EXPECT_EQ(history.total_recorded(), 0u);
+  EXPECT_DOUBLE_EQ(history.FrequencyOf(0), 0.0);
+  EXPECT_DOUBLE_EQ(history.TotalRate(), 0.0);
+}
+
+TEST(WorkloadHistoryTest, OpenIntervalNotVisibleUntilClosed) {
+  WorkloadHistory history(2, 4);
+  history.Record(0);
+  history.Record(0);
+  // Recorded but the interval is still open: estimates cover closed
+  // intervals only.
+  EXPECT_EQ(history.total_recorded(), 2u);
+  EXPECT_DOUBLE_EQ(history.FrequencyOf(0), 0.0);
+  history.CloseInterval(Seconds(10));
+  EXPECT_DOUBLE_EQ(history.FrequencyOf(0), 0.2);
+  EXPECT_DOUBLE_EQ(history.FrequencyOf(1), 0.0);
+}
+
+TEST(WorkloadHistoryTest, FrequencyAggregatesPartialWindow) {
+  WorkloadHistory history(2, 10);  // window larger than what we fill
+  history.Record(0);
+  history.CloseInterval(Seconds(20));
+  history.Record(0);
+  history.Record(0);
+  history.Record(1);
+  history.CloseInterval(Seconds(20));
+  EXPECT_EQ(history.window_size(), 2u);
+  // 3 observations of template 0 over 40 seconds.
+  EXPECT_DOUBLE_EQ(history.FrequencyOf(0), 3.0 / 40.0);
+  EXPECT_DOUBLE_EQ(history.FrequencyOf(1), 1.0 / 40.0);
+  EXPECT_DOUBLE_EQ(history.TotalRate(), 4.0 / 40.0);
+}
+
+TEST(WorkloadHistoryTest, SlidingWindowEvictsOldestInterval) {
+  WorkloadHistory history(1, 2);
+  history.Record(0);  // interval A: 1 observation
+  history.CloseInterval(Seconds(10));
+  history.Record(0);  // interval B: 2 observations
+  history.Record(0);
+  history.CloseInterval(Seconds(10));
+  EXPECT_DOUBLE_EQ(history.FrequencyOf(0), 3.0 / 20.0);
+  // Interval C evicts A: only B + C remain.
+  history.Record(0);
+  history.Record(0);
+  history.Record(0);
+  history.CloseInterval(Seconds(10));
+  EXPECT_EQ(history.window_size(), 2u);
+  EXPECT_DOUBLE_EQ(history.FrequencyOf(0), 5.0 / 20.0);
+  // total_recorded keeps the lifetime tally even after eviction.
+  EXPECT_EQ(history.total_recorded(), 6u);
+}
+
+TEST(WorkloadHistoryTest, EvictionHandlesVariableIntervalLengths) {
+  WorkloadHistory history(1, 2);
+  history.Record(0);
+  history.CloseInterval(Seconds(30));  // long interval, later evicted
+  history.Record(0);
+  history.CloseInterval(Seconds(10));
+  history.Record(0);
+  history.CloseInterval(Seconds(10));
+  // Window now covers the two 10-second intervals only.
+  EXPECT_DOUBLE_EQ(history.FrequencyOf(0), 2.0 / 20.0);
+  EXPECT_DOUBLE_EQ(history.TotalRate(), 2.0 / 20.0);
+}
+
+// The incrementally maintained aggregate must equal a from-scratch
+// recount of the retained window at every step.
+TEST(WorkloadHistoryTest, IncrementalAggregateMatchesRecount) {
+  constexpr uint32_t kTemplates = 5;
+  constexpr uint32_t kWindow = 3;
+  WorkloadHistory history(kTemplates, kWindow);
+  // Deterministic but irregular schedule of records.
+  std::vector<std::vector<uint32_t>> per_interval_counts;
+  for (uint32_t interval = 0; interval < 10; ++interval) {
+    std::vector<uint32_t> counts(kTemplates, 0);
+    for (uint32_t j = 0; j < (interval * 7) % 11; ++j) {
+      const uint32_t t = (interval + j * j) % kTemplates;
+      history.Record(t);
+      counts[t]++;
+    }
+    per_interval_counts.push_back(counts);
+    history.CloseInterval(Seconds(20));
+
+    const size_t first_retained =
+        per_interval_counts.size() > kWindow
+            ? per_interval_counts.size() - kWindow
+            : 0;
+    const double window_seconds =
+        20.0 *
+        static_cast<double>(per_interval_counts.size() - first_retained);
+    for (uint32_t t = 0; t < kTemplates; ++t) {
+      uint64_t expect = 0;
+      for (size_t i = first_retained; i < per_interval_counts.size(); ++i) {
+        expect += per_interval_counts[i][t];
+      }
+      EXPECT_DOUBLE_EQ(history.FrequencyOf(t),
+                       static_cast<double>(expect) / window_seconds)
+          << "interval " << interval << " template " << t;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace soap::workload

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "src/workload/generator.h"
@@ -136,6 +137,30 @@ TEST(OptimizerTest, ShouldRepartitionRespectsThreshold) {
   }
   busy.CloseInterval(Seconds(20));
   EXPECT_TRUE(strict.ShouldRepartition(busy, f.routing));
+}
+
+TEST(OptimizerTest, SharedAllocatorKeepsIdsMonotonicAcrossDerivePlans) {
+  // Two generations drawn from one run-wide allocator (the planner's
+  // replan loop does exactly this): epochs advance 1, 2 and no op id is
+  // ever reused, so the registry's idempotency tracking stays sound.
+  Fixture f(1.0);
+  OpIdAllocator ids;
+  RepartitionPlan first = f.optimizer.DerivePlan(f.routing, &ids);
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first.epoch, 1u);
+  RepartitionPlan second = f.optimizer.DerivePlan(f.routing, &ids);
+  EXPECT_EQ(second.epoch, 2u);
+  ASSERT_EQ(second.size(), first.size());  // routing unchanged: same moves
+  uint64_t max_first = 0;
+  std::set<uint64_t> seen;
+  for (const RepartitionOp& op : first.ops) {
+    EXPECT_TRUE(seen.insert(op.id).second);
+    max_first = std::max(max_first, op.id);
+  }
+  for (const RepartitionOp& op : second.ops) {
+    EXPECT_TRUE(seen.insert(op.id).second) << "op id reused: " << op.id;
+    EXPECT_GT(op.id, max_first);
+  }
 }
 
 TEST(OptimizerTest, PlanIgnoresUnroutedKeys) {

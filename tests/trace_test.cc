@@ -106,5 +106,97 @@ TEST(TraceTest, ReplaySkipsForeignTemplates) {
   EXPECT_EQ(trace.ReplayInterval(0, catalog).size(), 1u);
 }
 
+// ---- Format v2 (drifting workloads) ----
+
+std::string FirstLine(const std::string& path) {
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  return line;
+}
+
+TEST(TraceTest, StationaryTraceStillSavesAsV1) {
+  // Byte-compat guard: a trace with no drift data must keep the v1 format
+  // so pre-drift golden traces stay byte-identical.
+  WorkloadTrace trace;
+  trace.Record(0, 1, 7);
+  trace.Record(1, 2, 8, /*phase=*/0, TraceEvent::kNoPartner);  // same thing
+  EXPECT_FALSE(trace.NeedsV2());
+  const std::string path = ::testing::TempDir() + "/soap_trace_v1keep.txt";
+  ASSERT_TRUE(trace.SaveToFile(path, 20).ok());
+  EXPECT_EQ(FirstLine(path), "soap-trace v1 20");
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, V2RoundTripPreservesDriftFields) {
+  WorkloadTrace trace;
+  trace.Record(0, 1, 7);                                     // plain arrival
+  trace.Record(0, 3, -9, /*phase=*/2, /*partner_template=*/8);  // paired
+  trace.Record(1, 5, 11, /*phase=*/2, TraceEvent::kNoPartner);
+  EXPECT_TRUE(trace.NeedsV2());
+  const std::string path = ::testing::TempDir() + "/soap_trace_v2.txt";
+  ASSERT_TRUE(trace.SaveToFile(path, 20).ok());
+  EXPECT_EQ(FirstLine(path), "soap-trace v2 20");
+  Result<WorkloadTrace> loaded = WorkloadTrace::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 3u);
+  EXPECT_EQ(loaded->events()[0].phase, 0u);
+  EXPECT_EQ(loaded->events()[0].partner_template, TraceEvent::kNoPartner);
+  EXPECT_EQ(loaded->events()[1].phase, 2u);
+  EXPECT_EQ(loaded->events()[1].partner_template, 8u);
+  EXPECT_EQ(loaded->events()[1].write_value, -9);
+  EXPECT_EQ(loaded->events()[2].phase, 2u);
+  EXPECT_EQ(loaded->events()[2].partner_template, TraceEvent::kNoPartner);
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, V1FileLoadsAsStationaryUnpaired) {
+  const std::string path = ::testing::TempDir() + "/soap_trace_v1compat.txt";
+  {
+    std::ofstream out(path);
+    out << "soap-trace v1 10\n0 4 99\n2 7 -1\n";
+  }
+  Result<WorkloadTrace> loaded = WorkloadTrace::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 2u);
+  for (const TraceEvent& ev : loaded->events()) {
+    EXPECT_EQ(ev.phase, 0u);
+    EXPECT_EQ(ev.partner_template, TraceEvent::kNoPartner);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, V2LoadRejectsTruncatedRecord) {
+  const std::string path = ::testing::TempDir() + "/soap_trace_v2trunc.txt";
+  {
+    std::ofstream out(path);
+    out << "soap-trace v2 10\n0 4 99 1\n";  // missing partner column
+  }
+  EXPECT_EQ(WorkloadTrace::LoadFromFile(path).status().code(),
+            StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, V2LoadRejectsOutOfRangePartner) {
+  const std::string path = ::testing::TempDir() + "/soap_trace_v2oor.txt";
+  {
+    std::ofstream out(path);
+    out << "soap-trace v2 10\n0 4 99 1 12\n";  // partner 12 >= 10 templates
+  }
+  EXPECT_EQ(WorkloadTrace::LoadFromFile(path).status().code(),
+            StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, ReplayInstantiatesPairedArrivals) {
+  TemplateCatalog catalog(SmallSpec(), 5);
+  WorkloadTrace trace;
+  trace.Record(0, 4, 1, /*phase=*/1, /*partner_template=*/9);
+  auto batch = trace.ReplayInterval(0, catalog);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0]->template_id, 4u);
+  EXPECT_EQ(batch[0]->partner_template, 9u);
+}
+
 }  // namespace
 }  // namespace soap::workload

@@ -45,6 +45,15 @@ void PrintUsage() {
       "  --fault_spec SPEC     inject faults, e.g.\n"
       "              'crash:node=2,at=120s,down=15s;drop:p=0.01'\n"
       "              (see EXPERIMENTS.md, \"Fault injection\")\n"
+      "  --planner   enable the online co-access-graph planner\n"
+      "  --replan N  planner replan period in intervals            (3)\n"
+      "  --plan_ops N max migration ops per emitted plan           (2048)\n"
+      "  --plan_min_heat W  min co-access weight to migrate a key  (1)\n"
+      "  --drift     hotspot|skewflip|mixrotation: drifting workload\n"
+      "              (phases start right after warmup)\n"
+      "  --drift_phases N     number of drift phases               (3)\n"
+      "  --drift_phase_len N  intervals per drift phase            (8)\n"
+      "  --pair_fraction F    cross-template paired-txn fraction   (0.35)\n"
       "  --log_level debug|info|warn|error                       (warn)\n"
       "  --seeds     comma list, e.g. 1,2,3: one run per seed\n"
       "  --threads N run --seeds entries on N parallel threads    (1)\n"
@@ -139,6 +148,50 @@ int main(int argc, char** argv) {
   config.obs.trace_sample =
       static_cast<uint32_t>(flags.GetInt("trace_sample", 1));
   config.fault_spec = flags.GetString("fault_spec", "");
+
+  // Online planner / drifting workloads (EXPERIMENTS.md, "Adaptive
+  // repartitioning under drift"). Both default off, leaving the output
+  // byte-identical to the static pipeline's.
+  config.planner.enabled = flags.GetBool("planner");
+  if (flags.Has("replan")) {
+    config.planner.replan_period =
+        static_cast<uint32_t>(flags.GetInt("replan"));
+  }
+  if (flags.Has("plan_ops")) {
+    config.planner.builder.max_ops =
+        static_cast<uint32_t>(flags.GetInt("plan_ops"));
+  }
+  if (flags.Has("plan_min_heat")) {
+    config.planner.builder.min_vertex_weight =
+        static_cast<uint64_t>(flags.GetInt("plan_min_heat"));
+  }
+  const std::string drift = flags.GetString("drift", "");
+  const auto drift_phases =
+      static_cast<uint32_t>(flags.GetInt("drift_phases", 3));
+  const auto drift_phase_len =
+      static_cast<uint32_t>(flags.GetInt("drift_phase_len", 8));
+  const double pair_fraction = flags.GetDouble("pair_fraction", 0.35);
+  if (!drift.empty()) {
+    if (drift == "hotspot") {
+      config.workload = workload::WorkloadSpec::HotspotDrift(
+          config.workload, config.warmup_intervals, drift_phases,
+          drift_phase_len, pair_fraction);
+    } else if (drift == "skewflip") {
+      config.workload = workload::WorkloadSpec::SkewFlip(
+          config.workload, config.warmup_intervals, drift_phases,
+          drift_phase_len, /*high_s=*/1.16, /*low_s=*/0.4, pair_fraction);
+    } else if (drift == "mixrotation") {
+      config.workload = workload::WorkloadSpec::MixRotation(
+          config.workload, config.warmup_intervals, drift_phases,
+          drift_phase_len, pair_fraction);
+    } else {
+      std::fprintf(stderr, "unknown --drift %s\n", drift.c_str());
+      return 2;
+    }
+  }
+  // The distributed-transaction column only matters for planner/drift
+  // runs; omitting it otherwise keeps the default output byte-identical.
+  const bool show_distributed = config.planner.enabled || !drift.empty();
   const std::string log_level = flags.GetString("log_level", "");
   if (!log_level.empty()) {
     std::optional<LogLevel> parsed_level = ParseLogLevel(log_level);
@@ -200,6 +253,9 @@ int main(int argc, char** argv) {
         bundle.Insert("p99_ms", r.latency_p99_ms);
         bundle.Insert("failure", r.failure_rate);
         bundle.Insert("queue", r.queue_length);
+        if (show_distributed) {
+          bundle.Insert("distributed", r.distributed_ratio);
+        }
         const size_t dot = csv.rfind('.');
         const std::string path =
             dot == std::string::npos
@@ -246,6 +302,10 @@ int main(int argc, char** argv) {
   bundle.Insert("p99_ms", r.latency_p99_ms);
   bundle.Insert("failure", r.failure_rate);
   bundle.Insert("queue", r.queue_length);
+  if (show_distributed) {
+    bundle.Insert("distributed", r.distributed_ratio);
+    bundle.Insert("util", r.utilization);
+  }
   std::printf("%s\n", bundle.ToTable(stride).c_str());
   if (chart) {
     SeriesBundle tput("throughput (txn/min)");
