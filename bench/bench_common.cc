@@ -5,6 +5,8 @@
 #include <cstring>
 #include <ctime>
 
+#include "src/common/flags.h"
+#include "src/engine/flag_table.h"
 #include "src/engine/parallel_runner.h"
 
 namespace soap::bench {
@@ -246,6 +248,30 @@ void PrintPanelSummary(const std::vector<PanelResult>& panel) {
 int RunFigureMain(workload::PopularityDist distribution, bool high_load,
                   const char* figure_name, const char* description,
                   int argc, char** argv) {
+  // The figure benches take only presentation flags, but they share the
+  // generated --help and the unknown-flag near-miss check with soap_run.
+  engine::FlagTable table({
+      {"threads", engine::FlagType::kInt, "1",
+       "run cells on N parallel threads (results are identical at any "
+       "thread count; SOAP_BENCH_THREADS also works)",
+       nullptr},
+      {"help", engine::FlagType::kBool, "", "this text", nullptr},
+  });
+  if (argv != nullptr) {
+    Result<Flags> parsed = Flags::Parse(argc, argv);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+      return 2;
+    }
+    if (parsed->GetBool("help")) {
+      std::printf("%s", table.Help(figure_name, description).c_str());
+      return 0;
+    }
+    if (Status s = table.CheckUnknown(*parsed); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 2;
+    }
+  }
   std::printf("==== %s: %s ====\n", figure_name, description);
   std::printf("# scale: %s\n\n",
               FastMode() ? "FAST (SOAP_BENCH_FAST=1, ~10x reduced)"

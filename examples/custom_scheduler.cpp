@@ -9,7 +9,7 @@
 #include <algorithm>
 #include <cstdio>
 
-#include "src/engine/experiment.h"
+#include "src/soap_api.h"
 
 using namespace soap;
 

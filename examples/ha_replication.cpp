@@ -9,8 +9,7 @@
 
 #include <cstdio>
 
-#include "src/core/soap.h"
-#include "src/repartition/replication.h"
+#include "src/soap_api.h"
 
 using namespace soap;
 

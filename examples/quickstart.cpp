@@ -7,8 +7,7 @@
 
 #include <cstdio>
 
-#include "src/common/series.h"
-#include "src/engine/experiment.h"
+#include "src/soap_api.h"
 
 int main() {
   using namespace soap;

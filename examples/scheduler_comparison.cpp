@@ -7,7 +7,7 @@
 
 #include <cstdio>
 
-#include "src/engine/experiment.h"
+#include "src/soap_api.h"
 
 using namespace soap;
 

@@ -11,7 +11,7 @@
 
 #include <cstdio>
 
-#include "src/core/soap.h"
+#include "src/soap_api.h"
 
 using namespace soap;
 

@@ -166,7 +166,14 @@ void TransactionManager::StartTransaction(std::unique_ptr<Transaction> t) {
   if (!txn.ops.empty() || !txn.piggyback_ops.empty()) {
     const Operation& first =
         txn.ops.empty() ? txn.piggyback_ops.front() : txn.ops.front();
-    if (first.kind == OpKind::kRead || first.kind == OpKind::kWrite) {
+    if (first.kind == OpKind::kRead && replica_aware_) {
+      // Replica-aware mode: coordinate a read-leading transaction from a
+      // live copy, so a crashed primary does not doom read-only work that
+      // replicas could serve.
+      Result<router::PartitionId> pick = cluster_->router().PickReadPartition(
+          first.key, router::QueryRouter::kNoPreference);
+      e->coordinator = pick.ok() ? *pick : 0;
+    } else if (first.kind == OpKind::kRead || first.kind == OpKind::kWrite) {
       Result<router::PartitionId> primary =
           cluster_->routing_table().GetPrimary(first.key);
       e->coordinator = primary.ok() ? *primary : 0;
@@ -348,7 +355,13 @@ void TransactionManager::RunOp(const ExecPtr& e, size_t op_index) {
 
   switch (op.kind) {
     case OpKind::kRead: {
-      Result<router::PartitionId> primary = cluster_->router().RouteRead(op.key);
+      // Replica-aware mode prefers the copy on the coordinator (turning
+      // would-be distributed reads into local ones) and fails over to a
+      // live replica when the primary is down.
+      Result<router::PartitionId> primary =
+          replica_aware_
+              ? cluster_->router().RouteReadNear(op.key, e->coordinator)
+              : cluster_->router().RouteRead(op.key);
       const uint32_t p = primary.ok() ? *primary : e->coordinator;
       if (cluster_->node(p).down()) {
         AbortTransaction(e, AbortReason::kNodeCrash);
@@ -512,6 +525,24 @@ void TransactionManager::BeginCommit(const ExecPtr& e) {
   // participant set).
   for (Operation& op : txn.ops) {
     if (op.kind != OpKind::kWrite) continue;
+    if (replica_aware_) {
+      // Synchronous log shipping: every live replica holder of a written
+      // key joins the participant set and applies the write in phase 2,
+      // so copies commit in lockstep with the primary. Down replicas are
+      // skipped — they catch up from the primary on restart.
+      Result<router::Placement> placement =
+          cluster_->routing_table().GetPlacement(op.key);
+      if (placement.ok()) {
+        if (placement->primary != op.source_partition) {
+          op.source_partition = placement->primary;
+          e->AddParticipant(placement->primary);
+        }
+        for (router::PartitionId rep : placement->replicas) {
+          if (!cluster_->node(rep).down()) e->AddParticipant(rep);
+        }
+      }
+      continue;
+    }
     Result<router::PartitionId> primary =
         cluster_->routing_table().GetPrimary(op.key);
     if (primary.ok() && *primary != op.source_partition) {
@@ -622,14 +653,26 @@ Status TransactionManager::ApplyAtPartition(const ExecPtr& e,
     switch (op.kind) {
       case OpKind::kRead:
         break;
-      case OpKind::kWrite:
-        if (op.source_partition == partition) {
+      case OpKind::kWrite: {
+        bool applies_here = op.source_partition == partition;
+        if (!applies_here && replica_aware_) {
+          // Shipped log apply: a replica holder applies the write during
+          // its own phase 2 (write-through in ApplyRoutingUpdates skips
+          // partitions that already applied).
+          Result<router::Placement> placement =
+              cluster_->routing_table().GetPlacement(op.key);
+          applies_here = placement.ok() &&
+                         placement->primary != partition &&
+                         placement->HasReplicaOn(partition);
+        }
+        if (applies_here) {
           Status s = cluster_->storage(partition)
                          .ApplyUpdate(txn.id, op.key, op.write_value);
           // Updating a vanished row affects 0 rows; not an anomaly.
           if (!s.ok() && !s.IsNotFound()) note(std::move(s));
         }
         break;
+      }
       case OpKind::kMigrateInsert:
       case OpKind::kReplicaCreate:
         if (op.target_partition == partition) {
@@ -671,6 +714,13 @@ void TransactionManager::ApplyRoutingUpdates(const ExecPtr& e) {
         Result<router::Placement> placement = routing.GetPlacement(op.key);
         if (placement.ok() && !placement->replicas.empty()) {
           for (router::PartitionId rep : placement->replicas) {
+            if (replica_aware_) {
+              // Live replicas already applied in their phase 2; down
+              // replicas must not be touched — their divergence is
+              // repaired by the restart catch-up sweep.
+              if (e->applied_partitions.count(rep) > 0) continue;
+              if (cluster_->node(rep).down()) continue;
+            }
             Status s = cluster_->storage(rep).ApplyUpdate(txn.id, op.key,
                                                           op.write_value);
             (void)s;  // replica divergence is surfaced by CheckConsistency

@@ -88,6 +88,16 @@ class TransactionManager {
     pre_execution_hook_ = std::move(hook);
   }
 
+  /// Turns on replica-aware execution (the soap::replica subsystem):
+  /// reads route to the nearest live copy with the coordinator as the
+  /// collocation hint, and writes to replicated keys ship synchronously —
+  /// every live replica holder joins the 2PC participant set and applies
+  /// the write in phase 2, while down replicas are skipped (they catch up
+  /// on restart). Off by default; when off, execution takes exactly the
+  /// pre-replication code paths.
+  void EnableReplicaAwareness() { replica_aware_ = true; }
+  bool replica_aware() const { return replica_aware_; }
+
   /// Test hook: a participant votes abort in 2PC when this returns true.
   void set_vote_abort_injector(
       std::function<bool(const txn::Transaction&, uint32_t partition)> fn) {
@@ -187,6 +197,7 @@ class TransactionManager {
   size_t inflight_normal_or_high_ = 0;
   size_t inflight_low_ = 0;
   bool dispatch_scheduled_ = false;
+  bool replica_aware_ = false;
 };
 
 }  // namespace soap::cluster

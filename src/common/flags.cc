@@ -65,6 +65,13 @@ bool Flags::GetBool(const std::string& name, bool fallback) const {
   return v == "true" || v == "1" || v == "yes" || v.empty();
 }
 
+std::vector<std::string> Flags::Names() const {
+  std::vector<std::string> names;
+  names.reserve(values_.size());
+  for (const auto& [name, value] : values_) names.push_back(name);
+  return names;
+}
+
 std::vector<std::string> Flags::UnconsumedFlags() const {
   std::vector<std::string> unused;
   for (const auto& [name, value] : values_) {

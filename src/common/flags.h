@@ -30,6 +30,10 @@ class Flags {
 
   const std::vector<std::string>& positional() const { return positional_; }
 
+  /// Names of every flag that was parsed, sorted (map order) — the input
+  /// to table-driven unknown-flag validation.
+  std::vector<std::string> Names() const;
+
   /// Names of flags that were parsed but never read through a getter —
   /// for catching typos after configuration is consumed.
   std::vector<std::string> UnconsumedFlags() const;

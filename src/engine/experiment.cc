@@ -32,6 +32,152 @@ std::unique_ptr<core::Scheduler> MakeScheduler(
   return nullptr;
 }
 
+// The deprecated-alias references are rebound by each object's NSDMIs, so
+// copying/moving a config must copy only the value members; a defaulted
+// copy would try (and fail) to re-seat the references.
+ExperimentConfig::ExperimentConfig(const ExperimentConfig& o)
+    : workload_options(o.workload_options),
+      cluster(o.cluster),
+      warmup_intervals(o.warmup_intervals),
+      measured_intervals(o.measured_intervals),
+      interval_length(o.interval_length),
+      deployment(o.deployment),
+      fault_options(o.fault_options),
+      planner_options(o.planner_options),
+      replicas(o.replicas),
+      obs(o.obs),
+      drain_and_audit(o.drain_and_audit),
+      drain_cap(o.drain_cap),
+      seed(o.seed) {}
+
+ExperimentConfig::ExperimentConfig(ExperimentConfig&& o) noexcept
+    : workload_options(std::move(o.workload_options)),
+      cluster(std::move(o.cluster)),
+      warmup_intervals(o.warmup_intervals),
+      measured_intervals(o.measured_intervals),
+      interval_length(o.interval_length),
+      deployment(std::move(o.deployment)),
+      fault_options(std::move(o.fault_options)),
+      planner_options(std::move(o.planner_options)),
+      replicas(o.replicas),
+      obs(std::move(o.obs)),
+      drain_and_audit(o.drain_and_audit),
+      drain_cap(o.drain_cap),
+      seed(o.seed) {}
+
+ExperimentConfig& ExperimentConfig::operator=(const ExperimentConfig& o) {
+  if (this == &o) return *this;
+  workload_options = o.workload_options;
+  cluster = o.cluster;
+  warmup_intervals = o.warmup_intervals;
+  measured_intervals = o.measured_intervals;
+  interval_length = o.interval_length;
+  deployment = o.deployment;
+  fault_options = o.fault_options;
+  planner_options = o.planner_options;
+  replicas = o.replicas;
+  obs = o.obs;
+  drain_and_audit = o.drain_and_audit;
+  drain_cap = o.drain_cap;
+  seed = o.seed;
+  return *this;
+}
+
+ExperimentConfig& ExperimentConfig::operator=(ExperimentConfig&& o) noexcept {
+  if (this == &o) return *this;
+  workload_options = std::move(o.workload_options);
+  cluster = std::move(o.cluster);
+  warmup_intervals = o.warmup_intervals;
+  measured_intervals = o.measured_intervals;
+  interval_length = o.interval_length;
+  deployment = std::move(o.deployment);
+  fault_options = std::move(o.fault_options);
+  planner_options = std::move(o.planner_options);
+  replicas = o.replicas;
+  obs = std::move(o.obs);
+  drain_and_audit = o.drain_and_audit;
+  drain_cap = o.drain_cap;
+  seed = o.seed;
+  return *this;
+}
+
+Status ExperimentConfig::Validate() const {
+  if (interval_length <= 0) {
+    return Status::InvalidArgument("interval_length must be positive");
+  }
+  if (workload_options.utilization <= 0.0) {
+    return Status::InvalidArgument("utilization must be positive");
+  }
+  if (workload_options.history_window == 0) {
+    return Status::InvalidArgument("history_window must be at least 1");
+  }
+  // Trace machinery: replaying fixes the arrival stream, so configuring
+  // drift phases alongside it would silently have no effect.
+  if (!workload_options.replay_trace_path.empty() &&
+      !workload_options.spec.phases.empty()) {
+    return Status::InvalidArgument(
+        "replay_trace_path replays a fixed arrival stream; drift phases "
+        "would be ignored — clear one of them");
+  }
+  if (!workload_options.replay_trace_path.empty() &&
+      !workload_options.record_trace_path.empty()) {
+    return Status::InvalidArgument(
+        "record_trace_path and replay_trace_path are mutually exclusive");
+  }
+  if (!obs.trace_out.empty() && obs.trace_sample == 0) {
+    return Status::InvalidArgument(
+        "trace_out is set but trace_sample=0 disables tracing — nothing "
+        "would be written");
+  }
+  if (fault_options.disturbance.enabled) {
+    const Disturbance& d = fault_options.disturbance;
+    if (d.fraction <= 0.0 || d.fraction > 1.0) {
+      return Status::InvalidArgument(
+          "disturbance.fraction must be in (0, 1]");
+    }
+    if (d.start_interval >= d.end_interval) {
+      return Status::InvalidArgument(
+          "disturbance window is empty (start_interval >= end_interval)");
+    }
+    if (d.node >= cluster.num_nodes) {
+      return Status::InvalidArgument("disturbance.node is out of range");
+    }
+  }
+  if (!fault_options.spec.empty()) {
+    Result<fault::FaultSpec> parsed = fault::FaultSpec::Parse(
+        fault_options.spec);
+    if (!parsed.ok()) return parsed.status();
+  }
+  if (replicas.enabled) {
+    if (replicas.max_copies < 2) {
+      return Status::InvalidArgument(
+          "replicas.max_copies counts the primary; at least 2 is needed "
+          "for one replica");
+    }
+    if (replicas.max_copies > cluster.num_nodes) {
+      return Status::InvalidArgument(
+          "replicas.max_copies exceeds the cluster size");
+    }
+    if (replicas.min_read_write_ratio <= 0.0) {
+      return Status::InvalidArgument(
+          "replicas.min_read_write_ratio must be positive");
+    }
+    if (replicas.split_threshold <= 0.0 || replicas.split_threshold >= 1.0) {
+      return Status::InvalidArgument(
+          "replicas.split_threshold must be in (0, 1)");
+    }
+    if (replicas.promotion_delay < 0) {
+      return Status::InvalidArgument(
+          "replicas.promotion_delay must be non-negative");
+    }
+  } else if (planner_options.builder.replicate_read_heavy) {
+    return Status::InvalidArgument(
+        "planner.builder.replicate_read_heavy requires replicas.enabled "
+        "(the transaction layer must be replica-aware to maintain copies)");
+  }
+  return Status::OK();
+}
+
 Experiment::Experiment(ExperimentConfig config)
     : config_(std::move(config)) {}
 
@@ -41,6 +187,11 @@ ExperimentResult Experiment::Run() {
 
   ExperimentResult result;
   result.strategy_name = StrategyName(config_.strategy);
+  if (Status v = config_.Validate(); !v.ok()) {
+    SOAP_LOG(kError) << "invalid experiment config: " << v.ToString();
+    result.audit = std::move(v);
+    return result;
+  }
 
   // --- Build the stack.
   sim::Simulator sim;
@@ -73,6 +224,24 @@ ExperimentResult Experiment::Run() {
       MakeScheduler(config_.strategy, config_.feedback, config_.piggyback),
       repartition::OptimizerConfig{}, config_.packaging);
 
+  // --- Primary-copy replication (off by default; with it the TM ships
+  // writes to replica holders, reads route to the nearest live copy, and
+  // crashes trigger the failover/catch-up protocol in ReplicaManager).
+  std::unique_ptr<replica::ReplicaManager> replica_mgr;
+  if (config_.replicas.enabled) {
+    result.replicas_enabled = true;
+    tm.EnableReplicaAwareness();
+    cluster.router().set_policy(router::ReplicaPolicy::kNearestLive);
+    cluster.router().set_down_probe([&cluster](router::PartitionId p) {
+      return cluster.node(p).down();
+    });
+    replica::ReplicaManagerConfig rc;
+    rc.promotion_delay = config_.replicas.promotion_delay;
+    rc.catchup_fixed = config_.replicas.catchup_fixed;
+    rc.catchup_per_tuple = config_.replicas.catchup_per_tuple;
+    replica_mgr = std::make_unique<replica::ReplicaManager>(&cluster, rc);
+  }
+
   // --- Online planner (off by default; with it the one-shot optimizer
   // plan is replaced by continuous co-access-graph replanning).
   std::unique_ptr<planner::Planner> online_planner;
@@ -82,6 +251,16 @@ ExperimentResult Experiment::Run() {
       pc.first_plan_interval = config_.warmup_intervals;
     }
     if (pc.replan_period == 0) pc.replan_period = 1;
+    if (config_.replicas.enabled) {
+      // The planner proposes replicas instead of migrations for read-heavy
+      // keys; thresholds come from the replica options so one knob governs
+      // planner and manager alike.
+      pc.builder.replicate_read_heavy = true;
+      pc.builder.max_copies = config_.replicas.max_copies;
+      pc.builder.min_read_write_ratio = config_.replicas.min_read_write_ratio;
+      pc.builder.replica_split_threshold = config_.replicas.split_threshold;
+      pc.builder.drop_stale_replicas = config_.replicas.drop_stale_replicas;
+    }
     online_planner = std::make_unique<planner::Planner>(
         &catalog, &cluster.routing_table(), &repartitioner, pc);
   }
@@ -96,6 +275,7 @@ ExperimentResult Experiment::Run() {
     tm.BindMetrics(metrics.get());
     repartitioner.BindMetrics(metrics.get());
     if (online_planner != nullptr) online_planner->BindMetrics(metrics.get());
+    if (replica_mgr != nullptr) replica_mgr->BindMetrics(metrics.get());
   }
   if (config_.obs.TraceEnabled()) {
     obs::TxnTracer::Config tracer_config;
@@ -145,6 +325,7 @@ ExperimentResult Experiment::Run() {
       cluster.tpc().OnNodeCrash(n);
       tm.OnNodeCrash(node);
       repartitioner.OnNodeCrash(node);
+      if (replica_mgr != nullptr) replica_mgr->OnNodeCrash(node);
     });
     injector->set_on_restart([&](sim::NodeId n) {
       const auto node = static_cast<uint32_t>(n);
@@ -170,6 +351,7 @@ ExperimentResult Experiment::Run() {
                   ->Record(replay);
             }
             repartitioner.OnNodeRestart(node);
+            if (replica_mgr != nullptr) replica_mgr->OnNodeRestart(node);
           });
     });
     if (metrics) injector->BindMetrics(metrics.get());
@@ -216,6 +398,8 @@ ExperimentResult Experiment::Run() {
   Duration prev_normal_work = 0;
   Duration prev_rep_work = 0;
   SimTime prev_boundary = 0;
+  uint64_t prev_reads_routed = 0;
+  uint64_t prev_replica_reads = 0;
 
   tm.set_pre_execution_hook(
       [&](txn::Transaction* t) { repartitioner.OnBeforeExecute(t); });
@@ -294,6 +478,20 @@ ExperimentResult Experiment::Run() {
             ? ToSeconds(stats.normal_work + stats.repartition_work) /
                   worker_time
             : 0.0);
+
+    if (replica_mgr != nullptr) {
+      const uint64_t reads =
+          cluster.router().reads_routed() - prev_reads_routed;
+      const uint64_t from_replicas =
+          cluster.router().replica_reads() - prev_replica_reads;
+      result.replica_read_ratio.Append(
+          reads > 0 ? static_cast<double>(from_replicas) /
+                          static_cast<double>(reads)
+                    : 0.0);
+      prev_reads_routed = cluster.router().reads_routed();
+      prev_replica_reads = cluster.router().replica_reads();
+      replica_mgr->PublishGauges();
+    }
 
     accum = IntervalAccum{};
     prev_counters = now;
@@ -442,6 +640,12 @@ ExperimentResult Experiment::Run() {
   if (online_planner != nullptr) {
     result.planner_stats = online_planner->stats();
   }
+  if (replica_mgr != nullptr) {
+    result.replica_stats = replica_mgr->stats();
+    result.reads_routed = cluster.router().reads_routed();
+    result.replica_reads = cluster.router().replica_reads();
+    result.replica_count_final = cluster.routing_table().replicated_key_count();
+  }
   result.end_time = sim.Now();
   result.events_executed = sim.events_executed();
 
@@ -511,6 +715,20 @@ std::string ExperimentResult::Summary() const {
        << "e skipped_active=" << planner_stats.replans_skipped_active
        << " skipped_small=" << planner_stats.replans_skipped_small
        << " dist_ratio_tail=" << distributed_ratio.TailMean(5) << "]";
+  }
+  if (replicas_enabled) {
+    const double frac =
+        reads_routed > 0 ? static_cast<double>(replica_reads) /
+                               static_cast<double>(reads_routed)
+                         : 0.0;
+    os << ", replicas[creates=" << planner_stats.replica_creates_emitted
+       << " drops=" << planner_stats.replica_drops_emitted
+       << " replicated_keys=" << replica_count_final
+       << " replica_read_frac=" << frac
+       << " promotions=" << replica_stats.promotions
+       << " failovers=" << replica_stats.failovers
+       << " catchup_refreshed=" << replica_stats.catchup_refreshed
+       << " catchup_dropped=" << replica_stats.catchup_dropped << "]";
   }
   os << ", audit=" << audit.ToString();
   return os.str();

@@ -1,0 +1,426 @@
+#include "src/engine/flag_table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/common/logging.h"
+
+namespace soap::engine {
+
+namespace {
+
+std::string TypeName(FlagType type) {
+  switch (type) {
+    case FlagType::kBool: return "";
+    case FlagType::kInt: return "N";
+    case FlagType::kDouble: return "F";
+    case FlagType::kString: return "S";
+  }
+  return "";
+}
+
+size_t EditDistance(const std::string& a, const std::string& b) {
+  std::vector<size_t> row(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t diag = row[0];
+    row[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      const size_t up = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1,
+                         diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
+      diag = up;
+    }
+  }
+  return row[b.size()];
+}
+
+}  // namespace
+
+std::string FlagTable::Help(std::string_view program,
+                            std::string_view tagline) const {
+  size_t width = 0;
+  for (const FlagDef& def : defs_) {
+    const std::string arg = TypeName(def.type);
+    width = std::max(width, def.name.size() + (arg.empty() ? 0 : 1 + arg.size()));
+  }
+  std::ostringstream os;
+  os << program << " — " << tagline << "\n\n";
+  for (const FlagDef& def : defs_) {
+    std::string left = "--" + def.name;
+    const std::string arg = TypeName(def.type);
+    if (!arg.empty()) left += " " + arg;
+    os << "  " << left << std::string(width + 4 - left.size() + 2, ' ')
+       << def.help;
+    if (!def.default_text.empty()) os << "  (" << def.default_text << ")";
+    os << "\n";
+  }
+  return os.str();
+}
+
+Status FlagTable::CheckUnknown(const Flags& flags) const {
+  for (const std::string& name : flags.Names()) {
+    bool known = false;
+    for (const FlagDef& def : defs_) {
+      if (def.name == name) {
+        known = true;
+        break;
+      }
+    }
+    if (known) continue;
+    // Near-miss: smallest edit distance <= 2, or a prefix relation (the
+    // common "--replica" for "--replicas" class of typo).
+    const FlagDef* best = nullptr;
+    size_t best_distance = 3;
+    for (const FlagDef& def : defs_) {
+      size_t d = EditDistance(name, def.name);
+      if (def.name.rfind(name, 0) == 0 || name.rfind(def.name, 0) == 0) {
+        d = std::min(d, static_cast<size_t>(1));
+      }
+      if (d < best_distance) {
+        best_distance = d;
+        best = &def;
+      }
+    }
+    std::string message = "unknown flag --" + name;
+    if (best != nullptr) {
+      message += " (did you mean --" + best->name + "?)";
+    } else {
+      message += " (see --help)";
+    }
+    return Status::InvalidArgument(message);
+  }
+  return Status::OK();
+}
+
+Status FlagTable::Apply(const Flags& flags, ExperimentConfig* config) const {
+  for (const FlagDef& def : defs_) {
+    if (!def.bind) continue;
+    if (Status s = def.bind(flags, config); !s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+FlagTable ExperimentFlagTable() {
+  using F = const Flags&;
+  using C = ExperimentConfig*;
+  std::vector<FlagDef> defs;
+
+  defs.push_back({"strategy", FlagType::kString, "hybrid",
+                  "applyall|afterall|feedback|piggyback|hybrid",
+                  [](F f, C c) -> Status {
+                    const std::string v = f.GetString("strategy", "hybrid");
+                    if (v == "applyall") {
+                      c->strategy = SchedulingStrategy::kApplyAll;
+                    } else if (v == "afterall") {
+                      c->strategy = SchedulingStrategy::kAfterAll;
+                    } else if (v == "feedback") {
+                      c->strategy = SchedulingStrategy::kFeedback;
+                    } else if (v == "piggyback") {
+                      c->strategy = SchedulingStrategy::kPiggyback;
+                    } else if (v == "hybrid") {
+                      c->strategy = SchedulingStrategy::kHybrid;
+                    } else {
+                      return Status::InvalidArgument("unknown --strategy " + v);
+                    }
+                    return Status::OK();
+                  }});
+  defs.push_back({"alpha", FlagType::kDouble, "1.0",
+                  "fraction of templates starting distributed", nullptr});
+  defs.push_back({"workload", FlagType::kString, "zipf", "zipf|uniform",
+                  [](F f, C c) -> Status {
+                    const double alpha = f.GetDouble("alpha", 1.0);
+                    const std::string v = f.GetString("workload", "zipf");
+                    if (v == "zipf") {
+                      c->workload = workload::WorkloadSpec::Zipf(alpha);
+                    } else if (v == "uniform") {
+                      c->workload = workload::WorkloadSpec::Uniform(alpha);
+                    } else {
+                      return Status::InvalidArgument("unknown --workload " + v);
+                    }
+                    return Status::OK();
+                  }});
+  defs.push_back({"templates", FlagType::kInt, "paper",
+                  "distinct transaction templates",
+                  [](F f, C c) -> Status {
+                    if (f.Has("templates")) {
+                      c->workload.num_templates =
+                          static_cast<uint32_t>(f.GetInt("templates"));
+                    }
+                    return Status::OK();
+                  }});
+  defs.push_back({"keys", FlagType::kInt, "paper", "tuples in the table",
+                  [](F f, C c) -> Status {
+                    if (f.Has("keys")) {
+                      c->workload.num_keys =
+                          static_cast<uint64_t>(f.GetInt("keys"));
+                    }
+                    return Status::OK();
+                  }});
+  defs.push_back({"load", FlagType::kString, "high",
+                  "high|low, or a raw utilisation number",
+                  [](F f, C c) -> Status {
+                    const std::string v = f.GetString("load", "high");
+                    if (v == "high") {
+                      c->utilization = workload::kHighLoadUtilization;
+                    } else if (v == "low") {
+                      c->utilization = workload::kLowLoadUtilization;
+                    } else {
+                      try {
+                        c->utilization = std::stod(v);
+                      } catch (...) {
+                        return Status::InvalidArgument("bad --load " + v);
+                      }
+                    }
+                    return Status::OK();
+                  }});
+  defs.push_back({"isolation", FlagType::kString, "readcommitted",
+                  "readcommitted|serializable",
+                  [](F f, C c) -> Status {
+                    const std::string v =
+                        f.GetString("isolation", "readcommitted");
+                    if (v == "serializable") {
+                      c->cluster.isolation =
+                          cluster::IsolationLevel::kSerializable;
+                    } else if (v != "readcommitted") {
+                      return Status::InvalidArgument("unknown --isolation " +
+                                                     v);
+                    }
+                    return Status::OK();
+                  }});
+  defs.push_back({"warmup", FlagType::kInt, "10", "warmup intervals",
+                  [](F f, C c) -> Status {
+                    c->warmup_intervals =
+                        static_cast<uint32_t>(f.GetInt("warmup", 10));
+                    return Status::OK();
+                  }});
+  defs.push_back({"intervals", FlagType::kInt, "125", "measured intervals",
+                  [](F f, C c) -> Status {
+                    c->measured_intervals =
+                        static_cast<uint32_t>(f.GetInt("intervals", 125));
+                    return Status::OK();
+                  }});
+  defs.push_back({"sp", FlagType::kDouble, "1.05",
+                  "feedback setpoint (total/normal cost ratio)",
+                  [](F f, C c) -> Status {
+                    c->feedback.sp = f.GetDouble("sp", 1.05);
+                    return Status::OK();
+                  }});
+  defs.push_back({"seed", FlagType::kInt, "1", "RNG seed",
+                  [](F f, C c) -> Status {
+                    c->seed = static_cast<uint64_t>(f.GetInt("seed", 1));
+                    return Status::OK();
+                  }});
+  defs.push_back({"record-trace", FlagType::kString, "",
+                  "save the arrival stream for replay",
+                  [](F f, C c) -> Status {
+                    c->record_trace_path = f.GetString("record-trace", "");
+                    return Status::OK();
+                  }});
+  defs.push_back({"replay-trace", FlagType::kString, "",
+                  "drive the run from a recorded trace",
+                  [](F f, C c) -> Status {
+                    c->replay_trace_path = f.GetString("replay-trace", "");
+                    return Status::OK();
+                  }});
+  defs.push_back({"metrics_out", FlagType::kString, "",
+                  "Prometheus text dump of the run's metrics",
+                  [](F f, C c) -> Status {
+                    c->obs.metrics_out = f.GetString("metrics_out", "");
+                    return Status::OK();
+                  }});
+  defs.push_back({"metrics_jsonl", FlagType::kString, "",
+                  "per-interval JSONL metric snapshots",
+                  [](F f, C c) -> Status {
+                    c->obs.metrics_jsonl_out =
+                        f.GetString("metrics_jsonl", "");
+                    return Status::OK();
+                  }});
+  defs.push_back({"trace_out", FlagType::kString, "",
+                  "Chrome trace JSON (Perfetto-loadable)",
+                  [](F f, C c) -> Status {
+                    c->obs.trace_out = f.GetString("trace_out", "");
+                    return Status::OK();
+                  }});
+  defs.push_back({"trace_sample", FlagType::kInt, "1",
+                  "trace every n-th transaction",
+                  [](F f, C c) -> Status {
+                    c->obs.trace_sample =
+                        static_cast<uint32_t>(f.GetInt("trace_sample", 1));
+                    return Status::OK();
+                  }});
+  defs.push_back({"fault_spec", FlagType::kString, "",
+                  "inject faults, e.g. 'crash:node=2,at=120s,down=15s;"
+                  "drop:p=0.01' (see EXPERIMENTS.md)",
+                  [](F f, C c) -> Status {
+                    c->fault_spec = f.GetString("fault_spec", "");
+                    return Status::OK();
+                  }});
+  defs.push_back({"planner", FlagType::kBool, "off",
+                  "enable the online co-access-graph planner",
+                  [](F f, C c) -> Status {
+                    if (f.GetBool("planner")) c->planner.enabled = true;
+                    return Status::OK();
+                  }});
+  defs.push_back({"replan", FlagType::kInt, "3",
+                  "planner replan period in intervals",
+                  [](F f, C c) -> Status {
+                    if (f.Has("replan")) {
+                      c->planner.replan_period =
+                          static_cast<uint32_t>(f.GetInt("replan"));
+                    }
+                    return Status::OK();
+                  }});
+  defs.push_back({"plan_ops", FlagType::kInt, "2048",
+                  "max repartition ops per emitted plan",
+                  [](F f, C c) -> Status {
+                    if (f.Has("plan_ops")) {
+                      c->planner.builder.max_ops =
+                          static_cast<uint32_t>(f.GetInt("plan_ops"));
+                    }
+                    return Status::OK();
+                  }});
+  defs.push_back({"plan_min_heat", FlagType::kInt, "1",
+                  "min co-access weight to move a key",
+                  [](F f, C c) -> Status {
+                    if (f.Has("plan_min_heat")) {
+                      c->planner.builder.min_vertex_weight =
+                          static_cast<uint64_t>(f.GetInt("plan_min_heat"));
+                    }
+                    return Status::OK();
+                  }});
+  defs.push_back({"drift_phases", FlagType::kInt, "3",
+                  "number of drift phases", nullptr});
+  defs.push_back({"drift_phase_len", FlagType::kInt, "8",
+                  "intervals per drift phase", nullptr});
+  defs.push_back({"pair_fraction", FlagType::kDouble, "0.35",
+                  "cross-template paired-txn fraction", nullptr});
+  defs.push_back({"write_fraction", FlagType::kDouble, "",
+                  "fraction of each template's accesses that write",
+                  [](F f, C c) -> Status {
+                    if (f.Has("write_fraction")) {
+                      c->workload.write_fraction =
+                          f.GetDouble("write_fraction");
+                    }
+                    return Status::OK();
+                  }});
+  // After --warmup and --workload: drift rewrites the spec using both.
+  defs.push_back({"drift", FlagType::kString, "",
+                  "hotspot|skewflip|mixrotation: drifting workload (phases "
+                  "start right after warmup)",
+                  [](F f, C c) -> Status {
+                    const std::string v = f.GetString("drift", "");
+                    if (v.empty()) return Status::OK();
+                    const auto phases =
+                        static_cast<uint32_t>(f.GetInt("drift_phases", 3));
+                    const auto phase_len = static_cast<uint32_t>(
+                        f.GetInt("drift_phase_len", 8));
+                    const double pair = f.GetDouble("pair_fraction", 0.35);
+                    if (v == "hotspot") {
+                      c->workload = workload::WorkloadSpec::HotspotDrift(
+                          c->workload, c->warmup_intervals, phases, phase_len,
+                          pair);
+                    } else if (v == "skewflip") {
+                      c->workload = workload::WorkloadSpec::SkewFlip(
+                          c->workload, c->warmup_intervals, phases, phase_len,
+                          /*high_s=*/1.16, /*low_s=*/0.4, pair);
+                    } else if (v == "mixrotation") {
+                      c->workload = workload::WorkloadSpec::MixRotation(
+                          c->workload, c->warmup_intervals, phases, phase_len,
+                          pair);
+                    } else {
+                      return Status::InvalidArgument("unknown --drift " + v);
+                    }
+                    return Status::OK();
+                  }});
+  // After --drift: the hub phase stacks on whatever spec is in place.
+  defs.push_back({"pair_hub", FlagType::kInt, "0",
+                  "pair a --pair_fraction share of txns with one of the N "
+                  "hottest templates (shared reference data; 0 = chained "
+                  "pairing)",
+                  [](F f, C c) -> Status {
+                    const int hub = f.GetInt("pair_hub", 0);
+                    if (hub <= 0) return Status::OK();
+                    workload::DriftPhase phase;
+                    phase.start_interval = 0;
+                    phase.zipf_s = c->workload.zipf_s;
+                    phase.pair_fraction = f.GetDouble("pair_fraction", 0.35);
+                    phase.pair_hub = static_cast<uint32_t>(hub);
+                    c->workload.phases.push_back(phase);
+                    return Status::OK();
+                  }});
+  defs.push_back({"replicas", FlagType::kBool, "off",
+                  "primary-copy replication: planner replicates read-heavy "
+                  "keys, reads route to the nearest live copy (implies "
+                  "--planner)",
+                  [](F f, C c) -> Status {
+                    if (f.GetBool("replicas")) {
+                      c->replicas.enabled = true;
+                      c->planner.enabled = true;
+                    }
+                    return Status::OK();
+                  }});
+  defs.push_back({"replica_copies", FlagType::kInt, "2",
+                  "total copies per key, primary included",
+                  [](F f, C c) -> Status {
+                    if (f.Has("replica_copies")) {
+                      c->replicas.max_copies =
+                          static_cast<uint32_t>(f.GetInt("replica_copies"));
+                    }
+                    return Status::OK();
+                  }});
+  defs.push_back({"replica_ratio", FlagType::kDouble, "3.0",
+                  "min read/write ratio to replicate instead of migrate",
+                  [](F f, C c) -> Status {
+                    if (f.Has("replica_ratio")) {
+                      c->replicas.min_read_write_ratio =
+                          f.GetDouble("replica_ratio");
+                    }
+                    return Status::OK();
+                  }});
+  defs.push_back({"replica_split", FlagType::kDouble, "0.2",
+                  "min second-partition share of a key's co-access pull "
+                  "to replicate instead of migrate",
+                  [](F f, C c) -> Status {
+                    if (f.Has("replica_split")) {
+                      c->replicas.split_threshold =
+                          f.GetDouble("replica_split");
+                    }
+                    return Status::OK();
+                  }});
+  defs.push_back({"promotion_delay_ms", FlagType::kInt, "500",
+                  "failure-detection delay before replica promotion",
+                  [](F f, C c) -> Status {
+                    if (f.Has("promotion_delay_ms")) {
+                      c->replicas.promotion_delay =
+                          Millis(f.GetInt("promotion_delay_ms"));
+                    }
+                    return Status::OK();
+                  }});
+  defs.push_back({"replica_keep_stale", FlagType::kBool, "off",
+                  "keep replicas whose key went cold or write-heavy",
+                  [](F f, C c) -> Status {
+                    if (f.GetBool("replica_keep_stale")) {
+                      c->replicas.drop_stale_replicas = false;
+                    }
+                    return Status::OK();
+                  }});
+  defs.push_back({"log_level", FlagType::kString, "warn",
+                  "debug|info|warn|error",
+                  [](F f, C c) -> Status {
+                    (void)c;
+                    const std::string v = f.GetString("log_level", "");
+                    if (v.empty()) return Status::OK();
+                    std::optional<LogLevel> level = ParseLogLevel(v);
+                    if (!level.has_value()) {
+                      return Status::InvalidArgument("unknown --log_level " +
+                                                     v);
+                    }
+                    Logger::Instance().set_level(*level);
+                    return Status::OK();
+                  }});
+  defs.push_back({"help", FlagType::kBool, "", "this text", nullptr});
+  return FlagTable(std::move(defs));
+}
+
+}  // namespace soap::engine

@@ -19,6 +19,14 @@ void CoAccessGraph::Observe(const txn::Transaction& t) {
 
   ++txns_observed_;
   for (storage::TupleKey k : keys) vertices_[k].weight += 1;
+  for (const txn::Operation& op : t.ops) {
+    if (op.repartition_op_id != 0) continue;
+    if (op.kind == txn::OpKind::kRead) {
+      vertices_[op.key].reads += 1;
+    } else if (op.kind == txn::OpKind::kWrite) {
+      vertices_[op.key].writes += 1;
+    }
+  }
   for (size_t i = 0; i < keys.size(); ++i) {
     for (size_t j = i + 1; j < keys.size(); ++j) {
       Vertex& va = vertices_[keys[i]];
@@ -57,6 +65,8 @@ void CoAccessGraph::Decay() {
   std::vector<std::pair<storage::TupleKey, storage::TupleKey>> dead_edges;
   for (auto& [key, v] : vertices_) {
     v.weight >>= config_.decay_shift;
+    v.reads >>= config_.decay_shift;
+    v.writes >>= config_.decay_shift;
     for (auto& [nbr, w] : v.out) {
       w >>= config_.decay_shift;
       if (w < config_.min_edge_weight && key < nbr) {
@@ -79,6 +89,16 @@ void CoAccessGraph::Decay() {
 uint64_t CoAccessGraph::VertexWeight(storage::TupleKey key) const {
   auto it = vertices_.find(key);
   return it == vertices_.end() ? 0 : it->second.weight;
+}
+
+uint64_t CoAccessGraph::VertexReads(storage::TupleKey key) const {
+  auto it = vertices_.find(key);
+  return it == vertices_.end() ? 0 : it->second.reads;
+}
+
+uint64_t CoAccessGraph::VertexWrites(storage::TupleKey key) const {
+  auto it = vertices_.find(key);
+  return it == vertices_.end() ? 0 : it->second.writes;
 }
 
 uint64_t CoAccessGraph::EdgeWeight(storage::TupleKey a,

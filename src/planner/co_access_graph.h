@@ -51,6 +51,13 @@ class CoAccessGraph {
   uint64_t VertexWeight(storage::TupleKey key) const;
   uint64_t EdgeWeight(storage::TupleKey a, storage::TupleKey b) const;
 
+  /// Per-vertex access mix (reads and writes of the key across observed
+  /// transactions, decayed with the window). Feeds the replica-aware plan
+  /// builder's read/write-ratio test; tracking them does not change
+  /// weights, edges or eviction, so migration-only planning is unaffected.
+  uint64_t VertexReads(storage::TupleKey key) const;
+  uint64_t VertexWrites(storage::TupleKey key) const;
+
   size_t vertex_count() const { return vertices_.size(); }
   size_t edge_count() const { return edge_count_; }
   uint64_t txns_observed() const { return txns_observed_; }
@@ -71,6 +78,8 @@ class CoAccessGraph {
  private:
   struct Vertex {
     uint64_t weight = 0;
+    uint64_t reads = 0;
+    uint64_t writes = 0;
     /// Adjacency is stored in both directions with equal weights.
     std::unordered_map<storage::TupleKey, uint64_t> out;
   };

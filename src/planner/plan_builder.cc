@@ -13,18 +13,153 @@ BuiltPlan PlanBuilder::Build(const Clustering& clustering,
     uint32_t source = 0;
     uint32_t target = 0;
     uint64_t heat = 0;
+    repartition::RepartitionOpType type =
+        repartition::RepartitionOpType::kObjectsMigration;
   };
+  auto read_heavy = [this, &graph](storage::TupleKey key) {
+    const uint64_t reads = graph.VertexReads(key);
+    const uint64_t writes = graph.VertexWrites(key);
+    return static_cast<double>(reads) >
+           config_.min_read_write_ratio * static_cast<double>(writes);
+  };
+  // Clustering label of a key; keys outside the clustering (cold, evicted
+  // from the graph) count at their current primary.
+  auto label_of = [&clustering, &routing](storage::TupleKey key) -> int64_t {
+    auto it = std::lower_bound(clustering.keys.begin(),
+                               clustering.keys.end(), key);
+    if (it != clustering.keys.end() && *it == key) {
+      return clustering.partition_of[it - clustering.keys.begin()];
+    }
+    Result<router::PartitionId> p = routing.GetPrimary(key);
+    return p.ok() ? static_cast<int64_t>(*p) : -1;
+  };
+  // Co-access pull on `key` from each partition: edge mass toward
+  // neighbours by their clustered label. A key whose mass concentrates on
+  // one partition belongs there outright; a split key is read from two
+  // places at once and is the replica candidate.
+  struct PullMass {
+    std::unordered_map<uint32_t, uint64_t> per_partition;
+    uint64_t total = 0;
+    uint64_t On(uint32_t p) const {
+      auto it = per_partition.find(p);
+      return it == per_partition.end() ? 0 : it->second;
+    }
+    /// Partitions by pull, heaviest first (ties: lowest id).
+    std::vector<std::pair<uint32_t, uint64_t>> Sorted() const {
+      std::vector<std::pair<uint32_t, uint64_t>> v(per_partition.begin(),
+                                                   per_partition.end());
+      std::sort(v.begin(), v.end(), [](const auto& x, const auto& y) {
+        if (x.second != y.second) return x.second > y.second;
+        return x.first < y.first;
+      });
+      return v;
+    }
+  };
+  auto pull_mass = [&graph, &label_of](storage::TupleKey key) {
+    PullMass m;
+    for (const auto& [neighbor, weight] : graph.NeighborsOf(key)) {
+      const int64_t label = label_of(neighbor);
+      if (label < 0) continue;
+      m.per_partition[static_cast<uint32_t>(label)] += weight;
+      m.total += weight;
+    }
+    return m;
+  };
+  // Same pull, but against *deployed* primaries instead of this
+  // generation's labels. The drop test uses it: labels of borderline
+  // clusters can flip between generations, and dropping a copy on a
+  // label flip (only to recreate it next interval) is pure churn.
+  auto deployed_pull_mass = [&graph, &routing](storage::TupleKey key) {
+    PullMass m;
+    for (const auto& [neighbor, weight] : graph.NeighborsOf(key)) {
+      Result<router::PartitionId> p = routing.GetPrimary(neighbor);
+      if (!p.ok()) continue;
+      m.per_partition[*p] += weight;
+      m.total += weight;
+    }
+    return m;
+  };
+
   std::vector<Move> moves;
   for (size_t i = 0; i < clustering.keys.size(); ++i) {
     const storage::TupleKey key = clustering.keys[i];
     Result<router::PartitionId> cur = routing.GetPrimary(key);
     if (!cur.ok()) continue;
     const uint32_t want = clustering.partition_of[i];
-    if (*cur == want) continue;
     const uint64_t heat = graph.VertexWeight(key);
     if (heat < config_.min_vertex_weight) continue;
-    moves.push_back({key, *cur, want, heat});
+    if (!config_.replicate_read_heavy) {
+      if (*cur != want) moves.push_back({key, *cur, want, heat});
+      continue;
+    }
+    Result<router::Placement> placement = routing.GetPlacement(key);
+    if (!placement.ok()) continue;
+    const bool can_copy = read_heavy(key) &&
+                          placement->copy_count() < config_.max_copies;
+    const PullMass mass = can_copy ? pull_mass(key) : PullMass{};
+    const bool cur_still_reads =
+        can_copy && mass.total > 0 &&
+        static_cast<double>(mass.On(*cur)) >
+            config_.replica_split_threshold * static_cast<double>(mass.total);
+    if (*cur != want && !cur_still_reads) {
+      // Single-sided pull: everything that touches the key lives at
+      // `want` now; move the primary with its readers — unless a copy
+      // from an earlier generation already satisfies the clustering
+      // (re-emitting would churn).
+      if (!placement->HasReplicaOn(want)) {
+        moves.push_back({key, *cur, want, heat});
+      }
+      continue;
+    }
+    // The primary stays put (it either sits with the majority already, or
+    // its own partition still reads the key meaningfully). Cover every
+    // other partition holding a split-threshold share of the key's pull
+    // with a copy, budget permitting — all in one generation, because
+    // slow-deploying strategies may only get a few plan generations.
+    if (!can_copy) continue;
+    uint32_t budget = config_.max_copies - placement->copy_count();
+    for (const auto& [p, pull] : mass.Sorted()) {
+      if (budget == 0) break;
+      if (p == *cur || placement->HasReplicaOn(p)) continue;
+      if (static_cast<double>(pull) <=
+          config_.replica_split_threshold * static_cast<double>(mass.total)) {
+        break;  // sorted: nothing below qualifies either
+      }
+      moves.push_back({key, *cur, p, heat,
+                       repartition::RepartitionOpType::kNewReplicaCreation});
+      --budget;
+    }
   }
+
+  if (config_.replicate_read_heavy && config_.drop_stale_replicas) {
+    for (storage::TupleKey key : routing.ReplicatedKeys()) {
+      Result<router::Placement> placement = routing.GetPlacement(key);
+      if (!placement.ok()) continue;
+      const uint64_t heat = graph.VertexWeight(key);
+      const bool keep_any =
+          heat >= config_.min_vertex_weight && read_heavy(key);
+      const PullMass mass = keep_any ? deployed_pull_mass(key) : PullMass{};
+      for (router::PartitionId rep : placement->replicas) {
+        // Hysteresis: a copy survives while its partition keeps at least
+        // half the create threshold's share of the key's pull.
+        if (keep_any && mass.total > 0 &&
+            static_cast<double>(mass.On(rep)) >=
+                0.5 * config_.replica_split_threshold *
+                    static_cast<double>(mass.total)) {
+          continue;
+        }
+        moves.push_back({key, rep, placement->primary, heat,
+                         repartition::RepartitionOpType::kReplicaDeletion});
+      }
+    }
+  }
+
+  // Keys must come out sorted (lock-order discipline for pure repartition
+  // transactions); a stable sort keeps migration-before-deletion order for
+  // a key that has both. No-op for migration-only plans, which are built
+  // key-sorted already.
+  std::stable_sort(moves.begin(), moves.end(),
+                   [](const Move& x, const Move& y) { return x.key < y.key; });
 
   BuiltPlan out;
   if (config_.max_ops > 0 && moves.size() > config_.max_ops) {
@@ -36,8 +171,8 @@ BuiltPlan PlanBuilder::Build(const Clustering& clustering,
                      });
     moves.resize(config_.max_ops);
     // Emission order stays key-sorted regardless of the heat cut.
-    std::sort(moves.begin(), moves.end(),
-              [](const Move& x, const Move& y) { return x.key < y.key; });
+    std::stable_sort(moves.begin(), moves.end(),
+                     [](const Move& x, const Move& y) { return x.key < y.key; });
   }
 
   out.plan.epoch = ids->BeginEpoch();
@@ -45,7 +180,7 @@ BuiltPlan PlanBuilder::Build(const Clustering& clustering,
   for (const Move& m : moves) {
     repartition::RepartitionOp op;
     op.id = ids->Allocate();
-    op.type = repartition::RepartitionOpType::kObjectsMigration;
+    op.type = m.type;
     op.key = m.key;
     op.source_partition = m.source;
     op.target_partition = m.target;

@@ -25,6 +25,32 @@ struct PlanBuilderConfig {
   size_t max_ops = 2048;
   /// Tuples colder than this vertex weight are not worth migrating.
   uint64_t min_vertex_weight = 1;
+
+  /// Replica-aware planning (soap::replica): a read-heavy tuple whose
+  /// co-access neighbourhood is *split* — a second partition's cluster
+  /// holds a meaningful share of the key's co-access mass — gets a
+  /// replica on the minority reader's partition instead of (or in
+  /// addition to staying put after) a migration. Readers on both sides
+  /// go local, writers keep the single primary, and the copy doubles as
+  /// a failover target. Keys pulled by only one partition migrate as
+  /// before: replicating those would strand the primary away from all
+  /// its readers. Off by default; off means Build() takes exactly the
+  /// migration-only path.
+  bool replicate_read_heavy = false;
+  /// A tuple is read-heavy when window reads > ratio * window writes.
+  double min_read_write_ratio = 3.0;
+  /// Total copies (primary included) a key may reach via planning.
+  uint32_t max_copies = 2;
+  /// Fraction of a key's co-access neighbour mass a second partition must
+  /// hold before the key counts as split (replicate) rather than moved
+  /// with the majority (migrate). Replicas are dropped again when the
+  /// hosting partition's share falls below half this threshold
+  /// (hysteresis against create/drop flapping).
+  double replica_split_threshold = 0.2;
+  /// Also emit replica deletions for copies whose key went cold,
+  /// write-heavy or single-reader, so the replica set tracks the
+  /// workload both ways.
+  bool drop_stale_replicas = true;
 };
 
 struct BuiltPlan {

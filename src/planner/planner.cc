@@ -62,6 +62,13 @@ void Planner::TryReplan() {
   if (repartitioner_->StartRepartitioningWithPlan(built.plan)) {
     ++stats_.plans_emitted;
     stats_.ops_emitted += built.plan.size();
+    for (const repartition::RepartitionOp& op : built.plan.ops) {
+      if (op.type == repartition::RepartitionOpType::kNewReplicaCreation) {
+        ++stats_.replica_creates_emitted;
+      } else if (op.type == repartition::RepartitionOpType::kReplicaDeletion) {
+        ++stats_.replica_drops_emitted;
+      }
+    }
   }
 }
 

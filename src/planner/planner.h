@@ -50,6 +50,10 @@ struct PlannerStats {
   /// Replan attempts skipped because the diff was below min_plan_ops.
   uint64_t replans_skipped_small = 0;
   uint64_t ops_dropped_by_cap = 0;
+  /// Replica creations / deletions among ops_emitted (replica-aware
+  /// planning only; zero for migration-only configurations).
+  uint64_t replica_creates_emitted = 0;
+  uint64_t replica_drops_emitted = 0;
   uint64_t last_cut_weight = 0;
   uint64_t last_internal_weight = 0;
   uint64_t last_graph_vertices = 0;

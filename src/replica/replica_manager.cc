@@ -1,0 +1,114 @@
+#include "src/replica/replica_manager.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/logging.h"
+
+namespace soap::replica {
+
+ReplicaManager::ReplicaManager(cluster::Cluster* cluster,
+                               ReplicaManagerConfig config)
+    : cluster_(cluster), config_(config) {}
+
+void ReplicaManager::BindMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    m_promotions_ = nullptr;
+    m_replica_count_ = nullptr;
+    m_replicated_keys_ = nullptr;
+    return;
+  }
+  m_promotions_ = registry->GetCounter("soap_replica_promotions_total");
+  m_replica_count_ = registry->GetGauge("soap_replica_count");
+  m_replicated_keys_ = registry->GetGauge("soap_replicated_keys");
+}
+
+void ReplicaManager::PublishGauges() {
+  if (m_replica_count_ == nullptr) return;
+  const router::RoutingTable& routing = cluster_->routing_table();
+  uint64_t replicas = 0;
+  for (uint32_t p = 0; p < cluster_->num_nodes(); ++p) {
+    replicas += routing.CountReplicas(p);
+  }
+  m_replica_count_->Set(static_cast<double>(replicas));
+  m_replicated_keys_->Set(static_cast<double>(routing.replicated_key_count()));
+}
+
+void ReplicaManager::OnNodeCrash(uint32_t node) {
+  // Nothing to fail over if no key is replicated; scheduling no event
+  // keeps the replication-off run's event stream untouched.
+  if (cluster_->routing_table().replicated_key_count() == 0) return;
+  cluster_->simulator()->After(config_.promotion_delay, [this, node]() {
+    if (cluster_->node(node).down()) PromoteAwayFrom(node);
+  });
+}
+
+void ReplicaManager::PromoteAwayFrom(uint32_t node) {
+  router::RoutingTable& routing = cluster_->routing_table();
+  uint64_t promoted = 0;
+  for (storage::TupleKey key : routing.ReplicatedKeys()) {
+    Result<router::Placement> placement = routing.GetPlacement(key);
+    if (!placement.ok() || placement->primary != node) continue;
+    router::PartitionId best = router::QueryRouter::kNoPreference;
+    for (router::PartitionId r : placement->replicas) {
+      if (!cluster_->node(r).down() &&
+          (best == router::QueryRouter::kNoPreference || r < best)) {
+        best = r;
+      }
+    }
+    if (best == router::QueryRouter::kNoPreference) continue;
+    Status s = routing.Promote(key, best);
+    if (s.ok()) {
+      ++promoted;
+      ++stats_.promotions;
+      if (m_promotions_) m_promotions_->Increment();
+    } else {
+      SOAP_LOG(kWarn) << "promotion of key " << key << " failed: "
+                      << s.ToString();
+    }
+  }
+  if (promoted > 0) ++stats_.failovers;
+}
+
+void ReplicaManager::OnNodeRestart(uint32_t node) {
+  if (cluster_->routing_table().replicated_key_count() == 0) return;
+  // Size the sweep by what the node stores now; the refresh set is
+  // recomputed when the job completes so it reflects any writes that
+  // landed during the sweep.
+  const size_t stored = cluster_->storage(node).tuple_count();
+  const Duration service =
+      config_.catchup_fixed +
+      config_.catchup_per_tuple * static_cast<Duration>(stored);
+  cluster_->node(node).RunJob(service, cluster::WorkCategory::kRepartition,
+                              cluster::JobClass::kBulk,
+                              [this, node]() { ApplyCatchup(node); });
+}
+
+void ReplicaManager::ApplyCatchup(uint32_t node) {
+  router::RoutingTable& routing = cluster_->routing_table();
+  storage::StorageEngine& store = cluster_->storage(node);
+  std::vector<storage::TupleKey> keys;
+  keys.reserve(store.tuple_count());
+  store.table().ForEach(
+      [&keys](const storage::Tuple& t) { keys.push_back(t.key); });
+  std::sort(keys.begin(), keys.end());
+  for (storage::TupleKey key : keys) {
+    Result<router::Placement> placement = routing.GetPlacement(key);
+    if (!placement.ok() || !placement->HasReplicaOn(node)) {
+      // Routing moved on while the node was down (migration committed, or
+      // the replica was dropped): this copy is unreachable — erase it.
+      if (store.ApplyErase(0, key).ok()) ++stats_.catchup_dropped;
+      continue;
+    }
+    if (placement->primary == node) continue;  // WAL replay restored it
+    // Stale replica: refresh content from the current primary.
+    Result<storage::Tuple> fresh =
+        cluster_->storage(placement->primary).Read(key);
+    if (!fresh.ok()) continue;
+    if (store.ApplyUpdate(0, key, fresh->content).ok()) {
+      ++stats_.catchup_refreshed;
+    }
+  }
+}
+
+}  // namespace soap::replica

@@ -5,7 +5,11 @@
 namespace soap::router {
 
 Result<PartitionId> QueryRouter::RouteRead(storage::TupleKey key) {
+  if (policy_ == ReplicaPolicy::kNearestLive) {
+    return RouteReadNear(key, kNoPreference);
+  }
   ++routed_queries_;
+  ++reads_routed_;
   if (policy_ == ReplicaPolicy::kPrimaryOnly) {
     return table_->GetPrimary(key);
   }
@@ -13,7 +17,50 @@ Result<PartitionId> QueryRouter::RouteRead(storage::TupleKey key) {
   const size_t copies = placement.copy_count();
   const size_t pick = round_robin_++ % copies;
   if (pick == 0) return placement.primary;
+  ++replica_reads_;
   return placement.replicas[pick - 1];
+}
+
+Result<std::pair<PartitionId, PartitionId>> QueryRouter::PickWithPrimary(
+    storage::TupleKey key, PartitionId preferred) const {
+  SOAP_ASSIGN_OR_RETURN(Placement placement, table_->GetPlacement(key));
+  // Unreplicated keys route to the primary unconditionally — a down
+  // primary must surface as an abort, exactly as without this subsystem.
+  if (placement.replicas.empty()) {
+    return std::make_pair(placement.primary, placement.primary);
+  }
+  auto down = [this](PartitionId p) {
+    return down_probe_ && down_probe_(p);
+  };
+  if (preferred != kNoPreference && placement.HasReplicaOn(preferred) &&
+      !down(preferred)) {
+    return std::make_pair(preferred, placement.primary);
+  }
+  if (!down(placement.primary)) {
+    return std::make_pair(placement.primary, placement.primary);
+  }
+  PartitionId best = kNoPreference;
+  for (PartitionId r : placement.replicas) {
+    if (!down(r) && (best == kNoPreference || r < best)) best = r;
+  }
+  if (best == kNoPreference) best = placement.primary;  // all copies down
+  return std::make_pair(best, placement.primary);
+}
+
+Result<PartitionId> QueryRouter::PickReadPartition(storage::TupleKey key,
+                                                   PartitionId preferred)
+    const {
+  SOAP_ASSIGN_OR_RETURN(auto picked, PickWithPrimary(key, preferred));
+  return picked.first;
+}
+
+Result<PartitionId> QueryRouter::RouteReadNear(storage::TupleKey key,
+                                               PartitionId preferred) {
+  ++routed_queries_;
+  ++reads_routed_;
+  SOAP_ASSIGN_OR_RETURN(auto picked, PickWithPrimary(key, preferred));
+  if (picked.first != picked.second) ++replica_reads_;
+  return picked.first;
 }
 
 Result<PartitionId> QueryRouter::RouteWrite(storage::TupleKey key) {

@@ -7,6 +7,8 @@
 #define SOAP_ROUTER_QUERY_ROUTER_H_
 
 #include <cstdint>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "src/common/result.h"
@@ -20,10 +22,18 @@ namespace soap::router {
 enum class ReplicaPolicy {
   kPrimaryOnly,  ///< always read the primary copy
   kRoundRobin,   ///< rotate over primary + replicas
+  kNearestLive,  ///< prefer a live copy collocated with the caller
 };
 
 class QueryRouter {
  public:
+  /// Sentinel for RouteReadNear/PickReadPartition: no collocation hint.
+  static constexpr PartitionId kNoPreference = UINT32_MAX;
+
+  /// Liveness probe: returns true if the partition's node is down. Unset
+  /// means "everything is up" (the replication-off fast path).
+  using DownProbe = std::function<bool(PartitionId)>;
+
   explicit QueryRouter(RoutingTable* table,
                        ReplicaPolicy policy = ReplicaPolicy::kPrimaryOnly)
       : table_(table), policy_(policy) {}
@@ -31,8 +41,25 @@ class QueryRouter {
   const RoutingTable& routing_table() const { return *table_; }
   RoutingTable* mutable_routing_table() { return table_; }
 
+  void set_policy(ReplicaPolicy policy) { policy_ = policy; }
+  ReplicaPolicy policy() const { return policy_; }
+  void set_down_probe(DownProbe probe) { down_probe_ = std::move(probe); }
+
   /// Partition a read of `key` should visit (replica choice applied).
   Result<PartitionId> RouteRead(storage::TupleKey key);
+
+  /// Replica-aware read routing with a collocation hint: prefer the copy
+  /// on `preferred` (typically the transaction's coordinator), else the
+  /// primary, else the lowest-numbered live replica. Only ever deviates
+  /// from the primary when the key actually has replicas, so with
+  /// replication off this is exactly RouteRead.
+  Result<PartitionId> RouteReadNear(storage::TupleKey key,
+                                    PartitionId preferred);
+
+  /// Side-effect-free version of RouteReadNear (no counters); used for
+  /// coordinator selection so the pick is not double-counted.
+  Result<PartitionId> PickReadPartition(storage::TupleKey key,
+                                        PartitionId preferred) const;
 
   /// Partition a write of `key` must visit (always the primary).
   Result<PartitionId> RouteWrite(storage::TupleKey key);
@@ -52,12 +79,24 @@ class QueryRouter {
   }
 
   uint64_t routed_queries() const { return routed_queries_; }
+  /// Read routes issued (RouteRead + RouteReadNear).
+  uint64_t reads_routed() const { return reads_routed_; }
+  /// Reads served by a non-primary copy — the replica-read fraction's
+  /// numerator. Zero whenever no key has replicas.
+  uint64_t replica_reads() const { return replica_reads_; }
 
  private:
+  /// Returns {chosen partition, current primary} for a read of `key`.
+  Result<std::pair<PartitionId, PartitionId>> PickWithPrimary(
+      storage::TupleKey key, PartitionId preferred) const;
+
   RoutingTable* table_;
   ReplicaPolicy policy_;
+  DownProbe down_probe_;
   uint64_t routed_queries_ = 0;
   uint64_t round_robin_ = 0;
+  uint64_t reads_routed_ = 0;
+  uint64_t replica_reads_ = 0;
 };
 
 }  // namespace soap::router

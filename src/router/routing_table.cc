@@ -104,8 +104,50 @@ Status RoutingTable::Migrate(storage::TupleKey key, PartitionId from,
         std::to_string(primary_[key]) + ", not " + std::to_string(from));
   }
   primary_[key] = to;
+  auto it = replicas_.find(key);
+  if (it != replicas_.end()) {
+    auto& reps = it->second;
+    reps.erase(std::remove(reps.begin(), reps.end(), to), reps.end());
+    if (reps.empty()) replicas_.erase(it);
+  }
   ++version_;
   return Status::OK();
+}
+
+Status RoutingTable::Promote(storage::TupleKey key, PartitionId new_primary) {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (key >= num_keys_ || primary_[key] == kUnassigned) {
+    return Status::NotFound("key " + std::to_string(key) + " not routed");
+  }
+  if (primary_[key] == new_primary) {
+    return Status::AlreadyExists("partition " + std::to_string(new_primary) +
+                                 " is already the primary");
+  }
+  auto it = replicas_.find(key);
+  if (it == replicas_.end()) {
+    return Status::NotFound("key " + std::to_string(key) + " has no replicas");
+  }
+  auto& reps = it->second;
+  auto rep_it = std::find(reps.begin(), reps.end(), new_primary);
+  if (rep_it == reps.end()) {
+    return Status::NotFound("no replica on partition " +
+                            std::to_string(new_primary));
+  }
+  // Swap in place: the demoted primary takes the promoted replica's slot,
+  // keeping the replica list's order deterministic.
+  *rep_it = primary_[key];
+  primary_[key] = new_primary;
+  ++version_;
+  return Status::OK();
+}
+
+std::vector<storage::TupleKey> RoutingTable::ReplicatedKeys() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  std::vector<storage::TupleKey> keys;
+  keys.reserve(replicas_.size());
+  for (const auto& [key, reps] : replicas_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  return keys;
 }
 
 uint64_t RoutingTable::CountPrimaries(PartitionId partition) const {
@@ -115,6 +157,21 @@ uint64_t RoutingTable::CountPrimaries(PartitionId partition) const {
     if (p == partition) ++count;
   }
   return count;
+}
+
+uint64_t RoutingTable::CountReplicas(PartitionId partition) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  uint64_t count = 0;
+  for (const auto& [key, reps] : replicas_) {
+    count += static_cast<uint64_t>(
+        std::count(reps.begin(), reps.end(), partition));
+  }
+  return count;
+}
+
+uint64_t RoutingTable::replicated_key_count() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return replicas_.size();
 }
 
 uint64_t RoutingTable::version() const {

@@ -59,11 +59,29 @@ class RoutingTable {
   Status RemoveReplica(storage::TupleKey key, PartitionId partition);
 
   /// Atomically retargets the primary from `from` to `to` (the routing
-  /// flip at the commit of an objects-migration transaction).
+  /// flip at the commit of an objects-migration transaction). If `to`
+  /// already held a replica of the key, that replica entry is absorbed
+  /// into the primary slot so no partition appears twice in the placement.
   Status Migrate(storage::TupleKey key, PartitionId from, PartitionId to);
+
+  /// Failover: swaps the primary with the replica on `new_primary` (which
+  /// must exist). The old primary is demoted into the replica list — its
+  /// copy of the data survives the crash on disk and is caught up on
+  /// restart, so routing keeps pointing at it as a (stale) replica.
+  Status Promote(storage::TupleKey key, PartitionId new_primary);
+
+  /// Keys that currently have at least one non-primary replica, sorted
+  /// ascending (deterministic iteration for failover sweeps).
+  std::vector<storage::TupleKey> ReplicatedKeys() const;
 
   /// Number of keys whose primary is `partition` (O(n); for tests/reports).
   uint64_t CountPrimaries(PartitionId partition) const;
+
+  /// Number of non-primary replicas hosted on `partition`.
+  uint64_t CountReplicas(PartitionId partition) const;
+
+  /// Number of keys with at least one non-primary replica.
+  uint64_t replicated_key_count() const;
 
   /// Routing-table version, bumped on every mutation (lets caches detect
   /// staleness).

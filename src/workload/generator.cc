@@ -1,5 +1,6 @@
 #include "src/workload/generator.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace soap::workload {
@@ -54,7 +55,9 @@ std::unique_ptr<txn::Transaction> WorkloadGenerator::GenerateOneInPhase(
   ++generated_;
   const auto value = static_cast<int64_t>(rng_.Next() >> 32);
   if (!paired) return catalog_->Instantiate(tmpl, value);
-  const uint32_t partner = (tmpl + phase->pair_stride) % n;
+  const uint32_t partner =
+      phase->pair_hub > 0 ? tmpl % std::min(phase->pair_hub, n)
+                          : (tmpl + phase->pair_stride) % n;
   if (partner == tmpl) return catalog_->Instantiate(tmpl, value);
   return catalog_->InstantiatePaired(tmpl, partner, value);
 }

@@ -132,7 +132,14 @@ std::unique_ptr<txn::Transaction> TemplateCatalog::InstantiatePaired(
   const TxnTemplate& base = templates_.at(base_template);
   const TxnTemplate& partner = templates_.at(partner_template);
   const size_t q = base.keys.size();
-  const size_t head = q - q / 2;
+  // Borrowed partner accesses are reads only: a transaction reads its
+  // partner's data but writes always target its own template's keys.
+  // Writes occupy the template's tail positions, so the borrowed keys
+  // take the last half of the read positions (up to q/2 of them).
+  size_t reads = 0;
+  while (reads < q && !base.is_write[reads]) ++reads;
+  const size_t borrow = std::min(q / 2, reads);
+  const size_t borrow_begin = reads - borrow;
   auto t = std::make_unique<txn::Transaction>();
   t->template_id = base_template;
   t->partner_template = partner_template;
@@ -141,8 +148,9 @@ std::unique_ptr<txn::Transaction> TemplateCatalog::InstantiatePaired(
   for (size_t i = 0; i < q; ++i) {
     txn::Operation op;
     op.kind = base.is_write[i] ? txn::OpKind::kWrite : txn::OpKind::kRead;
-    op.key = i < head ? base.keys[i]
-                      : partner.keys[(i - head) % partner.keys.size()];
+    op.key = (i >= borrow_begin && i < reads)
+                 ? partner.keys[(i - borrow_begin) % partner.keys.size()]
+                 : base.keys[i];
     op.write_value = write_value;
     t->ops.push_back(op);
   }

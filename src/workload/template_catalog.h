@@ -61,11 +61,13 @@ class TemplateCatalog {
   std::unique_ptr<txn::Transaction> Instantiate(uint32_t template_id,
                                                 int64_t write_value) const;
 
-  /// Instantiates a *paired* transaction (drifting workloads): the head
-  /// ceil(q/2) queries touch the base template's keys, the tail floor(q/2)
-  /// queries touch the partner template's first keys. Read/write kinds
-  /// follow the base template, so the read-before-write statement ordering
-  /// is preserved.
+  /// Instantiates a *paired* transaction (drifting workloads): the last
+  /// half of the *read* positions (up to floor(q/2)) borrow the partner
+  /// template's first keys; writes always target the base template's own
+  /// keys. Read/write kinds follow the base template, so the
+  /// read-before-write statement ordering is preserved, and borrowed
+  /// partner accesses are read-only — a transaction reads foreign data
+  /// but only writes its own.
   std::unique_ptr<txn::Transaction> InstantiatePaired(
       uint32_t base_template, uint32_t partner_template,
       int64_t write_value) const;

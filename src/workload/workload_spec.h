@@ -36,6 +36,14 @@ struct DriftPhase {
   double zipf_s = 1.16;
   double pair_fraction = 0.0;
   uint32_t pair_stride = 1;
+  /// When nonzero, paired transactions borrow reads from a fixed *hub* of
+  /// the `pair_hub` hottest templates (partner = base % pair_hub) instead
+  /// of the strided partner. This models shared reference data — a small
+  /// read-mostly set co-accessed from every partition. No single placement
+  /// can collocate a hub with all of its readers, which makes it the
+  /// canonical replication target (migration can satisfy at most one
+  /// reader partition; copies satisfy all of them).
+  uint32_t pair_hub = 0;
 };
 
 struct WorkloadSpec {

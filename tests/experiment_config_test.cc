@@ -1,0 +1,209 @@
+// ExperimentConfig: the grouped sub-struct API, Validate()'s rejection of
+// inconsistent combinations (table-driven), and the deprecated flat-name
+// alias shim — reads and writes through the old spellings must hit the
+// same storage as the sub-structs, including across copies and moves.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/engine/experiment.h"
+
+namespace soap::engine {
+namespace {
+
+TEST(ExperimentConfigTest, DefaultConfigValidates) {
+  ExperimentConfig config;
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+struct RejectCase {
+  const char* name;
+  std::function<void(ExperimentConfig*)> mutate;
+  const char* expect_substring;
+};
+
+class ValidateRejectsTest : public ::testing::TestWithParam<RejectCase> {};
+
+TEST_P(ValidateRejectsTest, RejectsInvalidCombination) {
+  ExperimentConfig config;
+  GetParam().mutate(&config);
+  Status s = config.Validate();
+  ASSERT_FALSE(s.ok()) << GetParam().name;
+  EXPECT_NE(s.ToString().find(GetParam().expect_substring),
+            std::string::npos)
+      << GetParam().name << ": got \"" << s.ToString() << "\"";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Combinations, ValidateRejectsTest,
+    ::testing::Values(
+        RejectCase{"zero_interval_length",
+                   [](ExperimentConfig* c) { c->interval_length = 0; },
+                   "interval_length"},
+        RejectCase{"negative_utilization",
+                   [](ExperimentConfig* c) {
+                     c->workload_options.utilization = -0.5;
+                   },
+                   "utilization"},
+        RejectCase{"zero_history_window",
+                   [](ExperimentConfig* c) {
+                     c->workload_options.history_window = 0;
+                   },
+                   "history_window"},
+        RejectCase{"replay_with_drift_phases",
+                   [](ExperimentConfig* c) {
+                     c->workload_options.replay_trace_path = "/tmp/t.trace";
+                     c->workload_options.spec.phases.push_back(
+                         workload::DriftPhase{});
+                   },
+                   "replay_trace_path"},
+        RejectCase{"record_and_replay",
+                   [](ExperimentConfig* c) {
+                     c->workload_options.record_trace_path = "/tmp/a.trace";
+                     c->workload_options.replay_trace_path = "/tmp/b.trace";
+                   },
+                   "mutually exclusive"},
+        RejectCase{"trace_out_with_sampling_off",
+                   [](ExperimentConfig* c) {
+                     c->obs.trace_out = "/tmp/trace.json";
+                     c->obs.trace_sample = 0;
+                   },
+                   "trace_sample"},
+        RejectCase{"disturbance_fraction_over_one",
+                   [](ExperimentConfig* c) {
+                     c->fault_options.disturbance.enabled = true;
+                     c->fault_options.disturbance.fraction = 1.5;
+                     c->fault_options.disturbance.start_interval = 1;
+                     c->fault_options.disturbance.end_interval = 2;
+                   },
+                   "fraction"},
+        RejectCase{"disturbance_empty_window",
+                   [](ExperimentConfig* c) {
+                     c->fault_options.disturbance.enabled = true;
+                     c->fault_options.disturbance.fraction = 0.5;
+                     c->fault_options.disturbance.start_interval = 3;
+                     c->fault_options.disturbance.end_interval = 3;
+                   },
+                   "window"},
+        RejectCase{"disturbance_node_out_of_range",
+                   [](ExperimentConfig* c) {
+                     c->fault_options.disturbance.enabled = true;
+                     c->fault_options.disturbance.fraction = 0.5;
+                     c->fault_options.disturbance.start_interval = 1;
+                     c->fault_options.disturbance.end_interval = 2;
+                     c->fault_options.disturbance.node = 99;
+                   },
+                   "out of range"},
+        RejectCase{"malformed_fault_spec",
+                   [](ExperimentConfig* c) {
+                     c->fault_options.spec = "crash:node=nonsense";
+                   },
+                   "nonsense"},
+        RejectCase{"replica_single_copy",
+                   [](ExperimentConfig* c) {
+                     c->replicas.enabled = true;
+                     c->replicas.max_copies = 1;
+                   },
+                   "max_copies"},
+        RejectCase{"replica_copies_exceed_cluster",
+                   [](ExperimentConfig* c) {
+                     c->replicas.enabled = true;
+                     c->replicas.max_copies = c->cluster.num_nodes + 1;
+                   },
+                   "cluster"},
+        RejectCase{"replica_nonpositive_ratio",
+                   [](ExperimentConfig* c) {
+                     c->replicas.enabled = true;
+                     c->replicas.min_read_write_ratio = 0.0;
+                   },
+                   "min_read_write_ratio"},
+        RejectCase{"replica_split_threshold_out_of_range",
+                   [](ExperimentConfig* c) {
+                     c->replicas.enabled = true;
+                     c->replicas.split_threshold = 1.0;
+                   },
+                   "split_threshold"},
+        RejectCase{"replica_negative_promotion_delay",
+                   [](ExperimentConfig* c) {
+                     c->replicas.enabled = true;
+                     c->replicas.promotion_delay = -1;
+                   },
+                   "promotion_delay"},
+        RejectCase{"replicate_read_heavy_without_replicas",
+                   [](ExperimentConfig* c) {
+                     c->planner_options.builder.replicate_read_heavy = true;
+                   },
+                   "replicas.enabled"}),
+    [](const ::testing::TestParamInfo<RejectCase>& info) {
+      return std::string(info.param.name);
+    });
+
+// --- Deprecated alias shim -------------------------------------------------
+
+TEST(ExperimentConfigTest, AliasesReadAndWriteSubStructStorage) {
+  ExperimentConfig config;
+  // Write through the old flat names, read through the sub-structs.
+  config.utilization = 0.8;
+  config.strategy = SchedulingStrategy::kFeedback;
+  config.fault_spec = "crash:node=1,at=45s,down=15s";
+  config.history_window = 7;
+  EXPECT_DOUBLE_EQ(config.workload_options.utilization, 0.8);
+  EXPECT_EQ(config.deployment.strategy, SchedulingStrategy::kFeedback);
+  EXPECT_EQ(config.fault_options.spec, "crash:node=1,at=45s,down=15s");
+  EXPECT_EQ(config.workload_options.history_window, 7u);
+  // And the other direction.
+  config.workload_options.spec.num_keys = 123;
+  EXPECT_EQ(config.workload.num_keys, 123u);
+  config.planner_options.enabled = true;
+  EXPECT_TRUE(config.planner.enabled);
+}
+
+TEST(ExperimentConfigTest, CopyRebindsAliasesToTheCopy) {
+  ExperimentConfig a;
+  a.utilization = 0.9;
+  ExperimentConfig b = a;
+  // The copy has the value...
+  EXPECT_DOUBLE_EQ(b.utilization, 0.9);
+  // ...and its aliases point into itself, not into `a`.
+  b.utilization = 0.4;
+  EXPECT_DOUBLE_EQ(b.workload_options.utilization, 0.4);
+  EXPECT_DOUBLE_EQ(a.workload_options.utilization, 0.9);
+  a.strategy = SchedulingStrategy::kPiggyback;
+  EXPECT_NE(b.deployment.strategy, SchedulingStrategy::kPiggyback);
+}
+
+TEST(ExperimentConfigTest, AssignmentCopiesValuesKeepsOwnAliases) {
+  ExperimentConfig a;
+  a.workload.num_templates = 77;
+  a.replicas.enabled = true;
+  ExperimentConfig b;
+  b = a;
+  EXPECT_EQ(b.workload.num_templates, 77u);
+  EXPECT_TRUE(b.replicas.enabled);
+  b.workload.num_templates = 11;
+  EXPECT_EQ(a.workload.num_templates, 77u);
+}
+
+TEST(ExperimentConfigTest, MoveKeepsAliasIntegrity) {
+  ExperimentConfig a;
+  a.record_trace_path = "/tmp/record.trace";
+  ExperimentConfig b = std::move(a);
+  EXPECT_EQ(b.workload_options.record_trace_path, "/tmp/record.trace");
+  b.record_trace_path = "/tmp/other.trace";
+  EXPECT_EQ(b.workload_options.record_trace_path, "/tmp/other.trace");
+}
+
+TEST(ExperimentConfigTest, RunSurfacesValidationFailure) {
+  ExperimentConfig config;
+  config.interval_length = 0;
+  ExperimentResult r = Experiment(config).Run();
+  EXPECT_FALSE(r.audit.ok());
+  EXPECT_NE(r.audit.ToString().find("interval_length"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace soap::engine

@@ -147,14 +147,26 @@ TEST(GeneratorTest, PairedTransactionsSpanTwoTemplates) {
     ASSERT_EQ(t->ops.size(), q);
     const TxnTemplate& base = catalog.at(t->template_id);
     const TxnTemplate& partner = catalog.at(t->partner_template);
-    // Head queries hit the base template, tail queries the partner.
-    const uint32_t head = q - q / 2;
+    // The last half of the read positions borrow the partner's keys;
+    // writes (the tail positions) always stay on the base template's own
+    // keys.
+    uint32_t reads = 0;
+    while (reads < q && !base.is_write[reads]) ++reads;
+    const uint32_t borrow = std::min(q / 2, reads);
+    const uint32_t borrow_begin = reads - borrow;
+    bool saw_partner_key = false;
     for (uint32_t i2 = 0; i2 < q; ++i2) {
-      const auto& owner_keys = i2 < head ? base.keys : partner.keys;
+      const bool borrowed = i2 >= borrow_begin && i2 < reads;
+      if (borrowed) {
+        EXPECT_EQ(t->ops[i2].kind, txn::OpKind::kRead) << "query " << i2;
+        saw_partner_key = true;
+      }
+      const auto& owner_keys = borrowed ? partner.keys : base.keys;
       EXPECT_TRUE(std::find(owner_keys.begin(), owner_keys.end(),
                             t->ops[i2].key) != owner_keys.end())
           << "query " << i2;
     }
+    EXPECT_TRUE(saw_partner_key);
   }
 }
 

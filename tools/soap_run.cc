@@ -1,12 +1,15 @@
 // soap_run: the command-line experiment runner. Configures one SOAP
-// experiment from flags, runs it, prints the per-interval series (table +
-// ASCII chart) and an audit summary, and optionally dumps a CSV.
+// experiment from the shared declarative flag table (src/engine/
+// flag_table.h), runs it, prints the per-interval series (table + ASCII
+// chart) and an audit summary, and optionally dumps a CSV.
 //
 // Examples:
 //   soap_run --strategy hybrid --workload zipf --load high --alpha 1.0
 //   soap_run --strategy afterall --workload uniform --load low
 //            --alpha 0.6 --templates 3000 --keys 60000 --intervals 45
 //            --sp 1.05 --seed 7 --csv out.csv --chart
+//   soap_run --planner --drift hotspot --replicas --fault_spec
+//            'crash:node=1,at=300s,down=30s'
 
 #include <cstdio>
 #include <string>
@@ -15,53 +18,8 @@
 #include "src/common/flags.h"
 #include "src/common/logging.h"
 #include "src/engine/experiment.h"
+#include "src/engine/flag_table.h"
 #include "src/engine/parallel_runner.h"
-
-namespace {
-
-void PrintUsage() {
-  std::printf(
-      "soap_run — run one SOAP online-repartitioning experiment\n\n"
-      "  --strategy  applyall|afterall|feedback|piggyback|hybrid  (hybrid)\n"
-      "  --workload  zipf|uniform                                 (zipf)\n"
-      "  --load      high|low                                     (high)\n"
-      "  --alpha     fraction of templates starting distributed   (1.0)\n"
-      "  --templates distinct transaction templates               (paper)\n"
-      "  --keys      tuples in the table                          (paper)\n"
-      "  --warmup    warmup intervals                             (10)\n"
-      "  --intervals measured intervals                           (125)\n"
-      "  --sp        feedback setpoint (total/normal cost ratio)  (1.05)\n"
-      "  --isolation readcommitted|serializable          (readcommitted)\n"
-      "  --seed      RNG seed                                     (1)\n"
-      "  --stride    print every n-th interval                    (5)\n"
-      "  --csv PATH  dump the series as CSV\n"
-      "  --record-trace PATH  save the arrival stream for replay\n"
-      "  --replay-trace PATH  drive the run from a recorded trace\n"
-      "  --chart     also render ASCII charts\n"
-      "  --metrics_out PATH    Prometheus text dump of the run's metrics\n"
-      "  --metrics_jsonl PATH  per-interval JSONL metric snapshots\n"
-      "  --trace_out PATH      Chrome trace JSON (Perfetto-loadable)\n"
-      "  --trace_sample N      trace every n-th transaction         (1)\n"
-      "  --fault_spec SPEC     inject faults, e.g.\n"
-      "              'crash:node=2,at=120s,down=15s;drop:p=0.01'\n"
-      "              (see EXPERIMENTS.md, \"Fault injection\")\n"
-      "  --planner   enable the online co-access-graph planner\n"
-      "  --replan N  planner replan period in intervals            (3)\n"
-      "  --plan_ops N max migration ops per emitted plan           (2048)\n"
-      "  --plan_min_heat W  min co-access weight to migrate a key  (1)\n"
-      "  --drift     hotspot|skewflip|mixrotation: drifting workload\n"
-      "              (phases start right after warmup)\n"
-      "  --drift_phases N     number of drift phases               (3)\n"
-      "  --drift_phase_len N  intervals per drift phase            (8)\n"
-      "  --pair_fraction F    cross-template paired-txn fraction   (0.35)\n"
-      "  --log_level debug|info|warn|error                       (warn)\n"
-      "  --seeds     comma list, e.g. 1,2,3: one run per seed\n"
-      "  --threads N run --seeds entries on N parallel threads    (1)\n"
-      "              (results are identical at any thread count)\n"
-      "  --help      this text\n");
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   using namespace soap;
@@ -72,135 +30,57 @@ int main(int argc, char** argv) {
     return 2;
   }
   Flags flags = std::move(parsed).value();
+
+  engine::FlagTable table = engine::ExperimentFlagTable();
+  // Presentation flags this frontend consumes itself.
+  table.Add({"stride", engine::FlagType::kInt, "5",
+             "print every n-th interval", nullptr});
+  table.Add({"csv", engine::FlagType::kString, "",
+             "dump the series as CSV", nullptr});
+  table.Add({"chart", engine::FlagType::kBool, "",
+             "also render ASCII charts", nullptr});
+  table.Add({"seeds", engine::FlagType::kString, "",
+             "comma list, e.g. 1,2,3: one run per seed", nullptr});
+  table.Add({"threads", engine::FlagType::kInt, "1",
+             "run --seeds entries on N parallel threads (results are "
+             "identical at any thread count)",
+             nullptr});
+
   if (flags.GetBool("help")) {
-    PrintUsage();
+    std::printf("%s", table.Help("soap_run",
+                                 "run one SOAP online-repartitioning "
+                                 "experiment")
+                          .c_str());
     return 0;
+  }
+  if (Status s = table.CheckUnknown(flags); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 2;
   }
 
   engine::ExperimentConfig config;
+  if (Status s = table.Apply(flags, &config); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 2;
+  }
+  if (Status s = config.Validate(); !s.ok()) {
+    std::fprintf(stderr, "invalid configuration: %s\n",
+                 s.ToString().c_str());
+    return 2;
+  }
+
   const std::string strategy = flags.GetString("strategy", "hybrid");
-  if (strategy == "applyall") {
-    config.strategy = SchedulingStrategy::kApplyAll;
-  } else if (strategy == "afterall") {
-    config.strategy = SchedulingStrategy::kAfterAll;
-  } else if (strategy == "feedback") {
-    config.strategy = SchedulingStrategy::kFeedback;
-  } else if (strategy == "piggyback") {
-    config.strategy = SchedulingStrategy::kPiggyback;
-  } else if (strategy == "hybrid") {
-    config.strategy = SchedulingStrategy::kHybrid;
-  } else {
-    std::fprintf(stderr, "unknown --strategy %s\n", strategy.c_str());
-    return 2;
-  }
-
-  const double alpha = flags.GetDouble("alpha", 1.0);
   const std::string workload = flags.GetString("workload", "zipf");
-  if (workload == "zipf") {
-    config.workload = workload::WorkloadSpec::Zipf(alpha);
-  } else if (workload == "uniform") {
-    config.workload = workload::WorkloadSpec::Uniform(alpha);
-  } else {
-    std::fprintf(stderr, "unknown --workload %s\n", workload.c_str());
-    return 2;
-  }
-  if (flags.Has("templates")) {
-    config.workload.num_templates =
-        static_cast<uint32_t>(flags.GetInt("templates"));
-  }
-  if (flags.Has("keys")) {
-    config.workload.num_keys =
-        static_cast<uint64_t>(flags.GetInt("keys"));
-  }
-
   const std::string load = flags.GetString("load", "high");
-  if (load == "high") {
-    config.utilization = workload::kHighLoadUtilization;
-  } else if (load == "low") {
-    config.utilization = workload::kLowLoadUtilization;
-  } else {
-    config.utilization = std::stod(load);  // raw utilisation accepted
-  }
-
-  const std::string isolation =
-      flags.GetString("isolation", "readcommitted");
-  if (isolation == "serializable") {
-    config.cluster.isolation = cluster::IsolationLevel::kSerializable;
-  } else if (isolation != "readcommitted") {
-    std::fprintf(stderr, "unknown --isolation %s\n", isolation.c_str());
-    return 2;
-  }
-
-  config.warmup_intervals =
-      static_cast<uint32_t>(flags.GetInt("warmup", 10));
-  config.measured_intervals =
-      static_cast<uint32_t>(flags.GetInt("intervals", 125));
-  config.feedback.sp = flags.GetDouble("sp", 1.05);
-  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  const double alpha = flags.GetDouble("alpha", 1.0);
+  const std::string drift = flags.GetString("drift", "");
   const auto stride = static_cast<size_t>(flags.GetInt("stride", 5));
   const std::string csv = flags.GetString("csv", "");
   const bool chart = flags.GetBool("chart");
-  config.record_trace_path = flags.GetString("record-trace", "");
-  config.replay_trace_path = flags.GetString("replay-trace", "");
-  config.obs.metrics_out = flags.GetString("metrics_out", "");
-  config.obs.metrics_jsonl_out = flags.GetString("metrics_jsonl", "");
-  config.obs.trace_out = flags.GetString("trace_out", "");
-  config.obs.trace_sample =
-      static_cast<uint32_t>(flags.GetInt("trace_sample", 1));
-  config.fault_spec = flags.GetString("fault_spec", "");
-
-  // Online planner / drifting workloads (EXPERIMENTS.md, "Adaptive
-  // repartitioning under drift"). Both default off, leaving the output
-  // byte-identical to the static pipeline's.
-  config.planner.enabled = flags.GetBool("planner");
-  if (flags.Has("replan")) {
-    config.planner.replan_period =
-        static_cast<uint32_t>(flags.GetInt("replan"));
-  }
-  if (flags.Has("plan_ops")) {
-    config.planner.builder.max_ops =
-        static_cast<uint32_t>(flags.GetInt("plan_ops"));
-  }
-  if (flags.Has("plan_min_heat")) {
-    config.planner.builder.min_vertex_weight =
-        static_cast<uint64_t>(flags.GetInt("plan_min_heat"));
-  }
-  const std::string drift = flags.GetString("drift", "");
-  const auto drift_phases =
-      static_cast<uint32_t>(flags.GetInt("drift_phases", 3));
-  const auto drift_phase_len =
-      static_cast<uint32_t>(flags.GetInt("drift_phase_len", 8));
-  const double pair_fraction = flags.GetDouble("pair_fraction", 0.35);
-  if (!drift.empty()) {
-    if (drift == "hotspot") {
-      config.workload = workload::WorkloadSpec::HotspotDrift(
-          config.workload, config.warmup_intervals, drift_phases,
-          drift_phase_len, pair_fraction);
-    } else if (drift == "skewflip") {
-      config.workload = workload::WorkloadSpec::SkewFlip(
-          config.workload, config.warmup_intervals, drift_phases,
-          drift_phase_len, /*high_s=*/1.16, /*low_s=*/0.4, pair_fraction);
-    } else if (drift == "mixrotation") {
-      config.workload = workload::WorkloadSpec::MixRotation(
-          config.workload, config.warmup_intervals, drift_phases,
-          drift_phase_len, pair_fraction);
-    } else {
-      std::fprintf(stderr, "unknown --drift %s\n", drift.c_str());
-      return 2;
-    }
-  }
   // The distributed-transaction column only matters for planner/drift
   // runs; omitting it otherwise keeps the default output byte-identical.
   const bool show_distributed = config.planner.enabled || !drift.empty();
-  const std::string log_level = flags.GetString("log_level", "");
-  if (!log_level.empty()) {
-    std::optional<LogLevel> parsed_level = ParseLogLevel(log_level);
-    if (!parsed_level.has_value()) {
-      std::fprintf(stderr, "unknown --log_level %s\n", log_level.c_str());
-      return 2;
-    }
-    Logger::Instance().set_level(*parsed_level);
-  }
+  const bool show_replicas = config.replicas.enabled;
 
   // Multi-seed mode: run the same configuration once per seed, optionally
   // in parallel. Output (and every result) is in seed order regardless of
@@ -208,12 +88,6 @@ int main(int argc, char** argv) {
   const std::string seeds_flag = flags.GetString("seeds", "");
   const unsigned threads = engine::ParseThreadCount(
       flags.GetString("threads", "").c_str());
-
-  for (const std::string& unknown : flags.UnconsumedFlags()) {
-    std::fprintf(stderr, "unknown flag --%s (see --help)\n",
-                 unknown.c_str());
-    return 2;
-  }
 
   if (!seeds_flag.empty()) {
     std::vector<uint64_t> seeds;
@@ -255,6 +129,9 @@ int main(int argc, char** argv) {
         bundle.Insert("queue", r.queue_length);
         if (show_distributed) {
           bundle.Insert("distributed", r.distributed_ratio);
+        }
+        if (show_replicas) {
+          bundle.Insert("replica_reads", r.replica_read_ratio);
         }
         const size_t dot = csv.rfind('.');
         const std::string path =
@@ -305,6 +182,9 @@ int main(int argc, char** argv) {
   if (show_distributed) {
     bundle.Insert("distributed", r.distributed_ratio);
     bundle.Insert("util", r.utilization);
+  }
+  if (show_replicas) {
+    bundle.Insert("replica_reads", r.replica_read_ratio);
   }
   std::printf("%s\n", bundle.ToTable(stride).c_str());
   if (chart) {
