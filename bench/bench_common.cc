@@ -88,27 +88,34 @@ engine::ExperimentConfig MakeCellConfig(SchedulingStrategy strategy,
     config.measured_intervals = 30;
   }
   // SOAP_OBS_DIR=<dir> makes every cell export its observability bundle
-  // (<dir>/<strategy>_<dist>_<load>_a<pct>.{prom,jsonl,trace.json});
-  // SOAP_TRACE_SAMPLE overrides the 1-in-100 trace sampling. Off by
-  // default so the figures run exactly the unobserved path.
-  const char* obs_dir = std::getenv("SOAP_OBS_DIR");
-  if (obs_dir != nullptr && obs_dir[0] != '\0') {
-    std::string stem = std::string(obs_dir) + "/" + StrategyName(strategy);
-    stem += distribution == workload::PopularityDist::kZipf ? "_zipf"
-                                                            : "_uniform";
-    stem += high_load ? "_high" : "_low";
-    stem += "_a" + std::to_string(static_cast<int>(alpha * 100.0 + 0.5));
-    config.obs.metrics_out = stem + ".prom";
-    config.obs.metrics_jsonl_out = stem + ".jsonl";
-    config.obs.trace_out = stem + ".trace.json";
-    config.obs.trace_sample = 100;
-    const char* sample = std::getenv("SOAP_TRACE_SAMPLE");
-    if (sample != nullptr && sample[0] != '\0') {
-      config.obs.trace_sample =
-          static_cast<uint32_t>(std::strtoul(sample, nullptr, 10));
-    }
-  }
+  // (<dir>/<strategy>_<dist>_<load>_a<pct>.{prom,jsonl,trace.json,
+  // audit.jsonl,timeline.jsonl}); SOAP_TRACE_SAMPLE overrides the
+  // 1-in-100 trace sampling. Off by default so the figures run exactly
+  // the unobserved path.
+  std::string stem = StrategyName(strategy);
+  stem += distribution == workload::PopularityDist::kZipf ? "_zipf"
+                                                          : "_uniform";
+  stem += high_load ? "_high" : "_low";
+  stem += "_a" + std::to_string(static_cast<int>(alpha * 100.0 + 0.5));
+  ApplyObsEnv(&config, stem);
   return config;
+}
+
+void ApplyObsEnv(engine::ExperimentConfig* config, const std::string& stem) {
+  const char* obs_dir = std::getenv("SOAP_OBS_DIR");
+  if (obs_dir == nullptr || obs_dir[0] == '\0') return;
+  const std::string base = std::string(obs_dir) + "/" + stem;
+  config->obs.metrics_out = base + ".prom";
+  config->obs.metrics_jsonl_out = base + ".jsonl";
+  config->obs.trace_out = base + ".trace.json";
+  config->obs.audit_out = base + ".audit.jsonl";
+  config->obs.timeline_out = base + ".timeline.jsonl";
+  config->obs.trace_sample = 100;
+  const char* sample = std::getenv("SOAP_TRACE_SAMPLE");
+  if (sample != nullptr && sample[0] != '\0') {
+    config->obs.trace_sample =
+        static_cast<uint32_t>(std::strtoul(sample, nullptr, 10));
+  }
 }
 
 const std::vector<SchedulingStrategy>& AllStrategies() {

@@ -38,6 +38,13 @@ engine::ExperimentConfig MakeCellConfig(SchedulingStrategy strategy,
                                         bool high_load, double alpha,
                                         uint64_t seed = 42);
 
+/// Applies the SOAP_OBS_DIR observability-export convention to an
+/// arbitrary cell config: when the variable is set, the cell writes
+/// <dir>/<stem>.{prom,jsonl,trace.json,audit.jsonl,timeline.jsonl}.
+/// No-op when unset, keeping the default path unobserved. Used by benches
+/// that build their configs outside MakeCellConfig (e.g. bench_replica).
+void ApplyObsEnv(engine::ExperimentConfig* config, const std::string& stem);
+
 struct PanelResult {
   double alpha;
   std::vector<engine::ExperimentResult> per_strategy;  // 5 entries

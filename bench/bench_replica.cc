@@ -124,8 +124,13 @@ int main(int argc, char** argv) {
   for (SchedulingStrategy strategy : bench::AllStrategies()) {
     engine::ExperimentConfig base = BaseConfig(smoke);
     base.strategy = strategy;
+    engine::ExperimentConfig replicas = WithReplicas(base);
+    bench::ApplyObsEnv(&base,
+                       std::string(StrategyName(strategy)) + "_migration");
+    bench::ApplyObsEnv(&replicas,
+                       std::string(StrategyName(strategy)) + "_replicas");
     cells.push_back(engine::ExperimentCell{base});
-    cells.push_back(engine::ExperimentCell{WithReplicas(base)});
+    cells.push_back(engine::ExperimentCell{replicas});
   }
   engine::ParallelRunner runner(threads);
   std::vector<engine::CellOutcome> outcomes = runner.Run(
@@ -193,6 +198,7 @@ int main(int argc, char** argv) {
   const long down_for = 40;
   crash_config.fault_spec = "crash:node=2,at=" + std::to_string(crash_at) +
                             "s,down=" + std::to_string(down_for) + "s";
+  bench::ApplyObsEnv(&crash_config, "hybrid_crash_failover");
   engine::ExperimentResult crash_run =
       engine::Experiment(crash_config).Run();
   // The outage spans two intervals starting at crash_interval.

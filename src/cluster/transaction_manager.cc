@@ -127,7 +127,8 @@ void TransactionManager::MaybeDispatch() {
         m_latency_aborted_->RecordMicros(t->finish_time - t->submit_time);
       }
       if (Traced(*t)) {
-        tracer_->FinishTxn(t->id, t->submit_time, t->finish_time, 0, false);
+        tracer_->FinishTxn(t->id, t->submit_time, t->finish_time, 0, false,
+                         KindOf(*t));
       }
       if (completion_cb_) completion_cb_(*t);
       continue;
@@ -696,6 +697,22 @@ Status TransactionManager::ApplyAtPartition(const ExecPtr& e,
   return first_error;
 }
 
+obs::TxnKind TransactionManager::KindOf(const txn::Transaction& t) {
+  if (t.is_repartition) {
+    for (const txn::Operation& op : t.ops) {
+      if (op.kind == txn::OpKind::kMigrateInsert ||
+          op.kind == txn::OpKind::kMigrateDelete) {
+        return obs::TxnKind::kRepartition;
+      }
+    }
+    return obs::TxnKind::kReplicaApply;
+  }
+  if (t.has_piggyback() || t.piggyback_source != 0) {
+    return obs::TxnKind::kCarrier;
+  }
+  return obs::TxnKind::kClient;
+}
+
 void TransactionManager::ApplyRoutingUpdates(const ExecPtr& e) {
   Transaction& txn = *e->txn;
   router::RoutingTable& routing = cluster_->routing_table();
@@ -734,6 +751,8 @@ void TransactionManager::ApplyRoutingUpdates(const ExecPtr& e) {
                             op.target_partition);
         if (!s.ok()) {
           SOAP_LOG(kWarn) << "routing flip failed: " << s.ToString();
+        } else if (flows_ != nullptr) {
+          flows_->OnMigration(op.source_partition, op.target_partition);
         }
         break;
       }
@@ -750,12 +769,15 @@ void TransactionManager::ApplyRoutingUpdates(const ExecPtr& e) {
         Status s = routing.AddReplica(op.key, op.target_partition);
         if (!s.ok()) {
           SOAP_LOG(kWarn) << "replica registration failed: " << s.ToString();
+        } else if (flows_ != nullptr) {
+          flows_->OnReplicaCreate(op.target_partition);
         }
         break;
       }
       case OpKind::kReplicaDelete: {
         Status s = routing.RemoveReplica(op.key, op.source_partition);
         if (s.ok()) {
+          if (flows_ != nullptr) flows_->OnReplicaDrop(op.source_partition);
           s = cluster_->storage(op.source_partition)
                   .ApplyErase(txn.id, op.key);
         }
@@ -820,7 +842,7 @@ void TransactionManager::FinishCommit(const ExecPtr& e) {
   }
   if (Traced(txn)) {
     tracer_->FinishTxn(txn.id, txn.submit_time, txn.finish_time,
-                       e->coordinator, true);
+                       e->coordinator, true, KindOf(txn));
   }
   CompleteTransaction(e);
 }
@@ -870,7 +892,7 @@ void TransactionManager::AbortTransaction(const ExecPtr& e,
   }
   if (Traced(txn)) {
     tracer_->FinishTxn(txn.id, txn.submit_time, txn.finish_time,
-                       e->coordinator, false);
+                       e->coordinator, false, KindOf(txn));
   }
   CompleteTransaction(e);
 }
@@ -928,7 +950,8 @@ void TransactionManager::DrainQueue(txn::AbortReason reason) {
       m_latency_aborted_->RecordMicros(t->finish_time - t->submit_time);
     }
     if (Traced(*t)) {
-      tracer_->FinishTxn(t->id, t->submit_time, t->finish_time, 0, false);
+      tracer_->FinishTxn(t->id, t->submit_time, t->finish_time, 0, false,
+                         KindOf(*t));
     }
     if (completion_cb_) completion_cb_(*t);
   }

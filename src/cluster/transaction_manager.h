@@ -16,6 +16,7 @@
 #include "src/cluster/cluster.h"
 #include "src/cluster/processing_queue.h"
 #include "src/obs/metrics.h"
+#include "src/obs/timeline.h"
 #include "src/obs/txn_tracer.h"
 #include "src/storage/tuple.h"
 #include "src/txn/transaction.h"
@@ -114,6 +115,17 @@ class TransactionManager {
   /// nullptr (default) detaches.
   void set_tracer(obs::TxnTracer* tracer) { tracer_ = tracer; }
 
+  /// Attaches the timeline's per-partition flow counters; committed
+  /// routing changes (migrations, replica creates/drops) tick them.
+  /// nullptr (default) detaches.
+  void set_partition_flows(obs::PartitionFlows* flows) { flows_ = flows; }
+
+  /// What kind of transaction this is, for trace tagging and audit
+  /// reports: pure repartition work splits into migration-bearing
+  /// (repartition) vs replica-maintenance-only (replica-apply); normal
+  /// transactions carrying piggybacked ops are carriers.
+  static obs::TxnKind KindOf(const txn::Transaction& t);
+
   const TmCounters& counters() const { return counters_; }
   const ProcessingQueue& queue() const { return queue_; }
   size_t inflight() const { return inflight_.size(); }
@@ -183,6 +195,7 @@ class TransactionManager {
   txn::TxnIdGenerator ids_;
   TmCounters counters_;
   obs::TxnTracer* tracer_ = nullptr;
+  obs::PartitionFlows* flows_ = nullptr;
   // Observability hooks; nullptr when disabled.
   obs::LatencyHistogram* m_queue_wait_seconds_ = nullptr;
   obs::LatencyHistogram* m_lock_wait_seconds_ = nullptr;

@@ -1,0 +1,366 @@
+#include "src/common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace soap::json {
+
+std::string Escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  return out;
+}
+
+const Value* Value::Find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const Member& m : members_) {
+    if (m.first == key) return &m.second;
+  }
+  return nullptr;
+}
+
+double Value::GetDouble(std::string_view key, double fallback) const {
+  const Value* v = Find(key);
+  return v != nullptr && v->is_number() ? v->AsDouble() : fallback;
+}
+
+uint64_t Value::GetUint64(std::string_view key, uint64_t fallback) const {
+  const Value* v = Find(key);
+  return v != nullptr && v->is_number() ? v->AsUint64() : fallback;
+}
+
+std::string Value::GetString(std::string_view key,
+                             const std::string& fallback) const {
+  const Value* v = Find(key);
+  return v != nullptr && v->is_string() ? v->AsString() : fallback;
+}
+
+Value Value::Bool(bool b) {
+  Value v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+Value Value::Number(double d) {
+  Value v;
+  v.type_ = Type::kNumber;
+  v.number_ = d;
+  return v;
+}
+
+Value Value::String(std::string s) {
+  Value v;
+  v.type_ = Type::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+Value Value::Array(std::vector<Value> items) {
+  Value v;
+  v.type_ = Type::kArray;
+  v.array_ = std::move(items);
+  return v;
+}
+
+Value Value::Object(std::vector<Member> members) {
+  Value v;
+  v.type_ = Type::kObject;
+  v.members_ = std::move(members);
+  return v;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Value> ParseDocument() {
+    SkipWhitespace();
+    Result<Value> v = ParseValue();
+    if (!v.ok()) return v;
+    SkipWhitespace();
+    if (at_ != text_.size()) {
+      return Error("trailing characters after JSON value");
+    }
+    return v;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("json: " + what + " at offset " +
+                                   std::to_string(at_));
+  }
+
+  void SkipWhitespace() {
+    while (at_ < text_.size()) {
+      const char c = text_[at_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++at_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (at_ < text_.size() && text_[at_] == c) {
+      ++at_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    if (text_.substr(at_, word.size()) != word) return false;
+    at_ += word.size();
+    return true;
+  }
+
+  Result<Value> ParseValue() {
+    if (at_ >= text_.size()) return Error("unexpected end of input");
+    switch (text_[at_]) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"': {
+        Result<std::string> s = ParseString();
+        if (!s.ok()) return s.status();
+        return Value::String(std::move(s).value());
+      }
+      case 't':
+        if (ConsumeWord("true")) return Value::Bool(true);
+        return Error("bad literal");
+      case 'f':
+        if (ConsumeWord("false")) return Value::Bool(false);
+        return Error("bad literal");
+      case 'n':
+        if (ConsumeWord("null")) return Value::Null();
+        return Error("bad literal");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Result<Value> ParseObject() {
+    ++at_;  // '{'
+    std::vector<Member> members;
+    SkipWhitespace();
+    if (Consume('}')) return Value::Object(std::move(members));
+    while (true) {
+      SkipWhitespace();
+      if (at_ >= text_.size() || text_[at_] != '"') {
+        return Error("expected object key");
+      }
+      Result<std::string> key = ParseString();
+      if (!key.ok()) return key.status();
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':'");
+      SkipWhitespace();
+      Result<Value> value = ParseValue();
+      if (!value.ok()) return value;
+      members.emplace_back(std::move(key).value(), std::move(value).value());
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Value::Object(std::move(members));
+      return Error("expected ',' or '}'");
+    }
+  }
+
+  Result<Value> ParseArray() {
+    ++at_;  // '['
+    std::vector<Value> items;
+    SkipWhitespace();
+    if (Consume(']')) return Value::Array(std::move(items));
+    while (true) {
+      SkipWhitespace();
+      Result<Value> value = ParseValue();
+      if (!value.ok()) return value;
+      items.push_back(std::move(value).value());
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return Value::Array(std::move(items));
+      return Error("expected ',' or ']'");
+    }
+  }
+
+  Result<std::string> ParseString() {
+    ++at_;  // '"'
+    std::string out;
+    while (at_ < text_.size()) {
+      const char c = text_[at_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Status::InvalidArgument(
+            "json: raw control character in string at offset " +
+            std::to_string(at_ - 1));
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (at_ >= text_.size()) break;
+      const char esc = text_[at_++];
+      switch (esc) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'u': {
+          if (at_ + 4 > text_.size()) {
+            return Status::InvalidArgument("json: truncated \\u escape");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[at_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Status::InvalidArgument("json: bad \\u escape");
+            }
+          }
+          // UTF-8 encode (surrogate pairs are not recombined; our
+          // producers never emit them).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Status::InvalidArgument("json: bad escape character");
+      }
+    }
+    return Status::InvalidArgument("json: unterminated string");
+  }
+
+  Result<Value> ParseNumber() {
+    const size_t start = at_;
+    if (Consume('-')) {
+    }
+    while (at_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[at_])) != 0 ||
+            text_[at_] == '.' || text_[at_] == 'e' || text_[at_] == 'E' ||
+            text_[at_] == '+' || text_[at_] == '-')) {
+      ++at_;
+    }
+    if (at_ == start) return Error("expected a value");
+    const std::string token(text_.substr(start, at_ - start));
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0' || !std::isfinite(d)) {
+      at_ = start;
+      return Error("bad number");
+    }
+    return Value::Number(d);
+  }
+
+  std::string_view text_;
+  size_t at_ = 0;
+};
+
+}  // namespace
+
+Result<Value> Parse(std::string_view text) {
+  return Parser(text).ParseDocument();
+}
+
+Result<std::vector<Value>> ParseLines(std::string_view text) {
+  std::vector<Value> out;
+  size_t line_number = 0;
+  size_t begin = 0;
+  while (begin <= text.size()) {
+    size_t end = text.find('\n', begin);
+    if (end == std::string_view::npos) end = text.size();
+    ++line_number;
+    std::string_view line = text.substr(begin, end - begin);
+    begin = end + 1;
+    // Skip blank lines (including a trailing newline's empty tail).
+    bool blank = true;
+    for (char c : line) {
+      if (c != ' ' && c != '\t' && c != '\r') {
+        blank = false;
+        break;
+      }
+    }
+    if (blank) {
+      if (end == text.size()) break;
+      continue;
+    }
+    Result<Value> v = Parse(line);
+    if (!v.ok()) {
+      return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                     ": " + v.status().ToString());
+    }
+    out.push_back(std::move(v).value());
+    if (end == text.size()) break;
+  }
+  return out;
+}
+
+}  // namespace soap::json

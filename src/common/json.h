@@ -1,0 +1,99 @@
+// Minimal JSON support with zero external dependencies: a string escaper
+// shared by every JSONL producer (metrics, audit log, timeline) and a
+// recursive-descent parser for the offline consumers (soap_report, tests).
+// The parser covers the full JSON grammar we emit — objects, arrays,
+// strings with escapes, numbers, booleans, null — and rejects everything
+// else with a positioned error. Numbers are held as double (every value we
+// serialise fits in 53 bits) plus the raw text for exact integer reads.
+
+#ifndef SOAP_COMMON_JSON_H_
+#define SOAP_COMMON_JSON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace soap::json {
+
+/// Escapes a string for inclusion inside JSON double quotes: backslash,
+/// quote, and all control characters (\n, \t, ... as short escapes, the
+/// rest as \u00XX).
+std::string Escape(std::string_view s);
+
+class Value;
+
+/// Object members keep insertion order (deterministic re-serialisation);
+/// lookup is linear — our records have at most a couple dozen members.
+using Member = std::pair<std::string, Value>;
+
+class Value {
+ public:
+  enum class Type : uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Value() = default;
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool AsBool() const { return bool_; }
+  double AsDouble() const { return number_; }
+  int64_t AsInt64() const { return static_cast<int64_t>(number_); }
+  uint64_t AsUint64() const { return static_cast<uint64_t>(number_); }
+  const std::string& AsString() const { return string_; }
+  const std::vector<Value>& AsArray() const { return array_; }
+  const std::vector<Member>& AsObject() const { return members_; }
+
+  /// Member lookup on an object; nullptr when absent or not an object.
+  const Value* Find(std::string_view key) const;
+
+  /// Typed conveniences over Find with a fallback: the common pattern of
+  /// optional record fields.
+  double GetDouble(std::string_view key, double fallback = 0.0) const;
+  uint64_t GetUint64(std::string_view key, uint64_t fallback = 0) const;
+  std::string GetString(std::string_view key,
+                        const std::string& fallback = "") const;
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool b);
+  static Value Number(double d);
+  static Value String(std::string s);
+  static Value Array(std::vector<Value> items);
+  static Value Object(std::vector<Member> members);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Value> array_;
+  std::vector<Member> members_;
+};
+
+/// Parses exactly one JSON value; trailing non-whitespace is an error.
+Result<Value> Parse(std::string_view text);
+
+/// Parses a JSONL document: one value per non-empty line. The first
+/// malformed line fails the whole load, with its 1-based line number in
+/// the error message.
+Result<std::vector<Value>> ParseLines(std::string_view text);
+
+}  // namespace soap::json
+
+#endif  // SOAP_COMMON_JSON_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/sim/simulator.h"
+
 namespace soap::core {
 
 void RepartitionRegistry::Init(std::vector<RepartitionTxn> ranked) {
@@ -75,6 +77,28 @@ RepartitionTxn* RepartitionRegistry::FindPendingByTemplate(
   return rt;
 }
 
+void RepartitionRegistry::BindAudit(obs::AuditLog* audit,
+                                    const sim::Simulator* sim) {
+  audit_ = audit;
+  sim_ = sim;
+}
+
+void RepartitionRegistry::AuditDeploy(const char* event,
+                                      const RepartitionTxn& rt) {
+  if (audit_ == nullptr) return;
+  const SimTime now = sim_ != nullptr ? sim_->Now() : 0;
+  obs::AuditRecord rec(audit_, "deploy", now);
+  rec.Str("event", event)
+      .U64("plan", audit_round_)
+      .U64("rid", rt.rid)
+      .U64("txn", rt.carrier)
+      .U64("attempt", rt.attempts)
+      .U64("ops", rt.ops.size());
+  if (rt.first_submitted_at > 0) {
+    rec.I64("latency_us", now - rt.first_submitted_at);
+  }
+}
+
 void RepartitionRegistry::MarkSubmitted(uint64_t rid, txn::TxnId carrier) {
   RepartitionTxn* rt = Get(rid);
   assert(rt != nullptr && rt->state == RepartitionTxn::State::kPending);
@@ -82,6 +106,10 @@ void RepartitionRegistry::MarkSubmitted(uint64_t rid, txn::TxnId carrier) {
   rt->state = RepartitionTxn::State::kSubmitted;
   rt->carrier = carrier;
   rt->attempts++;
+  if (rt->first_submitted_at == 0 && sim_ != nullptr) {
+    rt->first_submitted_at = sim_->Now();
+  }
+  AuditDeploy("submit", *rt);
 }
 
 void RepartitionRegistry::MarkPiggybacked(uint64_t rid, txn::TxnId carrier) {
@@ -91,6 +119,10 @@ void RepartitionRegistry::MarkPiggybacked(uint64_t rid, txn::TxnId carrier) {
   rt->state = RepartitionTxn::State::kPiggybacked;
   rt->carrier = carrier;
   rt->attempts++;
+  if (rt->first_submitted_at == 0 && sim_ != nullptr) {
+    rt->first_submitted_at = sim_->Now();
+  }
+  AuditDeploy("piggyback", *rt);
 }
 
 void RepartitionRegistry::MarkDone(uint64_t rid) {
@@ -100,6 +132,7 @@ void RepartitionRegistry::MarkDone(uint64_t rid) {
   if (rt->state == RepartitionTxn::State::kPending) {
     pending_.erase({rt->density, rt->rid});
   }
+  AuditDeploy("apply", *rt);
   rt->state = RepartitionTxn::State::kDone;
   rt->carrier = 0;
   done_count_++;
@@ -108,7 +141,10 @@ void RepartitionRegistry::MarkDone(uint64_t rid) {
 void RepartitionRegistry::MarkPending(uint64_t rid) {
   RepartitionTxn* rt = Get(rid);
   assert(rt != nullptr && rt->state != RepartitionTxn::State::kDone);
+  // Audited only as a *retry* (submitted/piggybacked -> pending after an
+  // abort); the initial Init() transition never lands here.
   if (rt->state != RepartitionTxn::State::kPending) {
+    AuditDeploy("retry", *rt);
     pending_.insert({rt->density, rt->rid});
   }
   rt->state = RepartitionTxn::State::kPending;

@@ -13,8 +13,13 @@
 #include <vector>
 
 #include "src/common/time.h"
+#include "src/obs/audit_log.h"
 #include "src/repartition/operation.h"
 #include "src/txn/transaction.h"
+
+namespace soap::sim {
+class Simulator;
+}  // namespace soap::sim
 
 namespace soap::core {
 
@@ -44,6 +49,9 @@ struct RepartitionTxn {
   /// the repartitioner's exponential backoff; 0 = immediately eligible).
   SimTime not_before = 0;
   uint32_t failures = 0;
+  /// Virtual time of the first submit/piggyback attempt (0 = never tried);
+  /// the audit log's apply-latency baseline.
+  SimTime first_submitted_at = 0;
 };
 
 /// Owns the ranked list; hands out pending transactions in density order
@@ -85,10 +93,21 @@ class RepartitionRegistry {
   RepartitionTxn* FindPendingByTemplate(uint32_t template_id, SimTime now);
 
   /// State transitions. MarkPending is the abort path (resubmission).
+  /// Every transition emits one `deploy` audit record when a log is bound
+  /// — the registry is the single choke point all five schedulers go
+  /// through, so the audit trail covers every strategy uniformly.
   void MarkSubmitted(uint64_t rid, txn::TxnId carrier);
   void MarkPiggybacked(uint64_t rid, txn::TxnId carrier);
   void MarkDone(uint64_t rid);
   void MarkPending(uint64_t rid);
+
+  /// Attaches the deployment audit log; `sim` supplies virtual
+  /// timestamps. nullptr detaches.
+  void BindAudit(obs::AuditLog* audit, const sim::Simulator* sim);
+
+  /// The plan/round id stamped on subsequent deploy records (the
+  /// repartitioner sets it when a round starts).
+  void set_audit_round(uint64_t round) { audit_round_ = round; }
 
   /// Builds the executable form of a repartition transaction: one
   /// MigrateInsert+MigrateDelete pair per migration unit (etc.), tagged
@@ -111,11 +130,18 @@ class RepartitionRegistry {
     }
   };
 
+  /// Emits one `deploy` record; no-op when no log is bound.
+  void AuditDeploy(const char* event, const RepartitionTxn& rt);
+
   std::vector<RepartitionTxn> txns_;  // index = rid - 1
   std::set<RankOrder> pending_;
   std::unordered_map<uint32_t, uint64_t> by_template_;
   size_t total_ops_ = 0;
   size_t done_count_ = 0;
+  // Deployment audit sink; nullptr when observability is off.
+  obs::AuditLog* audit_ = nullptr;
+  const sim::Simulator* sim_ = nullptr;
+  uint64_t audit_round_ = 0;
 };
 
 }  // namespace soap::core

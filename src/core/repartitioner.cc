@@ -53,7 +53,22 @@ void Repartitioner::OnTxnComplete(const txn::Transaction& t) {
         registry_.MarkDone(rid);
       } else {
         registry_.MarkPending(rid);
+        if (m_retries_total_ != nullptr) m_retries_total_->Increment();
         if (fault_aware_) ApplyBackoff(rt);
+        if (audit_ != nullptr) {
+          // One `abort` record per failed system-transaction attempt —
+          // low volume (client aborts only appear aggregated in run_end).
+          obs::AuditRecord rec(audit_, "abort",
+                               cluster_->simulator()->Now());
+          rec.U64("plan", rounds_started_)
+              .U64("rid", rid)
+              .U64("txn", t.id)
+              .Str("kind", t.is_repartition ? "repartition" : "carrier")
+              .Str("reason", txn::AbortReasonName(t.abort_reason))
+              .U64("attempt", t.attempt)
+              .U64("failures", rt->failures);
+          if (rt->not_before > 0) rec.U64("not_before_us", rt->not_before);
+        }
         if (!t.is_repartition && !shutting_down_) {
           ResubmitStripped(t);  // Algorithm 2, l.14-15
         }
@@ -72,6 +87,7 @@ void Repartitioner::ResubmitStripped(const txn::Transaction& t) {
   fresh->submit_time = t.submit_time;
   fresh->attempt = t.attempt;
   ++stripped_resubmissions_;
+  if (m_stripped_total_ != nullptr) m_stripped_total_->Increment();
   tm_->Submit(std::move(fresh));
 }
 
@@ -82,12 +98,24 @@ void Repartitioner::BindMetrics(obs::MetricsRegistry* registry) {
     m_ops_remaining_ = nullptr;
     m_rep_rate_ = nullptr;
     m_active_ = nullptr;
+    m_retries_total_ = nullptr;
+    m_backoffs_total_ = nullptr;
+    m_stripped_total_ = nullptr;
     return;
   }
   m_ops_applied_ = registry->GetGauge("soap_repartition_ops_applied");
   m_ops_remaining_ = registry->GetGauge("soap_repartition_ops_remaining");
   m_rep_rate_ = registry->GetGauge("soap_repartition_rep_rate");
   m_active_ = registry->GetGauge("soap_repartition_active");
+  m_retries_total_ = registry->GetCounter("soap_repartition_retries_total");
+  m_backoffs_total_ = registry->GetCounter("soap_repartition_backoffs_total");
+  m_stripped_total_ =
+      registry->GetCounter("soap_repartition_stripped_resubmissions_total");
+}
+
+void Repartitioner::BindAudit(obs::AuditLog* audit) {
+  audit_ = audit;
+  registry_.BindAudit(audit, cluster_->simulator());
 }
 
 void Repartitioner::PublishMetrics(uint64_t ops_applied) {
@@ -126,7 +154,14 @@ bool Repartitioner::StartRepartitioningWithPlan(
   registry_.Init(std::move(ranked));
   active_ = true;
   ++rounds_started_;
+  registry_.set_audit_round(rounds_started_);
   ops_applied_at_round_start_ = tm_->counters().repartition_ops_applied;
+  if (audit_ != nullptr) {
+    obs::AuditRecord rec(audit_, "round", cluster_->simulator()->Now());
+    rec.U64("plan", rounds_started_)
+        .U64("txns", registry_.size())
+        .U64("ops", registry_.total_ops());
+  }
   scheduler_->OnPlanReady();
   return true;
 }
@@ -172,6 +207,7 @@ void Repartitioner::ApplyBackoff(RepartitionTxn* rt) {
   const SimTime now = cluster_->simulator()->Now();
   rt->not_before = now + d;
   ++backoffs_;
+  if (m_backoffs_total_ != nullptr) m_backoffs_total_->Increment();
 }
 
 bool Repartitioner::MaybeStartRepartitioning() {

@@ -119,6 +119,11 @@ class Repartitioner {
   /// closing each interval, with the TM's cumulative ops-applied counter.
   void PublishMetrics(uint64_t ops_applied);
 
+  /// Attaches the decision audit log to the repartitioner and its
+  /// registry: round starts, system-transaction aborts (with backoff) and
+  /// every deploy lifecycle transition get records. nullptr detaches.
+  void BindAudit(obs::AuditLog* audit);
+
   const RepartitionRegistry& registry() const { return registry_; }
   RepartitionRegistry& mutable_registry() { return registry_; }
   Scheduler& scheduler() { return *scheduler_; }
@@ -170,6 +175,10 @@ class Repartitioner {
   obs::Gauge* m_ops_remaining_ = nullptr;
   obs::Gauge* m_rep_rate_ = nullptr;
   obs::Gauge* m_active_ = nullptr;
+  obs::Counter* m_retries_total_ = nullptr;
+  obs::Counter* m_backoffs_total_ = nullptr;
+  obs::Counter* m_stripped_total_ = nullptr;
+  obs::AuditLog* audit_ = nullptr;
 };
 
 }  // namespace soap::core

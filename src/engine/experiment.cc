@@ -129,6 +129,11 @@ Status ExperimentConfig::Validate() const {
         "trace_out is set but trace_sample=0 disables tracing — nothing "
         "would be written");
   }
+  if (!obs.timeline_out.empty() && obs.timeline_interval == 0) {
+    return Status::InvalidArgument(
+        "timeline_out is set but timeline_interval=0 disables timeline "
+        "snapshots — nothing would be written");
+  }
   if (fault_options.disturbance.enabled) {
     const Disturbance& d = fault_options.disturbance;
     if (d.fraction <= 0.0 || d.fraction > 1.0) {
@@ -283,6 +288,39 @@ ExperimentResult Experiment::Run() {
     tracer = std::make_shared<obs::TxnTracer>(tracer_config);
     tm.set_tracer(tracer.get());
     cluster.set_tracer(tracer.get());
+  }
+  if (metrics != nullptr) cluster.router().BindMetrics(metrics.get());
+  std::shared_ptr<obs::AuditLog> audit_log;
+  if (config_.obs.AuditEnabled()) {
+    audit_log = std::make_shared<obs::AuditLog>();
+    repartitioner.BindAudit(audit_log.get());
+    if (online_planner != nullptr) {
+      online_planner->BindAudit(audit_log.get(), &sim);
+    }
+    if (replica_mgr != nullptr) replica_mgr->set_audit(audit_log.get());
+    // Header record: enough run context to read the file standalone.
+    obs::AuditRecord rec(audit_log.get(), "run_meta", sim.Now());
+    rec.U64("seed", config_.seed)
+        .Str("strategy", StrategyName(config_.strategy))
+        .U64("nodes", cluster.num_nodes())
+        .U64("keys", config_.workload.num_keys)
+        .U64("warmup_intervals", config_.warmup_intervals)
+        .U64("measured_intervals", config_.measured_intervals)
+        .I64("interval_us", config_.interval_length)
+        .Bool("planner", config_.planner.enabled)
+        .Bool("replicas", config_.replicas.enabled);
+  }
+  std::shared_ptr<obs::Timeline> timeline;
+  obs::HistogramWindow lock_wait_window;
+  std::vector<Duration> prev_node_busy;
+  obs::PartitionFlows prev_flows;
+  SimTime timeline_prev_tick = 0;
+  if (config_.obs.TimelineEnabled()) {
+    timeline = std::make_shared<obs::Timeline>();
+    timeline->flows()->Resize(cluster.num_nodes());
+    tm.set_partition_flows(timeline->flows());
+    prev_node_busy.assign(cluster.num_nodes(), 0);
+    prev_flows.Resize(cluster.num_nodes());
   }
 
   // --- Fault injection (off unless a spec was given; with no spec the run
@@ -466,11 +504,12 @@ ExperimentResult Experiment::Run() {
     const uint64_t committed_distributed =
         now.committed_normal_distributed -
         prev_counters.committed_normal_distributed;
-    result.distributed_ratio.Append(
+    const double distributed_ratio_window =
         stats.normal_committed > 0
             ? static_cast<double>(committed_distributed) /
                   static_cast<double>(stats.normal_committed)
-            : 0.0);
+            : 0.0;
+    result.distributed_ratio.Append(distributed_ratio_window);
     const double worker_time =
         ToSeconds(stats.length) * capacity.total_workers;
     result.utilization.Append(
@@ -491,6 +530,56 @@ ExperimentResult Experiment::Run() {
       prev_reads_routed = cluster.router().reads_routed();
       prev_replica_reads = cluster.router().replica_reads();
       replica_mgr->PublishGauges();
+    }
+
+    // Timeline snapshot: every timeline_interval-th closed interval, one
+    // tick with per-partition load, queue depth, windowed lock-wait p99
+    // and the routing-change flow counters accumulated by the TM.
+    if (timeline != nullptr &&
+        (index + 1) % config_.obs.timeline_interval == 0) {
+      obs::TimelineTick tick;
+      tick.t_us = sim.Now();
+      tick.interval = index;
+      tick.queue_depth = tm.queue().Size();
+      tick.distributed_ratio = distributed_ratio_window;
+      const obs::LatencyHistogram* lock_hist =
+          metrics->FindHistogram("soap_lock_wait_seconds");
+      tick.lock_wait_p99_ms =
+          lock_hist != nullptr
+              ? lock_wait_window.WindowPercentileMs(lock_hist->histogram(),
+                                                    99.0)
+              : 0.0;
+      const SimTime window = sim.Now() - timeline_prev_tick;
+      const double worker_window =
+          ToSeconds(window) *
+          static_cast<double>(cluster_config.workers_per_node);
+      const router::RoutingTable& routing = cluster.routing_table();
+      obs::PartitionFlows* flows = timeline->flows();
+      tick.partitions.reserve(cluster.num_nodes());
+      for (uint32_t p = 0; p < cluster.num_nodes(); ++p) {
+        obs::TimelinePartitionRow row;
+        row.partition = p;
+        const Duration busy = cluster.node(p).total_busy_time();
+        row.load = worker_window > 0
+                       ? ToSeconds(busy - prev_node_busy[p]) / worker_window
+                       : 0.0;
+        prev_node_busy[p] = busy;
+        row.queued_jobs = cluster.node(p).queued_jobs();
+        row.primaries = routing.CountPrimaries(p);
+        row.replicas = routing.CountReplicas(p);
+        row.migrations_in =
+            flows->migrations_in[p] - prev_flows.migrations_in[p];
+        row.migrations_out =
+            flows->migrations_out[p] - prev_flows.migrations_out[p];
+        row.replica_creates =
+            flows->replica_creates[p] - prev_flows.replica_creates[p];
+        row.replica_drops =
+            flows->replica_drops[p] - prev_flows.replica_drops[p];
+        tick.partitions.push_back(row);
+      }
+      prev_flows = *flows;
+      timeline_prev_tick = sim.Now();
+      timeline->Record(std::move(tick));
     }
 
     accum = IntervalAccum{};
@@ -649,6 +738,26 @@ ExperimentResult Experiment::Run() {
   result.end_time = sim.Now();
   result.events_executed = sim.events_executed();
 
+  if (audit_log != nullptr) {
+    // Trailer record: final counters so a truncated run is detectable and
+    // the file summarises itself without the metrics export.
+    const cluster::TmCounters& c = tm.counters();
+    obs::AuditRecord rec(audit_log.get(), "run_end", sim.Now());
+    rec.U64("events", sim.events_executed())
+        .U64("committed_normal", c.committed_normal)
+        .U64("committed_repartition", c.committed_repartition)
+        .U64("repartition_ops_applied", c.repartition_ops_applied)
+        .U64("piggybacked_ops_applied", c.piggybacked_ops_applied)
+        .U64("rounds", repartitioner.rounds_started())
+        .U64("aborts_deadlock", c.aborts_deadlock)
+        .U64("aborts_lock_timeout", c.aborts_lock_timeout)
+        .U64("aborts_queue_timeout", c.aborts_queue_timeout)
+        .U64("aborts_vote", c.aborts_vote)
+        .U64("aborts_node_crash", c.aborts_node_crash)
+        .U64("aborts_shutdown", c.aborts_shutdown)
+        .Bool("drained", result.drained);
+  }
+
   // --- Observability exports.
   auto note_export = [&result](Status s) {
     if (!s.ok()) {
@@ -672,8 +781,16 @@ ExperimentResult Experiment::Run() {
                                      metrics_jsonl.str()));
     }
   }
+  if (audit_log != nullptr && !config_.obs.audit_out.empty()) {
+    note_export(audit_log->WriteFile(config_.obs.audit_out));
+  }
+  if (timeline != nullptr && !config_.obs.timeline_out.empty()) {
+    note_export(timeline->WriteFile(config_.obs.timeline_out));
+  }
   result.metrics = std::move(metrics);
   result.tracer = std::move(tracer);
+  result.audit_log = std::move(audit_log);
+  result.timeline = std::move(timeline);
   return result;
 }
 

@@ -15,7 +15,9 @@
 #include "src/common/series.h"
 #include "src/common/status.h"
 #include "src/core/soap.h"
+#include "src/obs/audit_log.h"
 #include "src/obs/metrics.h"
+#include "src/obs/timeline.h"
 #include "src/obs/txn_tracer.h"
 #include "src/planner/planner.h"
 #include "src/replica/replica_manager.h"
@@ -56,13 +58,34 @@ struct ObsOptions {
   /// Trace every n-th transaction id (1 = all). Applies whenever tracing
   /// is on; 0 disables tracing even if trace_out is set.
   uint32_t trace_sample = 1;
+  /// Keep the decision AuditLog on the result even without audit_out.
+  bool collect_audit = false;
+  /// Keep the per-partition Timeline on the result even without
+  /// timeline_out.
+  bool collect_timeline = false;
+  /// Decision audit log (planner replans, per-candidate plan ops, deploy
+  /// lifecycle, promotions/catch-ups, system-txn aborts) as JSONL
+  /// (empty: off). Virtual-time only: byte-identical across thread
+  /// counts and machines.
+  std::string audit_out;
+  /// Per-partition timeline snapshots as JSONL (empty: off). Implies
+  /// metrics collection (the lock-wait window needs the TM histogram).
+  std::string timeline_out;
+  /// Snapshot every n-th closed interval (1 = every interval; 0 is
+  /// rejected by Validate when a timeline is requested).
+  uint32_t timeline_interval = 1;
 
-  bool MetricsEnabled() const {
-    return collect_metrics || !metrics_out.empty() ||
-           !metrics_jsonl_out.empty();
-  }
   bool TraceEnabled() const {
     return trace_sample > 0 && (collect_trace || !trace_out.empty());
+  }
+  bool AuditEnabled() const { return collect_audit || !audit_out.empty(); }
+  bool TimelineEnabled() const {
+    return timeline_interval > 0 &&
+           (collect_timeline || !timeline_out.empty());
+  }
+  bool MetricsEnabled() const {
+    return collect_metrics || !metrics_out.empty() ||
+           !metrics_jsonl_out.empty() || TimelineEnabled();
   }
 };
 
@@ -238,6 +261,8 @@ struct ExperimentResult {
   /// was on. shared_ptr because results get copied into panel vectors.
   std::shared_ptr<obs::MetricsRegistry> metrics;
   std::shared_ptr<obs::TxnTracer> tracer;
+  std::shared_ptr<obs::AuditLog> audit_log;
+  std::shared_ptr<obs::Timeline> timeline;
   /// Aggregated phase times of the traced transactions (zeros when
   /// tracing was off).
   obs::CriticalPathBreakdown critical_path;

@@ -249,6 +249,25 @@ FlagTable ExperimentFlagTable() {
                         static_cast<uint32_t>(f.GetInt("trace_sample", 1));
                     return Status::OK();
                   }});
+  defs.push_back({"audit_out", FlagType::kString, "",
+                  "decision audit log JSONL (replans, plan ops, deploys)",
+                  [](F f, C c) -> Status {
+                    c->obs.audit_out = f.GetString("audit_out", "");
+                    return Status::OK();
+                  }});
+  defs.push_back({"timeline_out", FlagType::kString, "",
+                  "per-partition timeline JSONL (load, queues, flows)",
+                  [](F f, C c) -> Status {
+                    c->obs.timeline_out = f.GetString("timeline_out", "");
+                    return Status::OK();
+                  }});
+  defs.push_back({"timeline_interval", FlagType::kInt, "1",
+                  "snapshot the timeline every n-th interval",
+                  [](F f, C c) -> Status {
+                    c->obs.timeline_interval = static_cast<uint32_t>(
+                        f.GetInt("timeline_interval", 1));
+                    return Status::OK();
+                  }});
   defs.push_back({"fault_spec", FlagType::kString, "",
                   "inject faults, e.g. 'crash:node=2,at=120s,down=15s;"
                   "drop:p=0.01' (see EXPERIMENTS.md)",

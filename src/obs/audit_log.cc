@@ -1,0 +1,97 @@
+#include "src/obs/audit_log.h"
+
+#include <cstdio>
+
+#include "src/common/json.h"
+
+namespace soap::obs {
+
+namespace {
+
+/// %.9g, matching the metrics exporter so one formatting convention covers
+/// every JSONL artifact.
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+AuditRecord::AuditRecord(AuditLog* log, std::string_view type, SimTime t_us)
+    : log_(log) {
+  line_ = "{\"v\":" + std::to_string(kAuditSchemaVersion) +
+          ",\"t_us\":" + std::to_string(t_us) + ",\"type\":\"" +
+          std::string(type) + "\"";
+}
+
+AuditRecord::~AuditRecord() {
+  line_.push_back('}');
+  if (log_ != nullptr) log_->Append(std::move(line_));
+}
+
+AuditRecord& AuditRecord::U64(std::string_view key, uint64_t value) {
+  line_ += ",\"" + std::string(key) + "\":" + std::to_string(value);
+  return *this;
+}
+
+AuditRecord& AuditRecord::I64(std::string_view key, int64_t value) {
+  line_ += ",\"" + std::string(key) + "\":" + std::to_string(value);
+  return *this;
+}
+
+AuditRecord& AuditRecord::Dbl(std::string_view key, double value) {
+  line_ += ",\"" + std::string(key) + "\":" + FormatDouble(value);
+  return *this;
+}
+
+AuditRecord& AuditRecord::Str(std::string_view key, std::string_view value) {
+  line_ += ",\"" + std::string(key) + "\":\"" + json::Escape(value) + "\"";
+  return *this;
+}
+
+AuditRecord& AuditRecord::Bool(std::string_view key, bool value) {
+  line_ += ",\"" + std::string(key) + "\":" + (value ? "true" : "false");
+  return *this;
+}
+
+AuditRecord& AuditRecord::Raw(std::string_view key, std::string_view jsonv) {
+  line_ += ",\"" + std::string(key) + "\":" + std::string(jsonv);
+  return *this;
+}
+
+void AuditLog::Append(std::string line) {
+  if (lines_.size() >= config_.max_records) {
+    ++dropped_;
+    return;
+  }
+  lines_.push_back(std::move(line));
+}
+
+std::string AuditLog::ToJsonl() const {
+  std::string out;
+  size_t total = 0;
+  for (const std::string& line : lines_) total += line.size() + 1;
+  out.reserve(total);
+  for (const std::string& line : lines_) {
+    out += line;
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Status AuditLog::WriteFile(const std::string& path) const {
+  const std::string contents = ToJsonl();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open " + path + " for writing");
+  }
+  const size_t written = std::fwrite(contents.data(), 1, contents.size(), f);
+  const int rc = std::fclose(f);
+  if (written != contents.size() || rc != 0) {
+    return Status::Internal("short write to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace soap::obs

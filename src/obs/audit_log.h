@@ -1,0 +1,93 @@
+// Decision-level audit log: a schema-versioned JSONL record stream of the
+// system's consequential choices — replan cycles with their co-access
+// graph stats, each candidate migration/replica op with its cost inputs
+// and accept/reject reason, every deployment lifecycle transition
+// (submit/piggyback/retry/abort/apply) with virtual-time latency, replica
+// promotion/catch-up sweeps, and system-transaction aborts by reason.
+//
+// Cost discipline matches src/obs/metrics.h: producers hold a raw
+// `AuditLog*` that is nullptr when auditing is off, so a disabled run pays
+// one branch per would-be record and stays byte-identical to the seed.
+// Every value recorded is virtual-time or a counter — no wall clock — so
+// the log is byte-identical across thread counts and repeat runs.
+//
+// Schema (contract; see EXPERIMENTS.md "Observability v2"): every line is
+// one JSON object with at least {"v":1,"t_us":<virtual us>,"type":...}.
+// Record types and their fields are produced exclusively through the
+// typed helpers below, so the schema lives in one file.
+
+#ifndef SOAP_OBS_AUDIT_LOG_H_
+#define SOAP_OBS_AUDIT_LOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/common/time.h"
+
+namespace soap::obs {
+
+/// Audit schema version; bump when a record type changes incompatibly.
+inline constexpr int kAuditSchemaVersion = 1;
+
+/// Builds one audit line incrementally: `AuditRecord(log, "replan", now)
+/// .U64("cycle", n).Str("outcome", "emitted")` appends on destruction.
+/// Field order is the call order (deterministic output).
+class AuditLog;
+class AuditRecord {
+ public:
+  AuditRecord(AuditLog* log, std::string_view type, SimTime t_us);
+  ~AuditRecord();
+  AuditRecord(const AuditRecord&) = delete;
+  AuditRecord& operator=(const AuditRecord&) = delete;
+
+  AuditRecord& U64(std::string_view key, uint64_t value);
+  AuditRecord& I64(std::string_view key, int64_t value);
+  AuditRecord& Dbl(std::string_view key, double value);
+  AuditRecord& Str(std::string_view key, std::string_view value);
+  AuditRecord& Bool(std::string_view key, bool value);
+  /// Appends `key` with a pre-serialised JSON value (object/array).
+  AuditRecord& Raw(std::string_view key, std::string_view json);
+
+ private:
+  AuditLog* log_;
+  std::string line_;
+};
+
+/// Bounded append-only record log. Records past `max_records` are dropped
+/// (flight-recorder discipline: the head of the run is what explains the
+/// decisions; `dropped()` reports the loss).
+class AuditLog {
+ public:
+  struct Config {
+    size_t max_records = 1'000'000;
+  };
+
+  AuditLog() = default;
+  explicit AuditLog(Config config) : config_(config) {}
+  AuditLog(const AuditLog&) = delete;
+  AuditLog& operator=(const AuditLog&) = delete;
+
+  /// Appends one complete JSON object line (no trailing newline).
+  void Append(std::string line);
+
+  size_t size() const { return lines_.size(); }
+  size_t dropped() const { return dropped_; }
+  const std::deque<std::string>& lines() const { return lines_; }
+
+  /// The whole log as JSONL (one record per line, trailing newline).
+  std::string ToJsonl() const;
+
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  Config config_;
+  std::deque<std::string> lines_;
+  size_t dropped_ = 0;
+};
+
+}  // namespace soap::obs
+
+#endif  // SOAP_OBS_AUDIT_LOG_H_

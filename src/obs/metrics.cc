@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include "src/common/json.h"
+
 namespace soap::obs {
 
 namespace {
@@ -15,9 +17,44 @@ std::string FormatValue(double v) {
   return buf;
 }
 
+/// Re-escapes a stored label string for exposition. Label VALUES may have
+/// been built by hand (historically unescaped), so walk the quoted
+/// regions: keep escapes that are already valid (\\, \", \n), escape any
+/// other backslash, and turn raw newlines into \n. Quotes outside a valid
+/// escape terminate the value, as the format requires.
+std::string SanitizeLabels(const std::string& labels) {
+  std::string out;
+  out.reserve(labels.size());
+  bool in_value = false;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    const char c = labels[i];
+    if (!in_value) {
+      out.push_back(c);
+      if (c == '"') in_value = true;
+      continue;
+    }
+    if (c == '\\') {
+      const char next = i + 1 < labels.size() ? labels[i + 1] : '\0';
+      if (next == '\\' || next == '"' || next == 'n') {
+        out.push_back(c);
+        out.push_back(next);
+        ++i;
+      } else {
+        out += "\\\\";
+      }
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+      if (c == '"') in_value = false;
+    }
+  }
+  return out;
+}
+
 std::string FullName(const std::string& name, const std::string& labels) {
   if (labels.empty()) return name;
-  return name + "{" + labels + "}";
+  return name + "{" + SanitizeLabels(labels) + "}";
 }
 
 /// `name{labels,extra}` / `name{extra}` — merges a histogram's `le` label
@@ -25,22 +62,35 @@ std::string FullName(const std::string& name, const std::string& labels) {
 std::string WithExtraLabel(const std::string& name, const std::string& labels,
                            const std::string& extra) {
   if (labels.empty()) return name + "{" + extra + "}";
-  return name + "{" + labels + "," + extra + "}";
+  return name + "{" + SanitizeLabels(labels) + "," + extra + "}";
 }
 
-/// Minimal JSON string escape (metric names are ASCII identifiers, but be
-/// safe about quotes/backslashes in label values).
-std::string JsonEscape(const std::string& s) {
+/// JSON string escape for metric keys in the JSONL snapshot (quotes,
+/// backslashes, control characters).
+std::string JsonEscape(const std::string& s) { return json::Escape(s); }
+
+}  // namespace
+
+std::string MetricsRegistry::EscapeLabelValue(const std::string& value) {
   std::string out;
-  out.reserve(s.size() + 2);
-  for (char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
   }
   return out;
 }
-
-}  // namespace
 
 Counter* MetricsRegistry::GetCounter(const std::string& name,
                                      const std::string& labels) {

@@ -81,6 +81,17 @@ class MetricsRegistry {
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
+  /// Escapes a label VALUE per the Prometheus exposition format:
+  /// backslash -> \\, double quote -> \", newline -> \n.
+  static std::string EscapeLabelValue(const std::string& value);
+
+  /// Builds one `name="value"` label pair with the value escaped; callers
+  /// with untrusted values (paths, strategy names) should build label
+  /// strings through this instead of string concatenation.
+  static std::string Label(const std::string& name, const std::string& value) {
+    return name + "=\"" + EscapeLabelValue(value) + "\"";
+  }
+
   Counter* GetCounter(const std::string& name, const std::string& labels = "");
   Gauge* GetGauge(const std::string& name, const std::string& labels = "");
   LatencyHistogram* GetHistogram(const std::string& name,

@@ -1,0 +1,574 @@
+#include "src/obs/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string_view>
+
+#include "src/obs/audit_log.h"
+#include "src/obs/timeline.h"
+
+namespace soap::obs::report {
+
+namespace {
+
+std::string FmtDouble(double v, int digits = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return std::string(buf);
+}
+
+std::string FmtSeconds(double t_us) { return FmtDouble(t_us / 1e6, 1) + "s"; }
+
+std::string HtmlEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+bool GetBool(const json::Value& rec, std::string_view key) {
+  const json::Value* v = rec.Find(key);
+  if (v == nullptr) return false;
+  if (v->is_bool()) return v->AsBool();
+  return v->is_number() && v->AsDouble() != 0;
+}
+
+Status BadRecord(std::string_view stream, size_t index,
+                 const std::string& why) {
+  return Status::InvalidArgument(std::string(stream) + " record " +
+                                 std::to_string(index + 1) + ": " + why);
+}
+
+/// Required fields per audit record type; a missing field is a schema
+/// violation, an unknown type is too (forward compatibility is handled by
+/// bumping kAuditSchemaVersion, not by silently skipping).
+const std::map<std::string, std::vector<const char*>>& AuditFieldTable() {
+  static const std::map<std::string, std::vector<const char*>> table = {
+      {"run_meta", {"seed", "strategy", "nodes", "keys"}},
+      {"replan", {"cycle", "outcome", "plan"}},
+      {"plan_op",
+       {"cycle", "key", "op", "decision", "reason", "source", "target",
+        "heat", "reads", "writes", "copies"}},
+      {"round", {"plan", "txns", "ops"}},
+      {"deploy", {"event", "plan", "rid", "txn", "attempt", "ops"}},
+      {"abort", {"plan", "rid", "txn", "kind", "reason", "attempt"}},
+      {"promotion", {"node", "promoted", "failovers"}},
+      {"catchup", {"node", "refreshed", "dropped"}},
+      {"run_end", {"events", "committed_normal", "drained"}},
+  };
+  return table;
+}
+
+/// Emitted plans present in an audit stream, with their cycles.
+std::map<uint64_t, uint64_t> EmittedPlans(
+    const std::vector<json::Value>& audit) {
+  std::map<uint64_t, uint64_t> plan_to_cycle;
+  for (const json::Value& rec : audit) {
+    if (rec.GetString("type") == "replan" &&
+        rec.GetString("outcome") == "emitted") {
+      plan_to_cycle[rec.GetUint64("plan")] = rec.GetUint64("cycle");
+    }
+  }
+  return plan_to_cycle;
+}
+
+struct DeployDigest {
+  uint64_t submits = 0;
+  uint64_t piggybacks = 0;
+  uint64_t retries = 0;
+  uint64_t applies = 0;
+  uint64_t latency_count = 0;
+  double latency_sum_us = 0;
+  double latency_max_us = 0;
+};
+
+DeployDigest DigestDeploys(const std::vector<json::Value>& audit,
+                           uint64_t plan_id, bool all_plans) {
+  DeployDigest d;
+  for (const json::Value& rec : audit) {
+    if (rec.GetString("type") != "deploy") continue;
+    if (!all_plans && rec.GetUint64("plan") != plan_id) continue;
+    const std::string event = rec.GetString("event");
+    if (event == "submit") ++d.submits;
+    if (event == "piggyback") ++d.piggybacks;
+    if (event == "retry") ++d.retries;
+    if (event == "apply") {
+      ++d.applies;
+      const json::Value* lat = rec.Find("latency_us");
+      if (lat != nullptr && lat->is_number()) {
+        ++d.latency_count;
+        d.latency_sum_us += lat->AsDouble();
+        d.latency_max_us = std::max(d.latency_max_us, lat->AsDouble());
+      }
+    }
+  }
+  return d;
+}
+
+std::map<std::string, uint64_t> DigestAborts(
+    const std::vector<json::Value>& audit, uint64_t plan_id,
+    bool all_plans) {
+  std::map<std::string, uint64_t> by_reason;
+  for (const json::Value& rec : audit) {
+    if (rec.GetString("type") != "abort") continue;
+    if (!all_plans && rec.GetUint64("plan") != plan_id) continue;
+    ++by_reason[rec.GetString("reason")];
+  }
+  return by_reason;
+}
+
+std::string JoinCounts(const std::map<std::string, uint64_t>& counts) {
+  std::string out;
+  for (const auto& [name, n] : counts) {
+    if (!out.empty()) out += " ";
+    out += name + "=" + std::to_string(n);
+  }
+  return out.empty() ? "none" : out;
+}
+
+/// Inline SVG sparkline over `values`, normalised to its own max.
+std::string Sparkline(const std::vector<double>& values, int width = 220,
+                      int height = 36) {
+  if (values.empty()) return "<span class=\"dim\">no data</span>";
+  double max = 0;
+  for (double v : values) max = std::max(max, v);
+  std::string points;
+  const size_t n = values.size();
+  for (size_t i = 0; i < n; ++i) {
+    const double x =
+        n == 1 ? 0.0
+               : static_cast<double>(i) / static_cast<double>(n - 1) * width;
+    const double y =
+        height - 2 - (max > 0 ? values[i] / max * (height - 4) : 0.0);
+    if (!points.empty()) points += " ";
+    points += FmtDouble(x, 1) + "," + FmtDouble(y, 1);
+  }
+  return "<svg width=\"" + std::to_string(width) + "\" height=\"" +
+         std::to_string(height) +
+         "\" class=\"spark\"><polyline fill=\"none\" stroke=\"#2a6\" "
+         "stroke-width=\"1.5\" points=\"" +
+         points + "\"/></svg> <span class=\"dim\">max " +
+         FmtDouble(max, 3) + "</span>";
+}
+
+}  // namespace
+
+Result<std::vector<json::Value>> LoadJsonlFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  Result<std::vector<json::Value>> parsed = json::ParseLines(buf.str());
+  if (!parsed.ok()) {
+    return Status::InvalidArgument(path + ": " +
+                                   parsed.status().ToString());
+  }
+  return parsed;
+}
+
+Status ValidateAudit(const std::vector<json::Value>& records) {
+  if (records.empty()) {
+    return Status::InvalidArgument("audit stream is empty");
+  }
+  const auto& table = AuditFieldTable();
+  uint64_t prev_t = 0;
+  for (size_t i = 0; i < records.size(); ++i) {
+    const json::Value& rec = records[i];
+    if (!rec.is_object()) return BadRecord("audit", i, "not an object");
+    if (rec.GetUint64("v") != kAuditSchemaVersion) {
+      return BadRecord("audit", i,
+                       "schema version " +
+                           std::to_string(rec.GetUint64("v")) +
+                           " (want " +
+                           std::to_string(kAuditSchemaVersion) + ")");
+    }
+    const json::Value* t = rec.Find("t_us");
+    if (t == nullptr || !t->is_number()) {
+      return BadRecord("audit", i, "missing t_us");
+    }
+    if (t->AsUint64() < prev_t) {
+      return BadRecord("audit", i, "t_us goes backwards");
+    }
+    prev_t = t->AsUint64();
+    const std::string type = rec.GetString("type");
+    auto it = table.find(type);
+    if (it == table.end()) {
+      return BadRecord("audit", i, "unknown type \"" + type + "\"");
+    }
+    for (const char* field : it->second) {
+      if (rec.Find(field) == nullptr) {
+        return BadRecord("audit", i,
+                         type + " missing field \"" + field + "\"");
+      }
+    }
+  }
+  if (records.front().GetString("type") != "run_meta") {
+    return Status::InvalidArgument("audit stream must start with run_meta");
+  }
+  return Status::OK();
+}
+
+Status ValidateTimeline(const std::vector<json::Value>& ticks) {
+  int64_t prev_interval = -1;
+  size_t partitions = 0;
+  for (size_t i = 0; i < ticks.size(); ++i) {
+    const json::Value& tick = ticks[i];
+    if (!tick.is_object()) return BadRecord("timeline", i, "not an object");
+    if (tick.GetUint64("v") != kTimelineSchemaVersion) {
+      return BadRecord("timeline", i, "bad schema version");
+    }
+    if (tick.GetString("type") != "tick") {
+      return BadRecord("timeline", i, "type is not \"tick\"");
+    }
+    for (const char* field :
+         {"t_us", "interval", "queue_depth", "lock_wait_p99_ms",
+          "distributed_ratio", "partitions"}) {
+      if (tick.Find(field) == nullptr) {
+        return BadRecord("timeline", i,
+                         std::string("missing field \"") + field + "\"");
+      }
+    }
+    const auto interval = static_cast<int64_t>(tick.GetUint64("interval"));
+    if (interval <= prev_interval) {
+      return BadRecord("timeline", i, "interval does not increase");
+    }
+    prev_interval = interval;
+    const json::Value* parts = tick.Find("partitions");
+    if (!parts->is_array()) {
+      return BadRecord("timeline", i, "partitions is not an array");
+    }
+    if (i == 0) {
+      partitions = parts->AsArray().size();
+    } else if (parts->AsArray().size() != partitions) {
+      return BadRecord("timeline", i, "partition count changes mid-stream");
+    }
+    for (const json::Value& row : parts->AsArray()) {
+      for (const char* field :
+           {"p", "load", "queued_jobs", "primaries", "replicas",
+            "migrations_in", "migrations_out", "replica_creates",
+            "replica_drops"}) {
+        if (row.Find(field) == nullptr) {
+          return BadRecord("timeline", i,
+                           std::string("partition row missing \"") + field +
+                               "\"");
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<OpDecision> CollectDecisions(
+    const std::vector<json::Value>& audit, uint64_t cycle) {
+  std::vector<OpDecision> out;
+  // (key, op) -> index into `out`, for dropped_by_cap overrides: the cap
+  // drop is logged after the accept for the same candidate and wins.
+  std::map<std::pair<uint64_t, std::string>, size_t> by_candidate;
+  for (const json::Value& rec : audit) {
+    if (rec.GetString("type") != "plan_op") continue;
+    if (rec.GetUint64("cycle") != cycle) continue;
+    OpDecision d;
+    d.key = rec.GetUint64("key");
+    d.op = rec.GetString("op");
+    d.accepted = rec.GetString("decision") == "accept";
+    d.reason = rec.GetString("reason");
+    d.source = rec.GetUint64("source");
+    d.target = rec.GetUint64("target");
+    d.heat = rec.GetUint64("heat");
+    d.reads = rec.GetUint64("reads");
+    d.writes = rec.GetUint64("writes");
+    d.copies = rec.GetUint64("copies");
+    const auto candidate = std::make_pair(d.key, d.op);
+    auto it = by_candidate.find(candidate);
+    if (d.reason == "dropped_by_cap" && it != by_candidate.end()) {
+      OpDecision& prior = out[it->second];
+      prior.accepted = false;
+      prior.reason = "dropped_by_cap";
+      prior.capped = true;
+      continue;
+    }
+    by_candidate[candidate] = out.size();
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+std::string Explain(const std::vector<json::Value>& audit,
+                    uint64_t plan_id) {
+  const std::map<uint64_t, uint64_t> plans = EmittedPlans(audit);
+  auto found = plans.find(plan_id);
+  if (found == plans.end()) {
+    std::string known;
+    for (const auto& [plan, cycle] : plans) {
+      if (!known.empty()) known += ", ";
+      known += std::to_string(plan);
+    }
+    return "plan " + std::to_string(plan_id) +
+           " not found; emitted plans: " + (known.empty() ? "none" : known) +
+           "\n";
+  }
+  const uint64_t cycle = found->second;
+
+  std::ostringstream os;
+  for (const json::Value& rec : audit) {
+    if (rec.GetString("type") == "replan" &&
+        rec.GetUint64("plan") == plan_id &&
+        rec.GetString("outcome") == "emitted") {
+      os << "plan " << plan_id << " (cycle " << cycle << ", emitted @ "
+         << FmtSeconds(rec.GetDouble("t_us")) << ")\n";
+      os << "  graph: " << rec.GetUint64("graph_vertices") << " vertices, "
+         << rec.GetUint64("graph_edges") << " edges, "
+         << rec.GetUint64("txns_observed") << " txns observed\n";
+      os << "  clustering: cut=" << rec.GetUint64("cut_weight")
+         << " internal=" << rec.GetUint64("internal_weight")
+         << " moved=" << rec.GetUint64("moved") << "\n";
+      os << "  emitted: " << rec.GetUint64("ops") << " ops ("
+         << rec.GetUint64("replica_creates") << " replica_create, "
+         << rec.GetUint64("replica_drops") << " replica_delete), "
+         << rec.GetUint64("dropped_by_cap") << " dropped by cap, "
+         << "deploy_cost=" << FmtSeconds(rec.GetDouble("deploy_cost_us"))
+         << "\n";
+      break;
+    }
+  }
+  for (const json::Value& rec : audit) {
+    if (rec.GetString("type") == "round" &&
+        rec.GetUint64("plan") == plan_id) {
+      os << "  deployment: " << rec.GetUint64("txns")
+         << " repartition txns carrying " << rec.GetUint64("ops")
+         << " ops\n";
+      break;
+    }
+  }
+
+  const std::vector<OpDecision> decisions = CollectDecisions(audit, cycle);
+  uint64_t accepted = 0;
+  for (const OpDecision& d : decisions) accepted += d.accepted ? 1 : 0;
+  os << "  decisions (" << decisions.size() << " candidates, " << accepted
+     << " accepted):\n";
+  for (const OpDecision& d : decisions) {
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "    key=%-8llu %-14s %llu->%-3llu %-6s %-28s "
+                  "heat=%llu reads=%llu writes=%llu copies=%llu\n",
+                  static_cast<unsigned long long>(d.key), d.op.c_str(),
+                  static_cast<unsigned long long>(d.source),
+                  static_cast<unsigned long long>(d.target),
+                  d.accepted ? "ACCEPT" : "REJECT", d.reason.c_str(),
+                  static_cast<unsigned long long>(d.heat),
+                  static_cast<unsigned long long>(d.reads),
+                  static_cast<unsigned long long>(d.writes),
+                  static_cast<unsigned long long>(d.copies));
+    os << line;
+  }
+
+  const DeployDigest dep = DigestDeploys(audit, plan_id, false);
+  os << "  lifecycle: submits=" << dep.submits
+     << " piggybacks=" << dep.piggybacks << " retries=" << dep.retries
+     << " applies=" << dep.applies;
+  if (dep.latency_count > 0) {
+    os << " apply_latency mean="
+       << FmtDouble(dep.latency_sum_us /
+                        static_cast<double>(dep.latency_count) / 1000.0)
+       << "ms max=" << FmtDouble(dep.latency_max_us / 1000.0) << "ms";
+  }
+  os << "\n";
+  os << "  aborts: " << JoinCounts(DigestAborts(audit, plan_id, false))
+     << "\n";
+  return os.str();
+}
+
+std::string Summary(const RunData& run) {
+  std::ostringstream os;
+  for (const json::Value& rec : run.audit) {
+    if (rec.GetString("type") == "run_meta") {
+      os << "run: seed=" << rec.GetUint64("seed") << " strategy="
+         << rec.GetString("strategy") << " nodes=" << rec.GetUint64("nodes")
+         << " keys=" << rec.GetUint64("keys")
+         << " planner=" << (GetBool(rec, "planner") ? "on" : "off")
+         << " replicas=" << (GetBool(rec, "replicas") ? "on" : "off")
+         << "\n";
+      break;
+    }
+  }
+
+  std::map<std::string, uint64_t> replans;
+  std::map<std::string, uint64_t> accepts;
+  std::map<std::string, uint64_t> rejects;
+  uint64_t promotions = 0, failovers = 0, catchup_refreshed = 0,
+           catchup_dropped = 0;
+  for (const json::Value& rec : run.audit) {
+    const std::string type = rec.GetString("type");
+    if (type == "replan") ++replans[rec.GetString("outcome")];
+    if (type == "plan_op") {
+      auto& bucket =
+          rec.GetString("decision") == "accept" ? accepts : rejects;
+      ++bucket[rec.GetString("reason")];
+    }
+    if (type == "promotion") {
+      promotions += rec.GetUint64("promoted");
+      failovers += rec.GetUint64("failovers");
+    }
+    if (type == "catchup") {
+      catchup_refreshed += rec.GetUint64("refreshed");
+      catchup_dropped += rec.GetUint64("dropped");
+    }
+  }
+  os << "replans: " << JoinCounts(replans) << "\n";
+  os << "op accepts: " << JoinCounts(accepts) << "\n";
+  os << "op rejects: " << JoinCounts(rejects) << "\n";
+  const DeployDigest dep = DigestDeploys(run.audit, 0, /*all_plans=*/true);
+  os << "deploys: submits=" << dep.submits
+     << " piggybacks=" << dep.piggybacks << " retries=" << dep.retries
+     << " applies=" << dep.applies;
+  if (dep.latency_count > 0) {
+    os << " apply_latency mean="
+       << FmtDouble(dep.latency_sum_us /
+                        static_cast<double>(dep.latency_count) / 1000.0)
+       << "ms max=" << FmtDouble(dep.latency_max_us / 1000.0) << "ms";
+  }
+  os << "\n";
+  os << "system-txn aborts: "
+     << JoinCounts(DigestAborts(run.audit, 0, /*all_plans=*/true)) << "\n";
+  if (promotions > 0 || failovers > 0 || catchup_refreshed > 0 ||
+      catchup_dropped > 0) {
+    os << "replication: promotions=" << promotions
+       << " failovers=" << failovers
+       << " catchup_refreshed=" << catchup_refreshed
+       << " catchup_dropped=" << catchup_dropped << "\n";
+  }
+
+  if (!run.timeline.empty()) {
+    uint64_t max_queue = 0;
+    double max_load = 0;
+    uint64_t max_load_partition = 0;
+    uint64_t migrations = 0, creates = 0, drops = 0;
+    for (const json::Value& tick : run.timeline) {
+      max_queue = std::max(max_queue, tick.GetUint64("queue_depth"));
+      const json::Value* parts = tick.Find("partitions");
+      if (parts == nullptr || !parts->is_array()) continue;
+      for (const json::Value& row : parts->AsArray()) {
+        if (row.GetDouble("load") > max_load) {
+          max_load = row.GetDouble("load");
+          max_load_partition = row.GetUint64("p");
+        }
+        migrations += row.GetUint64("migrations_in");
+        creates += row.GetUint64("replica_creates");
+        drops += row.GetUint64("replica_drops");
+      }
+    }
+    os << "timeline: " << run.timeline.size()
+       << " ticks, peak queue=" << max_queue << ", peak load="
+       << FmtDouble(max_load) << " on partition " << max_load_partition
+       << ", migrations=" << migrations << " replica_creates=" << creates
+       << " replica_drops=" << drops << "\n";
+  }
+
+  for (const json::Value& rec : run.audit) {
+    if (rec.GetString("type") == "run_end") {
+      os << "end: events=" << rec.GetUint64("events")
+         << " committed_normal=" << rec.GetUint64("committed_normal")
+         << " committed_repartition="
+         << rec.GetUint64("committed_repartition")
+         << " ops_applied=" << rec.GetUint64("repartition_ops_applied")
+         << " rounds=" << rec.GetUint64("rounds")
+         << " drained=" << (GetBool(rec, "drained") ? "yes" : "no") << "\n";
+      break;
+    }
+  }
+  return os.str();
+}
+
+std::string HtmlReport(const RunData& run) {
+  std::ostringstream os;
+  os << "<!doctype html><html><head><meta charset=\"utf-8\">"
+     << "<title>soap_report</title><style>"
+     << "body{font:14px/1.5 system-ui,sans-serif;margin:24px;color:#123}"
+     << "h1{font-size:20px}h2{font-size:16px;margin-top:28px}"
+     << "pre{background:#f4f6f5;padding:10px;border-radius:6px}"
+     << "table{border-collapse:collapse;margin:8px 0}"
+     << "td,th{border:1px solid #cdd;padding:3px 8px;font-size:13px;"
+     << "text-align:right}th{background:#eef2f0}td.l,th.l{text-align:left}"
+     << "tr.reject td{color:#a44}.dim{color:#789;font-size:12px}"
+     << ".spark{vertical-align:middle}"
+     << "</style></head><body><h1>SOAP run report</h1>";
+
+  os << "<h2>Summary</h2><pre>" << HtmlEscape(Summary(run)) << "</pre>";
+
+  if (!run.timeline.empty()) {
+    std::vector<double> queue, dist, lockp99;
+    std::map<uint64_t, std::vector<double>> load_by_partition;
+    for (const json::Value& tick : run.timeline) {
+      queue.push_back(tick.GetDouble("queue_depth"));
+      dist.push_back(tick.GetDouble("distributed_ratio"));
+      lockp99.push_back(tick.GetDouble("lock_wait_p99_ms"));
+      const json::Value* parts = tick.Find("partitions");
+      if (parts == nullptr || !parts->is_array()) continue;
+      for (const json::Value& row : parts->AsArray()) {
+        load_by_partition[row.GetUint64("p")].push_back(
+            row.GetDouble("load"));
+      }
+    }
+    os << "<h2>Timelines</h2><table>"
+       << "<tr><th class=\"l\">series</th><th class=\"l\">trend</th></tr>"
+       << "<tr><td class=\"l\">TM queue depth</td><td class=\"l\">"
+       << Sparkline(queue) << "</td></tr>"
+       << "<tr><td class=\"l\">distributed txn ratio</td><td class=\"l\">"
+       << Sparkline(dist) << "</td></tr>"
+       << "<tr><td class=\"l\">lock-wait p99 (ms)</td><td class=\"l\">"
+       << Sparkline(lockp99) << "</td></tr>";
+    for (const auto& [p, loads] : load_by_partition) {
+      os << "<tr><td class=\"l\">partition " << p
+         << " load</td><td class=\"l\">" << Sparkline(loads)
+         << "</td></tr>";
+    }
+    os << "</table>";
+  }
+
+  const std::map<uint64_t, uint64_t> plans = EmittedPlans(run.audit);
+  for (const auto& [plan_id, cycle] : plans) {
+    os << "<h2>Plan " << plan_id << " (cycle " << cycle << ")</h2>";
+    const std::vector<OpDecision> decisions =
+        CollectDecisions(run.audit, cycle);
+    os << "<table><tr><th class=\"l\">key</th><th class=\"l\">op</th>"
+       << "<th>src</th><th>dst</th><th class=\"l\">decision</th>"
+       << "<th class=\"l\">reason</th><th>heat</th><th>reads</th>"
+       << "<th>writes</th><th>copies</th></tr>";
+    for (const OpDecision& d : decisions) {
+      os << "<tr" << (d.accepted ? "" : " class=\"reject\"") << ">"
+         << "<td class=\"l\">" << d.key << "</td><td class=\"l\">"
+         << HtmlEscape(d.op) << "</td><td>" << d.source << "</td><td>"
+         << d.target << "</td><td class=\"l\">"
+         << (d.accepted ? "accept" : "reject") << "</td><td class=\"l\">"
+         << HtmlEscape(d.reason) << "</td><td>" << d.heat << "</td><td>"
+         << d.reads << "</td><td>" << d.writes << "</td><td>" << d.copies
+         << "</td></tr>";
+    }
+    os << "</table>";
+    const DeployDigest dep = DigestDeploys(run.audit, plan_id, false);
+    os << "<p class=\"dim\">lifecycle: submits=" << dep.submits
+       << " piggybacks=" << dep.piggybacks << " retries=" << dep.retries
+       << " applies=" << dep.applies << " · aborts: "
+       << HtmlEscape(JoinCounts(DigestAborts(run.audit, plan_id, false)))
+       << "</p>";
+  }
+
+  os << "</body></html>\n";
+  return os.str();
+}
+
+}  // namespace soap::obs::report

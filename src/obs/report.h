@@ -1,0 +1,85 @@
+// Offline analysis of observability exports: the library behind the
+// soap_report tool. Ingests the audit log (--audit_out), the partition
+// timeline (--timeline_out) and optionally the per-interval metrics
+// snapshots (--metrics_jsonl), all JSONL, and renders:
+//
+//   - Explain(plan):  every candidate op of one plan generation with its
+//     cost inputs and accept/reject reason, joined with the plan's
+//     deployment lifecycle (submits, piggybacks, retries, aborts, apply
+//     latency).
+//   - Summary():      whole-run digest — replans by outcome, decisions by
+//     reason, deployment and abort counts, promotion/catch-up sweeps,
+//     timeline peaks.
+//   - HtmlReport():   a self-contained HTML page (inline SVG sparklines,
+//     per-plan explain tables) for sharing a run.
+//   - Validate*():    schema checks used by tests and CI.
+//
+// Everything operates on parsed json::Value records, so tests can build
+// inputs without touching the filesystem.
+
+#ifndef SOAP_OBS_REPORT_H_
+#define SOAP_OBS_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/json.h"
+#include "src/common/result.h"
+
+namespace soap::obs::report {
+
+/// Parsed inputs for one run. Any stream may be empty (e.g. a run without
+/// --timeline_out); renderers degrade to what is present.
+struct RunData {
+  std::vector<json::Value> audit;
+  std::vector<json::Value> timeline;
+  std::vector<json::Value> metrics;
+};
+
+/// Reads and parses one JSONL file.
+Result<std::vector<json::Value>> LoadJsonlFile(const std::string& path);
+
+/// Schema check for an audit stream: version, known record types,
+/// per-type required fields, non-decreasing virtual time.
+Status ValidateAudit(const std::vector<json::Value>& records);
+
+/// Schema check for a timeline stream: version, tick fields, strictly
+/// increasing intervals, rectangular partition arrays.
+Status ValidateTimeline(const std::vector<json::Value>& ticks);
+
+/// The final decision for one candidate op after applying overrides: a
+/// plan_op accepted by the builder but later dropped by the per-plan op
+/// cap (`dropped_by_cap`) ends up rejected.
+struct OpDecision {
+  uint64_t key = 0;
+  std::string op;        // migrate | replica_create | replica_delete
+  bool accepted = false;
+  std::string reason;    // final reason (override wins)
+  uint64_t source = 0;
+  uint64_t target = 0;
+  uint64_t heat = 0;
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t copies = 0;
+  bool capped = false;   // accepted by cost, then dropped by the cap
+};
+
+/// All decisions of one planner cycle, in emission order, with
+/// dropped_by_cap overrides applied.
+std::vector<OpDecision> CollectDecisions(
+    const std::vector<json::Value>& audit, uint64_t cycle);
+
+/// Human-readable explanation of one plan generation (text). Empty plan id
+/// list -> error string naming the plans that exist.
+std::string Explain(const std::vector<json::Value>& audit, uint64_t plan_id);
+
+/// Whole-run text digest.
+std::string Summary(const RunData& run);
+
+/// Self-contained HTML report (no external assets).
+std::string HtmlReport(const RunData& run);
+
+}  // namespace soap::obs::report
+
+#endif  // SOAP_OBS_REPORT_H_

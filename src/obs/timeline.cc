@@ -1,0 +1,100 @@
+#include "src/obs/timeline.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace soap::obs {
+
+double HistogramWindow::WindowPercentileMs(const Histogram& cumulative,
+                                           double p) {
+  if (prev_buckets_.empty()) {
+    prev_buckets_.assign(Histogram::kNumBuckets, 0);
+  }
+  std::vector<uint64_t> delta(Histogram::kNumBuckets, 0);
+  uint64_t total = 0;
+  for (size_t b = 0; b < Histogram::kNumBuckets; ++b) {
+    const uint64_t now = cumulative.bucket_count(b);
+    delta[b] = now - prev_buckets_[b];
+    total += delta[b];
+    prev_buckets_[b] = now;
+  }
+  if (total == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double target = p / 100.0 * static_cast<double>(total);
+  uint64_t seen = 0;
+  for (size_t b = 0; b < Histogram::kNumBuckets; ++b) {
+    if (delta[b] == 0) continue;
+    const uint64_t next = seen + delta[b];
+    if (static_cast<double>(next) >= target) {
+      const double lo =
+          b == 0 ? 0.0
+                 : static_cast<double>(Histogram::BucketUpperBound(b - 1)) + 1;
+      const uint64_t ub = Histogram::BucketUpperBound(b);
+      // The overflow bucket has no finite upper bound; report its floor.
+      const double hi = ub == UINT64_MAX ? lo : static_cast<double>(ub);
+      const double frac = (target - static_cast<double>(seen)) /
+                          static_cast<double>(delta[b]);
+      return (lo + frac * (hi - lo)) / 1000.0;  // us -> ms
+    }
+    seen = next;
+  }
+  return 0.0;
+}
+
+void Timeline::Record(TimelineTick tick) {
+  if (config_.max_ticks > 0 && ticks_.size() >= config_.max_ticks) {
+    ticks_.pop_front();
+    ++evicted_;
+  }
+  ticks_.push_back(std::move(tick));
+}
+
+std::string Timeline::ToJsonl() const {
+  auto format_double = [](double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return std::string(buf);
+  };
+  std::string out;
+  for (const TimelineTick& tick : ticks_) {
+    out += "{\"v\":" + std::to_string(kTimelineSchemaVersion) +
+           ",\"t_us\":" + std::to_string(tick.t_us) +
+           ",\"type\":\"tick\",\"interval\":" + std::to_string(tick.interval) +
+           ",\"queue_depth\":" + std::to_string(tick.queue_depth) +
+           ",\"lock_wait_p99_ms\":" + format_double(tick.lock_wait_p99_ms) +
+           ",\"distributed_ratio\":" + format_double(tick.distributed_ratio) +
+           ",\"partitions\":[";
+    bool first = true;
+    for (const TimelinePartitionRow& row : tick.partitions) {
+      if (!first) out.push_back(',');
+      first = false;
+      out += "{\"p\":" + std::to_string(row.partition) +
+             ",\"load\":" + format_double(row.load) +
+             ",\"queued_jobs\":" + std::to_string(row.queued_jobs) +
+             ",\"primaries\":" + std::to_string(row.primaries) +
+             ",\"replicas\":" + std::to_string(row.replicas) +
+             ",\"migrations_in\":" + std::to_string(row.migrations_in) +
+             ",\"migrations_out\":" + std::to_string(row.migrations_out) +
+             ",\"replica_creates\":" + std::to_string(row.replica_creates) +
+             ",\"replica_drops\":" + std::to_string(row.replica_drops) + "}";
+    }
+    out += "]}\n";
+  }
+  return out;
+}
+
+Status Timeline::WriteFile(const std::string& path) const {
+  const std::string contents = ToJsonl();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open " + path + " for writing");
+  }
+  const size_t written = std::fwrite(contents.data(), 1, contents.size(), f);
+  const int rc = std::fclose(f);
+  if (written != contents.size() || rc != 0) {
+    return Status::Internal("short write to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace soap::obs

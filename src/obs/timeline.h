@@ -1,0 +1,131 @@
+// Per-partition flight recorder: a bounded ring of periodic snapshots
+// (one per experiment interval by default) capturing for each partition
+// its load, node queue depth, placement counts (primaries/replicas) and
+// migration/replica flows, plus cluster-wide queue depth, windowed
+// lock-wait p99 and the distributed-transaction ratio. Exported as JSONL
+// for soap_report's sparkline timelines.
+//
+// Everything recorded is virtual-time or a counter, so the export is
+// byte-identical across thread counts. Cost discipline as in metrics.h:
+// the TM holds a raw `PartitionFlows*` (nullptr when off) and pays one
+// branch plus an integer add per routing flip.
+
+#ifndef SOAP_OBS_TIMELINE_H_
+#define SOAP_OBS_TIMELINE_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/status.h"
+#include "src/common/time.h"
+
+namespace soap::obs {
+
+/// Timeline schema version; bump when a tick's fields change incompatibly.
+inline constexpr int kTimelineSchemaVersion = 1;
+
+/// Cumulative per-partition placement-change counters, fed by the TM when
+/// it applies post-commit routing updates. The timeline snapshots deltas
+/// between ticks.
+struct PartitionFlows {
+  std::vector<uint64_t> migrations_in;
+  std::vector<uint64_t> migrations_out;
+  std::vector<uint64_t> replica_creates;
+  std::vector<uint64_t> replica_drops;
+
+  void Resize(uint32_t partitions) {
+    migrations_in.assign(partitions, 0);
+    migrations_out.assign(partitions, 0);
+    replica_creates.assign(partitions, 0);
+    replica_drops.assign(partitions, 0);
+  }
+
+  void OnMigration(uint32_t source, uint32_t target) {
+    if (source < migrations_out.size()) ++migrations_out[source];
+    if (target < migrations_in.size()) ++migrations_in[target];
+  }
+  void OnReplicaCreate(uint32_t target) {
+    if (target < replica_creates.size()) ++replica_creates[target];
+  }
+  void OnReplicaDrop(uint32_t at) {
+    if (at < replica_drops.size()) ++replica_drops[at];
+  }
+};
+
+/// One partition's row inside a tick. Flow fields are per-window deltas.
+struct TimelinePartitionRow {
+  uint32_t partition = 0;
+  /// Worker-busy fraction over the window (normal + repartition work).
+  double load = 0.0;
+  /// Jobs queued on the node at snapshot time (bulk + urgent).
+  uint64_t queued_jobs = 0;
+  uint64_t primaries = 0;
+  uint64_t replicas = 0;
+  uint64_t migrations_in = 0;
+  uint64_t migrations_out = 0;
+  uint64_t replica_creates = 0;
+  uint64_t replica_drops = 0;
+};
+
+/// One periodic snapshot.
+struct TimelineTick {
+  SimTime t_us = 0;
+  uint32_t interval = 0;
+  /// TM processing-queue depth at snapshot time.
+  uint64_t queue_depth = 0;
+  /// p99 lock wait over this window (ms); 0 when nothing waited.
+  double lock_wait_p99_ms = 0.0;
+  /// Distributed share of the window's committed normal transactions.
+  double distributed_ratio = 0.0;
+  std::vector<TimelinePartitionRow> partitions;
+};
+
+/// Approximates a windowed percentile from a cumulative histogram by
+/// diffing bucket counts against the previous observation.
+class HistogramWindow {
+ public:
+  /// Percentile of the samples recorded since the last call (ms; input
+  /// histogram in microseconds). Advances the window.
+  double WindowPercentileMs(const Histogram& cumulative, double p);
+
+ private:
+  std::vector<uint64_t> prev_buckets_;
+};
+
+/// Bounded ring of ticks; the newest max_ticks survive.
+class Timeline {
+ public:
+  struct Config {
+    size_t max_ticks = 8192;
+  };
+
+  Timeline() = default;
+  explicit Timeline(Config config) : config_(config) {}
+  Timeline(const Timeline&) = delete;
+  Timeline& operator=(const Timeline&) = delete;
+
+  void Record(TimelineTick tick);
+
+  const std::deque<TimelineTick>& ticks() const { return ticks_; }
+  size_t evicted() const { return evicted_; }
+  PartitionFlows* flows() { return &flows_; }
+  const PartitionFlows& flows() const { return flows_; }
+
+  /// JSONL: one {"v":1,"type":"tick",...} object per tick.
+  std::string ToJsonl() const;
+
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  Config config_;
+  std::deque<TimelineTick> ticks_;
+  size_t evicted_ = 0;
+  PartitionFlows flows_;
+};
+
+}  // namespace soap::obs
+
+#endif  // SOAP_OBS_TIMELINE_H_

@@ -24,6 +24,20 @@ const char* SpanKindName(SpanKind kind) {
   return "?";
 }
 
+const char* TxnKindName(TxnKind kind) {
+  switch (kind) {
+    case TxnKind::kClient:
+      return "client";
+    case TxnKind::kRepartition:
+      return "repartition";
+    case TxnKind::kReplicaApply:
+      return "replica-apply";
+    case TxnKind::kCarrier:
+      return "carrier";
+  }
+  return "?";
+}
+
 void TxnTracer::Begin(uint64_t txn_id, SpanKind kind, SimTime now) {
   open_.emplace(OpenKey(txn_id, kind), now);  // no overwrite: idempotent
 }
@@ -41,7 +55,8 @@ void TxnTracer::End(uint64_t txn_id, SpanKind kind, SimTime now) {
 }
 
 void TxnTracer::FinishTxn(uint64_t txn_id, SimTime submit_us, SimTime now,
-                          uint32_t coordinator, bool committed) {
+                          uint32_t coordinator, bool committed,
+                          TxnKind txn_kind) {
   for (int k = 0; k <= static_cast<int>(SpanKind::kCommit); ++k) {
     End(txn_id, static_cast<SpanKind>(k), now);
   }
@@ -52,6 +67,7 @@ void TxnTracer::FinishTxn(uint64_t txn_id, SimTime submit_us, SimTime now,
   span.end_us = now;
   span.node = coordinator;
   span.committed = committed;
+  span.txn_kind = txn_kind;
   Emit(span);
 }
 
@@ -114,7 +130,8 @@ std::string TxnTracer::ToChromeJson() const {
        << ",\"tid\":" << s.txn_id;
     if (s.kind == SpanKind::kTxn) {
       os << ",\"args\":{\"outcome\":\""
-         << (s.committed ? "committed" : "aborted") << "\"}";
+         << (s.committed ? "committed" : "aborted") << "\",\"kind\":\""
+         << TxnKindName(s.txn_kind) << "\"}";
     }
     os << "}";
   }

@@ -33,6 +33,18 @@ enum class SpanKind : uint8_t {
 
 const char* SpanKindName(SpanKind kind);
 
+/// What kind of transaction a kTxn span belongs to, so Chrome traces can
+/// filter workload transactions from the system's own repartition /
+/// replica-maintenance traffic.
+enum class TxnKind : uint8_t {
+  kClient = 0,        ///< normal workload transaction
+  kRepartition = 1,   ///< pure repartition transaction (migrations)
+  kReplicaApply = 2,  ///< pure repartition txn of only replica ops
+  kCarrier = 3,       ///< normal txn carrying piggybacked repartition ops
+};
+
+const char* TxnKindName(TxnKind kind);
+
 struct TraceSpan {
   uint64_t txn_id = 0;
   SpanKind kind = SpanKind::kTxn;
@@ -43,6 +55,9 @@ struct TraceSpan {
   uint32_t node = 0;
   /// Outcome flag for kTxn spans ("committed"/"aborted" argument).
   bool committed = false;
+  /// Transaction kind for kTxn spans (client/repartition/replica-apply/
+  /// carrier); kClient for phase spans.
+  TxnKind txn_kind = TxnKind::kClient;
 
   Duration duration() const { return end_us - start_us; }
 };
@@ -94,9 +109,11 @@ class TxnTracer {
   void End(uint64_t txn_id, SpanKind kind, SimTime now);
 
   /// Closes every phase the transaction still has open (abort paths) and
-  /// emits the enclosing kTxn span from `submit_us` to `now`.
+  /// emits the enclosing kTxn span from `submit_us` to `now`, tagged with
+  /// the transaction's kind.
   void FinishTxn(uint64_t txn_id, SimTime submit_us, SimTime now,
-                 uint32_t coordinator, bool committed);
+                 uint32_t coordinator, bool committed,
+                 TxnKind kind = TxnKind::kClient);
 
   const std::vector<TraceSpan>& spans() const { return spans_; }
   size_t dropped_spans() const { return dropped_; }

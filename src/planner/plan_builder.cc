@@ -4,10 +4,27 @@
 
 namespace soap::planner {
 
+namespace {
+
+const char* OpTypeName(repartition::RepartitionOpType type) {
+  switch (type) {
+    case repartition::RepartitionOpType::kObjectsMigration:
+      return "migrate";
+    case repartition::RepartitionOpType::kNewReplicaCreation:
+      return "replica_create";
+    case repartition::RepartitionOpType::kReplicaDeletion:
+      return "replica_delete";
+  }
+  return "?";
+}
+
+}  // namespace
+
 BuiltPlan PlanBuilder::Build(const Clustering& clustering,
                              const CoAccessGraph& graph,
                              const router::RoutingTable& routing,
-                             repartition::OpIdAllocator* ids) const {
+                             repartition::OpIdAllocator* ids,
+                             const PlanAuditContext* audit) const {
   struct Move {
     storage::TupleKey key = 0;
     uint32_t source = 0;
@@ -15,6 +32,33 @@ BuiltPlan PlanBuilder::Build(const Clustering& clustering,
     uint64_t heat = 0;
     repartition::RepartitionOpType type =
         repartition::RepartitionOpType::kObjectsMigration;
+  };
+  obs::AuditLog* audit_log =
+      audit != nullptr && audit->log != nullptr ? audit->log : nullptr;
+  // One `plan_op` record per decision point; cost inputs come straight
+  // from the structures the decision itself read. Pull shares are zero
+  // for branches that never computed them.
+  auto audit_op = [&](storage::TupleKey key,
+                      repartition::RepartitionOpType type, bool accept,
+                      const char* reason, uint32_t source, uint32_t target,
+                      uint64_t heat, uint64_t pull_target,
+                      uint64_t pull_total, size_t copies) {
+    if (audit_log == nullptr) return;
+    obs::AuditRecord rec(audit_log, "plan_op", audit->t_us);
+    rec.U64("cycle", audit->cycle)
+        .U64("key", key)
+        .Str("op", OpTypeName(type))
+        .Str("decision", accept ? "accept" : "reject")
+        .Str("reason", reason)
+        .U64("source", source)
+        .U64("target", target)
+        .U64("heat", heat)
+        .U64("reads", graph.VertexReads(key))
+        .U64("writes", graph.VertexWrites(key))
+        .U64("copies", copies);
+    if (pull_total > 0) {
+      rec.U64("pull_target", pull_target).U64("pull_total", pull_total);
+    }
   };
   auto read_heavy = [this, &graph](storage::TupleKey key) {
     const uint64_t reads = graph.VertexReads(key);
@@ -87,9 +131,20 @@ BuiltPlan PlanBuilder::Build(const Clustering& clustering,
     if (!cur.ok()) continue;
     const uint32_t want = clustering.partition_of[i];
     const uint64_t heat = graph.VertexWeight(key);
-    if (heat < config_.min_vertex_weight) continue;
+    constexpr auto kMigration = repartition::RepartitionOpType::kObjectsMigration;
+    if (heat < config_.min_vertex_weight) {
+      if (*cur != want) {
+        audit_op(key, kMigration, false, "below_min_heat", *cur, want, heat,
+                 0, 0, 1);
+      }
+      continue;
+    }
     if (!config_.replicate_read_heavy) {
-      if (*cur != want) moves.push_back({key, *cur, want, heat});
+      if (*cur != want) {
+        audit_op(key, kMigration, true, "migrate_to_cluster", *cur, want,
+                 heat, 0, 0, 1);
+        moves.push_back({key, *cur, want, heat});
+      }
       continue;
     }
     Result<router::Placement> placement = routing.GetPlacement(key);
@@ -107,9 +162,25 @@ BuiltPlan PlanBuilder::Build(const Clustering& clustering,
       // from an earlier generation already satisfies the clustering
       // (re-emitting would churn).
       if (!placement->HasReplicaOn(want)) {
+        audit_op(key, kMigration, true,
+                 mass.total > 0 ? "migrate_to_majority" : "migrate_to_cluster",
+                 *cur, want, heat, mass.On(want), mass.total,
+                 placement->copy_count());
         moves.push_back({key, *cur, want, heat});
+      } else {
+        audit_op(key, kMigration, false, "replica_already_on_target", *cur,
+                 want, heat, mass.On(want), mass.total,
+                 placement->copy_count());
       }
       continue;
+    }
+    if (*cur != want) {
+      // cur_still_reads: the clustering wanted the primary elsewhere, but
+      // the current partition keeps a split-threshold share of the pull —
+      // keep the primary and cover the remote readers with copies below.
+      audit_op(key, kMigration, false, "primary_retained_split_readers",
+               *cur, want, heat, mass.On(*cur), mass.total,
+               placement->copy_count());
     }
     // The primary stays put (it either sits with the majority already, or
     // its own partition still reads the key meaningfully). Cover every
@@ -119,12 +190,24 @@ BuiltPlan PlanBuilder::Build(const Clustering& clustering,
     if (!can_copy) continue;
     uint32_t budget = config_.max_copies - placement->copy_count();
     for (const auto& [p, pull] : mass.Sorted()) {
-      if (budget == 0) break;
+      // Audit-only tail: once the budget is gone no move can be emitted,
+      // but qualifying partitions still get a reject record so explain
+      // output shows what the copy budget cut.
+      if (budget == 0 && audit_log == nullptr) break;
       if (p == *cur || placement->HasReplicaOn(p)) continue;
       if (static_cast<double>(pull) <=
           config_.replica_split_threshold * static_cast<double>(mass.total)) {
         break;  // sorted: nothing below qualifies either
       }
+      constexpr auto kCreate =
+          repartition::RepartitionOpType::kNewReplicaCreation;
+      if (budget == 0) {
+        audit_op(key, kCreate, false, "copy_budget_exhausted", *cur, p, heat,
+                 pull, mass.total, placement->copy_count());
+        continue;
+      }
+      audit_op(key, kCreate, true, "replica_split_reader", *cur, p, heat,
+               pull, mass.total, placement->copy_count());
       moves.push_back({key, *cur, p, heat,
                        repartition::RepartitionOpType::kNewReplicaCreation});
       --budget;
@@ -140,14 +223,23 @@ BuiltPlan PlanBuilder::Build(const Clustering& clustering,
           heat >= config_.min_vertex_weight && read_heavy(key);
       const PullMass mass = keep_any ? deployed_pull_mass(key) : PullMass{};
       for (router::PartitionId rep : placement->replicas) {
+        constexpr auto kDelete =
+            repartition::RepartitionOpType::kReplicaDeletion;
         // Hysteresis: a copy survives while its partition keeps at least
         // half the create threshold's share of the key's pull.
         if (keep_any && mass.total > 0 &&
             static_cast<double>(mass.On(rep)) >=
                 0.5 * config_.replica_split_threshold *
                     static_cast<double>(mass.total)) {
+          audit_op(key, kDelete, false, "kept_by_hysteresis", rep,
+                   placement->primary, heat, mass.On(rep), mass.total,
+                   placement->copy_count());
           continue;
         }
+        audit_op(key, kDelete, true,
+                 keep_any ? "drop_below_share" : "drop_cold_or_write_heavy",
+                 rep, placement->primary, heat, mass.On(rep), mass.total,
+                 placement->copy_count());
         moves.push_back({key, rep, placement->primary, heat,
                          repartition::RepartitionOpType::kReplicaDeletion});
       }
@@ -169,6 +261,11 @@ BuiltPlan PlanBuilder::Build(const Clustering& clustering,
                        if (x.heat != y.heat) return x.heat > y.heat;
                        return x.key < y.key;
                      });
+    for (size_t i = config_.max_ops; i < moves.size(); ++i) {
+      const Move& m = moves[i];
+      audit_op(m.key, m.type, false, "dropped_by_cap", m.source, m.target,
+               m.heat, 0, 0, 0);
+    }
     moves.resize(config_.max_ops);
     // Emission order stays key-sorted regardless of the heat cut.
     std::stable_sort(moves.begin(), moves.end(),

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "src/obs/audit_log.h"
 #include "src/planner/co_access_graph.h"
 #include "src/planner/graph_partitioner.h"
 #include "src/repartition/cost_model.h"
@@ -18,6 +19,17 @@
 #include "src/workload/template_catalog.h"
 
 namespace soap::planner {
+
+/// Optional decision-audit sink for one Build() call. When `log` is set,
+/// every candidate the builder considers — accepted or rejected — becomes
+/// one `plan_op` audit record carrying the cost-model inputs that decided
+/// it (heat, window reads/writes, pull shares, copy count) and the reason
+/// string. The records join the planner's `replan` record via `cycle`.
+struct PlanAuditContext {
+  obs::AuditLog* log = nullptr;
+  uint64_t cycle = 0;
+  SimTime t_us = 0;
+};
 
 struct PlanBuilderConfig {
   /// Cap on migration ops per generation (0 = unlimited); when over, the
@@ -71,7 +83,8 @@ class PlanBuilder {
 
   BuiltPlan Build(const Clustering& clustering, const CoAccessGraph& graph,
                   const router::RoutingTable& routing,
-                  repartition::OpIdAllocator* ids) const;
+                  repartition::OpIdAllocator* ids,
+                  const PlanAuditContext* audit = nullptr) const;
 
  private:
   const workload::TemplateCatalog* catalog_;

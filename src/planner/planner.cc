@@ -1,5 +1,9 @@
 #include "src/planner/planner.h"
 
+#include <chrono>
+
+#include "src/sim/simulator.h"
+
 namespace soap::planner {
 
 Planner::Planner(const workload::TemplateCatalog* catalog,
@@ -35,15 +39,62 @@ void Planner::OnIntervalTick(uint32_t interval) {
 }
 
 void Planner::TryReplan() {
+  const uint64_t cycle = ++stats_.replan_cycles;
+  if (m_replans_total_ != nullptr) m_replans_total_->Increment();
+  const SimTime now = sim_ != nullptr ? sim_->Now() : 0;
+  // One `replan` record per cycle, whatever the outcome; plan_op records
+  // emitted by Build() join it via `cycle`. Emitted *after* the plan_op
+  // records so the outcome (which depends on the repartitioner's verdict)
+  // is known — readers sort by cycle, not record order.
+  auto audit_replan = [&](const char* outcome, uint64_t plan,
+                          const Clustering* clustering,
+                          const BuiltPlan* built) {
+    if (audit_ == nullptr) return;
+    obs::AuditRecord rec(audit_, "replan", now);
+    rec.U64("cycle", cycle).Str("outcome", outcome).U64("plan", plan);
+    rec.U64("graph_vertices", graph_.vertex_count())
+        .U64("graph_edges", graph_.edge_count())
+        .U64("txns_observed", stats_.txns_observed);
+    if (clustering != nullptr) {
+      rec.U64("cut_weight", clustering->cut_weight)
+          .U64("internal_weight", clustering->internal_weight)
+          .U64("moved", clustering->moved);
+    }
+    if (built != nullptr) {
+      uint64_t creates = 0;
+      uint64_t drops = 0;
+      for (const repartition::RepartitionOp& op : built->plan.ops) {
+        if (op.type == repartition::RepartitionOpType::kNewReplicaCreation) {
+          ++creates;
+        } else if (op.type ==
+                   repartition::RepartitionOpType::kReplicaDeletion) {
+          ++drops;
+        }
+      }
+      rec.U64("ops", built->plan.size())
+          .U64("replica_creates", creates)
+          .U64("replica_drops", drops)
+          .U64("dropped_by_cap", built->dropped)
+          .I64("deploy_cost_us", built->deploy_cost);
+    }
+  };
   // A still-deploying generation must finish first: op ids in flight keep
   // their registry entries until AllDone, and FinishRound() refuses to
   // retire an unfinished round.
   if (repartitioner_->active()) {
     if (!repartitioner_->FinishRound()) {
       ++stats_.replans_skipped_active;
+      audit_replan("skipped_active", 0, nullptr, nullptr);
       return;
     }
   }
+  // Wall-clock plan-construction latency (graph partitioning + plan
+  // build). Wall time is inherently nondeterministic, so it only ever
+  // feeds the metrics histogram — never the audit log, which must stay
+  // byte-identical across thread counts and machines.
+  const auto wall_start = m_plan_build_seconds_ != nullptr
+                              ? std::chrono::steady_clock::now()
+                              : std::chrono::steady_clock::time_point{};
   const Clustering clustering = partitioner_.Partition(
       graph_, *routing_, catalog_->num_partitions());
   stats_.last_cut_weight = clustering.cut_weight;
@@ -52,11 +103,20 @@ void Planner::TryReplan() {
   stats_.last_graph_edges = graph_.edge_count();
   stats_.last_moved = clustering.moved;
 
-  const BuiltPlan built = builder_.Build(clustering, graph_, *routing_,
-                                         &repartitioner_->op_ids());
+  const PlanAuditContext audit_ctx{audit_, cycle, now};
+  const BuiltPlan built =
+      builder_.Build(clustering, graph_, *routing_, &repartitioner_->op_ids(),
+                     audit_ != nullptr ? &audit_ctx : nullptr);
+  if (m_plan_build_seconds_ != nullptr) {
+    const auto wall_us = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - wall_start);
+    m_plan_build_seconds_->RecordMicros(
+        static_cast<uint64_t>(wall_us.count()));
+  }
   stats_.ops_dropped_by_cap += built.dropped;
   if (built.plan.size() < config_.min_plan_ops) {
     ++stats_.replans_skipped_small;
+    audit_replan("skipped_small", 0, &clustering, &built);
     return;
   }
   if (repartitioner_->StartRepartitioningWithPlan(built.plan)) {
@@ -69,6 +129,10 @@ void Planner::TryReplan() {
         ++stats_.replica_drops_emitted;
       }
     }
+    audit_replan("emitted", repartitioner_->rounds_started(), &clustering,
+                 &built);
+  } else {
+    audit_replan("rejected_by_repartitioner", 0, &clustering, &built);
   }
 }
 
@@ -79,6 +143,8 @@ void Planner::BindMetrics(obs::MetricsRegistry* registry) {
     m_cut_weight_ = nullptr;
     m_plans_emitted_ = nullptr;
     m_ops_emitted_ = nullptr;
+    m_replans_total_ = nullptr;
+    m_plan_build_seconds_ = nullptr;
     return;
   }
   m_graph_vertices_ = registry->GetGauge("soap_planner_graph_vertices");
@@ -86,6 +152,14 @@ void Planner::BindMetrics(obs::MetricsRegistry* registry) {
   m_cut_weight_ = registry->GetGauge("soap_planner_cut_weight");
   m_plans_emitted_ = registry->GetGauge("soap_planner_plans_emitted");
   m_ops_emitted_ = registry->GetGauge("soap_planner_ops_emitted");
+  m_replans_total_ = registry->GetCounter("soap_planner_replans_total");
+  m_plan_build_seconds_ =
+      registry->GetHistogram("soap_planner_plan_build_seconds");
+}
+
+void Planner::BindAudit(obs::AuditLog* audit, const sim::Simulator* sim) {
+  audit_ = audit;
+  sim_ = sim;
 }
 
 }  // namespace soap::planner

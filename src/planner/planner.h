@@ -14,11 +14,16 @@
 #include <cstdint>
 
 #include "src/core/repartitioner.h"
+#include "src/obs/audit_log.h"
 #include "src/obs/metrics.h"
 #include "src/planner/co_access_graph.h"
 #include "src/planner/graph_partitioner.h"
 #include "src/planner/plan_builder.h"
 #include "src/workload/template_catalog.h"
+
+namespace soap::sim {
+class Simulator;
+}  // namespace soap::sim
 
 namespace soap::planner {
 
@@ -59,6 +64,9 @@ struct PlannerStats {
   uint64_t last_graph_vertices = 0;
   uint64_t last_graph_edges = 0;
   uint64_t last_moved = 0;
+  /// Replan cycles attempted (every TryReplan entry, skipped or not);
+  /// doubles as the audit `cycle` id joining replan and plan_op records.
+  uint64_t replan_cycles = 0;
 };
 
 class Planner {
@@ -79,8 +87,15 @@ class Planner {
   const CoAccessGraph& graph() const { return graph_; }
   const PlannerConfig& config() const { return config_; }
 
-  /// Publishes soap_planner_* gauges; nullptr detaches.
+  /// Publishes soap_planner_* gauges, the soap_planner_replans_total
+  /// counter and the soap_planner_plan_build_seconds wall-clock
+  /// histogram; nullptr detaches.
   void BindMetrics(obs::MetricsRegistry* registry);
+
+  /// Attaches the decision audit log; `sim` supplies the virtual
+  /// timestamps stamped on replan / plan_op records (the planner has no
+  /// clock of its own). nullptr detaches.
+  void BindAudit(obs::AuditLog* audit, const sim::Simulator* sim);
 
  private:
   void TryReplan();
@@ -99,6 +114,10 @@ class Planner {
   obs::Gauge* m_cut_weight_ = nullptr;
   obs::Gauge* m_plans_emitted_ = nullptr;
   obs::Gauge* m_ops_emitted_ = nullptr;
+  obs::Counter* m_replans_total_ = nullptr;
+  obs::LatencyHistogram* m_plan_build_seconds_ = nullptr;
+  obs::AuditLog* audit_ = nullptr;
+  const sim::Simulator* sim_ = nullptr;
 };
 
 }  // namespace soap::planner

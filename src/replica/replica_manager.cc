@@ -68,6 +68,12 @@ void ReplicaManager::PromoteAwayFrom(uint32_t node) {
     }
   }
   if (promoted > 0) ++stats_.failovers;
+  if (audit_ != nullptr) {
+    obs::AuditRecord rec(audit_, "promotion",
+                         cluster_->simulator()->Now());
+    rec.U64("node", node).U64("promoted", promoted).U64(
+        "failovers", stats_.failovers);
+  }
 }
 
 void ReplicaManager::OnNodeRestart(uint32_t node) {
@@ -85,6 +91,8 @@ void ReplicaManager::OnNodeRestart(uint32_t node) {
 }
 
 void ReplicaManager::ApplyCatchup(uint32_t node) {
+  const uint64_t refreshed_before = stats_.catchup_refreshed;
+  const uint64_t dropped_before = stats_.catchup_dropped;
   router::RoutingTable& routing = cluster_->routing_table();
   storage::StorageEngine& store = cluster_->storage(node);
   std::vector<storage::TupleKey> keys;
@@ -108,6 +116,12 @@ void ReplicaManager::ApplyCatchup(uint32_t node) {
     if (store.ApplyUpdate(0, key, fresh->content).ok()) {
       ++stats_.catchup_refreshed;
     }
+  }
+  if (audit_ != nullptr) {
+    obs::AuditRecord rec(audit_, "catchup", cluster_->simulator()->Now());
+    rec.U64("node", node)
+        .U64("refreshed", stats_.catchup_refreshed - refreshed_before)
+        .U64("dropped", stats_.catchup_dropped - dropped_before);
   }
 }
 

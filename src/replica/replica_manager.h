@@ -29,6 +29,7 @@
 
 #include "src/cluster/cluster.h"
 #include "src/common/time.h"
+#include "src/obs/audit_log.h"
 #include "src/obs/metrics.h"
 
 namespace soap::replica {
@@ -74,6 +75,10 @@ class ReplicaManager {
   /// boundaries). No-op when metrics are unbound.
   void PublishGauges();
 
+  /// Attaches the decision audit log: promotion sweeps and catch-up
+  /// sweeps get one record each. nullptr detaches.
+  void set_audit(obs::AuditLog* audit) { audit_ = audit; }
+
  private:
   void PromoteAwayFrom(uint32_t node);
   void ApplyCatchup(uint32_t node);
@@ -84,6 +89,7 @@ class ReplicaManager {
   obs::Counter* m_promotions_ = nullptr;
   obs::Gauge* m_replica_count_ = nullptr;
   obs::Gauge* m_replicated_keys_ = nullptr;
+  obs::AuditLog* audit_ = nullptr;
 };
 
 }  // namespace soap::replica

@@ -11,13 +11,18 @@ Result<PartitionId> QueryRouter::RouteRead(storage::TupleKey key) {
   ++routed_queries_;
   ++reads_routed_;
   if (policy_ == ReplicaPolicy::kPrimaryOnly) {
+    if (m_reads_primary_ != nullptr) m_reads_primary_->Increment();
     return table_->GetPrimary(key);
   }
   SOAP_ASSIGN_OR_RETURN(Placement placement, table_->GetPlacement(key));
   const size_t copies = placement.copy_count();
   const size_t pick = round_robin_++ % copies;
-  if (pick == 0) return placement.primary;
+  if (pick == 0) {
+    if (m_reads_primary_ != nullptr) m_reads_primary_->Increment();
+    return placement.primary;
+  }
   ++replica_reads_;
+  if (m_reads_replica_ != nullptr) m_reads_replica_->Increment();
   return placement.replicas[pick - 1];
 }
 
@@ -59,8 +64,27 @@ Result<PartitionId> QueryRouter::RouteReadNear(storage::TupleKey key,
   ++routed_queries_;
   ++reads_routed_;
   SOAP_ASSIGN_OR_RETURN(auto picked, PickWithPrimary(key, preferred));
-  if (picked.first != picked.second) ++replica_reads_;
+  if (picked.first != picked.second) {
+    ++replica_reads_;
+    if (m_reads_replica_ != nullptr) m_reads_replica_->Increment();
+  } else if (m_reads_primary_ != nullptr) {
+    m_reads_primary_->Increment();
+  }
   return picked.first;
+}
+
+void QueryRouter::BindMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    m_reads_primary_ = nullptr;
+    m_reads_replica_ = nullptr;
+    return;
+  }
+  m_reads_primary_ = registry->GetCounter(
+      "soap_replica_read_routed_total",
+      obs::MetricsRegistry::Label("target", "primary"));
+  m_reads_replica_ = registry->GetCounter(
+      "soap_replica_read_routed_total",
+      obs::MetricsRegistry::Label("target", "replica"));
 }
 
 Result<PartitionId> QueryRouter::RouteWrite(storage::TupleKey key) {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/common/result.h"
+#include "src/obs/metrics.h"
 #include "src/router/query_parser.h"
 #include "src/router/routing_table.h"
 #include "src/txn/transaction.h"
@@ -85,6 +86,10 @@ class QueryRouter {
   /// numerator. Zero whenever no key has replicas.
   uint64_t replica_reads() const { return replica_reads_; }
 
+  /// Publishes soap_replica_read_routed_total{target="primary"|"replica"}
+  /// counters; nullptr detaches.
+  void BindMetrics(obs::MetricsRegistry* registry);
+
  private:
   /// Returns {chosen partition, current primary} for a read of `key`.
   Result<std::pair<PartitionId, PartitionId>> PickWithPrimary(
@@ -97,6 +102,9 @@ class QueryRouter {
   uint64_t round_robin_ = 0;
   uint64_t reads_routed_ = 0;
   uint64_t replica_reads_ = 0;
+  // Observability hooks; nullptr when disabled.
+  obs::Counter* m_reads_primary_ = nullptr;
+  obs::Counter* m_reads_replica_ = nullptr;
 };
 
 }  // namespace soap::router

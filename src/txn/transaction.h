@@ -81,6 +81,29 @@ enum class AbortReason : uint8_t {
   kShutdown,      // still queued when the experiment drained its queue
 };
 
+/// Stable reason strings for reports and the audit log.
+inline const char* AbortReasonName(AbortReason reason) {
+  switch (reason) {
+    case AbortReason::kNone:
+      return "none";
+    case AbortReason::kDeadlock:
+      return "deadlock";
+    case AbortReason::kLockTimeout:
+      return "lock_timeout";
+    case AbortReason::kQueueTimeout:
+      return "queue_timeout";
+    case AbortReason::kVoteAbort:
+      return "vote_abort";
+    case AbortReason::kInjected:
+      return "injected";
+    case AbortReason::kNodeCrash:
+      return "node_crash";
+    case AbortReason::kShutdown:
+      return "shutdown";
+  }
+  return "?";
+}
+
 /// A transaction as seen by the scheduler and execution engine.
 struct Transaction {
   TxnId id = 0;

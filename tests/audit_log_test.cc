@@ -1,0 +1,102 @@
+#include "src/obs/audit_log.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/common/json.h"
+
+namespace soap::obs {
+namespace {
+
+TEST(AuditRecordTest, BuildsOneSchemaVersionedLine) {
+  AuditLog log;
+  {
+    AuditRecord rec(&log, "replan", 1'500'000);
+    rec.U64("cycle", 3)
+        .Str("outcome", "emitted")
+        .I64("delta", -7)
+        .Dbl("ratio", 0.25)
+        .Bool("ok", true)
+        .Raw("ops", "[1,2]");
+  }
+  ASSERT_EQ(log.size(), 1u);
+  const std::string& line = log.lines().front();
+  Result<json::Value> parsed = json::Parse(line);
+  ASSERT_TRUE(parsed.ok()) << line;
+  EXPECT_EQ(parsed->GetUint64("v"), kAuditSchemaVersion);
+  EXPECT_EQ(parsed->GetUint64("t_us"), 1'500'000u);
+  EXPECT_EQ(parsed->GetString("type"), "replan");
+  EXPECT_EQ(parsed->GetUint64("cycle"), 3u);
+  EXPECT_EQ(parsed->GetString("outcome"), "emitted");
+  EXPECT_EQ(parsed->Find("delta")->AsInt64(), -7);
+  EXPECT_DOUBLE_EQ(parsed->GetDouble("ratio"), 0.25);
+  EXPECT_TRUE(parsed->Find("ok")->AsBool());
+  EXPECT_EQ(parsed->Find("ops")->AsArray().size(), 2u);
+  // Schema fields come first, in fixed order, so streams diff cleanly.
+  EXPECT_EQ(line.rfind("{\"v\":1,\"t_us\":1500000,\"type\":\"replan\"", 0),
+            0u)
+      << line;
+}
+
+TEST(AuditRecordTest, StringValuesAreEscaped) {
+  AuditLog log;
+  { AuditRecord(&log, "abort", 0).Str("reason", "a\"b\\c\nd"); }
+  Result<json::Value> parsed = json::Parse(log.lines().front());
+  ASSERT_TRUE(parsed.ok()) << log.lines().front();
+  EXPECT_EQ(parsed->GetString("reason"), "a\"b\\c\nd");
+}
+
+TEST(AuditRecordTest, NullLogIsSafeAndFree) {
+  // The disabled path: producers always construct the record builder, a
+  // nullptr sink must make every call a no-op.
+  AuditRecord rec(nullptr, "replan", 1);
+  rec.U64("cycle", 1).Str("outcome", "emitted").Dbl("x", 0.5);
+}
+
+TEST(AuditLogTest, DropsBeyondMaxRecords) {
+  AuditLog::Config config;
+  config.max_records = 3;
+  AuditLog log(config);
+  for (int i = 0; i < 5; ++i) {
+    AuditRecord(&log, "replan", i).U64("cycle", static_cast<uint64_t>(i));
+  }
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.dropped(), 2u);
+  // Flight recorder keeps the head (the decisions worth explaining).
+  Result<json::Value> first = json::Parse(log.lines().front());
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->GetUint64("cycle"), 0u);
+}
+
+TEST(AuditLogTest, JsonlRoundTripsThroughParser) {
+  AuditLog log;
+  AuditRecord(&log, "run_meta", 0).U64("seed", 42).Str("strategy", "Hybrid");
+  AuditRecord(&log, "replan", 20'000'000)
+      .U64("cycle", 1)
+      .Str("outcome", "skipped_small");
+  const std::string jsonl = log.ToJsonl();
+  Result<std::vector<json::Value>> parsed = json::ParseLines(jsonl);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0].GetString("type"), "run_meta");
+  EXPECT_EQ((*parsed)[1].GetString("type"), "replan");
+}
+
+TEST(AuditLogTest, WriteFileMatchesToJsonl) {
+  AuditLog log;
+  AuditRecord(&log, "run_meta", 0).U64("seed", 1);
+  const std::string path = ::testing::TempDir() + "audit_log_test.jsonl";
+  ASSERT_TRUE(log.WriteFile(path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  std::remove(path.c_str());
+  EXPECT_EQ(contents.str(), log.ToJsonl());
+}
+
+}  // namespace
+}  // namespace soap::obs

@@ -122,6 +122,43 @@ TEST(MetricsRegistryTest, PrometheusBucketsAreCumulative) {
   EXPECT_NE(text.find("} 2\n"), std::string::npos);
 }
 
+TEST(MetricsRegistryTest, LabelValuesAreEscapedForExposition) {
+  // Regression: label values containing quotes, backslashes or newlines
+  // must not corrupt the Prometheus text format.
+  EXPECT_EQ(MetricsRegistry::EscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(MetricsRegistry::EscapeLabelValue("a\"b"), "a\\\"b");
+  EXPECT_EQ(MetricsRegistry::EscapeLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(MetricsRegistry::EscapeLabelValue("a\nb"), "a\\nb");
+  EXPECT_EQ(MetricsRegistry::Label("target", "pri\"mary"),
+            "target=\"pri\\\"mary\"");
+
+  MetricsRegistry registry;
+  registry
+      .GetCounter("soap_evil_total",
+                  MetricsRegistry::Label("path", "C:\\x\n\"quoted\""))
+      ->Increment();
+  // Hand-built (historically unescaped) labels are sanitised at export.
+  registry
+      .GetCounter("soap_legacy_total", "node=\"a\nb\"")
+      ->Increment();
+  const std::string text = registry.ToPrometheusText();
+  EXPECT_NE(
+      text.find(
+          "soap_evil_total{path=\"C:\\\\x\\n\\\"quoted\\\"\"} 1\n"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(text.find("soap_legacy_total{node=\"a\\nb\"} 1\n"),
+            std::string::npos)
+      << text;
+  // No raw newline may survive inside any exposition line's label set.
+  for (size_t at = text.find('{'); at != std::string::npos;
+       at = text.find('{', at + 1)) {
+    const size_t close = text.find('}', at);
+    ASSERT_NE(close, std::string::npos);
+    EXPECT_EQ(text.substr(at, close - at).find('\n'), std::string::npos);
+  }
+}
+
 TEST(MetricsRegistryTest, JsonLineShapeAndContent) {
   MetricsRegistry registry;
   registry.GetCounter("soap_c_total")->Increment(2);

@@ -1,0 +1,126 @@
+// Observability cost/determinism contract: collecting the audit log and
+// the timeline must not change the simulation (same events, same
+// commits as the golden counts), and the exported JSONL must be
+// byte-identical at any worker thread count.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/engine/experiment.h"
+#include "src/engine/parallel_runner.h"
+#include "src/obs/audit_log.h"
+#include "src/obs/timeline.h"
+
+namespace soap::engine {
+namespace {
+
+// Same pinned config as parallel_runner_test's golden-count test.
+ExperimentConfig PinnedConfig(uint64_t seed) {
+  ExperimentConfig config;
+  config.workload = workload::WorkloadSpec::Zipf(1.0);
+  config.workload.num_templates = 200;
+  config.workload.num_keys = 5'000;
+  config.utilization = workload::kHighLoadUtilization;
+  config.strategy = SchedulingStrategy::kHybrid;
+  config.warmup_intervals = 2;
+  config.measured_intervals = 6;
+  config.seed = seed;
+  return config;
+}
+
+// A decision-rich variant: planner + replicas, so the audit log contains
+// replan/plan_op/deploy records and the timeline sees placement flows.
+ExperimentConfig ObservedConfig(uint64_t seed) {
+  ExperimentConfig config = PinnedConfig(seed);
+  config.planner.enabled = true;
+  config.replicas.enabled = true;
+  config.obs.collect_audit = true;
+  config.obs.collect_timeline = true;
+  return config;
+}
+
+TEST(ObsDeterminismTest, CollectionDoesNotPerturbTheGoldenRun) {
+  // The golden counts from parallel_runner_test, reproduced with every
+  // observability collector attached: audit, timeline (which implies
+  // metrics) and tracing. Observability reads the simulation; it must
+  // never steer it.
+  ExperimentConfig config = PinnedConfig(42);
+  config.obs.collect_audit = true;
+  config.obs.collect_timeline = true;
+  config.obs.collect_metrics = true;
+  ExperimentResult r = Experiment(config).Run();
+  EXPECT_EQ(r.events_executed, 602852u);
+  EXPECT_EQ(r.end_time, 160'000'000);
+  EXPECT_EQ(r.counters.committed_normal, 64'910u);
+  ASSERT_NE(r.audit_log, nullptr);
+  EXPECT_GT(r.audit_log->size(), 0u);
+  ASSERT_NE(r.timeline, nullptr);
+  EXPECT_EQ(r.timeline->ticks().size(), 8u);  // one per interval
+}
+
+TEST(ObsDeterminismTest, ExportsAreByteIdenticalAcrossThreadCounts) {
+  // Three observed cells fanned over 1, 2 and 8 workers: the audit and
+  // timeline JSONL must match the serial reference byte for byte (no
+  // wall-clock values, no scheduling artifacts).
+  auto cells = [] {
+    std::vector<ExperimentCell> out;
+    for (uint64_t seed : {42u, 43u, 44u}) {
+      out.push_back(ExperimentCell{ObservedConfig(seed)});
+    }
+    return out;
+  };
+
+  std::vector<std::string> reference_audit;
+  std::vector<std::string> reference_timeline;
+  for (ExperimentCell& cell : cells()) {
+    ExperimentResult r = Experiment(std::move(cell.config)).Run();
+    ASSERT_NE(r.audit_log, nullptr);
+    ASSERT_NE(r.timeline, nullptr);
+    EXPECT_GT(r.audit_log->size(), 0u);
+    reference_audit.push_back(r.audit_log->ToJsonl());
+    reference_timeline.push_back(r.timeline->ToJsonl());
+  }
+
+  for (unsigned threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    std::vector<CellOutcome> outcomes =
+        ParallelRunner(threads).Run(cells());
+    ASSERT_EQ(outcomes.size(), reference_audit.size());
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+      SCOPED_TRACE("cell=" + std::to_string(i));
+      const ExperimentResult& r = outcomes[i].result;
+      ASSERT_NE(r.audit_log, nullptr);
+      ASSERT_NE(r.timeline, nullptr);
+      EXPECT_EQ(r.audit_log->ToJsonl(), reference_audit[i]);
+      EXPECT_EQ(r.timeline->ToJsonl(), reference_timeline[i]);
+    }
+  }
+}
+
+TEST(ObsDeterminismTest, AuditOnAndOffEmitIdenticalPlans) {
+  // The plan builder logs every candidate when auditing; the emitted
+  // moves (and therefore the whole simulation) must match the unaudited
+  // run exactly.
+  ExperimentConfig off = PinnedConfig(42);
+  off.planner.enabled = true;
+  off.replicas.enabled = true;
+  ExperimentConfig on = off;
+  on.obs.collect_audit = true;
+
+  ExperimentResult r_off = Experiment(off).Run();
+  ExperimentResult r_on = Experiment(on).Run();
+  EXPECT_EQ(r_off.events_executed, r_on.events_executed);
+  EXPECT_EQ(r_off.end_time, r_on.end_time);
+  EXPECT_EQ(r_off.counters.committed_normal,
+            r_on.counters.committed_normal);
+  EXPECT_EQ(r_off.plan_ops_total, r_on.plan_ops_total);
+  EXPECT_EQ(r_off.plan_generations, r_on.plan_generations);
+  EXPECT_EQ(r_off.throughput.values(), r_on.throughput.values());
+  EXPECT_EQ(r_off.latency_ms.values(), r_on.latency_ms.values());
+  EXPECT_EQ(r_on.audit_log->dropped(), 0u);
+}
+
+}  // namespace
+}  // namespace soap::engine

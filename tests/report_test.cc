@@ -1,0 +1,149 @@
+#include "src/obs/report.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/common/json.h"
+
+// Golden inputs: a checked-in mini run (tests/data/mini.*.jsonl) written
+// by hand to cover every audit record type, including the
+// dropped_by_cap-overrides-accept case the explain logic must get right.
+#ifndef SOAP_TEST_DATA_DIR
+#define SOAP_TEST_DATA_DIR "tests/data"
+#endif
+
+namespace soap::obs::report {
+namespace {
+
+std::vector<json::Value> LoadMini(const char* file) {
+  Result<std::vector<json::Value>> loaded =
+      LoadJsonlFile(std::string(SOAP_TEST_DATA_DIR) + "/" + file);
+  EXPECT_TRUE(loaded.ok()) << loaded.status().ToString();
+  return loaded.ok() ? std::move(loaded).value()
+                     : std::vector<json::Value>{};
+}
+
+TEST(ReportValidateTest, MiniRunPassesBothValidators) {
+  const std::vector<json::Value> audit = LoadMini("mini.audit.jsonl");
+  const std::vector<json::Value> timeline = LoadMini("mini.timeline.jsonl");
+  ASSERT_FALSE(audit.empty());
+  ASSERT_FALSE(timeline.empty());
+  EXPECT_TRUE(ValidateAudit(audit).ok()) << ValidateAudit(audit).ToString();
+  EXPECT_TRUE(ValidateTimeline(timeline).ok())
+      << ValidateTimeline(timeline).ToString();
+}
+
+TEST(ReportValidateTest, RejectsBadStreams) {
+  // Wrong schema version.
+  std::vector<json::Value> records;
+  records.push_back(
+      *json::Parse(R"({"v":9,"t_us":0,"type":"run_meta","seed":1,)"
+                   R"("strategy":"x","nodes":1,"keys":1})"));
+  EXPECT_FALSE(ValidateAudit(records).ok());
+
+  // Unknown record type.
+  records.clear();
+  records.push_back(*json::Parse(
+      R"({"v":1,"t_us":0,"type":"mystery"})"));
+  EXPECT_FALSE(ValidateAudit(records).ok());
+
+  // Missing required field (replan without plan).
+  records = LoadMini("mini.audit.jsonl");
+  records.push_back(
+      *json::Parse(R"({"v":1,"t_us":999999999,"type":"replan","cycle":9,)"
+                   R"("outcome":"emitted"})"));
+  EXPECT_FALSE(ValidateAudit(records).ok());
+
+  // Virtual time going backwards.
+  records = LoadMini("mini.audit.jsonl");
+  records.push_back(
+      *json::Parse(R"({"v":1,"t_us":1,"type":"promotion","node":0,)"
+                   R"("promoted":0,"failovers":0})"));
+  EXPECT_FALSE(ValidateAudit(records).ok());
+
+  EXPECT_FALSE(ValidateAudit({}).ok());
+}
+
+TEST(ReportDecisionsTest, CapDropOverridesEarlierAccept) {
+  const std::vector<json::Value> audit = LoadMini("mini.audit.jsonl");
+  const std::vector<OpDecision> decisions = CollectDecisions(audit, 2);
+  ASSERT_EQ(decisions.size(), 4u);  // 5 plan_op records, 1 is an override
+
+  // key=11 accepted outright.
+  EXPECT_EQ(decisions[0].key, 11u);
+  EXPECT_TRUE(decisions[0].accepted);
+  EXPECT_EQ(decisions[0].reason, "migrate_to_cluster");
+  EXPECT_EQ(decisions[0].heat, 40u);
+  EXPECT_EQ(decisions[0].reads, 30u);
+  EXPECT_EQ(decisions[0].writes, 10u);
+
+  // key=14 was accepted by the cost model, then dropped by the per-plan
+  // cap; the final decision must be the rejection.
+  const OpDecision& capped = decisions[3];
+  EXPECT_EQ(capped.key, 14u);
+  EXPECT_FALSE(capped.accepted);
+  EXPECT_EQ(capped.reason, "dropped_by_cap");
+  EXPECT_TRUE(capped.capped);
+}
+
+TEST(ReportExplainTest, NamesReasonAndCostInputsForEveryOp) {
+  const std::vector<json::Value> audit = LoadMini("mini.audit.jsonl");
+  const std::string text = Explain(audit, 1);
+  EXPECT_NE(text.find("plan 1 (cycle 2"), std::string::npos) << text;
+  EXPECT_NE(text.find("120 vertices"), std::string::npos);
+  // Every candidate with its reason and cost inputs.
+  EXPECT_NE(text.find("migrate_to_cluster"), std::string::npos);
+  EXPECT_NE(text.find("below_min_heat"), std::string::npos);
+  EXPECT_NE(text.find("replica_split_reader"), std::string::npos);
+  EXPECT_NE(text.find("dropped_by_cap"), std::string::npos);
+  EXPECT_NE(text.find("heat=40 reads=30 writes=10"), std::string::npos);
+  // Lifecycle joined via the plan id.
+  EXPECT_NE(text.find("submits=1"), std::string::npos);
+  EXPECT_NE(text.find("piggybacks=1"), std::string::npos);
+  EXPECT_NE(text.find("retries=1"), std::string::npos);
+  EXPECT_NE(text.find("applies=2"), std::string::npos);
+  EXPECT_NE(text.find("lock_timeout=1"), std::string::npos);
+}
+
+TEST(ReportExplainTest, UnknownPlanListsEmittedOnes) {
+  const std::vector<json::Value> audit = LoadMini("mini.audit.jsonl");
+  const std::string text = Explain(audit, 42);
+  EXPECT_NE(text.find("plan 42 not found"), std::string::npos) << text;
+  EXPECT_NE(text.find("emitted plans: 1"), std::string::npos) << text;
+}
+
+TEST(ReportSummaryTest, DigestsWholeRun) {
+  RunData run;
+  run.audit = LoadMini("mini.audit.jsonl");
+  run.timeline = LoadMini("mini.timeline.jsonl");
+  const std::string text = Summary(run);
+  EXPECT_NE(text.find("seed=7"), std::string::npos) << text;
+  EXPECT_NE(text.find("planner=on"), std::string::npos);
+  EXPECT_NE(text.find("emitted=1"), std::string::npos);
+  EXPECT_NE(text.find("skipped_small=1"), std::string::npos);
+  EXPECT_NE(text.find("promotions=4"), std::string::npos);
+  EXPECT_NE(text.find("catchup_refreshed=3"), std::string::npos);
+  EXPECT_NE(text.find("3 ticks"), std::string::npos);
+  EXPECT_NE(text.find("peak queue=12"), std::string::npos);
+  EXPECT_NE(text.find("drained=yes"), std::string::npos);
+}
+
+TEST(ReportHtmlTest, SelfContainedWithSparklinesAndPlanTables) {
+  RunData run;
+  run.audit = LoadMini("mini.audit.jsonl");
+  run.timeline = LoadMini("mini.timeline.jsonl");
+  const std::string html = HtmlReport(run);
+  EXPECT_NE(html.find("<!doctype html>"), std::string::npos);
+  EXPECT_NE(html.find("<svg"), std::string::npos);          // sparklines
+  EXPECT_NE(html.find("Plan 1"), std::string::npos);        // explain table
+  EXPECT_NE(html.find("dropped_by_cap"), std::string::npos);
+  EXPECT_NE(html.find("partition 2"), std::string::npos);
+  // No external assets: everything inline.
+  EXPECT_EQ(html.find("http://"), std::string::npos);
+  EXPECT_EQ(html.find("https://"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace soap::obs::report

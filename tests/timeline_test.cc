@@ -1,0 +1,108 @@
+#include "src/obs/timeline.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/json.h"
+#include "src/obs/report.h"
+
+namespace soap::obs {
+namespace {
+
+TimelineTick MakeTick(uint32_t interval, uint32_t partitions) {
+  TimelineTick tick;
+  tick.t_us = static_cast<SimTime>(interval + 1) * 20'000'000;
+  tick.interval = interval;
+  tick.queue_depth = 10 + interval;
+  tick.lock_wait_p99_ms = 1.5;
+  tick.distributed_ratio = 0.25;
+  for (uint32_t p = 0; p < partitions; ++p) {
+    TimelinePartitionRow row;
+    row.partition = p;
+    row.load = 0.5 + 0.1 * p;
+    row.queued_jobs = p;
+    row.primaries = 100;
+    row.replicas = 3;
+    row.migrations_in = interval;
+    tick.partitions.push_back(row);
+  }
+  return tick;
+}
+
+TEST(PartitionFlowsTest, CountsPerPartitionAndIgnoresOutOfRange) {
+  PartitionFlows flows;
+  flows.Resize(3);
+  flows.OnMigration(0, 2);
+  flows.OnMigration(0, 1);
+  flows.OnReplicaCreate(2);
+  flows.OnReplicaDrop(1);
+  flows.OnMigration(9, 9);  // out of range: dropped, not UB
+  EXPECT_EQ(flows.migrations_out[0], 2u);
+  EXPECT_EQ(flows.migrations_in[2], 1u);
+  EXPECT_EQ(flows.migrations_in[1], 1u);
+  EXPECT_EQ(flows.replica_creates[2], 1u);
+  EXPECT_EQ(flows.replica_drops[1], 1u);
+}
+
+TEST(TimelineTest, RingEvictsOldestTicks) {
+  Timeline::Config config;
+  config.max_ticks = 2;
+  Timeline timeline(config);
+  for (uint32_t i = 0; i < 5; ++i) timeline.Record(MakeTick(i, 1));
+  EXPECT_EQ(timeline.ticks().size(), 2u);
+  EXPECT_EQ(timeline.evicted(), 3u);
+  EXPECT_EQ(timeline.ticks().front().interval, 3u);
+  EXPECT_EQ(timeline.ticks().back().interval, 4u);
+}
+
+TEST(TimelineTest, JsonlRoundTripsAndValidates) {
+  Timeline timeline;
+  timeline.Record(MakeTick(0, 2));
+  timeline.Record(MakeTick(1, 2));
+  Result<std::vector<json::Value>> parsed =
+      json::ParseLines(timeline.ToJsonl());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), 2u);
+  const json::Value& tick = (*parsed)[0];
+  EXPECT_EQ(tick.GetUint64("v"), static_cast<uint64_t>(
+                                     kTimelineSchemaVersion));
+  EXPECT_EQ(tick.GetString("type"), "tick");
+  EXPECT_EQ(tick.GetUint64("queue_depth"), 10u);
+  ASSERT_TRUE(tick.Find("partitions")->is_array());
+  const json::Value& row = tick.Find("partitions")->AsArray()[1];
+  EXPECT_EQ(row.GetUint64("p"), 1u);
+  EXPECT_DOUBLE_EQ(row.GetDouble("load"), 0.6);
+  EXPECT_TRUE(report::ValidateTimeline(*parsed).ok());
+}
+
+TEST(TimelineTest, ValidateRejectsBrokenStreams) {
+  Timeline timeline;
+  timeline.Record(MakeTick(1, 1));
+  timeline.Record(MakeTick(1, 1));  // interval does not increase
+  Result<std::vector<json::Value>> parsed =
+      json::ParseLines(timeline.ToJsonl());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(report::ValidateTimeline(*parsed).ok());
+}
+
+TEST(HistogramWindowTest, PercentileOverDeltasOnly) {
+  Histogram cumulative;
+  HistogramWindow window;
+  // First window: 100 samples at ~1ms (1000us).
+  for (int i = 0; i < 100; ++i) cumulative.Record(1000);
+  const double p99_first = window.WindowPercentileMs(cumulative, 99.0);
+  EXPECT_GT(p99_first, 0.0);
+  EXPECT_LT(p99_first, 5.0);
+  // Second window: only new samples count — all at ~100ms.
+  for (int i = 0; i < 10; ++i) cumulative.Record(100'000);
+  const double p99_second = window.WindowPercentileMs(cumulative, 99.0);
+  EXPECT_GT(p99_second, 50.0);
+  // Third window: nothing recorded -> 0.
+  EXPECT_EQ(window.WindowPercentileMs(cumulative, 99.0), 0.0);
+}
+
+}  // namespace
+}  // namespace soap::obs

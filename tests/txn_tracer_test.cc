@@ -140,7 +140,8 @@ TEST(TxnTracerTest, ChromeJsonIsWellFormed) {
   EXPECT_NE(json.find("\"name\":\"txn\""), std::string::npos);
   EXPECT_NE(json.find("\"pid\":4"), std::string::npos);
   EXPECT_NE(json.find("\"tid\":3"), std::string::npos);
-  EXPECT_NE(json.find("\"args\":{\"outcome\":\"committed\"}"),
+  EXPECT_NE(json.find(
+                "\"args\":{\"outcome\":\"committed\",\"kind\":\"client\"}"),
             std::string::npos);
 
   // Structural well-formedness: balanced {} and [], never negative depth.
@@ -156,6 +157,28 @@ TEST(TxnTracerTest, ChromeJsonIsWellFormed) {
   }
   EXPECT_EQ(braces, 0);
   EXPECT_EQ(brackets, 0);
+}
+
+TEST(TxnTracerTest, TxnKindIsRecordedPerTransaction) {
+  EXPECT_STREQ(TxnKindName(TxnKind::kClient), "client");
+  EXPECT_STREQ(TxnKindName(TxnKind::kRepartition), "repartition");
+  EXPECT_STREQ(TxnKindName(TxnKind::kReplicaApply), "replica-apply");
+  EXPECT_STREQ(TxnKindName(TxnKind::kCarrier), "carrier");
+
+  TxnTracer tracer(SampleEvery(1));
+  tracer.FinishTxn(1, 0, 10, 0, true, TxnKind::kRepartition);
+  tracer.FinishTxn(2, 10, 20, 0, false, TxnKind::kCarrier);
+  const std::string json = tracer.ToChromeJson();
+  EXPECT_NE(json.find(
+                "\"args\":{\"outcome\":\"committed\",\"kind\":"
+                "\"repartition\"}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(
+      json.find(
+          "\"args\":{\"outcome\":\"aborted\",\"kind\":\"carrier\"}"),
+      std::string::npos)
+      << json;
 }
 
 TEST(TxnTracerTest, EmptyTracerProducesValidChromeJson) {

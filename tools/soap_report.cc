@@ -1,0 +1,180 @@
+// soap_report: offline explain/report tool over the observability exports
+// of one soap_run invocation (--audit_out / --timeline_out /
+// --metrics_jsonl). Subcommands:
+//
+//   soap_report explain  --audit run.audit.jsonl --plan 3
+//       Every candidate op of plan generation 3 with its cost inputs and
+//       accept/reject reason, plus the plan's deployment lifecycle.
+//   soap_report summary  --audit run.audit.jsonl [--timeline run.tl.jsonl]
+//       Whole-run digest: replans, decisions by reason, deploys, aborts,
+//       replication sweeps, timeline peaks.
+//   soap_report html     --audit ... [--timeline ...] --out report.html
+//       Self-contained HTML report (inline SVG sparklines, plan tables).
+//   soap_report validate --audit ... [--timeline ...]
+//       Schema check; exit 0 iff every stream is well-formed.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/obs/report.h"
+
+namespace {
+
+using soap::Result;
+using soap::Status;
+using soap::json::Value;
+namespace report = soap::obs::report;
+
+constexpr const char* kUsage =
+    "usage: soap_report <explain|summary|html|validate> [options]\n"
+    "  --audit <file>     audit log JSONL (soap_run --audit_out)\n"
+    "  --timeline <file>  timeline JSONL (soap_run --timeline_out)\n"
+    "  --metrics <file>   metric snapshots JSONL (soap_run --metrics_jsonl)\n"
+    "  --plan <n>         plan generation to explain (explain only)\n"
+    "  --out <file>       output path (html only; default stdout)\n";
+
+struct Options {
+  std::string command;
+  std::string audit_path;
+  std::string timeline_path;
+  std::string metrics_path;
+  std::string out_path;
+  uint64_t plan = 0;
+  bool plan_set = false;
+};
+
+bool ParseArgs(int argc, char** argv, Options* opts) {
+  if (argc < 2) return false;
+  opts->command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string value;
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+    } else if (i + 1 < argc) {
+      value = argv[++i];
+    } else {
+      std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+      return false;
+    }
+    if (arg == "--audit") {
+      opts->audit_path = value;
+    } else if (arg == "--timeline") {
+      opts->timeline_path = value;
+    } else if (arg == "--metrics") {
+      opts->metrics_path = value;
+    } else if (arg == "--out") {
+      opts->out_path = value;
+    } else if (arg == "--plan") {
+      opts->plan = std::strtoull(value.c_str(), nullptr, 10);
+      opts->plan_set = true;
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+bool LoadInto(const std::string& path, const char* what,
+              std::vector<Value>* out) {
+  if (path.empty()) return true;
+  Result<std::vector<Value>> loaded = report::LoadJsonlFile(path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what,
+                 loaded.status().ToString().c_str());
+    return false;
+  }
+  *out = std::move(loaded).value();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  if (!ParseArgs(argc, argv, &opts)) {
+    std::fprintf(stderr, "%s", kUsage);
+    return 2;
+  }
+
+  report::RunData run;
+  if (!LoadInto(opts.audit_path, "audit", &run.audit) ||
+      !LoadInto(opts.timeline_path, "timeline", &run.timeline) ||
+      !LoadInto(opts.metrics_path, "metrics", &run.metrics)) {
+    return 1;
+  }
+
+  if (opts.command == "validate") {
+    if (opts.audit_path.empty() && opts.timeline_path.empty()) {
+      std::fprintf(stderr, "validate needs --audit and/or --timeline\n");
+      return 2;
+    }
+    int rc = 0;
+    if (!opts.audit_path.empty()) {
+      Status s = report::ValidateAudit(run.audit);
+      std::printf("audit: %s (%zu records)\n",
+                  s.ok() ? "ok" : s.ToString().c_str(), run.audit.size());
+      if (!s.ok()) rc = 1;
+    }
+    if (!opts.timeline_path.empty()) {
+      Status s = report::ValidateTimeline(run.timeline);
+      std::printf("timeline: %s (%zu ticks)\n",
+                  s.ok() ? "ok" : s.ToString().c_str(),
+                  run.timeline.size());
+      if (!s.ok()) rc = 1;
+    }
+    return rc;
+  }
+
+  if (opts.command == "explain") {
+    if (opts.audit_path.empty() || !opts.plan_set) {
+      std::fprintf(stderr, "explain needs --audit and --plan\n%s", kUsage);
+      return 2;
+    }
+    const std::string text = report::Explain(run.audit, opts.plan);
+    std::printf("%s", text.c_str());
+    return text.rfind("plan " + std::to_string(opts.plan) + " not found",
+                      0) == 0
+               ? 1
+               : 0;
+  }
+
+  if (opts.command == "summary") {
+    if (opts.audit_path.empty()) {
+      std::fprintf(stderr, "summary needs --audit\n%s", kUsage);
+      return 2;
+    }
+    std::printf("%s", report::Summary(run).c_str());
+    return 0;
+  }
+
+  if (opts.command == "html") {
+    if (opts.audit_path.empty()) {
+      std::fprintf(stderr, "html needs --audit\n%s", kUsage);
+      return 2;
+    }
+    const std::string html = report::HtmlReport(run);
+    if (opts.out_path.empty()) {
+      std::printf("%s", html.c_str());
+      return 0;
+    }
+    std::ofstream out(opts.out_path, std::ios::binary);
+    if (!out || !(out << html)) {
+      std::fprintf(stderr, "cannot write %s\n", opts.out_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", opts.out_path.c_str());
+    return 0;
+  }
+
+  std::fprintf(stderr, "unknown command \"%s\"\n%s", opts.command.c_str(),
+               kUsage);
+  return 2;
+}

@@ -104,11 +104,23 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "--seeds needs at least one integer\n");
       return 2;
     }
+    // Per-seed output files get an `_s<seed>` suffix (same scheme as
+    // --csv) so parallel cells never write over each other.
+    auto seed_path = [](const std::string& path, uint64_t seed) {
+      if (path.empty()) return path;
+      const size_t dot = path.rfind('.');
+      const std::string suffix = "_s" + std::to_string(seed);
+      return dot == std::string::npos
+                 ? path + suffix
+                 : path.substr(0, dot) + suffix + path.substr(dot);
+    };
     std::vector<engine::ExperimentCell> cells;
     cells.reserve(seeds.size());
     for (uint64_t seed : seeds) {
       engine::ExperimentConfig cell_config = config;
       cell_config.seed = seed;
+      cell_config.obs.audit_out = seed_path(config.obs.audit_out, seed);
+      cell_config.obs.timeline_out = seed_path(config.obs.timeline_out, seed);
       cells.push_back(engine::ExperimentCell{std::move(cell_config)});
     }
     int exit_code = 0;
@@ -229,6 +241,12 @@ int main(int argc, char** argv) {
   }
   if (!config.obs.trace_out.empty() && r.tracer != nullptr) {
     std::printf("wrote %s\n", config.obs.trace_out.c_str());
+  }
+  if (!config.obs.audit_out.empty() && r.audit_log != nullptr) {
+    std::printf("wrote %s\n", config.obs.audit_out.c_str());
+  }
+  if (!config.obs.timeline_out.empty() && r.timeline != nullptr) {
+    std::printf("wrote %s\n", config.obs.timeline_out.c_str());
   }
   return r.audit.ok() ? 0 : 1;
 }
