@@ -54,9 +54,9 @@ int main(int argc, char** argv) {
   };
 
   std::printf("==== Fault matrix: degradation by strategy x scenario ====\n\n");
-  std::printf("%-10s %-13s %-10s %-12s %-12s %-10s %-9s %-9s\n", "strategy",
-              "scenario", "rep_done@", "tput/min", "p99_ms", "fail_max",
-              "crashes", "audit");
+  std::printf("%-10s %-13s %-10s %-12s %-12s %-10s %-9s %-9s %-9s\n",
+              "strategy", "scenario", "rep_done@", "tput/min", "p99_ms",
+              "fail_max", "crashes", "audit", "check");
 
   // One cell per (strategy, scenario); independent, so the grid fans out
   // across the pool. Ordered streaming keeps the report rows (and the
@@ -73,6 +73,10 @@ int main(int argc, char** argv) {
       config.warmup_intervals = fast ? 2 : 3;
       config.measured_intervals = fast ? 6 : 12;
       config.fault_spec = scenario.spec;
+      // Every cell runs with the consistency checker on: the matrix is
+      // exactly the fault surface the checker exists to guard, and the
+      // JSON verdict below feeds the chaos-smoke CI job.
+      config.check.enabled = true;
       cells.push_back(soap::engine::ExperimentCell{std::move(config)});
     }
   }
@@ -106,11 +110,13 @@ int main(int argc, char** argv) {
           baseline_tput > 0.0 ? tput / baseline_tput : 0.0;
       const double p99_ratio = baseline_p99 > 0.0 ? p99 / baseline_p99 : 0.0;
 
-      std::printf("%-10s %-13s %-10d %-12.0f %-12.0f %-10.3f %-9llu %-9s\n",
-                  soap::StrategyName(strategy), scenario.name,
-                  r.RepartitionCompletedAt(), tput, p99, fail_max,
-                  static_cast<unsigned long long>(r.faults_crashes),
-                  r.audit.ok() ? "ok" : "FAIL");
+      std::printf(
+          "%-10s %-13s %-10d %-12.0f %-12.0f %-10.3f %-9llu %-9s %-9s\n",
+          soap::StrategyName(strategy), scenario.name,
+          r.RepartitionCompletedAt(), tput, p99, fail_max,
+          static_cast<unsigned long long>(r.faults_crashes),
+          r.audit.ok() ? "ok" : "FAIL",
+          r.check_report.ok() ? "ok" : "FAIL");
       std::fflush(stdout);
 
       if (!first_scenario) json << ", ";
@@ -128,11 +134,14 @@ int main(int argc, char** argv) {
            << ", \"tpc_resends\": " << r.tpc_stats.resends
            << ", \"aborts_node_crash\": " << r.counters.aborts_node_crash
            << ", \"audit_ok\": " << (r.audit.ok() ? "true" : "false")
+           << ", \"check_ok\": " << (r.check_report.ok() ? "true" : "false")
+           << ", \"check_violations\": "
+           << r.check_report.violations.size()
            << ", \"drained\": " << (r.drained ? "true" : "false") << "}";
 
       // The self-healing bar: every faulted run must stay consistent and
       // drain; transient-fault runs must still finish the plan.
-      if (!r.audit.ok() || !r.drained) exit_code = 1;
+      if (!r.audit.ok() || !r.check_report.ok() || !r.drained) exit_code = 1;
       if (scenario.require_completion && !r.plan_completed) exit_code = 1;
     }
     json << "]}";
@@ -147,7 +156,8 @@ int main(int argc, char** argv) {
   }
   std::printf(
       "\n# Reading the report: throughput_vs_baseline ~ 1.0 and a bounded\n"
-      "# p99_vs_baseline mean the strategy absorbed the faults; audit_ok\n"
-      "# and drained must be true everywhere, else the exit code is 1.\n");
+      "# p99_vs_baseline mean the strategy absorbed the faults; audit_ok,\n"
+      "# check_ok and drained must be true everywhere, else the exit code\n"
+      "# is 1.\n");
   return exit_code;
 }

@@ -1,0 +1,57 @@
+// Deliberate-corruption test hook (--check_break): mutation modes the
+// transaction manager injects exactly once per run so tests can prove the
+// checker actually detects each class of bug. Guards against a vacuously
+// green checker. Lives in soap_check_core so the cluster layer can consume
+// the enum without depending on the full check subsystem.
+
+#ifndef SOAP_CHECK_BREAK_MODE_H_
+#define SOAP_CHECK_BREAK_MODE_H_
+
+#include <string>
+
+namespace soap::check {
+
+enum class BreakMode {
+  kNone = 0,
+  /// Skip one replica-path phase-2 write apply: the copy silently diverges
+  /// from the primary (must trip replica_coherence / stale_read).
+  kReplicaApply,
+  /// Skip one migration source cleanup: the tuple stays stored on a
+  /// partition the routing table no longer places it on (must trip the
+  /// ownership invariant).
+  kDoubleDeploy,
+  /// Skip one primary write apply: a committed update never reaches
+  /// storage (must trip final_state / stale_read).
+  kLostWrite,
+};
+
+inline const char* BreakModeName(BreakMode mode) {
+  switch (mode) {
+    case BreakMode::kNone: return "none";
+    case BreakMode::kReplicaApply: return "replica_apply";
+    case BreakMode::kDoubleDeploy: return "double_deploy";
+    case BreakMode::kLostWrite: return "lost_write";
+  }
+  return "none";
+}
+
+/// Parses a --check_break value; empty and "none" mean kNone. Returns
+/// false on an unknown mode name.
+inline bool ParseBreakMode(const std::string& text, BreakMode* mode) {
+  if (text.empty() || text == "none") {
+    *mode = BreakMode::kNone;
+  } else if (text == "replica_apply") {
+    *mode = BreakMode::kReplicaApply;
+  } else if (text == "double_deploy") {
+    *mode = BreakMode::kDoubleDeploy;
+  } else if (text == "lost_write") {
+    *mode = BreakMode::kLostWrite;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace soap::check
+
+#endif  // SOAP_CHECK_BREAK_MODE_H_

@@ -1,0 +1,148 @@
+#include "src/check/chaos.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/random.h"
+
+namespace soap::check {
+
+namespace {
+
+SimTime SampleAt(Rng& rng, const ChaosDomain& d) {
+  if (d.latest <= d.earliest) return d.earliest;
+  return d.earliest + static_cast<SimTime>(rng.NextUint64(
+                          static_cast<uint64_t>(d.latest - d.earliest)));
+}
+
+Duration SampleDuration(Rng& rng, Duration lo, Duration hi) {
+  if (hi <= lo) return lo;
+  return lo +
+         static_cast<Duration>(rng.NextUint64(static_cast<uint64_t>(hi - lo)));
+}
+
+}  // namespace
+
+fault::FaultSpec SampleChaosSpec(uint64_t seed, const ChaosDomain& domain) {
+  Rng rng(seed);
+  fault::FaultSpec spec;
+  spec.seed = seed == 0 ? 1 : seed;  // 0 means "derive", pin it instead
+
+  const uint64_t num_crashes = rng.NextUint64(domain.max_crashes + 1);
+  for (uint64_t i = 0; i < num_crashes; ++i) {
+    fault::CrashEvent crash;
+    crash.node = static_cast<uint32_t>(rng.NextUint64(domain.num_nodes));
+    crash.at = SampleAt(rng, domain);
+    crash.down = SampleDuration(rng, domain.min_down, domain.max_down);
+    spec.crashes.push_back(crash);
+  }
+  // Deterministic event order keeps ToString() canonical.
+  std::sort(spec.crashes.begin(), spec.crashes.end(),
+            [](const fault::CrashEvent& a, const fault::CrashEvent& b) {
+              return a.at < b.at;
+            });
+
+  auto sample_rules = [&](uint32_t max_rules, double max_p, Duration max_add,
+                          std::vector<fault::MessageRule>* out) {
+    const uint64_t n = rng.NextUint64(max_rules + 1);
+    for (uint64_t i = 0; i < n; ++i) {
+      fault::MessageRule rule;
+      rule.p = rng.NextDouble() * max_p;
+      if (rule.p <= 0.0) rule.p = max_p / 2;
+      if (rng.NextBernoulli(0.5) && domain.num_nodes >= 2) {
+        // Restrict half the rules to a random edge.
+        const auto a = static_cast<uint32_t>(rng.NextUint64(domain.num_nodes));
+        auto b = static_cast<uint32_t>(rng.NextUint64(domain.num_nodes - 1));
+        if (b >= a) ++b;
+        rule.edge_a = static_cast<int32_t>(std::min(a, b));
+        rule.edge_b = static_cast<int32_t>(std::max(a, b));
+      }
+      if (max_add > 0) rule.add = SampleDuration(rng, Millis(1), max_add);
+      out->push_back(rule);
+    }
+  };
+  sample_rules(domain.max_drop_rules, domain.max_drop_p, 0, &spec.drops);
+  sample_rules(domain.max_delay_rules, domain.max_delay_p,
+               domain.max_delay_add, &spec.delays);
+  sample_rules(domain.max_dup_rules, domain.max_dup_p, 0, &spec.dups);
+
+  const uint64_t num_partitions = rng.NextUint64(domain.max_partitions + 1);
+  for (uint64_t i = 0; i < num_partitions && domain.num_nodes >= 2; ++i) {
+    fault::PartitionEvent part;
+    part.at = SampleAt(rng, domain);
+    part.duration = SampleDuration(rng, domain.min_partition_for,
+                                   domain.max_partition_for);
+    // A random proper, nonempty subset: 1..floor(n/2) nodes, so the
+    // majority side keeps the coordinator quorum shape interesting.
+    const uint64_t group_size =
+        1 + rng.NextUint64(std::max<uint32_t>(1, domain.num_nodes / 2));
+    std::vector<uint32_t> perm = rng.Permutation(domain.num_nodes);
+    part.group.assign(perm.begin(), perm.begin() + group_size);
+    std::sort(part.group.begin(), part.group.end());
+    spec.partitions.push_back(part);
+  }
+  std::sort(spec.partitions.begin(), spec.partitions.end(),
+            [](const fault::PartitionEvent& a, const fault::PartitionEvent& b) {
+              return a.at < b.at;
+            });
+
+  if (spec.empty()) {
+    // Never hand back a fault-free "chaos" schedule.
+    fault::CrashEvent crash;
+    crash.node = static_cast<uint32_t>(rng.NextUint64(domain.num_nodes));
+    crash.at = SampleAt(rng, domain);
+    crash.down = SampleDuration(rng, domain.min_down, domain.max_down);
+    spec.crashes.push_back(crash);
+  }
+  return spec;
+}
+
+ShrinkResult ShrinkFailingSpec(const fault::FaultSpec& failing,
+                               const ChaosRunFn& run, uint32_t budget) {
+  ShrinkResult result;
+  result.spec = failing;
+
+  // One shrink candidate = the spec minus one component. Components are
+  // indexed category-by-category so removals stay stable as vectors shrink.
+  auto component_count = [](const fault::FaultSpec& s) {
+    return s.crashes.size() + s.drops.size() + s.delays.size() +
+           s.dups.size() + s.partitions.size();
+  };
+  auto without = [](const fault::FaultSpec& s, size_t index) {
+    fault::FaultSpec out = s;
+    auto drop_at = [&index](auto* vec) {
+      if (index < vec->size()) {
+        vec->erase(vec->begin() + static_cast<ptrdiff_t>(index));
+        return true;
+      }
+      index -= vec->size();
+      return false;
+    };
+    if (drop_at(&out.crashes)) return out;
+    if (drop_at(&out.drops)) return out;
+    if (drop_at(&out.delays)) return out;
+    if (drop_at(&out.dups)) return out;
+    drop_at(&out.partitions);
+    return out;
+  };
+
+  bool progressed = true;
+  while (progressed && result.runs < budget &&
+         component_count(result.spec) > 1) {
+    progressed = false;
+    for (size_t i = 0; i < component_count(result.spec); ++i) {
+      if (result.runs >= budget) break;
+      fault::FaultSpec candidate = without(result.spec, i);
+      result.runs++;
+      if (!run(candidate).ok) {
+        result.spec = candidate;
+        result.removed++;
+        progressed = true;
+        break;  // restart the scan over the smaller spec
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace soap::check

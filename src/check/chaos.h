@@ -1,0 +1,78 @@
+// Chaos schedule search: seeded sampling of random fault schedules
+// (crashes, message drops/delays/dups, network partitions), a verdict
+// callback that runs the full system + checker against one schedule, and a
+// greedy shrinker that reduces a failing schedule to a minimal reproducer.
+//
+// Everything is deterministic: SampleChaosSpec(seed, domain) is a pure
+// function of its arguments, and the sampled spec carries `seed` as its
+// fault-RNG seed, so a reproducer string replays the identical run.
+
+#ifndef SOAP_CHECK_CHAOS_H_
+#define SOAP_CHECK_CHAOS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/common/time.h"
+#include "src/fault/fault_spec.h"
+
+namespace soap::check {
+
+/// The sampling domain: how violent a schedule may get. Defaults are
+/// matched to the standard 5-node experiment with a [30s, 150s) event
+/// window — aggressive enough to exercise failover and recovery, bounded
+/// enough that runs still drain.
+struct ChaosDomain {
+  uint32_t num_nodes = 5;
+  /// Fault events land in [earliest, latest).
+  SimTime earliest = Seconds(30);
+  SimTime latest = Seconds(150);
+  uint32_t max_crashes = 2;
+  Duration min_down = Seconds(5);
+  Duration max_down = Seconds(30);
+  uint32_t max_drop_rules = 1;
+  double max_drop_p = 0.01;
+  uint32_t max_delay_rules = 1;
+  double max_delay_p = 0.05;
+  Duration max_delay_add = Millis(20);
+  uint32_t max_dup_rules = 1;
+  double max_dup_p = 0.02;
+  uint32_t max_partitions = 1;
+  Duration min_partition_for = Seconds(5);
+  Duration max_partition_for = Seconds(20);
+};
+
+/// Draws one fault schedule from the domain. Deterministic per (seed,
+/// domain); never returns an empty spec (a crash is forced if every
+/// category samples zero), and sets spec.seed = seed so the fault layer's
+/// probabilistic rules replay identically.
+fault::FaultSpec SampleChaosSpec(uint64_t seed, const ChaosDomain& domain);
+
+/// Outcome of running one schedule through the system under check.
+struct ChaosVerdict {
+  bool ok = true;
+  std::string detail;  ///< first violation / failure reason when !ok
+};
+
+/// Runs the full pipeline (experiment + checker + invariants) against one
+/// schedule. Supplied by the caller; must be deterministic.
+using ChaosRunFn = std::function<ChaosVerdict(const fault::FaultSpec&)>;
+
+struct ShrinkResult {
+  fault::FaultSpec spec;   ///< minimal still-failing schedule
+  uint32_t runs = 0;       ///< verdict evaluations spent shrinking
+  uint32_t removed = 0;    ///< fault components eliminated
+};
+
+/// Greedily removes fault components (each crash, message rule and
+/// partition individually) from a failing schedule, keeping a removal
+/// whenever the smaller schedule still fails, looping to fixpoint or until
+/// `budget` runs are spent. The input must fail under `run`; the result is
+/// 1-minimal w.r.t. component removal when the budget sufficed.
+ShrinkResult ShrinkFailingSpec(const fault::FaultSpec& failing,
+                               const ChaosRunFn& run, uint32_t budget);
+
+}  // namespace soap::check
+
+#endif  // SOAP_CHECK_CHAOS_H_

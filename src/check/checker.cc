@@ -1,0 +1,364 @@
+#include "src/check/checker.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace soap::check {
+
+namespace {
+
+/// Iterative Tarjan strongly-connected components. Returns the component
+/// id per node; components with >= 2 nodes (or a self-loop) are cycles.
+std::vector<uint32_t> StronglyConnected(
+    const std::vector<std::vector<uint32_t>>& adj, uint32_t* num_components) {
+  const uint32_t n = static_cast<uint32_t>(adj.size());
+  constexpr uint32_t kUnvisited = UINT32_MAX;
+  std::vector<uint32_t> index(n, kUnvisited);
+  std::vector<uint32_t> lowlink(n, 0);
+  std::vector<uint32_t> component(n, kUnvisited);
+  std::vector<bool> on_stack(n, false);
+  std::vector<uint32_t> stack;
+  uint32_t next_index = 0;
+  uint32_t components = 0;
+
+  struct Frame {
+    uint32_t node;
+    size_t edge;
+  };
+  std::vector<Frame> dfs;
+  for (uint32_t root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    dfs.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    while (!dfs.empty()) {
+      Frame& frame = dfs.back();
+      const uint32_t v = frame.node;
+      if (frame.edge < adj[v].size()) {
+        const uint32_t w = adj[v][frame.edge++];
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          dfs.push_back({w, 0});
+        } else if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+        continue;
+      }
+      if (lowlink[v] == index[v]) {
+        while (true) {
+          const uint32_t w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          component[w] = components;
+          if (w == v) break;
+        }
+        components++;
+      }
+      dfs.pop_back();
+      if (!dfs.empty()) {
+        const uint32_t parent = dfs.back().node;
+        lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+      }
+    }
+  }
+  *num_components = components;
+  return component;
+}
+
+/// Component ids whose member count is >= 2 — a dependency cycle.
+std::vector<bool> CyclicComponents(const std::vector<uint32_t>& component,
+                                   uint32_t num_components) {
+  std::vector<uint32_t> size(num_components, 0);
+  for (uint32_t c : component) size[c]++;
+  std::vector<bool> cyclic(num_components, false);
+  for (uint32_t c = 0; c < num_components; ++c) {
+    cyclic[c] = size[c] >= 2;
+  }
+  return cyclic;
+}
+
+std::string SampleMembers(const std::vector<uint32_t>& component,
+                          uint32_t target,
+                          const std::vector<uint64_t>& txn_of) {
+  std::ostringstream os;
+  uint32_t listed = 0;
+  for (uint32_t v = 0; v < component.size() && listed < 4; ++v) {
+    if (component[v] != target) continue;
+    if (listed > 0) os << ",";
+    os << txn_of[v];
+    listed++;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string CheckReport::ToString() const {
+  std::ostringstream os;
+  os << "check[violations=" << violations.size()
+     << " txns=" << txns_checked << " reads=" << reads_checked
+     << " ww=" << ww_edges << " wr=" << wr_edges << " rw=" << rw_edges
+     << " rw_cycles=" << rw_cycles
+     << (serializable_checked ? " level=serializable" : " level=readcommitted")
+     << "]";
+  if (!violations.empty()) {
+    os << " first: " << violations.front().check << " ("
+       << violations.front().detail << ")";
+  }
+  return os.str();
+}
+
+CheckReport CheckHistory(const HistoryRecorder& history, bool serializable) {
+  CheckReport report;
+  report.serializable_checked = serializable;
+  const auto& chains = history.chains();
+  const auto& committed = history.committed();
+  const auto& aborted = history.aborted();
+  report.txns_checked = static_cast<uint64_t>(committed.size());
+
+  // (key, writer) -> chain index, plus chain sanity (writers committed,
+  // commit times non-decreasing).
+  std::unordered_map<storage::TupleKey,
+                     std::unordered_map<uint64_t, size_t>>
+      version_of;
+  version_of.reserve(chains.size());
+  for (const auto& [key, chain] : chains) {
+    auto& per_key = version_of[key];
+    per_key.reserve(chain.size());
+    for (size_t i = 0; i < chain.size(); ++i) {
+      per_key[chain[i].writer] = i;
+      if (committed.find(chain[i].writer) == committed.end()) {
+        report.violations.push_back(
+            {"phantom_writer",
+             "chain of key " + std::to_string(key) + " version " +
+                 std::to_string(i) + " written by uncommitted txn " +
+                 std::to_string(chain[i].writer),
+             chain[i].commit_time});
+      }
+      if (i > 0 && chain[i].commit_time < chain[i - 1].commit_time) {
+        report.violations.push_back(
+            {"chain_order",
+             "key " + std::to_string(key) + " version " + std::to_string(i) +
+                 " committed before its predecessor",
+             chain[i].commit_time});
+      }
+    }
+  }
+
+  // Dependency-graph nodes: committed transactions, indexed densely.
+  std::unordered_map<uint64_t, uint32_t> node_of;
+  std::vector<uint64_t> txn_of;
+  auto node = [&](uint64_t txn) -> uint32_t {
+    auto [it, inserted] =
+        node_of.try_emplace(txn, static_cast<uint32_t>(txn_of.size()));
+    if (inserted) txn_of.push_back(txn);
+    return it->second;
+  };
+  std::vector<std::pair<uint32_t, uint32_t>> ww_wr_edges;
+  std::vector<std::pair<uint32_t, uint32_t>> rw_edge_list;
+
+  // ww edges: chain adjacency per key.
+  for (const auto& [key, chain] : chains) {
+    (void)key;
+    for (size_t i = 0; i + 1 < chain.size(); ++i) {
+      if (chain[i].writer == chain[i + 1].writer) continue;
+      ww_wr_edges.push_back({node(chain[i].writer), node(chain[i + 1].writer)});
+      report.ww_edges++;
+    }
+  }
+
+  // Reads: G1a/G1b, staleness, wr and rw edges. Reads by transactions
+  // that did not commit carry no obligations.
+  for (const ReadRecord& r : history.reads()) {
+    if (committed.find(r.reader) == committed.end()) continue;
+    report.reads_checked++;
+    ptrdiff_t observed_index = -1;  // -1 = bulk-loaded initial version
+    if (r.observed_writer != 0) {
+      if (aborted.count(r.observed_writer) > 0) {
+        report.violations.push_back(
+            {"dirty_read",
+             "txn " + std::to_string(r.reader) + " read key " +
+                 std::to_string(r.key) + " from aborted txn " +
+                 std::to_string(r.observed_writer) + " on partition " +
+                 std::to_string(r.partition),
+             r.at});
+        continue;
+      }
+      if (committed.find(r.observed_writer) == committed.end()) {
+        report.violations.push_back(
+            {"dangling_read",
+             "txn " + std::to_string(r.reader) + " read key " +
+                 std::to_string(r.key) + " from unknown writer " +
+                 std::to_string(r.observed_writer),
+             r.at});
+        continue;
+      }
+      auto key_it = version_of.find(r.key);
+      auto ver_it = key_it == version_of.end()
+                        ? decltype(key_it->second.begin()){}
+                        : key_it->second.find(r.observed_writer);
+      if (key_it == version_of.end() ||
+          ver_it == key_it->second.end()) {
+        report.violations.push_back(
+            {"dangling_read",
+             "txn " + std::to_string(r.reader) + " read key " +
+                 std::to_string(r.key) + " from txn " +
+                 std::to_string(r.observed_writer) +
+                 " which committed no version of it",
+             r.at});
+        continue;
+      }
+      observed_index = static_cast<ptrdiff_t>(ver_it->second);
+      if (r.observed_writer != r.reader) {
+        ww_wr_edges.push_back({node(r.observed_writer), node(r.reader)});
+        report.wr_edges++;
+      }
+    }
+    auto chain_it = chains.find(r.key);
+    if (chain_it == chains.end()) continue;
+    const std::vector<VersionRecord>& chain = chain_it->second;
+    const size_t next = static_cast<size_t>(observed_index + 1);
+    if (next >= chain.size()) continue;
+    const VersionRecord& newer = chain[next];
+    // Every phase-2 apply precedes FinishCommit, so a version committed
+    // strictly before the read was already applied on every live copy —
+    // observing its predecessor is a stale read.
+    if (newer.commit_time < r.at) {
+      report.violations.push_back(
+          {"stale_read",
+           "txn " + std::to_string(r.reader) + " read key " +
+               std::to_string(r.key) + " on partition " +
+               std::to_string(r.partition) + " observing writer " +
+               std::to_string(r.observed_writer) + " after txn " +
+               std::to_string(newer.writer) + " committed at t=" +
+               std::to_string(newer.commit_time),
+           r.at});
+    }
+    if (newer.writer != r.reader) {
+      rw_edge_list.push_back({node(r.reader), node(newer.writer)});
+      report.rw_edges++;
+    }
+  }
+
+  // Write applies: from committed writers only, and in chain order per
+  // (partition, key) — a partition may skip versions (it was down, the
+  // catch-up sweep repairs it) but must never apply them out of order.
+  std::vector<std::unordered_map<storage::TupleKey, size_t>> applied_up_to;
+  std::unordered_map<storage::TupleKey, std::unordered_set<uint64_t>>
+      applied_writers;
+  for (const WriteApplyRecord& a : history.write_applies()) {
+    applied_writers[a.key].insert(a.writer);
+    if (committed.find(a.writer) == committed.end()) {
+      report.violations.push_back(
+          {"phantom_writer",
+           "partition " + std::to_string(a.partition) + " applied key " +
+               std::to_string(a.key) + " from uncommitted txn " +
+               std::to_string(a.writer),
+           a.at});
+      continue;
+    }
+    auto key_it = version_of.find(a.key);
+    if (key_it == version_of.end() ||
+        key_it->second.find(a.writer) == key_it->second.end()) {
+      report.violations.push_back(
+          {"phantom_writer",
+           "partition " + std::to_string(a.partition) + " applied key " +
+               std::to_string(a.key) + " from txn " +
+               std::to_string(a.writer) +
+               " which committed no version of it",
+           a.at});
+      continue;
+    }
+    const size_t version = key_it->second.at(a.writer);
+    if (a.partition >= applied_up_to.size()) {
+      applied_up_to.resize(a.partition + 1);
+    }
+    auto [slot, inserted] =
+        applied_up_to[a.partition].try_emplace(a.key, version);
+    if (!inserted) {
+      if (version <= slot->second) {
+        report.violations.push_back(
+            {"out_of_order_apply",
+             "partition " + std::to_string(a.partition) + " applied key " +
+                 std::to_string(a.key) + " version " +
+                 std::to_string(version) + " after version " +
+                 std::to_string(slot->second),
+             a.at});
+      }
+      slot->second = std::max(slot->second, version);
+    }
+  }
+
+  // Lost updates: the primary's phase-2 apply precedes FinishCommit (and a
+  // down participant aborts the transaction), so every committed chain
+  // version must have been applied somewhere — a version with no apply
+  // record anywhere was silently dropped.
+  for (const auto& [key, chain] : chains) {
+    auto applied_it = applied_writers.find(key);
+    for (size_t i = 0; i < chain.size(); ++i) {
+      if (applied_it != applied_writers.end() &&
+          applied_it->second.count(chain[i].writer) > 0) {
+        continue;
+      }
+      report.violations.push_back(
+          {"lost_write",
+           "txn " + std::to_string(chain[i].writer) + " committed version " +
+               std::to_string(i) + " of key " + std::to_string(key) +
+               " but no partition applied it",
+           chain[i].commit_time});
+    }
+  }
+
+  // Cycle checks. First ww ∪ wr (G1c, an anomaly at every isolation
+  // level), then the full graph with rw anti-dependencies.
+  const uint32_t n = static_cast<uint32_t>(txn_of.size());
+  std::vector<std::vector<uint32_t>> adj(n);
+  for (const auto& [from, to] : ww_wr_edges) adj[from].push_back(to);
+  uint32_t num_components = 0;
+  std::vector<uint32_t> component = StronglyConnected(adj, &num_components);
+  std::vector<bool> g1c_cyclic =
+      CyclicComponents(component, num_components);
+  std::vector<bool> in_g1c_cycle(n, false);
+  for (uint32_t v = 0; v < n; ++v) {
+    if (g1c_cyclic[component[v]]) in_g1c_cycle[v] = true;
+  }
+  for (uint32_t c = 0; c < num_components; ++c) {
+    if (!g1c_cyclic[c]) continue;
+    report.violations.push_back(
+        {"g1c_cycle",
+         "ww/wr dependency cycle through txns {" +
+             SampleMembers(component, c, txn_of) + ",...}",
+         0});
+  }
+
+  for (const auto& [from, to] : rw_edge_list) adj[from].push_back(to);
+  uint32_t full_components = 0;
+  std::vector<uint32_t> full = StronglyConnected(adj, &full_components);
+  std::vector<bool> full_cyclic = CyclicComponents(full, full_components);
+  for (uint32_t c = 0; c < full_components; ++c) {
+    if (!full_cyclic[c]) continue;
+    // Skip components already reported as G1c cycles.
+    bool already = false;
+    for (uint32_t v = 0; v < n && !already; ++v) {
+      if (full[v] == c && in_g1c_cycle[v]) already = true;
+    }
+    if (already) continue;
+    report.rw_cycles++;
+    if (serializable) {
+      report.violations.push_back(
+          {"serialization_cycle",
+           "dependency cycle (needs rw edges) through txns {" +
+               SampleMembers(full, c, txn_of) + ",...}",
+           0});
+    }
+  }
+
+  return report;
+}
+
+}  // namespace soap::check

@@ -1,0 +1,151 @@
+#include "src/check/history_recorder.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace soap::check {
+
+using txn::OpKind;
+
+uint64_t HistoryRecorder::ChainTailWriter(storage::TupleKey key) const {
+  auto it = chains_.find(key);
+  if (it == chains_.end() || it->second.empty()) return 0;
+  return it->second.back().writer;
+}
+
+std::unordered_map<storage::TupleKey, uint64_t>&
+HistoryRecorder::PartitionMap(uint32_t partition) {
+  if (partition >= last_writer_.size()) {
+    last_writer_.resize(partition + 1);
+  }
+  return last_writer_[partition];
+}
+
+void HistoryRecorder::OnApplyInsert(uint32_t partition, uint64_t txn_id,
+                                    const storage::Tuple& tuple) {
+  // Inserts are always copies (migration / replica creation staged under
+  // the key's exclusive lock), never new values: attribute the committed
+  // chain tail, regardless of the inserting transaction's id.
+  (void)txn_id;
+  PartitionMap(partition)[tuple.key] = ChainTailWriter(tuple.key);
+}
+
+void HistoryRecorder::OnApplyUpdate(uint32_t partition, uint64_t txn_id,
+                                    const storage::Tuple& tuple) {
+  if (txn_id == 0) {
+    // Catch-up refresh: the restarted node copies the primary's current
+    // (committed) content.
+    PartitionMap(partition)[tuple.key] = ChainTailWriter(tuple.key);
+    return;
+  }
+  PartitionMap(partition)[tuple.key] = txn_id;
+  write_applies_.push_back(
+      {partition, tuple.key, txn_id, clock_ ? clock_() : 0});
+}
+
+void HistoryRecorder::OnApplyErase(uint32_t partition, uint64_t txn_id,
+                                   storage::TupleKey key) {
+  (void)txn_id;
+  PartitionMap(partition).erase(key);
+}
+
+void HistoryRecorder::OnRead(uint64_t txn_id, storage::TupleKey key,
+                             uint32_t partition, SimTime at) {
+  uint64_t observed = 0;
+  if (partition < last_writer_.size()) {
+    auto it = last_writer_[partition].find(key);
+    if (it != last_writer_[partition].end()) observed = it->second;
+  }
+  reads_.push_back({txn_id, key, partition, observed, at});
+}
+
+void HistoryRecorder::OnCommit(const txn::Transaction& txn,
+                               SimTime commit_time) {
+  committed_[txn.id] = commit_time;
+  // Final value per written key, preserving first-write chain position:
+  // a transaction writing a key twice commits one version (the last
+  // value), not two.
+  for (size_t i = 0; i < txn.ops.size(); ++i) {
+    const txn::Operation& op = txn.ops[i];
+    if (op.kind != OpKind::kWrite) continue;
+    bool last_for_key = true;
+    for (size_t j = i + 1; j < txn.ops.size(); ++j) {
+      if (txn.ops[j].kind == OpKind::kWrite && txn.ops[j].key == op.key) {
+        last_for_key = false;
+        break;
+      }
+    }
+    if (!last_for_key) continue;
+    chains_[op.key].push_back({txn.id, commit_time, op.write_value});
+  }
+}
+
+void HistoryRecorder::OnAbort(const txn::Transaction& txn) {
+  aborted_.insert(txn.id);
+}
+
+uint64_t HistoryRecorder::LastWriter(uint32_t partition,
+                                     storage::TupleKey key) const {
+  if (partition >= last_writer_.size()) return 0;
+  auto it = last_writer_[partition].find(key);
+  return it == last_writer_[partition].end() ? 0 : it->second;
+}
+
+bool HistoryRecorder::TailValue(storage::TupleKey key, int64_t* value) const {
+  auto it = chains_.find(key);
+  if (it == chains_.end() || it->second.empty()) return false;
+  *value = it->second.back().value;
+  return true;
+}
+
+Status HistoryRecorder::WriteHistoryFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::Unavailable("cannot open " + path);
+  std::ostringstream os;
+  // Commits first (sorted by commit time then id for a deterministic
+  // file), then reads in record order.
+  std::vector<std::pair<SimTime, uint64_t>> order;
+  order.reserve(committed_.size());
+  for (const auto& [id, t] : committed_) order.push_back({t, id});
+  std::sort(order.begin(), order.end());
+  for (const auto& [t, id] : order) {
+    os << "{\"kind\":\"commit\",\"txn\":" << id << ",\"t_us\":" << t
+       << "}\n";
+  }
+  // Version chains, one line per key (keys sorted).
+  std::vector<storage::TupleKey> keys;
+  keys.reserve(chains_.size());
+  for (const auto& [key, chain] : chains_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  for (storage::TupleKey key : keys) {
+    const std::vector<VersionRecord>& chain = chains_.at(key);
+    os << "{\"kind\":\"chain\",\"key\":" << key << ",\"versions\":[";
+    for (size_t i = 0; i < chain.size(); ++i) {
+      if (i > 0) os << ",";
+      os << "{\"writer\":" << chain[i].writer
+         << ",\"t_us\":" << chain[i].commit_time
+         << ",\"value\":" << chain[i].value << "}";
+    }
+    os << "]}\n";
+  }
+  for (const ReadRecord& r : reads_) {
+    os << "{\"kind\":\"read\",\"txn\":" << r.reader << ",\"key\":" << r.key
+       << ",\"partition\":" << r.partition
+       << ",\"observed\":" << r.observed_writer << ",\"t_us\":" << r.at
+       << "}\n";
+  }
+  // Direct write applies, in apply order: which partition installed which
+  // writer's version. Lets offline tooling reconstruct where a committed
+  // write physically landed (reads and chains alone can't).
+  for (const WriteApplyRecord& a : write_applies_) {
+    os << "{\"kind\":\"apply\",\"txn\":" << a.writer << ",\"key\":" << a.key
+       << ",\"partition\":" << a.partition << ",\"t_us\":" << a.at << "}\n";
+  }
+  out << os.str();
+  if (!out) return Status::Unavailable("short write to " + path);
+  return Status::OK();
+}
+
+}  // namespace soap::check

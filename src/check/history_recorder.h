@@ -1,0 +1,140 @@
+// History recording for the offline consistency checker (src/check): a
+// low-overhead recorder that captures, in virtual-time order, every
+// committed write (the per-key version chain), every routed read with the
+// version it observed, and the exact apply stream each partition saw
+// (via storage::StorageObserver). Detached — the default — every hook is
+// a nullptr check in the host, so runs without `--check` stay
+// byte-identical to the seed.
+//
+// Observation model. Bulk-loaded initial versions are writer 0. Client
+// writes apply under exclusive commit locks, and all of a transaction's
+// phase-2 applies precede its FinishCommit, so the per-key chain (appended
+// in FinishCommit order) is the serialization order of writers. Copy
+// applies (kMigrateInsert / kReplicaCreate inserts, txn-0 catch-up
+// refreshes) carry the chain-tail version at apply time: the repartition
+// transaction holds the key's exclusive lock from staging to commit, so
+// the tail cannot move underneath the copy. A carrier that writes a key
+// it also deploys installs the copy first and then applies its own write
+// on top of it, so the fresh copy's last writer is the carrier itself.
+
+#ifndef SOAP_CHECK_HISTORY_RECORDER_H_
+#define SOAP_CHECK_HISTORY_RECORDER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/time.h"
+#include "src/storage/storage_observer.h"
+#include "src/storage/tuple.h"
+#include "src/txn/transaction.h"
+
+namespace soap::check {
+
+/// One committed version of a key, in commit (FinishCommit) order.
+struct VersionRecord {
+  uint64_t writer = 0;  // committing transaction id
+  SimTime commit_time = 0;
+  int64_t value = 0;
+};
+
+/// One routed read and the version (by last writer) it observed at its
+/// serving partition. observed_writer 0 means the bulk-loaded initial
+/// version.
+struct ReadRecord {
+  uint64_t reader = 0;
+  storage::TupleKey key = 0;
+  uint32_t partition = 0;
+  uint64_t observed_writer = 0;
+  SimTime at = 0;
+};
+
+/// One direct write apply (kWrite phase-2 / write-through) on a partition.
+/// Copy applies and catch-up refreshes are folded into the last-writer map
+/// but not listed here: only chain-resolvable applies participate in the
+/// ordering check.
+struct WriteApplyRecord {
+  uint32_t partition = 0;
+  storage::TupleKey key = 0;
+  uint64_t writer = 0;
+  SimTime at = 0;
+};
+
+class HistoryRecorder : public storage::StorageObserver {
+ public:
+  /// Optional virtual-clock source; when set, write-apply records carry
+  /// their apply time (StorageObserver callbacks have no time parameter).
+  void set_clock(std::function<SimTime()> clock) { clock_ = std::move(clock); }
+
+  // --- storage::StorageObserver ---
+  void OnApplyInsert(uint32_t partition, uint64_t txn_id,
+                     const storage::Tuple& tuple) override;
+  void OnApplyUpdate(uint32_t partition, uint64_t txn_id,
+                     const storage::Tuple& tuple) override;
+  void OnApplyErase(uint32_t partition, uint64_t txn_id,
+                    storage::TupleKey key) override;
+
+  // --- transaction-manager hooks ---
+  /// A read dispatched to `partition`; snapshots the last writer the
+  /// recorder saw applied there.
+  void OnRead(uint64_t txn_id, storage::TupleKey key, uint32_t partition,
+              SimTime at);
+  /// A transaction reached kCommitted; appends its writes (final value per
+  /// key, in op order) to the per-key chains.
+  void OnCommit(const txn::Transaction& txn, SimTime commit_time);
+  /// A transaction reached kAborted.
+  void OnAbort(const txn::Transaction& txn);
+
+  // --- checker access ---
+  const std::unordered_map<storage::TupleKey, std::vector<VersionRecord>>&
+  chains() const {
+    return chains_;
+  }
+  const std::vector<ReadRecord>& reads() const { return reads_; }
+  const std::vector<WriteApplyRecord>& write_applies() const {
+    return write_applies_;
+  }
+  /// Committed transaction id -> commit virtual time.
+  const std::unordered_map<uint64_t, SimTime>& committed() const {
+    return committed_;
+  }
+  const std::unordered_set<uint64_t>& aborted() const { return aborted_; }
+
+  /// Last writer applied at (partition, key); 0 = initial version (or the
+  /// partition never stored the key).
+  uint64_t LastWriter(uint32_t partition, storage::TupleKey key) const;
+
+  /// The committed chain-tail value of `key`, or the bulk-load placeholder
+  /// when no write ever committed. Returns false when no chain exists.
+  bool TailValue(storage::TupleKey key, int64_t* value) const;
+
+  uint64_t txn_count() const {
+    return static_cast<uint64_t>(committed_.size() + aborted_.size());
+  }
+
+  /// Dumps the history as JSONL (one commit/read record per line), for
+  /// --history_out and offline tooling.
+  Status WriteHistoryFile(const std::string& path) const;
+
+ private:
+  uint64_t ChainTailWriter(storage::TupleKey key) const;
+  std::unordered_map<storage::TupleKey, uint64_t>& PartitionMap(
+      uint32_t partition);
+
+  std::unordered_map<storage::TupleKey, std::vector<VersionRecord>> chains_;
+  std::vector<ReadRecord> reads_;
+  std::vector<WriteApplyRecord> write_applies_;
+  std::unordered_map<uint64_t, SimTime> committed_;
+  std::unordered_set<uint64_t> aborted_;
+  /// Per partition: key -> last applied writer (chain-resolved).
+  std::vector<std::unordered_map<storage::TupleKey, uint64_t>> last_writer_;
+  std::function<SimTime()> clock_;
+};
+
+}  // namespace soap::check
+
+#endif  // SOAP_CHECK_HISTORY_RECORDER_H_

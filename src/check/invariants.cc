@@ -1,0 +1,204 @@
+#include "src/check/invariants.h"
+
+#include <string>
+
+namespace soap::check {
+
+void InvariantEngine::Violate(const std::string& check,
+                              const std::string& detail, SimTime at) {
+  violations_.push_back({check, detail, at});
+  if (audit_ != nullptr) {
+    obs::AuditRecord(audit_, "invariant", at)
+        .Str("check", check)
+        .Str("detail", detail);
+  }
+}
+
+bool InvariantEngine::NodeDown(uint32_t node) const {
+  return cluster_->node(node).down();
+}
+
+bool InvariantEngine::NodeStale(uint32_t node) const {
+  return stale_probe_ && stale_probe_(node);
+}
+
+void InvariantEngine::SweepQuiescent(SimTime now) {
+  auto& routing = cluster_->routing_table();
+  const uint32_t num_nodes = cluster_->num_nodes();
+
+  // Ownership, forward direction: every routed copy is stored where the
+  // table says, and no placement lists a partition twice.
+  checks_run_++;
+  for (storage::TupleKey key = 0; key < routing.num_keys(); ++key) {
+    Result<router::Placement> placement = routing.GetPlacement(key);
+    if (!placement.ok()) continue;  // never assigned (sparse bulk loads)
+    std::vector<uint32_t> copies;
+    copies.push_back(placement->primary);
+    for (uint32_t r : placement->replicas) copies.push_back(r);
+    for (size_t i = 0; i < copies.size(); ++i) {
+      for (size_t j = i + 1; j < copies.size(); ++j) {
+        if (copies[i] == copies[j]) {
+          Violate("ownership",
+                  "key " + std::to_string(key) + " placed twice on partition " +
+                      std::to_string(copies[i]),
+                  now);
+        }
+      }
+      if (copies[i] >= num_nodes) {
+        Violate("ownership",
+                "key " + std::to_string(key) + " placed on unknown partition " +
+                    std::to_string(copies[i]),
+                now);
+        continue;
+      }
+      if (NodeDown(copies[i])) continue;  // unreachable, not unowned
+      if (!cluster_->storage(copies[i]).Contains(key)) {
+        Violate("ownership",
+                "key " + std::to_string(key) + " routed to partition " +
+                    std::to_string(copies[i]) + " but not stored there",
+                now);
+      }
+    }
+  }
+
+  // Ownership, reverse direction: no partition stores a tuple the routing
+  // table does not place on it (orphans from a double-deployed migration).
+  checks_run_++;
+  for (uint32_t p = 0; p < num_nodes; ++p) {
+    cluster_->storage(p).table().ForEach([&](const storage::Tuple& tuple) {
+      Result<router::Placement> placement = routing.GetPlacement(tuple.key);
+      bool placed_here = placement.ok() && (placement->primary == p ||
+                                            placement->HasReplicaOn(p));
+      if (!placed_here) {
+        Violate("ownership",
+                "partition " + std::to_string(p) + " stores key " +
+                    std::to_string(tuple.key) +
+                    " the routing table does not place there",
+                now);
+      }
+    });
+  }
+
+  // Lock table drained with the run.
+  checks_run_++;
+  const size_t locked = cluster_->lock_manager().LockedKeyCount();
+  if (locked != 0) {
+    Violate("lock_table_empty",
+            std::to_string(locked) + " keys still locked after drain", now);
+  }
+
+  // WAL-replay idempotency on every live node.
+  checks_run_++;
+  for (uint32_t p = 0; p < num_nodes; ++p) {
+    if (NodeDown(p)) continue;
+    Status replay = cluster_->storage(p).VerifyRecoveryImage();
+    if (!replay.ok()) {
+      Violate("wal_idempotent",
+              "node " + std::to_string(p) + ": " + replay.ToString(), now);
+    }
+  }
+
+  // Replica coherence: live, caught-up replicas match the primary's
+  // content byte for byte.
+  checks_run_++;
+  for (storage::TupleKey key : routing.ReplicatedKeys()) {
+    Result<router::Placement> placement = routing.GetPlacement(key);
+    if (!placement.ok()) continue;
+    if (placement->primary >= num_nodes || NodeDown(placement->primary)) {
+      continue;
+    }
+    Result<storage::Tuple> primary_copy =
+        cluster_->storage(placement->primary).Read(key);
+    if (!primary_copy.ok()) continue;  // forward ownership already flagged
+    for (uint32_t r : placement->replicas) {
+      if (r >= num_nodes || NodeDown(r) || NodeStale(r)) continue;
+      Result<storage::Tuple> replica_copy = cluster_->storage(r).Read(key);
+      if (!replica_copy.ok()) continue;
+      if (replica_copy->content != primary_copy->content) {
+        Violate("replica_coherence",
+                "key " + std::to_string(key) + " replica on partition " +
+                    std::to_string(r) + " holds " +
+                    std::to_string(replica_copy->content) +
+                    " while primary partition " +
+                    std::to_string(placement->primary) + " holds " +
+                    std::to_string(primary_copy->content),
+                now);
+      }
+    }
+  }
+
+  // Final state: the recorded chain tail is what the primary stores.
+  if (history_ != nullptr) {
+    checks_run_++;
+    for (const auto& [key, chain] : history_->chains()) {
+      (void)chain;
+      int64_t expected = 0;
+      if (!history_->TailValue(key, &expected)) continue;
+      Result<uint32_t> primary = routing.GetPrimary(key);
+      if (!primary.ok() || *primary >= num_nodes || NodeDown(*primary)) {
+        continue;
+      }
+      Result<storage::Tuple> stored = cluster_->storage(*primary).Read(key);
+      if (!stored.ok()) continue;  // ownership check owns this case
+      if (stored->content != expected) {
+        Violate("final_state",
+                "key " + std::to_string(key) + " primary partition " +
+                    std::to_string(*primary) + " stores " +
+                    std::to_string(stored->content) +
+                    " but the committed chain tail is " +
+                    std::to_string(expected),
+                now);
+      }
+    }
+  }
+}
+
+void InvariantEngine::OnNodeRecovered(uint32_t node, SimTime now) {
+  checks_run_++;
+  if (NodeDown(node)) {
+    Violate("wal_idempotent",
+            "node " + std::to_string(node) +
+                " reported recovered while still down",
+            now);
+    return;
+  }
+  Status replay = cluster_->storage(node).VerifyRecoveryImage();
+  if (!replay.ok()) {
+    Violate("wal_idempotent",
+            "node " + std::to_string(node) + " after recovery: " +
+                replay.ToString(),
+            now);
+  }
+}
+
+void InvariantEngine::OnPromotion(storage::TupleKey key, uint32_t new_primary,
+                                  SimTime now) {
+  checks_run_++;
+  const uint64_t epoch = cluster_->routing_table().PlacementEpoch(key);
+  auto [it, inserted] = last_epoch_.try_emplace(key, epoch);
+  if (!inserted) {
+    if (epoch <= it->second) {
+      Violate("epoch_monotonic",
+              "key " + std::to_string(key) + " promoted with epoch " +
+                  std::to_string(epoch) + " not above the last observed " +
+                  std::to_string(it->second),
+              now);
+    }
+    it->second = epoch;
+  }
+  if (new_primary >= cluster_->num_nodes() || NodeDown(new_primary)) {
+    Violate("promotion",
+            "key " + std::to_string(key) + " promoted to partition " +
+                std::to_string(new_primary) + " which is down",
+            now);
+    return;
+  }
+  if (!cluster_->storage(new_primary).Contains(key)) {
+    Violate("promotion",
+            "key " + std::to_string(key) + " promoted to partition " +
+                std::to_string(new_primary) + " which stores no copy",
+            now);
+  }
+}
+
+}  // namespace soap::check

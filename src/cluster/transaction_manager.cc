@@ -370,6 +370,9 @@ void TransactionManager::RunOp(const ExecPtr& e, size_t op_index) {
       }
       op.source_partition = p;
       e->AddParticipant(p);
+      if (history_ != nullptr) {
+        history_->OnRead(e->txn->id, op.key, p, sim_->Now());
+      }
       cluster_->node(p).RunJob(costs.read_query, CategoryFor(e, op),
                                JobClass::kBulk, advance);
       return;
@@ -645,54 +648,81 @@ Status TransactionManager::ApplyAtPartition(const ExecPtr& e,
     if (!s.ok() && first_error.ok()) first_error = std::move(s);
   };
   const size_t total = TotalOps(e);
+  auto skipped = [&e](const Operation& op) {
+    return op.repartition_op_id != 0 &&
+           e->skipped_rep_ops.count(op.repartition_op_id) > 0;
+  };
+  // Does this transaction itself deploy a copy of `key` onto this
+  // partition (piggybacked migrate / replica-create)? A carrier can both
+  // write a key and carry that key's deployment; the staged copy was
+  // captured before the carrier's buffered write existed anywhere, so the
+  // copy installs first (pass 1) and the write must then land on the
+  // fresh copy too (pass 2) — otherwise the carrier's own committed write
+  // would survive only on the about-to-be-erased source.
+  auto deploys_copy_here = [&](storage::TupleKey key) {
+    for (size_t i = 0; i < total; ++i) {
+      const Operation& op = OpAt(e, i);
+      if (skipped(op)) continue;
+      if ((op.kind == OpKind::kMigrateInsert ||
+           op.kind == OpKind::kReplicaCreate) &&
+          op.key == key && op.target_partition == partition) {
+        return true;
+      }
+    }
+    return false;
+  };
+  // Pass 1: install staged copies at migrate / replica-create targets.
   for (size_t i = 0; i < total; ++i) {
     Operation& op = OpAt(e, i);
-    if (op.repartition_op_id != 0 &&
-        e->skipped_rep_ops.count(op.repartition_op_id) > 0) {
+    if (skipped(op)) continue;
+    if (op.kind != OpKind::kMigrateInsert &&
+        op.kind != OpKind::kReplicaCreate) {
       continue;
     }
-    switch (op.kind) {
-      case OpKind::kRead:
-        break;
-      case OpKind::kWrite: {
-        bool applies_here = op.source_partition == partition;
-        if (!applies_here && replica_aware_) {
-          // Shipped log apply: a replica holder applies the write during
-          // its own phase 2 (write-through in ApplyRoutingUpdates skips
-          // partitions that already applied).
-          Result<router::Placement> placement =
-              cluster_->routing_table().GetPlacement(op.key);
-          applies_here = placement.ok() &&
-                         placement->primary != partition &&
-                         placement->HasReplicaOn(partition);
-        }
-        if (applies_here) {
-          Status s = cluster_->storage(partition)
-                         .ApplyUpdate(txn.id, op.key, op.write_value);
-          // Updating a vanished row affects 0 rows; not an anomaly.
-          if (!s.ok() && !s.IsNotFound()) note(std::move(s));
-        }
-        break;
-      }
-      case OpKind::kMigrateInsert:
-      case OpKind::kReplicaCreate:
-        if (op.target_partition == partition) {
-          auto staged = e->staged.find(op.key);
-          if (staged == e->staged.end()) {
-            note(Status::Internal("no staged tuple for key " +
-                                  std::to_string(op.key)));
-            break;
-          }
-          note(cluster_->storage(partition)
-                   .ApplyInsert(txn.id, staged->second));
-        }
-        break;
-      case OpKind::kMigrateDelete:
-      case OpKind::kReplicaDelete:
-        // Deferred to ApplyRoutingUpdates so the tuple stays reachable
-        // until the routing flip (Zephyr-style late source cleanup).
-        break;
+    if (op.target_partition != partition) continue;
+    // Deliberate-corruption hook: drop the staged copy install, so
+    // routing registers a replica whose holder stores nothing.
+    if (op.kind == OpKind::kReplicaCreate &&
+        FireBreak(check::BreakMode::kReplicaApply)) {
+      continue;
     }
+    auto staged = e->staged.find(op.key);
+    if (staged == e->staged.end()) {
+      note(Status::Internal("no staged tuple for key " +
+                            std::to_string(op.key)));
+      continue;
+    }
+    note(cluster_->storage(partition).ApplyInsert(txn.id, staged->second));
+  }
+  // Pass 2: direct write applies. kMigrateDelete / kReplicaDelete are
+  // deferred to ApplyRoutingUpdates so the tuple stays reachable until
+  // the routing flip (Zephyr-style late source cleanup).
+  for (size_t i = 0; i < total; ++i) {
+    Operation& op = OpAt(e, i);
+    if (skipped(op) || op.kind != OpKind::kWrite) continue;
+    bool applies_here = op.source_partition == partition;
+    if (!applies_here) applies_here = deploys_copy_here(op.key);
+    if (!applies_here && replica_aware_) {
+      // Shipped log apply: a replica holder applies the write during
+      // its own phase 2 (write-through in ApplyRoutingUpdates skips
+      // partitions that already applied).
+      Result<router::Placement> placement =
+          cluster_->routing_table().GetPlacement(op.key);
+      applies_here = placement.ok() && placement->primary != partition &&
+                     placement->HasReplicaOn(partition);
+    }
+    if (!applies_here) continue;
+    // Deliberate-corruption hooks: drop this one apply on the
+    // primary (lost update) or on a replica (silent divergence).
+    const bool primary_apply = op.source_partition == partition;
+    if (primary_apply ? FireBreak(check::BreakMode::kLostWrite)
+                      : FireBreak(check::BreakMode::kReplicaApply)) {
+      continue;
+    }
+    Status s = cluster_->storage(partition)
+                   .ApplyUpdate(txn.id, op.key, op.write_value);
+    // Updating a vanished row affects 0 rows; not an anomaly.
+    if (!s.ok() && !s.IsNotFound()) note(std::move(s));
   }
   return first_error;
 }
@@ -757,6 +787,9 @@ void TransactionManager::ApplyRoutingUpdates(const ExecPtr& e) {
         break;
       }
       case OpKind::kMigrateDelete: {
+        // Deliberate-corruption hook: skip the source cleanup, leaving the
+        // tuple deployed twice (stored where routing no longer places it).
+        if (FireBreak(check::BreakMode::kDoubleDeploy)) break;
         Status s = cluster_->storage(op.source_partition)
                        .ApplyErase(txn.id, op.key);
         if (!s.ok()) {
@@ -816,6 +849,7 @@ void TransactionManager::FinishCommit(const ExecPtr& e) {
   cluster_->lock_manager().ReleaseAll(txn.id);
   txn.state = TxnState::kCommitted;
   txn.finish_time = sim_->Now();
+  if (history_ != nullptr) history_->OnCommit(txn, txn.finish_time);
   if (txn.is_repartition) {
     counters_.committed_repartition++;
   } else {
@@ -858,6 +892,7 @@ void TransactionManager::AbortTransaction(const ExecPtr& e,
   txn.state = TxnState::kAborted;
   txn.abort_reason = reason;
   txn.finish_time = sim_->Now();
+  if (history_ != nullptr) history_->OnAbort(txn);
   if (txn.is_repartition) {
     counters_.aborted_repartition++;
   } else {
@@ -935,6 +970,7 @@ void TransactionManager::DrainQueue(txn::AbortReason reason) {
     t->state = TxnState::kAborted;
     t->abort_reason = reason;
     t->finish_time = sim_->Now();
+    if (history_ != nullptr) history_->OnAbort(*t);
     if (t->is_repartition) {
       counters_.aborted_repartition++;
     } else {

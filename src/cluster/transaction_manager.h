@@ -13,6 +13,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/check/break_mode.h"
+#include "src/check/history_recorder.h"
 #include "src/cluster/cluster.h"
 #include "src/cluster/processing_queue.h"
 #include "src/obs/metrics.h"
@@ -98,6 +100,19 @@ class TransactionManager {
   /// pre-replication code paths.
   void EnableReplicaAwareness() { replica_aware_ = true; }
   bool replica_aware() const { return replica_aware_; }
+
+  /// Attaches the consistency checker's history recorder: reads, commits
+  /// and aborts are reported to it (storage applies flow in separately via
+  /// storage::StorageObserver). nullptr (default) detaches — every hook is
+  /// one branch, so detached runs are byte-identical.
+  void set_history(check::HistoryRecorder* history) { history_ = history; }
+
+  /// Deliberate-corruption hook (--check_break): the chosen mutation is
+  /// injected exactly once per run so tests can prove the checker detects
+  /// it. kNone (default) injects nothing.
+  void set_check_break(check::BreakMode mode) { check_break_ = mode; }
+  /// How many deliberate corruptions actually fired (0 or 1).
+  uint64_t check_breaks_fired() const { return check_breaks_fired_; }
 
   /// Test hook: a participant votes abort in 2PC when this returns true.
   void set_vote_abort_injector(
@@ -211,6 +226,16 @@ class TransactionManager {
   size_t inflight_low_ = 0;
   bool dispatch_scheduled_ = false;
   bool replica_aware_ = false;
+  check::HistoryRecorder* history_ = nullptr;
+  check::BreakMode check_break_ = check::BreakMode::kNone;
+  uint64_t check_breaks_fired_ = 0;
+
+  /// True (exactly once) when the armed corruption mode matches `mode`.
+  bool FireBreak(check::BreakMode mode) {
+    if (check_break_ != mode || check_breaks_fired_ > 0) return false;
+    check_breaks_fired_++;
+    return true;
+  }
 };
 
 }  // namespace soap::cluster

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <sstream>
 
+#include "src/check/history_recorder.h"
+#include "src/check/invariants.h"
 #include "src/common/histogram.h"
 #include "src/common/logging.h"
 #include "src/fault/fault_injector.h"
@@ -45,6 +47,7 @@ ExperimentConfig::ExperimentConfig(const ExperimentConfig& o)
       fault_options(o.fault_options),
       planner_options(o.planner_options),
       replicas(o.replicas),
+      check(o.check),
       obs(o.obs),
       drain_and_audit(o.drain_and_audit),
       drain_cap(o.drain_cap),
@@ -60,6 +63,7 @@ ExperimentConfig::ExperimentConfig(ExperimentConfig&& o) noexcept
       fault_options(std::move(o.fault_options)),
       planner_options(std::move(o.planner_options)),
       replicas(o.replicas),
+      check(std::move(o.check)),
       obs(std::move(o.obs)),
       drain_and_audit(o.drain_and_audit),
       drain_cap(o.drain_cap),
@@ -76,6 +80,7 @@ ExperimentConfig& ExperimentConfig::operator=(const ExperimentConfig& o) {
   fault_options = o.fault_options;
   planner_options = o.planner_options;
   replicas = o.replicas;
+  check = o.check;
   obs = o.obs;
   drain_and_audit = o.drain_and_audit;
   drain_cap = o.drain_cap;
@@ -94,6 +99,7 @@ ExperimentConfig& ExperimentConfig::operator=(ExperimentConfig&& o) noexcept {
   fault_options = std::move(o.fault_options);
   planner_options = std::move(o.planner_options);
   replicas = o.replicas;
+  check = std::move(o.check);
   obs = std::move(o.obs);
   drain_and_audit = o.drain_and_audit;
   drain_cap = o.drain_cap;
@@ -180,6 +186,18 @@ Status ExperimentConfig::Validate() const {
         "planner.builder.replicate_read_heavy requires replicas.enabled "
         "(the transaction layer must be replica-aware to maintain copies)");
   }
+  if (!check.break_mode.empty()) {
+    check::BreakMode mode = check::BreakMode::kNone;
+    if (!check::ParseBreakMode(check.break_mode, &mode)) {
+      return Status::InvalidArgument("unknown --check_break mode: " +
+                                     check.break_mode);
+    }
+    if (mode == check::BreakMode::kReplicaApply && !replicas.enabled) {
+      return Status::InvalidArgument(
+          "--check_break=replica_apply needs replicas enabled: without them "
+          "there is no replica apply path to corrupt");
+    }
+  }
   return Status::OK();
 }
 
@@ -222,6 +240,30 @@ ExperimentResult Experiment::Run() {
   }
   cluster.CheckpointAll();  // seal the load base: WALs stay replayable
 
+  // --- Consistency checking (off by default; see CheckOptions). The
+  // recorder observes every storage apply and TM lifecycle event; the
+  // invariant engine sweeps cluster-wide structure at quiescent points.
+  // With check off no observer or hook is installed, so the run stays
+  // byte-identical to an unchecked build.
+  const bool check_on = config_.check.Enabled();
+  std::unique_ptr<check::HistoryRecorder> recorder;
+  std::unique_ptr<check::InvariantEngine> invariants;
+  if (check_on) {
+    result.check_enabled = true;
+    recorder = std::make_unique<check::HistoryRecorder>();
+    recorder->set_clock([&sim]() { return sim.Now(); });
+    for (uint32_t p = 0; p < cluster.num_nodes(); ++p) {
+      cluster.storage(p).set_observer(recorder.get());
+    }
+    tm.set_history(recorder.get());
+    check::BreakMode mode = check::BreakMode::kNone;
+    check::ParseBreakMode(config_.check.break_mode, &mode);  // validated
+    tm.set_check_break(mode);
+    cluster.routing_table().EnableEpochTracking();
+    invariants =
+        std::make_unique<check::InvariantEngine>(&cluster, recorder.get());
+  }
+
   workload::WorkloadHistory history(
       static_cast<uint32_t>(catalog.size()), config_.history_window);
   core::Repartitioner repartitioner(
@@ -237,14 +279,29 @@ ExperimentResult Experiment::Run() {
     result.replicas_enabled = true;
     tm.EnableReplicaAwareness();
     cluster.router().set_policy(router::ReplicaPolicy::kNearestLive);
-    cluster.router().set_down_probe([&cluster](router::PartitionId p) {
-      return cluster.node(p).down();
-    });
     replica::ReplicaManagerConfig rc;
     rc.promotion_delay = config_.replicas.promotion_delay;
     rc.catchup_fixed = config_.replicas.catchup_fixed;
     rc.catchup_per_tuple = config_.replicas.catchup_per_tuple;
     replica_mgr = std::make_unique<replica::ReplicaManager>(&cluster, rc);
+    // A restarted node's surviving replicas may lag the primary until its
+    // catch-up sweep finishes; routing such nodes as down keeps reads on
+    // copies that are at least as fresh. (The node's own primaries are
+    // exact — WAL replay restored them — so writes are unaffected, and
+    // the router falls back to the primary if every replica is out.)
+    cluster.router().set_down_probe(
+        [&cluster, rm = replica_mgr.get()](router::PartitionId p) {
+          return cluster.node(p).down() || rm->IsStale(p);
+        });
+    if (check_on) {
+      invariants->set_stale_probe([rm = replica_mgr.get()](uint32_t n) {
+        return rm->IsStale(n);
+      });
+      replica_mgr->set_promotion_hook(
+          [&sim, inv = invariants.get()](storage::TupleKey key, uint32_t np) {
+            inv->OnPromotion(key, np, sim.Now());
+          });
+    }
   }
 
   // --- Online planner (off by default; with it the one-shot optimizer
@@ -298,6 +355,7 @@ ExperimentResult Experiment::Run() {
       online_planner->BindAudit(audit_log.get(), &sim);
     }
     if (replica_mgr != nullptr) replica_mgr->set_audit(audit_log.get());
+    if (invariants != nullptr) invariants->set_audit(audit_log.get());
     // Header record: enough run context to read the file standalone.
     obs::AuditRecord rec(audit_log.get(), "run_meta", sim.Now());
     rec.U64("seed", config_.seed)
@@ -327,6 +385,13 @@ ExperimentResult Experiment::Run() {
   // schedules no fault events and draws no fault randomness, so it stays
   // byte-identical to a build without the fault layer).
   std::unique_ptr<fault::FaultInjector> injector;
+  // Per-node recovery generation: a node that crashes again while its
+  // recovery replay is still in flight invalidates that replay — the new
+  // restart runs replay again from the checkpoint image, and only the
+  // completion whose epoch matches fires the restart hooks. (The replay
+  // job itself is vaporised by Crash(); the epoch makes the protocol
+  // robust even if a completion were ever delivered late.)
+  std::vector<uint64_t> recovery_epoch(cluster.num_nodes(), 0);
   if (!config_.fault_spec.empty()) {
     Result<fault::FaultSpec> spec =
         fault::FaultSpec::Parse(config_.fault_spec);
@@ -353,12 +418,23 @@ ExperimentResult Experiment::Run() {
     tpc_cfg.jitter = spec->tpc.jitter;
     tpc_cfg.seed = fseed ^ 0x9e3779b97f4a7c15ULL;
     cluster.tpc().EnableFaultHandling(tpc_cfg);
+    // Decision-retry giveup heuristic: a decided 2PC outcome keeps being
+    // re-sent while it could still be lost (down-but-returning
+    // coordinator, live unacked participant) instead of finalizing with
+    // its applies missing.
+    cluster.tpc().set_down_probe([inj = injector.get()](sim::NodeId n) {
+      return inj->NodeDown(n);
+    });
+    cluster.tpc().set_gone_probe([inj = injector.get()](sim::NodeId n) {
+      return inj->NeverRestarts(n);
+    });
 
     repartitioner.EnableFaultHandling(fseed ^ 0x2545f4914f6cdd1dULL);
     repartitioner.set_backoff(spec->retry.base, spec->retry.cap);
 
     injector->set_on_crash([&](sim::NodeId n) {
       const auto node = static_cast<uint32_t>(n);
+      ++recovery_epoch[node];
       cluster.node(node).Crash();
       cluster.tpc().OnNodeCrash(n);
       tm.OnNodeCrash(node);
@@ -381,15 +457,20 @@ ExperimentResult Experiment::Run() {
       const Duration replay = config_.cluster.costs.recovery_fixed +
                               config_.cluster.costs.recovery_per_record *
                                   wal_records;
+      const uint64_t epoch = recovery_epoch[node];
       cluster.node(node).RunJob(
           replay, cluster::WorkCategory::kExternal,
-          cluster::JobClass::kUrgent, [&, node, replay]() {
+          cluster::JobClass::kUrgent, [&, node, replay, epoch]() {
+            if (recovery_epoch[node] != epoch) return;  // re-crashed
             if (metrics) {
               metrics->GetHistogram("soap_node_recovery_seconds")
                   ->Record(replay);
             }
             repartitioner.OnNodeRestart(node);
             if (replica_mgr != nullptr) replica_mgr->OnNodeRestart(node);
+            if (invariants != nullptr) {
+              invariants->OnNodeRecovered(node, sim.Now());
+            }
           });
     });
     if (metrics) injector->BindMetrics(metrics.get());
@@ -738,6 +819,44 @@ ExperimentResult Experiment::Run() {
   result.end_time = sim.Now();
   result.events_executed = sim.events_executed();
 
+  // --- Consistency verdict: offline history audit plus the quiescent
+  // invariant sweep (the sweep's preconditions — empty lock table, settled
+  // routing — only hold once the drain succeeded).
+  if (check_on) {
+    if (invariants != nullptr && result.drained) {
+      invariants->SweepQuiescent(sim.Now());
+    }
+    result.check_report = check::CheckHistory(
+        *recorder,
+        config_.cluster.isolation == cluster::IsolationLevel::kSerializable);
+    if (audit_log != nullptr) {
+      // Mirror the offline checker's violations as audit records (the
+      // invariant engine already wrote its own as they fired).
+      for (const check::Violation& v : result.check_report.violations) {
+        obs::AuditRecord rec(audit_log.get(), "invariant", v.at);
+        rec.Str("check", v.check).Str("detail", v.detail);
+      }
+    }
+    for (const check::Violation& v : invariants->violations()) {
+      result.check_report.violations.push_back(v);
+    }
+    result.invariant_checks = invariants->checks_run();
+    result.check_breaks_fired = tm.check_breaks_fired();
+    if (audit_log != nullptr) {
+      obs::AuditRecord rec(audit_log.get(), "check_summary", sim.Now());
+      rec.U64("violations", result.check_report.violations.size())
+          .U64("txns", result.check_report.txns_checked)
+          .U64("reads", result.check_report.reads_checked)
+          .U64("ww", result.check_report.ww_edges)
+          .U64("wr", result.check_report.wr_edges)
+          .U64("rw", result.check_report.rw_edges)
+          .U64("rw_cycles", result.check_report.rw_cycles)
+          .U64("invariant_checks", result.invariant_checks)
+          .U64("breaks_fired", result.check_breaks_fired)
+          .Bool("ok", result.check_report.ok());
+    }
+  }
+
   if (audit_log != nullptr) {
     // Trailer record: final counters so a truncated run is detectable and
     // the file summarises itself without the metrics export.
@@ -783,6 +902,9 @@ ExperimentResult Experiment::Run() {
   }
   if (audit_log != nullptr && !config_.obs.audit_out.empty()) {
     note_export(audit_log->WriteFile(config_.obs.audit_out));
+  }
+  if (recorder != nullptr && !config_.check.history_out.empty()) {
+    note_export(recorder->WriteHistoryFile(config_.check.history_out));
   }
   if (timeline != nullptr && !config_.obs.timeline_out.empty()) {
     note_export(timeline->WriteFile(config_.obs.timeline_out));
@@ -846,6 +968,18 @@ std::string ExperimentResult::Summary() const {
        << " failovers=" << replica_stats.failovers
        << " catchup_refreshed=" << replica_stats.catchup_refreshed
        << " catchup_dropped=" << replica_stats.catchup_dropped << "]";
+  }
+  if (check_enabled) {
+    os << ", check[violations=" << check_report.violations.size()
+       << " txns=" << check_report.txns_checked
+       << " reads=" << check_report.reads_checked
+       << " ww=" << check_report.ww_edges << " wr=" << check_report.wr_edges
+       << " rw=" << check_report.rw_edges
+       << " invariant_checks=" << invariant_checks;
+    if (check_breaks_fired > 0) {
+      os << " breaks_fired=" << check_breaks_fired;
+    }
+    os << "]";
   }
   os << ", audit=" << audit.ToString();
   return os.str();

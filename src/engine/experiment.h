@@ -12,6 +12,8 @@
 #include <memory>
 #include <string>
 
+#include "src/check/break_mode.h"
+#include "src/check/checker.h"
 #include "src/common/series.h"
 #include "src/common/status.h"
 #include "src/core/soap.h"
@@ -125,6 +127,27 @@ struct FaultOptions {
   Disturbance disturbance;
 };
 
+/// End-to-end consistency checking (src/check/). Off by default; off means
+/// no recorder is attached, every hook in the hot path is one untaken
+/// branch, and the run stays byte-identical to the seed. On, the run
+/// records its full read/write history, verifies it offline after the
+/// drain (serializability rules per the configured isolation level), and
+/// sweeps the online invariants at the quiescent point.
+struct CheckOptions {
+  bool enabled = false;
+  /// JSONL dump of the recorded history (empty: off; implies enabled).
+  std::string history_out;
+  /// Deliberate-corruption mode ("replica_apply", "double_deploy",
+  /// "lost_write"; empty/"none": off; implies enabled). Used by tests to
+  /// prove the checker detects each bug class.
+  std::string break_mode;
+
+  bool Enabled() const {
+    return enabled || !history_out.empty() ||
+           (!break_mode.empty() && break_mode != "none");
+  }
+};
+
 /// Online co-access-graph planner (src/planner/). Disabled by default:
 /// the planner is then never constructed, the one-shot optimizer plan
 /// deploys at the end of warmup as always, and the run stays
@@ -170,6 +193,7 @@ struct ExperimentConfig {
   FaultOptions fault_options;
   PlannerOptions planner_options;
   ReplicaOptions replicas;
+  CheckOptions check;
   ObsOptions obs;
   /// After the last interval: stop submitting and run the system dry, then
   /// audit storage/routing consistency.
@@ -251,6 +275,14 @@ struct ExperimentResult {
   Series replica_read_ratio{"replica_read_ratio"};
   /// Plan generations deployed (1 for the static one-shot pipeline).
   uint64_t plan_generations = 0;
+  /// Consistency-checker outputs; defaults unless `check` was enabled.
+  bool check_enabled = false;
+  /// Offline history verdict merged with the online invariant sweep.
+  check::CheckReport check_report;
+  /// Online invariant checks evaluated (sweeps + lifecycle hooks).
+  uint64_t invariant_checks = 0;
+  /// Deliberate corruptions injected by --check_break (0 or 1).
+  uint64_t check_breaks_fired = 0;
   Status audit = Status::OK();       ///< end-of-run consistency audit
   bool drained = false;
   bool plan_completed = false;

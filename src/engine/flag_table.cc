@@ -41,12 +41,14 @@ std::string FlagTable::Help(std::string_view program,
                             std::string_view tagline) const {
   size_t width = 0;
   for (const FlagDef& def : defs_) {
+    if (def.hidden) continue;
     const std::string arg = TypeName(def.type);
     width = std::max(width, def.name.size() + (arg.empty() ? 0 : 1 + arg.size()));
   }
   std::ostringstream os;
   os << program << " — " << tagline << "\n\n";
   for (const FlagDef& def : defs_) {
+    if (def.hidden) continue;
     std::string left = "--" + def.name;
     const std::string arg = TypeName(def.type);
     if (!arg.empty()) left += " " + arg;
@@ -424,6 +426,29 @@ FlagTable ExperimentFlagTable() {
                     }
                     return Status::OK();
                   }});
+  defs.push_back({"check", FlagType::kBool, "off",
+                  "record the run's history and verify consistency "
+                  "(serializability audit + online invariants)",
+                  [](F f, C c) -> Status {
+                    if (f.GetBool("check")) c->check.enabled = true;
+                    return Status::OK();
+                  }});
+  defs.push_back({"history_out", FlagType::kString, "",
+                  "JSONL dump of the recorded history (implies --check)",
+                  [](F f, C c) -> Status {
+                    c->check.history_out = f.GetString("history_out", "");
+                    return Status::OK();
+                  }});
+  // Hidden checker self-test hook: injects exactly one deliberate bug of
+  // the named class so tests can prove the checker catches it.
+  defs.push_back({"check_break", FlagType::kString, "",
+                  "replica_apply|double_deploy|lost_write: corrupt one "
+                  "apply on purpose (implies --check; testing only)",
+                  [](F f, C c) -> Status {
+                    c->check.break_mode = f.GetString("check_break", "");
+                    return Status::OK();
+                  },
+                  /*hidden=*/true});
   defs.push_back({"log_level", FlagType::kString, "warn",
                   "debug|info|warn|error",
                   [](F f, C c) -> Status {

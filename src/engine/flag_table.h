@@ -31,6 +31,8 @@ struct FlagDef {
   /// itself (presentation flags like --csv) or that another row's binding
   /// reads (e.g. --alpha, folded into --workload's binding).
   std::function<Status(const Flags&, ExperimentConfig*)> bind;
+  /// Accepted but left out of --help (testing hooks like --check_break).
+  bool hidden = false;
 };
 
 class FlagTable {

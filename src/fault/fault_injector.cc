@@ -23,6 +23,8 @@ void FaultInjector::Crash(const CrashEvent& ev) {
   if (on_crash_) on_crash_(ev.node);
   if (ev.down > 0) {
     sim_->After(ev.down, [this, node = ev.node] { Restart(node); });
+  } else {
+    gone_.insert(ev.node);
   }
 }
 
@@ -46,9 +48,19 @@ void FaultInjector::Restart(sim::NodeId node) {
     }
   }
   for (auto& deliver : redeliver) {
-    ++stats_.msgs_redelivered;
-    if (m_redelivered_) m_redelivered_->Increment();
-    sim_->After(Millis(1), std::move(deliver));
+    // The node can crash *again* inside this 1ms window (or later, while
+    // its WAL replay is still in flight). Re-check at delivery time and
+    // re-park instead of handing a message to a down node — it will ride
+    // the next restart.
+    sim_->After(Millis(1), [this, node, d = std::move(deliver)]() mutable {
+      if (down_.count(node) != 0) {
+        Park(node, std::move(d));
+        return;
+      }
+      ++stats_.msgs_redelivered;
+      if (m_redelivered_) m_redelivered_->Increment();
+      d();
+    });
   }
 }
 

@@ -62,6 +62,13 @@ class FaultInjector : public sim::NetworkFaultHooks {
     return down_.count(node) != 0;
   }
 
+  /// True for a node crashed with down=0: it is gone for good, nothing
+  /// parked for it will ever be redelivered. Consumers (the 2PC decision
+  /// retry) stop waiting on such nodes.
+  bool NeverRestarts(sim::NodeId node) const {
+    return gone_.count(node) != 0;
+  }
+
   // sim::NetworkFaultHooks
   sim::MsgFate OnMessage(sim::NodeId from, sim::NodeId to,
                          sim::MsgClass cls) override;
@@ -83,6 +90,7 @@ class FaultInjector : public sim::NetworkFaultHooks {
   std::function<void(sim::NodeId)> on_crash_;
   std::function<void(sim::NodeId)> on_restart_;
   std::set<sim::NodeId> down_;
+  std::set<sim::NodeId> gone_;
   std::vector<std::pair<sim::NodeId, sim::InlineFn>> parked_;
   FaultStats stats_;
   obs::Counter* m_crashes_ = nullptr;

@@ -66,6 +66,8 @@ const std::map<std::string, std::vector<const char*>>& AuditFieldTable() {
       {"abort", {"plan", "rid", "txn", "kind", "reason", "attempt"}},
       {"promotion", {"node", "promoted", "failovers"}},
       {"catchup", {"node", "refreshed", "dropped"}},
+      {"invariant", {"check", "detail"}},
+      {"check_summary", {"violations", "txns", "reads", "ok"}},
       {"run_end", {"events", "committed_normal", "drained"}},
   };
   return table;
@@ -166,13 +168,38 @@ std::string Sparkline(const std::vector<double>& values, int width = 220,
 }  // namespace
 
 Result<std::vector<json::Value>> LoadJsonlFile(const std::string& path) {
+  return LoadJsonlFile(path, nullptr);
+}
+
+Result<std::vector<json::Value>> LoadJsonlFile(const std::string& path,
+                                               bool* truncated_final_line) {
+  if (truncated_final_line != nullptr) *truncated_final_line = false;
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     return Status::NotFound("cannot open " + path);
   }
   std::ostringstream buf;
   buf << in.rdbuf();
-  Result<std::vector<json::Value>> parsed = json::ParseLines(buf.str());
+  const std::string text = buf.str();
+  Result<std::vector<json::Value>> parsed = json::ParseLines(text);
+  if (!parsed.ok() && truncated_final_line != nullptr) {
+    // Recover from a partial final line: everything up to the last newline
+    // must parse cleanly, and the tail on its own must not (a complete
+    // final record that merely lost its newline is not truncation).
+    const size_t tail_end = text.find_last_not_of("\r\n");
+    const size_t cut =
+        tail_end == std::string::npos ? std::string::npos
+                                      : text.rfind('\n', tail_end);
+    if (cut != std::string::npos) {
+      const std::string_view head(text.data(), cut + 1);
+      const std::string_view tail(text.data() + cut + 1, tail_end - cut);
+      Result<std::vector<json::Value>> head_parsed = json::ParseLines(head);
+      if (head_parsed.ok() && !json::Parse(tail).ok()) {
+        *truncated_final_line = true;
+        return head_parsed;
+      }
+    }
+  }
   if (!parsed.ok()) {
     return Status::InvalidArgument(path + ": " +
                                    parsed.status().ToString());
@@ -476,6 +503,29 @@ std::string Summary(const RunData& run) {
        << FmtDouble(max_load) << " on partition " << max_load_partition
        << ", migrations=" << migrations << " replica_creates=" << creates
        << " replica_drops=" << drops << "\n";
+  }
+
+  std::map<std::string, uint64_t> invariant_hits;
+  for (const json::Value& rec : run.audit) {
+    if (rec.GetString("type") == "invariant") {
+      ++invariant_hits[rec.GetString("check")];
+    }
+    if (rec.GetString("type") == "check_summary") {
+      os << "check: " << (GetBool(rec, "ok") ? "ok" : "VIOLATIONS")
+         << " violations=" << rec.GetUint64("violations")
+         << " txns=" << rec.GetUint64("txns")
+         << " reads=" << rec.GetUint64("reads")
+         << " ww=" << rec.GetUint64("ww") << " wr=" << rec.GetUint64("wr")
+         << " rw=" << rec.GetUint64("rw")
+         << " invariant_checks=" << rec.GetUint64("invariant_checks");
+      if (rec.GetUint64("breaks_fired") > 0) {
+        os << " breaks_fired=" << rec.GetUint64("breaks_fired");
+      }
+      os << "\n";
+    }
+  }
+  if (!invariant_hits.empty()) {
+    os << "check violations by rule: " << JoinCounts(invariant_hits) << "\n";
   }
 
   for (const json::Value& rec : run.audit) {

@@ -40,6 +40,12 @@ struct RunData {
 /// Reads and parses one JSONL file.
 Result<std::vector<json::Value>> LoadJsonlFile(const std::string& path);
 
+/// Tolerant variant: a malformed FINAL line (a writer that died mid-record
+/// leaves exactly this shape) is dropped and `*truncated_final_line` is set
+/// instead of failing the load. Corruption anywhere earlier still fails.
+Result<std::vector<json::Value>> LoadJsonlFile(const std::string& path,
+                                               bool* truncated_final_line);
+
 /// Schema check for an audit stream: version, known record types,
 /// per-type required fields, non-decreasing virtual time.
 Status ValidateAudit(const std::vector<json::Value>& records);

@@ -38,6 +38,9 @@ void ReplicaManager::OnNodeCrash(uint32_t node) {
   // Nothing to fail over if no key is replicated; scheduling no event
   // keeps the replication-off run's event stream untouched.
   if (cluster_->routing_table().replicated_key_count() == 0) return;
+  // Until the restart catch-up completes, the node's surviving replica
+  // copies must be treated as stale (reads route around them).
+  stale_.insert(node);
   cluster_->simulator()->After(config_.promotion_delay, [this, node]() {
     if (cluster_->node(node).down()) PromoteAwayFrom(node);
   });
@@ -62,6 +65,7 @@ void ReplicaManager::PromoteAwayFrom(uint32_t node) {
       ++promoted;
       ++stats_.promotions;
       if (m_promotions_) m_promotions_->Increment();
+      if (promotion_hook_) promotion_hook_(key, best);
     } else {
       SOAP_LOG(kWarn) << "promotion of key " << key << " failed: "
                       << s.ToString();
@@ -77,7 +81,12 @@ void ReplicaManager::PromoteAwayFrom(uint32_t node) {
 }
 
 void ReplicaManager::OnNodeRestart(uint32_t node) {
-  if (cluster_->routing_table().replicated_key_count() == 0) return;
+  if (cluster_->routing_table().replicated_key_count() == 0) {
+    // No replicated keys anywhere: WAL replay already restored this node
+    // exactly, so there is nothing to catch up (and nothing stale).
+    stale_.erase(node);
+    return;
+  }
   // Size the sweep by what the node stores now; the refresh set is
   // recomputed when the job completes so it reflects any writes that
   // landed during the sweep.
@@ -117,6 +126,9 @@ void ReplicaManager::ApplyCatchup(uint32_t node) {
       ++stats_.catchup_refreshed;
     }
   }
+  // Every surviving copy is refreshed (or dropped): the node's replicas
+  // are coherent again and may serve reads.
+  stale_.erase(node);
   if (audit_ != nullptr) {
     obs::AuditRecord rec(audit_, "catchup", cluster_->simulator()->Now());
     rec.U64("node", node)

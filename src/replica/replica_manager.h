@@ -26,6 +26,8 @@
 #define SOAP_REPLICA_REPLICA_MANAGER_H_
 
 #include <cstdint>
+#include <functional>
+#include <set>
 
 #include "src/cluster/cluster.h"
 #include "src/common/time.h"
@@ -67,6 +69,20 @@ class ReplicaManager {
 
   const ReplicaStats& stats() const { return stats_; }
 
+  /// True while `node`'s surviving replica copies may lag the primary: from
+  /// its crash until the restart catch-up sweep finishes. Reads must not be
+  /// served by a stale replica (the router folds this into its down probe),
+  /// and the consistency checker's coherence sweep skips such nodes.
+  bool IsStale(uint32_t node) const { return stale_.count(node) != 0; }
+
+  /// Invoked once per key successfully failed over (after the routing
+  /// table's Promote), with the key and its new primary. Used by the
+  /// consistency checker's promotion invariants.
+  void set_promotion_hook(
+      std::function<void(storage::TupleKey, uint32_t)> hook) {
+    promotion_hook_ = std::move(hook);
+  }
+
   /// Publishes promotion counters and replica-count gauges into
   /// `registry`; nullptr detaches.
   void BindMetrics(obs::MetricsRegistry* registry);
@@ -90,6 +106,9 @@ class ReplicaManager {
   obs::Gauge* m_replica_count_ = nullptr;
   obs::Gauge* m_replicated_keys_ = nullptr;
   obs::AuditLog* audit_ = nullptr;
+  /// Nodes whose replica copies may lag (crashed, catch-up not yet done).
+  std::set<uint32_t> stale_;
+  std::function<void(storage::TupleKey, uint32_t)> promotion_hook_;
 };
 
 }  // namespace soap::replica

@@ -41,6 +41,7 @@ Status RoutingTable::SetPrimary(storage::TupleKey key,
                                    " out of range");
   }
   primary_[key] = partition;
+  BumpEpochLocked(key);
   ++version_;
   return Status::OK();
 }
@@ -110,6 +111,7 @@ Status RoutingTable::Migrate(storage::TupleKey key, PartitionId from,
     reps.erase(std::remove(reps.begin(), reps.end(), to), reps.end());
     if (reps.empty()) replicas_.erase(it);
   }
+  BumpEpochLocked(key);
   ++version_;
   return Status::OK();
 }
@@ -137,6 +139,7 @@ Status RoutingTable::Promote(storage::TupleKey key, PartitionId new_primary) {
   // keeping the replica list's order deterministic.
   *rep_it = primary_[key];
   primary_[key] = new_primary;
+  BumpEpochLocked(key);
   ++version_;
   return Status::OK();
 }
@@ -177,6 +180,17 @@ uint64_t RoutingTable::replicated_key_count() const {
 uint64_t RoutingTable::version() const {
   std::lock_guard<std::mutex> guard(mu_);
   return version_;
+}
+
+void RoutingTable::EnableEpochTracking() {
+  std::lock_guard<std::mutex> guard(mu_);
+  track_epochs_ = true;
+}
+
+uint64_t RoutingTable::PlacementEpoch(storage::TupleKey key) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = epochs_.find(key);
+  return it == epochs_.end() ? 0 : it->second;
 }
 
 }  // namespace soap::router

@@ -87,14 +87,30 @@ class RoutingTable {
   /// staleness).
   uint64_t version() const;
 
+  /// Opt-in per-key placement epochs for the consistency checker: every
+  /// primary-changing mutation (SetPrimary, Migrate, Promote) bumps the
+  /// key's epoch, giving failover a monotonic freshness counter to assert
+  /// on. Off by default — enabling it is the only way the table allocates
+  /// the epoch map.
+  void EnableEpochTracking();
+  /// The key's placement epoch (0 until the first tracked mutation, or
+  /// always when tracking is off).
+  uint64_t PlacementEpoch(storage::TupleKey key) const;
+
  private:
   static constexpr PartitionId kUnassigned = UINT32_MAX;
+
+  void BumpEpochLocked(storage::TupleKey key) {
+    if (track_epochs_) ++epochs_[key];
+  }
 
   mutable std::mutex mu_;
   uint64_t num_keys_;
   std::vector<PartitionId> primary_;
   std::unordered_map<storage::TupleKey, std::vector<PartitionId>> replicas_;
   uint64_t version_ = 0;
+  bool track_epochs_ = false;
+  std::unordered_map<storage::TupleKey, uint64_t> epochs_;
 };
 
 }  // namespace soap::router

@@ -1,10 +1,15 @@
 #include "src/storage/storage_engine.h"
 
+#include <string>
+
 namespace soap::storage {
 
 Status StorageEngine::ApplyInsert(uint64_t txn_id, const Tuple& tuple) {
   SOAP_RETURN_NOT_OK(table_.Insert(tuple));
   wal_.AppendInsert(txn_id, tuple);
+  if (observer_ != nullptr) {
+    observer_->OnApplyInsert(partition_id_, txn_id, tuple);
+  }
   return Status::OK();
 }
 
@@ -13,12 +18,18 @@ Status StorageEngine::ApplyUpdate(uint64_t txn_id, TupleKey key,
   SOAP_RETURN_NOT_OK(table_.Update(key, content));
   Result<Tuple> updated = table_.Get(key);
   wal_.AppendUpdate(txn_id, *updated);
+  if (observer_ != nullptr) {
+    observer_->OnApplyUpdate(partition_id_, txn_id, *updated);
+  }
   return Status::OK();
 }
 
 Status StorageEngine::ApplyErase(uint64_t txn_id, TupleKey key) {
   SOAP_RETURN_NOT_OK(table_.Erase(key));
   wal_.AppendErase(txn_id, key);
+  if (observer_ != nullptr) {
+    observer_->OnApplyErase(partition_id_, txn_id, key);
+  }
   return Status::OK();
 }
 
@@ -36,6 +47,29 @@ Status StorageEngine::RecoverFromWal() {
 void StorageEngine::Checkpoint() {
   checkpoint_ = table_;
   wal_.Truncate(0);
+}
+
+Status StorageEngine::VerifyRecoveryImage() const {
+  Table recovered = checkpoint_;
+  SOAP_RETURN_NOT_OK(wal_.Replay(&recovered));
+  if (recovered.size() != table_.size()) {
+    return Status::Corruption(
+        "partition " + std::to_string(partition_id_) + ": recovery yields " +
+        std::to_string(recovered.size()) + " tuples, live table has " +
+        std::to_string(table_.size()));
+  }
+  Status mismatch = Status::OK();
+  table_.ForEach([&](const Tuple& live) {
+    if (!mismatch.ok()) return;
+    Result<Tuple> replayed = recovered.Get(live.key);
+    if (!replayed.ok() || replayed->content != live.content) {
+      mismatch = Status::Corruption(
+          "partition " + std::to_string(partition_id_) + " key " +
+          std::to_string(live.key) + ": recovery image diverges from live " +
+          "table (live content " + std::to_string(live.content) + ")");
+    }
+  });
+  return mismatch;
 }
 
 Status StorageEngine::CrashAndRecover() {

@@ -9,6 +9,7 @@
 
 #include "src/common/result.h"
 #include "src/common/status.h"
+#include "src/storage/storage_observer.h"
 #include "src/storage/table.h"
 #include "src/storage/tuple.h"
 #include "src/storage/wal.h"
@@ -69,12 +70,23 @@ class StorageEngine {
   /// Virtual size of the last checkpoint (tuples), for reports.
   size_t checkpoint_size() const { return checkpoint_.size(); }
 
+  /// Side-effect-free recovery rehearsal: replays checkpoint + WAL into a
+  /// scratch table and compares it to the live table. A mismatch means a
+  /// restart right now would not reproduce the committed state (WAL replay
+  /// is not idempotent over this history).
+  Status VerifyRecoveryImage() const;
+
+  /// Attaches (or with nullptr detaches) a commit-time mutation observer.
+  /// The engine only pays the virtual calls while one is attached.
+  void set_observer(StorageObserver* observer) { observer_ = observer; }
+
  private:
   uint32_t partition_id_;
   Table table_;
   Wal wal_;
   /// The durable snapshot (simulated disk image).
   Table checkpoint_;
+  StorageObserver* observer_ = nullptr;
 };
 
 }  // namespace soap::storage

@@ -1,0 +1,32 @@
+// Commit-time mutation observer: a pure interface the consistency checker
+// (src/check) attaches to every StorageEngine to record the exact apply
+// stream each partition saw. Detached (the default) the engine skips the
+// calls entirely, so runs without a checker stay byte-identical.
+
+#ifndef SOAP_STORAGE_STORAGE_OBSERVER_H_
+#define SOAP_STORAGE_STORAGE_OBSERVER_H_
+
+#include <cstdint>
+
+#include "src/storage/tuple.h"
+
+namespace soap::storage {
+
+/// Notified after each successful commit-time apply on a partition.
+/// txn_id 0 marks system writes outside any transaction (replica
+/// catch-up refreshes and drops).
+class StorageObserver {
+ public:
+  virtual ~StorageObserver() = default;
+
+  virtual void OnApplyInsert(uint32_t partition, uint64_t txn_id,
+                             const Tuple& tuple) = 0;
+  virtual void OnApplyUpdate(uint32_t partition, uint64_t txn_id,
+                             const Tuple& tuple) = 0;
+  virtual void OnApplyErase(uint32_t partition, uint64_t txn_id,
+                            TupleKey key) = 0;
+};
+
+}  // namespace soap::storage
+
+#endif  // SOAP_STORAGE_STORAGE_OBSERVER_H_

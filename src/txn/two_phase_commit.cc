@@ -244,6 +244,10 @@ void TwoPhaseCommitDriver::OnNodeCrash(sim::NodeId node) {
 
 Duration TwoPhaseCommitDriver::BackoffDelay(Duration base,
                                             uint32_t resends) {
+  // The exponent saturates at the resend budget: retries past it (waiting
+  // out a down coordinator) keep the capped cadence instead of growing
+  // the delay beyond the run.
+  if (resends > fault_.max_resends) resends = fault_.max_resends;
   double d = static_cast<double>(base);
   for (uint32_t i = 0; i < resends; ++i) d *= fault_.backoff;
   Duration delay = static_cast<Duration>(d);
@@ -284,6 +288,18 @@ void TwoPhaseCommitDriver::ArmAckTimer(std::shared_ptr<Instance> inst) {
           if (m_resends_) m_resends_->Increment();
           SendDecision(inst, /*resend=*/true);
           ArmAckTimer(inst);
+        } else if (DecisionStillRecoverable(inst)) {
+          // Finalizing now would silently drop committed applies: either
+          // the coordinator is down-but-returning (its resends vanish
+          // until the restart) or a live participant never received the
+          // decision (the network ate it). The decision is durable, so
+          // keep re-sending at the capped cadence until delivery is
+          // guaranteed one way or the other.
+          ++inst->resends;
+          stats_.resends++;
+          if (m_resends_) m_resends_->Increment();
+          SendDecision(inst, /*resend=*/true);
+          ArmAckTimer(inst);
         } else {
           // The decision stands whether or not every ack arrived; missing
           // applies ride on messages parked for the down node.
@@ -291,6 +307,25 @@ void TwoPhaseCommitDriver::ArmAckTimer(std::shared_ptr<Instance> inst) {
           Finalize(inst, inst->decision);
         }
       });
+}
+
+bool TwoPhaseCommitDriver::DecisionStillRecoverable(
+    const std::shared_ptr<Instance>& inst) const {
+  if (!down_probe_) return false;
+  if (down_probe_(inst->coordinator)) {
+    // A down coordinator emits nothing — every "resend" so far was lost at
+    // the source. Wait for its restart; a coordinator that never restarts
+    // can recover nothing, so fall through to the giveup.
+    return !(gone_probe_ && gone_probe_(inst->coordinator));
+  }
+  for (size_t i = 0; i < inst->participants.size(); ++i) {
+    if (inst->acked[i]) continue;
+    const sim::NodeId node = inst->participants[i].node;
+    // A live unacked participant means the decision was lost in transit; a
+    // down one will replay it from the parked-message queue at restart.
+    if (!down_probe_(node)) return true;
+  }
+  return false;
 }
 
 void TwoPhaseCommitDriver::CancelTimer(std::shared_ptr<Instance> inst) {

@@ -120,6 +120,21 @@ class TwoPhaseCommitDriver {
   /// kCommit spans bracketing the protocol rounds (nullptr detaches).
   void set_tracer(obs::TxnTracer* tracer) { tracer_ = tracer; }
 
+  /// Node-status probes consulted when the decision-retry budget runs out.
+  /// `down` reports a currently crashed node (control messages parked for
+  /// it redeliver at restart, so its applies are not lost); `gone` reports
+  /// a node that will never restart. With the probes set, the driver keeps
+  /// re-sending a decided outcome while it could still be lost — the
+  /// coordinator is down-but-returning (its sends vanish meanwhile) or an
+  /// unacked participant is live (the network ate the decision). Unset
+  /// probes (the default) reproduce the unconditional giveup.
+  void set_down_probe(std::function<bool(sim::NodeId)> probe) {
+    down_probe_ = std::move(probe);
+  }
+  void set_gone_probe(std::function<bool(sim::NodeId)> probe) {
+    gone_probe_ = std::move(probe);
+  }
+
  private:
   struct Instance;
   void StartPhase2(std::shared_ptr<Instance> inst, bool commit);
@@ -130,6 +145,9 @@ class TwoPhaseCommitDriver {
   void Finalize(std::shared_ptr<Instance> inst, bool commit);
   void ArmPrepareTimer(std::shared_ptr<Instance> inst);
   void ArmAckTimer(std::shared_ptr<Instance> inst);
+  /// True when finalizing now could silently lose committed applies and
+  /// retrying can still deliver them (see set_down_probe).
+  bool DecisionStillRecoverable(const std::shared_ptr<Instance>& inst) const;
   void CancelTimer(std::shared_ptr<Instance> inst);
   Duration BackoffDelay(Duration base, uint32_t resends);
 
@@ -142,6 +160,8 @@ class TwoPhaseCommitDriver {
   /// only while fault handling is enabled (ordered for determinism).
   std::map<TxnId, std::shared_ptr<Instance>> live_;
   obs::TxnTracer* tracer_ = nullptr;
+  std::function<bool(sim::NodeId)> down_probe_;
+  std::function<bool(sim::NodeId)> gone_probe_;
   // Observability hooks; nullptr when disabled.
   obs::Counter* m_protocols_ = nullptr;
   obs::Counter* m_messages_ = nullptr;

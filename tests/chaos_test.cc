@@ -1,0 +1,120 @@
+#include "src/check/chaos.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/fault/fault_spec.h"
+
+namespace soap::check {
+namespace {
+
+TEST(ChaosSampleTest, DeterministicPerSeed) {
+  ChaosDomain domain;
+  const fault::FaultSpec a = SampleChaosSpec(7, domain);
+  const fault::FaultSpec b = SampleChaosSpec(7, domain);
+  EXPECT_EQ(a.ToString(), b.ToString());
+}
+
+TEST(ChaosSampleTest, SeedsDiffer) {
+  ChaosDomain domain;
+  bool any_differ = false;
+  const std::string base = SampleChaosSpec(1, domain).ToString();
+  for (uint64_t seed = 2; seed < 6; ++seed) {
+    if (SampleChaosSpec(seed, domain).ToString() != base) any_differ = true;
+  }
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(ChaosSampleTest, RespectsTheDomain) {
+  ChaosDomain domain;
+  domain.num_nodes = 4;
+  domain.earliest = Seconds(10);
+  domain.latest = Seconds(50);
+  domain.max_crashes = 2;
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    const fault::FaultSpec spec = SampleChaosSpec(seed, domain);
+    EXPECT_FALSE(spec.empty()) << "seed " << seed;
+    EXPECT_EQ(spec.seed, seed);
+    EXPECT_LE(spec.crashes.size(), domain.max_crashes);
+    for (const fault::CrashEvent& c : spec.crashes) {
+      EXPECT_LT(c.node, domain.num_nodes);
+      EXPECT_GE(c.at, domain.earliest);
+      EXPECT_LT(c.at, domain.latest);
+      EXPECT_GE(c.down, domain.min_down);
+      EXPECT_LE(c.down, domain.max_down);
+    }
+    for (const fault::MessageRule& r : spec.drops) {
+      EXPECT_GT(r.p, 0.0);
+      EXPECT_LE(r.p, domain.max_drop_p);
+    }
+  }
+}
+
+TEST(ChaosSampleTest, SampledSpecsRoundTripThroughTheGrammar) {
+  ChaosDomain domain;
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    const fault::FaultSpec spec = SampleChaosSpec(seed, domain);
+    Result<fault::FaultSpec> reparsed = fault::FaultSpec::Parse(spec.ToString());
+    ASSERT_TRUE(reparsed.ok())
+        << "seed " << seed << ": " << reparsed.status().ToString()
+        << " for " << spec.ToString();
+    EXPECT_EQ(reparsed->ToString(), spec.ToString());
+  }
+}
+
+TEST(ChaosShrinkTest, ShrinksToTheFailingComponent) {
+  // Build a busy schedule; the oracle fails iff a crash of node 2
+  // survives, so everything else must shrink away.
+  fault::FaultSpec spec;
+  spec.crashes.push_back({1, Seconds(40), Seconds(10)});
+  spec.crashes.push_back({2, Seconds(60), Seconds(10)});
+  spec.crashes.push_back({3, Seconds(80), Seconds(10)});
+  fault::MessageRule drop;
+  drop.p = 0.01;
+  spec.drops.push_back(drop);
+  fault::PartitionEvent part;
+  part.at = Seconds(50);
+  part.duration = Seconds(5);
+  part.group = {0, 1};
+  spec.partitions.push_back(part);
+
+  uint32_t evaluations = 0;
+  ChaosRunFn oracle = [&evaluations](const fault::FaultSpec& s) {
+    ++evaluations;
+    for (const fault::CrashEvent& c : s.crashes) {
+      if (c.node == 2) return ChaosVerdict{false, "node 2 crashed"};
+    }
+    return ChaosVerdict{true, ""};
+  };
+
+  const ShrinkResult shrunk = ShrinkFailingSpec(spec, oracle, /*budget=*/64);
+  ASSERT_EQ(shrunk.spec.crashes.size(), 1u);
+  EXPECT_EQ(shrunk.spec.crashes[0].node, 2u);
+  EXPECT_TRUE(shrunk.spec.drops.empty());
+  EXPECT_TRUE(shrunk.spec.partitions.empty());
+  EXPECT_EQ(shrunk.removed, 4u);
+  EXPECT_GT(shrunk.runs, 0u);
+  EXPECT_LE(shrunk.runs, 64u);
+  EXPECT_EQ(shrunk.runs, evaluations);
+  // The reproducer still fails.
+  EXPECT_FALSE(oracle(shrunk.spec).ok);
+}
+
+TEST(ChaosShrinkTest, BudgetBoundsTheSearch) {
+  fault::FaultSpec spec;
+  for (uint32_t n = 0; n < 4; ++n) {
+    spec.crashes.push_back({n, Seconds(40 + 10 * n), Seconds(5)});
+  }
+  ChaosRunFn always_fails = [](const fault::FaultSpec&) {
+    return ChaosVerdict{false, "always"};
+  };
+  const ShrinkResult shrunk = ShrinkFailingSpec(spec, always_fails, 2);
+  EXPECT_LE(shrunk.runs, 2u);
+  // With an oracle that fails on anything, shrinking drives toward the
+  // minimal schedule as far as the budget allows.
+  EXPECT_LE(shrunk.spec.crashes.size(), spec.crashes.size());
+}
+
+}  // namespace
+}  // namespace soap::check

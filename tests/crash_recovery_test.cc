@@ -115,6 +115,27 @@ TEST(CrashRecoveryTest, BadSpecFailsTheRunUpFront) {
   EXPECT_FALSE(r.audit.ok());
 }
 
+TEST(CrashRecoveryTest, SecondCrashDuringReplayRestartsFromCheckpoint) {
+  // Node 1 restarts at t=70s and starts its WAL replay (>= 50ms of fixed
+  // recovery cost). The second crash lands 20ms into that window: it must
+  // vaporise the in-flight replay, bump the recovery epoch, and the next
+  // restart must replay again from the checkpoint image — not resume a
+  // half-applied recovery. The checker's wal_idempotent sweep then proves
+  // the recovered table matches checkpoint + WAL.
+  ExperimentConfig config = FaultyConfig(SchedulingStrategy::kHybrid);
+  config.fault_spec =
+      "crash:node=1,at=60s,down=10s;crash:node=1,at=70020ms,down=10s";
+  config.check.enabled = true;
+  ExperimentResult r = Experiment(config).Run();
+  EXPECT_EQ(r.faults_crashes, 2u);
+  EXPECT_TRUE(r.audit.ok()) << r.audit.ToString();
+  EXPECT_TRUE(r.drained);
+  EXPECT_TRUE(r.check_report.ok()) << r.check_report.ToString();
+  EXPECT_GT(r.invariant_checks, 0u);
+  EXPECT_EQ(r.tpc_stats.protocols_run,
+            r.tpc_stats.committed + r.tpc_stats.aborted);
+}
+
 // Storage-level replay equivalence: after Checkpoint + more mutations,
 // RecoverFromWal reproduces exactly the pre-crash table (satellite (b):
 // replay starts from the checkpoint snapshot, not an empty table).

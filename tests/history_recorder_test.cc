@@ -1,0 +1,128 @@
+#include "src/check/history_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/common/json.h"
+
+namespace soap::check {
+namespace {
+
+txn::Transaction Writer(uint64_t id, storage::TupleKey key, int64_t value) {
+  txn::Transaction t;
+  t.id = id;
+  txn::Operation op;
+  op.kind = txn::OpKind::kWrite;
+  op.key = key;
+  op.write_value = value;
+  t.ops.push_back(op);
+  return t;
+}
+
+storage::Tuple Row(storage::TupleKey key, int64_t content) {
+  storage::Tuple t;
+  t.key = key;
+  t.content = content;
+  return t;
+}
+
+TEST(HistoryRecorderTest, CommitAppendsOneVersionPerKey) {
+  HistoryRecorder rec;
+  rec.OnCommit(Writer(1, 42, 100), 10);
+  rec.OnCommit(Writer(2, 42, 200), 20);
+  const auto& chain = rec.chains().at(42);
+  ASSERT_EQ(chain.size(), 2u);
+  EXPECT_EQ(chain[0].writer, 1u);
+  EXPECT_EQ(chain[1].writer, 2u);
+  EXPECT_EQ(chain[1].commit_time, 20u);
+  int64_t tail = 0;
+  ASSERT_TRUE(rec.TailValue(42, &tail));
+  EXPECT_EQ(tail, 200);
+}
+
+TEST(HistoryRecorderTest, DoubleWriteCommitsOnlyTheLastValue) {
+  HistoryRecorder rec;
+  txn::Transaction t = Writer(1, 7, 10);
+  txn::Operation again;
+  again.kind = txn::OpKind::kWrite;
+  again.key = 7;
+  again.write_value = 99;
+  t.ops.push_back(again);
+  rec.OnCommit(t, 5);
+  ASSERT_EQ(rec.chains().at(7).size(), 1u);
+  EXPECT_EQ(rec.chains().at(7)[0].value, 99);
+}
+
+TEST(HistoryRecorderTest, UpdateAppliesAttributeTheWritingTxn) {
+  HistoryRecorder rec;
+  rec.OnApplyUpdate(/*partition=*/3, /*txn_id=*/9, Row(5, 1));
+  EXPECT_EQ(rec.LastWriter(3, 5), 9u);
+  ASSERT_EQ(rec.write_applies().size(), 1u);
+  EXPECT_EQ(rec.write_applies()[0].partition, 3u);
+  EXPECT_EQ(rec.write_applies()[0].writer, 9u);
+}
+
+TEST(HistoryRecorderTest, CopyAppliesAttributeTheChainTail) {
+  HistoryRecorder rec;
+  rec.OnCommit(Writer(4, 5, 1), 10);
+  // A migration/replica insert and a txn-0 catch-up refresh both carry
+  // whatever version the chain tail holds, not the applying txn's id.
+  rec.OnApplyInsert(/*partition=*/1, /*txn_id=*/77, Row(5, 1));
+  EXPECT_EQ(rec.LastWriter(1, 5), 4u);
+  rec.OnApplyUpdate(/*partition=*/2, /*txn_id=*/0, Row(5, 1));
+  EXPECT_EQ(rec.LastWriter(2, 5), 4u);
+  // Neither is an ordering-checked write apply.
+  EXPECT_TRUE(rec.write_applies().empty());
+}
+
+TEST(HistoryRecorderTest, EraseForgetsThePartitionCopy) {
+  HistoryRecorder rec;
+  rec.OnApplyUpdate(0, 9, Row(5, 1));
+  rec.OnApplyErase(0, 9, 5);
+  EXPECT_EQ(rec.LastWriter(0, 5), 0u);
+}
+
+TEST(HistoryRecorderTest, ReadsSnapshotTheServingPartition) {
+  HistoryRecorder rec;
+  rec.OnApplyUpdate(0, 9, Row(5, 1));
+  rec.OnRead(/*txn_id=*/11, /*key=*/5, /*partition=*/0, /*at=*/50);
+  rec.OnRead(/*txn_id=*/12, /*key=*/5, /*partition=*/1, /*at=*/60);
+  ASSERT_EQ(rec.reads().size(), 2u);
+  EXPECT_EQ(rec.reads()[0].observed_writer, 9u);
+  // Partition 1 never stored the key: initial version.
+  EXPECT_EQ(rec.reads()[1].observed_writer, 0u);
+}
+
+TEST(HistoryRecorderTest, HistoryFileIsParseableJsonl) {
+  HistoryRecorder rec;
+  rec.OnCommit(Writer(1, 42, 100), 10);
+  rec.OnApplyUpdate(0, 1, Row(42, 100));
+  rec.OnRead(2, 42, 0, 50);
+  rec.OnCommit(Writer(2, 43, 7), 60);
+  const std::string path = ::testing::TempDir() + "history_test.jsonl";
+  ASSERT_TRUE(rec.WriteHistoryFile(path).ok());
+
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  Result<std::vector<json::Value>> lines = json::ParseLines(buf.str());
+  ASSERT_TRUE(lines.ok()) << lines.status().ToString();
+  size_t commits = 0, chains = 0, reads = 0;
+  for (const json::Value& v : *lines) {
+    const std::string kind = v.GetString("kind");
+    if (kind == "commit") commits++;
+    if (kind == "chain") chains++;
+    if (kind == "read") reads++;
+  }
+  EXPECT_EQ(commits, 2u);
+  EXPECT_EQ(chains, 2u);
+  EXPECT_EQ(reads, 1u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace soap::check

@@ -94,6 +94,27 @@ TEST(ReplicaManagerTest, EnabledButUnusedIsByteIdenticalToDisabled) {
   EXPECT_EQ(a.end_time, b.end_time);
 }
 
+TEST(ReplicaManagerTest, PromotionRacesInFlightReplicaCreate) {
+  // Crash one second after a plan-generation boundary (plans deploy at
+  // 20s intervals from interval 2), so the failure-detector sweep promotes
+  // surviving copies while kReplicaCreate repartition transactions of the
+  // newest generation are still in flight to and from the crashed node.
+  // Those in-flight creates must either land on a live placement or abort
+  // with the crash — never deploy a copy under the dead primary — and the
+  // checker's ownership/coherence sweeps prove it.
+  ExperimentConfig config = HubConfig();
+  config.fault_spec = "crash:node=2,at=81s,down=30s";
+  config.check.enabled = true;
+  ExperimentResult r = Experiment(config).Run();
+  EXPECT_EQ(r.faults_crashes, 1u);
+  EXPECT_TRUE(r.audit.ok()) << r.audit.ToString();
+  EXPECT_TRUE(r.drained);
+  EXPECT_GT(r.planner_stats.replica_creates_emitted, 0u);
+  EXPECT_GT(r.replica_stats.promotions, 0u);
+  EXPECT_TRUE(r.check_report.ok()) << r.check_report.ToString();
+  EXPECT_GT(r.invariant_checks, 0u);
+}
+
 TEST(ReplicaManagerTest, DeterministicAcrossRuns) {
   ExperimentConfig config = HubConfig();
   config.fault_spec = "crash:node=2,at=150s,down=30s";

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -64,6 +66,66 @@ TEST(ReportValidateTest, RejectsBadStreams) {
   EXPECT_FALSE(ValidateAudit(records).ok());
 
   EXPECT_FALSE(ValidateAudit({}).ok());
+}
+
+TEST(ReportValidateTest, AcceptsCheckerRecordKinds) {
+  // The audit records soap::check emits (per-violation `invariant` lines
+  // and the end-of-run `check_summary`) must pass the schema validator.
+  std::vector<json::Value> records = LoadMini("mini.audit.jsonl");
+  records.push_back(*json::Parse(
+      R"({"v":1,"t_us":100000000,"type":"invariant",)"
+      R"("check":"ownership","detail":"key 7 stored but unrouted"})"));
+  records.push_back(*json::Parse(
+      R"({"v":1,"t_us":100000000,"type":"check_summary","violations":1,)"
+      R"("txns":5000,"reads":900,"ww":100,"wr":20,"rw":3,"rw_cycles":0,)"
+      R"("invariant_checks":40,"breaks_fired":0,"ok":false})"));
+  EXPECT_TRUE(ValidateAudit(records).ok()) << ValidateAudit(records).ToString();
+}
+
+TEST(ReportLoadTest, StrictLoaderRejectsTruncatedFinalLine) {
+  Result<std::vector<json::Value>> loaded = LoadJsonlFile(
+      std::string(SOAP_TEST_DATA_DIR) + "/truncated.audit.jsonl");
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST(ReportLoadTest, TolerantLoaderDropsTruncatedFinalLine) {
+  bool truncated = false;
+  Result<std::vector<json::Value>> loaded = LoadJsonlFile(
+      std::string(SOAP_TEST_DATA_DIR) + "/truncated.audit.jsonl", &truncated);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(truncated);
+  // The two intact records survive and still validate: a writer that died
+  // mid-record loses only its final line.
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ(loaded->back().GetString("type"), "promotion");
+  EXPECT_TRUE(ValidateAudit(*loaded).ok()) << ValidateAudit(*loaded).ToString();
+}
+
+TEST(ReportLoadTest, TolerantLoaderLeavesCleanFilesAlone) {
+  bool truncated = true;
+  Result<std::vector<json::Value>> loaded = LoadJsonlFile(
+      std::string(SOAP_TEST_DATA_DIR) + "/mini.audit.jsonl", &truncated);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_FALSE(truncated);
+  EXPECT_EQ(loaded->size(), LoadMini("mini.audit.jsonl").size());
+}
+
+TEST(ReportLoadTest, TolerantLoaderStillRejectsMidFileCorruption) {
+  // Only the FINAL line gets the benefit of the doubt.
+  const std::string path =
+      ::testing::TempDir() + "report_test_midcorrupt.jsonl";
+  std::ofstream out(path);
+  out << R"({"v":1,"t_us":0,"type":"run_meta","seed":1,"strategy":"x",)"
+      << R"("nodes":1,"keys":1})" << "\n";
+  out << R"({"v":1,"t_us":1,"type":"promo)" << "\n";  // corrupt, not final
+  out << R"({"v":1,"t_us":2,"type":"promotion","node":0,"promoted":1,)"
+      << R"("failovers":1})" << "\n";
+  out.close();
+  bool truncated = false;
+  Result<std::vector<json::Value>> loaded = LoadJsonlFile(path, &truncated);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_FALSE(truncated);
+  std::remove(path.c_str());
 }
 
 TEST(ReportDecisionsTest, CapDropOverridesEarlierAccept) {

@@ -11,7 +11,9 @@
 //   soap_report html     --audit ... [--timeline ...] --out report.html
 //       Self-contained HTML report (inline SVG sparklines, plan tables).
 //   soap_report validate --audit ... [--timeline ...]
-//       Schema check; exit 0 iff every stream is well-formed.
+//       Schema check; exit 0 iff every stream is well-formed. A truncated
+//       FINAL line (writer died mid-record) is skipped with a warning and
+//       turns an otherwise-clean exit into exit 3; real corruption is 1.
 
 #include <cstdio>
 #include <cstdlib>
@@ -83,13 +85,21 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
 }
 
 bool LoadInto(const std::string& path, const char* what,
-              std::vector<Value>* out) {
+              std::vector<Value>* out, bool* any_truncated) {
   if (path.empty()) return true;
-  Result<std::vector<Value>> loaded = report::LoadJsonlFile(path);
+  bool truncated = false;
+  Result<std::vector<Value>> loaded =
+      report::LoadJsonlFile(path, &truncated);
   if (!loaded.ok()) {
     std::fprintf(stderr, "%s: %s\n", what,
                  loaded.status().ToString().c_str());
     return false;
+  }
+  if (truncated) {
+    std::fprintf(stderr,
+                 "warning: %s: final line of %s is truncated; skipped\n",
+                 what, path.c_str());
+    *any_truncated = true;
   }
   *out = std::move(loaded).value();
   return true;
@@ -105,9 +115,12 @@ int main(int argc, char** argv) {
   }
 
   report::RunData run;
-  if (!LoadInto(opts.audit_path, "audit", &run.audit) ||
-      !LoadInto(opts.timeline_path, "timeline", &run.timeline) ||
-      !LoadInto(opts.metrics_path, "metrics", &run.metrics)) {
+  bool any_truncated = false;
+  if (!LoadInto(opts.audit_path, "audit", &run.audit, &any_truncated) ||
+      !LoadInto(opts.timeline_path, "timeline", &run.timeline,
+                &any_truncated) ||
+      !LoadInto(opts.metrics_path, "metrics", &run.metrics,
+                &any_truncated)) {
     return 1;
   }
 
@@ -130,6 +143,9 @@ int main(int argc, char** argv) {
                   run.timeline.size());
       if (!s.ok()) rc = 1;
     }
+    // A truncated tail is recoverable but worth a distinct signal: the
+    // surviving records validated, yet the file is not what the run wrote.
+    if (rc == 0 && any_truncated) rc = 3;
     return rc;
   }
 

@@ -11,15 +11,106 @@
 //   soap_run --planner --drift hotspot --replicas --fault_spec
 //            'crash:node=1,at=300s,down=30s'
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "src/check/chaos.h"
 #include "src/common/flags.h"
 #include "src/common/logging.h"
 #include "src/engine/experiment.h"
 #include "src/engine/flag_table.h"
 #include "src/engine/parallel_runner.h"
+#include "src/fault/fault_spec.h"
+
+namespace {
+
+// Chaos schedule search: sample `count` random fault schedules, run each
+// with the consistency checker on, shrink any failure to a minimal
+// reproducer and write it to `out_dir`. Returns the process exit code.
+int RunChaosSearch(const soap::engine::ExperimentConfig& base, int count,
+                   const std::string& out_dir) {
+  using namespace soap;
+  engine::ExperimentConfig config = base;
+  // The searched surface is the full stack: planner + replication +
+  // faults, with the checker verifying every run.
+  config.planner.enabled = true;
+  config.replicas.enabled = true;
+  config.check.enabled = true;
+
+  // Fit the schedule domain to the configured run length so sampled
+  // events land while the run is live.
+  check::ChaosDomain domain;
+  domain.num_nodes = config.cluster.num_nodes;
+  const SimTime total =
+      static_cast<SimTime>(config.warmup_intervals +
+                           config.measured_intervals) *
+      config.interval_length;
+  domain.earliest = total / 8;
+  domain.latest = (total * 3) / 4;
+  domain.max_down = std::min<Duration>(domain.max_down, total / 6);
+  domain.min_down = std::min(domain.min_down, domain.max_down / 2);
+  domain.max_partition_for =
+      std::min<Duration>(domain.max_partition_for, total / 8);
+  domain.min_partition_for =
+      std::min(domain.min_partition_for, domain.max_partition_for / 2);
+
+  auto run_one = [&config](const fault::FaultSpec& spec) {
+    engine::ExperimentConfig cc = config;
+    cc.fault_spec = spec.ToString();
+    engine::ExperimentResult r = engine::Experiment(cc).Run();
+    check::ChaosVerdict v;
+    v.ok = r.audit.ok() && r.check_report.ok() && r.drained;
+    if (!v.ok) {
+      v.detail = r.drained ? "" : "undrained; ";
+      v.detail += "audit=" + r.audit.ToString() + "; " +
+                  r.check_report.ToString();
+    }
+    return v;
+  };
+
+  int failures = 0;
+  for (int k = 0; k < count; ++k) {
+    const uint64_t seed = base.seed * 7919 + static_cast<uint64_t>(k) + 1;
+    const fault::FaultSpec spec = check::SampleChaosSpec(seed, domain);
+    const check::ChaosVerdict v = run_one(spec);
+    if (v.ok) {
+      std::printf("chaos seed=%llu ok  (%s)\n",
+                  static_cast<unsigned long long>(seed),
+                  spec.ToString().c_str());
+      std::fflush(stdout);
+      continue;
+    }
+    ++failures;
+    std::printf("chaos seed=%llu FAILED: %s\n",
+                static_cast<unsigned long long>(seed), v.detail.c_str());
+    std::fflush(stdout);
+    const check::ShrinkResult shrunk =
+        check::ShrinkFailingSpec(spec, run_one, /*budget=*/24);
+    const std::string path =
+        (out_dir.empty() ? std::string(".") : out_dir) +
+        "/chaos_repro_seed" + std::to_string(seed) + ".txt";
+    if (FILE* out = std::fopen(path.c_str(), "w")) {
+      std::fprintf(out, "%s\n", shrunk.spec.ToString().c_str());
+      std::fclose(out);
+      std::printf(
+          "chaos seed=%llu shrunk to '%s' (%llu shrink runs, %llu events "
+          "removed) -> %s\n",
+          static_cast<unsigned long long>(seed),
+          shrunk.spec.ToString().c_str(),
+          static_cast<unsigned long long>(shrunk.runs),
+          static_cast<unsigned long long>(shrunk.removed), path.c_str());
+    } else {
+      std::fprintf(stderr, "chaos: cannot write %s\n", path.c_str());
+    }
+    std::fflush(stdout);
+  }
+  std::printf("chaos: %d/%d schedules ok\n", count - failures, count);
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace soap;
@@ -45,6 +136,11 @@ int main(int argc, char** argv) {
              "run --seeds entries on N parallel threads (results are "
              "identical at any thread count)",
              nullptr});
+  table.Add({"chaos_seeds", engine::FlagType::kInt, "0",
+             "chaos search: run N random fault schedules under --check "
+             "(planner+replicas forced on), shrink any failure", nullptr});
+  table.Add({"chaos_out", engine::FlagType::kString, ".",
+             "directory for shrunken chaos reproducer files", nullptr});
 
   if (flags.GetBool("help")) {
     std::printf("%s", table.Help("soap_run",
@@ -67,6 +163,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "invalid configuration: %s\n",
                  s.ToString().c_str());
     return 2;
+  }
+
+  if (const int chaos_seeds = static_cast<int>(flags.GetInt("chaos_seeds", 0));
+      chaos_seeds > 0) {
+    return RunChaosSearch(config, chaos_seeds,
+                          flags.GetString("chaos_out", "."));
   }
 
   const std::string strategy = flags.GetString("strategy", "hybrid");
@@ -160,6 +262,7 @@ int main(int argc, char** argv) {
         }
       }
       if (!r.audit.ok()) exit_code = 1;
+      if (r.check_enabled && !r.check_report.ok()) exit_code = 1;
       std::fflush(stdout);
     });
     return exit_code;
@@ -181,6 +284,9 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(r.tpc_stats.coordinator_crash_aborts),
         static_cast<unsigned long long>(r.counters.aborts_node_crash),
         static_cast<unsigned long long>(r.counters.aborts_shutdown));
+  }
+  if (r.check_enabled) {
+    std::printf("%s\n\n", r.check_report.ToString().c_str());
   }
 
   SeriesBundle bundle(strategy + " / " + workload + " / " + load +
@@ -248,5 +354,9 @@ int main(int argc, char** argv) {
   if (!config.obs.timeline_out.empty() && r.timeline != nullptr) {
     std::printf("wrote %s\n", config.obs.timeline_out.c_str());
   }
+  if (!config.check.history_out.empty() && r.check_enabled) {
+    std::printf("wrote %s\n", config.check.history_out.c_str());
+  }
+  if (r.check_enabled && !r.check_report.ok()) return 1;
   return r.audit.ok() ? 0 : 1;
 }
