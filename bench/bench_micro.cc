@@ -102,6 +102,35 @@ void BM_RoutingLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_RoutingLookup);
 
+// The three lookup shapes of the interval table: a pure round-robin range
+// hit (the bulk-load layout — one entry, owner = key % modulus), a point-
+// exception hit (migrated keys living in the overlay), and the legacy
+// dense path (every key SetPrimary'd with no base range, i.e. the
+// all-exception representation the dense table degenerated to).
+void BM_RoutingLookupRangeHit(benchmark::State& state) {
+  soap::router::RoutingTable rt(500'000);
+  (void)rt.AssignRoundRobin(0, 500'000, 5);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rt.GetPrimary(rng.NextUint64(500'000)));
+  }
+}
+BENCHMARK(BM_RoutingLookupRangeHit);
+
+void BM_RoutingLookupExceptionHit(benchmark::State& state) {
+  soap::router::RoutingTable rt(500'000);
+  (void)rt.AssignRoundRobin(0, 500'000, 5);
+  // Move 50k keys off their round-robin owner: all land in the overlay.
+  for (uint64_t k = 0; k < 500'000; k += 10) {
+    (void)rt.SetPrimary(k, static_cast<uint32_t>((k + 1) % 5));
+  }
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rt.GetPrimary(rng.NextUint64(50'000) * 10));
+  }
+}
+BENCHMARK(BM_RoutingLookupExceptionHit);
+
 void BM_RoutingMigrate(benchmark::State& state) {
   soap::router::RoutingTable rt(500'000);
   for (uint64_t k = 0; k < 500'000; ++k) {
@@ -240,6 +269,41 @@ double MeasureCancelNs(int reps) {
   return MedianOf(std::move(samples));
 }
 
+/// ns per routing GetPrimary for one of the three table shapes (see the
+/// BM_RoutingLookup* comments), median over `reps`.
+enum class RoutingShape { kRangeHit, kExceptionHit, kDensePath };
+
+double MeasureRoutingLookupNs(RoutingShape shape, int reps) {
+  constexpr uint64_t kKeys = 500'000;
+  constexpr uint64_t kLookups = 2'000'000;
+  soap::router::RoutingTable rt(kKeys);
+  if (shape == RoutingShape::kDensePath) {
+    for (uint64_t k = 0; k < kKeys; ++k) {
+      (void)rt.SetPrimary(k, static_cast<uint32_t>(k % 5));
+    }
+  } else {
+    (void)rt.AssignRoundRobin(0, kKeys, 5);
+    if (shape == RoutingShape::kExceptionHit) {
+      for (uint64_t k = 0; k < kKeys; k += 10) {
+        (void)rt.SetPrimary(k, static_cast<uint32_t>((k + 1) % 5));
+      }
+    }
+  }
+  std::vector<double> samples;
+  for (int rep = 0; rep < reps; ++rep) {
+    Rng rng(1 + rep);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (uint64_t i = 0; i < kLookups; ++i) {
+      const uint64_t key = shape == RoutingShape::kExceptionHit
+                               ? rng.NextUint64(kKeys / 10) * 10
+                               : rng.NextUint64(kKeys);
+      benchmark::DoNotOptimize(rt.GetPrimary(key));
+    }
+    samples.push_back(SecondsSince(t0) * 1e9 / kLookups);
+  }
+  return MedianOf(std::move(samples));
+}
+
 /// Fast-scale fig4-style panel (alpha sweep x 5 strategies) wall-clock at
 /// the given thread count. Scale mirrors SOAP_BENCH_FAST without needing
 /// the environment variable.
@@ -275,6 +339,12 @@ int RunJsonMode(const std::string& out_path, const std::string& baseline) {
   const double drain_ns = MeasureDrainNsPerEvent(151);
   const double steady_ns = MeasureSteadyStateNsPerEvent(5);
   const double cancel_ns = MeasureCancelNs(9);
+  const double route_range_ns =
+      MeasureRoutingLookupNs(RoutingShape::kRangeHit, 5);
+  const double route_exc_ns =
+      MeasureRoutingLookupNs(RoutingShape::kExceptionHit, 5);
+  const double route_dense_ns =
+      MeasureRoutingLookupNs(RoutingShape::kDensePath, 5);
   const double panel_serial_s = MeasurePanelSeconds(1);
   // Panel speedup scales with min(threads, cores); measuring 4 threads on
   // a 1-core host would just report scheduler overhead. Record the host
@@ -296,6 +366,14 @@ int RunJsonMode(const std::string& out_path, const std::string& baseline) {
        << "  \"steady_state_ns_per_event\": " << steady_ns << ",\n"
        << "  \"cancel_per_sec\": " << 1e9 / cancel_ns << ",\n"
        << "  \"cancel_ns\": " << cancel_ns << ",\n"
+       << "  \"routing_range_hit_per_sec\": " << 1e9 / route_range_ns << ",\n"
+       << "  \"routing_range_hit_ns\": " << route_range_ns << ",\n"
+       << "  \"routing_exception_hit_per_sec\": " << 1e9 / route_exc_ns
+       << ",\n"
+       << "  \"routing_exception_hit_ns\": " << route_exc_ns << ",\n"
+       << "  \"routing_dense_path_per_sec\": " << 1e9 / route_dense_ns
+       << ",\n"
+       << "  \"routing_dense_path_ns\": " << route_dense_ns << ",\n"
        << "  \"panel_fast_serial_seconds\": " << panel_serial_s << ",\n"
        << "  \"panel_fast_parallel_threads\": " << panel_threads << ",\n"
        << "  \"panel_fast_parallel_seconds\": " << panel_par_s << ",\n"
@@ -332,6 +410,9 @@ int RunJsonMode(const std::string& out_path, const std::string& baseline) {
       {"event_loop_events_per_sec", 1e9 / drain_ns},
       {"steady_state_events_per_sec", 1e9 / steady_ns},
       {"cancel_per_sec", 1e9 / cancel_ns},
+      {"routing_range_hit_per_sec", 1e9 / route_range_ns},
+      {"routing_exception_hit_per_sec", 1e9 / route_exc_ns},
+      {"routing_dense_path_per_sec", 1e9 / route_dense_ns},
   };
   int exit_code = 0;
   for (const Gate& gate : gates) {

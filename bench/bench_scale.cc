@@ -1,0 +1,298 @@
+// Production-cardinality scaling sweep: runs the full online pipeline
+// (planner + hybrid deployment, zipf + pair-hub drift) across
+// {500k, 1M, 4M} tuples x {10, 64} nodes and reports, per cell, the
+// wall-clock event rate and the end-of-run control-plane footprint
+// (routing table + co-access graph + node tables, via the ApproxBytes
+// estimators). Cells at or below the sketch threshold run the exact
+// paper-scale paths; above it the stack flips to interval routing, lazy
+// tables and the sketch/supernode graph — the point of the sweep is that
+// the flip keeps memory near-flat and throughput near-constant while the
+// keyspace grows 8x.
+//
+//   bench_scale                   full sweep, writes
+//                                 bench_results/BENCH_scale.json and
+//                                 enforces the scaling gates:
+//                                   - control-plane bytes at 4M/64 nodes
+//                                     <= 8x the 500k/64 figure
+//                                   - steady-state events/s (simulation
+//                                     phase, one-time load/audit
+//                                     excluded) at 4M/64 >= 80% of 500k/64
+//   bench_scale --smoke           one 1M x 16 cell with the threshold
+//                                 lowered so the scale-out paths engage
+//                                 (CI perf smoke; ~seconds, not minutes)
+//   bench_scale --json path       override the output path
+//   bench_scale --rss_limit_mb N  additionally fail when the process peak
+//                                 RSS exceeds N MB (CI memory ceiling)
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using soap::engine::ExperimentConfig;
+using soap::engine::ExperimentResult;
+
+double PeakRssMb() {
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0.0;
+  // Linux reports ru_maxrss in kilobytes.
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// One sweep cell: the §4.1 zipf workload with a constant template count
+/// across keyspace sizes (so per-cell work tracks the cluster, not the
+/// keyspace), a pair-hub drift phase after warmup to keep the online
+/// planner replanning, and a short horizon — the sweep measures scaling,
+/// not convergence.
+ExperimentConfig MakeScaleConfig(uint64_t num_keys, uint32_t nodes,
+                                 uint64_t sketch_threshold) {
+  ExperimentConfig config;
+  config.workload = soap::workload::WorkloadSpec::Zipf(/*alpha=*/1.0);
+  config.workload.num_keys = num_keys;
+  config.cluster.num_nodes = nodes;
+  config.utilization = soap::workload::kHighLoadUtilization;
+  config.strategy = soap::SchedulingStrategy::kHybrid;
+  config.feedback.sp = 1.05;
+  config.warmup_intervals = 2;
+  config.measured_intervals = 4;
+  config.planner.enabled = true;
+  config.planner.replan_period = 2;
+  config.scale.sketch_threshold = sketch_threshold;
+  soap::workload::DriftPhase hub;
+  hub.start_interval = 2;
+  hub.zipf_s = config.workload.zipf_s;
+  hub.pair_fraction = 0.3;
+  hub.pair_hub = 16;
+  config.workload.phases.push_back(hub);
+  config.seed = 42;
+  return config;
+}
+
+struct CellResult {
+  uint64_t num_keys = 0;
+  uint32_t nodes = 0;
+  bool scale_out = false;
+  double wall_seconds = 0.0;
+  double events_per_sec = 0.0;  ///< whole Run(), setup and audit included
+  /// Event rate over the simulation phase alone (wall minus the one-time
+  /// O(keyspace) load and audit phases) — what a production-length
+  /// horizon converges to, and what the throughput gate compares.
+  double steady_events_per_sec = 0.0;
+  double rss_peak_mb = 0.0;  ///< process peak after this cell (monotone)
+  uint64_t control_plane_bytes = 0;
+  ExperimentResult result;
+};
+
+CellResult RunCell(uint64_t num_keys, uint32_t nodes,
+                   uint64_t sketch_threshold) {
+  ExperimentConfig config =
+      MakeScaleConfig(num_keys, nodes, sketch_threshold);
+  CellResult cell;
+  cell.num_keys = num_keys;
+  cell.nodes = nodes;
+  cell.scale_out = num_keys > sketch_threshold;
+  const auto t0 = std::chrono::steady_clock::now();
+  soap::engine::Experiment experiment(std::move(config));
+  cell.result = experiment.Run();
+  cell.wall_seconds = SecondsSince(t0);
+  cell.events_per_sec =
+      cell.wall_seconds > 0.0
+          ? static_cast<double>(cell.result.events_executed) /
+                cell.wall_seconds
+          : 0.0;
+  const double sim_seconds = cell.wall_seconds -
+                             cell.result.load_wall_seconds -
+                             cell.result.audit_wall_seconds;
+  cell.steady_events_per_sec =
+      sim_seconds > 0.0
+          ? static_cast<double>(cell.result.events_executed) / sim_seconds
+          : 0.0;
+  cell.rss_peak_mb = PeakRssMb();
+  cell.control_plane_bytes = cell.result.routing_bytes +
+                             cell.result.graph_bytes +
+                             cell.result.storage_bytes;
+  std::printf(
+      "# ran %7llu keys x %2u nodes (%s): %.1fs wall "
+      "(load %.1f + audit %.1f), %llu events (%.0f/s steady), "
+      "%llu committed, control-plane %.1f MB "
+      "(routing %.2f + graph %.2f + tables %.2f), %llu rows "
+      "materialized, peak RSS %.0f MB, %s\n",
+      static_cast<unsigned long long>(num_keys), nodes,
+      cell.scale_out ? "scale-out" : "exact", cell.wall_seconds,
+      cell.result.load_wall_seconds, cell.result.audit_wall_seconds,
+      static_cast<unsigned long long>(cell.result.events_executed),
+      cell.steady_events_per_sec,
+      static_cast<unsigned long long>(cell.result.counters.committed_normal),
+      static_cast<double>(cell.control_plane_bytes) / 1e6,
+      static_cast<double>(cell.result.routing_bytes) / 1e6,
+      static_cast<double>(cell.result.graph_bytes) / 1e6,
+      static_cast<double>(cell.result.storage_bytes) / 1e6,
+      static_cast<unsigned long long>(
+          cell.result.storage_materialized_rows),
+      cell.rss_peak_mb,
+      cell.result.audit.ok() ? "audit ok"
+                             : cell.result.audit.ToString().c_str());
+  std::fflush(stdout);
+  return cell;
+}
+
+void AppendCellJson(std::ostringstream& json, const CellResult& cell,
+                    bool last) {
+  const ExperimentResult& r = cell.result;
+  json << "    {\"num_keys\": " << cell.num_keys
+       << ", \"nodes\": " << cell.nodes
+       << ", \"scale_out\": " << (cell.scale_out ? "true" : "false")
+       << ", \"wall_seconds\": " << cell.wall_seconds
+       << ", \"load_wall_seconds\": " << r.load_wall_seconds
+       << ", \"audit_wall_seconds\": " << r.audit_wall_seconds
+       << ", \"events\": " << r.events_executed
+       << ", \"events_per_sec\": " << cell.events_per_sec
+       << ", \"steady_events_per_sec\": " << cell.steady_events_per_sec
+       << ", \"committed_normal\": " << r.counters.committed_normal
+       << ", \"distributed_ratio_tail\": "
+       << r.distributed_ratio.TailMean(3)
+       << ", \"plan_generations\": " << r.plan_generations
+       << ", \"routing_bytes\": " << r.routing_bytes
+       << ", \"routing_ranges\": " << r.routing_ranges
+       << ", \"routing_exceptions\": " << r.routing_exceptions
+       << ", \"graph_bytes\": " << r.graph_bytes
+       << ", \"graph_vertices\": " << r.graph_vertices
+       << ", \"storage_bytes\": " << r.storage_bytes
+       << ", \"materialized_rows\": " << r.storage_materialized_rows
+       << ", \"control_plane_bytes\": " << cell.control_plane_bytes
+       << ", \"rss_peak_mb\": " << cell.rss_peak_mb << "}"
+       << (last ? "\n" : ",\n");
+}
+
+const CellResult* FindCell(const std::vector<CellResult>& cells,
+                           uint64_t num_keys, uint32_t nodes) {
+  for (const CellResult& cell : cells) {
+    if (cell.num_keys == num_keys && cell.nodes == nodes) return &cell;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path = "bench_results/BENCH_scale.json";
+  double rss_limit_mb = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--rss_limit_mb") == 0 && i + 1 < argc) {
+      rss_limit_mb = std::strtod(argv[++i], nullptr);
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_scale [--smoke] [--json path] "
+                   "[--rss_limit_mb N]\n");
+      return 2;
+    }
+  }
+
+  std::printf("==== bench_scale: production-cardinality scaling sweep ====\n");
+  std::vector<CellResult> cells;
+  if (smoke) {
+    // One mid-size cell with the threshold lowered so every scale-out
+    // path (interval routing stays shared, lazy tables, sketch graph)
+    // actually engages at an affordable size.
+    cells.push_back(RunCell(1'000'000, 16, /*sketch_threshold=*/500'000));
+  } else {
+    for (uint32_t nodes : {10u, 64u}) {
+      for (uint64_t keys : {500'000ull, 1'000'000ull, 4'000'000ull}) {
+        cells.push_back(RunCell(keys, nodes, /*sketch_threshold=*/1'000'000));
+      }
+    }
+  }
+
+  int exit_code = 0;
+  for (const CellResult& cell : cells) {
+    if (!cell.result.audit.ok()) {
+      std::fprintf(stderr, "consistency audit FAILED at %llu keys: %s\n",
+                   static_cast<unsigned long long>(cell.num_keys),
+                   cell.result.audit.ToString().c_str());
+      exit_code = 1;
+    }
+    if (cell.scale_out &&
+        cell.result.storage_materialized_rows >= cell.num_keys) {
+      std::fprintf(stderr,
+                   "lazy tables did not engage: %llu rows materialized for "
+                   "%llu keys\n",
+                   static_cast<unsigned long long>(
+                       cell.result.storage_materialized_rows),
+                   static_cast<unsigned long long>(cell.num_keys));
+      exit_code = 1;
+    }
+  }
+
+  double memory_ratio = 0.0;
+  double rate_ratio = 0.0;
+  if (!smoke) {
+    const CellResult* small = FindCell(cells, 500'000, 64);
+    const CellResult* big = FindCell(cells, 4'000'000, 64);
+    if (small != nullptr && big != nullptr &&
+        small->control_plane_bytes > 0 &&
+        small->steady_events_per_sec > 0.0) {
+      memory_ratio = static_cast<double>(big->control_plane_bytes) /
+                     static_cast<double>(small->control_plane_bytes);
+      rate_ratio =
+          big->steady_events_per_sec / small->steady_events_per_sec;
+      std::printf("# gate control_plane_8x_memory   %.2fx (limit 8x)%s\n",
+                  memory_ratio, memory_ratio > 8.0 ? "  REGRESSION" : "");
+      std::printf("# gate events_rate_within_20pct %.2fx (floor 0.80x)%s\n",
+                  rate_ratio, rate_ratio < 0.80 ? "  REGRESSION" : "");
+      if (memory_ratio > 8.0 || rate_ratio < 0.80) exit_code = 1;
+    }
+  }
+  const double peak_rss_mb = PeakRssMb();
+  if (rss_limit_mb > 0.0) {
+    std::printf("# gate rss_limit_mb             %.0f MB (limit %.0f)%s\n",
+                peak_rss_mb, rss_limit_mb,
+                peak_rss_mb > rss_limit_mb ? "  REGRESSION" : "");
+    if (peak_rss_mb > rss_limit_mb) exit_code = 1;
+  }
+
+  std::ostringstream json;
+  json.precision(6);
+  json << "{\n"
+       << "  \"schema\": \"soap-bench-scale-v1\",\n"
+       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+       << "  \"peak_rss_mb\": " << peak_rss_mb << ",\n"
+       << "  \"memory_ratio_4m_over_500k\": " << memory_ratio << ",\n"
+       << "  \"events_rate_ratio_4m_over_500k\": " << rate_ratio << ",\n"
+       << "  \"cells\": [\n";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    AppendCellJson(json, cells[i], i + 1 == cells.size());
+  }
+  json << "  ]\n}\n";
+
+  std::filesystem::path path(json_path);
+  if (path.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(path.parent_path(), ec);
+  }
+  std::ofstream out(path);
+  out << json.str();
+  out.close();
+  std::printf("# wrote %s\n", json_path.c_str());
+  return exit_code;
+}

@@ -99,18 +99,18 @@ void InvariantEngine::SweepQuiescent(SimTime now) {
   }
 
   // Replica coherence: live, caught-up replicas match the primary's
-  // content byte for byte.
+  // content byte for byte. Ordered streaming sweep — no materialized key
+  // list, the placement arrives with each visited key.
   checks_run_++;
-  for (storage::TupleKey key : routing.ReplicatedKeys()) {
-    Result<router::Placement> placement = routing.GetPlacement(key);
-    if (!placement.ok()) continue;
-    if (placement->primary >= num_nodes || NodeDown(placement->primary)) {
-      continue;
+  routing.ForEachReplicated([&](storage::TupleKey key,
+                                const router::Placement& placement) {
+    if (placement.primary >= num_nodes || NodeDown(placement.primary)) {
+      return;
     }
     Result<storage::Tuple> primary_copy =
-        cluster_->storage(placement->primary).Read(key);
-    if (!primary_copy.ok()) continue;  // forward ownership already flagged
-    for (uint32_t r : placement->replicas) {
+        cluster_->storage(placement.primary).Read(key);
+    if (!primary_copy.ok()) return;  // forward ownership already flagged
+    for (uint32_t r : placement.replicas) {
       if (r >= num_nodes || NodeDown(r) || NodeStale(r)) continue;
       Result<storage::Tuple> replica_copy = cluster_->storage(r).Read(key);
       if (!replica_copy.ok()) continue;
@@ -120,12 +120,12 @@ void InvariantEngine::SweepQuiescent(SimTime now) {
                     std::to_string(r) + " holds " +
                     std::to_string(replica_copy->content) +
                     " while primary partition " +
-                    std::to_string(placement->primary) + " holds " +
+                    std::to_string(placement.primary) + " holds " +
                     std::to_string(primary_copy->content),
                 now);
       }
     }
-  }
+  });
 
   // Final state: the recorded chain tail is what the primary stores.
   if (history_ != nullptr) {

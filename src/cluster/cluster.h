@@ -76,6 +76,11 @@ struct ClusterConfig {
   /// idle window.
   uint32_t low_priority_max_inflight = 10;
   uint64_t num_keys = 500'000;
+  /// Production-cardinality mode: nodes declare their seed base lazily
+  /// (Table::SetLazyBase) instead of materialising num_keys rows, and skip
+  /// the up-front hash reserve. Requires the bulk loader to use
+  /// AssignRoundRobin + override eviction instead of per-key LoadTuple.
+  bool lazy_tables = false;
   ExecutionCosts costs;
   sim::NetworkConfig network;
   uint64_t seed = 1;

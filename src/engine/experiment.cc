@@ -1,6 +1,7 @@
 #include "src/engine/experiment.h"
 
 #include <cassert>
+#include <chrono>
 #include <sstream>
 
 #include "src/check/history_recorder.h"
@@ -47,6 +48,7 @@ ExperimentConfig::ExperimentConfig(const ExperimentConfig& o)
       fault_options(o.fault_options),
       planner_options(o.planner_options),
       replicas(o.replicas),
+      scale(o.scale),
       check(o.check),
       obs(o.obs),
       drain_and_audit(o.drain_and_audit),
@@ -63,6 +65,7 @@ ExperimentConfig::ExperimentConfig(ExperimentConfig&& o) noexcept
       fault_options(std::move(o.fault_options)),
       planner_options(std::move(o.planner_options)),
       replicas(o.replicas),
+      scale(o.scale),
       check(std::move(o.check)),
       obs(std::move(o.obs)),
       drain_and_audit(o.drain_and_audit),
@@ -80,6 +83,7 @@ ExperimentConfig& ExperimentConfig::operator=(const ExperimentConfig& o) {
   fault_options = o.fault_options;
   planner_options = o.planner_options;
   replicas = o.replicas;
+  scale = o.scale;
   check = o.check;
   obs = o.obs;
   drain_and_audit = o.drain_and_audit;
@@ -99,6 +103,7 @@ ExperimentConfig& ExperimentConfig::operator=(ExperimentConfig&& o) noexcept {
   fault_options = std::move(o.fault_options);
   planner_options = std::move(o.planner_options);
   replicas = o.replicas;
+  scale = o.scale;
   check = std::move(o.check);
   obs = std::move(o.obs);
   drain_and_audit = o.drain_and_audit;
@@ -217,6 +222,7 @@ ExperimentResult Experiment::Run() {
   }
 
   // --- Build the stack.
+  const auto load_t0 = std::chrono::steady_clock::now();
   sim::Simulator sim;
   // Stamp log lines with this run's virtual time while it is in scope.
   Logger::Instance().set_clock([&sim]() { return sim.Now(); });
@@ -226,19 +232,58 @@ ExperimentResult Experiment::Run() {
   cluster::ClusterConfig cluster_config = config_.cluster;
   cluster_config.num_keys = config_.workload.num_keys;
   cluster_config.seed = config_.seed;
+  // Production-cardinality runs flip the stack to its sublinear
+  // representations (lazy storage bases + sketch-backed planner graph).
+  // At or below the threshold everything is the exact paper-scale path.
+  const bool scale_out =
+      config_.workload.num_keys > config_.scale.sketch_threshold;
+  cluster_config.lazy_tables = scale_out;
   cluster::Cluster cluster(&sim, cluster_config);
   cluster::TransactionManager tm(&cluster);
 
   workload::TemplateCatalog catalog(config_.workload, cluster.num_nodes());
-  for (uint64_t key = 0; key < config_.workload.num_keys; ++key) {
-    storage::Tuple tuple;
-    tuple.key = key;
-    tuple.content = static_cast<int64_t>(key);
-    Status s = cluster.LoadTuple(tuple, catalog.InitialPartitionOf(key));
-    assert(s.ok());
-    (void)s;
+  // Routing base: num_nodes round-robin ranges cover the whole keyspace
+  // (key % nodes — the catalog's default placement); only keys whose
+  // initial partition differs end up as point exceptions.
+  {
+    Status base = cluster.routing_table().AssignRoundRobin(
+        0, config_.workload.num_keys, cluster.num_nodes());
+    assert(base.ok());
+    (void)base;
+  }
+  if (!scale_out) {
+    // Exact bulk load, tuple by tuple. SetPrimary absorbs keys that sit on
+    // their round-robin partition, so the routing table ends up with the
+    // same placements as the historical dense load.
+    for (uint64_t key = 0; key < config_.workload.num_keys; ++key) {
+      storage::Tuple tuple;
+      tuple.key = key;
+      tuple.content = static_cast<int64_t>(key);
+      Status s = cluster.LoadTuple(tuple, catalog.InitialPartitionOf(key));
+      assert(s.ok());
+      (void)s;
+    }
+  } else {
+    // Lazy bulk load: each node's round-robin base is already virtually
+    // present (Table::SetLazyBase), so only the catalog's overrides move —
+    // evict from the arithmetic home, land on the assigned partition.
+    catalog.ForEachInitialOverride(
+        [&](storage::TupleKey key, uint32_t partition) {
+          cluster.storage(static_cast<uint32_t>(key % cluster.num_nodes()))
+              .BulkEvict(key);
+          storage::Tuple tuple;
+          tuple.key = key;
+          tuple.content = static_cast<int64_t>(key);
+          Status s = cluster.LoadTuple(tuple, partition);
+          assert(s.ok());
+          (void)s;
+        });
   }
   cluster.CheckpointAll();  // seal the load base: WALs stay replayable
+  result.load_wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    load_t0)
+          .count();
 
   // --- Consistency checking (off by default; see CheckOptions). The
   // recorder observes every storage apply and TM lifecycle event; the
@@ -313,6 +358,12 @@ ExperimentResult Experiment::Run() {
       pc.first_plan_interval = config_.warmup_intervals;
     }
     if (pc.replan_period == 0) pc.replan_period = 1;
+    // Scale knobs flow into the co-access graph; at paper scale
+    // (num_keys <= threshold) the graph stays on its exact path.
+    pc.graph.num_keys = config_.workload.num_keys;
+    pc.graph.sketch_threshold = config_.scale.sketch_threshold;
+    pc.graph.sketch_topk = config_.scale.sketch_topk;
+    pc.graph.supernode_ranges = config_.scale.supernode_ranges;
     if (config_.replicas.enabled) {
       // The planner proposes replicas instead of migrations for read-heavy
       // keys; thresholds come from the replica options so one knob governs
@@ -777,7 +828,12 @@ ExperimentResult Experiment::Run() {
       tm.DrainQueue(txn::AbortReason::kShutdown);
       result.drained = tm.inflight() == 0 && tm.queue().Empty();
     }
+    const auto audit_t0 = std::chrono::steady_clock::now();
     result.audit = cluster.CheckConsistency();
+    result.audit_wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      audit_t0)
+            .count();
     if (result.audit.ok() && cluster.lock_manager().LockedKeyCount() != 0) {
       result.audit = Status::Internal(
           "locks leaked after drain: " +
@@ -818,6 +874,18 @@ ExperimentResult Experiment::Run() {
   }
   result.end_time = sim.Now();
   result.events_executed = sim.events_executed();
+  result.routing_bytes = cluster.routing_table().ApproxBytes();
+  result.routing_ranges = cluster.routing_table().range_count();
+  result.routing_exceptions = cluster.routing_table().exception_count();
+  if (online_planner != nullptr) {
+    result.graph_bytes = online_planner->graph().ApproxBytes();
+    result.graph_vertices = online_planner->graph().vertex_count();
+  }
+  for (uint32_t n = 0; n < cluster.num_nodes(); ++n) {
+    const storage::Table& table = cluster.storage(n).table();
+    result.storage_bytes += table.ApproxBytes();
+    result.storage_materialized_rows += table.materialized_size();
+  }
 
   // --- Consistency verdict: offline history audit plus the quiescent
   // invariant sweep (the sweep's preconditions — empty lock table, settled

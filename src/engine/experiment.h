@@ -179,6 +179,21 @@ struct ReplicaOptions {
   Duration catchup_per_tuple = Millis(3);
 };
 
+/// Production-cardinality scale-out knobs. Below the threshold everything
+/// runs the exact paper-scale paths (byte-identical to the seed); above
+/// it the stack flips to its sublinear representations: lazy storage
+/// bases, a sketch-backed co-access graph, and supernode aggregation of
+/// the cold tail.
+struct ScaleOptions {
+  /// Keyspaces up to this many tuples stay fully exact. 0 forces sketch
+  /// mode at any size (testing only).
+  uint64_t sketch_threshold = 1'000'000;
+  /// Hot tuples tracked exactly by the planner in sketch mode.
+  uint32_t sketch_topk = 4096;
+  /// Cold-tail supernode ranges in sketch mode.
+  uint32_t supernode_ranges = 1024;
+};
+
 /// Full configuration of one experiment run, grouped into cohesive
 /// sub-structs. The flat field names that predate the grouping live on as
 /// reference aliases (see below) so existing call sites keep compiling;
@@ -193,6 +208,7 @@ struct ExperimentConfig {
   FaultOptions fault_options;
   PlannerOptions planner_options;
   ReplicaOptions replicas;
+  ScaleOptions scale;
   CheckOptions check;
   ObsOptions obs;
   /// After the last interval: stop submitting and run the system dry, then
@@ -288,6 +304,25 @@ struct ExperimentResult {
   bool plan_completed = false;
   SimTime end_time = 0;
   uint64_t events_executed = 0;
+  /// Wall-clock spent in the two one-time O(keyspace) phases of Run():
+  /// stack construction through bulk load + checkpoint, and the end-of-run
+  /// consistency audit. Purely observational (never fed back into the
+  /// simulation); lets scaling benches separate steady-state event rate
+  /// from setup/teardown that a long horizon amortises away.
+  double load_wall_seconds = 0.0;
+  double audit_wall_seconds = 0.0;
+  /// End-of-run control-plane footprint (rough heap estimates for the
+  /// scaling reports, not allocator-exact): the routing table, the online
+  /// planner's co-access graph (0 when the planner is off), and the sum
+  /// over all node tables, plus their cardinalities.
+  uint64_t routing_bytes = 0;
+  uint64_t routing_ranges = 0;
+  uint64_t routing_exceptions = 0;
+  uint64_t graph_bytes = 0;
+  uint64_t graph_vertices = 0;
+  uint64_t storage_bytes = 0;
+  /// Rows actually held in memory; lazy tables synthesize the rest.
+  uint64_t storage_materialized_rows = 0;
 
   /// Observability artifacts; null unless the matching ObsOptions switch
   /// was on. shared_ptr because results get copied into panel vectors.

@@ -159,6 +159,37 @@ FlagTable ExperimentFlagTable() {
                     }
                     return Status::OK();
                   }});
+  defs.push_back({"num_keys", FlagType::kInt, "paper",
+                  "tuples in the table (alias of --keys; above "
+                  "--sketch_threshold the stack switches to lazy storage "
+                  "and sketch-based planning)",
+                  [](F f, C c) -> Status {
+                    if (f.Has("num_keys")) {
+                      c->workload.num_keys =
+                          static_cast<uint64_t>(f.GetInt("num_keys"));
+                    }
+                    return Status::OK();
+                  }});
+  defs.push_back({"sketch_threshold", FlagType::kInt, "1000000",
+                  "largest keyspace that keeps the exact per-tuple paths; "
+                  "above it storage bases go lazy and the planner's graph "
+                  "uses top-k + count-min sketches with supernodes",
+                  [](F f, C c) -> Status {
+                    if (f.Has("sketch_threshold")) {
+                      c->scale.sketch_threshold =
+                          static_cast<uint64_t>(f.GetInt("sketch_threshold"));
+                    }
+                    return Status::OK();
+                  }});
+  defs.push_back({"sketch_topk", FlagType::kInt, "4096",
+                  "hot tuples tracked exactly by the planner in sketch mode",
+                  [](F f, C c) -> Status {
+                    if (f.Has("sketch_topk")) {
+                      c->scale.sketch_topk =
+                          static_cast<uint32_t>(f.GetInt("sketch_topk"));
+                    }
+                    return Status::OK();
+                  }});
   defs.push_back({"load", FlagType::kString, "high",
                   "high|low, or a raw utilisation number",
                   [](F f, C c) -> Status {

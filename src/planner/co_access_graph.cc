@@ -1,8 +1,22 @@
 #include "src/planner/co_access_graph.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace soap::planner {
+
+CoAccessGraph::CoAccessGraph(CoAccessGraphConfig config)
+    : config_(config) {
+  sketch_mode_ = config_.num_keys > config_.sketch_threshold;
+  if (sketch_mode_) {
+    const uint64_t ranges = std::max<uint64_t>(1, config_.supernode_ranges);
+    supernode_width_ = std::max<uint64_t>(1, (config_.num_keys + ranges - 1) /
+                                                 ranges);
+    hot_ = std::make_unique<sketch::SpaceSaving>(config_.sketch_topk);
+    heat_ = std::make_unique<sketch::CountMin>(config_.count_min_width_log2,
+                                               config_.count_min_depth);
+  }
+}
 
 void CoAccessGraph::Observe(const txn::Transaction& t) {
   // Distinct data keys only; piggybacked/repartition ops carry
@@ -16,6 +30,11 @@ void CoAccessGraph::Observe(const txn::Transaction& t) {
   std::sort(keys.begin(), keys.end());
   keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
   if (keys.empty() || keys.size() > config_.max_keys_per_txn) return;
+
+  if (sketch_mode_) {
+    ObserveSketch(keys, t);
+    return;
+  }
 
   ++txns_observed_;
   for (storage::TupleKey k : keys) vertices_[k].weight += 1;
@@ -33,6 +52,51 @@ void CoAccessGraph::Observe(const txn::Transaction& t) {
       auto [it, inserted] = va.out.try_emplace(keys[j], 0);
       it->second += 1;
       vertices_[keys[j]].out[keys[i]] += 1;
+      if (inserted) ++edge_count_;
+    }
+  }
+  if (edge_count_ > config_.max_edges) EvictOverCap();
+}
+
+void CoAccessGraph::ObserveSketch(const std::vector<storage::TupleKey>& keys,
+                                  const txn::Transaction& t) {
+  ++txns_observed_;
+  // Feed the sketches first so a key that just crossed into the top-k is
+  // treated as hot within the same transaction.
+  for (storage::TupleKey k : keys) {
+    hot_->Add(k);
+    heat_->Add(k);
+  }
+  // Vertex id per key: hot keys keep themselves, the cold tail folds into
+  // its keyspace-range supernode.
+  std::vector<storage::TupleKey> vids;
+  vids.reserve(keys.size());
+  for (storage::TupleKey k : keys) {
+    vids.push_back(IsHotLocked(k) ? k : SupernodeOf(k));
+  }
+  for (storage::TupleKey vid : vids) vertices_[vid].weight += 1;
+  for (const txn::Operation& op : t.ops) {
+    if (op.repartition_op_id != 0) continue;
+    const storage::TupleKey vid =
+        IsHotLocked(op.key) ? op.key : SupernodeOf(op.key);
+    if (op.kind == txn::OpKind::kRead) {
+      vertices_[vid].reads += 1;
+    } else if (op.kind == txn::OpKind::kWrite) {
+      vertices_[vid].writes += 1;
+    }
+  }
+  // Edges among distinct vertex ids (cold keys sharing a supernode
+  // collapse; intra-supernode co-access carries no placement signal).
+  std::vector<storage::TupleKey> distinct = vids;
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                 distinct.end());
+  for (size_t i = 0; i < distinct.size(); ++i) {
+    for (size_t j = i + 1; j < distinct.size(); ++j) {
+      Vertex& va = vertices_[distinct[i]];
+      auto [it, inserted] = va.out.try_emplace(distinct[j], 0);
+      it->second += 1;
+      vertices_[distinct[j]].out[distinct[i]] += 1;
       if (inserted) ++edge_count_;
     }
   }
@@ -61,6 +125,45 @@ void CoAccessGraph::EvictOverCap() {
   }
 }
 
+void CoAccessGraph::FoldVertex(storage::TupleKey key) {
+  const storage::TupleKey sid = SupernodeOf(key);
+  vertices_.try_emplace(sid);  // ensure target exists before taking refs
+  auto it = vertices_.find(key);
+  if (it == vertices_.end()) return;
+  Vertex v = std::move(it->second);
+  // Detach all of key's edges first (both directions).
+  for (const auto& [nbr, w] : v.out) {
+    auto nb = vertices_.find(nbr);
+    if (nb != vertices_.end()) nb->second.out.erase(key);
+    --edge_count_;
+  }
+  vertices_.erase(it);
+  Vertex& sv = vertices_[sid];
+  sv.weight += v.weight;
+  sv.reads += v.reads;
+  sv.writes += v.writes;
+  // Re-attach edges to the supernode; edges into the own supernode become
+  // internal and vanish.
+  for (const auto& [nbr, w] : v.out) {
+    if (nbr == sid) continue;
+    auto nb = vertices_.find(nbr);
+    if (nb == vertices_.end()) continue;
+    auto [e, inserted] = sv.out.try_emplace(nbr, 0);
+    e->second += w;
+    nb->second.out[sid] += w;
+    if (inserted) ++edge_count_;
+  }
+}
+
+void CoAccessGraph::FoldColdVertices() {
+  std::vector<storage::TupleKey> cold;
+  for (const auto& [key, v] : vertices_) {
+    if (!IsSupernode(key) && !IsHotLocked(key)) cold.push_back(key);
+  }
+  std::sort(cold.begin(), cold.end());
+  for (storage::TupleKey key : cold) FoldVertex(key);
+}
+
 void CoAccessGraph::Decay() {
   std::vector<std::pair<storage::TupleKey, storage::TupleKey>> dead_edges;
   for (auto& [key, v] : vertices_) {
@@ -83,6 +186,13 @@ void CoAccessGraph::Decay() {
       ++it;
     }
   }
+  if (sketch_mode_) {
+    hot_->Decay(config_.decay_shift);
+    heat_->Decay(config_.decay_shift);
+    // Keys demoted out of the top-k lose their exact vertex: their
+    // remaining mass and edges fold into the supernode hierarchy.
+    FoldColdVertices();
+  }
   EvictOverCap();
 }
 
@@ -101,12 +211,35 @@ uint64_t CoAccessGraph::VertexWrites(storage::TupleKey key) const {
   return it == vertices_.end() ? 0 : it->second.writes;
 }
 
+uint64_t CoAccessGraph::HeatEstimate(storage::TupleKey key) const {
+  auto it = vertices_.find(key);
+  if (it != vertices_.end()) return it->second.weight;
+  if (sketch_mode_) return heat_->Estimate(key);
+  return 0;
+}
+
 uint64_t CoAccessGraph::EdgeWeight(storage::TupleKey a,
                                    storage::TupleKey b) const {
   auto it = vertices_.find(a);
   if (it == vertices_.end()) return 0;
   auto e = it->second.out.find(b);
   return e == it->second.out.end() ? 0 : e->second;
+}
+
+size_t CoAccessGraph::ApproxBytes() const {
+  constexpr size_t kHashNodeOverhead = 2 * sizeof(void*);
+  size_t bytes = sizeof(*this);
+  bytes += vertices_.bucket_count() * sizeof(void*);
+  for (const auto& [key, v] : vertices_) {
+    bytes += sizeof(key) + sizeof(Vertex) + kHashNodeOverhead;
+    bytes += v.out.bucket_count() * sizeof(void*);
+    bytes += v.out.size() *
+             (sizeof(storage::TupleKey) + sizeof(uint64_t) +
+              kHashNodeOverhead);
+  }
+  if (hot_) bytes += hot_->ApproxBytes();
+  if (heat_) bytes += heat_->ApproxBytes();
+  return bytes;
 }
 
 std::vector<storage::TupleKey> CoAccessGraph::SortedVertices() const {

@@ -5,15 +5,27 @@
 // deterministic exponential decay (right-shift per interval) plus
 // lowest-weight-first eviction against hard caps — no wall clock, no
 // hashing-order dependence in anything observable.
+//
+// Production-cardinality sketch mode (SWORD-style hierarchy): above a
+// configured keyspace threshold the graph stops allocating a vertex per
+// touched tuple. A space-saving top-k identifies the hot tuples, which
+// keep exact vertices and edges; the cold tail folds into per-range
+// *supernodes* (one vertex per contiguous keyspace range, tagged by a
+// high id bit), and a count-min sketch answers heat queries for tuples
+// without a vertex. At paper scale (num_keys <= sketch_threshold) the
+// exact path runs unchanged, byte for byte.
 
 #ifndef SOAP_PLANNER_CO_ACCESS_GRAPH_H_
 #define SOAP_PLANNER_CO_ACCESS_GRAPH_H_
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
+#include "src/sketch/count_min.h"
+#include "src/sketch/space_saving.h"
 #include "src/storage/tuple.h"
 #include "src/txn/transaction.h"
 
@@ -32,20 +44,40 @@ struct CoAccessGraphConfig {
   /// Transactions touching more keys than this are ignored (quadratic
   /// edge fan-out guard; normal SOAP transactions touch 5 keys).
   size_t max_keys_per_txn = 32;
+
+  // --- Sketch mode (engaged when num_keys > sketch_threshold) ---
+  /// Monitored table cardinality; the default 0 never exceeds the
+  /// threshold, so an unconfigured graph stays exact.
+  uint64_t num_keys = 0;
+  /// Keyspaces up to this size use the exact per-tuple path (byte-for-
+  /// byte the paper-scale behaviour); larger ones switch to sketches.
+  uint64_t sketch_threshold = 1'000'000;
+  /// Hot tuples tracked with exact vertices (space-saving capacity).
+  uint32_t sketch_topk = 4096;
+  /// A tracked tuple counts as hot only once its guaranteed (error-free)
+  /// space-saving count reaches this; below it the key is treated as cold
+  /// churn through the sketch's bottom slot and maps to its supernode.
+  uint64_t hot_min_guarantee = 2;
+  /// Contiguous keyspace ranges the cold tail folds into.
+  uint32_t supernode_ranges = 1024;
+  /// Count-min geometry for sketch-mode heat estimates.
+  uint32_t count_min_width_log2 = 16;
+  uint32_t count_min_depth = 4;
 };
 
 class CoAccessGraph {
  public:
-  explicit CoAccessGraph(CoAccessGraphConfig config = {})
-      : config_(config) {}
+  explicit CoAccessGraph(CoAccessGraphConfig config = {});
 
   /// Feeds one committed normal transaction: each distinct key's vertex
-  /// weight +1, each distinct key pair's edge weight +1.
+  /// weight +1, each distinct key pair's edge weight +1. In sketch mode
+  /// cold keys contribute to their supernode instead.
   void Observe(const txn::Transaction& t);
 
   /// Ages the window: every weight >>= decay_shift, then evicts edges
   /// below min_edge_weight, isolated zero-weight vertices, and (if still
-  /// over max_edges) the lightest edges.
+  /// over max_edges) the lightest edges. In sketch mode also decays the
+  /// sketches and folds no-longer-hot vertices into their supernodes.
   void Decay();
 
   uint64_t VertexWeight(storage::TupleKey key) const;
@@ -58,9 +90,31 @@ class CoAccessGraph {
   uint64_t VertexReads(storage::TupleKey key) const;
   uint64_t VertexWrites(storage::TupleKey key) const;
 
+  /// Heat of a tuple whether or not it holds a vertex: exact weight when
+  /// one exists (always, in exact mode), else the count-min estimate.
+  uint64_t HeatEstimate(storage::TupleKey key) const;
+
   size_t vertex_count() const { return vertices_.size(); }
   size_t edge_count() const { return edge_count_; }
   uint64_t txns_observed() const { return txns_observed_; }
+
+  /// True when the graph runs the sketch/supernode path.
+  bool sketch_mode() const { return sketch_mode_; }
+
+  /// Supernode ids carry this tag bit; they can never collide with tuple
+  /// keys, which the routing table bounds below 2^63.
+  static constexpr storage::TupleKey kSupernodeBit = 1ULL << 63;
+  static bool IsSupernode(storage::TupleKey id) {
+    return (id & kSupernodeBit) != 0;
+  }
+  /// The supernode id of a (cold) tuple key in sketch mode.
+  storage::TupleKey SupernodeOf(storage::TupleKey key) const {
+    return kSupernodeBit | (key / supernode_width_);
+  }
+
+  /// Rough heap footprint (vertices + adjacency + sketches), for scaling
+  /// reports. Not allocator-exact.
+  size_t ApproxBytes() const;
 
   /// Deterministic snapshots for the partitioner (sorted by key).
   std::vector<storage::TupleKey> SortedVertices() const;
@@ -86,8 +140,23 @@ class CoAccessGraph {
 
   void EraseEdge(storage::TupleKey a, storage::TupleKey b);
   void EvictOverCap();
+  /// Sketch-mode Observe body (keys pre-deduped and size-guarded).
+  void ObserveSketch(const std::vector<storage::TupleKey>& keys,
+                     const txn::Transaction& t);
+  /// Hot = tracked by the top-k with enough guaranteed count.
+  bool IsHotLocked(storage::TupleKey key) const {
+    return hot_->Contains(key) &&
+           hot_->Guaranteed(key) >= config_.hot_min_guarantee;
+  }
+  /// Moves a demoted hot vertex's mass and edges onto its supernode.
+  void FoldVertex(storage::TupleKey key);
+  void FoldColdVertices();
 
   CoAccessGraphConfig config_;
+  bool sketch_mode_ = false;
+  uint64_t supernode_width_ = 1;
+  std::unique_ptr<sketch::SpaceSaving> hot_;
+  std::unique_ptr<sketch::CountMin> heat_;
   std::unordered_map<storage::TupleKey, Vertex> vertices_;
   size_t edge_count_ = 0;  // undirected pairs
   uint64_t txns_observed_ = 0;

@@ -215,14 +215,13 @@ BuiltPlan PlanBuilder::Build(const Clustering& clustering,
   }
 
   if (config_.replicate_read_heavy && config_.drop_stale_replicas) {
-    for (storage::TupleKey key : routing.ReplicatedKeys()) {
-      Result<router::Placement> placement = routing.GetPlacement(key);
-      if (!placement.ok()) continue;
+    routing.ForEachReplicated([&](storage::TupleKey key,
+                                  const router::Placement& placement) {
       const uint64_t heat = graph.VertexWeight(key);
       const bool keep_any =
           heat >= config_.min_vertex_weight && read_heavy(key);
       const PullMass mass = keep_any ? deployed_pull_mass(key) : PullMass{};
-      for (router::PartitionId rep : placement->replicas) {
+      for (router::PartitionId rep : placement.replicas) {
         constexpr auto kDelete =
             repartition::RepartitionOpType::kReplicaDeletion;
         // Hysteresis: a copy survives while its partition keeps at least
@@ -232,18 +231,18 @@ BuiltPlan PlanBuilder::Build(const Clustering& clustering,
                 0.5 * config_.replica_split_threshold *
                     static_cast<double>(mass.total)) {
           audit_op(key, kDelete, false, "kept_by_hysteresis", rep,
-                   placement->primary, heat, mass.On(rep), mass.total,
-                   placement->copy_count());
+                   placement.primary, heat, mass.On(rep), mass.total,
+                   placement.copy_count());
           continue;
         }
         audit_op(key, kDelete, true,
                  keep_any ? "drop_below_share" : "drop_cold_or_write_heavy",
-                 rep, placement->primary, heat, mass.On(rep), mass.total,
-                 placement->copy_count());
-        moves.push_back({key, rep, placement->primary, heat,
+                 rep, placement.primary, heat, mass.On(rep), mass.total,
+                 placement.copy_count());
+        moves.push_back({key, rep, placement.primary, heat,
                          repartition::RepartitionOpType::kReplicaDeletion});
       }
-    }
+    });
   }
 
   // Keys must come out sorted (lock-order discipline for pure repartition

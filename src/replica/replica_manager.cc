@@ -49,17 +49,19 @@ void ReplicaManager::OnNodeCrash(uint32_t node) {
 void ReplicaManager::PromoteAwayFrom(uint32_t node) {
   router::RoutingTable& routing = cluster_->routing_table();
   uint64_t promoted = 0;
-  for (storage::TupleKey key : routing.ReplicatedKeys()) {
-    Result<router::Placement> placement = routing.GetPlacement(key);
-    if (!placement.ok() || placement->primary != node) continue;
+  // Ordered streaming sweep: the table stays unlocked while each key is
+  // handled, so Promote below mutates it safely mid-iteration.
+  routing.ForEachReplicated([&](storage::TupleKey key,
+                                const router::Placement& placement) {
+    if (placement.primary != node) return;
     router::PartitionId best = router::QueryRouter::kNoPreference;
-    for (router::PartitionId r : placement->replicas) {
+    for (router::PartitionId r : placement.replicas) {
       if (!cluster_->node(r).down() &&
           (best == router::QueryRouter::kNoPreference || r < best)) {
         best = r;
       }
     }
-    if (best == router::QueryRouter::kNoPreference) continue;
+    if (best == router::QueryRouter::kNoPreference) return;
     Status s = routing.Promote(key, best);
     if (s.ok()) {
       ++promoted;
@@ -70,7 +72,7 @@ void ReplicaManager::PromoteAwayFrom(uint32_t node) {
       SOAP_LOG(kWarn) << "promotion of key " << key << " failed: "
                       << s.ToString();
     }
-  }
+  });
   if (promoted > 0) ++stats_.failovers;
   if (audit_ != nullptr) {
     obs::AuditRecord rec(audit_, "promotion",
@@ -104,6 +106,9 @@ void ReplicaManager::ApplyCatchup(uint32_t node) {
   const uint64_t dropped_before = stats_.catchup_dropped;
   router::RoutingTable& routing = cluster_->routing_table();
   storage::StorageEngine& store = cluster_->storage(node);
+  // Orphan pass: copies the routing table no longer places on this node
+  // (migration committed, or the replica was dropped, while it was down)
+  // are unreachable — erase them.
   std::vector<storage::TupleKey> keys;
   keys.reserve(store.tuple_count());
   store.table().ForEach(
@@ -112,20 +117,26 @@ void ReplicaManager::ApplyCatchup(uint32_t node) {
   for (storage::TupleKey key : keys) {
     Result<router::Placement> placement = routing.GetPlacement(key);
     if (!placement.ok() || !placement->HasReplicaOn(node)) {
-      // Routing moved on while the node was down (migration committed, or
-      // the replica was dropped): this copy is unreachable — erase it.
       if (store.ApplyErase(0, key).ok()) ++stats_.catchup_dropped;
-      continue;
     }
-    if (placement->primary == node) continue;  // WAL replay restored it
-    // Stale replica: refresh content from the current primary.
+  }
+  // Refresh pass, straight off the routing table's ordered replica index:
+  // surviving stale replicas take their content from the current primary.
+  routing.ForEachReplicated([&](storage::TupleKey key,
+                                const router::Placement& placement) {
+    if (placement.primary == node) return;  // WAL replay restored it
+    if (std::find(placement.replicas.begin(), placement.replicas.end(),
+                  node) == placement.replicas.end()) {
+      return;
+    }
+    if (!store.Contains(key)) return;  // never copied while it was down
     Result<storage::Tuple> fresh =
-        cluster_->storage(placement->primary).Read(key);
-    if (!fresh.ok()) continue;
+        cluster_->storage(placement.primary).Read(key);
+    if (!fresh.ok()) return;
     if (store.ApplyUpdate(0, key, fresh->content).ok()) {
       ++stats_.catchup_refreshed;
     }
-  }
+  });
   // Every surviving copy is refreshed (or dropped): the node's replicas
   // are coherent again and may serve reads.
   stale_.erase(node);

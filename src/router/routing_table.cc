@@ -1,36 +1,290 @@
 #include "src/router/routing_table.h"
 
 #include <algorithm>
+#include <cassert>
 #include <string>
 
 namespace soap::router {
+
+namespace {
+
+/// Number of keys k in [0, x) with k % modulus == r.
+uint64_t CongruentBelow(uint64_t x, uint32_t modulus, uint32_t r) {
+  if (x <= r) return 0;
+  return (x - r + modulus - 1) / modulus;
+}
+
+/// Number of keys k in [start, end) with k % modulus == r.
+uint64_t CongruentInRange(uint64_t start, uint64_t end, uint32_t modulus,
+                          uint32_t r) {
+  return CongruentBelow(end, modulus, r) - CongruentBelow(start, modulus, r);
+}
+
+}  // namespace
 
 bool Placement::HasReplicaOn(PartitionId p) const {
   if (primary == p) return true;
   return std::find(replicas.begin(), replicas.end(), p) != replicas.end();
 }
 
-RoutingTable::RoutingTable(uint64_t num_keys)
-    : num_keys_(num_keys), primary_(num_keys, kUnassigned) {}
+RoutingTable::RoutingTable(uint64_t num_keys) : num_keys_(num_keys) {}
+
+const RoutingTable::BaseRange* RoutingTable::FindBaseLocked(
+    storage::TupleKey key, storage::TupleKey* start_out) const {
+  auto it = base_.upper_bound(key);
+  if (it == base_.begin()) return nullptr;
+  --it;
+  if (key >= it->second.end) return nullptr;
+  *start_out = it->first;
+  return &it->second;
+}
+
+std::optional<PartitionId> RoutingTable::BaseOwnerLocked(
+    storage::TupleKey key) const {
+  storage::TupleKey start = 0;
+  const BaseRange* range = FindBaseLocked(key, &start);
+  if (range == nullptr) return std::nullopt;
+  return RangeOwner(*range, key);
+}
+
+std::optional<PartitionId> RoutingTable::PrimaryLocked(
+    storage::TupleKey key) const {
+  auto it = primary_exc_.find(key);
+  if (it != primary_exc_.end()) return it->second;
+  return BaseOwnerLocked(key);
+}
+
+void RoutingTable::BumpPrimaryCount(PartitionId partition, int64_t delta) {
+  if (partition >= primaries_count_.size()) {
+    primaries_count_.resize(static_cast<size_t>(partition) + 1, 0);
+  }
+  primaries_count_[partition] += static_cast<uint64_t>(delta);
+}
+
+void RoutingTable::BumpReplicaCount(PartitionId partition, int64_t delta) {
+  if (partition >= replicas_count_.size()) {
+    replicas_count_.resize(static_cast<size_t>(partition) + 1, 0);
+  }
+  replicas_count_[partition] += static_cast<uint64_t>(delta);
+}
+
+Status RoutingTable::AssignRange(storage::TupleKey start,
+                                 storage::TupleKey end,
+                                 PartitionId partition) {
+  BaseRange entry;
+  entry.end = end;
+  entry.round_robin = false;
+  entry.partition = partition;
+
+  std::lock_guard<std::mutex> guard(mu_);
+  if (start >= end || end > num_keys_) {
+    return Status::InvalidArgument("range [" + std::to_string(start) + ", " +
+                                   std::to_string(end) + ") out of bounds");
+  }
+  auto it = base_.upper_bound(start);
+  if (it != base_.begin() && std::prev(it)->second.end > start) {
+    return Status::FailedPrecondition("range overlaps an existing entry");
+  }
+  if (it != base_.end() && it->first < end) {
+    return Status::FailedPrecondition("range overlaps an existing entry");
+  }
+  base_.emplace(start, entry);
+  BumpPrimaryCount(partition, static_cast<int64_t>(end - start));
+  // Existing point exceptions stay authoritative over the new base: back
+  // the base owner out of the counters for each, absorbing exceptions
+  // that now agree with it.
+  for (auto exc = primary_exc_.begin(); exc != primary_exc_.end();) {
+    if (exc->first < start || exc->first >= end) {
+      ++exc;
+      continue;
+    }
+    BumpPrimaryCount(partition, -1);
+    if (exc->second == partition) {
+      exc = primary_exc_.erase(exc);
+    } else {
+      ++exc;
+    }
+  }
+  ++version_;
+  return Status::OK();
+}
+
+Status RoutingTable::AssignRoundRobin(storage::TupleKey start,
+                                      storage::TupleKey end,
+                                      uint32_t num_partitions) {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (num_partitions == 0) {
+    return Status::InvalidArgument("round-robin needs >= 1 partition");
+  }
+  if (start >= end || end > num_keys_) {
+    return Status::InvalidArgument("range [" + std::to_string(start) + ", " +
+                                   std::to_string(end) + ") out of bounds");
+  }
+  auto it = base_.upper_bound(start);
+  if (it != base_.begin() && std::prev(it)->second.end > start) {
+    return Status::FailedPrecondition("range overlaps an existing entry");
+  }
+  if (it != base_.end() && it->first < end) {
+    return Status::FailedPrecondition("range overlaps an existing entry");
+  }
+  BaseRange entry;
+  entry.end = end;
+  entry.round_robin = true;
+  entry.modulus = num_partitions;
+  base_.emplace(start, entry);
+  for (uint32_t p = 0; p < num_partitions; ++p) {
+    BumpPrimaryCount(
+        p, static_cast<int64_t>(CongruentInRange(start, end, num_partitions,
+                                                 p)));
+  }
+  for (auto exc = primary_exc_.begin(); exc != primary_exc_.end();) {
+    if (exc->first < start || exc->first >= end) {
+      ++exc;
+      continue;
+    }
+    const PartitionId owner =
+        static_cast<PartitionId>(exc->first % num_partitions);
+    BumpPrimaryCount(owner, -1);
+    if (exc->second == owner) {
+      exc = primary_exc_.erase(exc);
+    } else {
+      ++exc;
+    }
+  }
+  ++version_;
+  return Status::OK();
+}
 
 Result<PartitionId> RoutingTable::GetPrimary(storage::TupleKey key) const {
   std::lock_guard<std::mutex> guard(mu_);
-  if (key >= num_keys_ || primary_[key] == kUnassigned) {
-    return Status::NotFound("key " + std::to_string(key) + " not routed");
+  if (key < num_keys_) {
+    if (std::optional<PartitionId> p = PrimaryLocked(key); p.has_value()) {
+      return *p;
+    }
   }
-  return primary_[key];
+  return Status::NotFound("key " + std::to_string(key) + " not routed");
 }
 
 Result<Placement> RoutingTable::GetPlacement(storage::TupleKey key) const {
   std::lock_guard<std::mutex> guard(mu_);
-  if (key >= num_keys_ || primary_[key] == kUnassigned) {
+  std::optional<PartitionId> primary;
+  if (key < num_keys_) primary = PrimaryLocked(key);
+  if (!primary.has_value()) {
     return Status::NotFound("key " + std::to_string(key) + " not routed");
   }
   Placement p;
-  p.primary = primary_[key];
+  p.primary = *primary;
   auto it = replicas_.find(key);
   if (it != replicas_.end()) p.replicas = it->second;
   return p;
+}
+
+bool RoutingTable::IsPlacedOn(storage::TupleKey key,
+                              PartitionId partition) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (key >= num_keys_) return false;
+  const std::optional<PartitionId> primary = PrimaryLocked(key);
+  if (!primary.has_value()) return false;
+  if (*primary == partition) return true;
+  auto it = replicas_.find(key);
+  return it != replicas_.end() &&
+         std::find(it->second.begin(), it->second.end(), partition) !=
+             it->second.end();
+}
+
+void RoutingTable::CoalesceAroundLocked(storage::TupleKey start) {
+  auto it = base_.find(start);
+  if (it == base_.end() || it->second.round_robin) return;
+  auto next = base_.find(it->second.end);
+  if (next != base_.end() && !next->second.round_robin &&
+      next->second.partition == it->second.partition) {
+    it->second.end = next->second.end;
+    base_.erase(next);
+  }
+  if (it != base_.begin()) {
+    auto prev = std::prev(it);
+    if (!prev->second.round_robin && prev->second.end == it->first &&
+        prev->second.partition == it->second.partition) {
+      prev->second.end = it->second.end;
+      base_.erase(it);
+    }
+  }
+}
+
+bool RoutingTable::RestructureBlockLocked(storage::TupleKey start,
+                                          storage::TupleKey key,
+                                          PartitionId partition) {
+  auto it = base_.find(start);
+  const storage::TupleKey end = it->second.end;
+  if (end - start == 1) {
+    // Singleton range: retarget and merge into equal-owner neighbours.
+    it->second.partition = partition;
+    CoalesceAroundLocked(start);
+    return true;
+  }
+  if (key == start) {
+    // Split off the first key: extend an adjacent equal-owner block range
+    // over it, or mint a singleton range.
+    BaseRange rest = it->second;
+    bool extended = false;
+    if (it != base_.begin()) {
+      auto prev = std::prev(it);
+      if (!prev->second.round_robin && prev->second.end == start &&
+          prev->second.partition == partition) {
+        prev->second.end = start + 1;
+        extended = true;
+      }
+    }
+    base_.erase(it);
+    base_.emplace(start + 1, rest);
+    if (!extended) {
+      base_.emplace(start, BaseRange{start + 1, false, partition, 0});
+    }
+    return true;
+  }
+  if (key == end - 1) {
+    // Split off the last key, symmetrically.
+    it->second.end = end - 1;
+    auto next = base_.find(end);
+    if (next != base_.end() && !next->second.round_robin &&
+        next->second.partition == partition) {
+      BaseRange moved = next->second;
+      base_.erase(next);
+      base_.emplace(end - 1, moved);
+    } else {
+      base_.emplace(end - 1, BaseRange{end, false, partition, 0});
+    }
+    return true;
+  }
+  return false;  // interior: overlay an exception instead
+}
+
+void RoutingTable::SetPrimaryLocked(storage::TupleKey key,
+                                    PartitionId partition) {
+  if (std::optional<PartitionId> old = PrimaryLocked(key); old.has_value()) {
+    BumpPrimaryCount(*old, -1);
+  }
+  BumpPrimaryCount(partition, +1);
+
+  storage::TupleKey start = 0;
+  const BaseRange* range = FindBaseLocked(key, &start);
+  auto exc = primary_exc_.find(key);
+  if (range != nullptr) {
+    if (RangeOwner(*range, key) == partition) {
+      // The placement returned to its enclosing range: absorb.
+      if (exc != primary_exc_.end()) primary_exc_.erase(exc);
+      return;
+    }
+    if (exc == primary_exc_.end() && !range->round_robin &&
+        RestructureBlockLocked(start, key, partition)) {
+      return;  // boundary key: the range itself split/coalesced
+    }
+  }
+  if (exc != primary_exc_.end()) {
+    exc->second = partition;
+  } else {
+    primary_exc_.emplace(key, partition);
+  }
 }
 
 Status RoutingTable::SetPrimary(storage::TupleKey key,
@@ -40,7 +294,7 @@ Status RoutingTable::SetPrimary(storage::TupleKey key,
     return Status::InvalidArgument("key " + std::to_string(key) +
                                    " out of range");
   }
-  primary_[key] = partition;
+  SetPrimaryLocked(key, partition);
   BumpEpochLocked(key);
   ++version_;
   return Status::OK();
@@ -49,10 +303,12 @@ Status RoutingTable::SetPrimary(storage::TupleKey key,
 Status RoutingTable::AddReplica(storage::TupleKey key,
                                 PartitionId partition) {
   std::lock_guard<std::mutex> guard(mu_);
-  if (key >= num_keys_ || primary_[key] == kUnassigned) {
+  std::optional<PartitionId> primary;
+  if (key < num_keys_) primary = PrimaryLocked(key);
+  if (!primary.has_value()) {
     return Status::NotFound("key " + std::to_string(key) + " not routed");
   }
-  if (primary_[key] == partition) {
+  if (*primary == partition) {
     return Status::AlreadyExists("primary already on partition " +
                                  std::to_string(partition));
   }
@@ -62,6 +318,7 @@ Status RoutingTable::AddReplica(storage::TupleKey key,
                                  std::to_string(partition));
   }
   reps.push_back(partition);
+  BumpReplicaCount(partition, +1);
   ++version_;
   return Status::OK();
 }
@@ -69,10 +326,12 @@ Status RoutingTable::AddReplica(storage::TupleKey key,
 Status RoutingTable::RemoveReplica(storage::TupleKey key,
                                    PartitionId partition) {
   std::lock_guard<std::mutex> guard(mu_);
-  if (key >= num_keys_ || primary_[key] == kUnassigned) {
+  std::optional<PartitionId> primary;
+  if (key < num_keys_) primary = PrimaryLocked(key);
+  if (!primary.has_value()) {
     return Status::NotFound("key " + std::to_string(key) + " not routed");
   }
-  if (primary_[key] == partition) {
+  if (*primary == partition) {
     return Status::FailedPrecondition(
         "cannot remove the primary copy via RemoveReplica");
   }
@@ -89,6 +348,7 @@ Status RoutingTable::RemoveReplica(storage::TupleKey key,
   }
   reps.erase(rep_it);
   if (reps.empty()) replicas_.erase(it);
+  BumpReplicaCount(partition, -1);
   ++version_;
   return Status::OK();
 }
@@ -96,19 +356,24 @@ Status RoutingTable::RemoveReplica(storage::TupleKey key,
 Status RoutingTable::Migrate(storage::TupleKey key, PartitionId from,
                              PartitionId to) {
   std::lock_guard<std::mutex> guard(mu_);
-  if (key >= num_keys_ || primary_[key] == kUnassigned) {
+  std::optional<PartitionId> primary;
+  if (key < num_keys_) primary = PrimaryLocked(key);
+  if (!primary.has_value()) {
     return Status::NotFound("key " + std::to_string(key) + " not routed");
   }
-  if (primary_[key] != from) {
+  if (*primary != from) {
     return Status::FailedPrecondition(
         "primary of key " + std::to_string(key) + " is partition " +
-        std::to_string(primary_[key]) + ", not " + std::to_string(from));
+        std::to_string(*primary) + ", not " + std::to_string(from));
   }
-  primary_[key] = to;
+  SetPrimaryLocked(key, to);
   auto it = replicas_.find(key);
   if (it != replicas_.end()) {
     auto& reps = it->second;
+    const auto removed = static_cast<int64_t>(
+        std::count(reps.begin(), reps.end(), to));
     reps.erase(std::remove(reps.begin(), reps.end(), to), reps.end());
+    if (removed != 0) BumpReplicaCount(to, -removed);
     if (reps.empty()) replicas_.erase(it);
   }
   BumpEpochLocked(key);
@@ -118,10 +383,12 @@ Status RoutingTable::Migrate(storage::TupleKey key, PartitionId from,
 
 Status RoutingTable::Promote(storage::TupleKey key, PartitionId new_primary) {
   std::lock_guard<std::mutex> guard(mu_);
-  if (key >= num_keys_ || primary_[key] == kUnassigned) {
+  std::optional<PartitionId> primary;
+  if (key < num_keys_) primary = PrimaryLocked(key);
+  if (!primary.has_value()) {
     return Status::NotFound("key " + std::to_string(key) + " not routed");
   }
-  if (primary_[key] == new_primary) {
+  if (*primary == new_primary) {
     return Status::AlreadyExists("partition " + std::to_string(new_primary) +
                                  " is already the primary");
   }
@@ -137,8 +404,10 @@ Status RoutingTable::Promote(storage::TupleKey key, PartitionId new_primary) {
   }
   // Swap in place: the demoted primary takes the promoted replica's slot,
   // keeping the replica list's order deterministic.
-  *rep_it = primary_[key];
-  primary_[key] = new_primary;
+  *rep_it = *primary;
+  BumpReplicaCount(new_primary, -1);
+  BumpReplicaCount(*primary, +1);
+  SetPrimaryLocked(key, new_primary);
   BumpEpochLocked(key);
   ++version_;
   return Status::OK();
@@ -149,21 +418,49 @@ std::vector<storage::TupleKey> RoutingTable::ReplicatedKeys() const {
   std::vector<storage::TupleKey> keys;
   keys.reserve(replicas_.size());
   for (const auto& [key, reps] : replicas_) keys.push_back(key);
-  std::sort(keys.begin(), keys.end());
-  return keys;
+  return keys;  // std::map: already sorted ascending
 }
 
-uint64_t RoutingTable::CountPrimaries(PartitionId partition) const {
-  std::lock_guard<std::mutex> guard(mu_);
+void RoutingTable::ForEachReplicated(
+    const std::function<void(storage::TupleKey, const Placement&)>& fn)
+    const {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = replicas_.begin();
+  while (it != replicas_.end()) {
+    const storage::TupleKey key = it->first;
+    Placement placement;
+    std::optional<PartitionId> primary = PrimaryLocked(key);
+    placement.primary = primary.value_or(0);
+    placement.replicas = it->second;
+    // Run the callback unlocked so it may mutate the table (promotion,
+    // replica drops); resume past the visited key afterwards.
+    lock.unlock();
+    fn(key, placement);
+    lock.lock();
+    it = replicas_.upper_bound(key);
+  }
+}
+
+uint64_t RoutingTable::RecountPrimariesLocked(PartitionId partition) const {
   uint64_t count = 0;
-  for (PartitionId p : primary_) {
+  for (const auto& [start, range] : base_) {
+    if (range.round_robin) {
+      if (partition < range.modulus) {
+        count += CongruentInRange(start, range.end, range.modulus, partition);
+      }
+    } else if (range.partition == partition) {
+      count += range.end - start;
+    }
+  }
+  for (const auto& [key, p] : primary_exc_) {
+    std::optional<PartitionId> owner = BaseOwnerLocked(key);
+    if (owner.has_value() && *owner == partition) --count;
     if (p == partition) ++count;
   }
   return count;
 }
 
-uint64_t RoutingTable::CountReplicas(PartitionId partition) const {
-  std::lock_guard<std::mutex> guard(mu_);
+uint64_t RoutingTable::RecountReplicasLocked(PartitionId partition) const {
   uint64_t count = 0;
   for (const auto& [key, reps] : replicas_) {
     count += static_cast<uint64_t>(
@@ -172,9 +469,61 @@ uint64_t RoutingTable::CountReplicas(PartitionId partition) const {
   return count;
 }
 
+uint64_t RoutingTable::CountPrimaries(PartitionId partition) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  const uint64_t count =
+      partition < primaries_count_.size() ? primaries_count_[partition] : 0;
+  assert(count == RecountPrimariesLocked(partition) &&
+         "primary counter diverged from the interval structure");
+  return count;
+}
+
+uint64_t RoutingTable::CountReplicas(PartitionId partition) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  const uint64_t count =
+      partition < replicas_count_.size() ? replicas_count_[partition] : 0;
+  assert(count == RecountReplicasLocked(partition) &&
+         "replica counter diverged from the replica index");
+  return count;
+}
+
 uint64_t RoutingTable::replicated_key_count() const {
   std::lock_guard<std::mutex> guard(mu_);
   return replicas_.size();
+}
+
+size_t RoutingTable::range_count() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return base_.size();
+}
+
+size_t RoutingTable::exception_count() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return primary_exc_.size();
+}
+
+size_t RoutingTable::ApproxBytes() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  // Rule of thumb: tree nodes carry ~3 pointers + color, hash tables one
+  // bucket pointer per slot plus the entry itself.
+  constexpr size_t kTreeOverhead = 4 * sizeof(void*);
+  size_t bytes = sizeof(*this);
+  bytes += base_.size() *
+           (sizeof(storage::TupleKey) + sizeof(BaseRange) + kTreeOverhead);
+  bytes += primary_exc_.size() *
+               (sizeof(storage::TupleKey) + sizeof(PartitionId) +
+                2 * sizeof(void*)) +
+           primary_exc_.bucket_count() * sizeof(void*);
+  for (const auto& [key, reps] : replicas_) {
+    bytes += sizeof(storage::TupleKey) + sizeof(reps) + kTreeOverhead +
+             reps.capacity() * sizeof(PartitionId);
+  }
+  bytes += (primaries_count_.capacity() + replicas_count_.capacity()) *
+           sizeof(uint64_t);
+  bytes += epochs_.size() * (sizeof(storage::TupleKey) + sizeof(uint64_t) +
+                             2 * sizeof(void*)) +
+           epochs_.bucket_count() * sizeof(void*);
+  return bytes;
 }
 
 uint64_t RoutingTable::version() const {

@@ -2,12 +2,27 @@
 // partition(s) holding a replica of it. The repartitioner updates these
 // mappings at repartition-transaction commit time, so routing switches
 // atomically with the data movement.
+//
+// Representation (production-cardinality scale-out): instead of a dense
+// per-key vector, the table stores sorted *interval entries* — block
+// ranges (one owner) and round-robin ranges (owner = key % modulus, the
+// bulk-load layout) — plus a point-exception overlay that only keys whose
+// placement diverged from their enclosing range ever enter (migrated,
+// replicated or promoted keys). A 4M-key table bulk-loads into a single
+// round-robin range; memory is O(ranges + exceptions), not O(keyspace).
+// Exceptions are absorbed back into the range when a key's placement
+// returns to its range owner, and migrations at a block range's first or
+// last key split/coalesce the range itself instead of leaving a point
+// entry behind.
 
 #ifndef SOAP_ROUTER_ROUTING_TABLE_H_
 #define SOAP_ROUTER_ROUTING_TABLE_H_
 
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <mutex>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -29,16 +44,29 @@ struct Placement {
   size_t copy_count() const { return 1 + replicas.size(); }
 };
 
-/// Key -> placement lookup table. Dense keys [0, n) use a flat vector for
-/// the primary (the common case: exactly one copy); the sparse replica map
-/// only holds keys that actually have extra replicas. Thread-safe.
+/// Key -> placement lookup table backed by interval entries with a
+/// point-exception overlay (see file comment). Thread-safe.
 class RoutingTable {
  public:
   /// Creates a table for keys [0, num_keys) all initially unassigned;
-  /// callers must SetPrimary during bulk load.
+  /// callers either AssignRange/AssignRoundRobin the bulk-load layout or
+  /// SetPrimary each key individually.
   explicit RoutingTable(uint64_t num_keys);
 
   uint64_t num_keys() const { return num_keys_; }
+
+  /// Installs a block range: every key in [start, end) is primary on
+  /// `partition`. The range must not overlap an existing one. Existing
+  /// point exceptions inside it stay authoritative (those matching
+  /// `partition` are absorbed).
+  Status AssignRange(storage::TupleKey start, storage::TupleKey end,
+                     PartitionId partition);
+
+  /// Installs a round-robin range: every key in [start, end) is primary
+  /// on `key % num_partitions` — the bulk-load layout, one entry for the
+  /// whole table. Same overlap/exception rules as AssignRange.
+  Status AssignRoundRobin(storage::TupleKey start, storage::TupleKey end,
+                          uint32_t num_partitions);
 
   /// Primary partition of a key.
   Result<PartitionId> GetPrimary(storage::TupleKey key) const;
@@ -74,14 +102,42 @@ class RoutingTable {
   /// ascending (deterministic iteration for failover sweeps).
   std::vector<storage::TupleKey> ReplicatedKeys() const;
 
-  /// Number of keys whose primary is `partition` (O(n); for tests/reports).
+  /// Visits every replicated key in ascending order with its current
+  /// placement. The table is unlocked while `fn` runs, so the callback
+  /// may mutate the table (promote, drop replicas); keys replicated
+  /// *after* the visited key mid-sweep are still visited, and the
+  /// placement passed is a consistent snapshot taken when its key is
+  /// reached. Replaces materializing ReplicatedKeys() on failover and
+  /// coherence sweeps.
+  void ForEachReplicated(
+      const std::function<void(storage::TupleKey, const Placement&)>& fn)
+      const;
+
+  /// True when `partition` holds a copy (primary or replica) of `key`.
+  /// The consistency audit's per-tuple test: unlike GetPlacement it never
+  /// materialises a Placement, so sweeping every stored row stays
+  /// allocation-free.
+  bool IsPlacedOn(storage::TupleKey key, PartitionId partition) const;
+
+  /// Number of keys whose primary is `partition`. O(1): maintained
+  /// counters, debug-asserted against a structural recount.
   uint64_t CountPrimaries(PartitionId partition) const;
 
-  /// Number of non-primary replicas hosted on `partition`.
+  /// Number of non-primary replicas hosted on `partition`. O(1).
   uint64_t CountReplicas(PartitionId partition) const;
 
   /// Number of keys with at least one non-primary replica.
   uint64_t replicated_key_count() const;
+
+  /// Interval entries currently in the base layer (ranges).
+  size_t range_count() const;
+
+  /// Keys currently carried as point exceptions over the base layer.
+  size_t exception_count() const;
+
+  /// Rough heap footprint of the table (entries + index overhead), for
+  /// scaling reports. Not an allocator-exact byte count.
+  size_t ApproxBytes() const;
 
   /// Routing-table version, bumped on every mutation (lets caches detect
   /// staleness).
@@ -98,16 +154,63 @@ class RoutingTable {
   uint64_t PlacementEpoch(storage::TupleKey key) const;
 
  private:
-  static constexpr PartitionId kUnassigned = UINT32_MAX;
+  /// One base-layer interval entry, keyed in `base_` by its start key.
+  struct BaseRange {
+    storage::TupleKey end = 0;  ///< exclusive
+    bool round_robin = false;
+    PartitionId partition = 0;  ///< block owner (round_robin == false)
+    uint32_t modulus = 0;       ///< round-robin divisor (round_robin)
+  };
 
   void BumpEpochLocked(storage::TupleKey key) {
     if (track_epochs_) ++epochs_[key];
   }
 
+  /// The base entry covering `key` (nullptr if uncovered); `start_out`
+  /// receives its start key.
+  const BaseRange* FindBaseLocked(storage::TupleKey key,
+                                  storage::TupleKey* start_out) const;
+  static PartitionId RangeOwner(const BaseRange& range,
+                                storage::TupleKey key) {
+    return range.round_robin
+               ? static_cast<PartitionId>(key % range.modulus)
+               : range.partition;
+  }
+  std::optional<PartitionId> BaseOwnerLocked(storage::TupleKey key) const;
+  std::optional<PartitionId> PrimaryLocked(storage::TupleKey key) const;
+
+  /// The primary-placement mutation core: updates the exception overlay
+  /// (absorbing where possible), splits/coalesces block ranges at their
+  /// boundary keys, and maintains the per-partition primary counters.
+  void SetPrimaryLocked(storage::TupleKey key, PartitionId partition);
+  /// Block-range restructuring for a boundary (or singleton) key; returns
+  /// false when the key is interior and must become an exception.
+  bool RestructureBlockLocked(storage::TupleKey start, storage::TupleKey key,
+                              PartitionId partition);
+  /// Merges `base_[start]` with equal-owner adjacent block ranges.
+  void CoalesceAroundLocked(storage::TupleKey start);
+
+  void BumpPrimaryCount(PartitionId partition, int64_t delta);
+  void BumpReplicaCount(PartitionId partition, int64_t delta);
+
+  /// Structural O(ranges + exceptions) recount backing the debug assert
+  /// in CountPrimaries.
+  uint64_t RecountPrimariesLocked(PartitionId partition) const;
+  uint64_t RecountReplicasLocked(PartitionId partition) const;
+
   mutable std::mutex mu_;
   uint64_t num_keys_;
-  std::vector<PartitionId> primary_;
-  std::unordered_map<storage::TupleKey, std::vector<PartitionId>> replicas_;
+  /// Sorted, non-overlapping interval entries, keyed by start.
+  std::map<storage::TupleKey, BaseRange> base_;
+  /// Keys whose primary differs from their base range (or that have no
+  /// base range at all). Hash-indexed: this is the hot lookup path.
+  std::unordered_map<storage::TupleKey, PartitionId> primary_exc_;
+  /// Replica lists, ordered by key so failover/coherence sweeps iterate
+  /// deterministically without materializing + sorting.
+  std::map<storage::TupleKey, std::vector<PartitionId>> replicas_;
+  /// Per-partition maintained counters (grown on demand).
+  std::vector<uint64_t> primaries_count_;
+  std::vector<uint64_t> replicas_count_;
   uint64_t version_ = 0;
   bool track_epochs_ = false;
   std::unordered_map<storage::TupleKey, uint64_t> epochs_;

@@ -1,0 +1,81 @@
+// Count-min sketch (Cormode & Muthukrishnan): fixed-size frequency
+// estimates for the planner's heat monitoring at production cardinality.
+// Deterministic — row seeds derive from a caller-supplied seed via
+// splitmix64, no wall clock, no platform-dependent hashing — so runs stay
+// byte-identical across machines and thread counts.
+
+#ifndef SOAP_SKETCH_COUNT_MIN_H_
+#define SOAP_SKETCH_COUNT_MIN_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace soap::sketch {
+
+/// One splitmix64 step: the standard 64-bit finalizer-quality mixer.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Conservative frequency over-estimator: Estimate(k) >= true count, with
+/// error bounded by (total inserted) * e / width per row, taking the min
+/// over `depth` independent rows. Decays by halving, pairing with the
+/// co-access graph's right-shift window.
+class CountMin {
+ public:
+  /// `width_log2` buckets-per-row exponent (row width = 2^width_log2),
+  /// `depth` independent rows, `seed` fixes the row hash functions.
+  explicit CountMin(uint32_t width_log2 = 16, uint32_t depth = 4,
+                    uint64_t seed = 0x5eed5eedULL)
+      : width_mask_((1ULL << width_log2) - 1), depth_(depth) {
+    rows_.resize(depth_,
+                 std::vector<uint64_t>(size_t{1} << width_log2, 0));
+    row_seed_.reserve(depth_);
+    uint64_t s = seed;
+    for (uint32_t d = 0; d < depth_; ++d) row_seed_.push_back(s = Mix64(s));
+  }
+
+  void Add(uint64_t key, uint64_t count = 1) {
+    for (uint32_t d = 0; d < depth_; ++d) {
+      rows_[d][Slot(d, key)] += count;
+    }
+  }
+
+  uint64_t Estimate(uint64_t key) const {
+    uint64_t est = UINT64_MAX;
+    for (uint32_t d = 0; d < depth_; ++d) {
+      est = std::min(est, rows_[d][Slot(d, key)]);
+    }
+    return est;
+  }
+
+  /// Ages the window: every counter >>= shift (the graph's decay step).
+  void Decay(uint32_t shift) {
+    for (auto& row : rows_) {
+      for (uint64_t& c : row) c >>= shift;
+    }
+  }
+
+  size_t ApproxBytes() const {
+    return sizeof(*this) + depth_ * (width_mask_ + 1) * sizeof(uint64_t);
+  }
+
+ private:
+  size_t Slot(uint32_t d, uint64_t key) const {
+    return static_cast<size_t>(Mix64(key ^ row_seed_[d]) & width_mask_);
+  }
+
+  uint64_t width_mask_;
+  uint32_t depth_;
+  std::vector<std::vector<uint64_t>> rows_;
+  std::vector<uint64_t> row_seed_;
+};
+
+}  // namespace soap::sketch
+
+#endif  // SOAP_SKETCH_COUNT_MIN_H_

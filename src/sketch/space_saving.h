@@ -1,0 +1,132 @@
+// Space-saving heavy hitters (Metwally, Agrawal & El Abbadi): tracks the
+// top-k hottest tuple keys in O(k) memory — the E-Store-style hot-tuple
+// identification that decides which keys get exact vertices in the
+// co-access graph at production cardinality. Fully deterministic: eviction
+// picks the (count, key)-least entry from an ordered index, never a hash
+// iteration order.
+
+#ifndef SOAP_SKETCH_SPACE_SAVING_H_
+#define SOAP_SKETCH_SPACE_SAVING_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace soap::sketch {
+
+class SpaceSaving {
+ public:
+  explicit SpaceSaving(size_t capacity) : capacity_(capacity) {}
+
+  /// Counts one (or `count`) occurrences of `key`. At capacity the
+  /// (count, key)-least tracked entry is evicted and `key` inherits its
+  /// count as over-estimation error — the classic space-saving step.
+  void Add(uint64_t key, uint64_t count = 1) {
+    if (capacity_ == 0) return;
+    auto it = items_.find(key);
+    if (it != items_.end()) {
+      order_.erase({it->second.count, key});
+      it->second.count += count;
+      order_.insert({it->second.count, key});
+      return;
+    }
+    if (items_.size() < capacity_) {
+      items_.emplace(key, Item{count, 0});
+      order_.insert({count, key});
+      return;
+    }
+    const auto [min_count, min_key] = *order_.begin();
+    order_.erase(order_.begin());
+    items_.erase(min_key);
+    items_.emplace(key, Item{min_count + count, min_count});
+    order_.insert({min_count + count, key});
+  }
+
+  /// True while `key` occupies one of the k tracked slots ("hot").
+  bool Contains(uint64_t key) const { return items_.count(key) > 0; }
+
+  /// Estimated count (an over-estimate by at most the entry's error);
+  /// 0 for untracked keys.
+  uint64_t Estimate(uint64_t key) const {
+    auto it = items_.find(key);
+    return it == items_.end() ? 0 : it->second.count;
+  }
+
+  /// Guaranteed (error-free) count: count minus inherited error, 0 for
+  /// untracked keys. A freshly adopted key has guarantee 1, so consumers
+  /// can tell real heavy hitters from churn through the bottom slot.
+  uint64_t Guaranteed(uint64_t key) const {
+    auto it = items_.find(key);
+    return it == items_.end() ? 0 : it->second.count - it->second.error;
+  }
+
+  struct Entry {
+    uint64_t key = 0;
+    uint64_t count = 0;
+    uint64_t error = 0;  ///< inherited over-estimation at adoption time
+  };
+
+  /// Tracked entries, hottest first (ties by ascending key).
+  std::vector<Entry> TopK() const {
+    std::vector<Entry> out;
+    out.reserve(items_.size());
+    for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
+      out.push_back({it->second, it->first, items_.at(it->second).error});
+    }
+    // rbegin order is (count desc, key desc); flip ties to key asc.
+    std::stable_sort(out.begin(), out.end(),
+                     [](const Entry& a, const Entry& b) {
+                       return a.count != b.count ? a.count > b.count
+                                                 : a.key < b.key;
+                     });
+    return out;
+  }
+
+  /// Ages the window: counts and errors >>= shift; entries decayed to
+  /// zero are dropped, freeing slots for the next phase's hot keys.
+  void Decay(uint32_t shift) {
+    order_.clear();
+    for (auto it = items_.begin(); it != items_.end();) {
+      it->second.count >>= shift;
+      it->second.error >>= shift;
+      if (it->second.count == 0) {
+        it = items_.erase(it);
+      } else {
+        order_.insert({it->second.count, it->first});
+        ++it;
+      }
+    }
+  }
+
+  size_t size() const { return items_.size(); }
+  size_t capacity() const { return capacity_; }
+
+  size_t ApproxBytes() const {
+    constexpr size_t kTreeOverhead = 4 * sizeof(void*);
+    return sizeof(*this) +
+           items_.size() * (sizeof(uint64_t) + sizeof(Item) +
+                            2 * sizeof(void*)) +
+           items_.bucket_count() * sizeof(void*) +
+           order_.size() * (sizeof(std::pair<uint64_t, uint64_t>) +
+                            kTreeOverhead);
+  }
+
+ private:
+  struct Item {
+    uint64_t count = 0;
+    uint64_t error = 0;
+  };
+
+  size_t capacity_;
+  std::unordered_map<uint64_t, Item> items_;
+  /// (count, key) ordered ascending: begin() is the eviction victim.
+  std::set<std::pair<uint64_t, uint64_t>> order_;
+};
+
+}  // namespace soap::sketch
+
+#endif  // SOAP_SKETCH_SPACE_SAVING_H_

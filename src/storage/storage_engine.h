@@ -49,6 +49,16 @@ class StorageEngine {
   /// Bulk load without logging (initial dataset population).
   void BulkLoad(const Tuple& tuple) { table_.Upsert(tuple); }
 
+  /// Bulk removal without logging: drops a key from the load-time base
+  /// (used when the initial placement moves a key off its arithmetic home
+  /// before the run starts). Absent keys are ignored.
+  void BulkEvict(TupleKey key) { (void)table_.Erase(key); }
+
+  /// Declares this node's virtual seed base (see Table::SetLazyBase).
+  void SetLazyBase(uint64_t num_keys, uint32_t num_partitions) {
+    table_.SetLazyBase(num_keys, partition_id_, num_partitions);
+  }
+
   const Table& table() const { return table_; }
   const Wal& wal() const { return wal_; }
   Wal& mutable_wal() { return wal_; }

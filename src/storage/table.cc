@@ -4,28 +4,61 @@
 
 namespace soap::storage {
 
+void Table::SetLazyBase(uint64_t num_keys, uint32_t partition,
+                        uint32_t num_partitions) {
+  lazy_ = true;
+  base_num_keys_ = num_keys;
+  base_partition_ = partition;
+  base_stride_ = num_partitions == 0 ? 1 : num_partitions;
+  virtual_live_ =
+      partition < num_keys
+          ? (num_keys - partition + base_stride_ - 1) / base_stride_
+          : 0;
+  // Pre-existing rows and tombstones would double-count; the base must be
+  // declared before any data lands.
+  for (const auto& [key, tuple] : rows_) {
+    if (InBase(key)) --virtual_live_;
+  }
+}
+
 Status Table::Insert(const Tuple& tuple) {
+  if (VirtualLive(tuple.key)) {
+    return Status::AlreadyExistsTuple(tuple.key);
+  }
   auto [it, inserted] = rows_.emplace(tuple.key, tuple);
   if (!inserted) {
     return Status::AlreadyExistsTuple(tuple.key);
   }
+  if (lazy_ && InBase(tuple.key)) dead_.erase(tuple.key);
   return Status::OK();
 }
 
-void Table::Upsert(const Tuple& tuple) { rows_[tuple.key] = tuple; }
+void Table::Upsert(const Tuple& tuple) {
+  if (VirtualLive(tuple.key)) --virtual_live_;
+  if (lazy_ && InBase(tuple.key)) dead_.erase(tuple.key);
+  rows_[tuple.key] = tuple;
+}
 
 Result<Tuple> Table::Get(TupleKey key) const {
   auto it = rows_.find(key);
-  if (it == rows_.end()) {
-    return Status::NotFoundTuple(key);
+  if (it != rows_.end()) {
+    return it->second;
   }
-  return it->second;
+  if (VirtualLive(key)) {
+    return SynthesizeRow(key);
+  }
+  return Status::NotFoundTuple(key);
 }
 
 Status Table::Update(TupleKey key, int64_t content) {
   auto it = rows_.find(key);
   if (it == rows_.end()) {
-    return Status::NotFoundTuple(key);
+    if (!VirtualLive(key)) {
+      return Status::NotFoundTuple(key);
+    }
+    // First write to a virtual base row: materialise, then update.
+    --virtual_live_;
+    it = rows_.emplace(key, SynthesizeRow(key)).first;
   }
   it->second.content = content;
   it->second.version++;
@@ -33,10 +66,16 @@ Status Table::Update(TupleKey key, int64_t content) {
 }
 
 Status Table::Erase(TupleKey key) {
-  if (rows_.erase(key) == 0) {
-    return Status::NotFoundTuple(key);
+  if (rows_.erase(key) > 0) {
+    if (lazy_ && InBase(key)) dead_.insert(key);
+    return Status::OK();
   }
-  return Status::OK();
+  if (VirtualLive(key)) {
+    --virtual_live_;
+    dead_.insert(key);
+    return Status::OK();
+  }
+  return Status::NotFoundTuple(key);
 }
 
 }  // namespace soap::storage

@@ -13,12 +13,10 @@ TemplateCatalog::TemplateCatalog(const WorkloadSpec& spec,
 
   Rng rng(spec.seed);
 
-  // Unused keys round-robin over partitions; template keys overwritten
-  // below.
-  initial_partition_.resize(spec.num_keys);
-  for (uint64_t k = 0; k < spec.num_keys; ++k) {
-    initial_partition_[k] = static_cast<uint32_t>(k % num_partitions_);
-  }
+  // Unused keys round-robin over partitions (the implicit default);
+  // template keys placed below record an override only when they land off
+  // their round-robin partition, keeping the catalogue O(template keys)
+  // instead of O(num_keys).
 
   // Disjoint key sets per template, scattered over the key space.
   std::vector<uint32_t> perm =
@@ -63,8 +61,14 @@ TemplateCatalog::TemplateCatalog(const WorkloadSpec& spec,
   }
 
   templates_.resize(spec.num_templates);
-  template_of_.assign(spec.num_keys, kNoTemplate);
+  template_of_.reserve(static_cast<size_t>(spec.num_templates) *
+                       spec.queries_per_txn);
   const uint32_t q = spec.queries_per_txn;
+  const auto place = [this](storage::TupleKey key, uint32_t partition) {
+    if (partition != static_cast<uint32_t>(key % num_partitions_)) {
+      initial_override_[key] = partition;
+    }
+  };
   for (uint32_t t = 0; t < spec.num_templates; ++t) {
     TxnTemplate& tmpl = templates_[t];
     tmpl.id = t;
@@ -93,20 +97,23 @@ TemplateCatalog::TemplateCatalog(const WorkloadSpec& spec,
       for (uint32_t i = 0; i < q; ++i) {
         const uint32_t p = i < remote_from ? tmpl.home_partition
                                            : tmpl.remote_partition;
-        initial_partition_[tmpl.keys[i]] = p;
+        place(tmpl.keys[i], p);
         if (i >= remote_from) tmpl.remote_keys.push_back(tmpl.keys[i]);
       }
     } else {
       for (uint32_t i = 0; i < q; ++i) {
-        initial_partition_[tmpl.keys[i]] = tmpl.home_partition;
+        place(tmpl.keys[i], tmpl.home_partition);
       }
     }
   }
 }
 
 uint32_t TemplateCatalog::InitialPartitionOf(storage::TupleKey key) const {
-  assert(key < initial_partition_.size());
-  return initial_partition_[key];
+  assert(key < spec_.num_keys);
+  auto it = initial_override_.find(key);
+  return it != initial_override_.end()
+             ? it->second
+             : static_cast<uint32_t>(key % num_partitions_);
 }
 
 std::unique_ptr<txn::Transaction> TemplateCatalog::Instantiate(

@@ -8,7 +8,9 @@
 #define SOAP_WORKLOAD_TEMPLATE_CATALOG_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/random.h"
@@ -54,6 +56,17 @@ class TemplateCatalog {
   /// unused keys round-robin).
   uint32_t InitialPartitionOf(storage::TupleKey key) const;
 
+  /// Visits every key whose initial partition differs from the round-robin
+  /// default `key % num_partitions`, in ascending key order, as
+  /// `fn(key, partition)`. The bulk loader combines this with a
+  /// round-robin base assignment to load without touching all num_keys
+  /// keys; the override count is O(templates × queries_per_txn).
+  template <typename Fn>
+  void ForEachInitialOverride(Fn&& fn) const {
+    for (const auto& [key, partition] : initial_override_) fn(key, partition);
+  }
+  size_t initial_override_count() const { return initial_override_.size(); }
+
   /// Number of templates that start distributed.
   uint32_t distributed_count() const { return distributed_count_; }
 
@@ -75,17 +88,20 @@ class TemplateCatalog {
   /// Owning template of a key, or kNoTemplate for unowned keys.
   static constexpr uint32_t kNoTemplate = UINT32_MAX;
   uint32_t TemplateOfKey(storage::TupleKey key) const {
-    return key < template_of_.size() ? template_of_[key] : kNoTemplate;
+    auto it = template_of_.find(key);
+    return it == template_of_.end() ? kNoTemplate : it->second;
   }
 
  private:
   WorkloadSpec spec_;
   uint32_t num_partitions_;
   std::vector<TxnTemplate> templates_;
-  /// key -> initial partition for keys owned by templates.
-  std::vector<uint32_t> initial_partition_;
-  /// key -> owning template (kNoTemplate for unowned keys).
-  std::vector<uint32_t> template_of_;
+  /// Initial placement, sparse: only keys whose partition differs from the
+  /// round-robin default `key % num_partitions` (a subset of the template
+  /// keys). Sorted so the bulk loader can stream overrides in key order.
+  std::map<storage::TupleKey, uint32_t> initial_override_;
+  /// key -> owning template, for template keys only.
+  std::unordered_map<storage::TupleKey, uint32_t> template_of_;
   uint32_t distributed_count_ = 0;
 };
 

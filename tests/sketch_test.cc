@@ -1,0 +1,264 @@
+#include "src/sketch/count_min.h"
+#include "src/sketch/space_saving.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/planner/co_access_graph.h"
+#include "src/txn/transaction.h"
+
+namespace soap {
+namespace {
+
+// --- CountMin -------------------------------------------------------------
+
+TEST(CountMinTest, CountsAreNeverUnderestimates) {
+  sketch::CountMin cm(/*width_log2=*/8, /*depth=*/4);
+  for (uint64_t k = 0; k < 200; ++k) cm.Add(k, k + 1);
+  for (uint64_t k = 0; k < 200; ++k) {
+    EXPECT_GE(cm.Estimate(k), k + 1) << "key " << k;
+  }
+}
+
+TEST(CountMinTest, ExactForSparseKeys) {
+  sketch::CountMin cm(/*width_log2=*/16, /*depth=*/4);
+  cm.Add(42, 7);
+  cm.Add(1'000'003, 11);
+  EXPECT_EQ(cm.Estimate(42), 7u);
+  EXPECT_EQ(cm.Estimate(1'000'003), 11u);
+  EXPECT_EQ(cm.Estimate(5), 0u);
+}
+
+TEST(CountMinTest, DecayHalvesCounts) {
+  sketch::CountMin cm(/*width_log2=*/12, /*depth=*/4);
+  cm.Add(9, 8);
+  cm.Decay(1);
+  EXPECT_EQ(cm.Estimate(9), 4u);
+  cm.Decay(2);
+  EXPECT_EQ(cm.Estimate(9), 1u);
+}
+
+TEST(CountMinTest, ApproxBytesMatchesGeometry) {
+  sketch::CountMin cm(/*width_log2=*/10, /*depth=*/3);
+  // 3 rows of 1024 uint64 counters = 24 KiB, plus object overhead.
+  EXPECT_GE(cm.ApproxBytes(), 3u * 1024u * sizeof(uint64_t));
+  EXPECT_LT(cm.ApproxBytes(), 3u * 1024u * sizeof(uint64_t) + 4096u);
+}
+
+// --- SpaceSaving ----------------------------------------------------------
+
+TEST(SpaceSavingTest, ExactBelowCapacity) {
+  sketch::SpaceSaving ss(4);
+  ss.Add(1, 5);
+  ss.Add(2, 3);
+  ss.Add(1, 2);
+  EXPECT_EQ(ss.size(), 2u);
+  EXPECT_TRUE(ss.Contains(1));
+  EXPECT_EQ(ss.Estimate(1), 7u);
+  EXPECT_EQ(ss.Estimate(2), 3u);
+  EXPECT_FALSE(ss.Contains(3));
+  EXPECT_EQ(ss.Estimate(3), 0u);
+}
+
+TEST(SpaceSavingTest, EvictionInheritsMinimumCount) {
+  sketch::SpaceSaving ss(2);
+  ss.Add(10, 5);
+  ss.Add(20, 3);
+  // Capacity reached: key 30 evicts the (count, key)-least entry (20, 3)
+  // and inherits its count as error.
+  ss.Add(30);
+  EXPECT_FALSE(ss.Contains(20));
+  EXPECT_TRUE(ss.Contains(30));
+  EXPECT_EQ(ss.Estimate(30), 4u);
+  auto top = ss.TopK();
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].key, 10u);
+  EXPECT_EQ(top[1].key, 30u);
+  EXPECT_EQ(top[1].error, 3u);
+}
+
+TEST(SpaceSavingTest, TopKOrdersHottestFirstTiesByKey) {
+  sketch::SpaceSaving ss(8);
+  ss.Add(5, 2);
+  ss.Add(3, 7);
+  ss.Add(9, 2);
+  ss.Add(1, 4);
+  auto top = ss.TopK();
+  ASSERT_EQ(top.size(), 4u);
+  EXPECT_EQ(top[0].key, 3u);
+  EXPECT_EQ(top[1].key, 1u);
+  // Tie at count 2 breaks by ascending key.
+  EXPECT_EQ(top[2].key, 5u);
+  EXPECT_EQ(top[3].key, 9u);
+}
+
+TEST(SpaceSavingTest, DecayDropsDeadEntriesAndFreesSlots) {
+  sketch::SpaceSaving ss(2);
+  ss.Add(1, 4);
+  ss.Add(2, 1);
+  ss.Decay(1);  // 1 -> 2, 2 -> 0 (dropped)
+  EXPECT_EQ(ss.size(), 1u);
+  EXPECT_TRUE(ss.Contains(1));
+  EXPECT_FALSE(ss.Contains(2));
+  // The freed slot admits a new key without eviction error.
+  ss.Add(7);
+  EXPECT_EQ(ss.Estimate(7), 1u);
+  EXPECT_EQ(ss.TopK()[1].error, 0u);
+}
+
+TEST(SpaceSavingTest, ZeroCapacityIsInert) {
+  sketch::SpaceSaving ss(0);
+  ss.Add(1);
+  EXPECT_EQ(ss.size(), 0u);
+  EXPECT_FALSE(ss.Contains(1));
+}
+
+TEST(SpaceSavingTest, Deterministic) {
+  sketch::SpaceSaving a(3), b(3);
+  const uint64_t keys[] = {5, 9, 5, 2, 7, 7, 2, 5, 11, 3, 9};
+  for (uint64_t k : keys) a.Add(k);
+  for (uint64_t k : keys) b.Add(k);
+  auto ta = a.TopK(), tb = b.TopK();
+  ASSERT_EQ(ta.size(), tb.size());
+  for (size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_EQ(ta[i].key, tb[i].key);
+    EXPECT_EQ(ta[i].count, tb[i].count);
+  }
+}
+
+// --- CoAccessGraph sketch mode --------------------------------------------
+
+txn::Transaction MakeTxn(std::vector<storage::TupleKey> keys) {
+  txn::Transaction t;
+  for (storage::TupleKey k : keys) {
+    txn::Operation op;
+    op.kind = txn::OpKind::kRead;
+    op.key = k;
+    t.ops.push_back(op);
+  }
+  return t;
+}
+
+TEST(CoAccessGraphSketchTest, ExactBelowThreshold) {
+  planner::CoAccessGraphConfig cfg;
+  cfg.num_keys = 1000;
+  cfg.sketch_threshold = 1'000'000;
+  planner::CoAccessGraph g(cfg);
+  EXPECT_FALSE(g.sketch_mode());
+  g.Observe(MakeTxn({1, 2}));
+  EXPECT_EQ(g.vertex_count(), 2u);
+  EXPECT_EQ(g.EdgeWeight(1, 2), 1u);
+}
+
+TEST(CoAccessGraphSketchTest, SupernodeIdsAreTagged) {
+  EXPECT_FALSE(planner::CoAccessGraph::IsSupernode(0));
+  EXPECT_FALSE(planner::CoAccessGraph::IsSupernode((1ULL << 63) - 1));
+  EXPECT_TRUE(
+      planner::CoAccessGraph::IsSupernode(planner::CoAccessGraph::kSupernodeBit));
+}
+
+TEST(CoAccessGraphSketchTest, HotKeysGetVerticesColdTailFolds) {
+  planner::CoAccessGraphConfig cfg;
+  cfg.num_keys = 10'000;
+  cfg.sketch_threshold = 1;  // force sketch mode
+  cfg.sketch_topk = 2;
+  cfg.supernode_ranges = 10;  // ranges of 1000 keys
+  planner::CoAccessGraph g(cfg);
+  ASSERT_TRUE(g.sketch_mode());
+
+  const storage::TupleKey s0 = g.SupernodeOf(1);
+  ASSERT_TRUE(planner::CoAccessGraph::IsSupernode(s0));
+  ASSERT_EQ(g.SupernodeOf(2), s0);
+
+  // First sighting counts as cold churn (guaranteed count 1): both keys
+  // land on their supernode. From the second observation they are hot and
+  // get exact vertices and an exact edge.
+  for (int i = 0; i < 3; ++i) g.Observe(MakeTxn({1, 2}));
+  EXPECT_EQ(g.vertex_count(), 3u);  // supernode + the two hot keys
+  EXPECT_EQ(g.VertexWeight(s0), 2u);
+  EXPECT_EQ(g.VertexWeight(1), 2u);
+  EXPECT_EQ(g.EdgeWeight(1, 2), 2u);
+
+  // Two new keys displace 1 and 2 from the top-k (space-saving adoption)
+  // but arrive with no guaranteed count, so they observe as supernode
+  // mass, not as vertices.
+  g.Observe(MakeTxn({5001, 5002}));
+  const storage::TupleKey s5 = g.SupernodeOf(5001);
+  EXPECT_EQ(g.VertexWeight(s5), 2u);
+  EXPECT_EQ(g.VertexWeight(5001), 0u);
+
+  // Decay folds the demoted keys 1 and 2 into their supernode: decayed
+  // weights 1+1 on top of the supernode's own decayed 1, and the (1,2)
+  // edge becomes internal and vanishes.
+  g.Decay();
+  EXPECT_EQ(g.VertexWeight(1), 0u);
+  EXPECT_EQ(g.VertexWeight(2), 0u);
+  EXPECT_EQ(g.VertexWeight(s0), 3u);
+  EXPECT_EQ(g.VertexWeight(s5), 1u);
+  EXPECT_EQ(g.vertex_count(), 2u);
+  EXPECT_EQ(g.EdgeWeight(1, 2), 0u);
+  // The demoted keys remain queryable through the count-min estimate.
+  EXPECT_GE(g.HeatEstimate(1), 1u);
+}
+
+TEST(CoAccessGraphSketchTest, ColdKeysObserveIntoSupernodes) {
+  planner::CoAccessGraphConfig cfg;
+  cfg.num_keys = 10'000;
+  cfg.sketch_threshold = 1;
+  cfg.sketch_topk = 4;
+  cfg.supernode_ranges = 10;
+  planner::CoAccessGraph g(cfg);
+
+  // Pin two genuinely hot keys (first sighting is cold, the other 49 are
+  // hot).
+  for (int i = 0; i < 50; ++i) g.Observe(MakeTxn({7, 8}));
+  EXPECT_EQ(g.VertexWeight(7), 49u);
+  EXPECT_EQ(g.EdgeWeight(7, 8), 49u);
+
+  // A transaction touching a hot key and two fresh cold keys from
+  // distinct ranges: the cold ones land on their supernodes, edges
+  // connect the hot vertex to both supernodes.
+  g.Observe(MakeTxn({7, 1500, 9500}));
+  const storage::TupleKey s1 = g.SupernodeOf(1500);
+  const storage::TupleKey s9 = g.SupernodeOf(9500);
+  EXPECT_NE(s1, s9);
+  EXPECT_EQ(g.VertexWeight(s1), 1u);
+  EXPECT_EQ(g.VertexWeight(s9), 1u);
+  EXPECT_EQ(g.EdgeWeight(7, s1), 1u);
+  EXPECT_EQ(g.EdgeWeight(s1, s9), 1u);
+  EXPECT_EQ(g.VertexWeight(1500), 0u);
+  // Vertex count stays bounded: 2 hot keys + 3 supernodes, nothing per
+  // cold key.
+  EXPECT_EQ(g.vertex_count(), 5u);
+  EXPECT_GT(g.ApproxBytes(), 0u);
+}
+
+TEST(CoAccessGraphSketchTest, ReadsAndWritesFollowTheVertexMapping) {
+  planner::CoAccessGraphConfig cfg;
+  cfg.num_keys = 10'000;
+  cfg.sketch_threshold = 1;
+  cfg.sketch_topk = 4;
+  cfg.supernode_ranges = 10;
+  planner::CoAccessGraph g(cfg);
+
+  txn::Transaction t;
+  txn::Operation read;
+  read.kind = txn::OpKind::kRead;
+  read.key = 42;
+  txn::Operation write;
+  write.kind = txn::OpKind::kWrite;
+  write.key = 42;
+  t.ops = {read, write};
+  g.Observe(t);  // first sighting: cold, mix lands on the supernode
+  const storage::TupleKey s0 = g.SupernodeOf(42);
+  EXPECT_EQ(g.VertexReads(s0), 1u);
+  EXPECT_EQ(g.VertexWrites(s0), 1u);
+  g.Observe(t);  // now hot: mix lands on the key's own vertex
+  EXPECT_EQ(g.VertexReads(42), 1u);
+  EXPECT_EQ(g.VertexWrites(42), 1u);
+}
+
+}  // namespace
+}  // namespace soap
