@@ -1,0 +1,282 @@
+// bench_mvcc: MVCC snapshot reads versus 2PL shared locks on a
+// read-heavy hub workload at serializable isolation.
+//
+// Workload: Zipf, 10% writes, with a stationary pair_hub phase from
+// interval 0: a fraction of transactions additionally read keys of a
+// small hub of hot templates, so every partition keeps re-reading the
+// same contended keys. Under serializable 2PL those reads take shared
+// locks and queue behind writers — at high load they time out and abort.
+// Under --cc=mvcc the same reads come off version-chain snapshots without
+// ever touching the lock manager, so the read-side failure rate falls;
+// writers still lock and pay first-updater-wins conflicts instead.
+//
+// For each of the five scheduling strategies the bench runs the same
+// configuration twice — 2PL first, then MVCC — and reports the pair. The
+// headline metric is the READ-SIDE failure rate: lock-timeout aborts per
+// completed transaction. On this read-heavy workload lock-timeout aborts
+// are the readers' failure mode, and snapshot reads make them structurally
+// impossible (only writers still wait on locks). The overall failure rate
+// is reported too, and is honest about the trade: SI turns writer lock
+// waits into first-updater-wins aborts, so on write-contended keys MVCC
+// aborts more writers while failing far fewer readers.
+//
+//   bench_mvcc [--smoke] [--json PATH] [--threads N]
+//
+// Gates (both scales): at least one cell ran under mvcc, GC pruned, every
+// strategy with read-side aborts under 2PL strictly improves under MVCC,
+// and the cross-strategy total strictly falls.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/common/flags.h"
+#include "src/engine/flag_table.h"
+#include "src/engine/parallel_runner.h"
+
+namespace {
+
+using namespace soap;
+
+engine::ExperimentConfig BaseConfig(bool smoke) {
+  engine::ExperimentConfig config;
+  workload::WorkloadSpec spec = workload::WorkloadSpec::Zipf(/*alpha=*/1.0);
+  spec.num_templates = smoke ? 1'000 : 4'000;
+  spec.num_keys = smoke ? 25'000 : 100'000;
+  spec.write_fraction = 0.1;  // read-heavy: the contention is on reads
+  // A hub of hot templates read from every partition: the shared keys
+  // every transaction keeps coming back to. This is where serializable
+  // 2PL readers pile up behind writers.
+  workload::DriftPhase pairing;
+  pairing.start_interval = 0;
+  pairing.rotation = 0;
+  pairing.zipf_s = spec.zipf_s;
+  pairing.pair_fraction = 0.35;
+  pairing.pair_hub = smoke ? 40 : 100;
+  spec.phases.push_back(pairing);
+  config.workload = spec;
+
+  config.utilization = workload::kHighLoadUtilization;
+  config.warmup_intervals = smoke ? 3 : 5;
+  config.measured_intervals = smoke ? 15 : 40;
+  config.seed = 42;
+  config.cluster.isolation = cluster::IsolationLevel::kSerializable;
+  // OLTP SLA: give up a lock wait after 200ms instead of the 30s default
+  // (the PostgreSQL lock_timeout analogue). This is what makes the
+  // read-side failure mode visible — under 2PL, hub readers queued behind
+  // writers blow the deadline and abort; under MVCC they never wait.
+  config.cluster.costs.lock_timeout = Millis(200);
+  return config;
+}
+
+struct StrategyOutcome {
+  std::string name;
+  double fail_tail_2pl = 0.0;
+  double fail_tail_mvcc = 0.0;
+  double read_fail_2pl = 0.0;   // lock-timeout aborts / completed
+  double read_fail_mvcc = 0.0;
+  uint64_t lock_timeouts_2pl = 0;
+  uint64_t lock_timeouts_mvcc = 0;
+  uint64_t write_conflicts_mvcc = 0;
+  uint64_t versions_live = 0;
+  uint64_t gc_pruned = 0;
+  bool win = false;  // read-side failure strictly lower under mvcc
+};
+
+double ReadFailRate(const engine::ExperimentResult& r) {
+  const uint64_t completed =
+      r.counters.committed_normal + r.counters.aborted_normal;
+  return completed > 0 ? static_cast<double>(
+                             r.counters.aborts_lock_timeout) /
+                             static_cast<double>(completed)
+                       : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Result<Flags> parsed = Flags::Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+    return 2;
+  }
+  engine::FlagTable table({
+      {"smoke", engine::FlagType::kBool, "off",
+       "CI scale: ~4x smaller, mechanical gates only", nullptr},
+      {"json", engine::FlagType::kString, "",
+       "write the outcome table as a JSON artifact", nullptr},
+      {"threads", engine::FlagType::kInt, "1",
+       "run cells on N parallel threads (identical results at any count)",
+       nullptr},
+      {"help", engine::FlagType::kBool, "", "this text", nullptr},
+  });
+  if (parsed->GetBool("help")) {
+    std::printf("%s", table.Help("bench_mvcc",
+                                 "MVCC snapshot reads vs 2PL shared locks "
+                                 "on a read-heavy hub workload")
+                          .c_str());
+    return 0;
+  }
+  if (Status s = table.CheckUnknown(*parsed); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 2;
+  }
+  const bool smoke = parsed->GetBool("smoke");
+  const std::string json_path = parsed->GetString("json", "");
+  const unsigned threads = engine::ParseThreadCount(
+      parsed->GetString("threads", "").c_str());
+
+  std::printf("==== bench_mvcc: snapshot reads vs 2PL @ serializable ====\n");
+  std::printf("# scale: %s\n\n", smoke ? "SMOKE (~4x reduced)" : "full");
+
+  // One cell per (strategy, cc): 2PL first, MVCC second.
+  std::vector<engine::ExperimentCell> cells;
+  for (SchedulingStrategy strategy : bench::AllStrategies()) {
+    engine::ExperimentConfig two_pl = BaseConfig(smoke);
+    two_pl.strategy = strategy;
+    engine::ExperimentConfig mvcc_cfg = two_pl;
+    mvcc_cfg.cluster.cc = mvcc::ConcurrencyControl::kMvcc;
+    bench::ApplyObsEnv(&two_pl,
+                       std::string(StrategyName(strategy)) + "_2pl");
+    bench::ApplyObsEnv(&mvcc_cfg,
+                       std::string(StrategyName(strategy)) + "_mvcc");
+    cells.push_back(engine::ExperimentCell{two_pl});
+    cells.push_back(engine::ExperimentCell{mvcc_cfg});
+  }
+  engine::ParallelRunner runner(threads);
+  std::vector<engine::CellOutcome> outcomes = runner.Run(
+      std::move(cells), [&](const engine::CellOutcome& outcome) {
+        const engine::ExperimentResult& r = outcome.result;
+        std::printf("# ran %-9s %-5s: %.1fs wall, %s\n",
+                    r.strategy_name.c_str(),
+                    r.mvcc_enabled ? "mvcc" : "2pl",
+                    outcome.wall_seconds,
+                    r.audit.ok() ? "audit ok" : r.audit.ToString().c_str());
+        std::fflush(stdout);
+      });
+
+  int exit_code = 0;
+  std::vector<StrategyOutcome> results;
+  for (size_t i = 0; i < bench::AllStrategies().size(); ++i) {
+    const engine::ExperimentResult& two_pl = outcomes[2 * i].result;
+    const engine::ExperimentResult& mv = outcomes[2 * i + 1].result;
+    if (!two_pl.audit.ok() || !mv.audit.ok()) exit_code = 1;
+    StrategyOutcome out;
+    out.name = two_pl.strategy_name;
+    out.fail_tail_2pl = two_pl.failure_rate.TailMean(10);
+    out.fail_tail_mvcc = mv.failure_rate.TailMean(10);
+    out.read_fail_2pl = ReadFailRate(two_pl);
+    out.read_fail_mvcc = ReadFailRate(mv);
+    out.lock_timeouts_2pl = two_pl.counters.aborts_lock_timeout;
+    out.lock_timeouts_mvcc = mv.counters.aborts_lock_timeout;
+    out.write_conflicts_mvcc = mv.counters.aborts_write_conflict;
+    out.versions_live = mv.mvcc_versions_live;
+    out.gc_pruned = mv.mvcc_gc_pruned;
+    out.win = out.read_fail_mvcc < out.read_fail_2pl;
+    results.push_back(out);
+  }
+
+  std::printf("\n# %-9s %-10s %-10s %-11s %-11s %-5s %-12s %-10s\n",
+              "strategy", "readf_2pl", "readf_mvcc", "fail_2pl",
+              "fail_mvcc", "win", "wconflicts", "gc_pruned");
+  int wins = 0;
+  int contended = 0;  // strategies with any read-side aborts under 2PL
+  uint64_t total_lock_timeouts_2pl = 0;
+  uint64_t total_lock_timeouts_mvcc = 0;
+  uint64_t total_pruned = 0;
+  bool every_contended_improved = true;
+  for (const StrategyOutcome& out : results) {
+    std::printf("# %-9s %-10.4f %-10.4f %-11.4f %-11.4f %-5s %-12llu "
+                "%-10llu\n",
+                out.name.c_str(), out.read_fail_2pl, out.read_fail_mvcc,
+                out.fail_tail_2pl, out.fail_tail_mvcc,
+                out.win ? "yes" : "no",
+                static_cast<unsigned long long>(out.write_conflicts_mvcc),
+                static_cast<unsigned long long>(out.gc_pruned));
+    wins += out.win ? 1 : 0;
+    if (out.lock_timeouts_2pl > 0) {
+      contended++;
+      if (out.lock_timeouts_mvcc >= out.lock_timeouts_2pl) {
+        every_contended_improved = false;
+      }
+    }
+    total_lock_timeouts_2pl += out.lock_timeouts_2pl;
+    total_lock_timeouts_mvcc += out.lock_timeouts_mvcc;
+    total_pruned += out.gc_pruned;
+  }
+  std::printf("# mvcc lowers the read-side failure rate on %d/5 "
+              "strategies; lock-timeout aborts %llu -> %llu\n\n",
+              wins,
+              static_cast<unsigned long long>(total_lock_timeouts_2pl),
+              static_cast<unsigned long long>(total_lock_timeouts_mvcc));
+
+  // --- Gates.
+  bool any_mvcc = false;
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (outcomes[2 * i + 1].result.mvcc_enabled) any_mvcc = true;
+  }
+  if (!any_mvcc) {
+    std::fprintf(stderr, "GATE: no cell actually ran under --cc=mvcc\n");
+    exit_code = 1;
+  }
+  if (total_pruned == 0) {
+    std::fprintf(stderr, "GATE: MVCC GC never pruned a version\n");
+    exit_code = 1;
+  }
+  // The read-abort-improvement gates: snapshot reads cannot time out on
+  // locks, so wherever 2PL produced read-side aborts MVCC must strictly
+  // reduce them, and the cross-strategy total must strictly fall.
+  if (contended == 0) {
+    std::fprintf(stderr,
+                 "GATE: 2PL produced no read-side aborts anywhere — the "
+                 "workload is not contended enough to measure\n");
+    exit_code = 1;
+  }
+  if (!every_contended_improved ||
+      total_lock_timeouts_mvcc >= total_lock_timeouts_2pl) {
+    std::fprintf(stderr,
+                 "GATE: lock-timeout aborts did not strictly improve under "
+                 "mvcc (%llu -> %llu)\n",
+                 static_cast<unsigned long long>(total_lock_timeouts_2pl),
+                 static_cast<unsigned long long>(total_lock_timeouts_mvcc));
+    exit_code = 1;
+  }
+
+  if (!json_path.empty()) {
+    FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"scale\": \"%s\",\n  \"strategies\": [\n",
+                 smoke ? "smoke" : "full");
+    for (size_t i = 0; i < results.size(); ++i) {
+      const StrategyOutcome& out = results[i];
+      std::fprintf(
+          f,
+          "    {\"name\": \"%s\", \"read_fail_2pl\": %.6f, "
+          "\"read_fail_mvcc\": %.6f, \"fail_tail_2pl\": %.6f, "
+          "\"fail_tail_mvcc\": %.6f, \"win\": %s, "
+          "\"lock_timeouts_2pl\": %llu, \"lock_timeouts_mvcc\": %llu, "
+          "\"write_conflicts_mvcc\": %llu, \"gc_pruned\": %llu}%s\n",
+          out.name.c_str(), out.read_fail_2pl, out.read_fail_mvcc,
+          out.fail_tail_2pl, out.fail_tail_mvcc,
+          out.win ? "true" : "false",
+          static_cast<unsigned long long>(out.lock_timeouts_2pl),
+          static_cast<unsigned long long>(out.lock_timeouts_mvcc),
+          static_cast<unsigned long long>(out.write_conflicts_mvcc),
+          static_cast<unsigned long long>(out.gc_pruned),
+          i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(
+        f,
+        "  ],\n  \"wins\": %d,\n  \"lock_timeouts_2pl\": %llu,\n"
+        "  \"lock_timeouts_mvcc\": %llu\n}\n",
+        wins, static_cast<unsigned long long>(total_lock_timeouts_2pl),
+        static_cast<unsigned long long>(total_lock_timeouts_mvcc));
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return exit_code;
+}

@@ -23,6 +23,10 @@ enum class BreakMode {
   /// Skip one primary write apply: a committed update never reaches
   /// storage (must trip final_state / stale_read).
   kLostWrite,
+  /// Misreport one MVCC snapshot read as having observed a version other
+  /// than the one visible at the reader's begin timestamp (must trip
+  /// stale_snapshot_read). Only meaningful under --cc=mvcc.
+  kStaleSnapshot,
 };
 
 inline const char* BreakModeName(BreakMode mode) {
@@ -31,6 +35,7 @@ inline const char* BreakModeName(BreakMode mode) {
     case BreakMode::kReplicaApply: return "replica_apply";
     case BreakMode::kDoubleDeploy: return "double_deploy";
     case BreakMode::kLostWrite: return "lost_write";
+    case BreakMode::kStaleSnapshot: return "stale_snapshot";
   }
   return "none";
 }
@@ -46,6 +51,8 @@ inline bool ParseBreakMode(const std::string& text, BreakMode* mode) {
     *mode = BreakMode::kDoubleDeploy;
   } else if (text == "lost_write") {
     *mode = BreakMode::kLostWrite;
+  } else if (text == "stale_snapshot") {
+    *mode = BreakMode::kStaleSnapshot;
   } else {
     return false;
   }

@@ -14,6 +14,13 @@
 // apply precedes its FinishCommit, so the newer version was already on
 // every live copy), write applies landing out of chain order on a
 // partition, and applies from transactions that never committed.
+//
+// MVCC histories (--cc=mvcc) record snapshot reads instead of routed
+// reads. The checker then verifies snapshot isolation: every read observes
+// exactly the newest version committed strictly before the reader's begin
+// timestamp (stale_snapshot_read), all of a transaction's reads share one
+// timestamp (snapshot_fracture), and G1a still holds. Dependency cycles
+// that need an rw edge — write skew — are legal under SI and only counted.
 
 #ifndef SOAP_CHECK_CHECKER_H_
 #define SOAP_CHECK_CHECKER_H_
@@ -37,6 +44,8 @@ struct CheckReport {
   std::vector<Violation> violations;
   uint64_t txns_checked = 0;
   uint64_t reads_checked = 0;
+  /// MVCC snapshot reads verified against the version chains.
+  uint64_t snapshot_reads_checked = 0;
   uint64_t ww_edges = 0;
   uint64_t wr_edges = 0;
   uint64_t rw_edges = 0;
@@ -44,6 +53,9 @@ struct CheckReport {
   /// under serializable isolation, informational otherwise.
   uint64_t rw_cycles = 0;
   bool serializable_checked = false;
+  /// True when the history was checked under MVCC snapshot-isolation
+  /// rules (rw cycles are then informational even at serializable).
+  bool mvcc_checked = false;
 
   bool ok() const { return violations.empty(); }
   /// One-line digest for run summaries.
@@ -52,8 +64,10 @@ struct CheckReport {
 
 /// Runs every offline rule over the recorded history. `serializable` names
 /// the isolation level the run executed under and gates whether rw cycles
-/// are violations.
-CheckReport CheckHistory(const HistoryRecorder& history, bool serializable);
+/// are violations; `mvcc` switches reads to snapshot-isolation rules
+/// (under which rw cycles are never violations — SI allows write skew).
+CheckReport CheckHistory(const HistoryRecorder& history, bool serializable,
+                         bool mvcc = false);
 
 }  // namespace soap::check
 

@@ -61,6 +61,14 @@ void HistoryRecorder::OnRead(uint64_t txn_id, storage::TupleKey key,
   reads_.push_back({txn_id, key, partition, observed, at});
 }
 
+void HistoryRecorder::OnSnapshotRead(uint64_t txn_id, storage::TupleKey key,
+                                     uint32_t partition,
+                                     uint64_t observed_writer,
+                                     SimTime snapshot_ts, SimTime at) {
+  snapshot_reads_.push_back(
+      {txn_id, key, partition, observed_writer, snapshot_ts, at});
+}
+
 void HistoryRecorder::OnCommit(const txn::Transaction& txn,
                                SimTime commit_time) {
   committed_[txn.id] = commit_time;
@@ -134,6 +142,13 @@ Status HistoryRecorder::WriteHistoryFile(const std::string& path) const {
     os << "{\"kind\":\"read\",\"txn\":" << r.reader << ",\"key\":" << r.key
        << ",\"partition\":" << r.partition
        << ",\"observed\":" << r.observed_writer << ",\"t_us\":" << r.at
+       << "}\n";
+  }
+  for (const SnapshotReadRecord& r : snapshot_reads_) {
+    os << "{\"kind\":\"snapshot_read\",\"txn\":" << r.reader
+       << ",\"key\":" << r.key << ",\"partition\":" << r.partition
+       << ",\"observed\":" << r.observed_writer
+       << ",\"snapshot_t_us\":" << r.snapshot_ts << ",\"t_us\":" << r.at
        << "}\n";
   }
   // Direct write applies, in apply order: which partition installed which

@@ -53,6 +53,18 @@ struct ReadRecord {
   SimTime at = 0;
 };
 
+/// One MVCC snapshot read (--cc=mvcc): the reader's begin timestamp and
+/// the writer of the version the version store served. observed_writer 0
+/// means the synthesized base version.
+struct SnapshotReadRecord {
+  uint64_t reader = 0;
+  storage::TupleKey key = 0;
+  uint32_t partition = 0;
+  uint64_t observed_writer = 0;
+  SimTime snapshot_ts = 0;
+  SimTime at = 0;
+};
+
 /// One direct write apply (kWrite phase-2 / write-through) on a partition.
 /// Copy applies and catch-up refreshes are folded into the last-writer map
 /// but not listed here: only chain-resolvable applies participate in the
@@ -83,6 +95,11 @@ class HistoryRecorder : public storage::StorageObserver {
   /// recorder saw applied there.
   void OnRead(uint64_t txn_id, storage::TupleKey key, uint32_t partition,
               SimTime at);
+  /// An MVCC snapshot read served from the version store at snapshot_ts;
+  /// replaces OnRead under --cc=mvcc.
+  void OnSnapshotRead(uint64_t txn_id, storage::TupleKey key,
+                      uint32_t partition, uint64_t observed_writer,
+                      SimTime snapshot_ts, SimTime at);
   /// A transaction reached kCommitted; appends its writes (final value per
   /// key, in op order) to the per-key chains.
   void OnCommit(const txn::Transaction& txn, SimTime commit_time);
@@ -95,6 +112,9 @@ class HistoryRecorder : public storage::StorageObserver {
     return chains_;
   }
   const std::vector<ReadRecord>& reads() const { return reads_; }
+  const std::vector<SnapshotReadRecord>& snapshot_reads() const {
+    return snapshot_reads_;
+  }
   const std::vector<WriteApplyRecord>& write_applies() const {
     return write_applies_;
   }
@@ -127,6 +147,7 @@ class HistoryRecorder : public storage::StorageObserver {
 
   std::unordered_map<storage::TupleKey, std::vector<VersionRecord>> chains_;
   std::vector<ReadRecord> reads_;
+  std::vector<SnapshotReadRecord> snapshot_reads_;
   std::vector<WriteApplyRecord> write_applies_;
   std::unordered_map<uint64_t, SimTime> committed_;
   std::unordered_set<uint64_t> aborted_;

@@ -35,6 +35,10 @@ Cluster::Cluster(sim::Simulator* sim, const ClusterConfig& config)
   }
   lock_manager_.Reserve(static_cast<size_t>(config_.max_inflight) * 8,
                         static_cast<size_t>(config_.max_inflight) * 2);
+  if (config_.cc == mvcc::ConcurrencyControl::kMvcc) {
+    snapshots_ = std::make_unique<mvcc::SnapshotManager>();
+    versions_ = std::make_unique<mvcc::VersionStore>(snapshots_.get());
+  }
 }
 
 Status Cluster::LoadTuple(const storage::Tuple& tuple, uint32_t partition) {

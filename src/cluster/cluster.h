@@ -11,6 +11,9 @@
 
 #include "src/common/status.h"
 #include "src/common/time.h"
+#include "src/mvcc/cc_mode.h"
+#include "src/mvcc/snapshot_manager.h"
+#include "src/mvcc/version_store.h"
 #include "src/router/query_router.h"
 #include "src/router/routing_table.h"
 #include "src/sim/network.h"
@@ -81,6 +84,9 @@ struct ClusterConfig {
   /// the up-front hash reserve. Requires the bulk loader to use
   /// AssignRoundRobin + override eviction instead of per-key LoadTuple.
   bool lazy_tables = false;
+  /// Concurrency-control engine (--cc). k2PL is the seed pipeline and the
+  /// default; kMvcc adds versioned storage + lock-free snapshot reads.
+  mvcc::ConcurrencyControl cc = mvcc::ConcurrencyControl::k2PL;
   ExecutionCosts costs;
   sim::NetworkConfig network;
   uint64_t seed = 1;
@@ -103,6 +109,13 @@ class Cluster {
   uint32_t num_nodes() const { return config_.num_nodes; }
   Node& node(uint32_t i) { return *nodes_[i]; }
   storage::StorageEngine& storage(uint32_t i) { return *storage_[i]; }
+
+  /// MVCC engine state; allocated only under --cc=mvcc (the accessors
+  /// below must not be called otherwise). The store is cluster-global —
+  /// see version_store.h for why migrations need not move chains.
+  bool mvcc_enabled() const { return versions_ != nullptr; }
+  mvcc::VersionStore& versions() { return *versions_; }
+  mvcc::SnapshotManager& snapshots() { return *snapshots_; }
 
   /// Bulk-loads a tuple onto a partition and routes it there.
   Status LoadTuple(const storage::Tuple& tuple, uint32_t partition);
@@ -149,6 +162,8 @@ class Cluster {
   router::QueryRouter router_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<storage::StorageEngine>> storage_;
+  std::unique_ptr<mvcc::SnapshotManager> snapshots_;
+  std::unique_ptr<mvcc::VersionStore> versions_;
 };
 
 }  // namespace soap::cluster

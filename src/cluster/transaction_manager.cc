@@ -42,6 +42,8 @@ struct TransactionManager::Exec {
   /// Partitions whose phase-2 apply already ran, so redelivered or resent
   /// commit messages are idempotent.
   std::unordered_set<uint32_t> applied_partitions;
+  /// MVCC snapshot timestamp (execution start); 0 under 2PL.
+  SimTime begin_ts = 0;
 
   void AddParticipant(uint32_t p) {
     if (std::find(participants.begin(), participants.end(), p) ==
@@ -62,6 +64,7 @@ void TransactionManager::BindMetrics(obs::MetricsRegistry* registry) {
     m_lock_timeouts_ = nullptr;
     m_latency_committed_ = nullptr;
     m_latency_aborted_ = nullptr;
+    for (obs::Counter*& c : m_aborts_by_reason_) c = nullptr;
     return;
   }
   m_queue_wait_seconds_ = registry->GetHistogram("soap_txn_queue_wait_seconds");
@@ -71,6 +74,17 @@ void TransactionManager::BindMetrics(obs::MetricsRegistry* registry) {
                                                 "outcome=\"committed\"");
   m_latency_aborted_ = registry->GetHistogram("soap_txn_latency_seconds",
                                               "outcome=\"aborted\"");
+  // One labeled counter per abort reason, so per-CC abort decomposition
+  // (write_conflict vs lock_timeout) is scrapeable without result diffs.
+  for (AbortReason reason :
+       {AbortReason::kDeadlock, AbortReason::kLockTimeout,
+        AbortReason::kQueueTimeout, AbortReason::kVoteAbort,
+        AbortReason::kInjected, AbortReason::kNodeCrash,
+        AbortReason::kShutdown, AbortReason::kWriteConflict}) {
+    m_aborts_by_reason_[static_cast<size_t>(reason)] = registry->GetCounter(
+        "soap_txn_aborts_total",
+        obs::MetricsRegistry::Label("reason", txn::AbortReasonName(reason)));
+  }
 }
 
 txn::TxnId TransactionManager::Submit(std::unique_ptr<Transaction> t) {
@@ -122,6 +136,7 @@ void TransactionManager::MaybeDispatch() {
       t->finish_time = sim_->Now();
       counters_.aborted_normal++;
       counters_.aborts_queue_timeout++;
+      CountAbortMetric(AbortReason::kQueueTimeout);
       if (t->has_piggyback()) counters_.piggyback_carrier_aborts++;
       if (m_latency_aborted_) {
         m_latency_aborted_->RecordMicros(t->finish_time - t->submit_time);
@@ -146,6 +161,11 @@ void TransactionManager::StartTransaction(std::unique_ptr<Transaction> t) {
   Transaction& txn = *e->txn;
   txn.state = TxnState::kRunning;
   txn.start_time = sim_->Now();
+  if (cluster_->mvcc_enabled()) {
+    // Snapshot begins at execution start; ends when the txn completes.
+    e->begin_ts = txn.start_time;
+    cluster_->snapshots().Begin(txn.id, e->begin_ts);
+  }
   // Attempt 1 only: on resubmission submit_time is the original submit,
   // not this queue entry, and would inflate the queue-wait histogram.
   if (m_queue_wait_seconds_ && txn.attempt == 1) {
@@ -240,9 +260,12 @@ void TransactionManager::ExecuteNextOp(const ExecPtr& e) {
   Operation& op = OpAt(e, e->op_index);
   const size_t index = e->op_index;
   if (op.kind == OpKind::kRead) {
-    // Read committed: MVCC, lock-free. Serializable: shared lock at
-    // execution, held to commit (strict 2PL).
-    if (cluster_->config().isolation == IsolationLevel::kSerializable) {
+    // Read committed: lock-free. Serializable under 2PL: shared lock at
+    // execution, held to commit. Under MVCC reads never lock — they are
+    // served from the version chain at the transaction's begin timestamp,
+    // which is what flattens the read-side failure-rate curve.
+    if (cluster_->config().isolation == IsolationLevel::kSerializable &&
+        !cluster_->mvcc_enabled()) {
       AcquireLock(e, op.key, txn::LockMode::kShared,
                   [this, e, index]() { RunOp(e, index); });
     } else {
@@ -341,7 +364,24 @@ void TransactionManager::AcquireLock(const ExecPtr& e,
 void TransactionManager::AcquireCommitLocks(const ExecPtr& e) {
   if (e->done) return;
   if (!e->lock_set_built) BuildLockSet(e);
-  AcquireLockChain(e, [this, e]() { BeginCommit(e); });
+  AcquireLockChain(e, [this, e]() {
+    // MVCC first-updater-wins: with the write locks held, abort if any
+    // write key gained a version after this transaction's snapshot. The
+    // locks serialize installs, so the probe cannot race a commit.
+    if (cluster_->mvcc_enabled() && HasWriteConflict(e)) {
+      AbortTransaction(e, AbortReason::kWriteConflict);
+      return;
+    }
+    BeginCommit(e);
+  });
+}
+
+bool TransactionManager::HasWriteConflict(const ExecPtr& e) const {
+  for (const Operation& op : e->txn->ops) {
+    if (op.kind != OpKind::kWrite) continue;
+    if (cluster_->versions().CommittedSince(op.key, e->begin_ts)) return true;
+  }
+  return false;
 }
 
 void TransactionManager::RunOp(const ExecPtr& e, size_t op_index) {
@@ -371,7 +411,30 @@ void TransactionManager::RunOp(const ExecPtr& e, size_t op_index) {
       op.source_partition = p;
       e->AddParticipant(p);
       if (history_ != nullptr) {
-        history_->OnRead(e->txn->id, op.key, p, sim_->Now());
+        if (cluster_->mvcc_enabled()) {
+          // Snapshot read: observe the version visible at begin_ts. Only
+          // computed while a recorder is attached (the break mode implies
+          // --check, so the recorder is always set when a break is armed).
+          mvcc::VersionRead vr =
+              cluster_->versions().ReadAsOf(op.key, e->begin_ts);
+          uint64_t observed = vr.writer;
+          if (check_break_ == check::BreakMode::kStaleSnapshot &&
+              check_breaks_fired_ == 0) {
+            // Only consume the break on a key with committed history —
+            // an injected misreport on a chainless key would be
+            // indistinguishable from a correct base read.
+            uint64_t stale = 0;
+            if (cluster_->versions().StaleObservation(op.key, e->begin_ts,
+                                                      &stale)) {
+              check_breaks_fired_++;
+              observed = stale;
+            }
+          }
+          history_->OnSnapshotRead(e->txn->id, op.key, p, observed,
+                                   e->begin_ts, sim_->Now());
+        } else {
+          history_->OnRead(e->txn->id, op.key, p, sim_->Now());
+        }
       }
       cluster_->node(p).RunJob(costs.read_query, CategoryFor(e, op),
                                JobClass::kBulk, advance);
@@ -720,7 +783,8 @@ Status TransactionManager::ApplyAtPartition(const ExecPtr& e,
       continue;
     }
     Status s = cluster_->storage(partition)
-                   .ApplyUpdate(txn.id, op.key, op.write_value);
+                   .ApplyUpdate(txn.id, op.key, op.write_value,
+                                cluster_->mvcc_enabled() ? sim_->Now() : 0);
     // Updating a vanished row affects 0 rows; not an anomaly.
     if (!s.ok() && !s.IsNotFound()) note(std::move(s));
   }
@@ -768,8 +832,9 @@ void TransactionManager::ApplyRoutingUpdates(const ExecPtr& e) {
               if (e->applied_partitions.count(rep) > 0) continue;
               if (cluster_->node(rep).down()) continue;
             }
-            Status s = cluster_->storage(rep).ApplyUpdate(txn.id, op.key,
-                                                          op.write_value);
+            Status s = cluster_->storage(rep).ApplyUpdate(
+                txn.id, op.key, op.write_value,
+                cluster_->mvcc_enabled() ? sim_->Now() : 0);
             (void)s;  // replica divergence is surfaced by CheckConsistency
           }
         }
@@ -823,6 +888,26 @@ void TransactionManager::ApplyRoutingUpdates(const ExecPtr& e) {
   }
 }
 
+void TransactionManager::InstallVersions(const ExecPtr& e,
+                                         SimTime commit_ts) {
+  // Final value per key, mirroring the history recorder's commit rule:
+  // the last write to a key is the version the transaction publishes.
+  const std::vector<Operation>& ops = e->txn->ops;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i].kind != OpKind::kWrite) continue;
+    bool overwritten = false;
+    for (size_t j = i + 1; j < ops.size(); ++j) {
+      if (ops[j].kind == OpKind::kWrite && ops[j].key == ops[i].key) {
+        overwritten = true;
+        break;
+      }
+    }
+    if (overwritten) continue;
+    cluster_->versions().Install(ops[i].key, e->txn->id, ops[i].write_value,
+                                 commit_ts);
+  }
+}
+
 void TransactionManager::FinishCommit(const ExecPtr& e) {
   Transaction& txn = *e->txn;
   ApplyRoutingUpdates(e);
@@ -846,6 +931,10 @@ void TransactionManager::FinishCommit(const ExecPtr& e) {
       applied_main.size() + applied_piggyback.size();
   counters_.piggybacked_ops_applied += applied_piggyback.size();
 
+  // Install committed versions while the write locks are still held —
+  // released waiters run synchronously from ReleaseAll, and their
+  // first-updater-wins probes must already see these versions.
+  if (cluster_->mvcc_enabled()) InstallVersions(e, sim_->Now());
   cluster_->lock_manager().ReleaseAll(txn.id);
   txn.state = TxnState::kCommitted;
   txn.finish_time = sim_->Now();
@@ -919,9 +1008,13 @@ void TransactionManager::AbortTransaction(const ExecPtr& e,
     case AbortReason::kShutdown:
       counters_.aborts_shutdown++;
       break;
+    case AbortReason::kWriteConflict:
+      counters_.aborts_write_conflict++;
+      break;
     case AbortReason::kNone:
       break;
   }
+  CountAbortMetric(reason);
   if (m_latency_aborted_) {
     m_latency_aborted_->RecordMicros(txn.finish_time - txn.submit_time);
   }
@@ -982,6 +1075,7 @@ void TransactionManager::DrainQueue(txn::AbortReason reason) {
     } else if (reason == AbortReason::kNodeCrash) {
       counters_.aborts_node_crash++;
     }
+    CountAbortMetric(reason);
     if (m_latency_aborted_) {
       m_latency_aborted_->RecordMicros(t->finish_time - t->submit_time);
     }
@@ -997,6 +1091,7 @@ void TransactionManager::CompleteTransaction(const ExecPtr& e) {
   assert(!e->done);
   e->done = true;
   Transaction& txn = *e->txn;
+  if (cluster_->mvcc_enabled()) cluster_->snapshots().End(txn.id);
   if (txn.priority == TxnPriority::kLow) {
     assert(inflight_low_ > 0);
     inflight_low_--;

@@ -51,6 +51,8 @@ struct TmCounters {
   uint64_t aborts_vote = 0;
   uint64_t aborts_node_crash = 0;
   uint64_t aborts_shutdown = 0;
+  /// MVCC first-updater-wins write-write conflicts (--cc=mvcc only).
+  uint64_t aborts_write_conflict = 0;
 
   uint64_t total_submitted() const {
     return submitted_normal + submitted_repartition;
@@ -186,6 +188,14 @@ class TransactionManager {
   void AcquireCommitLocks(const ExecPtr& e);
   void BeginCommit(const ExecPtr& e);
   void FinishCommit(const ExecPtr& e);
+  /// MVCC first-updater-wins probe, run after the commit locks are held:
+  /// true when some write key already has a version committed at or after
+  /// this transaction's begin timestamp.
+  bool HasWriteConflict(const ExecPtr& e) const;
+  /// MVCC commit: installs the transaction's final value per written key
+  /// into the version store. Must run before its write locks release so a
+  /// racing first-updater-wins probe cannot miss the conflict.
+  void InstallVersions(const ExecPtr& e, SimTime commit_ts);
   void AbortTransaction(const ExecPtr& e, txn::AbortReason reason);
   void CompleteTransaction(const ExecPtr& e);
 
@@ -217,6 +227,9 @@ class TransactionManager {
   obs::Counter* m_lock_timeouts_ = nullptr;
   obs::LatencyHistogram* m_latency_committed_ = nullptr;
   obs::LatencyHistogram* m_latency_aborted_ = nullptr;
+  /// Abort counters labeled by reason (soap_txn_aborts_total), indexed by
+  /// the AbortReason enum value; all null when metrics are off.
+  obs::Counter* m_aborts_by_reason_[16] = {};
   CompletionCallback completion_cb_;
   PreExecutionHook pre_execution_hook_;
   std::function<bool(const txn::Transaction&, uint32_t)>
@@ -235,6 +248,12 @@ class TransactionManager {
     if (check_break_ != mode || check_breaks_fired_ > 0) return false;
     check_breaks_fired_++;
     return true;
+  }
+
+  /// Bumps the reason-labeled abort counter (one branch when metrics off).
+  void CountAbortMetric(txn::AbortReason reason) {
+    obs::Counter* c = m_aborts_by_reason_[static_cast<size_t>(reason)];
+    if (c != nullptr) c->Increment();
   }
 };
 

@@ -202,6 +202,12 @@ Status ExperimentConfig::Validate() const {
           "--check_break=replica_apply needs replicas enabled: without them "
           "there is no replica apply path to corrupt");
     }
+    if (mode == check::BreakMode::kStaleSnapshot &&
+        cluster.cc != mvcc::ConcurrencyControl::kMvcc) {
+      return Status::InvalidArgument(
+          "--check_break=stale_snapshot needs --cc=mvcc: without snapshot "
+          "reads there is no snapshot observation to corrupt");
+    }
   }
   return Status::OK();
 }
@@ -739,6 +745,12 @@ ExperimentResult Experiment::Run() {
           ->Set(ToSeconds(normal_work));
       metrics->GetGauge("soap_cluster_repartition_work_seconds")
           ->Set(ToSeconds(rep_work));
+      if (cluster.mvcc_enabled()) {
+        metrics->GetGauge("soap_mvcc_versions_live")
+            ->Set(static_cast<double>(cluster.versions().versions_live()));
+        metrics->GetGauge("soap_mvcc_gc_pruned_total")
+            ->Set(static_cast<double>(cluster.versions().pruned_total()));
+      }
       if (!config_.obs.metrics_jsonl_out.empty()) {
         metrics_jsonl << metrics->ToJsonLine(sim.Now(), index) << '\n';
       }
@@ -886,6 +898,11 @@ ExperimentResult Experiment::Run() {
     result.storage_bytes += table.ApproxBytes();
     result.storage_materialized_rows += table.materialized_size();
   }
+  result.mvcc_enabled = cluster.mvcc_enabled();
+  if (cluster.mvcc_enabled()) {
+    result.mvcc_versions_live = cluster.versions().versions_live();
+    result.mvcc_gc_pruned = cluster.versions().pruned_total();
+  }
 
   // --- Consistency verdict: offline history audit plus the quiescent
   // invariant sweep (the sweep's preconditions — empty lock table, settled
@@ -896,7 +913,8 @@ ExperimentResult Experiment::Run() {
     }
     result.check_report = check::CheckHistory(
         *recorder,
-        config_.cluster.isolation == cluster::IsolationLevel::kSerializable);
+        config_.cluster.isolation == cluster::IsolationLevel::kSerializable,
+        cluster.mvcc_enabled());
     if (audit_log != nullptr) {
       // Mirror the offline checker's violations as audit records (the
       // invariant engine already wrote its own as they fired).
@@ -941,8 +959,12 @@ ExperimentResult Experiment::Run() {
         .U64("aborts_queue_timeout", c.aborts_queue_timeout)
         .U64("aborts_vote", c.aborts_vote)
         .U64("aborts_node_crash", c.aborts_node_crash)
-        .U64("aborts_shutdown", c.aborts_shutdown)
-        .Bool("drained", result.drained);
+        .U64("aborts_shutdown", c.aborts_shutdown);
+    // Only under --cc=mvcc, so 2PL audit files stay byte-identical.
+    if (c.aborts_write_conflict > 0) {
+      rec.U64("aborts_write_conflict", c.aborts_write_conflict);
+    }
+    rec.Bool("drained", result.drained);
   }
 
   // --- Observability exports.
@@ -1003,7 +1025,14 @@ std::string ExperimentResult::Summary() const {
     os << " node_crash=" << counters.aborts_node_crash
        << " shutdown=" << counters.aborts_shutdown;
   }
+  if (counters.aborts_write_conflict > 0) {
+    os << " write_conflict=" << counters.aborts_write_conflict;
+  }
   os << "]";
+  if (mvcc_enabled) {
+    os << ", mvcc[versions_live=" << mvcc_versions_live
+       << " gc_pruned=" << mvcc_gc_pruned << "]";
+  }
   if (faults_crashes > 0 || faults_msgs_dropped > 0 ||
       faults_msgs_parked > 0) {
     os << ", faults[crashes=" << faults_crashes

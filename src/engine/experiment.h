@@ -138,8 +138,8 @@ struct CheckOptions {
   /// JSONL dump of the recorded history (empty: off; implies enabled).
   std::string history_out;
   /// Deliberate-corruption mode ("replica_apply", "double_deploy",
-  /// "lost_write"; empty/"none": off; implies enabled). Used by tests to
-  /// prove the checker detects each bug class.
+  /// "lost_write", "stale_snapshot"; empty/"none": off; implies enabled).
+  /// Used by tests to prove the checker detects each bug class.
   std::string break_mode;
 
   bool Enabled() const {
@@ -299,6 +299,10 @@ struct ExperimentResult {
   uint64_t invariant_checks = 0;
   /// Deliberate corruptions injected by --check_break (0 or 1).
   uint64_t check_breaks_fired = 0;
+  /// MVCC engine tallies (--cc=mvcc); all zero under 2PL.
+  bool mvcc_enabled = false;
+  uint64_t mvcc_versions_live = 0;
+  uint64_t mvcc_gc_pruned = 0;
   Status audit = Status::OK();       ///< end-of-run consistency audit
   bool drained = false;
   bool plan_completed = false;

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "src/common/logging.h"
+#include "src/mvcc/cc_mode.h"
 
 namespace soap::engine {
 
@@ -95,6 +96,34 @@ Status FlagTable::CheckUnknown(const Flags& flags) const {
   return Status::OK();
 }
 
+Status CheckEnumValue(const std::string& flag, const std::string& value,
+                      const std::vector<std::string>& allowed) {
+  for (const std::string& a : allowed) {
+    if (value == a) return Status::OK();
+  }
+  std::string message = "unknown --" + flag + " value '" + value + "'";
+  const std::string* best = nullptr;
+  size_t best_distance = 3;
+  for (const std::string& a : allowed) {
+    const size_t d = EditDistance(value, a);
+    if (d < best_distance) {
+      best_distance = d;
+      best = &a;
+    }
+  }
+  if (best != nullptr) {
+    message += " (did you mean " + *best + "?)";
+  } else {
+    std::string list;
+    for (const std::string& a : allowed) {
+      if (!list.empty()) list += "|";
+      list += a;
+    }
+    message += " (one of " + list + ")";
+  }
+  return Status::InvalidArgument(message);
+}
+
 Status FlagTable::Apply(const Flags& flags, ExperimentConfig* config) const {
   for (const FlagDef& def : defs_) {
     if (!def.bind) continue;
@@ -112,6 +141,13 @@ FlagTable ExperimentFlagTable() {
                   "applyall|afterall|feedback|piggyback|hybrid",
                   [](F f, C c) -> Status {
                     const std::string v = f.GetString("strategy", "hybrid");
+                    if (Status s = CheckEnumValue(
+                            "strategy", v,
+                            {"applyall", "afterall", "feedback", "piggyback",
+                             "hybrid"});
+                        !s.ok()) {
+                      return s;
+                    }
                     if (v == "applyall") {
                       c->strategy = SchedulingStrategy::kApplyAll;
                     } else if (v == "afterall") {
@@ -120,10 +156,8 @@ FlagTable ExperimentFlagTable() {
                       c->strategy = SchedulingStrategy::kFeedback;
                     } else if (v == "piggyback") {
                       c->strategy = SchedulingStrategy::kPiggyback;
-                    } else if (v == "hybrid") {
-                      c->strategy = SchedulingStrategy::kHybrid;
                     } else {
-                      return Status::InvalidArgument("unknown --strategy " + v);
+                      c->strategy = SchedulingStrategy::kHybrid;
                     }
                     return Status::OK();
                   }});
@@ -133,12 +167,15 @@ FlagTable ExperimentFlagTable() {
                   [](F f, C c) -> Status {
                     const double alpha = f.GetDouble("alpha", 1.0);
                     const std::string v = f.GetString("workload", "zipf");
+                    if (Status s = CheckEnumValue("workload", v,
+                                                  {"zipf", "uniform"});
+                        !s.ok()) {
+                      return s;
+                    }
                     if (v == "zipf") {
                       c->workload = workload::WorkloadSpec::Zipf(alpha);
-                    } else if (v == "uniform") {
-                      c->workload = workload::WorkloadSpec::Uniform(alpha);
                     } else {
-                      return Status::InvalidArgument("unknown --workload " + v);
+                      c->workload = workload::WorkloadSpec::Uniform(alpha);
                     }
                     return Status::OK();
                   }});
@@ -212,12 +249,29 @@ FlagTable ExperimentFlagTable() {
                   [](F f, C c) -> Status {
                     const std::string v =
                         f.GetString("isolation", "readcommitted");
+                    if (Status s = CheckEnumValue(
+                            "isolation", v, {"readcommitted", "serializable"});
+                        !s.ok()) {
+                      return s;
+                    }
                     if (v == "serializable") {
                       c->cluster.isolation =
                           cluster::IsolationLevel::kSerializable;
-                    } else if (v != "readcommitted") {
-                      return Status::InvalidArgument("unknown --isolation " +
-                                                     v);
+                    }
+                    return Status::OK();
+                  }});
+  defs.push_back({"cc", FlagType::kString, "2pl",
+                  "2pl|mvcc: concurrency control (mvcc = snapshot reads "
+                  "off version chains, lock-free read path, "
+                  "first-updater-wins write conflicts)",
+                  [](F f, C c) -> Status {
+                    const std::string v = f.GetString("cc", "2pl");
+                    if (Status s = CheckEnumValue("cc", v, {"2pl", "mvcc"});
+                        !s.ok()) {
+                      return s;
+                    }
+                    if (!mvcc::ParseCc(v, &c->cluster.cc)) {
+                      return Status::InvalidArgument("unknown --cc " + v);
                     }
                     return Status::OK();
                   }});
@@ -363,6 +417,12 @@ FlagTable ExperimentFlagTable() {
                   [](F f, C c) -> Status {
                     const std::string v = f.GetString("drift", "");
                     if (v.empty()) return Status::OK();
+                    if (Status s = CheckEnumValue(
+                            "drift", v,
+                            {"hotspot", "skewflip", "mixrotation"});
+                        !s.ok()) {
+                      return s;
+                    }
                     const auto phases =
                         static_cast<uint32_t>(f.GetInt("drift_phases", 3));
                     const auto phase_len = static_cast<uint32_t>(
@@ -376,12 +436,10 @@ FlagTable ExperimentFlagTable() {
                       c->workload = workload::WorkloadSpec::SkewFlip(
                           c->workload, c->warmup_intervals, phases, phase_len,
                           /*high_s=*/1.16, /*low_s=*/0.4, pair);
-                    } else if (v == "mixrotation") {
+                    } else {
                       c->workload = workload::WorkloadSpec::MixRotation(
                           c->workload, c->warmup_intervals, phases, phase_len,
                           pair);
-                    } else {
-                      return Status::InvalidArgument("unknown --drift " + v);
                     }
                     return Status::OK();
                   }});
@@ -473,8 +531,9 @@ FlagTable ExperimentFlagTable() {
   // Hidden checker self-test hook: injects exactly one deliberate bug of
   // the named class so tests can prove the checker catches it.
   defs.push_back({"check_break", FlagType::kString, "",
-                  "replica_apply|double_deploy|lost_write: corrupt one "
-                  "apply on purpose (implies --check; testing only)",
+                  "replica_apply|double_deploy|lost_write|stale_snapshot: "
+                  "corrupt one apply/observation on purpose (implies "
+                  "--check; testing only)",
                   [](F f, C c) -> Status {
                     c->check.break_mode = f.GetString("check_break", "");
                     return Status::OK();

@@ -60,6 +60,14 @@ class FlagTable {
   std::vector<FlagDef> defs_;
 };
 
+/// Validates an enum-valued flag's value against its allowed spellings.
+/// OK when `value` matches one; otherwise InvalidArgument naming the flag
+/// and, when an allowed value is within edit distance 2, suggesting it:
+/// `unknown --cc value 'mvvc' (did you mean mvcc?)`. With no near miss the
+/// error lists the allowed set instead.
+Status CheckEnumValue(const std::string& flag, const std::string& value,
+                      const std::vector<std::string>& allowed);
+
 /// The shared experiment flag table: everything that configures an
 /// ExperimentConfig (workload, strategy, planner, replication, faults,
 /// observability). Frontends copy it and Add() their presentation flags.

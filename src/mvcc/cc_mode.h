@@ -1,0 +1,49 @@
+// Concurrency-control engine selector (--cc). k2PL is the seed's strict
+// two-phase locking pipeline, byte-identical when selected; kMvcc layers
+// versioned storage + snapshot reads on top of it (src/mvcc/): reads are
+// served lock-free from per-key version chains at the transaction's begin
+// timestamp while writers keep their commit-window exclusive locks and
+// abort on first-updater-wins write-write conflicts.
+
+#ifndef SOAP_MVCC_CC_MODE_H_
+#define SOAP_MVCC_CC_MODE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace soap::mvcc {
+
+enum class ConcurrencyControl : uint8_t {
+  /// Strict 2PL (the seed pipeline): serializable reads take shared locks
+  /// at execution; writes lock exclusively for the commit window.
+  k2PL = 0,
+  /// MVCC snapshot reads: reads acquire no locks at any isolation level;
+  /// writers keep 2PL write locks and install versions at commit, with
+  /// first-updater-wins write-write conflict detection.
+  kMvcc,
+};
+
+inline const char* CcName(ConcurrencyControl cc) {
+  switch (cc) {
+    case ConcurrencyControl::k2PL: return "2pl";
+    case ConcurrencyControl::kMvcc: return "mvcc";
+  }
+  return "2pl";
+}
+
+/// Parses a --cc value; empty means the default (2pl). Returns false on an
+/// unknown engine name.
+inline bool ParseCc(const std::string& text, ConcurrencyControl* cc) {
+  if (text.empty() || text == "2pl") {
+    *cc = ConcurrencyControl::k2PL;
+  } else if (text == "mvcc") {
+    *cc = ConcurrencyControl::kMvcc;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace soap::mvcc
+
+#endif  // SOAP_MVCC_CC_MODE_H_

@@ -1,0 +1,27 @@
+#include "src/mvcc/snapshot_manager.h"
+
+namespace soap::mvcc {
+
+void SnapshotManager::Begin(uint64_t txn_id, SimTime begin_ts) {
+  auto it = by_txn_.find(txn_id);
+  if (it != by_txn_.end()) {
+    if (it->second == begin_ts) return;
+    // Retry attempt: drop the previous registration before re-registering.
+    auto old = active_.find(it->second);
+    if (old != active_.end() && --old->second == 0) active_.erase(old);
+    it->second = begin_ts;
+  } else {
+    by_txn_.emplace(txn_id, begin_ts);
+  }
+  ++active_[begin_ts];
+}
+
+void SnapshotManager::End(uint64_t txn_id) {
+  auto it = by_txn_.find(txn_id);
+  if (it == by_txn_.end()) return;
+  auto old = active_.find(it->second);
+  if (old != active_.end() && --old->second == 0) active_.erase(old);
+  by_txn_.erase(it);
+}
+
+}  // namespace soap::mvcc

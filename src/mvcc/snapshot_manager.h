@@ -1,0 +1,50 @@
+// Snapshot registry for MVCC reads: issues begin timestamps (virtual time
+// at execution start) and tracks which snapshots are still active so the
+// version store's GC knows which chain versions remain visible to someone.
+// Cluster-global, mirroring the repo's single logical lock table — keys
+// are globally unique and partitions disjoint, so per-node registries
+// would partition an already-disjoint set.
+
+#ifndef SOAP_MVCC_SNAPSHOT_MANAGER_H_
+#define SOAP_MVCC_SNAPSHOT_MANAGER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+#include "src/common/time.h"
+
+namespace soap::mvcc {
+
+class SnapshotManager {
+ public:
+  /// Registers `txn_id` as reading at snapshot `begin_ts`. Idempotent per
+  /// transaction (a resubmitted attempt re-registers at its new start).
+  void Begin(uint64_t txn_id, SimTime begin_ts);
+
+  /// Ends a transaction's snapshot; idempotent (commit, abort and drain
+  /// paths all funnel through the same completion hook).
+  void End(uint64_t txn_id);
+
+  /// Oldest begin timestamp still active; kNone when no snapshot is open.
+  static constexpr SimTime kNone = -1;
+  SimTime OldestActive() const {
+    return active_.empty() ? kNone : active_.begin()->first;
+  }
+
+  size_t active_count() const { return by_txn_.size(); }
+
+  /// Sorted active begin timestamps with multiplicity, oldest first.
+  /// The version store's pruner walks this in one pass per chain.
+  const std::map<SimTime, uint32_t>& active() const { return active_; }
+
+ private:
+  /// begin_ts -> number of active snapshots at that timestamp.
+  std::map<SimTime, uint32_t> active_;
+  std::unordered_map<uint64_t, SimTime> by_txn_;
+};
+
+}  // namespace soap::mvcc
+
+#endif  // SOAP_MVCC_SNAPSHOT_MANAGER_H_

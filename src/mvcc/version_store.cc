@@ -1,0 +1,122 @@
+#include "src/mvcc/version_store.h"
+
+#include <algorithm>
+
+#include "src/mvcc/snapshot_manager.h"
+#include "src/storage/wal.h"
+
+namespace soap::mvcc {
+
+void VersionStore::Install(storage::TupleKey key, uint64_t writer,
+                           int64_t value, SimTime commit_ts) {
+  auto& chain = chains_[key];
+  chain.push_back({writer, value, commit_ts});
+  ++versions_live_;
+  if (chain.size() > kPruneThreshold) Prune(&chain);
+}
+
+VersionRead VersionStore::ReadAsOf(storage::TupleKey key, SimTime ts) const {
+  auto it = chains_.find(key);
+  if (it != chains_.end()) {
+    const auto& chain = it->second;
+    for (auto v = chain.rbegin(); v != chain.rend(); ++v) {
+      if (v->commit_ts < ts) return {v->writer, v->value};
+    }
+  }
+  // Version-0: the synthesized base row (Table::SynthesizeRow), also what a
+  // never-written lazy virtual key reads as.
+  return {0, static_cast<int64_t>(key)};
+}
+
+bool VersionStore::CommittedSince(storage::TupleKey key,
+                                  SimTime begin_ts) const {
+  auto it = chains_.find(key);
+  if (it == chains_.end() || it->second.empty()) return false;
+  return it->second.back().commit_ts >= begin_ts;
+}
+
+bool VersionStore::StaleObservation(storage::TupleKey key, SimTime ts,
+                                    uint64_t* writer) const {
+  auto it = chains_.find(key);
+  if (it == chains_.end() || it->second.empty()) return false;
+  const auto& chain = it->second;
+  // Index of the version a correct read at `ts` observes, or npos for the
+  // synthesized base.
+  size_t visible = chain.size();
+  for (size_t i = chain.size(); i-- > 0;) {
+    if (chain[i].commit_ts < ts) {
+      visible = i;
+      break;
+    }
+  }
+  if (visible == chain.size()) {
+    // Correct read is the base (writer 0); a committed writer id differs.
+    *writer = chain.back().writer;
+  } else if (visible == 0) {
+    // Correct read is the oldest committed version; the base differs.
+    *writer = 0;
+  } else {
+    // Report the immediately older committed version — a classic stale
+    // snapshot, guaranteed a different writer.
+    *writer = chain[visible - 1].writer;
+  }
+  return true;
+}
+
+void VersionStore::RebuildFromWal(const storage::Wal& wal) {
+  for (const auto& rec : wal.records()) {
+    if (rec.kind != storage::WalRecord::Kind::kUpdate) continue;
+    auto& chain = chains_[rec.tuple.key];
+    bool seen = false;
+    for (const auto& v : chain) {
+      if (v.writer == rec.txn_id) {
+        seen = true;
+        break;
+      }
+    }
+    if (seen) continue;
+    Version v{rec.txn_id, rec.tuple.content, rec.commit_ts};
+    // Log order is commit order per partition, but a migrated key's later
+    // writes live in another partition's log — insert in timestamp order.
+    auto pos = std::upper_bound(
+        chain.begin(), chain.end(), v,
+        [](const Version& a, const Version& b) {
+          return a.commit_ts < b.commit_ts;
+        });
+    chain.insert(pos, v);
+    ++versions_live_;
+  }
+}
+
+void VersionStore::PruneChain(storage::TupleKey key) {
+  auto it = chains_.find(key);
+  if (it != chains_.end()) Prune(&it->second);
+}
+
+void VersionStore::Prune(std::vector<Version>* chain) {
+  if (chain->size() <= 1) return;
+  // Keep the tail plus, for each active snapshot, the newest version it can
+  // see. Both the chain and the active set are sorted, so one forward pass
+  // marks every retained index.
+  std::vector<char> keep(chain->size(), 0);
+  keep.back() = 1;
+  if (snapshots_ != nullptr) {
+    size_t j = 0;
+    for (const auto& [ts, count] : snapshots_->active()) {
+      (void)count;
+      while (j + 1 < chain->size() && (*chain)[j + 1].commit_ts < ts) ++j;
+      if ((*chain)[j].commit_ts < ts) keep[j] = 1;
+      // else: this snapshot predates the whole chain and reads the base.
+    }
+  }
+  size_t out = 0;
+  for (size_t i = 0; i < chain->size(); ++i) {
+    if (keep[i]) (*chain)[out++] = (*chain)[i];
+  }
+  const size_t removed = chain->size() - out;
+  chain->resize(out);
+  pruned_total_ += removed;
+  versions_live_ -= removed;
+}
+
+}  // namespace soap::mvcc

@@ -1,0 +1,117 @@
+// Versioned storage for MVCC snapshot reads: per-key chains of committed
+// versions stamped with virtual-time commit timestamps. The store is
+// cluster-global — like the lock table, keys are globally unique and
+// partitions disjoint, so migrations and replica deployments need not move
+// chains; `storage::Table` stays the authoritative committed-latest image
+// (migration staging, replica catch-up, consistency checks and crash
+// recovery all read the table, the store only serves point-in-time reads).
+//
+// Composes with PR 8's lazy virtual-base tables: a key with no chain is its
+// own version-0 ({writer 0, value == key}, matching Table::SynthesizeRow),
+// so the store holds entries only for keys that were actually written.
+//
+// GC: a watermark alone leaves chains unbounded when one idle snapshot
+// pins history under a hot writer, so pruning keeps, per chain, the newest
+// version visible to each active snapshot plus the chain tail, and runs
+// whenever a chain outgrows a small threshold.
+
+#ifndef SOAP_MVCC_VERSION_STORE_H_
+#define SOAP_MVCC_VERSION_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/storage/tuple.h"
+
+namespace soap::storage {
+class Wal;
+}  // namespace soap::storage
+
+namespace soap::mvcc {
+
+class SnapshotManager;
+
+/// One committed version of a key. Chains are append-only and sorted by
+/// commit_ts (virtual time is monotone and versions install at commit).
+struct Version {
+  uint64_t writer = 0;  // committing transaction id; 0 = initial bulk load
+  int64_t value = 0;
+  SimTime commit_ts = 0;
+};
+
+/// What a snapshot read observes for a key.
+struct VersionRead {
+  uint64_t writer = 0;
+  int64_t value = 0;
+};
+
+class VersionStore {
+ public:
+  /// `snapshots` feeds the pruner the active begin timestamps; may be null
+  /// (no snapshot tracking: pruning keeps only the chain tail).
+  explicit VersionStore(const SnapshotManager* snapshots)
+      : snapshots_(snapshots) {}
+
+  /// Installs a committed version at the chain tail. Commit timestamps are
+  /// non-decreasing per key (enforced by the 2PL write locks that serialize
+  /// writers on a key). Triggers a chain-local prune past the threshold.
+  void Install(storage::TupleKey key, uint64_t writer, int64_t value,
+               SimTime commit_ts);
+
+  /// Strict snapshot read: the newest version with commit_ts < ts. A key
+  /// with no chain (or none old enough) reads as its synthesized base
+  /// version-0, {writer 0, value == key}.
+  VersionRead ReadAsOf(storage::TupleKey key, SimTime ts) const;
+
+  /// First-updater-wins probe: true when a version committed at or after
+  /// `begin_ts` already exists for `key`. The committing transaction's own
+  /// versions install only after this check, so probing the chain tail
+  /// suffices.
+  bool CommittedSince(storage::TupleKey key, SimTime begin_ts) const;
+
+  /// Break-mode helper (--check_break=stale_snapshot): picks an observed
+  /// writer provably different from what a correct snapshot read at `ts`
+  /// would report. Returns false when the key has no chain — an injected
+  /// stale read would be indistinguishable from a correct base read, so
+  /// the caller must not consume the break on such a key.
+  bool StaleObservation(storage::TupleKey key, SimTime ts,
+                        uint64_t* writer) const;
+
+  /// Rebuilds chains from a partition's redo log: kUpdate records carry
+  /// their commit timestamps, so replay re-installs them in order.
+  /// Idempotent by (key, txn_id) — re-replaying a log (crash recovery
+  /// replays checkpoint + log) never duplicates versions.
+  void RebuildFromWal(const storage::Wal& wal);
+
+  uint64_t versions_live() const { return versions_live_; }
+  uint64_t pruned_total() const { return pruned_total_; }
+  size_t chains() const { return chains_.size(); }
+  /// Rough footprint for the GC-bound test: chain entries × entry size.
+  uint64_t ApproxBytes() const { return versions_live_ * sizeof(Version); }
+  size_t ChainLength(storage::TupleKey key) const {
+    auto it = chains_.find(key);
+    return it == chains_.end() ? 0 : it->second.size();
+  }
+
+  /// Exposed for tests; Install() calls it automatically.
+  void PruneChain(storage::TupleKey key);
+
+ private:
+  void Prune(std::vector<Version>* chain);
+
+  const SnapshotManager* snapshots_;
+  std::unordered_map<storage::TupleKey, std::vector<Version>> chains_;
+  uint64_t versions_live_ = 0;
+  uint64_t pruned_total_ = 0;
+
+  /// Chains prune once they outgrow this many entries. Small enough to
+  /// bound memory tightly, large enough to amortize the prune pass.
+  static constexpr size_t kPruneThreshold = 8;
+};
+
+}  // namespace soap::mvcc
+
+#endif  // SOAP_MVCC_VERSION_STORE_H_

@@ -14,10 +14,10 @@ Status StorageEngine::ApplyInsert(uint64_t txn_id, const Tuple& tuple) {
 }
 
 Status StorageEngine::ApplyUpdate(uint64_t txn_id, TupleKey key,
-                                  int64_t content) {
+                                  int64_t content, SimTime commit_ts) {
   SOAP_RETURN_NOT_OK(table_.Update(key, content));
   Result<Tuple> updated = table_.Get(key);
-  wal_.AppendUpdate(txn_id, *updated);
+  wal_.AppendUpdate(txn_id, *updated, commit_ts);
   if (observer_ != nullptr) {
     observer_->OnApplyUpdate(partition_id_, txn_id, *updated);
   }

@@ -39,8 +39,11 @@ class StorageEngine {
   /// creation at a destination partition).
   Status ApplyInsert(uint64_t txn_id, const Tuple& tuple);
 
-  /// Commit-time apply: updates an existing tuple's content.
-  Status ApplyUpdate(uint64_t txn_id, TupleKey key, int64_t content);
+  /// Commit-time apply: updates an existing tuple's content. `commit_ts`
+  /// (virtual time; 0 under 2PL) is recorded on the WAL record so MVCC
+  /// recovery can rebuild version chains.
+  Status ApplyUpdate(uint64_t txn_id, TupleKey key, int64_t content,
+                     SimTime commit_ts = 0);
 
   /// Commit-time apply: deletes a tuple (replica deletion / migration
   /// source cleanup).

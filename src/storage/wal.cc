@@ -10,8 +10,9 @@ void Wal::AppendInsert(uint64_t txn_id, const Tuple& tuple) {
   records_.push_back({WalRecord::Kind::kInsert, txn_id, tuple});
 }
 
-void Wal::AppendUpdate(uint64_t txn_id, const Tuple& tuple) {
-  records_.push_back({WalRecord::Kind::kUpdate, txn_id, tuple});
+void Wal::AppendUpdate(uint64_t txn_id, const Tuple& tuple,
+                       SimTime commit_ts) {
+  records_.push_back({WalRecord::Kind::kUpdate, txn_id, tuple, commit_ts});
 }
 
 void Wal::AppendErase(uint64_t txn_id, TupleKey key) {

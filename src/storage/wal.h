@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/common/time.h"
 #include "src/storage/tuple.h"
 
 namespace soap::storage {
@@ -23,13 +24,17 @@ struct WalRecord {
   Kind kind;
   uint64_t txn_id;
   Tuple tuple;  // for kErase only the key is meaningful
+  /// Virtual-time commit timestamp of the mutation. 0 under 2PL (the seed
+  /// format); MVCC stamps updates so replay can rebuild version chains.
+  SimTime commit_ts = 0;
 };
 
 /// In-memory redo log. Not thread-safe (owned by one engine).
 class Wal {
  public:
   void AppendInsert(uint64_t txn_id, const Tuple& tuple);
-  void AppendUpdate(uint64_t txn_id, const Tuple& tuple);
+  void AppendUpdate(uint64_t txn_id, const Tuple& tuple,
+                    SimTime commit_ts = 0);
   void AppendErase(uint64_t txn_id, TupleKey key);
 
   /// Applies all records in order to `table`, rolling the log forward.

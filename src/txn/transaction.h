@@ -79,6 +79,7 @@ enum class AbortReason : uint8_t {
   kInjected,      // failure injection in tests
   kNodeCrash,     // a participating node crashed or dropped the data
   kShutdown,      // still queued when the experiment drained its queue
+  kWriteConflict,  // MVCC first-updater-wins write-write conflict
 };
 
 /// Stable reason strings for reports and the audit log.
@@ -100,6 +101,8 @@ inline const char* AbortReasonName(AbortReason reason) {
       return "node_crash";
     case AbortReason::kShutdown:
       return "shutdown";
+    case AbortReason::kWriteConflict:
+      return "write_conflict";
   }
   return "?";
 }

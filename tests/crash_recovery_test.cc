@@ -136,6 +136,44 @@ TEST(CrashRecoveryTest, SecondCrashDuringReplayRestartsFromCheckpoint) {
             r.tpc_stats.committed + r.tpc_stats.aborted);
 }
 
+// cc-mode matrix: the crash/recovery path holds under --cc=mvcc too.
+// Snapshot reads stay consistent across the crash window and the checker
+// verifies snapshot isolation over the whole history.
+TEST(CrashRecoveryTest, MvccCrashRecoveryChecksCleanAndDrains) {
+  ExperimentConfig config = FaultyConfig(SchedulingStrategy::kHybrid);
+  config.cluster.isolation = cluster::IsolationLevel::kSerializable;
+  config.cluster.cc = mvcc::ConcurrencyControl::kMvcc;
+  config.check.enabled = true;
+  ExperimentResult r = Experiment(config).Run();
+  EXPECT_TRUE(r.mvcc_enabled);
+  EXPECT_EQ(r.faults_crashes, 1u);
+  EXPECT_TRUE(r.audit.ok()) << r.audit.ToString();
+  EXPECT_TRUE(r.drained);
+  EXPECT_TRUE(r.check_report.ok()) << r.check_report.ToString();
+  EXPECT_GT(r.check_report.snapshot_reads_checked, 0u);
+  EXPECT_EQ(r.tpc_stats.protocols_run,
+            r.tpc_stats.committed + r.tpc_stats.aborted);
+}
+
+TEST(CrashRecoveryTest, MvccCrashRunIsDeterministic) {
+  auto mvcc_config = [] {
+    ExperimentConfig config = FaultyConfig(SchedulingStrategy::kHybrid);
+    config.cluster.isolation = cluster::IsolationLevel::kSerializable;
+    config.cluster.cc = mvcc::ConcurrencyControl::kMvcc;
+    return config;
+  };
+  ExperimentResult a = Experiment(mvcc_config()).Run();
+  ExperimentResult b = Experiment(mvcc_config()).Run();
+  EXPECT_EQ(a.counters.committed_normal, b.counters.committed_normal);
+  EXPECT_EQ(a.counters.aborts_write_conflict,
+            b.counters.aborts_write_conflict);
+  EXPECT_EQ(a.counters.aborts_node_crash, b.counters.aborts_node_crash);
+  EXPECT_EQ(a.mvcc_versions_live, b.mvcc_versions_live);
+  EXPECT_EQ(a.mvcc_gc_pruned, b.mvcc_gc_pruned);
+  EXPECT_EQ(a.end_time, b.end_time);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+}
+
 // Storage-level replay equivalence: after Checkpoint + more mutations,
 // RecoverFromWal reproduces exactly the pre-crash table (satellite (b):
 // replay starts from the checkpoint snapshot, not an empty table).

@@ -1,6 +1,7 @@
 #include "src/common/flags.h"
 
 #include "src/common/series.h"
+#include "src/engine/flag_table.h"
 
 #include <gtest/gtest.h>
 
@@ -69,6 +70,40 @@ TEST(FlagsTest, UnconsumedDetection) {
   auto unused = f.UnconsumedFlags();
   ASSERT_EQ(unused.size(), 1u);
   EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(FlagTableTest, EnumValueTypoGetsNearMissSuggestion) {
+  engine::FlagTable table = engine::ExperimentFlagTable();
+  engine::ExperimentConfig config;
+  Flags f = MustParse({"--cc=mvvc"});
+  Status s = table.Apply(f, &config);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("did you mean mvcc?"), std::string::npos)
+      << s.ToString();
+}
+
+TEST(FlagTableTest, EnumValuesApplyAndDefault) {
+  engine::FlagTable table = engine::ExperimentFlagTable();
+  engine::ExperimentConfig config;
+  EXPECT_TRUE(table.Apply(MustParse({}), &config).ok());
+  EXPECT_EQ(config.cluster.cc, mvcc::ConcurrencyControl::k2PL);
+  EXPECT_TRUE(table.Apply(MustParse({"--cc=mvcc"}), &config).ok());
+  EXPECT_EQ(config.cluster.cc, mvcc::ConcurrencyControl::kMvcc);
+}
+
+TEST(FlagTableTest, EnumValueWithoutNearMissListsTheAllowedSet) {
+  Status s = engine::CheckEnumValue("cc", "optimistic", {"2pl", "mvcc"});
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("one of 2pl|mvcc"), std::string::npos)
+      << s.ToString();
+  // Retrofitted onto the older enum flags too.
+  engine::FlagTable table = engine::ExperimentFlagTable();
+  engine::ExperimentConfig config;
+  Status strategy = table.Apply(MustParse({"--strategy=hybrod"}), &config);
+  ASSERT_FALSE(strategy.ok());
+  EXPECT_NE(strategy.ToString().find("did you mean hybrid?"),
+            std::string::npos)
+      << strategy.ToString();
 }
 
 TEST(SeriesChartTest, ChartContainsLegendAndMarks) {

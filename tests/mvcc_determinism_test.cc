@@ -1,0 +1,88 @@
+// Concurrency-control determinism contract: --cc=2pl reproduces the seed
+// goldens bit for bit (the MVCC subsystem is invisible unless selected),
+// and --cc=mvcc is itself deterministic — identical results per seed, at
+// any worker thread count.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/engine/experiment.h"
+#include "src/engine/parallel_runner.h"
+
+namespace soap::engine {
+namespace {
+
+// Same pinned config as parallel_runner_test's golden-count test.
+ExperimentConfig PinnedConfig(uint64_t seed) {
+  ExperimentConfig config;
+  config.workload = workload::WorkloadSpec::Zipf(1.0);
+  config.workload.num_templates = 200;
+  config.workload.num_keys = 5'000;
+  config.utilization = workload::kHighLoadUtilization;
+  config.strategy = SchedulingStrategy::kHybrid;
+  config.warmup_intervals = 2;
+  config.measured_intervals = 6;
+  config.seed = seed;
+  return config;
+}
+
+TEST(MvccDeterminismTest, Default2plReproducesTheSeedGoldens) {
+  // cc defaults to k2PL; with the MVCC subsystem compiled in but not
+  // selected, every golden count must be untouched.
+  ExperimentConfig config = PinnedConfig(42);
+  ASSERT_EQ(config.cluster.cc, mvcc::ConcurrencyControl::k2PL);
+  ExperimentResult r = Experiment(config).Run();
+  EXPECT_EQ(r.events_executed, 602852u);
+  EXPECT_EQ(r.end_time, 160'000'000);
+  EXPECT_EQ(r.counters.committed_normal, 64'910u);
+  EXPECT_FALSE(r.mvcc_enabled);
+  EXPECT_EQ(r.counters.aborts_write_conflict, 0u);
+  EXPECT_EQ(r.mvcc_versions_live, 0u);
+}
+
+TEST(MvccDeterminismTest, MvccIsReproduciblePerSeedAcrossThreadCounts) {
+  // Three seeds, each run serially as reference, then fanned over 1, 2
+  // and 8 workers: same events, commits, conflicts and version tallies.
+  auto cells = [] {
+    std::vector<ExperimentCell> out;
+    for (uint64_t seed : {42u, 43u, 44u}) {
+      ExperimentConfig config = PinnedConfig(seed);
+      config.cluster.isolation = cluster::IsolationLevel::kSerializable;
+      config.cluster.cc = mvcc::ConcurrencyControl::kMvcc;
+      out.push_back(ExperimentCell{std::move(config)});
+    }
+    return out;
+  };
+
+  struct Golden {
+    uint64_t events, committed, conflicts, live, pruned;
+  };
+  std::vector<Golden> reference;
+  for (ExperimentCell& cell : cells()) {
+    ExperimentResult r = Experiment(std::move(cell.config)).Run();
+    EXPECT_TRUE(r.mvcc_enabled);
+    EXPECT_GT(r.counters.committed_normal, 0u);
+    reference.push_back({r.events_executed, r.counters.committed_normal,
+                         r.counters.aborts_write_conflict,
+                         r.mvcc_versions_live, r.mvcc_gc_pruned});
+  }
+
+  for (uint32_t threads : {1u, 2u, 8u}) {
+    ParallelRunner runner(threads);
+    std::vector<CellOutcome> outcomes = runner.Run(cells());
+    ASSERT_EQ(outcomes.size(), reference.size());
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+      const ExperimentResult& r = outcomes[i].result;
+      EXPECT_EQ(r.events_executed, reference[i].events)
+          << "threads=" << threads << " cell=" << i;
+      EXPECT_EQ(r.counters.committed_normal, reference[i].committed);
+      EXPECT_EQ(r.counters.aborts_write_conflict, reference[i].conflicts);
+      EXPECT_EQ(r.mvcc_versions_live, reference[i].live);
+      EXPECT_EQ(r.mvcc_gc_pruned, reference[i].pruned);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace soap::engine

@@ -1,0 +1,192 @@
+// VersionStore / SnapshotManager contract: strict snapshot visibility,
+// first-updater-wins probes, the GC bound (chains stay bounded under a
+// hot writer even while an idle snapshot pins history), and idempotent
+// chain rebuild from WAL records carrying commit timestamps.
+
+#include "src/mvcc/version_store.h"
+
+#include <gtest/gtest.h>
+
+#include "src/mvcc/snapshot_manager.h"
+#include "src/storage/wal.h"
+
+namespace soap::mvcc {
+namespace {
+
+storage::Tuple MakeTuple(storage::TupleKey key, int64_t content) {
+  storage::Tuple t;
+  t.key = key;
+  t.content = content;
+  return t;
+}
+
+TEST(VersionStoreTest, StrictVisibilityNewestBeforeTimestamp) {
+  VersionStore store(nullptr);
+  store.Install(7, /*writer=*/101, /*value=*/11, /*commit_ts=*/10);
+  store.Install(7, /*writer=*/102, /*value=*/22, /*commit_ts=*/20);
+  store.Install(7, /*writer=*/103, /*value=*/33, /*commit_ts=*/30);
+
+  // Before any commit: the synthesized base.
+  EXPECT_EQ(store.ReadAsOf(7, 5).writer, 0u);
+  EXPECT_EQ(store.ReadAsOf(7, 5).value, 7);
+  // Strictly-before semantics: a snapshot at exactly the commit timestamp
+  // does not see that version.
+  EXPECT_EQ(store.ReadAsOf(7, 10).writer, 0u);
+  EXPECT_EQ(store.ReadAsOf(7, 11).writer, 101u);
+  EXPECT_EQ(store.ReadAsOf(7, 30).writer, 102u);
+  EXPECT_EQ(store.ReadAsOf(7, 31).writer, 103u);
+  EXPECT_EQ(store.ReadAsOf(7, 31).value, 33);
+}
+
+TEST(VersionStoreTest, UnwrittenKeyReadsAsItsOwnBaseVersion) {
+  // Composes with lazy virtual-base tables: a key nobody wrote has no
+  // chain entry at all, and reads as {writer 0, value == key} — the same
+  // row Table::SynthesizeRow fabricates.
+  VersionStore store(nullptr);
+  const VersionRead r = store.ReadAsOf(123456, 1'000'000);
+  EXPECT_EQ(r.writer, 0u);
+  EXPECT_EQ(r.value, 123456);
+  EXPECT_EQ(store.chains(), 0u);
+}
+
+TEST(VersionStoreTest, CommittedSinceProbesTheChainTail) {
+  VersionStore store(nullptr);
+  EXPECT_FALSE(store.CommittedSince(7, 0));  // no chain: nothing conflicts
+  store.Install(7, 101, 11, /*commit_ts=*/10);
+  EXPECT_TRUE(store.CommittedSince(7, 5));    // version at 10 >= begin 5
+  EXPECT_TRUE(store.CommittedSince(7, 10));   // inclusive at the boundary
+  EXPECT_FALSE(store.CommittedSince(7, 11));  // began after the tail
+}
+
+TEST(VersionStoreTest, GcBoundedUnderHotWriterWithIdleSnapshot) {
+  // The adversarial GC case: one idle snapshot pins old history while a
+  // writer keeps committing. A watermark GC would leave the chain
+  // unbounded; per-snapshot retention keeps it at threshold size.
+  SnapshotManager snapshots;
+  VersionStore store(&snapshots);
+  snapshots.Begin(/*txn_id=*/1, /*begin_ts=*/55);  // idle long-running reader
+
+  for (int i = 1; i <= 10'000; ++i) {
+    store.Install(7, /*writer=*/100 + i, /*value=*/i, /*commit_ts=*/i * 10);
+  }
+  // Bounded: the version visible at ts=55 (commit_ts 50), the tail, and at
+  // most a threshold's worth of not-yet-pruned recents.
+  EXPECT_LE(store.ChainLength(7), 9u);
+  EXPECT_LE(store.ApproxBytes(), 9 * sizeof(Version));
+  EXPECT_GT(store.pruned_total(), 9'000u);
+  // The pinned version stayed available the whole time.
+  EXPECT_EQ(store.ReadAsOf(7, 55).writer, 105u);
+  EXPECT_EQ(store.ReadAsOf(7, 55).value, 5);
+  // Tail intact.
+  EXPECT_EQ(store.ReadAsOf(7, 1'000'000'000).writer, 10'100u);
+
+  // Snapshot ends: the next prune drops the pinned version too.
+  snapshots.End(1);
+  store.PruneChain(7);
+  EXPECT_EQ(store.ChainLength(7), 1u);
+}
+
+TEST(VersionStoreTest, PruneKeepsNewestVisiblePerActiveSnapshot) {
+  SnapshotManager snapshots;
+  VersionStore store(&snapshots);
+  snapshots.Begin(1, 15);  // sees commit_ts 10
+  snapshots.Begin(2, 35);  // sees commit_ts 30
+  snapshots.Begin(3, 5);   // predates the chain: reads the base
+  for (int i = 1; i <= 9; ++i) {
+    store.Install(7, 100 + i, i, i * 10);  // 10..90 triggers one prune
+  }
+  // Kept: version@10 (snapshot 1), version@30 (snapshot 2), the tail, and
+  // whatever installed after the prune ran.
+  EXPECT_EQ(store.ReadAsOf(7, 15).writer, 101u);
+  EXPECT_EQ(store.ReadAsOf(7, 35).writer, 103u);
+  EXPECT_EQ(store.ReadAsOf(7, 5).writer, 0u);
+  EXPECT_LT(store.ChainLength(7), 9u);
+  EXPECT_GT(store.pruned_total(), 0u);
+}
+
+TEST(VersionStoreTest, StaleObservationAlwaysDiffersFromCorrectRead) {
+  VersionStore store(nullptr);
+  uint64_t writer = 0;
+  // No chain: the break must not be consumed (a misreport would be
+  // indistinguishable from a correct base read).
+  EXPECT_FALSE(store.StaleObservation(7, 100, &writer));
+
+  store.Install(7, 101, 11, 10);
+  store.Install(7, 102, 22, 20);
+  // Correct read at ts=5 is the base (0): reports a committed writer.
+  ASSERT_TRUE(store.StaleObservation(7, 5, &writer));
+  EXPECT_NE(writer, store.ReadAsOf(7, 5).writer);
+  // Correct read is the oldest version: reports the base.
+  ASSERT_TRUE(store.StaleObservation(7, 15, &writer));
+  EXPECT_EQ(writer, 0u);
+  EXPECT_NE(writer, store.ReadAsOf(7, 15).writer);
+  // Correct read is a middle/tail version: reports the next-older one.
+  ASSERT_TRUE(store.StaleObservation(7, 25, &writer));
+  EXPECT_EQ(writer, 101u);
+  EXPECT_NE(writer, store.ReadAsOf(7, 25).writer);
+}
+
+TEST(VersionStoreTest, RebuildFromWalIsIdempotentAndSorted) {
+  // A migrated key's writes land in two partitions' logs; replaying both
+  // (twice — crash recovery replays checkpoint + log) must yield one
+  // timestamp-sorted chain with no duplicates.
+  storage::Wal log_a;
+  storage::Wal log_b;
+  log_a.AppendUpdate(201, MakeTuple(7, 11), /*commit_ts=*/10);
+  log_a.AppendUpdate(203, MakeTuple(7, 33), /*commit_ts=*/30);
+  log_b.AppendUpdate(202, MakeTuple(7, 22), /*commit_ts=*/20);
+  log_b.AppendUpdate(204, MakeTuple(9, 99), /*commit_ts=*/25);
+  log_b.AppendInsert(205, MakeTuple(9, 1));  // copy apply: not a version
+
+  VersionStore store(nullptr);
+  store.RebuildFromWal(log_a);
+  store.RebuildFromWal(log_b);
+  store.RebuildFromWal(log_a);  // replayed again: no duplicates
+  store.RebuildFromWal(log_b);
+
+  EXPECT_EQ(store.ChainLength(7), 3u);
+  EXPECT_EQ(store.ChainLength(9), 1u);
+  EXPECT_EQ(store.versions_live(), 4u);
+  // Sorted by commit timestamp despite interleaved logs.
+  EXPECT_EQ(store.ReadAsOf(7, 15).writer, 201u);
+  EXPECT_EQ(store.ReadAsOf(7, 25).writer, 202u);
+  EXPECT_EQ(store.ReadAsOf(7, 35).writer, 203u);
+  EXPECT_EQ(store.ReadAsOf(7, 35).value, 33);
+}
+
+TEST(SnapshotManagerTest, LifecycleAndOldestActive) {
+  SnapshotManager snapshots;
+  EXPECT_EQ(snapshots.OldestActive(), SnapshotManager::kNone);
+  EXPECT_EQ(snapshots.active_count(), 0u);
+
+  snapshots.Begin(1, 100);
+  snapshots.Begin(2, 50);
+  snapshots.Begin(3, 50);
+  EXPECT_EQ(snapshots.active_count(), 3u);
+  EXPECT_EQ(snapshots.OldestActive(), 50);
+
+  snapshots.End(2);
+  EXPECT_EQ(snapshots.OldestActive(), 50);  // txn 3 still holds 50
+  snapshots.End(3);
+  EXPECT_EQ(snapshots.OldestActive(), 100);
+  snapshots.End(3);  // idempotent
+  snapshots.End(1);
+  EXPECT_EQ(snapshots.OldestActive(), SnapshotManager::kNone);
+}
+
+TEST(SnapshotManagerTest, RetryReRegistersAtTheNewTimestamp) {
+  // A resubmitted attempt begins a fresh snapshot; the old registration
+  // must not linger and pin GC.
+  SnapshotManager snapshots;
+  snapshots.Begin(1, 100);
+  snapshots.Begin(1, 100);  // duplicate Begin: no double-count
+  EXPECT_EQ(snapshots.active_count(), 1u);
+  snapshots.Begin(1, 250);  // retry at a later virtual time
+  EXPECT_EQ(snapshots.active_count(), 1u);
+  EXPECT_EQ(snapshots.OldestActive(), 250);
+  snapshots.End(1);
+  EXPECT_EQ(snapshots.active_count(), 0u);
+}
+
+}  // namespace
+}  // namespace soap::mvcc

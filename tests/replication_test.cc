@@ -21,8 +21,10 @@ class ReplicationTest : public ::testing::Test {
  protected:
   static constexpr uint64_t kKeys = 100;
 
-  ReplicationTest()
-      : cluster_(&sim_, Config()),
+  ReplicationTest() : ReplicationTest(Config()) {}
+
+  explicit ReplicationTest(const cluster::ClusterConfig& config)
+      : cluster_(&sim_, config),
         tm_(&cluster_),
         catalog_(Spec(), cluster_.num_nodes()),
         history_(Spec().num_templates, 5),
@@ -194,6 +196,78 @@ TEST_F(ReplicationTest, ReplicationBalancesAcrossPartitions) {
   uint64_t per_partition[5] = {0, 0, 0, 0, 0};
   for (const auto& op : plan->ops) per_partition[op.target_partition]++;
   for (uint64_t c : per_partition) EXPECT_LE(c, 20u);  // no pile-up
+}
+
+// cc-mode matrix: replication correctness holds under MVCC too. Write
+// fan-out keeps replicas identical, and snapshots taken before or after a
+// kReplicaCreate read the same values — replica creation copies state, it
+// never installs a version.
+class MvccReplicationTest : public ReplicationTest {
+ protected:
+  MvccReplicationTest() : ReplicationTest(MvccConfig()) {}
+
+  static cluster::ClusterConfig MvccConfig() {
+    cluster::ClusterConfig c = Config();
+    c.isolation = cluster::IsolationLevel::kSerializable;
+    c.cc = mvcc::ConcurrencyControl::kMvcc;
+    return c;
+  }
+};
+
+TEST_F(MvccReplicationTest, WritesKeepReplicasIdenticalUnderMvcc) {
+  core::Repartitioner rp = MakeRepartitioner();
+  tm_.set_completion_callback(
+      [&rp](const txn::Transaction& t) { rp.OnTxnComplete(t); });
+  auto plan =
+      planner_.PlanReplication(cluster_.routing_table(), {0}, /*factor=*/3);
+  ASSERT_TRUE(rp.StartRepartitioningWithPlan(*plan));
+  sim_.Run();
+  // Replica creation copies the tuple; it is not a transactional write, so
+  // no version chain appears for key 0.
+  EXPECT_EQ(cluster_.versions().ChainLength(0), 0u);
+  const SimTime before_write = sim_.Now();
+
+  auto writer = std::make_unique<txn::Transaction>();
+  txn::Operation w;
+  w.kind = txn::OpKind::kWrite;
+  w.key = 0;
+  w.write_value = 4242;
+  writer->ops = {w};
+  tm_.Submit(std::move(writer));
+  sim_.Run();
+
+  Result<router::Placement> placement =
+      cluster_.routing_table().GetPlacement(0);
+  ASSERT_TRUE(placement.ok());
+  ASSERT_EQ(placement->copy_count(), 3u);
+  EXPECT_EQ(cluster_.storage(placement->primary).Read(0)->content, 4242);
+  for (uint32_t rep : placement->replicas) {
+    EXPECT_EQ(cluster_.storage(rep).Read(0)->content, 4242);
+  }
+  // The committed write installed exactly one version; a snapshot from
+  // before the write still reads the base, one from after reads 4242.
+  EXPECT_EQ(cluster_.versions().ChainLength(0), 1u);
+  EXPECT_EQ(cluster_.versions().ReadAsOf(0, before_write).writer, 0u);
+  EXPECT_EQ(cluster_.versions().ReadAsOf(0, sim_.Now() + 1).value, 4242);
+  EXPECT_TRUE(cluster_.CheckConsistency().ok());
+}
+
+TEST_F(MvccReplicationTest, EndToEndReplicationStaysConsistentUnderMvcc) {
+  core::Repartitioner rp = MakeRepartitioner();
+  tm_.set_completion_callback(
+      [&rp](const txn::Transaction& t) { rp.OnTxnComplete(t); });
+  auto plan = planner_.PlanReplication(cluster_.routing_table(),
+                                       {0, 1, 2, 3}, /*factor=*/2);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_TRUE(rp.StartRepartitioningWithPlan(*plan));
+  sim_.Run();
+  EXPECT_TRUE(rp.Finished());
+  for (storage::TupleKey k : {0ULL, 1ULL, 2ULL, 3ULL}) {
+    EXPECT_EQ(cluster_.routing_table().GetPlacement(k)->copy_count(), 2u);
+  }
+  // Repartition transactions hold no snapshots once drained.
+  EXPECT_EQ(cluster_.snapshots().active_count(), 0u);
+  EXPECT_TRUE(cluster_.CheckConsistency().ok());
 }
 
 }  // namespace
