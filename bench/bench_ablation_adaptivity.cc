@@ -27,18 +27,18 @@ int main() {
           strategy, soap::workload::PopularityDist::kZipf,
           /*high_load=*/false, /*alpha=*/1.0);
       if (!soap::bench::FastMode()) {
-        config.workload.num_templates /= 5;
-        config.workload.num_keys /= 5;
+        config.workload_options.spec.num_templates /= 5;
+        config.workload_options.spec.num_keys /= 5;
         config.measured_intervals = 60;
       }
       if (disturbed) {
-        config.disturbance.enabled = true;
-        config.disturbance.node = 0;
-        config.disturbance.start_interval = config.warmup_intervals;
-        config.disturbance.end_interval = config.warmup_intervals + 20;
+        config.fault_options.disturbance.enabled = true;
+        config.fault_options.disturbance.node = 0;
+        config.fault_options.disturbance.start_interval = config.warmup_intervals;
+        config.fault_options.disturbance.end_interval = config.warmup_intervals + 20;
         // 25% of one node = 5% of the cluster: enough to squeeze the
         // margin the schedulers work in, not enough to sink the node.
-        config.disturbance.fraction = 0.25;
+        config.fault_options.disturbance.fraction = 0.25;
       }
       soap::engine::ExperimentResult r =
           soap::engine::Experiment(config).Run();

@@ -28,8 +28,8 @@ int main() {
           strategy, soap::workload::PopularityDist::kZipf,
           /*high_load=*/true, /*alpha=*/1.0);
       if (!soap::bench::FastMode()) {
-        config.workload.num_templates /= 5;
-        config.workload.num_keys /= 5;
+        config.workload_options.spec.num_templates /= 5;
+        config.workload_options.spec.num_keys /= 5;
         config.measured_intervals = 60;
       }
       config.cluster.isolation = isolation;

@@ -36,11 +36,11 @@ int main() {
       // The giant-transaction mode is pathological by design; a reduced
       // horizon keeps the ablation affordable while the contrast is
       // already unmistakable.
-      config.workload.num_templates /= 5;
-      config.workload.num_keys /= 5;
+      config.workload_options.spec.num_templates /= 5;
+      config.workload_options.spec.num_keys /= 5;
       config.measured_intervals = 60;
     }
-    config.packaging = m.mode;
+    config.deployment.packaging = m.mode;
     soap::engine::ExperimentResult r = soap::engine::Experiment(config).Run();
     std::printf("%-28s %-10d %-12.3f %-14.0f %-12.0f %-10llu %-12llu\n",
                 m.name, r.RepartitionCompletedAt(),

@@ -34,11 +34,11 @@ int main() {
         soap::workload::PopularityDist::kZipf, /*high_load=*/true,
         /*alpha=*/1.0);
     if (!soap::bench::FastMode()) {
-      config.workload.num_templates /= 5;
-      config.workload.num_keys /= 5;
+      config.workload_options.spec.num_templates /= 5;
+      config.workload_options.spec.num_keys /= 5;
       config.measured_intervals = 60;
     }
-    config.feedback.gains = c.gains;
+    config.deployment.feedback.gains = c.gains;
     soap::engine::ExperimentResult r = soap::engine::Experiment(config).Run();
     double pv = 0.0;
     int n = 0;

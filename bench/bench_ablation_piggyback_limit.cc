@@ -18,11 +18,11 @@ int main() {
         soap::workload::PopularityDist::kZipf, /*high_load=*/true,
         /*alpha=*/1.0);
     if (!soap::bench::FastMode()) {
-      config.workload.num_templates /= 5;
-      config.workload.num_keys /= 5;
+      config.workload_options.spec.num_templates /= 5;
+      config.workload_options.spec.num_keys /= 5;
       config.measured_intervals = 60;
     }
-    config.piggyback.max_ops_per_carrier = limit;
+    config.deployment.piggyback.max_ops_per_carrier = limit;
     soap::engine::ExperimentResult r = soap::engine::Experiment(config).Run();
     std::printf("%-8u %-10d %-12.3f %-14.0f %-12.0f %-12llu %-14llu\n",
                 limit, r.RepartitionCompletedAt(),

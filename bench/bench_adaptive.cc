@@ -114,17 +114,17 @@ int main(int argc, char** argv) {
         ExperimentConfig config = soap::bench::MakeCellConfig(
             strategy, soap::workload::PopularityDist::kZipf,
             /*high_load=*/true, /*alpha=*/1.0, seed);
-        config.utilization = scenario.utilization;
-        config.workload.num_keys = fast ? 5'000 : 20'000;
-        config.workload.num_templates = fast ? 200 : 800;
+        config.workload_options.utilization = scenario.utilization;
+        config.workload_options.spec.num_keys = fast ? 5'000 : 20'000;
+        config.workload_options.spec.num_templates = fast ? 200 : 800;
         config.warmup_intervals = warmup;
         config.measured_intervals = measured;
-        config.workload = scenario.drift(config.workload, warmup, num_phases,
+        config.workload_options.spec = scenario.drift(config.workload_options.spec, warmup, num_phases,
                                          phase_len);
         if (adaptive == 1) {
-          config.planner.enabled = true;
-          config.planner.replan_period = 2;
-          config.planner.min_plan_ops = 8;
+          config.planner_options.enabled = true;
+          config.planner_options.replan_period = 2;
+          config.planner_options.min_plan_ops = 8;
         }
         cells.push_back(soap::engine::ExperimentCell{std::move(config)});
       }

@@ -73,17 +73,17 @@ engine::ExperimentConfig MakeCellConfig(SchedulingStrategy strategy,
                                         bool high_load, double alpha,
                                         uint64_t seed) {
   engine::ExperimentConfig config;
-  config.workload = distribution == workload::PopularityDist::kZipf
+  config.workload_options.spec = distribution == workload::PopularityDist::kZipf
                         ? workload::WorkloadSpec::Zipf(alpha)
                         : workload::WorkloadSpec::Uniform(alpha);
-  config.utilization = high_load ? workload::kHighLoadUtilization
+  config.workload_options.utilization = high_load ? workload::kHighLoadUtilization
                                  : workload::kLowLoadUtilization;
-  config.strategy = strategy;
-  config.feedback.sp = Table1Sp(strategy, distribution, high_load, alpha);
+  config.deployment.strategy = strategy;
+  config.deployment.feedback.sp = Table1Sp(strategy, distribution, high_load, alpha);
   config.seed = seed;
   if (FastMode()) {
-    config.workload.num_templates /= 10;
-    config.workload.num_keys /= 10;
+    config.workload_options.spec.num_templates /= 10;
+    config.workload_options.spec.num_keys /= 10;
     config.warmup_intervals = 5;
     config.measured_intervals = 30;
   }

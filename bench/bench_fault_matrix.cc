@@ -68,11 +68,11 @@ int main(int argc, char** argv) {
       ExperimentConfig config = soap::bench::MakeCellConfig(
           strategy, soap::workload::PopularityDist::kZipf,
           /*high_load=*/false, /*alpha=*/1.0);
-      config.workload.num_keys = fast ? 5'000 : 20'000;
-      config.workload.num_templates = fast ? 200 : 800;
+      config.workload_options.spec.num_keys = fast ? 5'000 : 20'000;
+      config.workload_options.spec.num_templates = fast ? 200 : 800;
       config.warmup_intervals = fast ? 2 : 3;
       config.measured_intervals = fast ? 6 : 12;
-      config.fault_spec = scenario.spec;
+      config.fault_options.spec = scenario.spec;
       // Every cell runs with the consistency checker on: the matrix is
       // exactly the fault surface the checker exists to guard, and the
       // JSON verdict below feeds the chaos-smoke CI job.

@@ -314,8 +314,8 @@ double MeasurePanelSeconds(unsigned threads) {
       soap::engine::ExperimentConfig config = soap::bench::MakeCellConfig(
           strategy, soap::workload::PopularityDist::kZipf,
           /*high_load=*/true, alpha);
-      config.workload.num_templates = 2'345;
-      config.workload.num_keys = 50'000;
+      config.workload_options.spec.num_templates = 2'345;
+      config.workload_options.spec.num_keys = 50'000;
       config.warmup_intervals = 2;
       config.measured_intervals = 6;
       cells.push_back(soap::engine::ExperimentCell{std::move(config)});

@@ -55,9 +55,9 @@ engine::ExperimentConfig BaseConfig(bool smoke) {
   pairing.pair_fraction = 0.35;
   pairing.pair_hub = smoke ? 40 : 100;
   spec.phases.push_back(pairing);
-  config.workload = spec;
+  config.workload_options.spec = spec;
 
-  config.utilization = workload::kHighLoadUtilization;
+  config.workload_options.utilization = workload::kHighLoadUtilization;
   config.warmup_intervals = smoke ? 3 : 5;
   config.measured_intervals = smoke ? 15 : 40;
   config.seed = 42;
@@ -134,7 +134,7 @@ int main(int argc, char** argv) {
   std::vector<engine::ExperimentCell> cells;
   for (SchedulingStrategy strategy : bench::AllStrategies()) {
     engine::ExperimentConfig two_pl = BaseConfig(smoke);
-    two_pl.strategy = strategy;
+    two_pl.deployment.strategy = strategy;
     engine::ExperimentConfig mvcc_cfg = two_pl;
     mvcc_cfg.cluster.cc = mvcc::ConcurrencyControl::kMvcc;
     bench::ApplyObsEnv(&two_pl,

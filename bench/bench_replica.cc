@@ -55,13 +55,13 @@ engine::ExperimentConfig BaseConfig(bool smoke) {
   pairing.pair_fraction = 0.35;
   pairing.pair_hub = smoke ? 40 : 100;
   spec.phases.push_back(pairing);
-  config.workload = spec;
+  config.workload_options.spec = spec;
 
-  config.utilization = workload::kHighLoadUtilization;
+  config.workload_options.utilization = workload::kHighLoadUtilization;
   config.warmup_intervals = smoke ? 3 : 5;
   config.measured_intervals = smoke ? 15 : 40;
   config.seed = 42;
-  config.planner.enabled = true;
+  config.planner_options.enabled = true;
   return config;
 }
 
@@ -123,7 +123,7 @@ int main(int argc, char** argv) {
   std::vector<engine::ExperimentCell> cells;
   for (SchedulingStrategy strategy : bench::AllStrategies()) {
     engine::ExperimentConfig base = BaseConfig(smoke);
-    base.strategy = strategy;
+    base.deployment.strategy = strategy;
     engine::ExperimentConfig replicas = WithReplicas(base);
     bench::ApplyObsEnv(&base,
                        std::string(StrategyName(strategy)) + "_migration");
@@ -191,12 +191,12 @@ int main(int argc, char** argv) {
   // is down (nonzero replica-read fraction during the outage intervals).
   engine::ExperimentConfig crash_config =
       WithReplicas(BaseConfig(smoke));
-  crash_config.strategy = SchedulingStrategy::kHybrid;
+  crash_config.deployment.strategy = SchedulingStrategy::kHybrid;
   const uint32_t crash_interval = crash_config.warmup_intervals +
                                   (smoke ? 6 : 10);
   const long crash_at = static_cast<long>(crash_interval) * 20;
   const long down_for = 40;
-  crash_config.fault_spec = "crash:node=2,at=" + std::to_string(crash_at) +
+  crash_config.fault_options.spec = "crash:node=2,at=" + std::to_string(crash_at) +
                             "s,down=" + std::to_string(down_for) + "s";
   bench::ApplyObsEnv(&crash_config, "hybrid_crash_failover");
   engine::ExperimentResult crash_run =

@@ -63,23 +63,23 @@ double SecondsSince(std::chrono::steady_clock::time_point t0) {
 ExperimentConfig MakeScaleConfig(uint64_t num_keys, uint32_t nodes,
                                  uint64_t sketch_threshold) {
   ExperimentConfig config;
-  config.workload = soap::workload::WorkloadSpec::Zipf(/*alpha=*/1.0);
-  config.workload.num_keys = num_keys;
+  config.workload_options.spec = soap::workload::WorkloadSpec::Zipf(/*alpha=*/1.0);
+  config.workload_options.spec.num_keys = num_keys;
   config.cluster.num_nodes = nodes;
-  config.utilization = soap::workload::kHighLoadUtilization;
-  config.strategy = soap::SchedulingStrategy::kHybrid;
-  config.feedback.sp = 1.05;
+  config.workload_options.utilization = soap::workload::kHighLoadUtilization;
+  config.deployment.strategy = soap::SchedulingStrategy::kHybrid;
+  config.deployment.feedback.sp = 1.05;
   config.warmup_intervals = 2;
   config.measured_intervals = 4;
-  config.planner.enabled = true;
-  config.planner.replan_period = 2;
+  config.planner_options.enabled = true;
+  config.planner_options.replan_period = 2;
   config.scale.sketch_threshold = sketch_threshold;
   soap::workload::DriftPhase hub;
   hub.start_interval = 2;
-  hub.zipf_s = config.workload.zipf_s;
+  hub.zipf_s = config.workload_options.spec.zipf_s;
   hub.pair_fraction = 0.3;
   hub.pair_hub = 16;
-  config.workload.phases.push_back(hub);
+  config.workload_options.spec.phases.push_back(hub);
   config.seed = 42;
   return config;
 }

@@ -59,8 +59,8 @@ int main() {
           soap::engine::ExperimentConfig config =
               soap::bench::MakeCellConfig(strategy, dist, high, alpha);
           if (!full) {
-            config.workload.num_templates /= 10;
-            config.workload.num_keys /= 10;
+            config.workload_options.spec.num_templates /= 10;
+            config.workload_options.spec.num_keys /= 10;
             config.warmup_intervals = 5;
             config.measured_intervals = 40;
           }
@@ -81,7 +81,7 @@ int main() {
                       soap::StrategyName(strategy),
                       dist == PopularityDist::kZipf ? "Zipf" : "Uniform",
                       high ? "high" : "low", alpha * 100.0,
-                      config.feedback.sp - 1.0, achieved,
+                      config.deployment.feedback.sp - 1.0, achieved,
                       r.RepartitionCompletedAt());
           std::fflush(stdout);
         }

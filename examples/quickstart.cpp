@@ -15,14 +15,14 @@ int main() {
   engine::ExperimentConfig config;
   // Scaled-down workload: 2,000 Zipf templates over 50,000 tuples,
   // alpha = 100% (every template starts distributed).
-  config.workload = workload::WorkloadSpec::Zipf(/*alpha=*/1.0);
-  config.workload.num_templates = 2'000;
-  config.workload.num_keys = 50'000;
-  config.utilization = workload::kHighLoadUtilization;
+  config.workload_options.spec = workload::WorkloadSpec::Zipf(/*alpha=*/1.0);
+  config.workload_options.spec.num_templates = 2'000;
+  config.workload_options.spec.num_keys = 50'000;
+  config.workload_options.utilization = workload::kHighLoadUtilization;
   config.warmup_intervals = 5;
   config.measured_intervals = 40;
-  config.strategy = SchedulingStrategy::kHybrid;
-  config.feedback.sp = 1.05;  // Table 1, Zipf / HighLoad
+  config.deployment.strategy = SchedulingStrategy::kHybrid;
+  config.deployment.feedback.sp = 1.05;  // Table 1, Zipf / HighLoad
   config.seed = 42;
 
   engine::Experiment experiment(config);

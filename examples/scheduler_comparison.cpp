@@ -19,14 +19,14 @@ int main() {
         SchedulingStrategy::kFeedback, SchedulingStrategy::kPiggyback,
         SchedulingStrategy::kHybrid}) {
     engine::ExperimentConfig config;
-    config.workload = workload::WorkloadSpec::Zipf(/*alpha=*/0.6);
-    config.workload.num_templates = 3'000;
-    config.workload.num_keys = 60'000;
-    config.utilization = workload::kHighLoadUtilization;
+    config.workload_options.spec = workload::WorkloadSpec::Zipf(/*alpha=*/0.6);
+    config.workload_options.spec.num_templates = 3'000;
+    config.workload_options.spec.num_keys = 60'000;
+    config.workload_options.utilization = workload::kHighLoadUtilization;
     config.warmup_intervals = 5;
     config.measured_intervals = 45;
-    config.strategy = strategy;
-    config.feedback.sp = 1.05;
+    config.deployment.strategy = strategy;
+    config.deployment.feedback.sp = 1.05;
     config.seed = 2026;
     engine::ExperimentResult r = engine::Experiment(config).Run();
     std::printf("%-10s %5d  %13.0f  %11.0f  %11.0f  %8.3f  %9.3f\n",

@@ -27,6 +27,11 @@ enum class BreakMode {
   /// than the one visible at the reader's begin timestamp (must trip
   /// stale_snapshot_read). Only meaningful under --cc=mvcc.
   kStaleSnapshot,
+  /// Half-apply one leader shift: retarget the primary without absorbing
+  /// the target's replica entry or demoting the old primary, so the key
+  /// briefly lists a partition twice and strands the old copy (must trip
+  /// double_primary / ownership). Only meaningful under --lion.
+  kDoublePrimary,
 };
 
 inline const char* BreakModeName(BreakMode mode) {
@@ -36,6 +41,7 @@ inline const char* BreakModeName(BreakMode mode) {
     case BreakMode::kDoubleDeploy: return "double_deploy";
     case BreakMode::kLostWrite: return "lost_write";
     case BreakMode::kStaleSnapshot: return "stale_snapshot";
+    case BreakMode::kDoublePrimary: return "double_primary";
   }
   return "none";
 }
@@ -53,6 +59,8 @@ inline bool ParseBreakMode(const std::string& text, BreakMode* mode) {
     *mode = BreakMode::kLostWrite;
   } else if (text == "stale_snapshot") {
     *mode = BreakMode::kStaleSnapshot;
+  } else if (text == "double_primary") {
+    *mode = BreakMode::kDoublePrimary;
   } else {
     return false;
   }

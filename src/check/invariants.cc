@@ -201,4 +201,61 @@ void InvariantEngine::OnPromotion(storage::TupleKey key, uint32_t new_primary,
   }
 }
 
+void InvariantEngine::OnLeaderShift(storage::TupleKey key,
+                                    uint32_t new_primary, SimTime now) {
+  checks_run_++;
+  auto& routing = cluster_->routing_table();
+  Result<router::Placement> placement = routing.GetPlacement(key);
+  if (!placement.ok()) {
+    Violate("double_primary",
+            "key " + std::to_string(key) +
+                " shifted but has no placement at all",
+            now);
+    return;
+  }
+  if (placement->primary != new_primary) {
+    Violate("double_primary",
+            "key " + std::to_string(key) + " shifted to partition " +
+                std::to_string(new_primary) +
+                " but the routing table names partition " +
+                std::to_string(placement->primary) + " primary",
+            now);
+  }
+  // A half-applied swap leaves the new primary listed both as primary and
+  // as a leftover replica — exactly two entries for one partition.
+  std::vector<uint32_t> copies;
+  copies.push_back(placement->primary);
+  for (uint32_t r : placement->replicas) copies.push_back(r);
+  for (size_t i = 0; i < copies.size(); ++i) {
+    for (size_t j = i + 1; j < copies.size(); ++j) {
+      if (copies[i] == copies[j]) {
+        Violate("double_primary",
+                "key " + std::to_string(key) +
+                    " lists partition " + std::to_string(copies[i]) +
+                    " twice after a leader shift",
+                now);
+      }
+    }
+  }
+  const uint64_t epoch = routing.PlacementEpoch(key);
+  auto [it, inserted] = last_epoch_.try_emplace(key, epoch);
+  if (!inserted) {
+    if (epoch <= it->second) {
+      Violate("epoch_monotonic",
+              "key " + std::to_string(key) + " shifted with epoch " +
+                  std::to_string(epoch) + " not above the last observed " +
+                  std::to_string(it->second),
+              now);
+    }
+    it->second = epoch;
+  }
+  if (new_primary >= cluster_->num_nodes() || NodeDown(new_primary)) return;
+  if (!cluster_->storage(new_primary).Contains(key)) {
+    Violate("double_primary",
+            "key " + std::to_string(key) + " shifted to partition " +
+                std::to_string(new_primary) + " which stores no copy",
+            now);
+  }
+}
+
 }  // namespace soap::check

@@ -67,6 +67,14 @@ class InvariantEngine {
   /// promoted copy must be stored on a live node.
   void OnPromotion(storage::TupleKey key, uint32_t new_primary, SimTime now);
 
+  /// Key `key` completed a planner leader shift onto `new_primary`: the
+  /// routing table must now name exactly that partition as primary, no
+  /// partition may appear twice in the placement (a half-applied swap
+  /// leaves the new primary doubled — the double_primary violation), and
+  /// the new primary must store a copy.
+  void OnLeaderShift(storage::TupleKey key, uint32_t new_primary,
+                     SimTime now);
+
   const std::vector<Violation>& violations() const { return violations_; }
   uint64_t checks_run() const { return checks_run_; }
   bool ok() const { return violations_.empty(); }

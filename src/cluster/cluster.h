@@ -41,6 +41,9 @@ struct ExecutionCosts {
   Duration migrate_delete = Millis(3);   ///< drop one tuple at source
   Duration replica_create = Millis(15);
   Duration replica_delete = Millis(3);
+  /// Swap primary/replica roles for one key (no data copied; the target
+  /// already holds the bytes, so this is metadata + a WAL refresh record).
+  Duration leader_shift = Millis(3);
   /// Abort a lock wait after this long (PostgreSQL lock_timeout analogue;
   /// also the backstop for distributed deadlocks).
   Duration lock_timeout = Seconds(30);

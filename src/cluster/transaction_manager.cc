@@ -578,6 +578,43 @@ void TransactionManager::RunOp(const ExecPtr& e, size_t op_index) {
                   JobClass::kBulk, advance);
       return;
     }
+    case OpKind::kLeaderShift: {
+      // Stale-plan guards: the source must still be the primary and the
+      // target must still hold the replica being promoted; anything else
+      // means another transaction raced this plan unit (a concurrent
+      // migration, drop, or failover promotion) and the swap is skipped.
+      Result<router::Placement> placement = routing.GetPlacement(op.key);
+      if (!placement.ok() || placement->primary != op.source_partition ||
+          !placement->HasReplicaOn(op.target_partition) ||
+          op.source_partition == op.target_partition) {
+        e->skipped_rep_ops.insert(op.repartition_op_id);
+        advance();
+        return;
+      }
+      Result<storage::Tuple> tuple =
+          cluster_->storage(op.source_partition).Read(op.key);
+      if (!tuple.ok()) {
+        e->skipped_rep_ops.insert(op.repartition_op_id);
+        advance();
+        return;
+      }
+      const uint32_t src = op.source_partition;
+      const uint32_t dst = op.target_partition;
+      if (cluster_->node(src).down() || cluster_->node(dst).down()) {
+        AbortTransaction(e, AbortReason::kNodeCrash);
+        return;
+      }
+      // No data moves — the target already stores the bytes. The primary's
+      // current content is staged so phase 2 can write a WAL refresh
+      // record at the new leader, making the swap crash-safe: replaying
+      // the target's WAL reproduces the promoted copy exactly.
+      e->staged[op.key] = *tuple;
+      e->AddParticipant(src);
+      e->AddParticipant(dst);
+      cluster_->node(dst).RunJob(costs.leader_shift, CategoryFor(e, op),
+                                 JobClass::kBulk, advance);
+      return;
+    }
   }
 }
 
@@ -757,6 +794,31 @@ Status TransactionManager::ApplyAtPartition(const ExecPtr& e,
     }
     note(cluster_->storage(partition).ApplyInsert(txn.id, staged->second));
   }
+  // Leader shifts: write a WAL refresh record at the new leader with the
+  // content staged from the old primary. The target already stores the
+  // bytes (shift requires a live replica there), so this is storage-level
+  // a no-op refresh — but it makes the promotion durable: WAL replay at
+  // the new leader reproduces the promoted copy without consulting the
+  // demoted one. ApplyUpdate is idempotent under replay. The refresh
+  // applies as txn 0 (the catch-up-refresh convention): the carrier
+  // commits no version of the key, so history attribution must stay on
+  // the committed chain tail, which cannot move while the carrier holds
+  // the key's exclusive lock.
+  for (size_t i = 0; i < total; ++i) {
+    Operation& op = OpAt(e, i);
+    if (skipped(op) || op.kind != OpKind::kLeaderShift) continue;
+    if (op.target_partition != partition) continue;
+    auto staged = e->staged.find(op.key);
+    if (staged == e->staged.end()) {
+      note(Status::Internal("no staged tuple for shifted key " +
+                            std::to_string(op.key)));
+      continue;
+    }
+    Status s = cluster_->storage(partition)
+                   .ApplyUpdate(0, op.key, staged->second.content,
+                                cluster_->mvcc_enabled() ? sim_->Now() : 0);
+    if (!s.ok() && !s.IsNotFound()) note(std::move(s));
+  }
   // Pass 2: direct write applies. kMigrateDelete / kReplicaDelete are
   // deferred to ApplyRoutingUpdates so the tuple stays reachable until
   // the routing flip (Zephyr-style late source cleanup).
@@ -795,7 +857,8 @@ obs::TxnKind TransactionManager::KindOf(const txn::Transaction& t) {
   if (t.is_repartition) {
     for (const txn::Operation& op : t.ops) {
       if (op.kind == txn::OpKind::kMigrateInsert ||
-          op.kind == txn::OpKind::kMigrateDelete) {
+          op.kind == txn::OpKind::kMigrateDelete ||
+          op.kind == txn::OpKind::kLeaderShift) {
         return obs::TxnKind::kRepartition;
       }
     }
@@ -884,6 +947,28 @@ void TransactionManager::ApplyRoutingUpdates(const ExecPtr& e) {
         }
         break;
       }
+      case OpKind::kLeaderShift: {
+        // Deliberate-corruption hook: retarget the primary without the
+        // swap — the target stays listed as a replica (doubled in the
+        // placement) and the old primary strands its copy (must trip
+        // double_primary / ownership).
+        if (FireBreak(check::BreakMode::kDoublePrimary)) {
+          Status s = routing.SetPrimary(op.key, op.target_partition);
+          (void)s;
+        } else {
+          Status s = routing.Promote(op.key, op.target_partition);
+          if (!s.ok()) {
+            SOAP_LOG(kWarn) << "leader shift flip failed: " << s.ToString();
+            break;
+          }
+          counters_.leader_shifts_applied++;
+          if (flows_ != nullptr) flows_->OnLeaderShift(op.target_partition);
+        }
+        if (leader_shift_hook_) {
+          leader_shift_hook_(op.key, op.target_partition);
+        }
+        break;
+      }
     }
   }
 }
@@ -959,6 +1044,33 @@ void TransactionManager::FinishCommit(const ExecPtr& e) {
       if (!seen && span < 8) span_partitions[span++] = op.source_partition;
     }
     if (span > 1) counters_.committed_normal_distributed++;
+    // Write distribution: a committed write is "distributed" when its
+    // writes fan out to more than one storage site (another partition's
+    // query, or write-through to HA replicas). Leader shifting exists to
+    // drive this toward zero for write-hot keys.
+    uint32_t wspan_partitions[8];
+    uint32_t wspan = 0;
+    bool has_write = false;
+    auto note_wp = [&](uint32_t p) {
+      for (uint32_t i = 0; i < wspan; ++i) {
+        if (wspan_partitions[i] == p) return;
+      }
+      if (wspan < 8) wspan_partitions[wspan++] = p;
+    };
+    for (const Operation& op : txn.ops) {
+      if (op.repartition_op_id != 0 || op.kind != OpKind::kWrite) continue;
+      has_write = true;
+      note_wp(op.source_partition);
+      Result<router::Placement> placement =
+          cluster_->routing_table().GetPlacement(op.key);
+      if (placement.ok()) {
+        for (router::PartitionId rep : placement->replicas) note_wp(rep);
+      }
+    }
+    if (has_write) {
+      counters_.committed_normal_with_writes++;
+      if (wspan > 1) counters_.committed_normal_distributed_writes++;
+    }
   }
   if (m_latency_committed_) {
     m_latency_committed_->RecordMicros(txn.finish_time - txn.submit_time);

@@ -40,6 +40,14 @@ struct TmCounters {
   /// Repartition operations (plan units) applied, standalone or
   /// piggybacked.
   uint64_t repartition_ops_applied = 0;
+  /// Committed kLeaderShift ops (primary/replica role swaps).
+  uint64_t leader_shifts_applied = 0;
+  /// Committed normal transactions that performed at least one write, and
+  /// the subset whose *writes* spanned more than one partition (replica
+  /// fan-out included) — the numerator of the distributed-write ratio
+  /// leader shifting drives down.
+  uint64_t committed_normal_with_writes = 0;
+  uint64_t committed_normal_distributed_writes = 0;
   /// The subset of the above that rode on normal transactions (§3.4).
   uint64_t piggybacked_ops_applied = 0;
   /// Aborts of normal transactions that carried piggybacked ops.
@@ -133,9 +141,18 @@ class TransactionManager {
   void set_tracer(obs::TxnTracer* tracer) { tracer_ = tracer; }
 
   /// Attaches the timeline's per-partition flow counters; committed
-  /// routing changes (migrations, replica creates/drops) tick them.
-  /// nullptr (default) detaches.
+  /// routing changes (migrations, replica creates/drops, leader shifts)
+  /// tick them. nullptr (default) detaches.
   void set_partition_flows(obs::PartitionFlows* flows) { flows_ = flows; }
+
+  /// Fired after a kLeaderShift's routing flip commits, with the key and
+  /// the new primary partition; the consistency checker uses it to assert
+  /// a shifted key still has exactly one primary. nullptr (default)
+  /// detaches — one branch on the shift path only.
+  using LeaderShiftHook = std::function<void(storage::TupleKey, uint32_t)>;
+  void set_leader_shift_hook(LeaderShiftHook hook) {
+    leader_shift_hook_ = std::move(hook);
+  }
 
   /// What kind of transaction this is, for trace tagging and audit
   /// reports: pure repartition work splits into migration-bearing
@@ -232,6 +249,7 @@ class TransactionManager {
   obs::Counter* m_aborts_by_reason_[16] = {};
   CompletionCallback completion_cb_;
   PreExecutionHook pre_execution_hook_;
+  LeaderShiftHook leader_shift_hook_;
   std::function<bool(const txn::Transaction&, uint32_t)>
       vote_abort_injector_;
   std::unordered_map<txn::TxnId, ExecPtr> inflight_;

@@ -159,18 +159,18 @@ void AppendOps(const RepartitionTxn& rt, std::vector<txn::Operation>* out) {
   // take their commit locks in sorted key order too — under one global
   // lock order, which prevents deadlocks between carriers, repartition
   // transactions and normal commits.
-  std::vector<const repartition::RepartitionOp*> ordered;
+  std::vector<const repartition::PlacementAction*> ordered;
   ordered.reserve(rt.ops.size());
-  for (const repartition::RepartitionOp& op : rt.ops) ordered.push_back(&op);
+  for (const repartition::PlacementAction& op : rt.ops) ordered.push_back(&op);
   std::sort(ordered.begin(), ordered.end(),
-            [](const repartition::RepartitionOp* a,
-               const repartition::RepartitionOp* b) {
+            [](const repartition::PlacementAction* a,
+               const repartition::PlacementAction* b) {
               return a->key < b->key;
             });
-  for (const repartition::RepartitionOp* op_ptr : ordered) {
-    const repartition::RepartitionOp& op = *op_ptr;
-    switch (op.type) {
-      case repartition::RepartitionOpType::kObjectsMigration: {
+  for (const repartition::PlacementAction* op_ptr : ordered) {
+    const repartition::PlacementAction& op = *op_ptr;
+    switch (op.kind) {
+      case repartition::PlacementKind::kMigrate: {
         txn::Operation insert;
         insert.kind = txn::OpKind::kMigrateInsert;
         insert.key = op.key;
@@ -187,7 +187,7 @@ void AppendOps(const RepartitionTxn& rt, std::vector<txn::Operation>* out) {
         out->push_back(erase);
         break;
       }
-      case repartition::RepartitionOpType::kNewReplicaCreation: {
+      case repartition::PlacementKind::kReplicaCreate: {
         txn::Operation create;
         create.kind = txn::OpKind::kReplicaCreate;
         create.key = op.key;
@@ -197,13 +197,23 @@ void AppendOps(const RepartitionTxn& rt, std::vector<txn::Operation>* out) {
         out->push_back(create);
         break;
       }
-      case repartition::RepartitionOpType::kReplicaDeletion: {
+      case repartition::PlacementKind::kReplicaDrop: {
         txn::Operation del;
         del.kind = txn::OpKind::kReplicaDelete;
         del.key = op.key;
         del.source_partition = op.source_partition;
         del.repartition_op_id = op.id;
         out->push_back(del);
+        break;
+      }
+      case repartition::PlacementKind::kLeaderShift: {
+        txn::Operation shift;
+        shift.kind = txn::OpKind::kLeaderShift;
+        shift.key = op.key;
+        shift.source_partition = op.source_partition;
+        shift.target_partition = op.target_partition;
+        shift.repartition_op_id = op.id;
+        out->push_back(shift);
         break;
       }
     }

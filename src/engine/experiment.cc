@@ -9,6 +9,7 @@
 #include "src/common/histogram.h"
 #include "src/common/logging.h"
 #include "src/fault/fault_injector.h"
+#include "src/lion/provisioner.h"
 #include "src/workload/trace.h"
 
 namespace soap::engine {
@@ -33,83 +34,6 @@ std::unique_ptr<core::Scheduler> MakeScheduler(
     }
   }
   return nullptr;
-}
-
-// The deprecated-alias references are rebound by each object's NSDMIs, so
-// copying/moving a config must copy only the value members; a defaulted
-// copy would try (and fail) to re-seat the references.
-ExperimentConfig::ExperimentConfig(const ExperimentConfig& o)
-    : workload_options(o.workload_options),
-      cluster(o.cluster),
-      warmup_intervals(o.warmup_intervals),
-      measured_intervals(o.measured_intervals),
-      interval_length(o.interval_length),
-      deployment(o.deployment),
-      fault_options(o.fault_options),
-      planner_options(o.planner_options),
-      replicas(o.replicas),
-      scale(o.scale),
-      check(o.check),
-      obs(o.obs),
-      drain_and_audit(o.drain_and_audit),
-      drain_cap(o.drain_cap),
-      seed(o.seed) {}
-
-ExperimentConfig::ExperimentConfig(ExperimentConfig&& o) noexcept
-    : workload_options(std::move(o.workload_options)),
-      cluster(std::move(o.cluster)),
-      warmup_intervals(o.warmup_intervals),
-      measured_intervals(o.measured_intervals),
-      interval_length(o.interval_length),
-      deployment(std::move(o.deployment)),
-      fault_options(std::move(o.fault_options)),
-      planner_options(std::move(o.planner_options)),
-      replicas(o.replicas),
-      scale(o.scale),
-      check(std::move(o.check)),
-      obs(std::move(o.obs)),
-      drain_and_audit(o.drain_and_audit),
-      drain_cap(o.drain_cap),
-      seed(o.seed) {}
-
-ExperimentConfig& ExperimentConfig::operator=(const ExperimentConfig& o) {
-  if (this == &o) return *this;
-  workload_options = o.workload_options;
-  cluster = o.cluster;
-  warmup_intervals = o.warmup_intervals;
-  measured_intervals = o.measured_intervals;
-  interval_length = o.interval_length;
-  deployment = o.deployment;
-  fault_options = o.fault_options;
-  planner_options = o.planner_options;
-  replicas = o.replicas;
-  scale = o.scale;
-  check = o.check;
-  obs = o.obs;
-  drain_and_audit = o.drain_and_audit;
-  drain_cap = o.drain_cap;
-  seed = o.seed;
-  return *this;
-}
-
-ExperimentConfig& ExperimentConfig::operator=(ExperimentConfig&& o) noexcept {
-  if (this == &o) return *this;
-  workload_options = std::move(o.workload_options);
-  cluster = std::move(o.cluster);
-  warmup_intervals = o.warmup_intervals;
-  measured_intervals = o.measured_intervals;
-  interval_length = o.interval_length;
-  deployment = std::move(o.deployment);
-  fault_options = std::move(o.fault_options);
-  planner_options = std::move(o.planner_options);
-  replicas = o.replicas;
-  scale = o.scale;
-  check = std::move(o.check);
-  obs = std::move(o.obs);
-  drain_and_audit = o.drain_and_audit;
-  drain_cap = o.drain_cap;
-  seed = o.seed;
-  return *this;
 }
 
 Status ExperimentConfig::Validate() const {
@@ -191,6 +115,32 @@ Status ExperimentConfig::Validate() const {
         "planner.builder.replicate_read_heavy requires replicas.enabled "
         "(the transaction layer must be replica-aware to maintain copies)");
   }
+  if (lion.replica_budget < 0) {
+    return Status::InvalidArgument("lion.replica_budget must be >= 0");
+  }
+  {
+    lion::EvictPolicy policy = lion::EvictPolicy::kLru;
+    if (!lion::ParseEvictPolicy(lion.evict, &policy)) {
+      return Status::InvalidArgument("unknown lion.evict policy: " +
+                                     lion.evict + " (expected lru or heat)");
+    }
+  }
+  if (lion.shift_threshold <= 0.0 || lion.shift_threshold > 1.0) {
+    return Status::InvalidArgument(
+        "lion.shift_threshold must be in (0, 1]");
+  }
+  if (lion.enabled) {
+    if (!replicas.enabled) {
+      return Status::InvalidArgument(
+          "lion requires replicas.enabled (adaptive provisioning manages "
+          "replica copies)");
+    }
+    if (!planner_options.enabled) {
+      return Status::InvalidArgument(
+          "lion requires planner.enabled (provisioning decisions ride the "
+          "online replan cycle)");
+    }
+  }
   if (!check.break_mode.empty()) {
     check::BreakMode mode = check::BreakMode::kNone;
     if (!check::ParseBreakMode(check.break_mode, &mode)) {
@@ -208,6 +158,11 @@ Status ExperimentConfig::Validate() const {
           "--check_break=stale_snapshot needs --cc=mvcc: without snapshot "
           "reads there is no snapshot observation to corrupt");
     }
+    if (mode == check::BreakMode::kDoublePrimary && !lion.enabled) {
+      return Status::InvalidArgument(
+          "--check_break=double_primary needs --lion: without leader "
+          "shifts there is no primary swap to corrupt");
+    }
   }
   return Status::OK();
 }
@@ -220,7 +175,7 @@ ExperimentResult Experiment::Run() {
   ran_ = true;
 
   ExperimentResult result;
-  result.strategy_name = StrategyName(config_.strategy);
+  result.strategy_name = StrategyName(config_.deployment.strategy);
   if (Status v = config_.Validate(); !v.ok()) {
     SOAP_LOG(kError) << "invalid experiment config: " << v.ToString();
     result.audit = std::move(v);
@@ -236,24 +191,24 @@ ExperimentResult Experiment::Run() {
     ~LogClockGuard() { Logger::Instance().set_clock(nullptr); }
   } log_clock_guard;
   cluster::ClusterConfig cluster_config = config_.cluster;
-  cluster_config.num_keys = config_.workload.num_keys;
+  cluster_config.num_keys = config_.workload_options.spec.num_keys;
   cluster_config.seed = config_.seed;
   // Production-cardinality runs flip the stack to its sublinear
   // representations (lazy storage bases + sketch-backed planner graph).
   // At or below the threshold everything is the exact paper-scale path.
   const bool scale_out =
-      config_.workload.num_keys > config_.scale.sketch_threshold;
+      config_.workload_options.spec.num_keys > config_.scale.sketch_threshold;
   cluster_config.lazy_tables = scale_out;
   cluster::Cluster cluster(&sim, cluster_config);
   cluster::TransactionManager tm(&cluster);
 
-  workload::TemplateCatalog catalog(config_.workload, cluster.num_nodes());
+  workload::TemplateCatalog catalog(config_.workload_options.spec, cluster.num_nodes());
   // Routing base: num_nodes round-robin ranges cover the whole keyspace
   // (key % nodes — the catalog's default placement); only keys whose
   // initial partition differs end up as point exceptions.
   {
     Status base = cluster.routing_table().AssignRoundRobin(
-        0, config_.workload.num_keys, cluster.num_nodes());
+        0, config_.workload_options.spec.num_keys, cluster.num_nodes());
     assert(base.ok());
     (void)base;
   }
@@ -261,7 +216,7 @@ ExperimentResult Experiment::Run() {
     // Exact bulk load, tuple by tuple. SetPrimary absorbs keys that sit on
     // their round-robin partition, so the routing table ends up with the
     // same placements as the historical dense load.
-    for (uint64_t key = 0; key < config_.workload.num_keys; ++key) {
+    for (uint64_t key = 0; key < config_.workload_options.spec.num_keys; ++key) {
       storage::Tuple tuple;
       tuple.key = key;
       tuple.content = static_cast<int64_t>(key);
@@ -316,11 +271,11 @@ ExperimentResult Experiment::Run() {
   }
 
   workload::WorkloadHistory history(
-      static_cast<uint32_t>(catalog.size()), config_.history_window);
+      static_cast<uint32_t>(catalog.size()), config_.workload_options.history_window);
   core::Repartitioner repartitioner(
       &cluster, &tm, &catalog, &history,
-      MakeScheduler(config_.strategy, config_.feedback, config_.piggyback),
-      repartition::OptimizerConfig{}, config_.packaging);
+      MakeScheduler(config_.deployment.strategy, config_.deployment.feedback, config_.deployment.piggyback),
+      repartition::OptimizerConfig{}, config_.deployment.packaging);
 
   // --- Primary-copy replication (off by default; with it the TM ships
   // writes to replica holders, reads route to the nearest live copy, and
@@ -358,15 +313,15 @@ ExperimentResult Experiment::Run() {
   // --- Online planner (off by default; with it the one-shot optimizer
   // plan is replaced by continuous co-access-graph replanning).
   std::unique_ptr<planner::Planner> online_planner;
-  if (config_.planner.enabled) {
-    planner::PlannerConfig pc = config_.planner;
+  if (config_.planner_options.enabled) {
+    planner::PlannerConfig pc = config_.planner_options;
     if (pc.first_plan_interval == 0) {
       pc.first_plan_interval = config_.warmup_intervals;
     }
     if (pc.replan_period == 0) pc.replan_period = 1;
     // Scale knobs flow into the co-access graph; at paper scale
     // (num_keys <= threshold) the graph stays on its exact path.
-    pc.graph.num_keys = config_.workload.num_keys;
+    pc.graph.num_keys = config_.workload_options.spec.num_keys;
     pc.graph.sketch_threshold = config_.scale.sketch_threshold;
     pc.graph.sketch_topk = config_.scale.sketch_topk;
     pc.graph.supernode_ranges = config_.scale.supernode_ranges;
@@ -380,8 +335,27 @@ ExperimentResult Experiment::Run() {
       pc.builder.replica_split_threshold = config_.replicas.split_threshold;
       pc.builder.drop_stale_replicas = config_.replicas.drop_stale_replicas;
     }
+    if (config_.lion.enabled) {
+      // Lion rides the replica-aware replan cycle: one candidate pool per
+      // clustered key, budgeted creations, leader shifts onto
+      // write-dominant replica holders.
+      result.lion_enabled = true;
+      pc.builder.lion.enabled = true;
+      pc.builder.lion.replica_budget = config_.lion.replica_budget;
+      lion::ParseEvictPolicy(config_.lion.evict,
+                             &pc.builder.lion.evict);  // validated above
+      pc.builder.lion.shift_threshold = config_.lion.shift_threshold;
+    }
     online_planner = std::make_unique<planner::Planner>(
         &catalog, &cluster.routing_table(), &repartitioner, pc);
+  }
+  if (check_on && config_.lion.enabled) {
+    // Every applied leader shift is checked on the spot: exactly one
+    // primary, no doubled placement entry, epoch advanced.
+    tm.set_leader_shift_hook(
+        [&sim, inv = invariants.get()](storage::TupleKey key, uint32_t np) {
+          inv->OnLeaderShift(key, np, sim.Now());
+        });
   }
 
   // --- Observability (off by default; see ObsOptions).
@@ -416,13 +390,13 @@ ExperimentResult Experiment::Run() {
     // Header record: enough run context to read the file standalone.
     obs::AuditRecord rec(audit_log.get(), "run_meta", sim.Now());
     rec.U64("seed", config_.seed)
-        .Str("strategy", StrategyName(config_.strategy))
+        .Str("strategy", StrategyName(config_.deployment.strategy))
         .U64("nodes", cluster.num_nodes())
-        .U64("keys", config_.workload.num_keys)
+        .U64("keys", config_.workload_options.spec.num_keys)
         .U64("warmup_intervals", config_.warmup_intervals)
         .U64("measured_intervals", config_.measured_intervals)
         .I64("interval_us", config_.interval_length)
-        .Bool("planner", config_.planner.enabled)
+        .Bool("planner", config_.planner_options.enabled)
         .Bool("replicas", config_.replicas.enabled);
   }
   std::shared_ptr<obs::Timeline> timeline;
@@ -449,9 +423,9 @@ ExperimentResult Experiment::Run() {
   // job itself is vaporised by Crash(); the epoch makes the protocol
   // robust even if a completion were ever delivered late.)
   std::vector<uint64_t> recovery_epoch(cluster.num_nodes(), 0);
-  if (!config_.fault_spec.empty()) {
+  if (!config_.fault_options.spec.empty()) {
     Result<fault::FaultSpec> spec =
-        fault::FaultSpec::Parse(config_.fault_spec);
+        fault::FaultSpec::Parse(config_.fault_options.spec);
     if (!spec.ok()) {
       SOAP_LOG(kError) << "bad --fault_spec: " << spec.status().ToString();
       result.audit = spec.status();
@@ -537,10 +511,10 @@ ExperimentResult Experiment::Run() {
   workload::WorkloadGenerator generator(&catalog, config_.seed * 7919 + 13);
   workload::WorkloadTrace record_trace;
   workload::WorkloadTrace replay_trace;
-  const bool replaying = !config_.replay_trace_path.empty();
+  const bool replaying = !config_.workload_options.replay_trace_path.empty();
   if (replaying) {
     Result<workload::WorkloadTrace> loaded =
-        workload::WorkloadTrace::LoadFromFile(config_.replay_trace_path);
+        workload::WorkloadTrace::LoadFromFile(config_.workload_options.replay_trace_path);
     if (!loaded.ok()) {
       SOAP_LOG(kError) << "trace replay failed: "
                        << loaded.status().ToString();
@@ -550,13 +524,13 @@ ExperimentResult Experiment::Run() {
     replay_trace = std::move(loaded).value();
   }
   repartition::CostModel cost_model(cluster_config.costs,
-                                    config_.workload.queries_per_txn);
+                                    config_.workload_options.spec.queries_per_txn);
   workload::CapacityModel capacity;
   capacity.collocated_cost = cost_model.CollocatedTxnCost();
   capacity.distributed_cost = cost_model.DistributedTxnCost(2);
   capacity.total_workers = cluster.TotalWorkers();
   const double arrival_rate = workload::WorkloadGenerator::CalibrateArrivalRate(
-      catalog, capacity, config_.utilization);
+      catalog, capacity, config_.workload_options.utilization);
   result.arrival_rate_txn_s = arrival_rate;
   result.capacity_txn_s =
       static_cast<double>(capacity.total_workers) * 1e6 /
@@ -648,6 +622,15 @@ ExperimentResult Experiment::Run() {
                   static_cast<double>(stats.normal_committed)
             : 0.0;
     result.distributed_ratio.Append(distributed_ratio_window);
+    const uint64_t w_committed = now.committed_normal_with_writes -
+                                 prev_counters.committed_normal_with_writes;
+    const uint64_t w_distributed =
+        now.committed_normal_distributed_writes -
+        prev_counters.committed_normal_distributed_writes;
+    result.distributed_write_ratio.Append(
+        w_committed > 0 ? static_cast<double>(w_distributed) /
+                              static_cast<double>(w_committed)
+                        : 0.0);
     const double worker_time =
         ToSeconds(stats.length) * capacity.total_workers;
     result.utilization.Append(
@@ -760,8 +743,8 @@ ExperimentResult Experiment::Run() {
   // --- Capacity disturbance (external tenant stealing worker time).
   // Emitted as a dense train of short external jobs so the theft is
   // spread across the disturbance window instead of arriving in bursts.
-  if (config_.disturbance.enabled) {
-    const Disturbance& d = config_.disturbance;
+  if (config_.fault_options.disturbance.enabled) {
+    const Disturbance& d = config_.fault_options.disturbance;
     const Duration slice = Millis(100);
     const SimTime from =
         static_cast<SimTime>(d.start_interval) * config_.interval_length;
@@ -798,7 +781,7 @@ ExperimentResult Experiment::Run() {
           replaying ? replay_trace.ReplayInterval(k, catalog)
                     : generator.GenerateInterval(per_interval_mean, k);
       for (auto& t : batch) {
-        if (!config_.record_trace_path.empty()) {
+        if (!config_.workload_options.record_trace_path.empty()) {
           int64_t value = 0;
           for (const txn::Operation& op : t->ops) {
             if (op.kind == txn::OpKind::kWrite) {
@@ -806,7 +789,7 @@ ExperimentResult Experiment::Run() {
               break;
             }
           }
-          const int phase = config_.workload.PhaseIndexAt(k);
+          const int phase = config_.workload_options.spec.PhaseIndexAt(k);
           record_trace.Record(k, t->template_id, value,
                               phase < 0 ? 0 : static_cast<uint32_t>(phase),
                               t->partner_template);
@@ -854,8 +837,8 @@ ExperimentResult Experiment::Run() {
     }
   }
 
-  if (!config_.record_trace_path.empty()) {
-    Status s = record_trace.SaveToFile(config_.record_trace_path,
+  if (!config_.workload_options.record_trace_path.empty()) {
+    Status s = record_trace.SaveToFile(config_.workload_options.record_trace_path,
                                        static_cast<uint32_t>(catalog.size()));
     if (!s.ok()) {
       SOAP_LOG(kError) << "trace save failed: " << s.ToString();
@@ -1065,6 +1048,14 @@ std::string ExperimentResult::Summary() const {
        << " failovers=" << replica_stats.failovers
        << " catchup_refreshed=" << replica_stats.catchup_refreshed
        << " catchup_dropped=" << replica_stats.catchup_dropped << "]";
+  }
+  if (lion_enabled) {
+    os << ", lion[shifts_emitted=" << planner_stats.leader_shifts_emitted
+       << " shifts_applied=" << counters.leader_shifts_applied
+       << " evicted=" << planner_stats.replicas_evicted_budget
+       << " denials=" << planner_stats.replica_budget_denials
+       << " predictive=" << planner_stats.predictive_creates
+       << " dist_write_tail=" << distributed_write_ratio.TailMean(5) << "]";
   }
   if (check_enabled) {
     os << ", check[violations=" << check_report.violations.size()

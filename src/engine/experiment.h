@@ -179,6 +179,26 @@ struct ReplicaOptions {
   Duration catchup_per_tuple = Millis(3);
 };
 
+/// Lion-style adaptive replica provisioning (src/lion/): replica placement
+/// treated as a budgeted cache, plus leader shifting so write-hot keys
+/// converge to a single node. Off by default; off means the provisioner is
+/// never constructed and the run is byte-identical to static replica-aware
+/// planning. Requires `replicas.enabled` and `planner_options.enabled`.
+struct LionOptions {
+  bool enabled = false;
+  /// Per-partition cap on planner-created replica copies. Must be >= 0;
+  /// 0 admits no creations (shifting and dropping still run).
+  int64_t replica_budget = 1024;
+  /// Eviction policy applied when the budget is full: "lru" (least
+  /// recently planner-touched copy) or "heat" (coldest key by the
+  /// planner's heat estimate).
+  std::string evict = "lru";
+  /// Share of a key's windowed write mass a replica-holding partition
+  /// must issue before the planner shifts leadership onto it. Must be
+  /// in (0, 1].
+  double shift_threshold = 0.6;
+};
+
 /// Production-cardinality scale-out knobs. Below the threshold everything
 /// runs the exact paper-scale paths (byte-identical to the seed); above
 /// it the stack flips to its sublinear representations: lazy storage
@@ -195,9 +215,8 @@ struct ScaleOptions {
 };
 
 /// Full configuration of one experiment run, grouped into cohesive
-/// sub-structs. The flat field names that predate the grouping live on as
-/// reference aliases (see below) so existing call sites keep compiling;
-/// new code should address the sub-structs directly.
+/// sub-structs. (The pre-split flat field names were reference aliases
+/// for one release; all call sites now address the sub-structs.)
 struct ExperimentConfig {
   WorkloadOptions workload_options;
   cluster::ClusterConfig cluster;
@@ -208,6 +227,7 @@ struct ExperimentConfig {
   FaultOptions fault_options;
   PlannerOptions planner_options;
   ReplicaOptions replicas;
+  LionOptions lion;
   ScaleOptions scale;
   CheckOptions check;
   ObsOptions obs;
@@ -223,30 +243,6 @@ struct ExperimentConfig {
   /// instead of silently misbehaving. Run() validates; CLI frontends call
   /// this early to fail before building the stack.
   Status Validate() const;
-
-  // --- Deprecated aliases (pre-split field names). These are references
-  // into the sub-structs above: reads and writes through them hit the real
-  // storage, so old and new spellings can be mixed freely. The custom
-  // copy/move members below re-bind them per object — without that, a
-  // copied config's aliases would dangle into the source object.
-  workload::WorkloadSpec& workload = workload_options.spec;
-  double& utilization = workload_options.utilization;
-  uint32_t& history_window = workload_options.history_window;
-  std::string& record_trace_path = workload_options.record_trace_path;
-  std::string& replay_trace_path = workload_options.replay_trace_path;
-  SchedulingStrategy& strategy = deployment.strategy;
-  core::FeedbackConfig& feedback = deployment.feedback;
-  core::PiggybackConfig& piggyback = deployment.piggyback;
-  core::PackagingMode& packaging = deployment.packaging;
-  std::string& fault_spec = fault_options.spec;
-  Disturbance& disturbance = fault_options.disturbance;
-  planner::PlannerConfig& planner = planner_options;
-
-  ExperimentConfig() = default;
-  ExperimentConfig(const ExperimentConfig& o);
-  ExperimentConfig(ExperimentConfig&& o) noexcept;
-  ExperimentConfig& operator=(const ExperimentConfig& o);
-  ExperimentConfig& operator=(ExperimentConfig&& o) noexcept;
 };
 
 struct ExperimentResult {
@@ -266,6 +262,10 @@ struct ExperimentResult {
   /// Fraction of committed normal transactions whose queries spanned >1
   /// partition — the objective the (online or one-shot) plan minimises.
   Series distributed_ratio{"distributed_ratio"};
+  /// Fraction of committed writing transactions whose writes fanned out to
+  /// more than one storage site (remote query or HA write-through) — the
+  /// metric lion's leader shifting drives down for write-hot keys.
+  Series distributed_write_ratio{"distributed_write_ratio"};
 
   double arrival_rate_txn_s = 0.0;   ///< calibrated Poisson rate
   double capacity_txn_s = 0.0;       ///< collocated-only capacity
@@ -281,6 +281,8 @@ struct ExperimentResult {
   txn::TpcStats tpc_stats;
   /// Online-planner tallies; all zero unless `planner.enabled` was set.
   planner::PlannerStats planner_stats;
+  /// True when lion adaptive provisioning ran (`lion.enabled`).
+  bool lion_enabled = false;
   /// Replication tallies; all zero unless `replicas.enabled` was set.
   bool replicas_enabled = false;
   replica::ReplicaStats replica_stats;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <utility>
 
 #include "src/common/logging.h"
 #include "src/mvcc/cc_mode.h"
@@ -47,16 +48,38 @@ std::string FlagTable::Help(std::string_view program,
     width = std::max(width, def.name.size() + (arg.empty() ? 0 : 1 + arg.size()));
   }
   std::ostringstream os;
-  os << program << " — " << tagline << "\n\n";
+  os << program << " — " << tagline << "\n";
+  // Fixed subsystem order; a heading prints only when its group has
+  // visible rows, rows keep their table order inside each group, and
+  // groups the order does not know about (frontend Add()s) trail it.
+  std::vector<std::string> order = {"cluster", "workload", "deployment",
+                                    "planner", "replica", "lion",
+                                    "obs",     "check",    "faults",
+                                    "general"};
   for (const FlagDef& def : defs_) {
-    if (def.hidden) continue;
-    std::string left = "--" + def.name;
-    const std::string arg = TypeName(def.type);
-    if (!arg.empty()) left += " " + arg;
-    os << "  " << left << std::string(width + 4 - left.size() + 2, ' ')
-       << def.help;
-    if (!def.default_text.empty()) os << "  (" << def.default_text << ")";
-    os << "\n";
+    const std::string g = def.group.empty() ? "general" : def.group;
+    if (std::find(order.begin(), order.end(), g) == order.end()) {
+      order.push_back(g);
+    }
+  }
+  for (const std::string& group : order) {
+    bool heading = false;
+    for (const FlagDef& def : defs_) {
+      if (def.hidden) continue;
+      const std::string g = def.group.empty() ? "general" : def.group;
+      if (g != group) continue;
+      if (!heading) {
+        os << "\n" << group << ":\n";
+        heading = true;
+      }
+      std::string left = "--" + def.name;
+      const std::string arg = TypeName(def.type);
+      if (!arg.empty()) left += " " + arg;
+      os << "  " << left << std::string(width + 4 - left.size() + 2, ' ')
+         << def.help;
+      if (!def.default_text.empty()) os << "  (" << def.default_text << ")";
+      os << "\n";
+    }
   }
   return os.str();
 }
@@ -149,15 +172,15 @@ FlagTable ExperimentFlagTable() {
                       return s;
                     }
                     if (v == "applyall") {
-                      c->strategy = SchedulingStrategy::kApplyAll;
+                      c->deployment.strategy = SchedulingStrategy::kApplyAll;
                     } else if (v == "afterall") {
-                      c->strategy = SchedulingStrategy::kAfterAll;
+                      c->deployment.strategy = SchedulingStrategy::kAfterAll;
                     } else if (v == "feedback") {
-                      c->strategy = SchedulingStrategy::kFeedback;
+                      c->deployment.strategy = SchedulingStrategy::kFeedback;
                     } else if (v == "piggyback") {
-                      c->strategy = SchedulingStrategy::kPiggyback;
+                      c->deployment.strategy = SchedulingStrategy::kPiggyback;
                     } else {
-                      c->strategy = SchedulingStrategy::kHybrid;
+                      c->deployment.strategy = SchedulingStrategy::kHybrid;
                     }
                     return Status::OK();
                   }});
@@ -173,9 +196,9 @@ FlagTable ExperimentFlagTable() {
                       return s;
                     }
                     if (v == "zipf") {
-                      c->workload = workload::WorkloadSpec::Zipf(alpha);
+                      c->workload_options.spec = workload::WorkloadSpec::Zipf(alpha);
                     } else {
-                      c->workload = workload::WorkloadSpec::Uniform(alpha);
+                      c->workload_options.spec = workload::WorkloadSpec::Uniform(alpha);
                     }
                     return Status::OK();
                   }});
@@ -183,7 +206,7 @@ FlagTable ExperimentFlagTable() {
                   "distinct transaction templates",
                   [](F f, C c) -> Status {
                     if (f.Has("templates")) {
-                      c->workload.num_templates =
+                      c->workload_options.spec.num_templates =
                           static_cast<uint32_t>(f.GetInt("templates"));
                     }
                     return Status::OK();
@@ -191,7 +214,7 @@ FlagTable ExperimentFlagTable() {
   defs.push_back({"keys", FlagType::kInt, "paper", "tuples in the table",
                   [](F f, C c) -> Status {
                     if (f.Has("keys")) {
-                      c->workload.num_keys =
+                      c->workload_options.spec.num_keys =
                           static_cast<uint64_t>(f.GetInt("keys"));
                     }
                     return Status::OK();
@@ -202,7 +225,7 @@ FlagTable ExperimentFlagTable() {
                   "and sketch-based planning)",
                   [](F f, C c) -> Status {
                     if (f.Has("num_keys")) {
-                      c->workload.num_keys =
+                      c->workload_options.spec.num_keys =
                           static_cast<uint64_t>(f.GetInt("num_keys"));
                     }
                     return Status::OK();
@@ -232,12 +255,12 @@ FlagTable ExperimentFlagTable() {
                   [](F f, C c) -> Status {
                     const std::string v = f.GetString("load", "high");
                     if (v == "high") {
-                      c->utilization = workload::kHighLoadUtilization;
+                      c->workload_options.utilization = workload::kHighLoadUtilization;
                     } else if (v == "low") {
-                      c->utilization = workload::kLowLoadUtilization;
+                      c->workload_options.utilization = workload::kLowLoadUtilization;
                     } else {
                       try {
-                        c->utilization = std::stod(v);
+                        c->workload_options.utilization = std::stod(v);
                       } catch (...) {
                         return Status::InvalidArgument("bad --load " + v);
                       }
@@ -290,7 +313,7 @@ FlagTable ExperimentFlagTable() {
   defs.push_back({"sp", FlagType::kDouble, "1.05",
                   "feedback setpoint (total/normal cost ratio)",
                   [](F f, C c) -> Status {
-                    c->feedback.sp = f.GetDouble("sp", 1.05);
+                    c->deployment.feedback.sp = f.GetDouble("sp", 1.05);
                     return Status::OK();
                   }});
   defs.push_back({"seed", FlagType::kInt, "1", "RNG seed",
@@ -301,13 +324,13 @@ FlagTable ExperimentFlagTable() {
   defs.push_back({"record-trace", FlagType::kString, "",
                   "save the arrival stream for replay",
                   [](F f, C c) -> Status {
-                    c->record_trace_path = f.GetString("record-trace", "");
+                    c->workload_options.record_trace_path = f.GetString("record-trace", "");
                     return Status::OK();
                   }});
   defs.push_back({"replay-trace", FlagType::kString, "",
                   "drive the run from a recorded trace",
                   [](F f, C c) -> Status {
-                    c->replay_trace_path = f.GetString("replay-trace", "");
+                    c->workload_options.replay_trace_path = f.GetString("replay-trace", "");
                     return Status::OK();
                   }});
   defs.push_back({"metrics_out", FlagType::kString, "",
@@ -359,20 +382,20 @@ FlagTable ExperimentFlagTable() {
                   "inject faults, e.g. 'crash:node=2,at=120s,down=15s;"
                   "drop:p=0.01' (see EXPERIMENTS.md)",
                   [](F f, C c) -> Status {
-                    c->fault_spec = f.GetString("fault_spec", "");
+                    c->fault_options.spec = f.GetString("fault_spec", "");
                     return Status::OK();
                   }});
   defs.push_back({"planner", FlagType::kBool, "off",
                   "enable the online co-access-graph planner",
                   [](F f, C c) -> Status {
-                    if (f.GetBool("planner")) c->planner.enabled = true;
+                    if (f.GetBool("planner")) c->planner_options.enabled = true;
                     return Status::OK();
                   }});
   defs.push_back({"replan", FlagType::kInt, "3",
                   "planner replan period in intervals",
                   [](F f, C c) -> Status {
                     if (f.Has("replan")) {
-                      c->planner.replan_period =
+                      c->planner_options.replan_period =
                           static_cast<uint32_t>(f.GetInt("replan"));
                     }
                     return Status::OK();
@@ -381,7 +404,7 @@ FlagTable ExperimentFlagTable() {
                   "max repartition ops per emitted plan",
                   [](F f, C c) -> Status {
                     if (f.Has("plan_ops")) {
-                      c->planner.builder.max_ops =
+                      c->planner_options.builder.max_ops =
                           static_cast<uint32_t>(f.GetInt("plan_ops"));
                     }
                     return Status::OK();
@@ -390,7 +413,7 @@ FlagTable ExperimentFlagTable() {
                   "min co-access weight to move a key",
                   [](F f, C c) -> Status {
                     if (f.Has("plan_min_heat")) {
-                      c->planner.builder.min_vertex_weight =
+                      c->planner_options.builder.min_vertex_weight =
                           static_cast<uint64_t>(f.GetInt("plan_min_heat"));
                     }
                     return Status::OK();
@@ -405,7 +428,7 @@ FlagTable ExperimentFlagTable() {
                   "fraction of each template's accesses that write",
                   [](F f, C c) -> Status {
                     if (f.Has("write_fraction")) {
-                      c->workload.write_fraction =
+                      c->workload_options.spec.write_fraction =
                           f.GetDouble("write_fraction");
                     }
                     return Status::OK();
@@ -429,20 +452,29 @@ FlagTable ExperimentFlagTable() {
                         f.GetInt("drift_phase_len", 8));
                     const double pair = f.GetDouble("pair_fraction", 0.35);
                     if (v == "hotspot") {
-                      c->workload = workload::WorkloadSpec::HotspotDrift(
-                          c->workload, c->warmup_intervals, phases, phase_len,
+                      c->workload_options.spec = workload::WorkloadSpec::HotspotDrift(
+                          c->workload_options.spec, c->warmup_intervals, phases, phase_len,
                           pair);
                     } else if (v == "skewflip") {
-                      c->workload = workload::WorkloadSpec::SkewFlip(
-                          c->workload, c->warmup_intervals, phases, phase_len,
+                      c->workload_options.spec = workload::WorkloadSpec::SkewFlip(
+                          c->workload_options.spec, c->warmup_intervals, phases, phase_len,
                           /*high_s=*/1.16, /*low_s=*/0.4, pair);
                     } else {
-                      c->workload = workload::WorkloadSpec::MixRotation(
-                          c->workload, c->warmup_intervals, phases, phase_len,
+                      c->workload_options.spec = workload::WorkloadSpec::MixRotation(
+                          c->workload_options.spec, c->warmup_intervals, phases, phase_len,
                           pair);
                     }
                     return Status::OK();
                   }});
+  defs.push_back({"pair_affinity", FlagType::kBool, "off",
+                  "hub partner keyed by issuing partition instead of base "
+                  "template (stable across popularity rotation); needs "
+                  "--pair_hub",
+                  nullptr});
+  defs.push_back({"pair_write", FlagType::kDouble, "0",
+                  "probability a paired txn writes its borrowed hub keys "
+                  "instead of reading them",
+                  nullptr});
   // After --drift: the hub phase stacks on whatever spec is in place.
   defs.push_back({"pair_hub", FlagType::kInt, "0",
                   "pair a --pair_fraction share of txns with one of the N "
@@ -453,10 +485,12 @@ FlagTable ExperimentFlagTable() {
                     if (hub <= 0) return Status::OK();
                     workload::DriftPhase phase;
                     phase.start_interval = 0;
-                    phase.zipf_s = c->workload.zipf_s;
+                    phase.zipf_s = c->workload_options.spec.zipf_s;
                     phase.pair_fraction = f.GetDouble("pair_fraction", 0.35);
                     phase.pair_hub = static_cast<uint32_t>(hub);
-                    c->workload.phases.push_back(phase);
+                    phase.pair_affinity = f.GetBool("pair_affinity");
+                    phase.pair_write = f.GetDouble("pair_write", 0.0);
+                    c->workload_options.spec.phases.push_back(phase);
                     return Status::OK();
                   }});
   defs.push_back({"replicas", FlagType::kBool, "off",
@@ -466,7 +500,7 @@ FlagTable ExperimentFlagTable() {
                   [](F f, C c) -> Status {
                     if (f.GetBool("replicas")) {
                       c->replicas.enabled = true;
-                      c->planner.enabled = true;
+                      c->planner_options.enabled = true;
                     }
                     return Status::OK();
                   }});
@@ -515,6 +549,48 @@ FlagTable ExperimentFlagTable() {
                     }
                     return Status::OK();
                   }});
+  defs.push_back({"lion", FlagType::kBool, "off",
+                  "adaptive replica provisioning: budgeted replica cache, "
+                  "predictive admission, leader shifting for write-hot keys "
+                  "(implies --replicas and --planner)",
+                  [](F f, C c) -> Status {
+                    if (f.GetBool("lion")) {
+                      c->lion.enabled = true;
+                      c->replicas.enabled = true;
+                      c->planner_options.enabled = true;
+                    }
+                    return Status::OK();
+                  }});
+  defs.push_back({"replica_budget", FlagType::kInt, "1024",
+                  "per-partition cap on lion-created replica copies",
+                  [](F f, C c) -> Status {
+                    if (f.Has("replica_budget")) {
+                      c->lion.replica_budget = f.GetInt("replica_budget");
+                    }
+                    return Status::OK();
+                  }});
+  defs.push_back({"shift_threshold", FlagType::kDouble, "0.6",
+                  "share of a key's windowed write mass a replica holder "
+                  "must issue before leadership shifts onto it",
+                  [](F f, C c) -> Status {
+                    if (f.Has("shift_threshold")) {
+                      c->lion.shift_threshold =
+                          f.GetDouble("shift_threshold");
+                    }
+                    return Status::OK();
+                  }});
+  defs.push_back({"evict", FlagType::kString, "lru",
+                  "lru|heat: lion replica eviction when the budget is full",
+                  [](F f, C c) -> Status {
+                    const std::string v = f.GetString("evict", "lru");
+                    if (Status s =
+                            CheckEnumValue("evict", v, {"lru", "heat"});
+                        !s.ok()) {
+                      return s;
+                    }
+                    c->lion.evict = v;
+                    return Status::OK();
+                  }});
   defs.push_back({"check", FlagType::kBool, "off",
                   "record the run's history and verify consistency "
                   "(serializability audit + online invariants)",
@@ -531,9 +607,9 @@ FlagTable ExperimentFlagTable() {
   // Hidden checker self-test hook: injects exactly one deliberate bug of
   // the named class so tests can prove the checker catches it.
   defs.push_back({"check_break", FlagType::kString, "",
-                  "replica_apply|double_deploy|lost_write|stale_snapshot: "
-                  "corrupt one apply/observation on purpose (implies "
-                  "--check; testing only)",
+                  "replica_apply|double_deploy|lost_write|stale_snapshot|"
+                  "double_primary: corrupt one apply/observation on purpose "
+                  "(implies --check; testing only)",
                   [](F f, C c) -> Status {
                     c->check.break_mode = f.GetString("check_break", "");
                     return Status::OK();
@@ -554,6 +630,46 @@ FlagTable ExperimentFlagTable() {
                     return Status::OK();
                   }});
   defs.push_back({"help", FlagType::kBool, "", "this text", nullptr});
+
+  // Subsystem grouping for --help, assigned by name so the row literals
+  // above stay positional. Unlisted rows fall under "general".
+  const std::vector<std::pair<std::string, std::string>> groups = {
+      {"isolation", "cluster"},        {"cc", "cluster"},
+      {"alpha", "workload"},           {"workload", "workload"},
+      {"templates", "workload"},       {"keys", "workload"},
+      {"num_keys", "workload"},        {"load", "workload"},
+      {"write_fraction", "workload"},  {"drift", "workload"},
+      {"drift_phases", "workload"},    {"drift_phase_len", "workload"},
+      {"pair_fraction", "workload"},   {"pair_hub", "workload"},
+      {"pair_affinity", "workload"},   {"pair_write", "workload"},
+      {"record-trace", "workload"},    {"replay-trace", "workload"},
+      {"strategy", "deployment"},      {"sp", "deployment"},
+      {"warmup", "deployment"},        {"intervals", "deployment"},
+      {"planner", "planner"},          {"replan", "planner"},
+      {"plan_ops", "planner"},         {"plan_min_heat", "planner"},
+      {"sketch_threshold", "planner"}, {"sketch_topk", "planner"},
+      {"replicas", "replica"},         {"replica_copies", "replica"},
+      {"replica_ratio", "replica"},    {"replica_split", "replica"},
+      {"promotion_delay_ms", "replica"},
+      {"replica_keep_stale", "replica"},
+      {"lion", "lion"},                {"replica_budget", "lion"},
+      {"shift_threshold", "lion"},     {"evict", "lion"},
+      {"metrics_out", "obs"},          {"metrics_jsonl", "obs"},
+      {"trace_out", "obs"},            {"trace_sample", "obs"},
+      {"audit_out", "obs"},            {"timeline_out", "obs"},
+      {"timeline_interval", "obs"},
+      {"check", "check"},              {"history_out", "check"},
+      {"check_break", "check"},
+      {"fault_spec", "faults"},
+  };
+  for (FlagDef& def : defs) {
+    for (const auto& [name, group] : groups) {
+      if (def.name == name) {
+        def.group = group;
+        break;
+      }
+    }
+  }
   return FlagTable(std::move(defs));
 }
 

@@ -33,6 +33,11 @@ struct FlagDef {
   std::function<Status(const Flags&, ExperimentConfig*)> bind;
   /// Accepted but left out of --help (testing hooks like --check_break).
   bool hidden = false;
+  /// Subsystem heading the flag is listed under in --help (cluster,
+  /// planner, replica, lion, obs, check, ...). Empty rows group under
+  /// "general". Assigned by ExperimentFlagTable after the rows are built,
+  /// so row literals stay positional.
+  std::string group;
 };
 
 class FlagTable {

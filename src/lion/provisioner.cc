@@ -1,0 +1,101 @@
+#include "src/lion/provisioner.h"
+
+#include <algorithm>
+
+namespace soap::lion {
+
+void Provisioner::BeginCycle(const router::RoutingTable& routing) {
+  ++cycle_;
+  occupancy_.clear();
+  hosted_.clear();
+  picked_.clear();
+  routing.ForEachReplicated(
+      [this](storage::TupleKey key, const router::Placement& placement) {
+        for (router::PartitionId rep : placement.replicas) {
+          hosted_[rep].push_back(key);
+        }
+      });
+  for (auto& [partition, keys] : hosted_) {
+    std::sort(keys.begin(), keys.end());
+    occupancy_[partition] = static_cast<uint32_t>(keys.size());
+  }
+  // Age out recency/trend state for copies that no longer exist (keeps
+  // both maps bounded by the live replica set).
+  auto hosted_on = [this](storage::TupleKey key, uint32_t partition) {
+    auto it = hosted_.find(partition);
+    if (it == hosted_.end()) return false;
+    return std::binary_search(it->second.begin(), it->second.end(), key);
+  };
+  for (auto it = last_touch_.begin(); it != last_touch_.end();) {
+    if (!hosted_on(it->first.key, it->first.partition)) {
+      it = last_touch_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = trend_.begin(); it != trend_.end();) {
+    if (it->second.cycle + 1 < cycle_) {
+      it = trend_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Provisioner::Touch(storage::TupleKey key, uint32_t partition) {
+  last_touch_[{key, partition}] = cycle_;
+}
+
+bool Provisioner::ChargeCreate(uint32_t partition) {
+  uint32_t& used = occupancy_[partition];
+  if (used >= config_.replica_budget) return false;
+  ++used;
+  return true;
+}
+
+void Provisioner::Release(uint32_t partition) {
+  uint32_t& used = occupancy_[partition];
+  if (used > 0) --used;
+}
+
+std::optional<storage::TupleKey> Provisioner::PickEviction(
+    uint32_t partition, storage::TupleKey except, const HeatFn& heat) {
+  auto it = hosted_.find(partition);
+  if (it == hosted_.end()) return std::nullopt;
+  bool found = false;
+  storage::TupleKey victim = 0;
+  uint64_t best_score = 0;
+  for (storage::TupleKey key : it->second) {  // ascending: ties -> lowest key
+    if (key == except || picked_.count(key) > 0) continue;
+    uint64_t score = 0;
+    if (config_.evict == EvictPolicy::kLru) {
+      auto touch = last_touch_.find({key, partition});
+      score = touch == last_touch_.end() ? 0 : touch->second;
+    } else {
+      score = heat ? heat(key) : 0;
+    }
+    if (!found || score < best_score) {
+      found = true;
+      victim = key;
+      best_score = score;
+    }
+  }
+  if (!found) return std::nullopt;
+  picked_.insert(victim);
+  return victim;
+}
+
+double Provisioner::PredictedShare(storage::TupleKey key, uint32_t partition,
+                                   double share) {
+  const KeyPartition kp{key, partition};
+  double predicted = share;
+  auto it = trend_.find(kp);
+  if (it != trend_.end() && it->second.cycle + 1 == cycle_ &&
+      share > it->second.share) {
+    predicted = share + (share - it->second.share);
+  }
+  trend_[kp] = ShareSample{share, cycle_};
+  return predicted;
+}
+
+}  // namespace soap::lion

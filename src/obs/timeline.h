@@ -35,12 +35,16 @@ struct PartitionFlows {
   std::vector<uint64_t> migrations_out;
   std::vector<uint64_t> replica_creates;
   std::vector<uint64_t> replica_drops;
+  /// Leader shifts landing on a partition (it became the primary). Not
+  /// part of the tick schema (v1) — read directly by reports/benches.
+  std::vector<uint64_t> leader_shifts;
 
   void Resize(uint32_t partitions) {
     migrations_in.assign(partitions, 0);
     migrations_out.assign(partitions, 0);
     replica_creates.assign(partitions, 0);
     replica_drops.assign(partitions, 0);
+    leader_shifts.assign(partitions, 0);
   }
 
   void OnMigration(uint32_t source, uint32_t target) {
@@ -52,6 +56,9 @@ struct PartitionFlows {
   }
   void OnReplicaDrop(uint32_t at) {
     if (at < replica_drops.size()) ++replica_drops[at];
+  }
+  void OnLeaderShift(uint32_t target) {
+    if (target < leader_shifts.size()) ++leader_shifts[target];
   }
 };
 

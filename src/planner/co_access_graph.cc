@@ -5,6 +5,40 @@
 
 namespace soap::planner {
 
+namespace {
+
+// The partition a transaction is "homed" on: the modal source partition
+// across its data ops, ties to the lowest id — the partition the txn
+// would run single-node on if every key it writes lived there. Ops are
+// few (normal SOAP txns touch 5 keys), so a flat scan beats a map.
+uint32_t TxnHome(const txn::Transaction& t) {
+  // (partition, count) pairs, insertion-ordered; resolved at the end.
+  std::vector<std::pair<uint32_t, uint64_t>> counts;
+  for (const txn::Operation& op : t.ops) {
+    if (op.repartition_op_id != 0) continue;
+    bool found = false;
+    for (auto& [p, c] : counts) {
+      if (p == op.source_partition) {
+        ++c;
+        found = true;
+        break;
+      }
+    }
+    if (!found) counts.emplace_back(op.source_partition, 1);
+  }
+  uint32_t home = 0;
+  uint64_t best = 0;
+  for (const auto& [p, c] : counts) {
+    if (c > best || (c == best && p < home)) {
+      home = p;
+      best = c;
+    }
+  }
+  return home;
+}
+
+}  // namespace
+
 CoAccessGraph::CoAccessGraph(CoAccessGraphConfig config)
     : config_(config) {
   sketch_mode_ = config_.num_keys > config_.sketch_threshold;
@@ -38,12 +72,15 @@ void CoAccessGraph::Observe(const txn::Transaction& t) {
 
   ++txns_observed_;
   for (storage::TupleKey k : keys) vertices_[k].weight += 1;
+  const uint32_t home = TxnHome(t);
   for (const txn::Operation& op : t.ops) {
     if (op.repartition_op_id != 0) continue;
     if (op.kind == txn::OpKind::kRead) {
       vertices_[op.key].reads += 1;
     } else if (op.kind == txn::OpKind::kWrite) {
-      vertices_[op.key].writes += 1;
+      Vertex& v = vertices_[op.key];
+      v.writes += 1;
+      v.write_from[home] += 1;
     }
   }
   for (size_t i = 0; i < keys.size(); ++i) {
@@ -75,6 +112,7 @@ void CoAccessGraph::ObserveSketch(const std::vector<storage::TupleKey>& keys,
     vids.push_back(IsHotLocked(k) ? k : SupernodeOf(k));
   }
   for (storage::TupleKey vid : vids) vertices_[vid].weight += 1;
+  const uint32_t home = TxnHome(t);
   for (const txn::Operation& op : t.ops) {
     if (op.repartition_op_id != 0) continue;
     const storage::TupleKey vid =
@@ -82,7 +120,11 @@ void CoAccessGraph::ObserveSketch(const std::vector<storage::TupleKey>& keys,
     if (op.kind == txn::OpKind::kRead) {
       vertices_[vid].reads += 1;
     } else if (op.kind == txn::OpKind::kWrite) {
-      vertices_[vid].writes += 1;
+      Vertex& v = vertices_[vid];
+      v.writes += 1;
+      // Supernodes aggregate the cold tail and never shift leaders, so
+      // write attribution stays on exact (hot) vertices only.
+      if (!IsSupernode(vid)) v.write_from[home] += 1;
     }
   }
   // Edges among distinct vertex ids (cold keys sharing a supernode
@@ -170,6 +212,10 @@ void CoAccessGraph::Decay() {
     v.weight >>= config_.decay_shift;
     v.reads >>= config_.decay_shift;
     v.writes >>= config_.decay_shift;
+    for (auto wit = v.write_from.begin(); wit != v.write_from.end();) {
+      wit->second >>= config_.decay_shift;
+      wit = wit->second == 0 ? v.write_from.erase(wit) : std::next(wit);
+    }
     for (auto& [nbr, w] : v.out) {
       w >>= config_.decay_shift;
       if (w < config_.min_edge_weight && key < nbr) {
@@ -211,6 +257,18 @@ uint64_t CoAccessGraph::VertexWrites(storage::TupleKey key) const {
   return it == vertices_.end() ? 0 : it->second.writes;
 }
 
+std::vector<std::pair<uint32_t, uint64_t>> CoAccessGraph::WriteSources(
+    storage::TupleKey key) const {
+  std::vector<std::pair<uint32_t, uint64_t>> out;
+  auto it = vertices_.find(key);
+  if (it == vertices_.end()) return out;
+  out.assign(it->second.write_from.begin(), it->second.write_from.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  return out;
+}
+
 uint64_t CoAccessGraph::HeatEstimate(storage::TupleKey key) const {
   auto it = vertices_.find(key);
   if (it != vertices_.end()) return it->second.weight;
@@ -236,6 +294,9 @@ size_t CoAccessGraph::ApproxBytes() const {
     bytes += v.out.size() *
              (sizeof(storage::TupleKey) + sizeof(uint64_t) +
               kHashNodeOverhead);
+    bytes += v.write_from.bucket_count() * sizeof(void*);
+    bytes += v.write_from.size() *
+             (sizeof(uint32_t) + sizeof(uint64_t) + kHashNodeOverhead);
   }
   if (hot_) bytes += hot_->ApproxBytes();
   if (heat_) bytes += heat_->ApproxBytes();

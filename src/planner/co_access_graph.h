@@ -90,6 +90,16 @@ class CoAccessGraph {
   uint64_t VertexReads(storage::TupleKey key) const;
   uint64_t VertexWrites(storage::TupleKey key) const;
 
+  /// Write-source attribution (the Lion leader-shift signal): how many of
+  /// `key`'s windowed writes were issued by transactions homed on each
+  /// partition, where a transaction's home is the modal source partition
+  /// of its data ops (ties to the lowest id) — the partition the txn
+  /// would be single-node on. Sorted by count descending, ties to the
+  /// lower partition id; decays with the window. Empty for unwritten
+  /// keys and for supernodes (the cold tail never shifts leaders).
+  std::vector<std::pair<uint32_t, uint64_t>> WriteSources(
+      storage::TupleKey key) const;
+
   /// Heat of a tuple whether or not it holds a vertex: exact weight when
   /// one exists (always, in exact mode), else the count-min estimate.
   uint64_t HeatEstimate(storage::TupleKey key) const;
@@ -134,6 +144,9 @@ class CoAccessGraph {
     uint64_t weight = 0;
     uint64_t reads = 0;
     uint64_t writes = 0;
+    /// Windowed write counts keyed by the issuing transaction's home
+    /// partition. Tiny in practice (one or two writers per key).
+    std::unordered_map<uint32_t, uint64_t> write_from;
     /// Adjacency is stored in both directions with equal weights.
     std::unordered_map<storage::TupleKey, uint64_t> out;
   };

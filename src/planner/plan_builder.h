@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "src/lion/provisioner.h"
 #include "src/obs/audit_log.h"
 #include "src/planner/co_access_graph.h"
 #include "src/planner/graph_partitioner.h"
@@ -63,6 +64,15 @@ struct PlanBuilderConfig {
   /// write-heavy or single-reader, so the replica set tracks the
   /// workload both ways.
   bool drop_stale_replicas = true;
+
+  /// Lion-style adaptive provisioning (soap::lion): per-partition replica
+  /// budget with LRU/heat eviction, predictive admission from the window
+  /// trend, and leader shifting. When `lion.enabled`, the builder prices
+  /// migrate-vs-replicate-vs-leader-shift per key from one candidate pool
+  /// and fills each emitted action's PlacementCost. Requires a Provisioner
+  /// via set_lion(); off by default (byte-identical plans to the static
+  /// fan-in path).
+  lion::LionConfig lion;
 };
 
 struct BuiltPlan {
@@ -86,10 +96,16 @@ class PlanBuilder {
                   repartition::OpIdAllocator* ids,
                   const PlanAuditContext* audit = nullptr) const;
 
+  /// Non-owning; the provisioner holds budget/recency state across Build()
+  /// calls. Must outlive the builder. Null disables the lion path even if
+  /// config_.lion.enabled is set.
+  void set_lion(lion::Provisioner* provisioner) { lion_ = provisioner; }
+
  private:
   const workload::TemplateCatalog* catalog_;
   const repartition::CostModel* cost_model_;
   PlanBuilderConfig config_;
+  lion::Provisioner* lion_ = nullptr;
 };
 
 }  // namespace soap::planner

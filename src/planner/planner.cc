@@ -15,7 +15,12 @@ Planner::Planner(const workload::TemplateCatalog* catalog,
       config_(config),
       graph_(config.graph),
       partitioner_(config.partitioner),
-      builder_(catalog, &repartitioner->cost_model(), config.builder) {}
+      builder_(catalog, &repartitioner->cost_model(), config.builder) {
+  if (config_.builder.lion.enabled) {
+    lion_ = std::make_unique<lion::Provisioner>(config_.builder.lion);
+    builder_.set_lion(lion_.get());
+  }
+}
 
 void Planner::OnTxnComplete(const txn::Transaction& t) {
   if (t.is_repartition || !t.committed()) return;
@@ -63,18 +68,22 @@ void Planner::TryReplan() {
     if (built != nullptr) {
       uint64_t creates = 0;
       uint64_t drops = 0;
-      for (const repartition::RepartitionOp& op : built->plan.ops) {
-        if (op.type == repartition::RepartitionOpType::kNewReplicaCreation) {
+      uint64_t shifts = 0;
+      for (const repartition::PlacementAction& op : built->plan.ops) {
+        if (op.kind == repartition::PlacementKind::kReplicaCreate) {
           ++creates;
-        } else if (op.type ==
-                   repartition::RepartitionOpType::kReplicaDeletion) {
+        } else if (op.kind == repartition::PlacementKind::kReplicaDrop) {
           ++drops;
+        } else if (op.kind == repartition::PlacementKind::kLeaderShift) {
+          ++shifts;
         }
       }
       rec.U64("ops", built->plan.size())
           .U64("replica_creates", creates)
-          .U64("replica_drops", drops)
-          .U64("dropped_by_cap", built->dropped)
+          .U64("replica_drops", drops);
+      // Lion-only field, so lion-off audit streams stay byte-identical.
+      if (lion_ != nullptr) rec.U64("leader_shifts", shifts);
+      rec.U64("dropped_by_cap", built->dropped)
           .I64("deploy_cost_us", built->deploy_cost);
     }
   };
@@ -122,12 +131,19 @@ void Planner::TryReplan() {
   if (repartitioner_->StartRepartitioningWithPlan(built.plan)) {
     ++stats_.plans_emitted;
     stats_.ops_emitted += built.plan.size();
-    for (const repartition::RepartitionOp& op : built.plan.ops) {
-      if (op.type == repartition::RepartitionOpType::kNewReplicaCreation) {
+    for (const repartition::PlacementAction& op : built.plan.ops) {
+      if (op.kind == repartition::PlacementKind::kReplicaCreate) {
         ++stats_.replica_creates_emitted;
-      } else if (op.type == repartition::RepartitionOpType::kReplicaDeletion) {
+      } else if (op.kind == repartition::PlacementKind::kReplicaDrop) {
         ++stats_.replica_drops_emitted;
+      } else if (op.kind == repartition::PlacementKind::kLeaderShift) {
+        ++stats_.leader_shifts_emitted;
       }
+    }
+    if (lion_ != nullptr) {
+      stats_.replicas_evicted_budget = lion_->stats().evictions;
+      stats_.replica_budget_denials = lion_->stats().budget_denials;
+      stats_.predictive_creates = lion_->stats().predictive_creates;
     }
     audit_replan("emitted", repartitioner_->rounds_started(), &clustering,
                  &built);

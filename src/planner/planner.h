@@ -12,8 +12,10 @@
 #define SOAP_PLANNER_PLANNER_H_
 
 #include <cstdint>
+#include <memory>
 
 #include "src/core/repartitioner.h"
+#include "src/lion/provisioner.h"
 #include "src/obs/audit_log.h"
 #include "src/obs/metrics.h"
 #include "src/planner/co_access_graph.h"
@@ -59,6 +61,14 @@ struct PlannerStats {
   /// planning only; zero for migration-only configurations).
   uint64_t replica_creates_emitted = 0;
   uint64_t replica_drops_emitted = 0;
+  /// Leader shifts among ops_emitted (lion only).
+  uint64_t leader_shifts_emitted = 0;
+  /// Replica drops emitted to free budget slots (lion only).
+  uint64_t replicas_evicted_budget = 0;
+  /// Creates the budget rejected with nothing evictable (lion only).
+  uint64_t replica_budget_denials = 0;
+  /// Creates admitted on the predictive window trend alone (lion only).
+  uint64_t predictive_creates = 0;
   uint64_t last_cut_weight = 0;
   uint64_t last_internal_weight = 0;
   uint64_t last_graph_vertices = 0;
@@ -86,6 +96,8 @@ class Planner {
   const PlannerStats& stats() const { return stats_; }
   const CoAccessGraph& graph() const { return graph_; }
   const PlannerConfig& config() const { return config_; }
+  /// Null unless lion provisioning is enabled in the builder config.
+  const lion::Provisioner* lion() const { return lion_.get(); }
 
   /// Publishes soap_planner_* gauges, the soap_planner_replans_total
   /// counter and the soap_planner_plan_build_seconds wall-clock
@@ -107,6 +119,9 @@ class Planner {
   CoAccessGraph graph_;
   GraphPartitioner partitioner_;
   PlanBuilder builder_;
+  /// Lion budget/recency state; owned here so it persists across replan
+  /// cycles (the builder only borrows it).
+  std::unique_ptr<lion::Provisioner> lion_;
   PlannerStats stats_;
   // Observability hooks; nullptr when disabled.
   obs::Gauge* m_graph_vertices_ = nullptr;

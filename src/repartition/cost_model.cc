@@ -24,18 +24,24 @@ Duration CostModel::RepartitionTxnCost(
   Duration work = costs_.begin;
   uint32_t partitions = 0;
   bool crosses = false;
-  for (const RepartitionOp& op : ops) {
-    switch (op.type) {
-      case RepartitionOpType::kObjectsMigration:
+  for (const PlacementAction& op : ops) {
+    switch (op.kind) {
+      case PlacementKind::kMigrate:
         work += costs_.migrate_insert + costs_.migrate_delete;
         crosses = true;
         break;
-      case RepartitionOpType::kNewReplicaCreation:
+      case PlacementKind::kReplicaCreate:
         work += costs_.replica_create;
         crosses = true;
         break;
-      case RepartitionOpType::kReplicaDeletion:
+      case PlacementKind::kReplicaDrop:
         work += costs_.replica_delete;
+        break;
+      case PlacementKind::kLeaderShift:
+        // Role swap: no data moves, but the old and new primary both
+        // participate in the commit.
+        work += costs_.leader_shift;
+        crosses = true;
         break;
     }
   }
@@ -51,14 +57,16 @@ Duration CostModel::RepartitionTxnCost(
   return work;
 }
 
-Duration CostModel::PiggybackedOpCost(const RepartitionOp& op) const {
-  switch (op.type) {
-    case RepartitionOpType::kObjectsMigration:
+Duration CostModel::PiggybackedOpCost(const PlacementAction& op) const {
+  switch (op.kind) {
+    case PlacementKind::kMigrate:
       return costs_.migrate_insert + costs_.migrate_delete;
-    case RepartitionOpType::kNewReplicaCreation:
+    case PlacementKind::kReplicaCreate:
       return costs_.replica_create;
-    case RepartitionOpType::kReplicaDeletion:
+    case PlacementKind::kReplicaDrop:
       return costs_.replica_delete;
+    case PlacementKind::kLeaderShift:
+      return costs_.leader_shift;
   }
   return 0;
 }

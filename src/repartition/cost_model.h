@@ -32,10 +32,10 @@ class CostModel {
 
   /// Node work of a standalone repartition transaction executing `ops`
   /// (Algorithm 1 line 23's Cost(ri, O)).
-  Duration RepartitionTxnCost(const std::vector<RepartitionOp>& ops) const;
+  Duration RepartitionTxnCost(const std::vector<PlacementAction>& ops) const;
 
   /// Node work of one plan unit when piggybacked (no extra begin/commit).
-  Duration PiggybackedOpCost(const RepartitionOp& op) const;
+  Duration PiggybackedOpCost(const PlacementAction& op) const;
 
   /// The paper's abstract per-transaction cost: 1.0 collocated, 2.0
   /// distributed (for tests mirroring the published model directly).

@@ -82,7 +82,7 @@ RepartitionPlan Optimizer::DerivePlan(const router::RoutingTable& routing,
       if (partition == target) continue;
       RepartitionOp op;
       op.id = ids->Allocate();
-      op.type = RepartitionOpType::kObjectsMigration;
+      op.kind = PlacementKind::kMigrate;
       op.key = key;
       op.source_partition = partition;
       op.target_partition = target;

@@ -38,7 +38,7 @@ Result<RepartitionPlan> ReplicaPlanner::PlanReplication(
       if (best < 0) break;  // no eligible partition left
       RepartitionOp op;
       op.id = next_id++;
-      op.type = RepartitionOpType::kNewReplicaCreation;
+      op.kind = PlacementKind::kReplicaCreate;
       op.key = key;
       op.source_partition = placement->primary;
       op.target_partition = static_cast<uint32_t>(best);
@@ -77,7 +77,7 @@ Result<RepartitionPlan> ReplicaPlanner::PlanDereplication(
       if (copies <= factor) break;
       RepartitionOp op;
       op.id = next_id++;
-      op.type = RepartitionOpType::kReplicaDeletion;
+      op.kind = PlacementKind::kReplicaDrop;
       op.key = key;
       op.source_partition = p;
       plan.ops.push_back(op);

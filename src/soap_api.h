@@ -23,6 +23,19 @@
 //                                near-miss unknown-flag errors,
 //                                ExperimentFlagTable() bindings
 //
+//   Describe a placement change
+//     repartition::PlacementAction  the single public planner-op type: a
+//                                kind (kMigrate, kReplicaCreate,
+//                                kReplicaDrop, kLeaderShift), the key, the
+//                                source/target partitions, and a uniform
+//                                PlacementCost breakdown (move_bytes,
+//                                tpc_savings, freshness_penalty). The old
+//                                RepartitionOp/RepartitionOpType spellings
+//                                and kObjectsMigration-style enumerators
+//                                are deprecated aliases of this type.
+//     lion::Provisioner          adaptive replica budget + predictive
+//                                admission backing --lion
+//
 //   Assemble the stack manually (what Experiment::Run does internally)
 //     sim::Simulator             deterministic discrete-event clock
 //     cluster::Cluster           nodes + storage + network + 2PC + routing
@@ -55,7 +68,9 @@
 #include "src/engine/flag_table.h"        // IWYU pragma: export
 #include "src/engine/parallel_runner.h"   // IWYU pragma: export
 #include "src/fault/fault_injector.h"     // IWYU pragma: export
+#include "src/lion/provisioner.h"         // IWYU pragma: export
 #include "src/planner/planner.h"          // IWYU pragma: export
+#include "src/repartition/operation.h"    // IWYU pragma: export
 #include "src/repartition/replication.h"  // IWYU pragma: export
 #include "src/replica/replica_manager.h"  // IWYU pragma: export
 

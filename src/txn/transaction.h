@@ -45,6 +45,7 @@ enum class OpKind : uint8_t {
   kMigrateDelete,  // drop tuple from source partition (X-lock)
   kReplicaCreate,  // add a replica at destination (X-lock)
   kReplicaDelete,  // remove one replica (X-lock)
+  kLeaderShift,    // swap primary/replica roles between source and target
 };
 
 /// Returns true for operation kinds that move/copy/delete data between

@@ -55,11 +55,19 @@ std::unique_ptr<txn::Transaction> WorkloadGenerator::GenerateOneInPhase(
   ++generated_;
   const auto value = static_cast<int64_t>(rng_.Next() >> 32);
   if (!paired) return catalog_->Instantiate(tmpl, value);
+  // Affinity hubs key the partner off the issuing partition (stable under
+  // popularity rotation); classic hubs key it off the base template.
   const uint32_t partner =
-      phase->pair_hub > 0 ? tmpl % std::min(phase->pair_hub, n)
-                          : (tmpl + phase->pair_stride) % n;
+      phase->pair_hub > 0
+          ? (phase->pair_affinity
+                 ? (catalog_->at(tmpl).home_partition + 1) %
+                       std::min(phase->pair_hub, n)
+                 : tmpl % std::min(phase->pair_hub, n))
+          : (tmpl + phase->pair_stride) % n;
   if (partner == tmpl) return catalog_->Instantiate(tmpl, value);
-  return catalog_->InstantiatePaired(tmpl, partner, value);
+  const bool write_borrowed =
+      phase->pair_write > 0.0 && rng_.NextBernoulli(phase->pair_write);
+  return catalog_->InstantiatePaired(tmpl, partner, value, write_borrowed);
 }
 
 std::vector<std::unique_ptr<txn::Transaction>>

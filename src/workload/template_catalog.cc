@@ -1,5 +1,6 @@
 #include "src/workload/template_catalog.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace soap::workload {
@@ -10,6 +11,15 @@ TemplateCatalog::TemplateCatalog(const WorkloadSpec& spec,
   assert(num_partitions >= 2);
   assert(static_cast<uint64_t>(spec.num_templates) * spec.queries_per_txn <=
          spec.num_keys);
+  // The assert compiles out under NDEBUG, but the key-permutation indexing
+  // below must never run past the keyspace: clamp queries_per_txn so
+  // templates * q <= num_keys holds even for malformed specs.
+  if (spec.num_templates > 0 &&
+      static_cast<uint64_t>(spec.num_templates) * spec_.queries_per_txn >
+          spec.num_keys) {
+    spec_.queries_per_txn = static_cast<uint32_t>(
+        std::max<uint64_t>(1, spec.num_keys / spec.num_templates));
+  }
 
   Rng rng(spec.seed);
 
@@ -62,8 +72,8 @@ TemplateCatalog::TemplateCatalog(const WorkloadSpec& spec,
 
   templates_.resize(spec.num_templates);
   template_of_.reserve(static_cast<size_t>(spec.num_templates) *
-                       spec.queries_per_txn);
-  const uint32_t q = spec.queries_per_txn;
+                       spec_.queries_per_txn);
+  const uint32_t q = spec_.queries_per_txn;
   const auto place = [this](storage::TupleKey key, uint32_t partition) {
     if (partition != static_cast<uint32_t>(key % num_partitions_)) {
       initial_override_[key] = partition;
@@ -134,15 +144,18 @@ std::unique_ptr<txn::Transaction> TemplateCatalog::Instantiate(
 }
 
 std::unique_ptr<txn::Transaction> TemplateCatalog::InstantiatePaired(
-    uint32_t base_template, uint32_t partner_template,
-    int64_t write_value) const {
+    uint32_t base_template, uint32_t partner_template, int64_t write_value,
+    bool write_borrowed) const {
   const TxnTemplate& base = templates_.at(base_template);
   const TxnTemplate& partner = templates_.at(partner_template);
   const size_t q = base.keys.size();
-  // Borrowed partner accesses are reads only: a transaction reads its
+  // Borrowed partner accesses default to reads: a transaction reads its
   // partner's data but writes always target its own template's keys.
   // Writes occupy the template's tail positions, so the borrowed keys
-  // take the last half of the read positions (up to q/2 of them).
+  // take the last half of the read positions (up to q/2 of them). With
+  // write_borrowed the borrowed positions write the partner keys instead;
+  // the position set is unchanged, so every borrower still touches the
+  // partner's keys in the same order.
   size_t reads = 0;
   while (reads < q && !base.is_write[reads]) ++reads;
   const size_t borrow = std::min(q / 2, reads);
@@ -153,11 +166,13 @@ std::unique_ptr<txn::Transaction> TemplateCatalog::InstantiatePaired(
   t->priority = txn::TxnPriority::kNormal;
   t->ops.reserve(q);
   for (size_t i = 0; i < q; ++i) {
+    const bool borrowed = i >= borrow_begin && i < reads;
     txn::Operation op;
-    op.kind = base.is_write[i] ? txn::OpKind::kWrite : txn::OpKind::kRead;
-    op.key = (i >= borrow_begin && i < reads)
-                 ? partner.keys[(i - borrow_begin) % partner.keys.size()]
-                 : base.keys[i];
+    op.kind = (borrowed ? write_borrowed : base.is_write[i])
+                  ? txn::OpKind::kWrite
+                  : txn::OpKind::kRead;
+    op.key = borrowed ? partner.keys[(i - borrow_begin) % partner.keys.size()]
+                      : base.keys[i];
     op.write_value = write_value;
     t->ops.push_back(op);
   }

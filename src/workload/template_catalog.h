@@ -76,14 +76,17 @@ class TemplateCatalog {
 
   /// Instantiates a *paired* transaction (drifting workloads): the last
   /// half of the *read* positions (up to floor(q/2)) borrow the partner
-  /// template's first keys; writes always target the base template's own
-  /// keys. Read/write kinds follow the base template, so the
-  /// read-before-write statement ordering is preserved, and borrowed
-  /// partner accesses are read-only — a transaction reads foreign data
-  /// but only writes its own.
+  /// template's first keys; the base template's own writes stay on its own
+  /// keys. By default borrowed partner accesses are read-only — a
+  /// transaction reads foreign data but only writes its own. With
+  /// `write_borrowed` the borrowed positions become writes against the
+  /// partner's keys instead (DriftPhase::pair_write), modelling state the
+  /// borrower partition writes through remotely. Borrowed keys are always
+  /// accessed in partner-key order, so concurrent borrowers of the same
+  /// partner acquire locks in one global order.
   std::unique_ptr<txn::Transaction> InstantiatePaired(
-      uint32_t base_template, uint32_t partner_template,
-      int64_t write_value) const;
+      uint32_t base_template, uint32_t partner_template, int64_t write_value,
+      bool write_borrowed = false) const;
 
   /// Owning template of a key, or kNoTemplate for unowned keys.
   static constexpr uint32_t kNoTemplate = UINT32_MAX;

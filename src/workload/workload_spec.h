@@ -44,6 +44,22 @@ struct DriftPhase {
   /// canonical replication target (migration can satisfy at most one
   /// reader partition; copies satisfy all of them).
   uint32_t pair_hub = 0;
+  /// Hub selection by *issuing partition* instead of by base template:
+  /// partner = hub template (home_partition(base) + 1) % pair_hub. Every
+  /// transaction homed on partition p then leans on one fixed reference
+  /// template homed on p's neighbour — and keeps doing so across
+  /// popularity rotations, because the mapping depends on where the base
+  /// template lives, not on which template happens to be hot. This is the
+  /// leader-shift scenario: each hub key has exactly one borrower
+  /// partition whose pull survives drift. Requires pair_hub > 0.
+  bool pair_affinity = false;
+  /// Probability that a paired transaction *writes* its borrowed partner
+  /// keys instead of reading them. Zero (the default) keeps borrowed
+  /// accesses read-only. Nonzero turns the hub into remotely-written
+  /// state: the borrower partition issues a steady write stream against
+  /// keys whose primary lives elsewhere, which only a leader shift (or a
+  /// migration, when no copy blocks it) can make single-node again.
+  double pair_write = 0.0;
 };
 
 struct WorkloadSpec {

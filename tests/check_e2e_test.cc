@@ -18,13 +18,13 @@ namespace {
 
 ExperimentConfig TinyConfig() {
   ExperimentConfig config;
-  config.workload = workload::WorkloadSpec::Zipf(1.0);
-  config.workload.num_templates = 200;
-  config.workload.num_keys = 4'000;
-  config.utilization = 0.65;
+  config.workload_options.spec = workload::WorkloadSpec::Zipf(1.0);
+  config.workload_options.spec.num_templates = 200;
+  config.workload_options.spec.num_keys = 4'000;
+  config.workload_options.utilization = 0.65;
   config.warmup_intervals = 2;
   config.measured_intervals = 12;
-  config.strategy = SchedulingStrategy::kHybrid;
+  config.deployment.strategy = SchedulingStrategy::kHybrid;
   config.seed = 5;
   return config;
 }
@@ -37,21 +37,21 @@ ExperimentConfig TinyConfig() {
 // which silences the read rules end-to-end; see DESIGN.md §6.)
 ExperimentConfig HubConfig() {
   ExperimentConfig config;
-  config.workload = workload::WorkloadSpec::Zipf(1.0);
-  config.workload.num_templates = 200;
-  config.workload.num_keys = 2'000;
+  config.workload_options.spec = workload::WorkloadSpec::Zipf(1.0);
+  config.workload_options.spec.num_templates = 200;
+  config.workload_options.spec.num_keys = 2'000;
   workload::DriftPhase hub;
   hub.start_interval = 0;
-  hub.zipf_s = config.workload.zipf_s;
+  hub.zipf_s = config.workload_options.spec.zipf_s;
   hub.pair_fraction = 0.5;
   hub.pair_hub = 4;
-  config.workload.phases.push_back(hub);
-  config.utilization = 0.65;
+  config.workload_options.spec.phases.push_back(hub);
+  config.workload_options.utilization = 0.65;
   config.warmup_intervals = 2;
   config.measured_intervals = 8;
-  config.strategy = SchedulingStrategy::kHybrid;
+  config.deployment.strategy = SchedulingStrategy::kHybrid;
   config.seed = 11;
-  config.planner.enabled = true;
+  config.planner_options.enabled = true;
   config.replicas.enabled = true;
   config.replicas.max_copies = config.cluster.num_nodes;
   return config;
@@ -81,7 +81,7 @@ TEST(CheckE2eTest, CleanRunPassesTheChecker) {
 TEST(CheckE2eTest, HubRunExercisesReadDependenciesAndReplicas) {
   ExperimentConfig config = HubConfig();
   config.check.enabled = true;
-  config.fault_spec = "crash:node=2,at=150s,down=30s";
+  config.fault_options.spec = "crash:node=2,at=150s,down=30s";
   ExperimentResult r = Experiment(config).Run();
   EXPECT_TRUE(r.drained);
   EXPECT_TRUE(r.audit.ok()) << r.audit.ToString();

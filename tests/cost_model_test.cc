@@ -9,7 +9,7 @@ cluster::ExecutionCosts DefaultCosts() { return cluster::ExecutionCosts{}; }
 
 RepartitionOp Migration(storage::TupleKey key) {
   RepartitionOp op;
-  op.type = RepartitionOpType::kObjectsMigration;
+  op.kind = RepartitionOpType::kObjectsMigration;
   op.key = key;
   return op;
 }
@@ -63,7 +63,7 @@ TEST(CostModelTest, ReplicaDeletionAloneIsLocal) {
   cluster::ExecutionCosts c = DefaultCosts();
   CostModel model(c, 5);
   RepartitionOp del;
-  del.type = RepartitionOpType::kReplicaDeletion;
+  del.kind = RepartitionOpType::kReplicaDeletion;
   std::vector<RepartitionOp> ops = {del};
   EXPECT_EQ(model.RepartitionTxnCost(ops),
             c.begin + c.replica_delete + c.local_commit);

@@ -17,17 +17,17 @@ namespace {
 
 ExperimentConfig FaultyConfig(SchedulingStrategy strategy) {
   ExperimentConfig config;
-  config.workload = workload::WorkloadSpec::Zipf(1.0);
-  config.workload.num_templates = 200;
-  config.workload.num_keys = 4'000;
-  config.utilization = 0.65;
+  config.workload_options.spec = workload::WorkloadSpec::Zipf(1.0);
+  config.workload_options.spec.num_templates = 200;
+  config.workload_options.spec.num_keys = 4'000;
+  config.workload_options.utilization = 0.65;
   config.warmup_intervals = 2;
   config.measured_intervals = 10;
-  config.strategy = strategy;
+  config.deployment.strategy = strategy;
   config.seed = 5;
   // Repartitioning starts at interval 2 (t=40s); crash node 1 shortly
   // after, while the plan is deploying, and bring it back 15s later.
-  config.fault_spec = "crash:node=1,at=45s,down=15s";
+  config.fault_options.spec = "crash:node=1,at=45s,down=15s";
   return config;
 }
 
@@ -83,7 +83,7 @@ TEST(CrashRecoveryTest, CrashCausesAbortsButNoInconsistency) {
 
 TEST(CrashRecoveryTest, MessageLossOnTopOfCrashStillConsistent) {
   ExperimentConfig config = FaultyConfig(SchedulingStrategy::kHybrid);
-  config.fault_spec = "crash:node=1,at=45s,down=15s;drop:p=0.01";
+  config.fault_options.spec = "crash:node=1,at=45s,down=15s;drop:p=0.01";
   ExperimentResult r = Experiment(config).Run();
   EXPECT_GT(r.faults_msgs_dropped, 0u);
   EXPECT_GT(r.tpc_stats.resends, 0u);
@@ -99,7 +99,7 @@ TEST(CrashRecoveryTest, PermanentCrashStillDrains) {
   // and keep the surviving nodes consistent.
   ExperimentConfig config = FaultyConfig(SchedulingStrategy::kApplyAll);
   config.measured_intervals = 6;
-  config.fault_spec = "crash:node=3,at=45s,down=0";
+  config.fault_options.spec = "crash:node=3,at=45s,down=0";
   config.drain_cap = Minutes(5);
   ExperimentResult r = Experiment(config).Run();
   EXPECT_EQ(r.faults_crashes, 1u);
@@ -110,7 +110,7 @@ TEST(CrashRecoveryTest, PermanentCrashStillDrains) {
 
 TEST(CrashRecoveryTest, BadSpecFailsTheRunUpFront) {
   ExperimentConfig config = FaultyConfig(SchedulingStrategy::kHybrid);
-  config.fault_spec = "crash:node=banana";
+  config.fault_options.spec = "crash:node=banana";
   ExperimentResult r = Experiment(config).Run();
   EXPECT_FALSE(r.audit.ok());
 }
@@ -123,7 +123,7 @@ TEST(CrashRecoveryTest, SecondCrashDuringReplayRestartsFromCheckpoint) {
   // half-applied recovery. The checker's wal_idempotent sweep then proves
   // the recovered table matches checkpoint + WAL.
   ExperimentConfig config = FaultyConfig(SchedulingStrategy::kHybrid);
-  config.fault_spec =
+  config.fault_options.spec =
       "crash:node=1,at=60s,down=10s;crash:node=1,at=70020ms,down=10s";
   config.check.enabled = true;
   ExperimentResult r = Experiment(config).Run();

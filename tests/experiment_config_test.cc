@@ -1,13 +1,12 @@
-// ExperimentConfig: the grouped sub-struct API, Validate()'s rejection of
-// inconsistent combinations (table-driven), and the deprecated flat-name
-// alias shim — reads and writes through the old spellings must hit the
-// same storage as the sub-structs, including across copies and moves.
+// ExperimentConfig: the grouped sub-struct API and Validate()'s rejection
+// of inconsistent combinations (table-driven), including the LionOptions
+// constraints. (The deprecated flat-name alias shim was removed after one
+// release; every call site addresses the sub-structs directly.)
 
 #include <gtest/gtest.h>
 
 #include <functional>
 #include <string>
-#include <utility>
 #include <vector>
 
 #include "src/engine/experiment.h"
@@ -137,64 +136,53 @@ INSTANTIATE_TEST_SUITE_P(
                    [](ExperimentConfig* c) {
                      c->planner_options.builder.replicate_read_heavy = true;
                    },
-                   "replicas.enabled"}),
+                   "replicas.enabled"},
+        RejectCase{"lion_negative_budget",
+                   [](ExperimentConfig* c) {
+                     c->lion.replica_budget = -1;
+                   },
+                   "replica_budget"},
+        RejectCase{"lion_unknown_evict_policy",
+                   [](ExperimentConfig* c) { c->lion.evict = "fifo"; },
+                   "evict"},
+        RejectCase{"lion_shift_threshold_zero",
+                   [](ExperimentConfig* c) {
+                     c->lion.shift_threshold = 0.0;
+                   },
+                   "shift_threshold"},
+        RejectCase{"lion_shift_threshold_above_one",
+                   [](ExperimentConfig* c) {
+                     c->lion.shift_threshold = 1.5;
+                   },
+                   "shift_threshold"},
+        RejectCase{"lion_without_replicas",
+                   [](ExperimentConfig* c) { c->lion.enabled = true; },
+                   "replicas.enabled"},
+        RejectCase{"lion_without_planner",
+                   [](ExperimentConfig* c) {
+                     c->lion.enabled = true;
+                     c->replicas.enabled = true;
+                   },
+                   "planner.enabled"},
+        RejectCase{"double_primary_break_without_lion",
+                   [](ExperimentConfig* c) {
+                     c->check.break_mode = "double_primary";
+                   },
+                   "--lion"}),
     [](const ::testing::TestParamInfo<RejectCase>& info) {
       return std::string(info.param.name);
     });
 
-// --- Deprecated alias shim -------------------------------------------------
-
-TEST(ExperimentConfigTest, AliasesReadAndWriteSubStructStorage) {
-  ExperimentConfig config;
-  // Write through the old flat names, read through the sub-structs.
-  config.utilization = 0.8;
-  config.strategy = SchedulingStrategy::kFeedback;
-  config.fault_spec = "crash:node=1,at=45s,down=15s";
-  config.history_window = 7;
-  EXPECT_DOUBLE_EQ(config.workload_options.utilization, 0.8);
-  EXPECT_EQ(config.deployment.strategy, SchedulingStrategy::kFeedback);
-  EXPECT_EQ(config.fault_options.spec, "crash:node=1,at=45s,down=15s");
-  EXPECT_EQ(config.workload_options.history_window, 7u);
-  // And the other direction.
-  config.workload_options.spec.num_keys = 123;
-  EXPECT_EQ(config.workload.num_keys, 123u);
-  config.planner_options.enabled = true;
-  EXPECT_TRUE(config.planner.enabled);
-}
-
-TEST(ExperimentConfigTest, CopyRebindsAliasesToTheCopy) {
+TEST(ExperimentConfigTest, ValueSemanticsCopyAndAssign) {
   ExperimentConfig a;
-  a.utilization = 0.9;
+  a.workload_options.utilization = 0.9;
+  a.lion.enabled = true;
+  a.lion.replica_budget = 17;
   ExperimentConfig b = a;
-  // The copy has the value...
-  EXPECT_DOUBLE_EQ(b.utilization, 0.9);
-  // ...and its aliases point into itself, not into `a`.
-  b.utilization = 0.4;
-  EXPECT_DOUBLE_EQ(b.workload_options.utilization, 0.4);
+  EXPECT_DOUBLE_EQ(b.workload_options.utilization, 0.9);
+  EXPECT_EQ(b.lion.replica_budget, 17);
+  b.workload_options.utilization = 0.4;
   EXPECT_DOUBLE_EQ(a.workload_options.utilization, 0.9);
-  a.strategy = SchedulingStrategy::kPiggyback;
-  EXPECT_NE(b.deployment.strategy, SchedulingStrategy::kPiggyback);
-}
-
-TEST(ExperimentConfigTest, AssignmentCopiesValuesKeepsOwnAliases) {
-  ExperimentConfig a;
-  a.workload.num_templates = 77;
-  a.replicas.enabled = true;
-  ExperimentConfig b;
-  b = a;
-  EXPECT_EQ(b.workload.num_templates, 77u);
-  EXPECT_TRUE(b.replicas.enabled);
-  b.workload.num_templates = 11;
-  EXPECT_EQ(a.workload.num_templates, 77u);
-}
-
-TEST(ExperimentConfigTest, MoveKeepsAliasIntegrity) {
-  ExperimentConfig a;
-  a.record_trace_path = "/tmp/record.trace";
-  ExperimentConfig b = std::move(a);
-  EXPECT_EQ(b.workload_options.record_trace_path, "/tmp/record.trace");
-  b.record_trace_path = "/tmp/other.trace";
-  EXPECT_EQ(b.workload_options.record_trace_path, "/tmp/other.trace");
 }
 
 TEST(ExperimentConfigTest, RunSurfacesValidationFailure) {

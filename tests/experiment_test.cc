@@ -9,13 +9,13 @@ namespace {
 
 ExperimentConfig TinyConfig() {
   ExperimentConfig config;
-  config.workload = workload::WorkloadSpec::Zipf(1.0);
-  config.workload.num_templates = 200;
-  config.workload.num_keys = 4'000;
-  config.utilization = 0.65;
+  config.workload_options.spec = workload::WorkloadSpec::Zipf(1.0);
+  config.workload_options.spec.num_templates = 200;
+  config.workload_options.spec.num_keys = 4'000;
+  config.workload_options.utilization = 0.65;
   config.warmup_intervals = 2;
   config.measured_intervals = 12;
-  config.strategy = SchedulingStrategy::kHybrid;
+  config.deployment.strategy = SchedulingStrategy::kHybrid;
   config.seed = 5;
   return config;
 }
@@ -98,9 +98,9 @@ TEST(ExperimentTest, CountersAddUp) {
 
 TEST(ExperimentTest, AlphaScalesPlanSize) {
   ExperimentConfig a = TinyConfig();
-  a.workload.alpha = 1.0;
+  a.workload_options.spec.alpha = 1.0;
   ExperimentConfig b = TinyConfig();
-  b.workload.alpha = 0.2;
+  b.workload_options.spec.alpha = 0.2;
   ExperimentResult ra = Experiment(a).Run();
   ExperimentResult rb = Experiment(b).Run();
   EXPECT_NEAR(static_cast<double>(rb.plan_ops_total),
@@ -130,11 +130,11 @@ TEST(ExperimentTest, MakeSchedulerCoversAllStrategies) {
 TEST(ExperimentTest, TraceReplayReproducesRunExactly) {
   const std::string path = ::testing::TempDir() + "/soap_exp_trace.txt";
   ExperimentConfig config = TinyConfig();
-  config.record_trace_path = path;
+  config.workload_options.record_trace_path = path;
   ExperimentResult original = Experiment(config).Run();
 
   ExperimentConfig replay = TinyConfig();
-  replay.replay_trace_path = path;
+  replay.workload_options.replay_trace_path = path;
   replay.seed = 999;  // generator seed is irrelevant under replay
   ExperimentResult replayed = Experiment(replay).Run();
 
@@ -148,7 +148,7 @@ TEST(ExperimentTest, TraceReplayReproducesRunExactly) {
 
 TEST(ExperimentTest, ReplayMissingTraceFailsCleanly) {
   ExperimentConfig config = TinyConfig();
-  config.replay_trace_path = "/no/such/file.trace";
+  config.workload_options.replay_trace_path = "/no/such/file.trace";
   ExperimentResult r = Experiment(config).Run();
   EXPECT_FALSE(r.audit.ok());
 }

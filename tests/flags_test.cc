@@ -106,6 +106,82 @@ TEST(FlagTableTest, EnumValueWithoutNearMissListsTheAllowedSet) {
       << strategy.ToString();
 }
 
+TEST(FlagTableTest, HelpIsGroupedBySubsystem) {
+  engine::FlagTable table = engine::ExperimentFlagTable();
+  const std::string help = table.Help("soap_run", "tagline");
+  // Subsystem headings, in the fixed rendering order.
+  const std::vector<std::string> headings = {
+      "cluster:", "workload:", "deployment:", "planner:",
+      "replica:", "lion:",     "obs:",        "check:"};
+  size_t pos = 0;
+  for (const std::string& heading : headings) {
+    size_t at = help.find("\n" + heading + "\n");
+    EXPECT_NE(at, std::string::npos) << "missing heading " << heading;
+    EXPECT_GT(at, pos) << heading << " out of order";
+    pos = at;
+  }
+  // The lion flags sit under the lion heading.
+  size_t lion_at = help.find("\nlion:\n");
+  size_t obs_at = help.find("\nobs:\n");
+  ASSERT_NE(lion_at, std::string::npos);
+  ASSERT_NE(obs_at, std::string::npos);
+  for (const char* flag :
+       {"--lion", "--replica_budget", "--shift_threshold", "--evict"}) {
+    size_t at = help.find(flag);
+    EXPECT_GT(at, lion_at) << flag;
+    EXPECT_LT(at, obs_at) << flag;
+  }
+}
+
+TEST(FlagTableTest, LionFlagsApply) {
+  engine::FlagTable table = engine::ExperimentFlagTable();
+  engine::ExperimentConfig config;
+  ASSERT_TRUE(table
+                  .Apply(MustParse({"--lion", "--replica_budget=7",
+                                    "--shift_threshold=0.4", "--evict=heat"}),
+                         &config)
+                  .ok());
+  EXPECT_TRUE(config.lion.enabled);
+  // --lion implies the subsystems it builds on.
+  EXPECT_TRUE(config.replicas.enabled);
+  EXPECT_TRUE(config.planner_options.enabled);
+  EXPECT_EQ(config.lion.replica_budget, 7);
+  EXPECT_DOUBLE_EQ(config.lion.shift_threshold, 0.4);
+  EXPECT_EQ(config.lion.evict, "heat");
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+TEST(FlagTableTest, PairingKnobsWireIntoTheHubPhase) {
+  engine::FlagTable table = engine::ExperimentFlagTable();
+  engine::ExperimentConfig config;
+  ASSERT_TRUE(table
+                  .Apply(MustParse({"--pair_hub=5", "--pair_fraction=0.35",
+                                    "--pair_affinity", "--pair_write=0.125"}),
+                         &config)
+                  .ok());
+  ASSERT_EQ(config.workload_options.spec.phases.size(), 1u);
+  const workload::DriftPhase& phase = config.workload_options.spec.phases[0];
+  EXPECT_EQ(phase.pair_hub, 5u);
+  EXPECT_DOUBLE_EQ(phase.pair_fraction, 0.35);
+  EXPECT_TRUE(phase.pair_affinity);
+  EXPECT_DOUBLE_EQ(phase.pair_write, 0.125);
+  // Without --pair_hub the knobs are inert: no phase is created.
+  engine::ExperimentConfig plain;
+  ASSERT_TRUE(
+      table.Apply(MustParse({"--pair_affinity", "--pair_write=0.5"}), &plain)
+          .ok());
+  EXPECT_TRUE(plain.workload_options.spec.phases.empty());
+}
+
+TEST(FlagTableTest, EvictTypoGetsNearMissSuggestion) {
+  engine::FlagTable table = engine::ExperimentFlagTable();
+  engine::ExperimentConfig config;
+  Status s = table.Apply(MustParse({"--lion", "--evict=heta"}), &config);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("did you mean heat?"), std::string::npos)
+      << s.ToString();
+}
+
 TEST(SeriesChartTest, ChartContainsLegendAndMarks) {
   SeriesBundle b("demo");
   Series& a = b.Add("alpha");

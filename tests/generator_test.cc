@@ -170,6 +170,70 @@ TEST(GeneratorTest, PairedTransactionsSpanTwoTemplates) {
   }
 }
 
+// Affinity hubs key the partner off the *issuing partition*: every
+// template homed on partition P borrows from hub template (P+1) % hub,
+// so each hub has exactly one borrower partition and the mapping holds
+// no matter which template popularity rotation made popular.
+TEST(GeneratorTest, AffinityPairingKeysThePartnerOffTheHomePartition) {
+  WorkloadSpec spec = SmallSpec();
+  DriftPhase ph;
+  ph.start_interval = 0;
+  ph.pair_fraction = 1.0;
+  ph.pair_hub = 4;
+  ph.pair_affinity = true;
+  spec.phases.push_back(ph);
+  TemplateCatalog catalog(spec, 4);
+  WorkloadGenerator gen(&catalog, 5);
+  for (int i = 0; i < 50; ++i) {
+    auto t = gen.GenerateOne(0);
+    const uint32_t home = catalog.at(t->template_id).home_partition;
+    const uint32_t want = (home + 1) % ph.pair_hub;
+    if (want == t->template_id) {
+      // Self-pairing degenerates to a plain instantiation.
+      EXPECT_EQ(t->partner_template, txn::Transaction::kNoPartnerTemplate);
+    } else {
+      EXPECT_EQ(t->partner_template, want) << "template " << t->template_id;
+    }
+  }
+}
+
+// pair_write=1.0 turns every borrowed position into a write of the
+// partner's key; the base template's own read/write pattern is intact.
+TEST(GeneratorTest, PairWriteFlipsBorrowedPositionsToWrites) {
+  WorkloadSpec spec = SmallSpec();
+  DriftPhase ph;
+  ph.start_interval = 0;
+  ph.pair_fraction = 1.0;
+  ph.pair_stride = 3;
+  ph.pair_write = 1.0;
+  spec.phases.push_back(ph);
+  TemplateCatalog catalog(spec, 4);
+  WorkloadGenerator gen(&catalog, 5);
+  const uint32_t q = spec.queries_per_txn;
+  for (int i = 0; i < 50; ++i) {
+    auto t = gen.GenerateOne(0);
+    ASSERT_NE(t->partner_template, txn::Transaction::kNoPartnerTemplate);
+    const TxnTemplate& base = catalog.at(t->template_id);
+    const TxnTemplate& partner = catalog.at(t->partner_template);
+    uint32_t reads = 0;
+    while (reads < q && !base.is_write[reads]) ++reads;
+    const uint32_t borrow = std::min(q / 2, reads);
+    const uint32_t borrow_begin = reads - borrow;
+    for (uint32_t i2 = 0; i2 < q; ++i2) {
+      const bool borrowed = i2 >= borrow_begin && i2 < reads;
+      if (borrowed) {
+        EXPECT_EQ(t->ops[i2].kind, txn::OpKind::kWrite) << "query " << i2;
+        EXPECT_EQ(t->ops[i2].key,
+                  partner.keys[(i2 - borrow_begin) % partner.keys.size()]);
+      } else {
+        EXPECT_EQ(t->ops[i2].kind, base.is_write[i2] ? txn::OpKind::kWrite
+                                                     : txn::OpKind::kRead);
+        EXPECT_EQ(t->ops[i2].key, base.keys[i2]);
+      }
+    }
+  }
+}
+
 TEST(GeneratorTest, UnpairedTransactionsHaveNoPartner) {
   TemplateCatalog catalog(SmallSpec(), 4);
   WorkloadGenerator gen(&catalog, 5);

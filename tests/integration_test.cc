@@ -245,15 +245,15 @@ class ExperimentMatrix : public ::testing::TestWithParam<MatrixCase> {};
 TEST_P(ExperimentMatrix, InvariantsHold) {
   const MatrixCase& param = GetParam();
   engine::ExperimentConfig config;
-  config.workload = param.dist == workload::PopularityDist::kZipf
+  config.workload_options.spec = param.dist == workload::PopularityDist::kZipf
                         ? workload::WorkloadSpec::Zipf(param.alpha)
                         : workload::WorkloadSpec::Uniform(param.alpha);
-  config.workload.num_templates = 300;
-  config.workload.num_keys = 6'000;
-  config.utilization = param.utilization;
+  config.workload_options.spec.num_templates = 300;
+  config.workload_options.spec.num_keys = 6'000;
+  config.workload_options.utilization = param.utilization;
   config.warmup_intervals = 2;
   config.measured_intervals = 15;
-  config.strategy = param.strategy;
+  config.deployment.strategy = param.strategy;
   config.seed = 99;
   engine::ExperimentResult r = engine::Experiment(config).Run();
 

@@ -158,22 +158,22 @@ TEST_F(SerializableTest, ReadCommittedHasNoReadLocks) {
 
 TEST(DisturbanceTest, ExternalLoadConsumesCapacityNotPv) {
   engine::ExperimentConfig config;
-  config.workload = workload::WorkloadSpec::Zipf(1.0);
-  config.workload.num_templates = 200;
-  config.workload.num_keys = 4'000;
-  config.utilization = 0.65;
+  config.workload_options.spec = workload::WorkloadSpec::Zipf(1.0);
+  config.workload_options.spec.num_templates = 200;
+  config.workload_options.spec.num_keys = 4'000;
+  config.workload_options.utilization = 0.65;
   config.warmup_intervals = 2;
   config.measured_intervals = 10;
-  config.strategy = SchedulingStrategy::kHybrid;
-  config.disturbance.enabled = true;
-  config.disturbance.node = 0;
-  config.disturbance.start_interval = 0;
-  config.disturbance.end_interval = 12;
-  config.disturbance.fraction = 0.5;
+  config.deployment.strategy = SchedulingStrategy::kHybrid;
+  config.fault_options.disturbance.enabled = true;
+  config.fault_options.disturbance.node = 0;
+  config.fault_options.disturbance.start_interval = 0;
+  config.fault_options.disturbance.end_interval = 12;
+  config.fault_options.disturbance.fraction = 0.5;
   config.seed = 3;
   engine::ExperimentResult with = engine::Experiment(config).Run();
 
-  config.disturbance.enabled = false;
+  config.fault_options.disturbance.enabled = false;
   engine::ExperimentResult without = engine::Experiment(config).Run();
 
   // The run still completes and audits clean under the disturbance.

@@ -16,11 +16,11 @@ namespace {
 // Same pinned config as parallel_runner_test's golden-count test.
 ExperimentConfig PinnedConfig(uint64_t seed) {
   ExperimentConfig config;
-  config.workload = workload::WorkloadSpec::Zipf(1.0);
-  config.workload.num_templates = 200;
-  config.workload.num_keys = 5'000;
-  config.utilization = workload::kHighLoadUtilization;
-  config.strategy = SchedulingStrategy::kHybrid;
+  config.workload_options.spec = workload::WorkloadSpec::Zipf(1.0);
+  config.workload_options.spec.num_templates = 200;
+  config.workload_options.spec.num_keys = 5'000;
+  config.workload_options.utilization = workload::kHighLoadUtilization;
+  config.deployment.strategy = SchedulingStrategy::kHybrid;
   config.warmup_intervals = 2;
   config.measured_intervals = 6;
   config.seed = seed;

@@ -261,11 +261,11 @@ TEST_F(MvccTmTest, WalReplayRebuildsEquivalentChains) {
 
 engine::ExperimentConfig SmallConfig(uint64_t seed) {
   engine::ExperimentConfig config;
-  config.workload = workload::WorkloadSpec::Zipf(1.0);
-  config.workload.num_templates = 80;
-  config.workload.num_keys = 2'000;
-  config.utilization = workload::kHighLoadUtilization;
-  config.strategy = SchedulingStrategy::kHybrid;
+  config.workload_options.spec = workload::WorkloadSpec::Zipf(1.0);
+  config.workload_options.spec.num_templates = 80;
+  config.workload_options.spec.num_keys = 2'000;
+  config.workload_options.utilization = workload::kHighLoadUtilization;
+  config.deployment.strategy = SchedulingStrategy::kHybrid;
   config.warmup_intervals = 1;
   config.measured_intervals = 4;
   config.seed = seed;
@@ -279,10 +279,10 @@ TEST(MvccEngineTest, ReadOnlyWorkloadAcquiresZeroLocksUnderMvcc) {
   // --cc=mvcc drives the whole stack (routing, 2PC-free commits, metrics)
   // with literally zero lock-manager calls.
   engine::ExperimentConfig config = SmallConfig(11);
-  config.workload.write_fraction = 0.0;
+  config.workload_options.spec.write_fraction = 0.0;
   // alpha=0: the workload is already collocated, so the optimizer plan is
   // empty and no repartition transactions (which do lock) run either.
-  config.workload.alpha = 0.0;
+  config.workload_options.spec.alpha = 0.0;
   config.obs.collect_metrics = true;
   engine::ExperimentResult r = engine::Experiment(config).Run();
   EXPECT_TRUE(r.audit.ok()) << r.audit.ToString();

@@ -19,11 +19,11 @@ namespace {
 // Same pinned config as parallel_runner_test's golden-count test.
 ExperimentConfig PinnedConfig(uint64_t seed) {
   ExperimentConfig config;
-  config.workload = workload::WorkloadSpec::Zipf(1.0);
-  config.workload.num_templates = 200;
-  config.workload.num_keys = 5'000;
-  config.utilization = workload::kHighLoadUtilization;
-  config.strategy = SchedulingStrategy::kHybrid;
+  config.workload_options.spec = workload::WorkloadSpec::Zipf(1.0);
+  config.workload_options.spec.num_templates = 200;
+  config.workload_options.spec.num_keys = 5'000;
+  config.workload_options.utilization = workload::kHighLoadUtilization;
+  config.deployment.strategy = SchedulingStrategy::kHybrid;
   config.warmup_intervals = 2;
   config.measured_intervals = 6;
   config.seed = seed;
@@ -34,7 +34,7 @@ ExperimentConfig PinnedConfig(uint64_t seed) {
 // replan/plan_op/deploy records and the timeline sees placement flows.
 ExperimentConfig ObservedConfig(uint64_t seed) {
   ExperimentConfig config = PinnedConfig(seed);
-  config.planner.enabled = true;
+  config.planner_options.enabled = true;
   config.replicas.enabled = true;
   config.obs.collect_audit = true;
   config.obs.collect_timeline = true;
@@ -104,7 +104,7 @@ TEST(ObsDeterminismTest, AuditOnAndOffEmitIdenticalPlans) {
   // moves (and therefore the whole simulation) must match the unaudited
   // run exactly.
   ExperimentConfig off = PinnedConfig(42);
-  off.planner.enabled = true;
+  off.planner_options.enabled = true;
   off.replicas.enabled = true;
   ExperimentConfig on = off;
   on.obs.collect_audit = true;

@@ -51,7 +51,7 @@ TEST(OptimizerTest, PlanCoversExactlyDistributedTemplates) {
   for (const RepartitionOp& op : plan.ops) {
     ASSERT_EQ(op.affected_templates.size(), 1u);
     planned_templates.insert(op.affected_templates[0]);
-    EXPECT_EQ(op.type, RepartitionOpType::kObjectsMigration);
+    EXPECT_EQ(op.kind, RepartitionOpType::kObjectsMigration);
   }
   EXPECT_EQ(planned_templates.size(), f.catalog.distributed_count());
   for (uint32_t t : planned_templates) {

@@ -20,11 +20,11 @@ namespace {
 // must never drift — they are the byte-identity contract in miniature.
 ExperimentConfig PinnedConfig(uint64_t seed) {
   ExperimentConfig config;
-  config.workload = workload::WorkloadSpec::Zipf(1.0);
-  config.workload.num_templates = 200;
-  config.workload.num_keys = 5'000;
-  config.utilization = workload::kHighLoadUtilization;
-  config.strategy = SchedulingStrategy::kHybrid;
+  config.workload_options.spec = workload::WorkloadSpec::Zipf(1.0);
+  config.workload_options.spec.num_templates = 200;
+  config.workload_options.spec.num_keys = 5'000;
+  config.workload_options.utilization = workload::kHighLoadUtilization;
+  config.deployment.strategy = SchedulingStrategy::kHybrid;
   config.warmup_intervals = 2;
   config.measured_intervals = 6;
   config.seed = seed;
@@ -129,8 +129,8 @@ TEST(ParallelRunnerTest, OutcomesStreamInInputOrder) {
   std::vector<ExperimentCell> cells;
   for (uint64_t seed = 1; seed <= 6; ++seed) {
     ExperimentConfig config = PinnedConfig(seed);
-    config.workload.num_keys = 500;
-    config.workload.num_templates = 50;
+    config.workload_options.spec.num_keys = 500;
+    config.workload_options.spec.num_templates = 50;
     config.measured_intervals = 1;
     cells.push_back(ExperimentCell{std::move(config)});
   }

@@ -219,7 +219,7 @@ TEST_F(PlanBuilderTest, EmitsOneMigrationPerDisagreeingKey) {
   EXPECT_EQ(built.plan.ops[0].key, 10u);
   EXPECT_EQ(built.plan.ops[0].source_partition, 0u);
   EXPECT_EQ(built.plan.ops[0].target_partition, 1u);
-  EXPECT_EQ(built.plan.ops[0].type,
+  EXPECT_EQ(built.plan.ops[0].kind,
             repartition::RepartitionOpType::kObjectsMigration);
   EXPECT_EQ(built.plan.epoch, 1u);
   EXPECT_EQ(built.dropped, 0u);
@@ -280,22 +280,22 @@ TEST_F(PlanBuilderTest, MaxOpsCapKeepsHottestTuples) {
 // the one static generation.
 TEST(PlannerExperimentTest, ClosesTheLoopUnderDrift) {
   engine::ExperimentConfig config;
-  config.workload = workload::WorkloadSpec::Zipf(1.0, /*seed=*/7);
-  config.workload.num_templates = 60;
-  config.workload.num_keys = 1'500;
+  config.workload_options.spec = workload::WorkloadSpec::Zipf(1.0, /*seed=*/7);
+  config.workload_options.spec.num_templates = 60;
+  config.workload_options.spec.num_keys = 1'500;
   config.warmup_intervals = 2;
   config.measured_intervals = 8;
-  config.utilization = 0.9;
-  config.strategy = SchedulingStrategy::kApplyAll;
-  config.workload = workload::WorkloadSpec::HotspotDrift(
-      config.workload, /*first_interval=*/2, /*num_phases=*/2,
+  config.workload_options.utilization = 0.9;
+  config.deployment.strategy = SchedulingStrategy::kApplyAll;
+  config.workload_options.spec = workload::WorkloadSpec::HotspotDrift(
+      config.workload_options.spec, /*first_interval=*/2, /*num_phases=*/2,
       /*phase_len=*/4);
   config.seed = 3;
 
   engine::ExperimentConfig adaptive = config;
-  adaptive.planner.enabled = true;
-  adaptive.planner.replan_period = 2;
-  adaptive.planner.min_plan_ops = 4;
+  adaptive.planner_options.enabled = true;
+  adaptive.planner_options.replan_period = 2;
+  adaptive.planner_options.min_plan_ops = 4;
 
   const engine::ExperimentResult stat = engine::Experiment(config).Run();
   const engine::ExperimentResult adap = engine::Experiment(adaptive).Run();
@@ -316,17 +316,17 @@ TEST(PlannerExperimentTest, ClosesTheLoopUnderDrift) {
 
 TEST(PlannerExperimentTest, PlannerRunIsReproducible) {
   engine::ExperimentConfig config;
-  config.workload = workload::WorkloadSpec::Zipf(1.0, /*seed=*/7);
-  config.workload.num_templates = 40;
-  config.workload.num_keys = 1'000;
+  config.workload_options.spec = workload::WorkloadSpec::Zipf(1.0, /*seed=*/7);
+  config.workload_options.spec.num_templates = 40;
+  config.workload_options.spec.num_keys = 1'000;
   config.warmup_intervals = 1;
   config.measured_intervals = 5;
-  config.utilization = 0.9;
-  config.workload = workload::WorkloadSpec::SkewFlip(
-      config.workload, /*first_interval=*/1, /*num_phases=*/2,
+  config.workload_options.utilization = 0.9;
+  config.workload_options.spec = workload::WorkloadSpec::SkewFlip(
+      config.workload_options.spec, /*first_interval=*/1, /*num_phases=*/2,
       /*phase_len=*/2);
-  config.planner.enabled = true;
-  config.planner.replan_period = 2;
+  config.planner_options.enabled = true;
+  config.planner_options.replan_period = 2;
   config.seed = 11;
 
   const engine::ExperimentResult a = engine::Experiment(config).Run();

@@ -151,12 +151,12 @@ TEST(RegistryTest, ReplicaOpsMapToReplicaOpKinds) {
   repartition::RepartitionOp create;
   create.id = 1;
   create.key = 5;
-  create.type = repartition::RepartitionOpType::kNewReplicaCreation;
+  create.kind = repartition::RepartitionOpType::kNewReplicaCreation;
   create.target_partition = 2;
   repartition::RepartitionOp del;
   del.id = 2;
   del.key = 6;
-  del.type = repartition::RepartitionOpType::kReplicaDeletion;
+  del.kind = repartition::RepartitionOpType::kReplicaDeletion;
   del.source_partition = 1;
   rt.ops = {create, del};
   auto t = RepartitionRegistry::MakeTransaction(rt, txn::TxnPriority::kLow);

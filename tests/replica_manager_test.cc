@@ -17,22 +17,22 @@ namespace {
 // read-only, so the planner replicates them instead of migrating.
 ExperimentConfig HubConfig() {
   ExperimentConfig config;
-  config.workload = workload::WorkloadSpec::Zipf(1.0);
-  config.workload.num_templates = 200;
-  config.workload.num_keys = 4'000;
-  config.workload.write_fraction = 0.1;
+  config.workload_options.spec = workload::WorkloadSpec::Zipf(1.0);
+  config.workload_options.spec.num_templates = 200;
+  config.workload_options.spec.num_keys = 4'000;
+  config.workload_options.spec.write_fraction = 0.1;
   workload::DriftPhase hub;
   hub.start_interval = 0;
-  hub.zipf_s = config.workload.zipf_s;
+  hub.zipf_s = config.workload_options.spec.zipf_s;
   hub.pair_fraction = 0.35;
   hub.pair_hub = 10;
-  config.workload.phases.push_back(hub);
-  config.utilization = 0.65;
+  config.workload_options.spec.phases.push_back(hub);
+  config.workload_options.utilization = 0.65;
   config.warmup_intervals = 2;
   config.measured_intervals = 10;
-  config.strategy = SchedulingStrategy::kHybrid;
+  config.deployment.strategy = SchedulingStrategy::kHybrid;
   config.seed = 7;
-  config.planner.enabled = true;
+  config.planner_options.enabled = true;
   config.replicas.enabled = true;
   config.replicas.max_copies = config.cluster.num_nodes;
   return config;
@@ -53,7 +53,7 @@ TEST(ReplicaManagerTest, PrimaryCrashPromotesSurvivingCopies) {
   // Crash once replicas exist (plans deploy from interval 2 at 20s
   // intervals); the node stays down past the drain so the run ends with
   // the promoted routing state.
-  config.fault_spec = "crash:node=2,at=150s,down=30s";
+  config.fault_options.spec = "crash:node=2,at=150s,down=30s";
   ExperimentResult r = Experiment(config).Run();
   EXPECT_TRUE(r.audit.ok()) << r.audit.ToString();
   EXPECT_EQ(r.faults_crashes, 1u);
@@ -65,8 +65,8 @@ TEST(ReplicaManagerTest, PrimaryCrashPromotesSurvivingCopies) {
 
 TEST(ReplicaManagerTest, CrashWithoutReplicasSchedulesNoReplicaEvents) {
   ExperimentConfig config = HubConfig();
-  config.planner.enabled = false;  // nothing ever proposes a copy
-  config.fault_spec = "crash:node=2,at=150s,down=30s";
+  config.planner_options.enabled = false;  // nothing ever proposes a copy
+  config.fault_options.spec = "crash:node=2,at=150s,down=30s";
   ExperimentResult r = Experiment(config).Run();
   EXPECT_TRUE(r.audit.ok()) << r.audit.ToString();
   EXPECT_EQ(r.replica_count_final, 0u);
@@ -81,10 +81,10 @@ TEST(ReplicaManagerTest, EnabledButUnusedIsByteIdenticalToDisabled) {
   // replica-aware branch must degenerate to the replication-free path:
   // same event count, same commits, same virtual end time.
   ExperimentConfig off = HubConfig();
-  off.planner.enabled = false;
+  off.planner_options.enabled = false;
   off.replicas.enabled = false;
   ExperimentConfig on = HubConfig();
-  on.planner.enabled = false;
+  on.planner_options.enabled = false;
   on.replicas.enabled = true;
   ExperimentResult a = Experiment(off).Run();
   ExperimentResult b = Experiment(on).Run();
@@ -103,7 +103,7 @@ TEST(ReplicaManagerTest, PromotionRacesInFlightReplicaCreate) {
   // with the crash — never deploy a copy under the dead primary — and the
   // checker's ownership/coherence sweeps prove it.
   ExperimentConfig config = HubConfig();
-  config.fault_spec = "crash:node=2,at=81s,down=30s";
+  config.fault_options.spec = "crash:node=2,at=81s,down=30s";
   config.check.enabled = true;
   ExperimentResult r = Experiment(config).Run();
   EXPECT_EQ(r.faults_crashes, 1u);
@@ -117,7 +117,7 @@ TEST(ReplicaManagerTest, PromotionRacesInFlightReplicaCreate) {
 
 TEST(ReplicaManagerTest, DeterministicAcrossRuns) {
   ExperimentConfig config = HubConfig();
-  config.fault_spec = "crash:node=2,at=150s,down=30s";
+  config.fault_options.spec = "crash:node=2,at=150s,down=30s";
   ExperimentResult a = Experiment(config).Run();
   ExperimentResult b = Experiment(config).Run();
   EXPECT_EQ(a.events_executed, b.events_executed);

@@ -73,7 +73,7 @@ TEST_F(ReplicationTest, PlanCreatesMissingCopies) {
   ASSERT_TRUE(plan.ok());
   EXPECT_EQ(plan->size(), 6u);  // 2 new copies per key
   for (const auto& op : plan->ops) {
-    EXPECT_EQ(op.type, RepartitionOpType::kNewReplicaCreation);
+    EXPECT_EQ(op.kind, RepartitionOpType::kNewReplicaCreation);
     EXPECT_NE(op.target_partition,
               *cluster_.routing_table().GetPrimary(op.key));
   }

@@ -12,13 +12,13 @@ namespace {
 engine::ExperimentConfig SmallConfig(SchedulingStrategy strategy,
                                      double utilization) {
   engine::ExperimentConfig config;
-  config.workload = workload::WorkloadSpec::Zipf(1.0);
-  config.workload.num_templates = 500;
-  config.workload.num_keys = 10'000;
-  config.utilization = utilization;
+  config.workload_options.spec = workload::WorkloadSpec::Zipf(1.0);
+  config.workload_options.spec.num_templates = 500;
+  config.workload_options.spec.num_keys = 10'000;
+  config.workload_options.utilization = utilization;
   config.warmup_intervals = 3;
   config.measured_intervals = 25;
-  config.strategy = strategy;
+  config.deployment.strategy = strategy;
   config.seed = 77;
   return config;
 }
@@ -43,8 +43,8 @@ TEST(SchedulerBehaviourTest, ApplyAllStallsNormalProcessing) {
   // plan large enough that the stall covers a good part of an interval.
   engine::ExperimentConfig config =
       SmallConfig(SchedulingStrategy::kApplyAll, 0.65);
-  config.workload.num_templates = 3'500;
-  config.workload.num_keys = 20'000;
+  config.workload_options.spec.num_templates = 3'500;
+  config.workload_options.spec.num_keys = 20'000;
   auto r = engine::Experiment(config).Run();
   const double before = r.throughput.at(2);
   const double during = r.throughput.at(3);  // plan lands at interval 3
@@ -132,7 +132,7 @@ TEST(SchedulerBehaviourTest, PlanOpsNeverDoubleApplied) {
 TEST(SchedulerBehaviourTest, FeedbackRespectsPerIntervalCap) {
   engine::ExperimentConfig config =
       SmallConfig(SchedulingStrategy::kFeedback, 0.65);
-  config.feedback.max_txns_per_interval = 5;
+  config.deployment.feedback.max_txns_per_interval = 5;
   auto r = engine::Experiment(config).Run();
   // With at most 5 txns/interval plus the low-priority trickle, the plan
   // (500 txns) cannot complete within 25 intervals... but idle capacity

@@ -35,7 +35,7 @@ int RunChaosSearch(const soap::engine::ExperimentConfig& base, int count,
   engine::ExperimentConfig config = base;
   // The searched surface is the full stack: planner + replication +
   // faults, with the checker verifying every run.
-  config.planner.enabled = true;
+  config.planner_options.enabled = true;
   config.replicas.enabled = true;
   config.check.enabled = true;
 
@@ -58,7 +58,7 @@ int RunChaosSearch(const soap::engine::ExperimentConfig& base, int count,
 
   auto run_one = [&config](const fault::FaultSpec& spec) {
     engine::ExperimentConfig cc = config;
-    cc.fault_spec = spec.ToString();
+    cc.fault_options.spec = spec.ToString();
     engine::ExperimentResult r = engine::Experiment(cc).Run();
     check::ChaosVerdict v;
     v.ok = r.audit.ok() && r.check_report.ok() && r.drained;
@@ -181,7 +181,7 @@ int main(int argc, char** argv) {
   const bool chart = flags.GetBool("chart");
   // The distributed-transaction column only matters for planner/drift
   // runs; omitting it otherwise keeps the default output byte-identical.
-  const bool show_distributed = config.planner.enabled || !drift.empty();
+  const bool show_distributed = config.planner_options.enabled || !drift.empty();
   const bool show_replicas = config.replicas.enabled;
 
   // Multi-seed mode: run the same configuration once per seed, optionally
@@ -270,7 +270,7 @@ int main(int argc, char** argv) {
 
   engine::ExperimentResult r = engine::Experiment(config).Run();
   std::printf("%s\n\n", r.Summary().c_str());
-  if (!config.fault_spec.empty()) {
+  if (!config.fault_options.spec.empty()) {
     std::printf(
         "faults: crashes=%llu msgs_dropped=%llu msgs_parked=%llu "
         "2pc[resends=%llu prepare_timeouts=%llu ack_giveups=%llu "
